@@ -1,0 +1,143 @@
+//! Filtering abstraction: keep the top fraction of nodes under a ranking
+//! criterion, inducing the subgraph among them.
+//!
+//! This realizes the paper's "filtering parts of the graph according to a
+//! metric, e.g., a node ranking criterion like PageRank" and the demo's
+//! "view different layers of the graph that contain only the 'important'
+//! nodes (e.g., sites whose PageRank score is above a threshold)".
+//!
+//! Layout inheritance is the identity: kept nodes keep their coordinates
+//! from the layer below, so vertical navigation is spatially stable.
+
+use crate::rank::RankingCriterion;
+use gvdb_graph::{EdgeId, Graph, NodeId};
+
+/// A filtered layer: the abstract graph plus id mappings to its parent.
+#[derive(Debug, Clone)]
+pub struct FilteredLayer {
+    /// The abstract graph.
+    pub graph: Graph,
+    /// For each new node, the node id in the parent layer.
+    pub node_map: Vec<NodeId>,
+    /// For each new edge, the edge id in the parent layer.
+    pub edge_map: Vec<EdgeId>,
+    /// The score threshold actually applied.
+    pub threshold: f64,
+}
+
+/// Keep the `fraction` highest-scoring nodes (at least 1 when the graph is
+/// non-empty) and induce the subgraph among them.
+///
+/// # Panics
+/// Panics if `fraction` is not within `(0, 1]`.
+pub fn filter_top_fraction(g: &Graph, criterion: RankingCriterion, fraction: f64) -> FilteredLayer {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    let scores = criterion.scores(g);
+    let n = g.node_count();
+    if n == 0 {
+        return FilteredLayer {
+            graph: g.clone(),
+            node_map: Vec::new(),
+            edge_map: Vec::new(),
+            threshold: 0.0,
+        };
+    }
+    let keep = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // Sort by descending score; ties by node id for determinism.
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let threshold = scores[order[keep - 1] as usize];
+    let mut kept: Vec<NodeId> = order[..keep].iter().map(|&v| NodeId(v)).collect();
+    kept.sort(); // stable ids: preserve parent order
+    let (graph, edge_map) = g.induced_subgraph(&kept);
+    FilteredLayer {
+        graph,
+        node_map: kept,
+        edge_map,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::generators::barabasi_albert;
+    use gvdb_graph::GraphBuilder;
+
+    #[test]
+    fn keeps_requested_fraction() {
+        let g = barabasi_albert(100, 2, 3);
+        let layer = filter_top_fraction(&g, RankingCriterion::Degree, 0.2);
+        assert_eq!(layer.graph.node_count(), 20);
+        assert_eq!(layer.node_map.len(), 20);
+    }
+
+    #[test]
+    fn kept_nodes_are_highest_degree() {
+        let g = barabasi_albert(200, 2, 5);
+        let layer = filter_top_fraction(&g, RankingCriterion::Degree, 0.1);
+        let min_kept = layer
+            .node_map
+            .iter()
+            .map(|&v| g.degree(v))
+            .min()
+            .unwrap();
+        // Count nodes strictly above the lowest kept degree; they must all
+        // be kept, so there can be at most 20 of them.
+        let above = g.node_ids().filter(|&v| g.degree(v) > min_kept).count();
+        assert!(above <= 20, "{above} nodes above threshold but only 20 kept");
+        assert_eq!(layer.threshold, min_kept as f64);
+    }
+
+    #[test]
+    fn labels_and_edges_preserved() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("hub");
+        let c = b.add_node("mid");
+        let d = b.add_node("leaf");
+        b.add_edge(a, c, "ab");
+        b.add_edge(a, c, "ab2");
+        b.add_edge(c, d, "bc");
+        let g = b.build();
+        // ceil(3 * 0.5) = 2 nodes kept; degrees: a=2, c=3, d=1 -> keep a, c.
+        let layer = filter_top_fraction(&g, RankingCriterion::Degree, 0.5);
+        assert_eq!(layer.graph.node_count(), 2);
+        assert_eq!(layer.graph.edge_count(), 2); // both a-c edges survive
+        let labels: Vec<&str> = layer
+            .graph
+            .node_ids()
+            .map(|v| layer.graph.node_label(v))
+            .collect();
+        assert_eq!(labels, vec!["hub", "mid"]);
+    }
+
+    #[test]
+    fn fraction_one_is_identity_shape() {
+        let g = barabasi_albert(50, 2, 1);
+        let layer = filter_top_fraction(&g, RankingCriterion::PageRank, 1.0);
+        assert_eq!(layer.graph.node_count(), 50);
+        assert_eq!(layer.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1]")]
+    fn zero_fraction_panics() {
+        let g = barabasi_albert(10, 2, 1);
+        filter_top_fraction(&g, RankingCriterion::Degree, 0.0);
+    }
+
+    #[test]
+    fn empty_graph_passthrough() {
+        let g = GraphBuilder::new_undirected().build();
+        let layer = filter_top_fraction(&g, RankingCriterion::Degree, 0.5);
+        assert_eq!(layer.graph.node_count(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The hierarchy builder: applies an abstraction method repeatedly to
+//! produce the full layer stack, inheriting layouts bottom-up.
+//!
+//! "A layer i (i > 0) corresponds to a new graph that is produced by
+//! applying an abstraction method to the graph at layer i−1. ... Each time
+//! we create a new graph at layer i, its layout is based on the layout of
+//! the graph at layer i−1." (paper §II-A)
+//!
+//! Layout inheritance:
+//! * filtering keeps the surviving nodes' coordinates unchanged;
+//! * summarization places each supernode at the centroid of its members.
+//!
+//! Positions are plain `(x, y)` pairs so this crate stays independent of
+//! the layout engine.
+
+use crate::filter::filter_top_fraction;
+use crate::rank::RankingCriterion;
+use crate::summarize::summarize_by_clusters;
+use gvdb_graph::Graph;
+
+/// How each successive layer is derived from the one below.
+#[derive(Debug, Clone, Copy)]
+pub enum AbstractionMethod {
+    /// Keep the top `fraction` of nodes under `criterion`.
+    Filter {
+        /// Ranking criterion (degree / PageRank / HITS).
+        criterion: RankingCriterion,
+        /// Fraction of nodes kept per level, in `(0, 1)`.
+        fraction: f64,
+    },
+    /// Merge clusters so that roughly `ratio * n` supernodes remain.
+    Summarize {
+        /// Supernodes per parent node, in `(0, 1)`.
+        ratio: f64,
+        /// Partitioner seed.
+        seed: u64,
+    },
+}
+
+/// Configuration for [`build_hierarchy`].
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// Number of abstraction layers **above** layer 0.
+    pub levels: usize,
+    /// Derivation method.
+    pub method: AbstractionMethod,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        // The paper's evaluation indexes 5 layers per dataset (Table I
+        // discussion); degree filtering at 30% per level is the demo's
+        // default criterion.
+        HierarchyConfig {
+            levels: 4,
+            method: AbstractionMethod::Filter {
+                criterion: RankingCriterion::Degree,
+                fraction: 0.3,
+            },
+        }
+    }
+}
+
+/// One layer of the hierarchy.
+#[derive(Debug, Clone)]
+pub struct LayerData {
+    /// The layer's graph (layer 0 = the input graph).
+    pub graph: Graph,
+    /// Plane coordinates per node, inherited bottom-up.
+    pub positions: Vec<(f64, f64)>,
+    /// For each node, the parent-layer node ids it represents
+    /// (singletons for filtering; whole clusters for summarization).
+    /// Layer 0 maps every node to itself.
+    pub members: Vec<Vec<u32>>,
+}
+
+/// A bottom-up stack of abstraction layers; index 0 is the full graph.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Layers, least abstract first.
+    pub layers: Vec<LayerData>,
+}
+
+impl Hierarchy {
+    /// Number of layers including layer 0.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the hierarchy is empty (never true after building).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+/// Build the layer stack from the laid-out input graph.
+///
+/// Construction stops early when a layer reaches fewer than 2 nodes —
+/// "our approach does not pose any restrictions to the number of layers",
+/// but abstracting a single node is meaningless.
+pub fn build_hierarchy(
+    graph: &Graph,
+    positions: &[(f64, f64)],
+    config: &HierarchyConfig,
+) -> Hierarchy {
+    assert_eq!(
+        graph.node_count(),
+        positions.len(),
+        "positions must cover every node"
+    );
+    let mut layers = vec![LayerData {
+        graph: graph.clone(),
+        positions: positions.to_vec(),
+        members: (0..graph.node_count() as u32).map(|v| vec![v]).collect(),
+    }];
+    for level in 1..=config.levels {
+        let parent = &layers[level - 1];
+        if parent.graph.node_count() < 2 {
+            break;
+        }
+        let layer = match config.method {
+            AbstractionMethod::Filter {
+                criterion,
+                fraction,
+            } => {
+                let f = filter_top_fraction(&parent.graph, criterion, fraction);
+                let positions = f
+                    .node_map
+                    .iter()
+                    .map(|&v| parent.positions[v.index()])
+                    .collect();
+                let members = f.node_map.iter().map(|&v| vec![v.0]).collect();
+                LayerData {
+                    graph: f.graph,
+                    positions,
+                    members,
+                }
+            }
+            AbstractionMethod::Summarize { ratio, seed } => {
+                let clusters =
+                    ((parent.graph.node_count() as f64 * ratio).ceil() as u32).max(1);
+                let s = summarize_by_clusters(&parent.graph, clusters, seed + level as u64);
+                let k = s.graph.node_count();
+                let mut sums = vec![(0.0f64, 0.0f64, 0u32); k];
+                let mut members = vec![Vec::new(); k];
+                for (v, &c) in s.membership.iter().enumerate() {
+                    let (x, y) = parent.positions[v];
+                    let slot = &mut sums[c as usize];
+                    slot.0 += x;
+                    slot.1 += y;
+                    slot.2 += 1;
+                    members[c as usize].push(v as u32);
+                }
+                let positions = sums
+                    .iter()
+                    .map(|&(x, y, n)| {
+                        let n = n.max(1) as f64;
+                        (x / n, y / n)
+                    })
+                    .collect();
+                LayerData {
+                    graph: s.graph,
+                    positions,
+                    members,
+                }
+            }
+        };
+        // Abstraction must strictly shrink the graph, or the stack stalls.
+        if layer.graph.node_count() >= parent.graph.node_count() {
+            break;
+        }
+        layers.push(layer);
+    }
+    Hierarchy { layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::generators::{barabasi_albert, grid_graph};
+
+    fn unit_positions(g: &Graph) -> Vec<(f64, f64)> {
+        g.node_ids()
+            .map(|v| (v.0 as f64, (v.0 / 7) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn filter_hierarchy_shrinks_each_level() {
+        let g = barabasi_albert(300, 2, 1);
+        let h = build_hierarchy(&g, &unit_positions(&g), &HierarchyConfig::default());
+        assert_eq!(h.len(), 5); // layer0 + 4
+        for w in h.layers.windows(2) {
+            assert!(w[1].graph.node_count() < w[0].graph.node_count());
+        }
+    }
+
+    #[test]
+    fn filter_preserves_positions() {
+        let g = barabasi_albert(100, 2, 2);
+        let pos = unit_positions(&g);
+        let h = build_hierarchy(&g, &pos, &HierarchyConfig::default());
+        let l1 = &h.layers[1];
+        for (i, m) in l1.members.iter().enumerate() {
+            assert_eq!(m.len(), 1);
+            assert_eq!(l1.positions[i], pos[m[0] as usize]);
+        }
+    }
+
+    #[test]
+    fn summarize_positions_are_centroids() {
+        let g = grid_graph(6, 6);
+        let pos = unit_positions(&g);
+        let cfg = HierarchyConfig {
+            levels: 1,
+            method: AbstractionMethod::Summarize {
+                ratio: 0.25,
+                seed: 7,
+            },
+        };
+        let h = build_hierarchy(&g, &pos, &cfg);
+        let l1 = &h.layers[1];
+        for (i, members) in l1.members.iter().enumerate() {
+            let cx: f64 =
+                members.iter().map(|&v| pos[v as usize].0).sum::<f64>() / members.len() as f64;
+            assert!((l1.positions[i].0 - cx).abs() < 1e-9);
+        }
+        // Every parent node appears in exactly one supernode.
+        let mut all: Vec<u32> = l1.members.iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, (0..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stops_when_too_small() {
+        let g = barabasi_albert(4, 1, 3);
+        let cfg = HierarchyConfig {
+            levels: 10,
+            method: AbstractionMethod::Filter {
+                criterion: RankingCriterion::Degree,
+                fraction: 0.5,
+            },
+        };
+        let h = build_hierarchy(&g, &unit_positions(&g), &cfg);
+        assert!(h.len() < 11);
+        assert!(h.layers.last().unwrap().graph.node_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positions must cover")]
+    fn mismatched_positions_panic() {
+        let g = grid_graph(2, 2);
+        build_hierarchy(&g, &[], &HierarchyConfig::default());
+    }
+
+    #[test]
+    fn layer_zero_is_identity() {
+        let g = grid_graph(3, 3);
+        let pos = unit_positions(&g);
+        let h = build_hierarchy(&g, &pos, &HierarchyConfig::default());
+        assert_eq!(h.layers[0].graph.node_count(), 9);
+        assert_eq!(h.layers[0].positions, pos);
+        assert_eq!(h.layers[0].members[4], vec![4]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # gvdb-abstract
+//!
+//! Multi-level abstraction of graphs (Fig. 1, Step 4 of graphVizdb).
+//!
+//! A layer *i* (i > 0) is "a new graph produced by applying an abstraction
+//! method to the graph at layer i−1", built bottom-up, with each layer's
+//! layout based on the layer below. Two families of methods from the
+//! paper:
+//!
+//! * **Filtering** ([`filter`]): keep only nodes important under a ranking
+//!   criterion — node degree, PageRank, or HITS, the three criteria the
+//!   demo exposes in its Layer Panel ([`rank`]).
+//! * **Summarization** ([`summarize`]): merge clusters of the graph into
+//!   single abstract nodes (the partitioner provides the clusters).
+//!
+//! [`hierarchy`] drives either method repeatedly to build the full layer
+//! stack with inherited layouts.
+
+pub mod filter;
+pub mod hierarchy;
+pub mod rank;
+pub mod summarize;
+
+pub use filter::{filter_top_fraction, FilteredLayer};
+pub use hierarchy::{build_hierarchy, AbstractionMethod, Hierarchy, HierarchyConfig, LayerData};
+pub use rank::{degree_centrality, hits, pagerank, RankingCriterion};
+pub use summarize::{summarize_by_clusters, SummarizedLayer};

@@ -1,0 +1,205 @@
+//! Node ranking criteria: degree, PageRank, HITS — the three abstraction
+//! criteria of the paper's demo ("Node degree, PageRank, HITS", §IV).
+
+use gvdb_graph::Graph;
+
+/// Which importance score drives filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankingCriterion {
+    /// Undirected node degree.
+    Degree,
+    /// PageRank with damping 0.85.
+    PageRank,
+    /// HITS authority scores.
+    HitsAuthority,
+    /// HITS hub scores.
+    HitsHub,
+}
+
+impl RankingCriterion {
+    /// Compute scores for every node under this criterion.
+    pub fn scores(&self, g: &Graph) -> Vec<f64> {
+        match self {
+            RankingCriterion::Degree => degree_centrality(g),
+            RankingCriterion::PageRank => pagerank(g, 0.85, 30),
+            RankingCriterion::HitsAuthority => hits(g, 30).0,
+            RankingCriterion::HitsHub => hits(g, 30).1,
+        }
+    }
+}
+
+/// Degree per node as a float score.
+pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    g.node_ids().map(|v| g.degree(v) as f64).collect()
+}
+
+/// PageRank over the directed edge set (undirected graphs treat each edge
+/// as bidirectional). Dangling mass is redistributed uniformly.
+pub fn pagerank(g: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let directed = g.is_directed();
+    // Out-degree per node under the chosen edge interpretation.
+    let mut out_deg = vec![0usize; n];
+    for e in g.edges() {
+        out_deg[e.source.index()] += 1;
+        if !directed && e.source != e.target {
+            out_deg[e.target.index()] += 1;
+        }
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        next.fill(0.0);
+        let mut dangling = 0.0;
+        for (v, &d) in out_deg.iter().enumerate() {
+            if d == 0 {
+                dangling += rank[v];
+            }
+        }
+        for e in g.edges() {
+            let (s, t) = (e.source.index(), e.target.index());
+            next[t] += rank[s] / out_deg[s] as f64;
+            if !directed && s != t {
+                next[s] += rank[t] / out_deg[t] as f64;
+            }
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        for r in next.iter_mut() {
+            *r = base + damping * *r;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// HITS (Kleinberg): returns `(authority, hub)` scores, L2-normalized,
+/// after `iterations` power iterations over the directed edges.
+pub fn hits(g: &Graph, iterations: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = g.node_count();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut auth = vec![1.0f64; n];
+    let mut hub = vec![1.0f64; n];
+    for _ in 0..iterations {
+        // authority = sum of hubs pointing in
+        let mut new_auth = vec![0.0f64; n];
+        for e in g.edges() {
+            new_auth[e.target.index()] += hub[e.source.index()];
+        }
+        normalize(&mut new_auth);
+        // hub = sum of authorities pointed to
+        let mut new_hub = vec![0.0f64; n];
+        for e in g.edges() {
+            new_hub[e.source.index()] += new_auth[e.target.index()];
+        }
+        normalize(&mut new_hub);
+        auth = new_auth;
+        hub = new_hub;
+    }
+    (auth, hub)
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::{GraphBuilder, NodeId};
+
+    /// star: hub 0 pointed to by 1..=4
+    fn in_star() -> Graph {
+        let mut b = GraphBuilder::new_directed();
+        let hub = b.add_node("hub");
+        for i in 0..4 {
+            let v = b.add_node(format!("leaf{i}"));
+            b.add_edge(v, hub, "to-hub");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = in_star();
+        let pr = pagerank(&g, 0.85, 50);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn pagerank_hub_ranks_highest() {
+        let g = in_star();
+        let pr = pagerank(&g, 0.85, 50);
+        for i in 1..5 {
+            assert!(pr[0] > pr[i], "hub not highest: {pr:?}");
+        }
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let mut b = GraphBuilder::new_directed();
+        for i in 0..5 {
+            b.add_node(format!("{i}"));
+        }
+        for i in 0..5u32 {
+            b.add_edge(NodeId(i), NodeId((i + 1) % 5), "");
+        }
+        let pr = pagerank(&b.build(), 0.85, 100);
+        for &r in &pr {
+            assert!((r - 0.2).abs() < 1e-9, "cycle not uniform: {pr:?}");
+        }
+    }
+
+    #[test]
+    fn hits_authority_vs_hub_on_star() {
+        let g = in_star();
+        let (auth, hub) = hits(&g, 50);
+        // Node 0 is the authority; nodes 1..4 are hubs.
+        assert!(auth[0] > auth[1] * 10.0);
+        assert!(hub[1] > hub[0] * 10.0);
+        // All leaves symmetric.
+        for i in 2..5 {
+            assert!((hub[i] - hub[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degree_criterion_matches_graph_degree() {
+        let g = in_star();
+        let d = RankingCriterion::Degree.scores(&g);
+        assert_eq!(d, vec![4.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_graph_all_criteria() {
+        let g = GraphBuilder::new_directed().build();
+        for c in [
+            RankingCriterion::Degree,
+            RankingCriterion::PageRank,
+            RankingCriterion::HitsAuthority,
+            RankingCriterion::HitsHub,
+        ] {
+            assert!(c.scores(&g).is_empty());
+        }
+    }
+
+    #[test]
+    fn undirected_pagerank_treats_edges_both_ways() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, "");
+        let pr = pagerank(&b.build(), 0.85, 50);
+        assert!((pr[0] - pr[1]).abs() < 1e-9);
+    }
+}

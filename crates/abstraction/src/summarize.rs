@@ -1,0 +1,152 @@
+//! Summarization abstraction: merge clusters into single abstract nodes
+//! ("merging parts of the graph into single nodes (like the graph
+//! summarization methods we mentioned in the introduction)").
+//!
+//! Clusters come from the same multilevel partitioner used in Step 1 —
+//! coherent, balanced groups with few crossing edges, which is exactly
+//! what makes a readable summary. Each cluster becomes one supernode;
+//! edges between clusters collapse into weighted superedges (weight =
+//! crossing-edge count, recorded in the edge label).
+
+use gvdb_graph::{Graph, GraphBuilder, NodeId};
+use gvdb_partition::{partition, PartitionConfig};
+
+/// A summarized layer: the abstract graph plus membership mapping.
+#[derive(Debug, Clone)]
+pub struct SummarizedLayer {
+    /// The abstract graph: one node per cluster.
+    pub graph: Graph,
+    /// For each parent node, its supernode in this layer.
+    pub membership: Vec<u32>,
+    /// For each supernode, how many parent nodes it contains.
+    pub sizes: Vec<u32>,
+}
+
+/// Summarize `g` into `clusters` supernodes using the multilevel
+/// partitioner. Supernode labels summarize the dominant member label and
+/// cluster size; superedge labels carry the collapsed edge count.
+pub fn summarize_by_clusters(g: &Graph, clusters: u32, seed: u64) -> SummarizedLayer {
+    let n = g.node_count();
+    if n == 0 {
+        return SummarizedLayer {
+            graph: GraphBuilder::new_undirected().build(),
+            membership: Vec::new(),
+            sizes: Vec::new(),
+        };
+    }
+    let clusters = clusters.clamp(1, n as u32);
+    let mut cfg = PartitionConfig::with_k(clusters);
+    cfg.seed = seed;
+    let parts = partition(g, &cfg);
+    let membership: Vec<u32> = parts.assignment().to_vec();
+    let mut sizes = vec![0u32; clusters as usize];
+    for &p in &membership {
+        sizes[p as usize] += 1;
+    }
+    // Representative label per cluster: the member with the highest degree
+    // (the node a user would recognize the cluster by).
+    let mut rep: Vec<Option<NodeId>> = vec![None; clusters as usize];
+    for v in g.node_ids() {
+        let c = membership[v.index()] as usize;
+        match rep[c] {
+            None => rep[c] = Some(v),
+            Some(r) if g.degree(v) > g.degree(r) => rep[c] = Some(v),
+            _ => {}
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(false, clusters as usize, clusters as usize * 2);
+    for c in 0..clusters as usize {
+        let label = match rep[c] {
+            Some(r) if sizes[c] > 1 => {
+                format!("{} (+{} nodes)", g.node_label(r), sizes[c] - 1)
+            }
+            Some(r) => g.node_label(r).to_string(),
+            None => format!("cluster {c}"),
+        };
+        b.add_node(label);
+    }
+    // Collapse crossing edges into weighted superedges.
+    let mut weights: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    for e in g.edges() {
+        let (cs, ct) = (
+            membership[e.source.index()],
+            membership[e.target.index()],
+        );
+        if cs == ct {
+            continue;
+        }
+        let key = (cs.min(ct), cs.max(ct));
+        *weights.entry(key).or_insert(0) += 1;
+    }
+    let mut entries: Vec<((u32, u32), u32)> = weights.into_iter().collect();
+    entries.sort_unstable(); // deterministic edge ids
+    for ((cs, ct), w) in entries {
+        b.add_edge(NodeId(cs), NodeId(ct), format!("{w} edges"));
+    }
+    SummarizedLayer {
+        graph: b.build(),
+        membership,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::generators::{grid_graph, planted_partition};
+
+    #[test]
+    fn supernode_count_matches_clusters() {
+        let g = grid_graph(10, 10);
+        let s = summarize_by_clusters(&g, 5, 1);
+        assert_eq!(s.graph.node_count(), 5);
+        assert_eq!(s.sizes.iter().sum::<u32>(), 100);
+    }
+
+    #[test]
+    fn membership_covers_every_node() {
+        let g = planted_partition(4, 30, 6.0, 0.5, 2);
+        let s = summarize_by_clusters(&g, 4, 2);
+        assert_eq!(s.membership.len(), 120);
+        assert!(s.membership.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn superedges_weighted_not_duplicated() {
+        let g = planted_partition(2, 30, 6.0, 1.0, 3);
+        let s = summarize_by_clusters(&g, 2, 3);
+        // At most one superedge between the two clusters.
+        assert!(s.graph.edge_count() <= 1);
+        if s.graph.edge_count() == 1 {
+            let e = s.graph.edge(gvdb_graph::EdgeId(0));
+            assert!(e.label.ends_with("edges"));
+        }
+    }
+
+    #[test]
+    fn labels_name_representatives() {
+        let g = grid_graph(4, 4);
+        let s = summarize_by_clusters(&g, 2, 4);
+        for v in s.graph.node_ids() {
+            assert!(
+                s.graph.node_label(v).contains("cell-"),
+                "label {:?}",
+                s.graph.node_label(v)
+            );
+        }
+    }
+
+    #[test]
+    fn more_clusters_than_nodes_clamped() {
+        let g = grid_graph(2, 2);
+        let s = summarize_by_clusters(&g, 100, 5);
+        assert_eq!(s.graph.node_count(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected().build();
+        let s = summarize_by_clusters(&g, 4, 6);
+        assert_eq!(s.graph.node_count(), 0);
+    }
+}

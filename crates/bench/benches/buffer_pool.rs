@@ -1,0 +1,58 @@
+//! Ablation: buffer-pool capacity sweep — the analogue of the paper's
+//! "cache size of MySQL on the server side was set to 6GB".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvdb_bench::{bench_db_path, random_windows};
+use gvdb_core::{preprocess, PreprocessConfig};
+use gvdb_graph::generators::{patent_like, CitationConfig};
+use gvdb_storage::GraphDb;
+use std::hint::black_box;
+
+fn bench_cache_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool_capacity");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    // Build once on disk, then reopen with different cache sizes.
+    let graph = patent_like(CitationConfig {
+        nodes: 20_000,
+        ..Default::default()
+    });
+    let path = bench_db_path("buffer-sweep");
+    let (db, report) = preprocess(&graph, &path, &PreprocessConfig::default()).unwrap();
+    let bounds = gvdb_bench::plane_bounds(&report);
+    drop(db);
+
+    // 32 pages thrash (every query misses), 2048 pages hold the hot set.
+    for cache_pages in [32usize, 256, 2048] {
+        let db = GraphDb::open_with_cache(&path, cache_pages).unwrap();
+        let windows = random_windows(&bounds, 1000.0, 10, 9);
+        let table = db.layer(0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cache_pages}pages")),
+            &windows,
+            |b, windows| {
+                b.iter(|| {
+                    let mut rows = 0usize;
+                    for w in windows {
+                        rows += table.window(db.pool(), w, false).unwrap().len();
+                    }
+                    black_box(rows)
+                })
+            },
+        );
+        let stats = db.pool().stats();
+        eprintln!(
+            "cache {cache_pages} pages: {} hits / {} misses / {} evictions",
+            stats.hits(),
+            stats.misses(),
+            stats.evictions()
+        );
+    }
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_cache_sweep);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Layout algorithm costs: the pluggable Step 2 options, plus the grid
+//! acceleration ablation for force-directed layout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gvdb_graph::generators::planted_partition;
+use gvdb_layout::{Circular, ForceDirected, GridLayout, Hierarchical, LayoutAlgorithm, Star};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_algorithms");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    // One partition-sized graph (the unit Step 2 processes).
+    let g = planted_partition(1, 2_000, 6.0, 0.0, 3);
+    group.bench_function("force_directed", |b| {
+        b.iter(|| black_box(ForceDirected::default().layout(&g)))
+    });
+    group.bench_function("circular", |b| {
+        b.iter(|| black_box(Circular::default().layout(&g)))
+    });
+    group.bench_function("star", |b| {
+        b.iter(|| black_box(Star::default().layout(&g)))
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| black_box(GridLayout::default().layout(&g)))
+    });
+    group.bench_function("hierarchical", |b| {
+        b.iter(|| black_box(Hierarchical::default().layout(&g)))
+    });
+    group.finish();
+}
+
+fn bench_grid_acceleration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_force_repulsion");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let g = planted_partition(1, 3_000, 4.0, 0.0, 5);
+    group.bench_function("grid_approx", |b| {
+        b.iter(|| {
+            black_box(
+                ForceDirected {
+                    iterations: 20,
+                    exact_repulsion: false,
+                    ..Default::default()
+                }
+                .layout(&g),
+            )
+        })
+    });
+    group.bench_function("exact_n2", |b| {
+        b.iter(|| {
+            black_box(
+                ForceDirected {
+                    iterations: 20,
+                    exact_repulsion: true,
+                    ..Default::default()
+                }
+                .layout(&g),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_grid_acceleration);
+criterion_main!(benches);

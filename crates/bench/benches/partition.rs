@@ -1,0 +1,45 @@
+//! Ablation: partitioner cost and cut quality across k (the paper sets k
+//! "proportional to the total graph size and the available memory").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvdb_graph::generators::{planted_partition, rmat, RmatConfig};
+use gvdb_partition::{partition, PartitionConfig};
+use std::hint::black_box;
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_k_sweep");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let g = rmat(RmatConfig {
+        scale: 13,
+        edge_factor: 8,
+        ..Default::default()
+    });
+    for k in [2u32, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(partition(&g, &PartitionConfig::with_k(k))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_degree_effect(c: &mut Criterion) {
+    // Table I shape: higher average degree costs more per edge.
+    let mut group = c.benchmark_group("partition_degree_effect");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let sparse = planted_partition(8, 512, 2.0, 0.2, 1); // avg deg ~2.2
+    let dense = planted_partition(8, 512, 8.0, 0.8, 1); // avg deg ~8.8
+    group.bench_function("sparse_avg_deg_2", |b| {
+        b.iter(|| black_box(partition(&sparse, &PartitionConfig::with_k(8))))
+    });
+    group.bench_function("dense_avg_deg_8", |b| {
+        b.iter(|| black_box(partition(&dense, &PartitionConfig::with_k(8))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_k_sweep, bench_degree_effect);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablation: STR bulk loading vs incremental R* insertion, and query cost
+//! on the resulting trees (DESIGN.md ablation table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gvdb_spatial::{Point, RTree, Rect};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn entries(n: usize, seed: u64) -> Vec<(Rect, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.random::<f64>() * 10_000.0;
+            let y = rng.random::<f64>() * 10_000.0;
+            (Rect::new(x, y, x + 20.0, y + 20.0), i as u64)
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_build");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let data = entries(n, 1);
+        group.bench_with_input(BenchmarkId::new("str_bulk", n), &data, |b, data| {
+            b.iter(|| black_box(RTree::bulk_load(data.clone())))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_rstar", n), &data, |b, data| {
+            b.iter(|| {
+                let mut t = RTree::new();
+                for (r, v) in data {
+                    t.insert(*r, *v);
+                }
+                black_box(t)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_query");
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let data = entries(50_000, 2);
+    let bulk = RTree::bulk_load(data.clone());
+    let mut inc = RTree::new();
+    for (r, v) in &data {
+        inc.insert(*r, *v);
+    }
+    let windows: Vec<Rect> = (0..100)
+        .map(|i| {
+            let x = (i * 97 % 9_000) as f64;
+            let y = (i * 31 % 9_000) as f64;
+            Rect::new(x, y, x + 500.0, y + 500.0)
+        })
+        .collect();
+    group.bench_function("window_on_bulk_tree", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in &windows {
+                hits += bulk.window(w).count();
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("window_on_incremental_tree", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in &windows {
+                hits += inc.window(w).count();
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("linear_scan_baseline", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in &windows {
+                hits += data.iter().filter(|(r, _)| r.intersects(w)).count();
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("knn_10", |b| {
+        b.iter(|| black_box(bulk.nearest(Point::new(5_000.0, 5_000.0), 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

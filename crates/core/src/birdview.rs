@@ -1,0 +1,173 @@
+//! The Birdview panel: a downsampled density image of the whole plane
+//! ("a large-scale image of the whole graph on the plane", §III).
+//!
+//! Node positions are binned into a fixed raster; cell values are node
+//! counts. The UI would ship this as a PNG; here it renders as ASCII art
+//! (examples) and as the raw grid (tests, HTTP endpoint).
+
+use gvdb_spatial::Rect;
+
+/// A density raster over the layout plane.
+#[derive(Debug, Clone)]
+pub struct Birdview {
+    width: usize,
+    height: usize,
+    counts: Vec<u32>,
+    bounds: Rect,
+}
+
+impl Birdview {
+    /// Rasterize `positions` into a `width x height` grid. Bounds are the
+    /// positions' bounding box (or the unit square when empty).
+    pub fn from_positions(positions: &[(f64, f64)], width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "raster must be non-empty");
+        let bounds = if positions.is_empty() {
+            Rect::new(0.0, 0.0, 1.0, 1.0)
+        } else {
+            let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+            let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for &(x, y) in positions {
+                min_x = min_x.min(x);
+                min_y = min_y.min(y);
+                max_x = max_x.max(x);
+                max_y = max_y.max(y);
+            }
+            Rect::new(min_x, min_y, max_x.max(min_x + 1.0), max_y.max(min_y + 1.0))
+        };
+        let mut counts = vec![0u32; width * height];
+        for &(x, y) in positions {
+            let cx = (((x - bounds.min_x) / bounds.width()) * width as f64)
+                .clamp(0.0, width as f64 - 1.0) as usize;
+            let cy = (((y - bounds.min_y) / bounds.height()) * height as f64)
+                .clamp(0.0, height as f64 - 1.0) as usize;
+            counts[cy * width + cx] += 1;
+        }
+        Birdview {
+            width,
+            height,
+            counts,
+            bounds,
+        }
+    }
+
+    /// Raster width in cells.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raster height in cells.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Plane bounds covered by the raster.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Node count in cell `(x, y)`.
+    pub fn count(&self, x: usize, y: usize) -> u32 {
+        self.counts[y * self.width + x]
+    }
+
+    /// Total nodes rasterized.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// The plane rectangle corresponding to cell `(x, y)` — clicking the
+    /// birdview navigates the main window there.
+    pub fn cell_window(&self, x: usize, y: usize) -> Rect {
+        let cw = self.bounds.width() / self.width as f64;
+        let ch = self.bounds.height() / self.height as f64;
+        Rect::new(
+            self.bounds.min_x + x as f64 * cw,
+            self.bounds.min_y + y as f64 * ch,
+            self.bounds.min_x + (x + 1) as f64 * cw,
+            self.bounds.min_y + (y + 1) as f64 * ch,
+        )
+    }
+
+    /// ASCII density rendering (space → `.` → `:` → `*` → `#` by load).
+    pub fn to_ascii(&self) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let c = self.count(x, y);
+                let ch = if c == 0 {
+                    ' '
+                } else {
+                    let t = c as f64 / max as f64;
+                    match t {
+                        t if t < 0.25 => '.',
+                        t if t < 0.5 => ':',
+                        t if t < 0.75 => '*',
+                        _ => '#',
+                    }
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_preserve_total() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i * 7 % 100) as f64)).collect();
+        let bv = Birdview::from_positions(&pts, 10, 10);
+        assert_eq!(bv.total(), 100);
+    }
+
+    #[test]
+    fn clustered_points_land_in_one_cell() {
+        let pts = vec![(5.0, 5.0); 50];
+        let bv = Birdview::from_positions(&pts, 4, 4);
+        let max = (0..4)
+            .flat_map(|y| (0..4).map(move |x| (x, y)))
+            .map(|(x, y)| bv.count(x, y))
+            .max()
+            .unwrap();
+        assert_eq!(max, 50);
+    }
+
+    #[test]
+    fn cell_window_tiles_the_bounds() {
+        let pts = vec![(0.0, 0.0), (100.0, 100.0)];
+        let bv = Birdview::from_positions(&pts, 5, 5);
+        let w00 = bv.cell_window(0, 0);
+        let w44 = bv.cell_window(4, 4);
+        assert!((w00.min_x - 0.0).abs() < 1e-9);
+        assert!((w44.max_x - 100.0).abs() < 1e-9);
+        assert!((w00.width() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascii_has_expected_shape() {
+        let pts = vec![(0.0, 0.0); 10];
+        let bv = Birdview::from_positions(&pts, 8, 3);
+        let art = bv.to_ascii();
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.lines().all(|l| l.chars().count() == 8));
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn empty_positions_ok() {
+        let bv = Birdview::from_positions(&[], 4, 4);
+        assert_eq!(bv.total(), 0);
+        assert!(bv.to_ascii().contains(' '));
+    }
+
+    #[test]
+    #[should_panic(expected = "raster must be non-empty")]
+    fn zero_size_panics() {
+        Birdview::from_positions(&[], 0, 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Building the JSON objects sent to the client — the "Build JSON Objects"
+//! stage measured in Fig. 3.
+//!
+//! Hand-rolled writer (no serde): this stage's cost is itself part of the
+//! reproduced experiment, so it must do the real work — string escaping,
+//! node deduplication across rows, number formatting — the way the Java
+//! prototype's JSON layer does.
+
+use gvdb_storage::{EdgeRow, RowId};
+use std::collections::HashSet;
+
+/// The JSON payload for one window query response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphJson {
+    /// Serialized JSON text.
+    pub text: String,
+    /// Distinct nodes in the payload.
+    pub node_count: usize,
+    /// Edges in the payload.
+    pub edge_count: usize,
+}
+
+impl GraphJson {
+    /// Payload size in bytes (what travels over the wire).
+    pub fn byte_len(&self) -> usize {
+        self.text.len()
+    }
+}
+
+/// Serialize window-query rows into the client payload:
+/// `{"nodes":[{"id","label","x","y"}...],"edges":[{"id","source","target","label","directed"}...]}`.
+///
+/// Nodes are deduplicated across rows (a node appears in one row per
+/// incident edge). Row ids become edge ids so the client can address edges
+/// in edit operations.
+pub fn build_graph_json(rows: &[(RowId, EdgeRow)]) -> GraphJson {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut nodes = String::new();
+    let mut edges = String::new();
+    let mut node_count = 0usize;
+    for (rid, row) in rows {
+        for (id, label, x, y) in [
+            (row.node1_id, &row.node1_label, row.geometry.x1, row.geometry.y1),
+            (row.node2_id, &row.node2_label, row.geometry.x2, row.geometry.y2),
+        ] {
+            if seen.insert(id) {
+                if node_count > 0 {
+                    nodes.push(',');
+                }
+                nodes.push_str("{\"id\":");
+                nodes.push_str(&id.to_string());
+                nodes.push_str(",\"label\":\"");
+                escape_into(label, &mut nodes);
+                nodes.push_str("\",\"x\":");
+                push_f64(&mut nodes, x);
+                nodes.push_str(",\"y\":");
+                push_f64(&mut nodes, y);
+                nodes.push('}');
+                node_count += 1;
+            }
+        }
+        if !edges.is_empty() {
+            edges.push(',');
+        }
+        edges.push_str("{\"id\":");
+        edges.push_str(&rid.to_u64().to_string());
+        edges.push_str(",\"source\":");
+        edges.push_str(&row.node1_id.to_string());
+        edges.push_str(",\"target\":");
+        edges.push_str(&row.node2_id.to_string());
+        edges.push_str(",\"label\":\"");
+        escape_into(&row.edge_label, &mut edges);
+        edges.push_str("\",\"directed\":");
+        edges.push_str(if row.geometry.directed { "true" } else { "false" });
+        edges.push('}');
+    }
+    let text = format!("{{\"nodes\":[{nodes}],\"edges\":[{edges}]}}");
+    GraphJson {
+        text,
+        node_count,
+        edge_count: rows.len(),
+    }
+}
+
+/// JSON string escaping per RFC 8259.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Fixed short form: pixel coordinates don't need full precision.
+    out.push_str(&format!("{v:.2}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_storage::{EdgeGeometry, PageId};
+
+    fn row(n1: u64, n2: u64, label: &str) -> (RowId, EdgeRow) {
+        (
+            RowId {
+                page: PageId(1),
+                slot: n1 as u16,
+            },
+            EdgeRow {
+                node1_id: n1,
+                node1_label: format!("node{n1}"),
+                geometry: EdgeGeometry {
+                    x1: n1 as f64,
+                    y1: 0.0,
+                    x2: n2 as f64,
+                    y2: 1.0,
+                    directed: true,
+                },
+                edge_label: label.into(),
+                node2_id: n2,
+                node2_label: format!("node{n2}"),
+            },
+        )
+    }
+
+    #[test]
+    fn nodes_deduplicated_across_rows() {
+        let rows = vec![row(1, 2, "a"), row(2, 3, "b")];
+        let json = build_graph_json(&rows);
+        assert_eq!(json.node_count, 3);
+        assert_eq!(json.edge_count, 2);
+        assert_eq!(json.text.matches("\"label\":\"node2\"").count(), 1);
+    }
+
+    #[test]
+    fn escaping_special_characters() {
+        let rows = vec![row(1, 2, "quote\" backslash\\ newline\n")];
+        let json = build_graph_json(&rows);
+        assert!(json.text.contains("quote\\\" backslash\\\\ newline\\n"));
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        let mut out = String::new();
+        escape_into("\u{0001}", &mut out);
+        assert_eq!(out, "\\u0001");
+    }
+
+    #[test]
+    fn empty_result_is_valid_json_skeleton() {
+        let json = build_graph_json(&[]);
+        assert_eq!(json.text, "{\"nodes\":[],\"edges\":[]}");
+        assert_eq!(json.node_count, 0);
+    }
+
+    #[test]
+    fn directed_flag_serialized() {
+        let json = build_graph_json(&[row(5, 6, "x")]);
+        assert!(json.text.contains("\"directed\":true"));
+        assert!(json.text.contains("\"source\":5"));
+    }
+
+    #[test]
+    fn byte_len_matches_text() {
+        let json = build_graph_json(&[row(1, 2, "ü")]);
+        assert_eq!(json.byte_len(), json.text.len());
+    }
+}

@@ -1,0 +1,381 @@
+//! The Partition Organizer (Fig. 1, Step 3): arrange laid-out partitions on
+//! the global plane without overlap while keeping crossing edges short.
+//!
+//! Faithful to the paper's greedy algorithm:
+//! 1. count crossing edges per partition;
+//! 2. place the partition with the most crossing edges at the center;
+//! 3. keep the rest in a priority queue ordered by the number of crossing
+//!    edges shared with already-placed partitions (descending), updating
+//!    as partitions are placed;
+//! 4. assign each popped partition to the empty area minimizing the total
+//!    length of its crossing edges to the placed partitions — candidate
+//!    areas "lie around the non-empty areas from the previous steps".
+//!
+//! Partitions are normalized into uniform square tiles beforehand, so
+//! "empty areas" form a grid of free slots adjacent to the occupied region.
+
+use gvdb_graph::Graph;
+use gvdb_layout::{normalize_to, Layout, Position};
+use gvdb_partition::Partitioning;
+use std::collections::{HashMap, HashSet};
+
+/// Organizer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OrganizerConfig {
+    /// Side length of each partition tile on the global plane.
+    pub tile: f64,
+    /// Gap between adjacent tiles, as a fraction of `tile`.
+    pub padding: f64,
+}
+
+impl Default for OrganizerConfig {
+    fn default() -> Self {
+        OrganizerConfig {
+            tile: 1000.0,
+            padding: 0.1,
+        }
+    }
+}
+
+/// The organizer's output: global node positions plus tile assignments.
+#[derive(Debug, Clone)]
+pub struct OrganizedLayout {
+    /// Global position per node of the input graph.
+    pub layout: Layout,
+    /// Grid slot assigned to each partition.
+    pub slots: Vec<(i32, i32)>,
+    /// Tile pitch (tile side + gap): slot `(i, j)` starts at
+    /// `(i * pitch, j * pitch)`.
+    pub pitch: f64,
+}
+
+/// Arrange per-partition layouts on the global plane.
+///
+/// `part_layouts[p]` holds positions for the nodes of partition `p` in the
+/// order given by `parts.parts()[p]` (i.e., indexed by position within the
+/// partition, not by global node id).
+pub fn organize_partitions(
+    g: &Graph,
+    parts: &Partitioning,
+    part_layouts: &[Layout],
+    cfg: &OrganizerConfig,
+) -> OrganizedLayout {
+    let k = parts.k() as usize;
+    assert_eq!(part_layouts.len(), k, "one layout per partition");
+    let pitch = cfg.tile * (1.0 + cfg.padding);
+    let members = parts.parts();
+
+    // Normalize every partition layout into its tile.
+    let mut tiles: Vec<Layout> = part_layouts.to_vec();
+    for t in &mut tiles {
+        normalize_to(t, cfg.tile, cfg.tile);
+    }
+
+    // Pairwise crossing-edge counts and per-partition crossing lists.
+    let mut pair_count: HashMap<(u32, u32), u32> = HashMap::new();
+    // crossing[p] = (local node index in p, global node id of the far end)
+    let mut crossing: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+    // local index of each node within its partition
+    let mut local_idx = vec![0u32; g.node_count()];
+    for (p, nodes) in members.iter().enumerate() {
+        for (i, n) in nodes.iter().enumerate() {
+            local_idx[n.index()] = i as u32;
+        }
+        let _ = p;
+    }
+    for e in g.edges() {
+        let (ps, pt) = (parts.part_of(e.source), parts.part_of(e.target));
+        if ps == pt {
+            continue;
+        }
+        *pair_count.entry((ps.min(pt), ps.max(pt))).or_insert(0) += 1;
+        crossing[ps as usize].push((local_idx[e.source.index()], e.target.0));
+        crossing[pt as usize].push((local_idx[e.target.index()], e.source.0));
+    }
+
+    // Step 2 of the algorithm: most crossing edges goes to the center.
+    let total_crossing: Vec<u32> = (0..k as u32)
+        .map(|p| crossing[p as usize].len() as u32)
+        .collect();
+    let first = (0..k).max_by_key(|&p| (total_crossing[p], u32::MAX - p as u32));
+
+    let mut slots = vec![(0i32, 0i32); k];
+    let mut placed = vec![false; k];
+    let mut occupied: HashSet<(i32, i32)> = HashSet::new();
+    let mut global = vec![Position::default(); g.node_count()];
+    // Priority key per unplaced partition: crossing edges to placed set.
+    let mut key = vec![0u32; k];
+
+    let place = |p: usize,
+                 slot: (i32, i32),
+                 slots: &mut Vec<(i32, i32)>,
+                 placed: &mut Vec<bool>,
+                 occupied: &mut HashSet<(i32, i32)>,
+                 global: &mut Vec<Position>,
+                 key: &mut Vec<u32>| {
+        slots[p] = slot;
+        placed[p] = true;
+        occupied.insert(slot);
+        let (ox, oy) = (slot.0 as f64 * pitch, slot.1 as f64 * pitch);
+        for (i, n) in members[p].iter().enumerate() {
+            let lp = tiles[p].position(gvdb_graph::NodeId(i as u32));
+            global[n.index()] = Position::new(ox + lp.x, oy + lp.y);
+        }
+        // Update queue keys with the shared crossing counts.
+        for q in 0..k {
+            if !placed[q] {
+                let pair = (p.min(q) as u32, p.max(q) as u32);
+                if let Some(&c) = pair_count.get(&pair) {
+                    key[q] += c;
+                }
+            }
+        }
+    };
+
+    let Some(first) = first else {
+        return OrganizedLayout {
+            layout: Layout::from_positions(global),
+            slots,
+            pitch,
+        };
+    };
+    place(
+        first,
+        (0, 0),
+        &mut slots,
+        &mut placed,
+        &mut occupied,
+        &mut global,
+        &mut key,
+    );
+
+    for _ in 1..k {
+        // Pop the unplaced partition with the largest key (ties: more total
+        // crossing edges, then lower id, for determinism).
+        let p = (0..k)
+            .filter(|&q| !placed[q])
+            .max_by_key(|&q| (key[q], total_crossing[q], u32::MAX - q as u32))
+            .expect("an unplaced partition remains");
+
+        // Candidate slots: free neighbors (8-connected) of the occupied
+        // region — "this area lies around the non-empty areas".
+        let mut candidates: Vec<(i32, i32)> = Vec::new();
+        for &(x, y) in &occupied {
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let s = (x + dx, y + dy);
+                    if !occupied.contains(&s) && !candidates.contains(&s) {
+                        candidates.push(s);
+                    }
+                }
+            }
+        }
+        candidates.sort(); // determinism
+
+        // Cost of a candidate: total length of crossing edges from p's
+        // nodes (at their tile-local positions offset by the candidate) to
+        // already-placed far ends.
+        let best = candidates
+            .iter()
+            .map(|&slot| {
+                let (ox, oy) = (slot.0 as f64 * pitch, slot.1 as f64 * pitch);
+                let mut cost = 0.0f64;
+                let mut links = 0usize;
+                for &(local, far) in &crossing[p] {
+                    let far_part = parts.part_of(gvdb_graph::NodeId(far)) as usize;
+                    if !placed[far_part] {
+                        continue;
+                    }
+                    let lp = tiles[p].position(gvdb_graph::NodeId(local));
+                    let a = Position::new(ox + lp.x, oy + lp.y);
+                    cost += a.distance(&global[far as usize]);
+                    links += 1;
+                }
+                if links == 0 {
+                    // No placed neighbors: stay compact, prefer slots near
+                    // the center.
+                    let c = Position::new(
+                        slot.0 as f64 * pitch + cfg.tile / 2.0,
+                        slot.1 as f64 * pitch + cfg.tile / 2.0,
+                    );
+                    cost = c.distance(&Position::new(cfg.tile / 2.0, cfg.tile / 2.0));
+                }
+                (cost, slot)
+            })
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(_, slot)| slot)
+            .expect("candidates never empty while slots remain");
+
+        place(
+            p,
+            best,
+            &mut slots,
+            &mut placed,
+            &mut occupied,
+            &mut global,
+            &mut key,
+        );
+    }
+
+    OrganizedLayout {
+        layout: Layout::from_positions(global),
+        slots,
+        pitch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::generators::{grid_graph, planted_partition};
+    use gvdb_layout::{ForceDirected, LayoutAlgorithm};
+    use gvdb_partition::{partition, PartitionConfig};
+
+    fn organize(
+        g: &Graph,
+        k: u32,
+    ) -> (OrganizedLayout, Partitioning) {
+        let parts = partition(g, &PartitionConfig::with_k(k));
+        let layouts: Vec<Layout> = parts
+            .parts()
+            .iter()
+            .map(|nodes| {
+                let (sub, _) = g.induced_subgraph(nodes);
+                ForceDirected {
+                    iterations: 20,
+                    ..Default::default()
+                }
+                .layout(&sub)
+            })
+            .collect();
+        (
+            organize_partitions(g, &parts, &layouts, &OrganizerConfig::default()),
+            parts,
+        )
+    }
+
+    #[test]
+    fn no_two_partitions_share_a_slot() {
+        let g = planted_partition(6, 40, 6.0, 1.0, 3);
+        let (org, _) = organize(&g, 6);
+        let unique: HashSet<_> = org.slots.iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn tiles_do_not_overlap_in_node_space() {
+        let g = planted_partition(4, 30, 6.0, 1.0, 5);
+        let (org, parts) = organize(&g, 4);
+        // Every node must lie inside its partition's tile.
+        for n in g.node_ids() {
+            let p = parts.part_of(n) as usize;
+            let (sx, sy) = org.slots[p];
+            let pos = org.layout.position(n);
+            let (ox, oy) = (sx as f64 * org.pitch, sy as f64 * org.pitch);
+            assert!(
+                pos.x >= ox - 1e-9 && pos.x <= ox + 1000.0 + 1e-9,
+                "node {n} x {} outside tile at {ox}",
+                pos.x
+            );
+            assert!(pos.y >= oy - 1e-9 && pos.y <= oy + 1000.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn placement_is_contiguous() {
+        let g = planted_partition(8, 20, 5.0, 1.0, 7);
+        let (org, _) = organize(&g, 8);
+        // Every slot (after the first) touches another occupied slot.
+        let occupied: HashSet<(i32, i32)> = org.slots.iter().copied().collect();
+        for &(x, y) in &occupied {
+            if (x, y) == (0, 0) {
+                continue;
+            }
+            let touches = (-1..=1).any(|dx| {
+                (-1..=1).any(|dy| {
+                    (dx != 0 || dy != 0) && occupied.contains(&(x + dx, y + dy))
+                })
+            });
+            assert!(touches, "slot ({x},{y}) floats free");
+        }
+    }
+
+    #[test]
+    fn connected_partitions_end_up_adjacent() {
+        // Two dense communities joined by a bridge, plus two isolated
+        // communities: the joined pair should land on adjacent slots.
+        let g = planted_partition(2, 40, 8.0, 2.0, 1);
+        let (org, _) = organize(&g, 2);
+        let (a, b) = (org.slots[0], org.slots[1]);
+        assert!((a.0 - b.0).abs() <= 1 && (a.1 - b.1).abs() <= 1);
+    }
+
+    #[test]
+    fn organizer_beats_random_slot_assignment_on_crossing_length() {
+        let g = planted_partition(6, 30, 6.0, 1.5, 9);
+        let parts = partition(&g, &PartitionConfig::with_k(6));
+        let layouts: Vec<Layout> = parts
+            .parts()
+            .iter()
+            .map(|nodes| {
+                let (sub, _) = g.induced_subgraph(nodes);
+                ForceDirected {
+                    iterations: 20,
+                    ..Default::default()
+                }
+                .layout(&sub)
+            })
+            .collect();
+        let cfg = OrganizerConfig::default();
+        let org = organize_partitions(&g, &parts, &layouts, &cfg);
+
+        let crossing_len = |layout: &Layout| -> f64 {
+            g.edges()
+                .iter()
+                .filter(|e| parts.part_of(e.source) != parts.part_of(e.target))
+                .map(|e| layout.position(e.source).distance(&layout.position(e.target)))
+                .sum()
+        };
+        let organized = crossing_len(&org.layout);
+
+        // Diagonal-line assignment (worst-ish case, still non-overlapping).
+        let mut tiles = layouts.clone();
+        for t in &mut tiles {
+            normalize_to(t, cfg.tile, cfg.tile);
+        }
+        let mut positions = vec![Position::default(); g.node_count()];
+        for (p, nodes) in parts.parts().iter().enumerate() {
+            let (ox, oy) = (p as f64 * org.pitch * 2.0, p as f64 * org.pitch * 2.0);
+            for (i, n) in nodes.iter().enumerate() {
+                let lp = tiles[p].position(gvdb_graph::NodeId(i as u32));
+                positions[n.index()] = Position::new(ox + lp.x, oy + lp.y);
+            }
+        }
+        let diagonal = crossing_len(&Layout::from_positions(positions));
+        assert!(
+            organized < diagonal,
+            "organized {organized:.0} vs diagonal {diagonal:.0}"
+        );
+    }
+
+    #[test]
+    fn grid_graph_single_partition() {
+        let g = grid_graph(5, 5);
+        let (org, _) = organize(&g, 1);
+        assert_eq!(org.slots, vec![(0, 0)]);
+        assert_eq!(org.layout.len(), 25);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = gvdb_graph::GraphBuilder::new_undirected().build();
+        let parts = partition(&g, &PartitionConfig::with_k(1));
+        let org = organize_partitions(
+            &g,
+            &parts,
+            &[Layout::default()],
+            &OrganizerConfig::default(),
+        );
+        assert_eq!(org.layout.len(), 0);
+    }
+}

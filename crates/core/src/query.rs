@@ -1,0 +1,235 @@
+//! The Query Manager: translates client operations into index lookups and
+//! measures each stage the way Fig. 3 reports them.
+//!
+//! * **DB Query Execution** — R-tree window lookup + heap fetch.
+//! * **Build JSON Objects** — serializing the sub-graph for the client.
+//! * **Communication + Rendering** — the simulated client pipeline.
+
+use crate::client::{ClientCost, ClientModel};
+use crate::json::{build_graph_json, GraphJson};
+use gvdb_spatial::{Point, Rect};
+use gvdb_storage::{EdgeRow, GraphDb, Result, RowId, StorageError};
+use std::time::Instant;
+
+/// One measured window query, stage by stage.
+#[derive(Debug)]
+pub struct WindowResponse {
+    /// The rows in the window.
+    pub rows: Vec<(RowId, EdgeRow)>,
+    /// The client payload.
+    pub json: GraphJson,
+    /// DB query execution time (ms).
+    pub db_ms: f64,
+    /// JSON building time (ms).
+    pub build_json_ms: f64,
+    /// Simulated communication + rendering cost.
+    pub client: ClientCost,
+}
+
+impl WindowResponse {
+    /// Total response time (ms): the Fig. 3 "Total Time" series.
+    pub fn total_ms(&self) -> f64 {
+        self.db_ms + self.build_json_ms + self.client.comm_render_ms
+    }
+}
+
+/// A keyword-search hit: node id, label and plane position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Node id within the queried layer.
+    pub node_id: u64,
+    /// Node label.
+    pub label: String,
+    /// Position on the plane (used to focus the window).
+    pub position: Point,
+}
+
+/// The server-side query engine over a preprocessed database.
+#[derive(Debug)]
+pub struct QueryManager {
+    db: GraphDb,
+    client: ClientModel,
+}
+
+impl QueryManager {
+    /// Wrap a database with the default client model.
+    pub fn new(db: GraphDb) -> Self {
+        QueryManager {
+            db,
+            client: ClientModel::default(),
+        }
+    }
+
+    /// Wrap with an explicit client model.
+    pub fn with_client(db: GraphDb, client: ClientModel) -> Self {
+        QueryManager { db, client }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// Mutable database access (edit operations).
+    pub fn db_mut(&mut self) -> &mut GraphDb {
+        &mut self.db
+    }
+
+    /// Number of abstraction layers.
+    pub fn layer_count(&self) -> usize {
+        self.db.layer_count()
+    }
+
+    /// Interactive navigation: evaluate a window query on `layer` and
+    /// measure every stage.
+    pub fn window_query(&self, layer: usize, window: &Rect) -> Result<WindowResponse> {
+        let table = self
+            .db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let t = Instant::now();
+        let rows = table.window(self.db.pool(), window, true)?;
+        let db_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let json = build_graph_json(&rows);
+        let build_json_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let client = self.client.deliver(&json);
+        Ok(WindowResponse {
+            rows,
+            json,
+            db_ms,
+            build_json_ms,
+            client,
+        })
+    }
+
+    /// Keyword search over node labels of `layer` (trie lookup), with
+    /// positions resolved for focusing.
+    pub fn keyword_search(&self, layer: usize, keyword: &str) -> Result<Vec<SearchHit>> {
+        let table = self
+            .db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let mut hits = Vec::new();
+        for node_id in table.search_nodes(keyword) {
+            if let Some((position, label)) = table.node_position(self.db.pool(), node_id)? {
+                hits.push(SearchHit {
+                    node_id,
+                    label,
+                    position,
+                });
+            }
+        }
+        Ok(hits)
+    }
+
+    /// The focus window for a search hit: a rectangle of the client's
+    /// window size centered on the node (paper §II-B).
+    pub fn focus_window(&self, hit: &SearchHit, width: f64, height: f64) -> Rect {
+        Rect::centered(hit.position, width, height)
+    }
+
+    /// "Focus on node" mode: the node's row set (the node and its direct
+    /// neighbours), bypassing the spatial index.
+    pub fn focus_on_node(&self, layer: usize, node_id: u64) -> Result<Vec<(RowId, EdgeRow)>> {
+        let table = self
+            .db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let rids = table.rows_of_node(self.db.pool(), node_id)?;
+        let mut rows = Vec::with_capacity(rids.len());
+        for rid in rids {
+            rows.push((rid, table.get(self.db.pool(), rid)?));
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, PreprocessConfig};
+    use gvdb_graph::generators::planted_partition;
+
+    fn manager(name: &str) -> (QueryManager, std::path::PathBuf) {
+        let g = planted_partition(4, 50, 6.0, 0.5, 1);
+        let mut path = std::env::temp_dir();
+        path.push(format!("gvdb-qm-{name}-{}", std::process::id()));
+        let (db, _) = preprocess(
+            &g,
+            &path,
+            &PreprocessConfig {
+                k: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (QueryManager::new(db), path)
+    }
+
+    #[test]
+    fn window_query_measures_all_stages() {
+        let (qm, path) = manager("stages");
+        let resp = qm
+            .window_query(0, &Rect::new(0.0, 0.0, 1500.0, 1500.0))
+            .unwrap();
+        assert!(!resp.rows.is_empty());
+        assert!(resp.db_ms >= 0.0);
+        assert!(resp.build_json_ms >= 0.0);
+        assert!(resp.client.comm_render_ms > 0.0);
+        assert!(resp.total_ms() >= resp.client.comm_render_ms);
+        assert_eq!(resp.json.edge_count, resp.rows.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_layer_is_an_error() {
+        let (qm, path) = manager("missing");
+        assert!(matches!(
+            qm.window_query(99, &Rect::new(0.0, 0.0, 1.0, 1.0)),
+            Err(StorageError::LayerNotFound(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn keyword_search_focuses_on_hit() {
+        let (qm, path) = manager("search");
+        // planted_partition labels are c{community}-n{index}
+        let hits = qm.keyword_search(0, "c2 n7").unwrap();
+        assert!(!hits.is_empty());
+        let w = qm.focus_window(&hits[0], 800.0, 600.0);
+        assert!((w.width() - 800.0).abs() < 1e-9);
+        // The focused window must contain the hit node's edges.
+        let resp = qm.window_query(0, &w).unwrap();
+        assert!(resp
+            .rows
+            .iter()
+            .any(|(_, r)| r.node1_id == hits[0].node_id || r.node2_id == hits[0].node_id));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn focus_on_node_returns_neighborhood() {
+        let (qm, path) = manager("focus");
+        let hits = qm.keyword_search(0, "c0 n0").unwrap();
+        let rows = qm.focus_on_node(0, hits[0].node_id).unwrap();
+        assert!(!rows.is_empty());
+        for (_, r) in &rows {
+            assert!(r.node1_id == hits[0].node_id || r.node2_id == hits[0].node_id);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn higher_layers_return_fewer_objects() {
+        let (qm, path) = manager("layers");
+        let everything = Rect::new(-1e9, -1e9, 1e9, 1e9);
+        let l0 = qm.window_query(0, &everything).unwrap();
+        let top = qm.window_query(qm.layer_count() - 1, &everything).unwrap();
+        assert!(top.rows.len() < l0.rows.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,74 @@
+//! The Statistics panel: per-layer graph statistics (§III, Web UI panel 6).
+
+use gvdb_abstract::Hierarchy;
+use gvdb_graph::GraphMetrics;
+
+/// Statistics for one abstraction layer.
+#[derive(Debug, Clone)]
+pub struct LayerStats {
+    /// Layer index (0 = full graph).
+    pub layer: usize,
+    /// Graph metrics of the layer.
+    pub metrics: GraphMetrics,
+}
+
+/// Compute statistics for every layer of a hierarchy.
+pub fn hierarchy_stats(h: &Hierarchy) -> Vec<LayerStats> {
+    h.layers
+        .iter()
+        .enumerate()
+        .map(|(layer, data)| LayerStats {
+            layer,
+            metrics: GraphMetrics::compute(&data.graph),
+        })
+        .collect()
+}
+
+/// Render a statistics table as text (the panel's content).
+pub fn format_stats(stats: &[LayerStats]) -> String {
+    let mut out = String::from(
+        "layer |    nodes |    edges | avg deg | max deg |  density | components\n",
+    );
+    for s in stats {
+        out.push_str(&format!(
+            "{:>5} | {:>8} | {:>8} | {:>7.2} | {:>7} | {:>8.6} | {:>10}\n",
+            s.layer,
+            s.metrics.nodes,
+            s.metrics.edges,
+            s.metrics.avg_degree,
+            s.metrics.max_degree,
+            s.metrics.density,
+            s.metrics.components,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_abstract::{build_hierarchy, HierarchyConfig};
+    use gvdb_graph::generators::barabasi_albert;
+
+    #[test]
+    fn stats_for_every_layer() {
+        let g = barabasi_albert(200, 2, 1);
+        let pos: Vec<(f64, f64)> = (0..200).map(|i| (i as f64, 0.0)).collect();
+        let h = build_hierarchy(&g, &pos, &HierarchyConfig::default());
+        let stats = hierarchy_stats(&h);
+        assert_eq!(stats.len(), h.len());
+        assert_eq!(stats[0].metrics.nodes, 200);
+        // Layers shrink.
+        assert!(stats.last().unwrap().metrics.nodes < 200);
+    }
+
+    #[test]
+    fn format_is_tabular() {
+        let g = barabasi_albert(50, 2, 2);
+        let pos: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 0.0)).collect();
+        let h = build_hierarchy(&g, &pos, &HierarchyConfig::default());
+        let text = format_stats(&hierarchy_stats(&h));
+        assert!(text.lines().count() >= 2);
+        assert!(text.contains("avg deg"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Multi-dataset workspace: the demo's dataset selector (§IV: "attendees
+//! will first select a dataset from a number of real-word datasets (e.g.,
+//! ACM, DBLP, DBpedia)").
+//!
+//! A [`Workspace`] holds several preprocessed databases side by side, each
+//! behind its own [`QueryManager`]; sessions pick a dataset by name.
+
+use crate::query::QueryManager;
+use gvdb_storage::{GraphDb, Result, StorageError};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A named collection of preprocessed graph databases.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    datasets: BTreeMap<String, QueryManager>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Register an already-open database under `name`. Replaces any
+    /// previous dataset with the same name.
+    pub fn add(&mut self, name: impl Into<String>, db: GraphDb) {
+        self.datasets.insert(name.into(), QueryManager::new(db));
+    }
+
+    /// Open a database file and register it under `name`.
+    pub fn open(&mut self, name: impl Into<String>, path: &Path) -> Result<()> {
+        let db = GraphDb::open(path)?;
+        self.add(name, db);
+        Ok(())
+    }
+
+    /// Dataset names, sorted (what the Control panel's selector lists).
+    pub fn names(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Whether the workspace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// The query manager for `name`.
+    pub fn dataset(&self, name: &str) -> Result<&QueryManager> {
+        self.datasets
+            .get(name)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("dataset {name}")))
+    }
+
+    /// Mutable access (edit operations).
+    pub fn dataset_mut(&mut self, name: &str) -> Result<&mut QueryManager> {
+        self.datasets
+            .get_mut(name)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("dataset {name}")))
+    }
+
+    /// Remove a dataset, returning its query manager (dropping it closes
+    /// nothing on disk — the file remains openable).
+    pub fn remove(&mut self, name: &str) -> Option<QueryManager> {
+        self.datasets.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, PreprocessConfig};
+    use crate::session::Session;
+    use gvdb_graph::generators::{patent_like, wikidata_like, CitationConfig, RdfConfig};
+    use gvdb_spatial::Rect;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gvdb-ws-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn select_between_datasets() {
+        let rdf_path = tmp("rdf");
+        let cite_path = tmp("cite");
+        let rdf = wikidata_like(RdfConfig {
+            entities: 200,
+            ..Default::default()
+        });
+        let cite = patent_like(CitationConfig {
+            nodes: 300,
+            ..Default::default()
+        });
+        let cfg = PreprocessConfig {
+            k: Some(2),
+            ..Default::default()
+        };
+        let (rdf_db, _) = preprocess(&rdf, &rdf_path, &cfg).unwrap();
+        let (cite_db, _) = preprocess(&cite, &cite_path, &cfg).unwrap();
+
+        let mut ws = Workspace::new();
+        ws.add("DBpedia-like", rdf_db);
+        ws.add("Patents", cite_db);
+        assert_eq!(ws.names(), vec!["DBpedia-like", "Patents"]);
+
+        // One session per dataset; both serve window queries independently.
+        let everything = Rect::new(-1e12, -1e12, 1e12, 1e12);
+        let s1 = Session::new(everything);
+        let s2 = Session::new(everything);
+        let v1 = s1.view(ws.dataset("DBpedia-like").unwrap()).unwrap();
+        let v2 = s2.view(ws.dataset("Patents").unwrap()).unwrap();
+        // Patent rows are citations (plus empty-labelled isolated-node rows).
+        assert!(v2
+            .rows
+            .iter()
+            .all(|(_, r)| r.edge_label == "cites" || r.edge_label.is_empty()));
+        assert!(v1.rows.iter().any(|(_, r)| r.edge_label.starts_with("wdt:")
+            || r.edge_label.starts_with("rdfs:")));
+
+        // Unknown dataset errors cleanly.
+        assert!(ws.dataset("ACM").is_err());
+        // Removal.
+        assert!(ws.remove("Patents").is_some());
+        assert_eq!(ws.len(), 1);
+
+        std::fs::remove_file(&rdf_path).ok();
+        std::fs::remove_file(&cite_path).ok();
+    }
+
+    #[test]
+    fn open_from_disk() {
+        let path = tmp("open");
+        let g = patent_like(CitationConfig {
+            nodes: 100,
+            ..Default::default()
+        });
+        {
+            let cfg = PreprocessConfig {
+                k: Some(1),
+                ..Default::default()
+            };
+            let (mut db, _) = preprocess(&g, &path, &cfg).unwrap();
+            db.flush().unwrap();
+        }
+        let mut ws = Workspace::new();
+        ws.open("patents", &path).unwrap();
+        assert_eq!(ws.dataset("patents").unwrap().layer_count(), 5);
+        assert!(ws.open("missing", &tmp("nonexistent")).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,124 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::graph::{Edge, Graph};
+use crate::types::{EdgeId, NodeId};
+
+/// Mutable builder that accumulates nodes and edges, then freezes them into
+/// an immutable CSR [`Graph`].
+///
+/// ```
+/// use gvdb_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new_undirected();
+/// let u = b.add_node("u");
+/// let v = b.add_node("v");
+/// b.add_edge(u, v, "uv");
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    directed: bool,
+    node_labels: Vec<String>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Builder for a directed graph.
+    pub fn new_directed() -> Self {
+        Self::new(true)
+    }
+
+    /// Builder for an undirected graph.
+    pub fn new_undirected() -> Self {
+        Self::new(false)
+    }
+
+    fn new(directed: bool) -> Self {
+        GraphBuilder {
+            directed,
+            node_labels: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocate for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(directed: bool, nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            directed,
+            node_labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a node with `label`; returns its id.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.node_labels.len() as u32);
+        self.node_labels.push(label.into());
+        id
+    }
+
+    /// Add an edge `source -> target` with `label`; returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added.
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId, label: impl Into<String>) -> EdgeId {
+        assert!(
+            source.index() < self.node_labels.len() && target.index() < self.node_labels.len(),
+            "edge endpoint out of range: {source} -> {target} with {} nodes",
+            self.node_labels.len()
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            source,
+            target,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Freeze into an immutable CSR graph.
+    pub fn build(self) -> Graph {
+        Graph::from_parts(self.directed, self.node_labels, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_sequential() {
+        let mut b = GraphBuilder::new_undirected();
+        assert_eq!(b.add_node("a"), NodeId(0));
+        assert_eq!(b.add_node("b"), NodeId(1));
+        assert_eq!(b.add_edge(NodeId(0), NodeId(1), "e"), EdgeId(0));
+        assert_eq!(b.node_count(), 2);
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_to_missing_node_panics() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        b.add_edge(a, NodeId(5), "bad");
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new_directed().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_directed());
+    }
+}

@@ -1,0 +1,88 @@
+//! Barabási–Albert preferential attachment graphs.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use rand::prelude::*;
+
+/// Generate a Barabási–Albert scale-free graph: start from a clique of
+/// `m` nodes, then each new node attaches to `m` existing nodes chosen
+/// proportionally to degree. Produces the heavy-tailed degree distributions
+/// typical of web and social graphs.
+///
+/// # Panics
+/// Panics if `n < m` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n >= m, "need at least m nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(false, n, n.saturating_sub(m) * m + m * (m - 1) / 2);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::new();
+    for i in 0..n {
+        b.add_node(format!("node-{i}"));
+    }
+    // Seed clique.
+    for i in 0..m {
+        for j in (i + 1)..m {
+            b.add_edge(NodeId(i as u32), NodeId(j as u32), "seed");
+            endpoints.push(i as u32);
+            endpoints.push(j as u32);
+        }
+    }
+    if m == 1 {
+        endpoints.push(0);
+    }
+    for v in m..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v as u32 && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            b.add_edge(NodeId(v as u32), NodeId(t), "attach");
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = barabasi_albert(100, 3, 11);
+        assert_eq!(g.node_count(), 100);
+        // clique(3) = 3 edges, then 97 * 3
+        assert_eq!(g.edge_count(), 3 + 97 * 3);
+    }
+
+    #[test]
+    fn connected_single_component() {
+        let g = barabasi_albert(200, 2, 5);
+        let (_, n) = crate::traversal::connected_components(&g);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(500, 2, 9);
+        let max = g.node_ids().map(|v| g.degree(v)).max().unwrap();
+        // A hub should accumulate far more than the attachment constant.
+        assert!(max > 10, "expected a hub, max degree {max}");
+    }
+
+    #[test]
+    fn m_equals_one_gives_tree() {
+        let g = barabasi_albert(50, 1, 3);
+        assert_eq!(g.edge_count(), 49);
+        let (_, n) = crate::traversal::connected_components(&g);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Planted-partition graphs: known community structure for validating the
+//! partitioner (communities should be recovered as low-cut partitions).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use rand::prelude::*;
+
+/// Generate a planted-partition graph with `communities` equal-size groups
+/// of `community_size` nodes. Each node gets ~`intra` edges inside its
+/// community and ~`inter` edges to other communities.
+pub fn planted_partition(
+    communities: usize,
+    community_size: usize,
+    intra: f64,
+    inter: f64,
+    seed: u64,
+) -> Graph {
+    assert!(communities >= 1 && community_size >= 2);
+    let n = communities * community_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(false, n, n * (intra + inter) as usize + n);
+    for c in 0..communities {
+        for i in 0..community_size {
+            b.add_node(format!("c{c}-n{i}"));
+        }
+    }
+    let node = |c: usize, i: usize| NodeId((c * community_size + i) as u32);
+    for c in 0..communities {
+        for i in 0..community_size {
+            // intra-community edges
+            let k = (intra / 2.0).round() as usize;
+            for _ in 0..k {
+                let mut j = rng.random_range(0..community_size);
+                if j == i {
+                    j = (j + 1) % community_size;
+                }
+                b.add_edge(node(c, i), node(c, j), "intra");
+            }
+            // inter-community edges
+            if communities > 1 {
+                let k = (inter / 2.0).round() as usize;
+                for _ in 0..k {
+                    let mut c2 = rng.random_range(0..communities);
+                    if c2 == c {
+                        c2 = (c2 + 1) % communities;
+                    }
+                    let j = rng.random_range(0..community_size);
+                    b.add_edge(node(c, i), node(c2, j), "inter");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_edges_dominate() {
+        let g = planted_partition(4, 50, 8.0, 1.0, 3);
+        let intra = g.edges().iter().filter(|e| e.label == "intra").count();
+        let inter = g.edges().iter().filter(|e| e.label == "inter").count();
+        // intra/2=4 edges per node vs inter/2=0.5 (rounded to 1): 4x ratio.
+        assert!(intra >= 3 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn node_count_exact() {
+        let g = planted_partition(3, 10, 4.0, 0.5, 1);
+        assert_eq!(g.node_count(), 30);
+    }
+
+    #[test]
+    fn single_community_has_no_inter_edges() {
+        let g = planted_partition(1, 20, 4.0, 2.0, 1);
+        assert!(g.edges().iter().all(|e| e.label == "intra"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use rand::prelude::*;
+
+/// Generate a G(n, m) Erdős–Rényi graph: `n` nodes and `m` edges sampled
+/// uniformly (self-loops excluded, parallel edges allowed — the platform
+/// stores multigraphs, matching RDF data where two resources may be related
+/// by several predicates).
+///
+/// # Panics
+/// Panics if `m > 0 && n < 2`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m == 0 || n >= 2, "need at least two nodes for edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(false, n, m);
+    for i in 0..n {
+        b.add_node(format!("node-{i}"));
+    }
+    for e in 0..m {
+        let u = rng.random_range(0..n) as u32;
+        let mut v = rng.random_range(0..n) as u32;
+        while v == u {
+            v = rng.random_range(0..n) as u32;
+        }
+        b.add_edge(NodeId(u), NodeId(v), format!("link-{e}"));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_request() {
+        let g = erdos_renyi(100, 250, 7);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 250);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = erdos_renyi(50, 100, 1);
+        let b = erdos_renyi(50, 100, 1);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(50, 100, 1);
+        let b = erdos_renyi(50, 100, 2);
+        assert_ne!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(10, 200, 3);
+        assert!(g.edges().iter().all(|e| e.source != e.target));
+    }
+}

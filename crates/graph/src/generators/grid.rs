@@ -1,0 +1,62 @@
+//! Rectangular grid graphs — the best-case input for partitioning and the
+//! worst case for hub-based abstraction; used in tests and layout ablations.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::NodeId;
+
+/// Generate a `rows x cols` 4-connected grid graph.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(false, rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_node(format!("cell-{r}-{c}"));
+        }
+    }
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), "h");
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), "v");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // horizontal: 3*3=9, vertical: 2*4=8
+        assert_eq!(g.edge_count(), 17);
+    }
+
+    #[test]
+    fn corner_degrees() {
+        let g = grid_graph(3, 3);
+        assert_eq!(g.degree(NodeId(0)), 2); // corner
+        assert_eq!(g.degree(NodeId(4)), 4); // center
+    }
+
+    #[test]
+    fn single_cell() {
+        let g = grid_graph(1, 1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn connected() {
+        let g = grid_graph(5, 7);
+        let (_, n) = crate::traversal::connected_components(&g);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! R-MAT (recursive matrix) graphs (Chakrabarti, Zhan, Faloutsos 2004).
+//!
+//! R-MAT reproduces the community-within-community structure of real
+//! networks and is the standard generator for partitioner stress tests.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use rand::prelude::*;
+
+/// Parameters for the R-MAT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of nodes.
+    pub scale: u32,
+    /// Edges per node (total edges = `edge_factor << scale`).
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to ~1.0. Defaults follow the
+    /// Graph500 convention (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    /// Probability of the upper-right quadrant.
+    pub b: f64,
+    /// Probability of the lower-left quadrant.
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate an R-MAT graph.
+///
+/// # Panics
+/// Panics if quadrant probabilities are not a valid distribution.
+pub fn rmat(cfg: RmatConfig) -> Graph {
+    let d = 1.0 - cfg.a - cfg.b - cfg.c;
+    assert!(
+        cfg.a >= 0.0 && cfg.b >= 0.0 && cfg.c >= 0.0 && d >= -1e-9,
+        "quadrant probabilities must sum to at most 1"
+    );
+    let n = 1usize << cfg.scale;
+    let m = cfg.edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::with_capacity(true, n, m);
+    for i in 0..n {
+        b.add_node(format!("node-{i}"));
+    }
+    for e in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let r: f64 = rng.random();
+            if r < cfg.a {
+                // upper-left: no change
+            } else if r < cfg.a + cfg.b {
+                v += half;
+            } else if r < cfg.a + cfg.b + cfg.c {
+                u += half;
+            } else {
+                u += half;
+                v += half;
+            }
+            half >>= 1;
+        }
+        if u == v {
+            v = (v + 1) % n;
+        }
+        b.add_edge(NodeId(u as u32), NodeId(v as u32), format!("e{e}"));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_follow_scale() {
+        let g = rmat(RmatConfig {
+            scale: 8,
+            edge_factor: 4,
+            ..Default::default()
+        });
+        assert_eq!(g.node_count(), 256);
+        assert_eq!(g.edge_count(), 1024);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RmatConfig {
+            scale: 6,
+            ..Default::default()
+        };
+        assert_eq!(rmat(cfg).edges(), rmat(cfg).edges());
+    }
+
+    #[test]
+    fn skewed_quadrants_make_hubs() {
+        let g = rmat(RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            ..Default::default()
+        });
+        let max = g.node_ids().map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(max as f64 > 5.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant probabilities")]
+    fn invalid_probabilities_panic() {
+        rmat(RmatConfig {
+            a: 0.9,
+            b: 0.9,
+            c: 0.9,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,303 @@
+//! The core immutable graph type.
+//!
+//! [`Graph`] stores a labelled (optionally directed) multigraph in CSR
+//! (compressed sparse row) form. The CSR view is *undirected*: every edge
+//! appears in the adjacency list of both endpoints, which is what the
+//! partitioner, the layout algorithms and the partition organizer all want.
+//! Edge direction is preserved in the edge record itself (`source` /
+//! `target`), mirroring how the paper encodes direction inside the edge
+//! geometry blob (§II-A, "Storage Scheme").
+
+use crate::types::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A single edge record: endpoints plus label.
+///
+/// For directed graphs `source`/`target` are meaningful; for undirected
+/// graphs they are just the order in which the edge was added.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source endpoint (first node of the stored triple).
+    pub source: NodeId,
+    /// Target endpoint (second node of the stored triple).
+    pub target: NodeId,
+    /// Edge label (predicate for RDF-style data, e.g. `has-author`).
+    pub label: String,
+}
+
+impl Edge {
+    /// The endpoint opposite to `n`, or `None` if `n` is not an endpoint.
+    /// Self-loops return the node itself.
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if self.source == n {
+            Some(self.target)
+        } else if self.target == n {
+            Some(self.source)
+        } else {
+            None
+        }
+    }
+}
+
+/// An immutable labelled multigraph in CSR form.
+///
+/// Build one with [`crate::GraphBuilder`]. Nodes and edges are identified by
+/// dense [`NodeId`] / [`EdgeId`] indices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    directed: bool,
+    node_labels: Vec<String>,
+    edges: Vec<Edge>,
+    /// CSR offsets: `adj[offsets[v]..offsets[v+1]]` are v's incident edges.
+    offsets: Vec<u32>,
+    /// Flattened adjacency: (neighbor, incident edge id).
+    adj: Vec<(NodeId, EdgeId)>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(directed: bool, node_labels: Vec<String>, edges: Vec<Edge>) -> Self {
+        let n = node_labels.len();
+        // Counting sort into CSR. Self-loops contribute a single adjacency
+        // entry so that degree(v) counts a loop once.
+        let mut counts = vec![0u32; n + 1];
+        for e in &edges {
+            counts[e.source.index() + 1] += 1;
+            if e.source != e.target {
+                counts[e.target.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut adj = vec![(NodeId(0), EdgeId(0)); *offsets.last().unwrap_or(&0) as usize];
+        let mut cursor = offsets.clone();
+        for (i, e) in edges.iter().enumerate() {
+            let eid = EdgeId(i as u32);
+            let c = &mut cursor[e.source.index()];
+            adj[*c as usize] = (e.target, eid);
+            *c += 1;
+            if e.source != e.target {
+                let c = &mut cursor[e.target.index()];
+                adj[*c as usize] = (e.source, eid);
+                *c += 1;
+            }
+        }
+        Graph {
+            directed,
+            node_labels,
+            edges,
+            offsets,
+            adj,
+        }
+    }
+
+    /// Whether edges carry direction.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of node `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn node_label(&self, n: NodeId) -> &str {
+        &self.node_labels[n.index()]
+    }
+
+    /// The full edge record for `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// All edge records in id order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edge_count() as u32).map(EdgeId)
+    }
+
+    /// Undirected degree of `n` (self-loops count once).
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        let i = n.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Incident edges of `n` as `(neighbor, edge_id)` pairs, both directions.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        let i = n.index();
+        &self.adj[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Out-edges of `n`: edges whose `source` is `n`. For undirected graphs
+    /// this is simply "edges added with `n` first".
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.neighbors(n)
+            .iter()
+            .copied()
+            .filter(move |&(_, e)| self.edges[e.index()].source == n)
+    }
+
+    /// In-edges of `n`: edges whose `target` is `n`.
+    pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.neighbors(n)
+            .iter()
+            .copied()
+            .filter(move |&(_, e)| self.edges[e.index()].target == n)
+    }
+
+    /// Out-degree (directed); equals `degree` for loop-free undirected nodes
+    /// only when all incident edges were stored with `n` as source.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out_edges(n).count()
+    }
+
+    /// In-degree (directed).
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.in_edges(n).count()
+    }
+
+    /// Extract the subgraph induced by `nodes` (order defines new ids).
+    ///
+    /// Returns the subgraph plus the mapping `new NodeId -> old NodeId`
+    /// (which is just `nodes` itself) and `new EdgeId -> old EdgeId`.
+    /// Edges are kept when **both** endpoints are in `nodes`.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<EdgeId>) {
+        let mut old_to_new = vec![u32::MAX; self.node_count()];
+        for (new, old) in nodes.iter().enumerate() {
+            old_to_new[old.index()] = new as u32;
+        }
+        let node_labels: Vec<String> = nodes
+            .iter()
+            .map(|&n| self.node_labels[n.index()].clone())
+            .collect();
+        let mut edges = Vec::new();
+        let mut edge_map = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            let s = old_to_new[e.source.index()];
+            let t = old_to_new[e.target.index()];
+            if s != u32::MAX && t != u32::MAX {
+                edges.push(Edge {
+                    source: NodeId(s),
+                    target: NodeId(t),
+                    label: e.label.clone(),
+                });
+                edge_map.push(EdgeId(i as u32));
+            }
+        }
+        (
+            Graph::from_parts(self.directed, node_labels, edges),
+            edge_map,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        let d = b.add_node("c");
+        b.add_edge(a, c, "ab");
+        b.add_edge(c, d, "bc");
+        b.add_edge(d, a, "ca");
+        b.build()
+    }
+
+    #[test]
+    fn csr_adjacency_covers_both_endpoints() {
+        let g = triangle();
+        for n in g.node_ids() {
+            assert_eq!(g.degree(n), 2);
+            for &(nbr, e) in g.neighbors(n) {
+                assert_eq!(g.edge(e).other(n), Some(nbr));
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_counts_once() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        b.add_edge(a, a, "loop");
+        let g = b.build();
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.neighbors(a), &[(a, EdgeId(0))]);
+    }
+
+    #[test]
+    fn directed_in_out_edges() {
+        let mut b = GraphBuilder::new_directed();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, "x");
+        b.add_edge(c, a, "y");
+        let g = b.build();
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.out_edges(a).next().unwrap().0, c);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = triangle();
+        let (sub, emap) = g.induced_subgraph(&[NodeId(0), NodeId(1)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(emap, vec![EdgeId(0)]);
+        assert_eq!(sub.node_label(NodeId(0)), "a");
+        assert_eq!(sub.edge(EdgeId(0)).label, "ab");
+    }
+
+    #[test]
+    fn edge_other_handles_non_endpoint() {
+        let g = triangle();
+        assert_eq!(g.edge(EdgeId(0)).other(NodeId(2)), None);
+        assert_eq!(g.edge(EdgeId(0)).other(NodeId(0)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn multi_edges_are_preserved() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, "1");
+        b.add_edge(a, c, "2");
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(a), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! SNAP-style edge list IO.
+//!
+//! Format: one `source<TAB>target[<TAB>label]` line per edge, `#` comments.
+//! Node ids are arbitrary strings; they are interned in order of first
+//! appearance and used as labels.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Read a tab/whitespace-separated edge list.
+pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> io::Result<Graph> {
+    let mut b = if directed {
+        GraphBuilder::new_directed()
+    } else {
+        GraphBuilder::new_undirected()
+    };
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    while r.read_line(&mut line)? != 0 {
+        {
+            let t = line.trim();
+            if !t.is_empty() && !t.starts_with('#') {
+                let mut parts = t.split_whitespace();
+                let (s, d) = match (parts.next(), parts.next()) {
+                    (Some(s), Some(d)) => (s, d),
+                    _ => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("malformed edge list line: {t:?}"),
+                        ))
+                    }
+                };
+                let label = parts.next().unwrap_or("");
+                let sid = intern(&mut b, &mut ids, s);
+                let did = intern(&mut b, &mut ids, d);
+                b.add_edge(sid, did, label);
+            }
+        }
+        line.clear();
+    }
+    Ok(b.build())
+}
+
+fn intern(b: &mut GraphBuilder, ids: &mut HashMap<String, NodeId>, key: &str) -> NodeId {
+    if let Some(&id) = ids.get(key) {
+        return id;
+    }
+    let id = b.add_node(key);
+    ids.insert(key.to_string(), id);
+    id
+}
+
+/// Write a graph as a tab-separated edge list (`label` column included when
+/// non-empty), using node labels as identifiers.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# graphvizdb edge list: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    for e in g.edges() {
+        if e.label.is_empty() {
+            writeln!(w, "{}\t{}", g.node_label(e.source), g.node_label(e.target))?;
+        } else {
+            writeln!(
+                w,
+                "{}\t{}\t{}",
+                g.node_label(e.source),
+                g.node_label(e.target),
+                e.label
+            )?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let text = "# comment\na\tb\tknows\nb\tc\tcites\n";
+        let g = read_edge_list(text.as_bytes(), true).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_label(NodeId(0)), "a");
+        assert_eq!(g.edge(crate::EdgeId(1)).label, "cites");
+
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice(), true).unwrap();
+        assert_eq!(g2.node_count(), 3);
+        assert_eq!(g2.edge_count(), 2);
+        assert_eq!(g2.edges(), g.edges());
+    }
+
+    #[test]
+    fn repeated_node_ids_are_interned() {
+        let g = read_edge_list("x y\ny x\n".as_bytes(), false).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_line_errors() {
+        assert!(read_edge_list("justonefield\n".as_bytes(), false).is_err());
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let g = read_edge_list("\n# c\n\na b\n".as_bytes(), false).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Text-based graph IO: tab-separated edge lists (SNAP style) and a
+//! pragmatic N-Triples subset (RDF style), both streaming through buffered
+//! readers/writers so multi-million-edge files never need to fit in memory
+//! twice.
+
+mod edge_list;
+mod ntriples;
+
+pub use edge_list::{read_edge_list, write_edge_list};
+pub use ntriples::{read_ntriples, write_ntriples};

@@ -1,0 +1,192 @@
+//! A pragmatic N-Triples subset for RDF graphs.
+//!
+//! Supports IRIs in `<...>`, literals in `"..."` (with `\"` escapes, language
+//! tags and datatype suffixes kept verbatim in the label), and blank nodes
+//! `_:b0`. Each triple becomes a directed labelled edge
+//! `subject --predicate--> object`; literals become leaf nodes, matching the
+//! storage scheme of the paper where every row is a `(node1, edge, node2)`
+//! triple.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::NodeId;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Read an N-Triples document into a directed graph.
+pub fn read_ntriples<R: Read>(reader: R) -> io::Result<Graph> {
+    let mut b = GraphBuilder::new_directed();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    while r.read_line(&mut line)? != 0 {
+        lineno += 1;
+        {
+            let t = line.trim();
+            if !t.is_empty() && !t.starts_with('#') {
+                let (s, p, o) = parse_triple(t).map_err(|msg| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {lineno}: {msg}"),
+                    )
+                })?;
+                let sid = intern(&mut b, &mut ids, &s);
+                // Literals are never shared between subjects in this model:
+                // each literal occurrence is its own leaf node, as in the
+                // paper's per-row storage scheme.
+                let oid = if o.starts_with('"') {
+                    b.add_node(o)
+                } else {
+                    intern(&mut b, &mut ids, &o)
+                };
+                b.add_edge(sid, oid, p);
+            }
+        }
+        line.clear();
+    }
+    Ok(b.build())
+}
+
+fn intern(b: &mut GraphBuilder, ids: &mut HashMap<String, NodeId>, key: &str) -> NodeId {
+    if let Some(&id) = ids.get(key) {
+        return id;
+    }
+    let id = b.add_node(key);
+    ids.insert(key.to_string(), id);
+    id
+}
+
+/// Parse one triple line. Returns (subject, predicate, object) with IRI
+/// brackets stripped and literal quotes kept.
+fn parse_triple(t: &str) -> Result<(String, String, String), String> {
+    let mut rest = t;
+    let subject = take_term(&mut rest)?;
+    let predicate = take_term(&mut rest)?;
+    let object = take_term(&mut rest)?;
+    let rest = rest.trim_start();
+    if !rest.starts_with('.') {
+        return Err(format!("expected terminating '.': {t:?}"));
+    }
+    Ok((subject, predicate, object))
+}
+
+fn take_term(rest: &mut &str) -> Result<String, String> {
+    let s = rest.trim_start();
+    if let Some(r) = s.strip_prefix('<') {
+        let end = r.find('>').ok_or("unterminated IRI")?;
+        *rest = &r[end + 1..];
+        return Ok(r[..end].to_string());
+    }
+    if s.starts_with('"') {
+        // find closing unescaped quote
+        let bytes = s.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            if bytes[i] == b'\\' {
+                i += 2;
+                continue;
+            }
+            if bytes[i] == b'"' {
+                break;
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err("unterminated literal".into());
+        }
+        // include language tag / datatype until whitespace
+        let mut end = i + 1;
+        while end < bytes.len() && !bytes[end].is_ascii_whitespace() {
+            end += 1;
+        }
+        let term = s[..end].to_string();
+        *rest = &s[end..];
+        return Ok(term);
+    }
+    if s.starts_with("_:") {
+        let end = s
+            .find(|c: char| c.is_ascii_whitespace())
+            .unwrap_or(s.len());
+        let term = s[..end].to_string();
+        *rest = &s[end..];
+        return Ok(term);
+    }
+    Err(format!("unrecognized term at {s:?}"))
+}
+
+/// Write a directed graph as N-Triples. Node labels that are not literals
+/// are written as IRIs under the `urn:gvdb:` scheme when they are not
+/// already IRIs.
+pub fn write_ntriples<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let fmt_node = |label: &str| -> String {
+        if label.starts_with('"') || label.starts_with("_:") {
+            label.to_string()
+        } else if label.contains("://") {
+            format!("<{label}>")
+        } else {
+            format!("<urn:gvdb:{}>", label.replace(' ', "_"))
+        }
+    };
+    for e in g.edges() {
+        writeln!(
+            w,
+            "{} <urn:gvdb:p:{}> {} .",
+            fmt_node(g.node_label(e.source)),
+            e.label.replace(' ', "_"),
+            fmt_node(g.node_label(e.target)),
+        )?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_iris_and_literals() {
+        let doc = r#"<http://ex/a> <http://ex/p> <http://ex/b> .
+<http://ex/a> <http://ex/label> "Alice"@en .
+_:b0 <http://ex/p> "x \"quoted\"" .
+"#;
+        let g = read_ntriples(doc.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        // a, b, literal1, _:b0, literal2
+        assert_eq!(g.node_count(), 5);
+        assert!(g
+            .node_ids()
+            .any(|v| g.node_label(v) == "\"Alice\"@en"));
+    }
+
+    #[test]
+    fn literal_objects_are_not_shared() {
+        let doc = "<a:x> <a:p> \"same\" .\n<a:y> <a:p> \"same\" .\n";
+        let g = read_ntriples(doc.as_bytes()).unwrap();
+        // two distinct literal leaves
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn missing_dot_is_error() {
+        assert!(read_ntriples("<a:x> <a:p> <a:y>\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let doc = "<a:x> <a:p> <a:y> .\n<a:x> <a:q> \"lit\" .\n";
+        let g = read_ntriples(doc.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_ntriples(&g, &mut out).unwrap();
+        let g2 = read_ntriples(out.as_slice()).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let g = read_ntriples("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

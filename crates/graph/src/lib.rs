@@ -1,0 +1,38 @@
+//! # gvdb-graph
+//!
+//! Graph substrate for the graphvizdb platform: compact in-memory graph
+//! representation (CSR), labelled nodes and edges, traversals, metrics,
+//! deterministic synthetic dataset generators, and text-based IO.
+//!
+//! The graphVizdb paper (ICDE 2016) evaluates on two real datasets — a
+//! Wikidata RDF export and the SNAP patent citation network. Those raw dumps
+//! are not available offline, so [`generators`] provides synthetic graphs that
+//! preserve the structural properties the paper's evaluation exercises
+//! (edge/node ratio, hubbiness, label distribution); see `DESIGN.md` §4.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gvdb_graph::{GraphBuilder, NodeId};
+//!
+//! let mut b = GraphBuilder::new_directed();
+//! let a = b.add_node("Christos Faloutsos");
+//! let p = b.add_node("Graph Mining Paper");
+//! b.add_edge(p, a, "has-author");
+//! let g = b.build();
+//! assert_eq!(g.node_count(), 2);
+//! assert_eq!(g.degree(NodeId(0)), 1);
+//! ```
+
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod traversal;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use graph::{Edge, Graph};
+pub use metrics::GraphMetrics;
+pub use types::{EdgeId, NodeId};

@@ -1,0 +1,152 @@
+//! Dataset statistics for the platform's Statistics panel (§III, Web UI
+//! panel 6: "basic statistics for the graph, e.g., average node degree,
+//! density, etc.").
+
+use crate::graph::Graph;
+use crate::traversal::connected_components;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Mean undirected degree, `2|E| / |V|` adjusted for self-loops.
+    pub avg_degree: f64,
+    /// Maximum undirected degree.
+    pub max_degree: usize,
+    /// Graph density `|E| / (|V| (|V|-1) / 2)` for undirected,
+    /// `|E| / (|V| (|V|-1))` for directed.
+    pub density: f64,
+    /// Number of connected components (undirected sense).
+    pub components: usize,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated: usize,
+}
+
+impl GraphMetrics {
+    /// Compute all metrics in one pass (plus a BFS for components).
+    pub fn compute(g: &Graph) -> Self {
+        let nodes = g.node_count();
+        let edges = g.edge_count();
+        let mut degree_sum = 0usize;
+        let mut max_degree = 0usize;
+        let mut isolated = 0usize;
+        for v in g.node_ids() {
+            let d = g.degree(v);
+            degree_sum += d;
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        let avg_degree = if nodes == 0 {
+            0.0
+        } else {
+            degree_sum as f64 / nodes as f64
+        };
+        let possible = if nodes < 2 {
+            0.0
+        } else if g.is_directed() {
+            nodes as f64 * (nodes as f64 - 1.0)
+        } else {
+            nodes as f64 * (nodes as f64 - 1.0) / 2.0
+        };
+        let density = if possible == 0.0 {
+            0.0
+        } else {
+            edges as f64 / possible
+        };
+        let (_, components) = connected_components(g);
+        GraphMetrics {
+            nodes,
+            edges,
+            avg_degree,
+            max_degree,
+            density,
+            components,
+            isolated,
+        }
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.node_ids() {
+        let d = g.degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::types::NodeId;
+
+    #[test]
+    fn metrics_on_path_graph() {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..4 {
+            b.add_node(format!("{i}"));
+        }
+        b.add_edge(NodeId(0), NodeId(1), "");
+        b.add_edge(NodeId(1), NodeId(2), "");
+        b.add_edge(NodeId(2), NodeId(3), "");
+        let m = GraphMetrics::compute(&b.build());
+        assert_eq!(m.nodes, 4);
+        assert_eq!(m.edges, 3);
+        assert!((m.avg_degree - 1.5).abs() < 1e-9);
+        assert_eq!(m.max_degree, 2);
+        assert_eq!(m.components, 1);
+        assert_eq!(m.isolated, 0);
+        assert!((m.density - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_node("a");
+        b.add_node("b");
+        let m = GraphMetrics::compute(&b.build());
+        assert_eq!(m.isolated, 2);
+        assert_eq!(m.components, 2);
+        assert_eq!(m.density, 0.0);
+    }
+
+    #[test]
+    fn histogram_shape() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        let d = b.add_node("c");
+        b.add_edge(a, c, "");
+        b.add_edge(a, d, "");
+        let hist = degree_histogram(&b.build());
+        assert_eq!(hist, vec![0, 2, 1]); // two deg-1 nodes, one deg-2 hub
+    }
+
+    #[test]
+    fn directed_density_uses_full_pairs() {
+        let mut b = GraphBuilder::new_directed();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, "");
+        let m = GraphMetrics::compute(&b.build());
+        assert!((m.density - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_metrics_are_zero() {
+        let m = GraphMetrics::compute(&GraphBuilder::new_undirected().build());
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.avg_degree, 0.0);
+        assert_eq!(m.density, 0.0);
+    }
+}

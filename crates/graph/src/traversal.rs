@@ -1,0 +1,163 @@
+//! Graph traversals: BFS, connected components, k-hop neighborhoods.
+//!
+//! The platform uses these for dataset statistics, for the "Focus on node"
+//! exploration mode (neighborhood extraction), and inside the partitioner's
+//! greedy-growing initial partitioning.
+
+use crate::graph::Graph;
+use crate::types::NodeId;
+use std::collections::VecDeque;
+
+/// Breadth-first search from `start`, returning visit order.
+pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &(w, _) in g.neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// BFS distances (hop counts) from `start`; `None` for unreachable nodes.
+pub fn bfs_distances(g: &Graph, start: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].unwrap();
+        for &(w, _) in g.neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components (treating edges as undirected).
+///
+/// Returns `(component_of_node, component_count)` where component ids are
+/// dense and assigned in order of lowest contained node id.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.node_count()];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in g.node_ids() {
+        if comp[s.index()] != u32::MAX {
+            continue;
+        }
+        comp[s.index()] = next;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &(w, _) in g.neighbors(v) {
+                if comp[w.index()] == u32::MAX {
+                    comp[w.index()] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Nodes within `hops` hops of `center` (including `center`), BFS order.
+///
+/// This is the server-side primitive behind the paper's "Focus on node"
+/// mode with a configurable radius (the demo uses radius 1: the node and
+/// its direct neighbours).
+pub fn k_hop_neighborhood(g: &Graph, center: NodeId, hops: u32) -> Vec<NodeId> {
+    let mut dist = vec![u32::MAX; g.node_count()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[center.index()] = 0;
+    queue.push_back(center);
+    while let Some(v) = queue.pop_front() {
+        out.push(v);
+        let d = dist[v.index()];
+        if d == hops {
+            continue;
+        }
+        for &(w, _) in g.neighbors(v) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0-1-2  3-4 (two components, path + edge)
+    fn two_paths() -> Graph {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..5 {
+            b.add_node(format!("n{i}"));
+        }
+        b.add_edge(NodeId(0), NodeId(1), "");
+        b.add_edge(NodeId(1), NodeId(2), "");
+        b.add_edge(NodeId(3), NodeId(4), "");
+        b.build()
+    }
+
+    #[test]
+    fn bfs_visits_component_only() {
+        let g = two_paths();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn bfs_distances_unreachable_is_none() {
+        let g = two_paths();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn components_counted_and_labelled() {
+        let g = two_paths();
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn k_hop_respects_radius() {
+        let g = two_paths();
+        let n0 = k_hop_neighborhood(&g, NodeId(0), 0);
+        assert_eq!(n0, vec![NodeId(0)]);
+        let n1 = k_hop_neighborhood(&g, NodeId(0), 1);
+        assert_eq!(n1, vec![NodeId(0), NodeId(1)]);
+        let n2 = k_hop_neighborhood(&g, NodeId(0), 2);
+        assert_eq!(n2.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = GraphBuilder::new_undirected().build();
+        let (comp, n) = connected_components(&g);
+        assert!(comp.is_empty());
+        assert_eq!(n, 0);
+    }
+}

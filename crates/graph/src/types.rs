@@ -1,0 +1,88 @@
+//! Fundamental identifier types shared across all graphvizdb crates.
+//!
+//! Node and edge identifiers are dense `u32` indices: graphs are built once
+//! during preprocessing and never renumbered afterwards, so a compact index
+//! keeps the CSR arrays and every downstream index (B+-tree keys, R-tree
+//! payloads) small. 32 bits bound a single database at ~4.2 B nodes/edges,
+//! far above what one layout plane can hold.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a node within one graph (one abstraction layer).
+///
+/// `NodeId`s are assigned contiguously from zero by [`crate::GraphBuilder`];
+/// they double as indices into per-node arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Dense identifier of an edge within one graph (one abstraction layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(NodeId::from(42u32), n);
+        assert_eq!(n.to_string(), "n42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(EdgeId::from(7u32), e);
+        assert_eq!(e.to_string(), "e7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the graph substrate: CSR consistency, IO
+//! roundtrips, generator invariants.
+
+use gvdb_graph::generators::{erdos_renyi, patent_like, wikidata_like, CitationConfig, RdfConfig};
+use gvdb_graph::io::{read_edge_list, read_ntriples, write_edge_list, write_ntriples};
+use gvdb_graph::traversal::{bfs_distances, connected_components};
+use gvdb_graph::{GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR adjacency is symmetric: u in adj(v) iff v in adj(u), with
+    /// matching edge ids.
+    #[test]
+    fn csr_symmetry(edges in prop::collection::vec((0u32..50, 0u32..50), 0..200)) {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..50 {
+            b.add_node(format!("n{i}"));
+        }
+        for &(u, v) in &edges {
+            b.add_edge(NodeId(u), NodeId(v), "");
+        }
+        let g = b.build();
+        for v in g.node_ids() {
+            for &(u, e) in g.neighbors(v) {
+                prop_assert!(
+                    g.neighbors(u).iter().any(|&(w, e2)| w == v && e2 == e)
+                        || u == v, // self-loop appears once
+                    "asymmetric adjacency {v} <-> {u}"
+                );
+            }
+        }
+        // Degree sum = 2 * edges - loops.
+        let loops = edges.iter().filter(|(u, v)| u == v).count();
+        let degree_sum: usize = g.node_ids().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * edges.len() - loops);
+    }
+
+    /// Edge-list IO roundtrips arbitrary (whitespace-free) labels.
+    #[test]
+    fn edge_list_roundtrip(
+        edges in prop::collection::vec((0usize..20, 0usize..20, "[a-zA-Z0-9_.-]{1,10}"), 1..50)
+    ) {
+        let mut b = GraphBuilder::new_directed();
+        for i in 0..20 {
+            b.add_node(format!("id{i}"));
+        }
+        for (u, v, l) in &edges {
+            b.add_edge(NodeId(*u as u32), NodeId(*v as u32), l.clone());
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), true).unwrap();
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        // Edge labels survive.
+        for (e2, e1) in g2.edges().iter().zip(g.edges()) {
+            prop_assert_eq!(&e2.label, &e1.label);
+        }
+    }
+
+    /// N-Triples roundtrip preserves structure for IRI-safe labels.
+    #[test]
+    fn ntriples_roundtrip(n in 2usize..20, m in 1usize..40, seed in 0u64..100) {
+        let g = erdos_renyi(n, m, seed);
+        let mut buf = Vec::new();
+        write_ntriples(&g, &mut buf).unwrap();
+        let g2 = read_ntriples(buf.as_slice()).unwrap();
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        // Triple serialization drops isolated nodes (no triple mentions
+        // them); every non-isolated node survives.
+        let connected = g.node_ids().filter(|&v| g.degree(v) > 0).count();
+        prop_assert_eq!(g2.node_count(), connected);
+    }
+
+    /// BFS distances satisfy the triangle property along edges: adjacent
+    /// nodes' distances differ by at most 1.
+    #[test]
+    fn bfs_distance_lipschitz(n in 2usize..60, m in 1usize..150, seed in 0u64..100) {
+        let g = erdos_renyi(n, m, seed);
+        let d = bfs_distances(&g, NodeId(0));
+        for e in g.edges() {
+            match (d[e.source.index()], d[e.target.index()]) {
+                (Some(a), Some(b)) => {
+                    prop_assert!(a.abs_diff(b) <= 1, "edge jumps distance {a} -> {b}")
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "edge crosses reachability boundary"),
+            }
+        }
+    }
+
+    /// Components partition the node set and are closed over edges.
+    #[test]
+    fn components_are_closed(n in 1usize..60, m in 0usize..120, seed in 0u64..100) {
+        let g = erdos_renyi(n.max(2), m, seed);
+        let (comp, count) = connected_components(&g);
+        prop_assert!(comp.iter().all(|&c| (c as usize) < count));
+        for e in g.edges() {
+            prop_assert_eq!(comp[e.source.index()], comp[e.target.index()]);
+        }
+    }
+
+    /// Patent generator: always a DAG with distinct citations.
+    #[test]
+    fn patent_always_dag(nodes in 10usize..500, seed in 0u64..50) {
+        let g = patent_like(CitationConfig {
+            nodes,
+            seed,
+            ..Default::default()
+        });
+        prop_assert!(g.edges().iter().all(|e| e.target < e.source));
+    }
+
+    /// RDF generator: literals are always leaves.
+    #[test]
+    fn rdf_literals_are_leaves(entities in 10usize..300, seed in 0u64..50) {
+        let g = wikidata_like(RdfConfig {
+            entities,
+            seed,
+            ..Default::default()
+        });
+        for v in g.node_ids() {
+            if g.node_label(v).starts_with('"') {
+                prop_assert_eq!(g.degree(v), 1);
+            }
+        }
+    }
+}

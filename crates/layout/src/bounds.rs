@@ -1,0 +1,137 @@
+//! Bounding boxes and layout normalization utilities.
+
+use crate::{Layout, Position};
+
+/// Axis-aligned bounding box of a set of positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum x.
+    pub min_x: f64,
+    /// Minimum y.
+    pub min_y: f64,
+    /// Maximum x.
+    pub max_x: f64,
+    /// Maximum y.
+    pub max_y: f64,
+}
+
+impl BoundingBox {
+    /// Width (`>= 0`).
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Height (`>= 0`).
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+}
+
+/// Bounding box of a layout; `None` when the layout is empty.
+pub fn bounding_box(layout: &Layout) -> Option<BoundingBox> {
+    let positions = layout.positions();
+    if positions.is_empty() {
+        return None;
+    }
+    let mut bb = BoundingBox {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+    for p in positions {
+        bb.min_x = bb.min_x.min(p.x);
+        bb.min_y = bb.min_y.min(p.y);
+        bb.max_x = bb.max_x.max(p.x);
+        bb.max_y = bb.max_y.max(p.y);
+    }
+    Some(bb)
+}
+
+/// Rescale and translate a layout so its bounding box becomes
+/// `[0, width] x [0, height]`. Aspect ratio is **not** preserved — partitions
+/// are normalized into uniform tiles before the organizer packs them.
+/// Degenerate (zero-extent) axes are centered.
+pub fn normalize_to(layout: &mut Layout, width: f64, height: f64) {
+    let Some(bb) = bounding_box(layout) else {
+        return;
+    };
+    let sx = if bb.width() > f64::EPSILON {
+        width / bb.width()
+    } else {
+        0.0
+    };
+    let sy = if bb.height() > f64::EPSILON {
+        height / bb.height()
+    } else {
+        0.0
+    };
+    for i in 0..layout.len() {
+        let p = layout.position_mut(gvdb_graph::NodeId(i as u32));
+        let nx = if sx > 0.0 {
+            (p.x - bb.min_x) * sx
+        } else {
+            width / 2.0
+        };
+        let ny = if sy > 0.0 {
+            (p.y - bb.min_y) * sy
+        } else {
+            height / 2.0
+        };
+        *p = Position::new(nx, ny);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbox_of_points() {
+        let l = Layout::from_positions(vec![
+            Position::new(-1.0, 2.0),
+            Position::new(3.0, -4.0),
+        ]);
+        let bb = bounding_box(&l).unwrap();
+        assert_eq!(bb.min_x, -1.0);
+        assert_eq!(bb.max_y, 2.0);
+        assert_eq!(bb.width(), 4.0);
+        assert_eq!(bb.height(), 6.0);
+    }
+
+    #[test]
+    fn empty_layout_has_no_bbox() {
+        assert!(bounding_box(&Layout::default()).is_none());
+    }
+
+    #[test]
+    fn normalize_fits_target_rect() {
+        let mut l = Layout::from_positions(vec![
+            Position::new(10.0, 10.0),
+            Position::new(20.0, 30.0),
+        ]);
+        normalize_to(&mut l, 100.0, 50.0);
+        let bb = bounding_box(&l).unwrap();
+        assert!((bb.min_x - 0.0).abs() < 1e-9);
+        assert!((bb.max_x - 100.0).abs() < 1e-9);
+        assert!((bb.max_y - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_degenerate_axis_centers() {
+        let mut l = Layout::from_positions(vec![
+            Position::new(5.0, 1.0),
+            Position::new(5.0, 2.0),
+        ]);
+        normalize_to(&mut l, 10.0, 10.0);
+        assert_eq!(l.position(gvdb_graph::NodeId(0)).x, 5.0);
+        assert_eq!(l.position(gvdb_graph::NodeId(1)).y, 10.0);
+    }
+
+    #[test]
+    fn normalize_single_point_centers_both_axes() {
+        let mut l = Layout::from_positions(vec![Position::new(7.0, 9.0)]);
+        normalize_to(&mut l, 4.0, 6.0);
+        assert_eq!(l.position(gvdb_graph::NodeId(0)), Position::new(2.0, 3.0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Fruchterman–Reingold force-directed layout with spatial-grid
+//! acceleration.
+//!
+//! The classic spring-embedder: edges attract, all node pairs repel, a
+//! cooling temperature bounds displacement per iteration. Repulsion is the
+//! O(n²) term; we cut it to near-linear by binning nodes into a uniform grid
+//! of cell size `2k` (k = ideal edge length) and only repelling against the
+//! 3×3 neighborhood — distant repulsion decays as 1/d and is dominated by
+//! the cooling schedule anyway. Partitions in graphVizdb are a few thousand
+//! nodes, where this is fast and visually indistinguishable from the exact
+//! algorithm.
+
+use crate::{Layout, LayoutAlgorithm, Position};
+use gvdb_graph::Graph;
+use rand::prelude::*;
+
+/// Fruchterman–Reingold force-directed layout.
+#[derive(Debug, Clone, Copy)]
+pub struct ForceDirected {
+    /// Number of iterations (cooling steps).
+    pub iterations: usize,
+    /// Side length of the square layout frame.
+    pub frame: f64,
+    /// RNG seed for the initial random placement.
+    pub seed: u64,
+    /// Use the exact O(n²) repulsion instead of the grid approximation.
+    /// Exposed for the ablation benchmark.
+    pub exact_repulsion: bool,
+}
+
+impl Default for ForceDirected {
+    fn default() -> Self {
+        ForceDirected {
+            iterations: 50,
+            frame: 1000.0,
+            seed: 42,
+            exact_repulsion: false,
+        }
+    }
+}
+
+impl LayoutAlgorithm for ForceDirected {
+    fn layout(&self, g: &Graph) -> Layout {
+        let n = g.node_count();
+        if n == 0 {
+            return Layout::default();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut pos: Vec<Position> = (0..n)
+            .map(|_| {
+                Position::new(
+                    rng.random::<f64>() * self.frame,
+                    rng.random::<f64>() * self.frame,
+                )
+            })
+            .collect();
+        if n == 1 {
+            return Layout::from_positions(pos);
+        }
+        let area = self.frame * self.frame;
+        let k = (area / n as f64).sqrt();
+        let mut disp = vec![(0.0f64, 0.0f64); n];
+        let mut temperature = self.frame / 10.0;
+        let cool = temperature / (self.iterations as f64 + 1.0);
+
+        for _ in 0..self.iterations {
+            disp.fill((0.0, 0.0));
+            if self.exact_repulsion {
+                self.repel_exact(&pos, k, &mut disp);
+            } else {
+                self.repel_grid(&pos, k, &mut disp);
+            }
+            // Attraction along edges: f_a(d) = d^2 / k.
+            for e in g.edges() {
+                let (s, t) = (e.source.index(), e.target.index());
+                if s == t {
+                    continue;
+                }
+                let dx = pos[s].x - pos[t].x;
+                let dy = pos[s].y - pos[t].y;
+                let dist = (dx * dx + dy * dy).sqrt().max(1e-9);
+                let f = dist * dist / k;
+                let (ux, uy) = (dx / dist, dy / dist);
+                disp[s].0 -= ux * f;
+                disp[s].1 -= uy * f;
+                disp[t].0 += ux * f;
+                disp[t].1 += uy * f;
+            }
+            // Displace, capped by temperature, clamped to the frame.
+            for v in 0..n {
+                let (dx, dy) = disp[v];
+                let len = (dx * dx + dy * dy).sqrt();
+                if len > 1e-12 {
+                    let step = len.min(temperature);
+                    pos[v].x = (pos[v].x + dx / len * step).clamp(0.0, self.frame);
+                    pos[v].y = (pos[v].y + dy / len * step).clamp(0.0, self.frame);
+                }
+            }
+            temperature = (temperature - cool).max(0.01);
+        }
+        Layout::from_positions(pos)
+    }
+
+    fn name(&self) -> &'static str {
+        "force-directed (Fruchterman-Reingold)"
+    }
+}
+
+impl ForceDirected {
+    /// Exact all-pairs repulsion: f_r(d) = k^2 / d.
+    fn repel_exact(&self, pos: &[Position], k: f64, disp: &mut [(f64, f64)]) {
+        let n = pos.len();
+        for v in 0..n {
+            for u in (v + 1)..n {
+                Self::repel_pair(pos, k, disp, v, u);
+            }
+        }
+    }
+
+    /// Grid-binned repulsion against the 3x3 cell neighborhood.
+    fn repel_grid(&self, pos: &[Position], k: f64, disp: &mut [(f64, f64)]) {
+        let cell = 2.0 * k;
+        let cols = ((self.frame / cell).ceil() as usize).max(1);
+        let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cols * cols];
+        let idx = |p: &Position| -> usize {
+            let cx = ((p.x / cell) as usize).min(cols - 1);
+            let cy = ((p.y / cell) as usize).min(cols - 1);
+            cy * cols + cx
+        };
+        for (v, p) in pos.iter().enumerate() {
+            grid[idx(p)].push(v as u32);
+        }
+        for cy in 0..cols {
+            for cx in 0..cols {
+                let cell_nodes = &grid[cy * cols + cx];
+                for &v in cell_nodes {
+                    for ny in cy.saturating_sub(1)..=(cy + 1).min(cols - 1) {
+                        for nx in cx.saturating_sub(1)..=(cx + 1).min(cols - 1) {
+                            for &u in &grid[ny * cols + nx] {
+                                if u > v {
+                                    Self::repel_pair(pos, k, disp, v as usize, u as usize);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn repel_pair(pos: &[Position], k: f64, disp: &mut [(f64, f64)], v: usize, u: usize) {
+        let dx = pos[v].x - pos[u].x;
+        let dy = pos[v].y - pos[u].y;
+        let d2 = (dx * dx + dy * dy).max(1e-9);
+        let dist = d2.sqrt();
+        let f = k * k / dist;
+        let (ux, uy) = (dx / dist, dy / dist);
+        disp[v].0 += ux * f;
+        disp[v].1 += uy * f;
+        disp[u].0 -= ux * f;
+        disp[u].1 -= uy * f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::bounding_box;
+    use gvdb_graph::generators::{erdos_renyi, grid_graph};
+    use gvdb_graph::{GraphBuilder, NodeId};
+
+    #[test]
+    fn positions_stay_in_frame() {
+        let g = erdos_renyi(100, 200, 1);
+        let l = ForceDirected::default().layout(&g);
+        let bb = bounding_box(&l).unwrap();
+        assert!(bb.min_x >= 0.0 && bb.max_x <= 1000.0);
+        assert!(bb.min_y >= 0.0 && bb.max_y <= 1000.0);
+    }
+
+    #[test]
+    fn connected_nodes_closer_than_random_pairs() {
+        let g = grid_graph(8, 8);
+        let l = ForceDirected {
+            iterations: 100,
+            ..Default::default()
+        }
+        .layout(&g);
+        let mut edge_dist = 0.0;
+        for e in g.edges() {
+            edge_dist += l.position(e.source).distance(&l.position(e.target));
+        }
+        edge_dist /= g.edge_count() as f64;
+        // Average over all pairs.
+        let mut all = 0.0;
+        let mut count = 0usize;
+        for v in 0..g.node_count() {
+            for u in (v + 1)..g.node_count() {
+                all += l
+                    .position(NodeId(v as u32))
+                    .distance(&l.position(NodeId(u as u32)));
+                count += 1;
+            }
+        }
+        all /= count as f64;
+        assert!(
+            edge_dist < all * 0.8,
+            "edges {edge_dist:.1} vs pairs {all:.1}"
+        );
+    }
+
+    #[test]
+    fn grid_and_exact_agree_qualitatively() {
+        let g = grid_graph(6, 6);
+        let exact = ForceDirected {
+            exact_repulsion: true,
+            iterations: 80,
+            ..Default::default()
+        }
+        .layout(&g);
+        let approx = ForceDirected {
+            exact_repulsion: false,
+            iterations: 80,
+            ..Default::default()
+        }
+        .layout(&g);
+        // Same objective, both should produce short average edge lengths
+        // relative to the frame.
+        for l in [&exact, &approx] {
+            let avg = l.total_edge_length(&g) / g.edge_count() as f64;
+            assert!(avg < 500.0, "avg edge length {avg}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let l = ForceDirected::default().layout(&GraphBuilder::new_undirected().build());
+        assert!(l.is_empty());
+        let mut b = GraphBuilder::new_undirected();
+        b.add_node("solo");
+        let l = ForceDirected::default().layout(&b.build());
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = erdos_renyi(50, 100, 2);
+        let a = ForceDirected::default().layout(&g);
+        let b = ForceDirected::default().layout(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_loops_do_not_nan() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        b.add_edge(a, a, "loop");
+        let l = ForceDirected::default().layout(&b.build());
+        assert!(l.position(a).x.is_finite());
+    }
+}

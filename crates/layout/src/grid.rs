@@ -1,0 +1,117 @@
+//! Grid layout: nodes on a square lattice in BFS order.
+//!
+//! The cheapest layout that still keeps graph neighborhoods spatially
+//! local; used as the fast-path option for very large partitions and as a
+//! baseline in the layout-quality ablation.
+
+use crate::{Layout, LayoutAlgorithm, Position};
+use gvdb_graph::traversal::bfs_order;
+use gvdb_graph::Graph;
+
+/// Grid layout configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GridLayout {
+    /// Distance between adjacent lattice points.
+    pub spacing: f64,
+    /// Place nodes in BFS order (from the max-degree node) instead of id
+    /// order, keeping graph-adjacent nodes in nearby cells.
+    pub bfs_order: bool,
+}
+
+impl Default for GridLayout {
+    fn default() -> Self {
+        GridLayout {
+            spacing: 100.0,
+            bfs_order: true,
+        }
+    }
+}
+
+impl LayoutAlgorithm for GridLayout {
+    fn layout(&self, g: &Graph) -> Layout {
+        let n = g.node_count();
+        if n == 0 {
+            return Layout::default();
+        }
+        let order: Vec<u32> = if self.bfs_order {
+            let start = g.node_ids().max_by_key(|&v| g.degree(v)).expect("non-empty");
+            let mut order: Vec<u32> = bfs_order(g, start).iter().map(|v| v.0).collect();
+            if order.len() < n {
+                let mut seen = vec![false; n];
+                for &v in &order {
+                    seen[v as usize] = true;
+                }
+                for v in 0..n as u32 {
+                    if !seen[v as usize] {
+                        order.push(v);
+                    }
+                }
+            }
+            order
+        } else {
+            (0..n as u32).collect()
+        };
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let mut positions = vec![Position::default(); n];
+        for (i, &v) in order.iter().enumerate() {
+            let (row, col) = (i / cols, i % cols);
+            positions[v as usize] =
+                Position::new(col as f64 * self.spacing, row as f64 * self.spacing);
+        }
+        Layout::from_positions(positions)
+    }
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::generators::erdos_renyi;
+    use gvdb_graph::{GraphBuilder, NodeId};
+
+    #[test]
+    fn lattice_positions_are_multiples_of_spacing() {
+        let g = erdos_renyi(10, 15, 1);
+        let gl = GridLayout::default();
+        let l = gl.layout(&g);
+        for v in g.node_ids() {
+            let p = l.position(v);
+            assert!((p.x / gl.spacing).fract().abs() < 1e-9);
+            assert!((p.y / gl.spacing).fract().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_two_nodes_share_a_cell() {
+        let g = erdos_renyi(26, 30, 2);
+        let l = GridLayout::default().layout(&g);
+        let mut cells: Vec<(i64, i64)> = (0..26u32)
+            .map(|v| {
+                let p = l.position(NodeId(v));
+                ((p.x / 100.0) as i64, (p.y / 100.0) as i64)
+            })
+            .collect();
+        cells.sort();
+        let before = cells.len();
+        cells.dedup();
+        assert_eq!(before, cells.len());
+    }
+
+    #[test]
+    fn square_ish_aspect() {
+        let g = erdos_renyi(100, 50, 3);
+        let l = GridLayout::default().layout(&g);
+        let bb = crate::bounds::bounding_box(&l).unwrap();
+        assert!((bb.width() - bb.height()).abs() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(GridLayout::default()
+            .layout(&GraphBuilder::new_undirected().build())
+            .is_empty());
+    }
+}

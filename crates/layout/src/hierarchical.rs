@@ -1,0 +1,211 @@
+//! Hierarchical (layered / Sugiyama-style) layout.
+//!
+//! A pragmatic three-stage pipeline suited to the DAG-ish data the paper
+//! demos (citation graphs, RDF class hierarchies):
+//!
+//! 1. **Layering** — longest-path layering over the directed edges (cycles
+//!    are tolerated: back edges simply span upward).
+//! 2. **Crossing reduction** — a few barycenter-ordering sweeps.
+//! 3. **Coordinates** — layers become rows; nodes are spread evenly within
+//!    their row.
+
+use crate::{Layout, LayoutAlgorithm, Position};
+use gvdb_graph::{Graph, NodeId};
+
+/// Hierarchical layout configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Hierarchical {
+    /// Vertical distance between layers.
+    pub layer_spacing: f64,
+    /// Horizontal distance between adjacent nodes in a layer.
+    pub node_spacing: f64,
+    /// Barycenter ordering sweeps (down+up counts as one).
+    pub sweeps: usize,
+}
+
+impl Default for Hierarchical {
+    fn default() -> Self {
+        Hierarchical {
+            layer_spacing: 150.0,
+            node_spacing: 100.0,
+            sweeps: 3,
+        }
+    }
+}
+
+impl Hierarchical {
+    /// Longest-path layering: `layer[v] = max(layer[pred]) + 1` computed via
+    /// Kahn-style propagation; nodes in cycles fall back to layer 0 order.
+    fn layering(&self, g: &Graph) -> Vec<u32> {
+        let n = g.node_count();
+        let mut layer = vec![0u32; n];
+        // Iterate a bounded number of rounds of Bellman-Ford-ish relaxation
+        // over directed edges. DAGs converge in <= depth rounds; we cap at
+        // n rounds but break as soon as nothing changes; cycles get cut by
+        // the cap on layer value.
+        let cap = (n as u32).max(1);
+        for _ in 0..n.min(64) {
+            let mut changed = false;
+            for e in g.edges() {
+                let (s, t) = (e.source.index(), e.target.index());
+                if s == t {
+                    continue;
+                }
+                // Edges point source -> target; draw source above target
+                // for citation-style data ("newer cites older" reads top
+                // down). So layer[target] >= layer[source] + 1.
+                if layer[t] < layer[s].saturating_add(1) && layer[s] + 1 < cap {
+                    layer[t] = layer[s] + 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        layer
+    }
+}
+
+impl LayoutAlgorithm for Hierarchical {
+    fn layout(&self, g: &Graph) -> Layout {
+        let n = g.node_count();
+        if n == 0 {
+            return Layout::default();
+        }
+        let layer = self.layering(g);
+        let max_layer = *layer.iter().max().unwrap();
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); (max_layer + 1) as usize];
+        for v in 0..n {
+            rows[layer[v] as usize].push(v as u32);
+        }
+        // order[v] = position of v within its row
+        let mut order = vec![0f64; n];
+        for row in &rows {
+            for (i, &v) in row.iter().enumerate() {
+                order[v as usize] = i as f64;
+            }
+        }
+        // Barycenter sweeps.
+        for _ in 0..self.sweeps {
+            for row in rows.iter_mut() {
+                let mut keyed: Vec<(f64, u32)> = row
+                    .iter()
+                    .map(|&v| {
+                        let nbrs = g.neighbors(NodeId(v));
+                        let (sum, cnt) = nbrs.iter().fold((0.0, 0usize), |(s, c), &(u, _)| {
+                            (s + order[u.index()], c + 1)
+                        });
+                        let bary = if cnt == 0 {
+                            order[v as usize]
+                        } else {
+                            sum / cnt as f64
+                        };
+                        (bary, v)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                for (i, &(_, v)) in keyed.iter().enumerate() {
+                    order[v as usize] = i as f64;
+                }
+                *row = keyed.into_iter().map(|(_, v)| v).collect();
+            }
+        }
+        // Coordinates: center each row horizontally.
+        let widest = rows.iter().map(|r| r.len()).max().unwrap_or(1);
+        let total_width = (widest.saturating_sub(1)) as f64 * self.node_spacing;
+        let mut positions = vec![Position::default(); n];
+        for (li, row) in rows.iter().enumerate() {
+            let row_width = (row.len().saturating_sub(1)) as f64 * self.node_spacing;
+            let x0 = (total_width - row_width) / 2.0;
+            for (i, &v) in row.iter().enumerate() {
+                positions[v as usize] = Position::new(
+                    x0 + i as f64 * self.node_spacing,
+                    li as f64 * self.layer_spacing,
+                );
+            }
+        }
+        Layout::from_positions(positions)
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical (layered)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::generators::{patent_like, CitationConfig};
+    use gvdb_graph::GraphBuilder;
+
+    #[test]
+    fn chain_gets_one_node_per_layer() {
+        let mut b = GraphBuilder::new_directed();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        let d = b.add_node("c");
+        b.add_edge(a, c, "");
+        b.add_edge(c, d, "");
+        let g = b.build();
+        let h = Hierarchical::default();
+        let l = h.layout(&g);
+        assert!(l.position(a).y < l.position(c).y);
+        assert!(l.position(c).y < l.position(d).y);
+    }
+
+    #[test]
+    fn dag_edges_point_downward() {
+        let g = patent_like(CitationConfig {
+            nodes: 200,
+            ..Default::default()
+        });
+        let l = Hierarchical::default().layout(&g);
+        for e in g.edges() {
+            assert!(
+                l.position(e.source).y < l.position(e.target).y + 1e-9,
+                "edge {} -> {} goes up",
+                e.source,
+                e.target
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut b = GraphBuilder::new_directed();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, "");
+        b.add_edge(c, a, "");
+        let l = Hierarchical::default().layout(&b.build());
+        assert_eq!(l.len(), 2);
+        assert!(l.positions().iter().all(|p| p.x.is_finite() && p.y.is_finite()));
+    }
+
+    #[test]
+    fn same_layer_nodes_do_not_collide() {
+        let mut b = GraphBuilder::new_directed();
+        let root = b.add_node("root");
+        for i in 0..5 {
+            let c = b.add_node(format!("c{i}"));
+            b.add_edge(root, c, "");
+        }
+        let g = b.build();
+        let l = Hierarchical::default().layout(&g);
+        let mut xs: Vec<i64> = (1..6u32)
+            .map(|v| l.position(gvdb_graph::NodeId(v)).x as i64)
+            .collect();
+        xs.sort();
+        let before = xs.len();
+        xs.dedup();
+        assert_eq!(before, xs.len());
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(Hierarchical::default()
+            .layout(&GraphBuilder::new_directed().build())
+            .is_empty());
+    }
+}

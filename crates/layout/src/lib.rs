@@ -1,0 +1,158 @@
+//! # gvdb-layout
+//!
+//! Graph layout algorithms — the platform's substitute for Graphviz 2.38
+//! (Fig. 1, Step 2 of the graphVizdb pipeline).
+//!
+//! The paper treats layout as pluggable: *"Any layout algorithm can be used
+//! in this step, e.g., circle, star, hierarchical, etc."* Every algorithm
+//! here implements the [`LayoutAlgorithm`] trait: given a graph, assign each
+//! node a coordinate on a Euclidean plane. Layouts run **per partition**
+//! during preprocessing, precisely so their memory footprint stays bounded
+//! regardless of total graph size.
+//!
+//! ```
+//! use gvdb_graph::generators::grid_graph;
+//! use gvdb_layout::{ForceDirected, LayoutAlgorithm};
+//!
+//! let g = grid_graph(4, 4);
+//! let layout = ForceDirected::default().layout(&g);
+//! assert_eq!(layout.len(), 16);
+//! ```
+
+pub mod bounds;
+pub mod circular;
+pub mod force;
+pub mod grid;
+pub mod hierarchical;
+pub mod random;
+pub mod star;
+
+pub use bounds::{bounding_box, normalize_to, BoundingBox};
+pub use circular::Circular;
+pub use force::ForceDirected;
+pub use grid::GridLayout;
+pub use hierarchical::Hierarchical;
+pub use random::RandomLayout;
+pub use star::Star;
+
+use gvdb_graph::{Graph, NodeId};
+
+/// A 2-D position on the layout plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Construct a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Node coordinates produced by a layout: indexed by [`NodeId`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Layout {
+    positions: Vec<Position>,
+}
+
+impl Layout {
+    /// Wrap a dense position vector.
+    pub fn from_positions(positions: Vec<Position>) -> Self {
+        Layout { positions }
+    }
+
+    /// Number of positioned nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of node `n`.
+    #[inline]
+    pub fn position(&self, n: NodeId) -> Position {
+        self.positions[n.index()]
+    }
+
+    /// Mutable position of node `n`.
+    #[inline]
+    pub fn position_mut(&mut self, n: NodeId) -> &mut Position {
+        &mut self.positions[n.index()]
+    }
+
+    /// All positions, indexed by node id.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Translate every position by `(dx, dy)`. Used by the partition
+    /// organizer when assigning a partition to its global-plane slot.
+    pub fn translate(&mut self, dx: f64, dy: f64) {
+        for p in &mut self.positions {
+            p.x += dx;
+            p.y += dy;
+        }
+    }
+
+    /// Total length of all edges under this layout.
+    pub fn total_edge_length(&self, g: &Graph) -> f64 {
+        g.edges()
+            .iter()
+            .map(|e| {
+                self.positions[e.source.index()].distance(&self.positions[e.target.index()])
+            })
+            .sum()
+    }
+}
+
+/// A layout algorithm: assigns plane coordinates to every node of a graph.
+pub trait LayoutAlgorithm {
+    /// Compute a layout for `g`.
+    fn layout(&self, g: &Graph) -> Layout;
+
+    /// Human-readable name used in logs and the control panel.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::GraphBuilder;
+
+    #[test]
+    fn position_distance() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layout_translate_moves_everything() {
+        let mut l = Layout::from_positions(vec![Position::new(1.0, 2.0)]);
+        l.translate(10.0, -2.0);
+        assert_eq!(l.position(NodeId(0)), Position::new(11.0, 0.0));
+    }
+
+    #[test]
+    fn total_edge_length_sums() {
+        let mut b = GraphBuilder::new_undirected();
+        let u = b.add_node("u");
+        let v = b.add_node("v");
+        b.add_edge(u, v, "");
+        let g = b.build();
+        let l = Layout::from_positions(vec![Position::new(0.0, 0.0), Position::new(0.0, 2.0)]);
+        assert!((l.total_edge_length(&g) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Uniform-random layout: the control baseline for layout-quality
+//! ablations (any sane algorithm must beat it on edge length).
+
+use crate::{Layout, LayoutAlgorithm, Position};
+use gvdb_graph::Graph;
+use rand::prelude::*;
+
+/// Random layout within a square frame.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomLayout {
+    /// Side length of the square frame.
+    pub frame: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomLayout {
+    fn default() -> Self {
+        RandomLayout {
+            frame: 1000.0,
+            seed: 42,
+        }
+    }
+}
+
+impl LayoutAlgorithm for RandomLayout {
+    fn layout(&self, g: &Graph) -> Layout {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        Layout::from_positions(
+            (0..g.node_count())
+                .map(|_| {
+                    Position::new(
+                        rng.random::<f64>() * self.frame,
+                        rng.random::<f64>() * self.frame,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::bounding_box;
+    use gvdb_graph::generators::erdos_renyi;
+
+    #[test]
+    fn stays_in_frame_and_deterministic() {
+        let g = erdos_renyi(64, 64, 5);
+        let r = RandomLayout::default();
+        let l = r.layout(&g);
+        let bb = bounding_box(&l).unwrap();
+        assert!(bb.min_x >= 0.0 && bb.max_x <= r.frame);
+        assert_eq!(l, r.layout(&g));
+    }
+
+    #[test]
+    fn force_beats_random_on_edge_length() {
+        use crate::force::ForceDirected;
+        let g = gvdb_graph::generators::grid_graph(8, 8);
+        let rand_len = RandomLayout::default().layout(&g).total_edge_length(&g);
+        let force_len = ForceDirected::default().layout(&g).total_edge_length(&g);
+        assert!(
+            force_len < rand_len,
+            "force {force_len:.0} vs random {rand_len:.0}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Star layout: highest-degree hub at the center, everything else on
+//! concentric rings ordered by BFS distance from the hub.
+//!
+//! Matches the "star" option the paper lists and suits RDF-ish data where a
+//! partition is usually a hub entity plus its satellite literals.
+
+use crate::{Layout, LayoutAlgorithm, Position};
+use gvdb_graph::traversal::bfs_distances;
+use gvdb_graph::Graph;
+
+/// Star layout configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Star {
+    /// Radial distance between consecutive rings.
+    pub ring_spacing: f64,
+}
+
+impl Default for Star {
+    fn default() -> Self {
+        Star { ring_spacing: 120.0 }
+    }
+}
+
+impl LayoutAlgorithm for Star {
+    fn layout(&self, g: &Graph) -> Layout {
+        let n = g.node_count();
+        if n == 0 {
+            return Layout::default();
+        }
+        let hub = g.node_ids().max_by_key(|&v| g.degree(v)).expect("non-empty");
+        let dist = bfs_distances(g, hub);
+        // Unreachable nodes go on an outermost ring.
+        let max_ring = dist.iter().flatten().copied().max().unwrap_or(0) + 1;
+        let ring_of: Vec<u32> = dist
+            .iter()
+            .map(|d| d.unwrap_or(max_ring))
+            .collect();
+        let mut ring_members: Vec<Vec<usize>> = vec![Vec::new(); (max_ring + 1) as usize];
+        for (v, &r) in ring_of.iter().enumerate() {
+            ring_members[r as usize].push(v);
+        }
+        let extent = self.ring_spacing * (max_ring as f64 + 1.0);
+        let center = Position::new(extent, extent);
+        let mut positions = vec![Position::default(); n];
+        for (r, members) in ring_members.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            if r == 0 {
+                // ring 0 is the hub alone
+                for &v in members {
+                    positions[v] = center;
+                }
+                continue;
+            }
+            let radius = self.ring_spacing * r as f64;
+            for (i, &v) in members.iter().enumerate() {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / members.len() as f64
+                    + (r as f64) * 0.5; // stagger rings to avoid radial lines
+                positions[v] = Position::new(
+                    center.x + radius * theta.cos(),
+                    center.y + radius * theta.sin(),
+                );
+            }
+        }
+        Layout::from_positions(positions)
+    }
+
+    fn name(&self) -> &'static str {
+        "star"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::{GraphBuilder, NodeId};
+
+    fn star_graph(leaves: usize) -> Graph {
+        let mut b = GraphBuilder::new_undirected();
+        let hub = b.add_node("hub");
+        for i in 0..leaves {
+            let leaf = b.add_node(format!("leaf{i}"));
+            b.add_edge(hub, leaf, "spoke");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn hub_is_centered() {
+        let g = star_graph(8);
+        let s = Star::default();
+        let l = s.layout(&g);
+        let hub = l.position(NodeId(0));
+        for i in 1..9u32 {
+            let d = l.position(NodeId(i)).distance(&hub);
+            assert!((d - s.ring_spacing).abs() < 1e-9, "leaf {i} at {d}");
+        }
+    }
+
+    #[test]
+    fn rings_follow_bfs_distance() {
+        // path: 0-1-2, hub is node 1 (degree 2)
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        let d = b.add_node("c");
+        b.add_edge(a, c, "");
+        b.add_edge(c, d, "");
+        let g = b.build();
+        let s = Star::default();
+        let l = s.layout(&g);
+        let hub = l.position(c);
+        assert!((l.position(a).distance(&hub) - s.ring_spacing).abs() < 1e-9);
+        assert!((l.position(d).distance(&hub) - s.ring_spacing).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_nodes_on_outer_ring() {
+        let mut b = GraphBuilder::new_undirected();
+        let hub = b.add_node("hub");
+        for i in 0..2 {
+            let leaf = b.add_node(format!("leaf{i}"));
+            b.add_edge(hub, leaf, "");
+        }
+        let iso = b.add_node("isolated");
+        let g = b.build();
+        let s = Star::default();
+        let l = s.layout(&g);
+        // hub has degree 2 (unique max), leaves on ring 1, isolated on ring 2
+        let d = l.position(iso).distance(&l.position(hub));
+        assert!(
+            (d - 2.0 * s.ring_spacing).abs() < 1e-9,
+            "isolated node not on outer ring: {d}"
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(Star::default()
+            .layout(&GraphBuilder::new_undirected().build())
+            .is_empty());
+    }
+}

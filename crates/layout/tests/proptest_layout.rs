@@ -1,0 +1,70 @@
+//! Property-based tests for layout algorithms: every algorithm must place
+//! every node at finite coordinates, deterministically.
+
+use gvdb_layout::{
+    bounding_box, normalize_to, Circular, ForceDirected, GridLayout, Hierarchical,
+    LayoutAlgorithm, RandomLayout, Star,
+};
+use gvdb_graph::generators::erdos_renyi;
+use proptest::prelude::*;
+
+fn algorithms() -> Vec<Box<dyn LayoutAlgorithm>> {
+    vec![
+        Box::new(ForceDirected {
+            iterations: 10,
+            ..Default::default()
+        }),
+        Box::new(Circular::default()),
+        Box::new(Star::default()),
+        Box::new(GridLayout::default()),
+        Box::new(Hierarchical::default()),
+        Box::new(RandomLayout::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Totality + finiteness + determinism for every algorithm on random
+    /// graphs (including disconnected and multi-edge cases).
+    #[test]
+    fn all_algorithms_total_finite_deterministic(
+        n in 1usize..80,
+        m in 0usize..160,
+        seed in 0u64..50,
+    ) {
+        let g = erdos_renyi(n.max(2), m, seed);
+        for algo in algorithms() {
+            let a = algo.layout(&g);
+            prop_assert_eq!(a.len(), g.node_count(), "{} not total", algo.name());
+            for p in a.positions() {
+                prop_assert!(p.x.is_finite() && p.y.is_finite(), "{} NaN", algo.name());
+            }
+            let b = algo.layout(&g);
+            prop_assert_eq!(a, b, "{} not deterministic", algo.name());
+        }
+    }
+
+    /// normalize_to always lands inside the target rectangle and is
+    /// idempotent (up to float error).
+    #[test]
+    fn normalize_contained_and_idempotent(
+        points in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..100),
+        w in 1.0f64..10_000.0,
+        h in 1.0f64..10_000.0,
+    ) {
+        use gvdb_layout::{Layout, Position};
+        let mut l = Layout::from_positions(
+            points.iter().map(|&(x, y)| Position::new(x, y)).collect(),
+        );
+        normalize_to(&mut l, w, h);
+        let bb = bounding_box(&l).unwrap();
+        prop_assert!(bb.min_x >= -1e-6 && bb.max_x <= w + 1e-6);
+        prop_assert!(bb.min_y >= -1e-6 && bb.max_y <= h + 1e-6);
+        let snapshot = l.clone();
+        normalize_to(&mut l, w, h);
+        for (a, b) in l.positions().iter().zip(snapshot.positions()) {
+            prop_assert!((a.x - b.x).abs() < 1e-6 && (a.y - b.y).abs() < 1e-6);
+        }
+    }
+}

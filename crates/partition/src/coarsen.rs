@@ -1,0 +1,140 @@
+//! Graph contraction for the coarsening phase.
+
+use crate::matching::heavy_edge_matching;
+use crate::wgraph::WeightedGraph;
+use rand::prelude::*;
+use std::collections::HashMap;
+
+/// One level of the coarsening hierarchy.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarser graph.
+    pub graph: WeightedGraph,
+    /// Mapping `fine vertex -> coarse vertex`.
+    pub map: Vec<u32>,
+}
+
+/// Contract `g` along a matching: each matched pair (and each self-matched
+/// vertex) becomes one coarse vertex; edge weights between coarse vertices
+/// are summed; intra-pair edges disappear.
+pub fn contract(g: &WeightedGraph, mate: &[u32]) -> CoarseLevel {
+    let n = g.len();
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        if map[v] != u32::MAX {
+            continue;
+        }
+        let m = mate[v] as usize;
+        map[v] = next;
+        if m != v {
+            map[m] = next;
+        }
+        next += 1;
+    }
+    let cn = next as usize;
+    let mut vwgt = vec![0u32; cn];
+    for v in 0..n {
+        vwgt[map[v] as usize] += g.vwgt[v];
+    }
+    let mut adj: Vec<HashMap<u32, u32>> = vec![HashMap::new(); cn];
+    for v in 0..n {
+        let cv = map[v];
+        for (u, w) in g.neighbors(v) {
+            let cu = map[u as usize];
+            if cu == cv {
+                continue;
+            }
+            *adj[cv as usize].entry(cu).or_insert(0) += w;
+        }
+    }
+    // Symmetry check: each coarse edge accumulated the same fine-edge
+    // weights from both directions, so adj is already a valid undirected
+    // adjacency — no halving needed.
+    CoarseLevel {
+        graph: WeightedGraph::from_adjacency(vwgt, &adj),
+        map,
+    }
+}
+
+/// Coarsen until at most `target` vertices remain or progress stalls
+/// (matching shrinks the graph by <10%). Returns levels fine→coarse.
+pub fn coarsen_to(g: &WeightedGraph, target: usize, rng: &mut StdRng) -> Vec<CoarseLevel> {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    while current.len() > target {
+        let mate = heavy_edge_matching(&current, rng);
+        let level = contract(&current, &mate);
+        let shrink = level.graph.len() as f64 / current.len() as f64;
+        let next = level.graph.clone();
+        levels.push(level);
+        if shrink > 0.95 {
+            break; // star-like graphs stop matching; give up gracefully
+        }
+        current = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::generators::{grid_graph, planted_partition};
+
+    #[test]
+    fn contraction_preserves_total_vertex_weight() {
+        let g = WeightedGraph::from_graph(&grid_graph(10, 10));
+        let mut rng = StdRng::seed_from_u64(2);
+        let mate = heavy_edge_matching(&g, &mut rng);
+        let level = contract(&g, &mate);
+        assert_eq!(level.graph.total_vwgt(), g.total_vwgt());
+    }
+
+    #[test]
+    fn contraction_halves_roughly() {
+        let g = WeightedGraph::from_graph(&grid_graph(16, 16));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mate = heavy_edge_matching(&g, &mut rng);
+        let level = contract(&g, &mate);
+        assert!(level.graph.len() <= (g.len() * 3) / 4);
+        assert!(level.graph.len() >= g.len() / 2);
+    }
+
+    #[test]
+    fn map_is_total_and_in_range(){
+        let g = WeightedGraph::from_graph(&planted_partition(3, 20, 6.0, 1.0, 5));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mate = heavy_edge_matching(&g, &mut rng);
+        let level = contract(&g, &mate);
+        for &c in &level.map {
+            assert!((c as usize) < level.graph.len());
+        }
+    }
+
+    #[test]
+    fn coarsen_reaches_target() {
+        let g = WeightedGraph::from_graph(&grid_graph(20, 20));
+        let mut rng = StdRng::seed_from_u64(5);
+        let levels = coarsen_to(&g, 50, &mut rng);
+        assert!(levels.last().unwrap().graph.len() <= 100); // near target
+        // weights preserved through the whole hierarchy
+        assert_eq!(levels.last().unwrap().graph.total_vwgt(), g.total_vwgt());
+    }
+
+    #[test]
+    fn coarse_edge_weights_sum_fine_weights() {
+        use std::collections::HashMap;
+        // Square a-b-c-d-a with unit weights; match (a,b) and (c,d):
+        // coarse graph has 2 vertices connected by weight 2 (edges b-c, d-a).
+        let mut adj = vec![HashMap::new(), HashMap::new(), HashMap::new(), HashMap::new()];
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0)] {
+            adj[u as usize].insert(v, 1);
+            adj[v as usize].insert(u, 1);
+        }
+        let g = WeightedGraph::from_adjacency(vec![1; 4], &adj);
+        let level = contract(&g, &[1, 0, 3, 2]);
+        assert_eq!(level.graph.len(), 2);
+        let nbrs: Vec<_> = level.graph.neighbors(0).collect();
+        assert_eq!(nbrs, vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Initial partitioning of the coarsest graph by greedy graph growing.
+//!
+//! For each part we grow a region from a random seed by repeatedly absorbing
+//! the frontier vertex most connected to the region, until the region
+//! reaches its weight target. Unreached vertices (disconnected graphs) are
+//! swept into the lightest parts at the end.
+
+use crate::wgraph::WeightedGraph;
+use rand::prelude::*;
+use std::collections::BinaryHeap;
+
+/// Greedy-graph-growing initial partition into `k` parts. Returns the part
+/// assignment per vertex.
+pub fn greedy_growing(g: &WeightedGraph, k: u32, rng: &mut StdRng) -> Vec<u32> {
+    let n = g.len();
+    assert!(k >= 1);
+    let total = g.total_vwgt();
+    let target = (total as f64 / k as f64).ceil() as u64;
+    let mut part = vec![u32::MAX; n];
+    let mut part_weight = vec![0u64; k as usize];
+    let mut unassigned = n;
+
+    for p in 0..k {
+        if unassigned == 0 {
+            break;
+        }
+        // Pick a random unassigned seed.
+        let seed = {
+            let mut s = rng.random_range(0..n);
+            while part[s] != u32::MAX {
+                s = (s + 1) % n;
+            }
+            s
+        };
+        // Max-heap of (connection weight, vertex).
+        let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::new();
+        heap.push((0, seed as u32));
+        while let Some((_, v)) = heap.pop() {
+            let v = v as usize;
+            if part[v] != u32::MAX {
+                continue;
+            }
+            // Last part absorbs everything left; others stop at target.
+            if p + 1 < k && part_weight[p as usize] + g.vwgt[v] as u64 > target {
+                continue;
+            }
+            part[v] = p;
+            part_weight[p as usize] += g.vwgt[v] as u64;
+            unassigned -= 1;
+            if part_weight[p as usize] >= target && p + 1 < k {
+                break;
+            }
+            for (u, w) in g.neighbors(v) {
+                if part[u as usize] == u32::MAX {
+                    heap.push((w, u));
+                }
+            }
+        }
+    }
+    // Sweep leftovers (disconnected vertices or early-stopped regions) into
+    // the lightest part.
+    for (v, slot) in part.iter_mut().enumerate() {
+        if *slot == u32::MAX {
+            let lightest = (0..k as usize)
+                .min_by_key(|&p| part_weight[p])
+                .expect("k >= 1");
+            *slot = lightest as u32;
+            part_weight[lightest] += g.vwgt[v] as u64;
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality;
+    use gvdb_graph::generators::{grid_graph, planted_partition};
+
+    #[test]
+    fn all_vertices_assigned_in_range() {
+        let g = WeightedGraph::from_graph(&grid_graph(10, 10));
+        let mut rng = StdRng::seed_from_u64(1);
+        let part = greedy_growing(&g, 4, &mut rng);
+        assert!(part.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn parts_roughly_balanced() {
+        let g = WeightedGraph::from_graph(&grid_graph(16, 16));
+        let mut rng = StdRng::seed_from_u64(2);
+        let part = greedy_growing(&g, 4, &mut rng);
+        let mut w = [0u64; 4];
+        for (v, &p) in part.iter().enumerate() {
+            w[p as usize] += g.vwgt[v] as u64;
+        }
+        let avg = g.total_vwgt() / 4;
+        for &pw in &w {
+            assert!(pw <= avg * 2, "part weight {pw} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_assigns_everything_to_zero() {
+        let g = WeightedGraph::from_graph(&grid_graph(5, 5));
+        let mut rng = StdRng::seed_from_u64(3);
+        let part = greedy_growing(&g, 1, &mut rng);
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn communities_keep_cut_moderate() {
+        let pg = planted_partition(2, 64, 10.0, 0.5, 9);
+        let g = WeightedGraph::from_graph(&pg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let part = greedy_growing(&g, 2, &mut rng);
+        let cut = quality::edge_cut(&pg, &part);
+        // Random assignment would cut ~half of all edges; growing should do
+        // clearly better on a strong 2-community graph.
+        assert!(
+            cut < pg.edge_count() / 3,
+            "cut {cut} of {} edges",
+            pg.edge_count()
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_fully_assigned() {
+        use std::collections::HashMap;
+        let g = WeightedGraph::from_adjacency(vec![1; 6], &vec![HashMap::new(); 6]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let part = greedy_growing(&g, 3, &mut rng);
+        assert!(part.iter().all(|&p| p < 3));
+    }
+}

@@ -1,0 +1,181 @@
+//! The multilevel k-way driver: coarsen → initial partition → project back
+//! with refinement at every level.
+
+use crate::coarsen::coarsen_to;
+use crate::initial::greedy_growing;
+use crate::refine::{refine_kway, RefineParams};
+use crate::wgraph::WeightedGraph;
+use crate::Partitioning;
+use gvdb_graph::Graph;
+use rand::prelude::*;
+
+/// Configuration for [`partition`].
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    /// Number of parts. The paper sets k "proportional to the total graph
+    /// size and the available memory of the machine"; see [`suggest_k`].
+    pub k: u32,
+    /// Allowed imbalance (max part weight / average), e.g. 1.05.
+    pub imbalance: f64,
+    /// Coarsening stops when at most `coarsen_to_factor * k` vertices remain
+    /// (bounded below by 64).
+    pub coarsen_to_factor: usize,
+    /// Refinement passes per level.
+    pub refine_passes: usize,
+    /// RNG seed (the whole pipeline is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl PartitionConfig {
+    /// Reasonable defaults for `k` parts.
+    pub fn with_k(k: u32) -> Self {
+        PartitionConfig {
+            k,
+            imbalance: 1.05,
+            coarsen_to_factor: 30,
+            refine_passes: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Choose k the way the paper prescribes: proportional to graph size over
+/// available memory. `budget_nodes` is how many nodes one partition may
+/// hold so that the layout algorithm fits in memory (Step 2 runs layout
+/// per partition precisely to bound its footprint).
+pub fn suggest_k(total_nodes: usize, budget_nodes: usize) -> u32 {
+    let budget = budget_nodes.max(1);
+    total_nodes.div_ceil(budget).max(1) as u32
+}
+
+/// Multilevel k-way partitioning of `g`.
+///
+/// Handles corner cases directly: `k == 1` and graphs with fewer nodes than
+/// parts skip the multilevel machinery.
+pub fn partition(g: &Graph, cfg: &PartitionConfig) -> Partitioning {
+    let n = g.node_count();
+    assert!(cfg.k >= 1, "k must be at least 1");
+    if cfg.k == 1 || n <= cfg.k as usize {
+        // Trivial: round-robin keeps every part non-empty when possible.
+        let assignment = (0..n).map(|i| (i as u32) % cfg.k).collect();
+        return Partitioning::new(assignment, cfg.k);
+    }
+    let wg = WeightedGraph::from_graph(g);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let target = (cfg.coarsen_to_factor * cfg.k as usize).max(64);
+    let levels = coarsen_to(&wg, target, &mut rng);
+    let params = RefineParams {
+        imbalance: cfg.imbalance,
+        max_passes: cfg.refine_passes,
+    };
+
+    let coarsest = levels.last().map(|l| &l.graph).unwrap_or(&wg);
+    let mut part = greedy_growing(coarsest, cfg.k, &mut rng);
+    refine_kway(coarsest, &mut part, cfg.k, &params);
+
+    // Project back through the hierarchy, refining at each level.
+    for i in (0..levels.len()).rev() {
+        let fine_graph = if i == 0 { &wg } else { &levels[i - 1].graph };
+        let map = &levels[i].map;
+        let mut fine_part = vec![0u32; fine_graph.len()];
+        for v in 0..fine_graph.len() {
+            fine_part[v] = part[map[v] as usize];
+        }
+        refine_kway(fine_graph, &mut fine_part, cfg.k, &params);
+        part = fine_part;
+    }
+    Partitioning::new(part, cfg.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::generators::{
+        barabasi_albert, grid_graph, planted_partition, wikidata_like, RdfConfig,
+    };
+    use gvdb_graph::GraphBuilder;
+
+    #[test]
+    fn recovers_planted_communities() {
+        let g = planted_partition(4, 64, 10.0, 0.3, 11);
+        let p = partition(&g, &PartitionConfig::with_k(4));
+        let inter = g.edges().iter().filter(|e| e.label == "inter").count();
+        // The cut should be close to only the inter-community edges.
+        assert!(
+            p.edge_cut(&g) <= inter * 2,
+            "cut {} vs planted inter {}",
+            p.edge_cut(&g),
+            inter
+        );
+    }
+
+    #[test]
+    fn balance_within_tolerance_on_grid() {
+        let g = grid_graph(24, 24);
+        let p = partition(&g, &PartitionConfig::with_k(6));
+        assert!(p.balance(&g) <= 1.25, "balance {}", p.balance(&g));
+    }
+
+    #[test]
+    fn grid_cut_is_near_linear_not_quadratic() {
+        let g = grid_graph(24, 24);
+        let p = partition(&g, &PartitionConfig::with_k(4));
+        // A sane 4-way cut of a 24x24 grid needs ~2*24 boundary edges; a bad
+        // one cuts hundreds. Allow generous slack over the ideal.
+        assert!(p.edge_cut(&g) < 24 * 10, "cut {}", p.edge_cut(&g));
+    }
+
+    #[test]
+    fn k_one_puts_everything_in_part_zero() {
+        let g = grid_graph(5, 5);
+        let p = partition(&g, &PartitionConfig::with_k(1));
+        assert!(p.assignment().iter().all(|&x| x == 0));
+        assert_eq!(p.edge_cut(&g), 0);
+    }
+
+    #[test]
+    fn more_parts_than_nodes_degrades_gracefully() {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..3 {
+            b.add_node(format!("{i}"));
+        }
+        let g = b.build();
+        let p = partition(&g, &PartitionConfig::with_k(8));
+        assert_eq!(p.assignment().len(), 3);
+        assert!(p.assignment().iter().all(|&x| x < 8));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = barabasi_albert(300, 3, 7);
+        let cfg = PartitionConfig::with_k(5);
+        assert_eq!(partition(&g, &cfg), partition(&g, &cfg));
+    }
+
+    #[test]
+    fn handles_star_heavy_rdf_graphs() {
+        // Star-like graphs stall heavy-edge matching; the driver must still
+        // terminate and produce something balanced-ish.
+        let g = wikidata_like(RdfConfig {
+            entities: 2_000,
+            ..Default::default()
+        });
+        let p = partition(&g, &PartitionConfig::with_k(8));
+        assert!(p.balance(&g) < 2.0, "balance {}", p.balance(&g));
+    }
+
+    #[test]
+    fn suggest_k_is_proportional() {
+        assert_eq!(suggest_k(10_000, 1_000), 10);
+        assert_eq!(suggest_k(10_001, 1_000), 11);
+        assert_eq!(suggest_k(10, 1_000), 1);
+        assert_eq!(suggest_k(0, 0), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new_undirected().build();
+        let p = partition(&g, &PartitionConfig::with_k(4));
+        assert_eq!(p.assignment().len(), 0);
+    }
+}

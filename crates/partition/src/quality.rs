@@ -1,0 +1,68 @@
+//! Partition quality metrics: edge cut and balance.
+
+use gvdb_graph::Graph;
+
+/// Number of edges of `g` whose endpoints are in different parts.
+/// Self-loops never cross. Parallel edges each count.
+pub fn edge_cut(g: &Graph, assignment: &[u32]) -> usize {
+    g.edges()
+        .iter()
+        .filter(|e| assignment[e.source.index()] != assignment[e.target.index()])
+        .count()
+}
+
+/// Balance factor: `max part size / ceil(n / k)`. 1.0 is perfectly balanced;
+/// values above ~1.05 exceed the usual Metis tolerance.
+pub fn balance(g: &Graph, assignment: &[u32], k: u32) -> f64 {
+    if g.node_count() == 0 || k == 0 {
+        return 1.0;
+    }
+    let mut sizes = vec![0usize; k as usize];
+    for &p in assignment {
+        sizes[p as usize] += 1;
+    }
+    let max = *sizes.iter().max().unwrap() as f64;
+    let avg = g.node_count() as f64 / k as f64;
+    max / avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::GraphBuilder;
+
+    #[test]
+    fn perfect_balance_is_one() {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..4 {
+            b.add_node(format!("{i}"));
+        }
+        let g = b.build();
+        assert!((balance(&g, &[0, 0, 1, 1], 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_balance_exceeds_one() {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..4 {
+            b.add_node(format!("{i}"));
+        }
+        let g = b.build();
+        assert!((balance(&g, &[0, 0, 0, 1], 2) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_loops_never_cut() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        b.add_edge(a, a, "loop");
+        let g = b.build();
+        assert_eq!(edge_cut(&g, &[0]), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_balanced() {
+        let g = GraphBuilder::new_undirected().build();
+        assert_eq!(balance(&g, &[], 4), 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Internal weighted-graph representation used by the multilevel pipeline.
+//!
+//! The coarsening hierarchy needs vertex weights (how many original nodes a
+//! coarse vertex represents) and edge weights (how many original edges a
+//! coarse edge represents). Parallel edges are merged and self-loops dropped
+//! at construction, since neither affects the cut.
+
+use gvdb_graph::Graph;
+use std::collections::HashMap;
+
+/// CSR weighted undirected graph (adjacency stored in both directions).
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    /// Vertex weights (number of original nodes represented).
+    pub vwgt: Vec<u32>,
+    /// CSR offsets, length `n + 1`.
+    pub xadj: Vec<u32>,
+    /// Flattened neighbor lists.
+    pub adjncy: Vec<u32>,
+    /// Edge weight per adjacency entry.
+    pub adjwgt: Vec<u32>,
+}
+
+impl WeightedGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vwgt.is_empty()
+    }
+
+    /// Neighbors of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.xadj[v] as usize;
+        let hi = self.xadj[v + 1] as usize;
+        self.adjncy[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Build from an unweighted [`Graph`], merging parallel edges and
+    /// dropping self-loops.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut merged: Vec<HashMap<u32, u32>> = vec![HashMap::new(); n];
+        for e in g.edges() {
+            let (s, t) = (e.source.0, e.target.0);
+            if s == t {
+                continue;
+            }
+            *merged[s as usize].entry(t).or_insert(0) += 1;
+            *merged[t as usize].entry(s).or_insert(0) += 1;
+        }
+        Self::from_adjacency(vec![1; n], &merged)
+    }
+
+    /// Build from per-vertex weighted adjacency maps.
+    pub fn from_adjacency(vwgt: Vec<u32>, adj: &[HashMap<u32, u32>]) -> Self {
+        let n = vwgt.len();
+        debug_assert_eq!(adj.len(), n);
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0u32);
+        let total: usize = adj.iter().map(|m| m.len()).sum();
+        let mut adjncy = Vec::with_capacity(total);
+        let mut adjwgt = Vec::with_capacity(total);
+        for m in adj {
+            // Deterministic order: sorted by neighbor id.
+            let mut entries: Vec<(u32, u32)> = m.iter().map(|(&k, &w)| (k, w)).collect();
+            entries.sort_unstable();
+            for (k, w) in entries {
+                adjncy.push(k);
+                adjwgt.push(w);
+            }
+            xadj.push(adjncy.len() as u32);
+        }
+        WeightedGraph {
+            vwgt,
+            xadj,
+            adjncy,
+            adjwgt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_graph::GraphBuilder;
+
+    #[test]
+    fn parallel_edges_merge_and_loops_drop() {
+        let mut b = GraphBuilder::new_undirected();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, "1");
+        b.add_edge(a, c, "2");
+        b.add_edge(a, a, "loop");
+        let wg = WeightedGraph::from_graph(&b.build());
+        assert_eq!(wg.len(), 2);
+        let nbrs: Vec<_> = wg.neighbors(0).collect();
+        assert_eq!(nbrs, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn total_weight() {
+        let wg = WeightedGraph::from_adjacency(vec![2, 3], &[HashMap::new(), HashMap::new()]);
+        assert_eq!(wg.total_vwgt(), 5);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based tests for the multilevel partitioner.
+
+use gvdb_graph::generators::{erdos_renyi, planted_partition};
+use gvdb_partition::{partition, PartitionConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every node gets a valid part; the cut never exceeds the edge count;
+    /// results are deterministic for a given seed.
+    #[test]
+    fn basic_invariants(nodes in 2usize..300, edge_factor in 1usize..4, k in 1u32..10, seed in 0u64..100) {
+        let g = erdos_renyi(nodes, nodes * edge_factor, seed);
+        let mut cfg = PartitionConfig::with_k(k);
+        cfg.seed = seed;
+        let p = partition(&g, &cfg);
+        prop_assert_eq!(p.assignment().len(), nodes);
+        prop_assert!(p.assignment().iter().all(|&x| x < k));
+        prop_assert!(p.edge_cut(&g) <= g.edge_count());
+        let p2 = partition(&g, &cfg);
+        prop_assert_eq!(p, p2);
+    }
+
+    /// Balance stays within a loose factor of ideal on non-degenerate
+    /// random graphs when k divides cleanly into the node count.
+    #[test]
+    fn balance_reasonable(communities in 2usize..6, size in 20usize..60, seed in 0u64..50) {
+        let g = planted_partition(communities, size, 6.0, 1.0, seed);
+        let p = partition(&g, &PartitionConfig::with_k(communities as u32));
+        prop_assert!(
+            p.balance(&g) <= 1.5,
+            "balance {} for {} communities of {}",
+            p.balance(&g),
+            communities,
+            size
+        );
+    }
+
+    /// The partitioner beats random assignment on community graphs.
+    #[test]
+    fn beats_random_on_communities(seed in 0u64..30) {
+        let g = planted_partition(4, 40, 8.0, 0.5, seed);
+        let p = partition(&g, &PartitionConfig::with_k(4));
+        // Random 4-way assignment cuts ~75% of edges in expectation.
+        prop_assert!(
+            p.edge_cut(&g) < g.edge_count() / 2,
+            "cut {} of {}",
+            p.edge_cut(&g),
+            g.edge_count()
+        );
+    }
+}

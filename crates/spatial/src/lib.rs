@@ -1,0 +1,27 @@
+//! # gvdb-spatial
+//!
+//! Geometry primitives and an in-memory R*-tree — the spatial indexing core
+//! of graphVizdb. Every online operation of the platform (window queries
+//! for interactive navigation, zoom, focus-on-node) becomes a rectangle
+//! intersection query against an R-tree of edge geometries (paper §II-A/B).
+//!
+//! The tree is hand-rolled rather than pulled from a crate because spatial
+//! indexing *is* the paper's contribution; the disk-resident variant lives
+//! in `gvdb-storage::spatial_index` and reuses this crate's geometry and
+//! STR packing.
+//!
+//! ```
+//! use gvdb_spatial::{Point, Rect, RTree};
+//!
+//! let mut tree: RTree<u32> = RTree::new();
+//! tree.insert(Rect::from_points(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), 7);
+//! let hits: Vec<_> = tree.window(&Rect::new(0.5, 0.5, 2.0, 2.0)).collect();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod geom;
+pub mod morton;
+pub mod rtree;
+
+pub use geom::{Point, Rect, Segment};
+pub use rtree::RTree;

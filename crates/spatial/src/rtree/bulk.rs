@@ -1,0 +1,155 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! Entries are sorted by center-x, cut into √P vertical slices, each slice
+//! sorted by center-y and cut into full leaves. The resulting node level is
+//! packed the same way, recursively, until a single root remains. Nodes
+//! come out ~100% full, which both shrinks the tree and tightens MBRs —
+//! ideal for the platform's write-once layer indexes.
+
+use super::node::{Node, MAX_ENTRIES};
+use crate::geom::Rect;
+
+/// Pack `entries` into an STR-loaded tree; `None` when empty.
+pub(crate) fn str_pack<T>(entries: Vec<(Rect, T)>) -> Option<Node<T>> {
+    if entries.is_empty() {
+        return None;
+    }
+    let leaves = tile_level(entries, Node::Leaf);
+    let mut level = leaves;
+    while level.len() > 1 {
+        let entries: Vec<(Rect, Node<T>)> =
+            level.into_iter().map(|n| (n.mbr(), n)).collect();
+        level = tile_level(entries, Node::Internal);
+    }
+    level.into_iter().next()
+}
+
+/// Tile one level: group `entries` into nodes of up to [`MAX_ENTRIES`].
+fn tile_level<E, T>(mut entries: Vec<(Rect, E)>, make: impl Fn(Vec<(Rect, E)>) -> Node<T>) -> Vec<Node<T>>
+where
+    Node<T>: Sized,
+{
+    let n = entries.len();
+    if n <= MAX_ENTRIES {
+        return vec![make(entries)];
+    }
+    let pages = n.div_ceil(MAX_ENTRIES);
+    let slices = (pages as f64).sqrt().ceil() as usize;
+
+    entries.sort_by(|a, b| {
+        a.0.center()
+            .x
+            .partial_cmp(&b.0.center().x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut nodes = Vec::with_capacity(pages);
+    let mut rest = entries;
+    // Even slice sizes so no slice (and hence no node) underflows: with
+    // max/min fanout 16/6, even division never drops below 8 entries.
+    for slice_size in even_chunks(n, slices) {
+        let mut slice: Vec<(Rect, E)> = rest.drain(..slice_size).collect();
+        slice.sort_by(|a, b| {
+            a.0.center()
+                .y
+                .partial_cmp(&b.0.center().y)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let m = slice.len();
+        for node_size in even_chunks(m, m.div_ceil(MAX_ENTRIES)) {
+            let chunk: Vec<(Rect, E)> = slice.drain(..node_size).collect();
+            nodes.push(make(chunk));
+        }
+    }
+    nodes
+}
+
+/// Split `n` items into `chunks` near-equal chunk sizes (first chunks get
+/// the remainder). All sizes differ by at most 1 and none is zero when
+/// `chunks <= n`.
+fn even_chunks(n: usize, chunks: usize) -> Vec<usize> {
+    let chunks = chunks.clamp(1, n.max(1));
+    let base = n / chunks;
+    let rem = n % chunks;
+    (0..chunks)
+        .map(|i| if i < rem { base + 1 } else { base })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::geom::{Point, Rect};
+    use crate::rtree::RTree;
+    use rand::prelude::*;
+
+    fn random_entries(n: usize, seed: u64) -> Vec<(Rect, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.random::<f64>() * 1000.0;
+                let y = rng.random::<f64>() * 1000.0;
+                (
+                    Rect::from_points(
+                        Point::new(x, y),
+                        Point::new(x + rng.random::<f64>() * 10.0, y + rng.random::<f64>() * 10.0),
+                    ),
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_preserves_all_entries() {
+        let entries = random_entries(5_000, 1);
+        let t = RTree::bulk_load(entries);
+        assert_eq!(t.len(), 5_000);
+        assert_eq!(t.check_invariants(), 5_000);
+    }
+
+    #[test]
+    fn bulk_tree_is_shallower_than_incremental() {
+        let entries = random_entries(3_000, 2);
+        let bulk = RTree::bulk_load(entries.clone());
+        let mut inc = RTree::new();
+        for (r, v) in entries {
+            inc.insert(r, v);
+        }
+        assert!(
+            bulk.height() <= inc.height(),
+            "bulk {} vs incremental {}",
+            bulk.height(),
+            inc.height()
+        );
+    }
+
+    #[test]
+    fn bulk_matches_linear_scan_on_windows() {
+        let entries = random_entries(2_000, 3);
+        let t = RTree::bulk_load(entries.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let x = rng.random::<f64>() * 900.0;
+            let y = rng.random::<f64>() * 900.0;
+            let w = Rect::new(x, y, x + 100.0, y + 100.0);
+            let mut expected: Vec<usize> = entries
+                .iter()
+                .filter(|(r, _)| r.intersects(&w))
+                .map(|(_, v)| *v)
+                .collect();
+            let mut got: Vec<usize> = t.window(&w).map(|(_, v)| *v).collect();
+            expected.sort();
+            got.sort();
+            assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let t = RTree::bulk_load(vec![(Rect::new(0.0, 0.0, 1.0, 1.0), 9u8)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        let t: RTree<u8> = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+    }
+}

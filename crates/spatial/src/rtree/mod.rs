@@ -1,0 +1,296 @@
+//! An in-memory R*-tree over axis-aligned rectangles.
+//!
+//! * **Insertion** follows the R*-tree heuristics (Beckmann et al. 1990):
+//!   subtree choice minimizes *overlap* enlargement at the level above
+//!   leaves and *area* enlargement elsewhere; node splits choose the axis
+//!   by minimal margin sum and the distribution by minimal overlap.
+//!   (Forced reinsertion is omitted; the platform builds static layers via
+//!   [`RTree::bulk_load`] and uses incremental inserts only for canvas
+//!   edits, where split quality dominates.)
+//! * **Bulk loading** uses Sort-Tile-Recursive (STR) packing, producing
+//!   ~100% full nodes — the build path for every abstraction layer during
+//!   preprocessing Step 5.
+//! * **Queries**: window (rectangle intersection), point, and k-nearest.
+//!
+//! Fanout is fixed at 16/6 (max/min): small enough to exercise deep trees
+//! in tests, large enough to stay shallow at millions of edges (16^5 ≈ 1M).
+
+mod bulk;
+mod node;
+mod query;
+mod split;
+
+pub use query::{Nearest, Window};
+
+use crate::geom::{Point, Rect};
+use node::Node;
+
+
+/// An R*-tree mapping rectangles to payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        RTree { root: None, len: 0 }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 when empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.root.as_ref().map(|r| r.height()).unwrap_or(0)
+    }
+
+    /// Bounding box of everything stored, `None` when empty.
+    pub fn bounds(&self) -> Option<Rect> {
+        self.root.as_ref().map(|r| r.mbr())
+    }
+
+    /// Insert `value` with bounding rectangle `rect`.
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf(vec![(rect, value)]));
+            }
+            Some(mut root) => {
+                if let Some(sibling) = root.insert(rect, value) {
+                    // Root split: grow the tree by one level.
+                    let left_mbr = root.mbr();
+                    let right_mbr = sibling.mbr();
+                    self.root = Some(Node::Internal(vec![
+                        (left_mbr, root),
+                        (right_mbr, sibling),
+                    ]));
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// Iterator over entries whose rectangle intersects `window`.
+    pub fn window<'a>(&'a self, window: &Rect) -> Window<'a, T> {
+        Window::new(self.root.as_ref(), *window)
+    }
+
+    /// Iterator over entries whose rectangle contains `p`.
+    pub fn at_point(&self, p: Point) -> Window<'_, T> {
+        self.window(&Rect::point(p))
+    }
+
+    /// The `k` entries nearest to `p` (by rectangle distance), closest first.
+    pub fn nearest(&self, p: Point, k: usize) -> Vec<(&Rect, &T)> {
+        Nearest::new(self.root.as_ref(), p).take(k).collect()
+    }
+
+    /// Visit all entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Rect, &T)> {
+        // A window covering everything.
+        let all = self
+            .bounds()
+            .unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
+        Window::new(self.root.as_ref(), all)
+    }
+}
+
+impl<T: PartialEq> RTree<T> {
+    /// Remove one entry equal to `(rect, value)`. Returns whether an entry
+    /// was removed. Underflowed nodes are dissolved and their entries
+    /// reinserted (the classic condense-tree step).
+    pub fn remove(&mut self, rect: &Rect, value: &T) -> bool {
+        let Some(mut root) = self.root.take() else {
+            return false;
+        };
+        let mut orphans: Vec<(Rect, T)> = Vec::new();
+        let removed = root.remove(rect, value, &mut orphans);
+        if removed {
+            self.len -= 1;
+        }
+        // Collapse a root with a single child (or an empty root).
+        loop {
+            match root {
+                Node::Internal(ref mut children) if children.len() == 1 => {
+                    root = children.pop().expect("len checked").1;
+                }
+                Node::Internal(ref children) if children.is_empty() => {
+                    self.root = None;
+                    for (r, v) in orphans {
+                        self.len -= 1; // insert() will re-add
+                        self.insert(r, v);
+                    }
+                    return removed;
+                }
+                Node::Leaf(ref entries) if entries.is_empty() => {
+                    self.root = None;
+                    for (r, v) in orphans {
+                        self.len -= 1;
+                        self.insert(r, v);
+                    }
+                    return removed;
+                }
+                _ => break,
+            }
+        }
+        self.root = Some(root);
+        for (r, v) in orphans {
+            self.len -= 1; // they were already counted before removal
+            self.insert(r, v);
+        }
+        removed
+    }
+}
+
+impl<T> RTree<T> {
+    /// Build a tree from `entries` by STR bulk loading. Much faster than
+    /// repeated [`RTree::insert`] and yields better-packed nodes; this is
+    /// how preprocessing Step 5 indexes each layer.
+    pub fn bulk_load(entries: Vec<(Rect, T)>) -> Self {
+        let len = entries.len();
+        RTree {
+            root: bulk::str_pack(entries),
+            len,
+        }
+    }
+
+    /// Verify structural invariants (test/debug helper): MBRs cover
+    /// children, node occupancy within `[MIN, MAX]` (root exempt), uniform
+    /// leaf depth. Returns entry count.
+    pub fn check_invariants(&self) -> usize {
+        match &self.root {
+            None => 0,
+            Some(root) => {
+                let (count, _depth) = root.check(true);
+                assert_eq!(count, self.len, "len mismatch");
+                count
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(i: f64) -> Rect {
+        Rect::new(i, i, i + 1.0, i + 1.0)
+    }
+
+    #[test]
+    fn insert_then_window_finds_everything() {
+        let mut t = RTree::new();
+        for i in 0..200 {
+            t.insert(rect(i as f64), i);
+        }
+        assert_eq!(t.len(), 200);
+        t.check_invariants();
+        let all: Vec<_> = t.window(&Rect::new(-1.0, -1.0, 300.0, 300.0)).collect();
+        assert_eq!(all.len(), 200);
+        // Window over [50, 60] must hit entries 49..=60 (closed bounds).
+        let hits: Vec<_> = t.window(&Rect::new(50.0, 50.0, 60.0, 60.0)).collect();
+        assert_eq!(hits.len(), 12);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_results() {
+        let entries: Vec<(Rect, usize)> = (0..500).map(|i| (rect((i % 37) as f64), i)).collect();
+        let bulk = RTree::bulk_load(entries.clone());
+        bulk.check_invariants();
+        let mut inc = RTree::new();
+        for (r, v) in entries {
+            inc.insert(r, v);
+        }
+        let w = Rect::new(10.0, 10.0, 20.0, 20.0);
+        let mut a: Vec<usize> = bulk.window(&w).map(|(_, v)| *v).collect();
+        let mut b: Vec<usize> = inc.window(&w).map(|(_, v)| *v).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one() {
+        let mut t = RTree::new();
+        for i in 0..100 {
+            t.insert(rect(i as f64), i % 10);
+        }
+        assert!(t.remove(&rect(5.0), &5));
+        assert_eq!(t.len(), 99);
+        assert!(!t.remove(&rect(5.0), &5)); // already gone
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_down_to_empty() {
+        let mut t = RTree::new();
+        for i in 0..50 {
+            t.insert(rect(i as f64), i);
+        }
+        for i in 0..50 {
+            assert!(t.remove(&rect(i as f64), &i), "missing {i}");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let mut t = RTree::new();
+        for i in 0..20 {
+            t.insert(Rect::point(Point::new(i as f64, 0.0)), i);
+        }
+        let near = t.nearest(Point::new(7.2, 0.0), 3);
+        let vals: Vec<i32> = near.iter().map(|(_, v)| **v).collect();
+        assert_eq!(vals, vec![7, 8, 6]);
+    }
+
+    #[test]
+    fn empty_tree_behaviors() {
+        let t: RTree<u8> = RTree::new();
+        assert_eq!(t.window(&Rect::new(0.0, 0.0, 1.0, 1.0)).count(), 0);
+        assert!(t.nearest(Point::new(0.0, 0.0), 5).is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.bounds().is_none());
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let entries: Vec<(Rect, u32)> = (0..10_000)
+            .map(|i| (rect((i % 100) as f64 + (i / 100) as f64 * 0.01), i))
+            .collect();
+        let t = RTree::bulk_load(entries);
+        // 10_000 entries at fanout 16: height 4 (16^4 = 65536).
+        assert!(t.height() <= 5, "height {}", t.height());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_rects_all_returned() {
+        let mut t = RTree::new();
+        for i in 0..30 {
+            t.insert(rect(1.0), i);
+        }
+        assert_eq!(t.window(&rect(1.0)).count(), 30);
+    }
+}

@@ -1,0 +1,205 @@
+//! R*-tree node representation and the insert/remove recursion.
+
+use super::split::split_entries;
+use crate::geom::Rect;
+
+/// Maximum entries per node.
+pub(crate) const MAX_ENTRIES: usize = 16;
+/// Minimum entries per non-root node (40% of max, the R* recommendation).
+pub(crate) const MIN_ENTRIES: usize = 6;
+
+/// A tree node: either a leaf of `(rect, payload)` entries or an internal
+/// node of `(mbr, child)` pairs.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    Leaf(Vec<(Rect, T)>),
+    Internal(Vec<(Rect, Node<T>)>),
+}
+
+impl<T> Node<T> {
+    /// Minimum bounding rectangle of this node's entries.
+    pub(crate) fn mbr(&self) -> Rect {
+        let mut it: Box<dyn Iterator<Item = &Rect>> = match self {
+            Node::Leaf(es) => Box::new(es.iter().map(|(r, _)| r)),
+            Node::Internal(cs) => Box::new(cs.iter().map(|(r, _)| r)),
+        };
+        let first = *it.next().expect("nodes are never empty");
+        it.fold(first, |acc, r| acc.union(r))
+    }
+
+    /// Height of the subtree (leaf = 1).
+    pub(crate) fn height(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal(cs) => 1 + cs.first().map(|(_, c)| c.height()).unwrap_or(0),
+        }
+    }
+
+    /// Insert into this subtree. Returns `Some(sibling)` when this node had
+    /// to split; the caller owns updating MBRs.
+    pub(crate) fn insert(&mut self, rect: Rect, value: T) -> Option<Node<T>> {
+        match self {
+            Node::Leaf(entries) => {
+                entries.push((rect, value));
+                if entries.len() > MAX_ENTRIES {
+                    let right = split_entries(entries, |(r, _)| *r);
+                    Some(Node::Leaf(right))
+                } else {
+                    None
+                }
+            }
+            Node::Internal(children) => {
+                let child_is_leaf = matches!(children[0].1, Node::Leaf(_));
+                let idx = choose_subtree(children, &rect, child_is_leaf);
+                let split = children[idx].1.insert(rect, value);
+                children[idx].0 = children[idx].1.mbr();
+                if let Some(sibling) = split {
+                    children.push((sibling.mbr(), sibling));
+                    if children.len() > MAX_ENTRIES {
+                        let right = split_entries(children, |(r, _)| *r);
+                        return Some(Node::Internal(right));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Remove one entry matching `(rect, value)`. Underflowed descendants
+    /// are dissolved into `orphans` for reinsertion by the caller.
+    pub(crate) fn remove(&mut self, rect: &Rect, value: &T, orphans: &mut Vec<(Rect, T)>) -> bool
+    where
+        T: PartialEq,
+    {
+        match self {
+            Node::Leaf(entries) => {
+                if let Some(pos) = entries
+                    .iter()
+                    .position(|(r, v)| r == rect && v == value)
+                {
+                    entries.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Internal(children) => {
+                let mut removed_at = None;
+                for (i, (mbr, child)) in children.iter_mut().enumerate() {
+                    if mbr.intersects(rect) && child.remove(rect, value, orphans) {
+                        removed_at = Some(i);
+                        break;
+                    }
+                }
+                let Some(i) = removed_at else {
+                    return false;
+                };
+                let underflow = match &children[i].1 {
+                    Node::Leaf(es) => es.len() < MIN_ENTRIES,
+                    Node::Internal(cs) => cs.len() < MIN_ENTRIES,
+                };
+                if underflow {
+                    let (_, dissolved) = children.swap_remove(i);
+                    dissolved.drain_into(orphans);
+                } else {
+                    children[i].0 = children[i].1.mbr();
+                }
+                true
+            }
+        }
+    }
+
+    /// Move every leaf entry of this subtree into `out`.
+    pub(crate) fn drain_into(self, out: &mut Vec<(Rect, T)>) {
+        match self {
+            Node::Leaf(entries) => out.extend(entries),
+            Node::Internal(children) => {
+                for (_, child) in children {
+                    child.drain_into(out);
+                }
+            }
+        }
+    }
+
+    /// Check invariants; returns `(entry_count, leaf_depth)`.
+    pub(crate) fn check(&self, is_root: bool) -> (usize, usize) {
+        match self {
+            Node::Leaf(entries) => {
+                assert!(!entries.is_empty(), "empty leaf");
+                if !is_root {
+                    assert!(entries.len() >= MIN_ENTRIES, "leaf underflow");
+                }
+                assert!(entries.len() <= MAX_ENTRIES, "leaf overflow");
+                (entries.len(), 1)
+            }
+            Node::Internal(children) => {
+                assert!(!children.is_empty(), "empty internal node");
+                if !is_root {
+                    assert!(children.len() >= MIN_ENTRIES, "internal underflow");
+                } else {
+                    assert!(children.len() >= 2, "internal root must have >= 2 children");
+                }
+                assert!(children.len() <= MAX_ENTRIES, "internal overflow");
+                let mut total = 0;
+                let mut depth = None;
+                for (mbr, child) in children {
+                    assert!(
+                        mbr.contains_rect(&child.mbr()),
+                        "MBR does not cover child"
+                    );
+                    let (c, d) = child.check(false);
+                    total += c;
+                    match depth {
+                        None => depth = Some(d),
+                        Some(prev) => assert_eq!(prev, d, "ragged leaf depth"),
+                    }
+                }
+                (total, depth.unwrap() + 1)
+            }
+        }
+    }
+}
+
+/// R* subtree choice: at the level whose children are leaves, minimize
+/// overlap enlargement (ties: area enlargement, then area); above that,
+/// minimize area enlargement (ties: area).
+fn choose_subtree<T>(children: &[(Rect, Node<T>)], rect: &Rect, child_is_leaf: bool) -> usize {
+    if child_is_leaf {
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, (mbr, _)) in children.iter().enumerate() {
+            let enlarged = mbr.union(rect);
+            // Overlap enlargement of child i against its siblings.
+            let mut overlap_before = 0.0;
+            let mut overlap_after = 0.0;
+            for (j, (other, _)) in children.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                overlap_before += mbr.intersection_area(other);
+                overlap_after += enlarged.intersection_area(other);
+            }
+            let key = (
+                overlap_after - overlap_before,
+                mbr.enlargement(rect),
+                mbr.area(),
+            );
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    } else {
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for (i, (mbr, _)) in children.iter().enumerate() {
+            let key = (mbr.enlargement(rect), mbr.area());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}

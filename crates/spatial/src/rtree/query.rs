@@ -1,0 +1,176 @@
+//! Query iterators: window (rect intersection) and best-first k-nearest.
+
+use super::node::Node;
+use crate::geom::{Point, Rect};
+use std::collections::BinaryHeap;
+
+/// Iterator over entries intersecting a window (depth-first).
+pub struct Window<'a, T> {
+    window: Rect,
+    // Stack of nodes to visit plus per-leaf cursors.
+    stack: Vec<&'a Node<T>>,
+    current_leaf: Option<(&'a [(Rect, T)], usize)>,
+}
+
+impl<'a, T> Window<'a, T> {
+    pub(crate) fn new(root: Option<&'a Node<T>>, window: Rect) -> Self {
+        Window {
+            window,
+            stack: root.into_iter().collect(),
+            current_leaf: None,
+        }
+    }
+}
+
+impl<'a, T> Iterator for Window<'a, T> {
+    type Item = (&'a Rect, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((entries, ref mut i)) = self.current_leaf {
+                while *i < entries.len() {
+                    let (r, v) = &entries[*i];
+                    *i += 1;
+                    if r.intersects(&self.window) {
+                        return Some((r, v));
+                    }
+                }
+                self.current_leaf = None;
+            }
+            let node = self.stack.pop()?;
+            match node {
+                Node::Leaf(entries) => {
+                    self.current_leaf = Some((entries.as_slice(), 0));
+                }
+                Node::Internal(children) => {
+                    for (mbr, child) in children {
+                        if mbr.intersects(&self.window) {
+                            self.stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Best-first nearest-neighbor iterator: yields entries in increasing
+/// distance from the query point.
+pub struct Nearest<'a, T> {
+    point: Point,
+    heap: BinaryHeap<HeapItem<'a, T>>,
+}
+
+enum Visit<'a, T> {
+    Node(&'a Node<T>),
+    Entry(&'a Rect, &'a T),
+}
+
+struct HeapItem<'a, T> {
+    dist2: f64,
+    visit: Visit<'a, T>,
+}
+
+impl<T> PartialEq for HeapItem<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl<T> Eq for HeapItem<'_, T> {}
+impl<T> PartialOrd for HeapItem<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapItem<'_, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by distance: reverse the comparison.
+        other
+            .dist2
+            .partial_cmp(&self.dist2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+impl<'a, T> Nearest<'a, T> {
+    pub(crate) fn new(root: Option<&'a Node<T>>, point: Point) -> Self {
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = root {
+            heap.push(HeapItem {
+                dist2: 0.0,
+                visit: Visit::Node(root),
+            });
+        }
+        Nearest { point, heap }
+    }
+}
+
+impl<'a, T> Iterator for Nearest<'a, T> {
+    type Item = (&'a Rect, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(item) = self.heap.pop() {
+            match item.visit {
+                Visit::Entry(r, v) => return Some((r, v)),
+                Visit::Node(Node::Leaf(entries)) => {
+                    for (r, v) in entries {
+                        self.heap.push(HeapItem {
+                            dist2: r.distance2_to_point(&self.point),
+                            visit: Visit::Entry(r, v),
+                        });
+                    }
+                }
+                Visit::Node(Node::Internal(children)) => {
+                    for (mbr, child) in children {
+                        self.heap.push(HeapItem {
+                            dist2: mbr.distance2_to_point(&self.point),
+                            visit: Visit::Node(child),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::geom::{Point, Rect};
+    use crate::rtree::RTree;
+
+    #[test]
+    fn nearest_iterator_is_sorted_by_distance() {
+        let mut t = RTree::new();
+        for i in 0..100u32 {
+            let x = (i % 10) as f64 * 10.0;
+            let y = (i / 10) as f64 * 10.0;
+            t.insert(Rect::point(Point::new(x, y)), i);
+        }
+        let q = Point::new(34.0, 57.0);
+        let dists: Vec<f64> = t
+            .nearest(q, 100)
+            .iter()
+            .map(|(r, _)| r.distance2_to_point(&q))
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1], "not sorted: {w:?}");
+        }
+        assert_eq!(dists.len(), 100);
+    }
+
+    #[test]
+    fn window_iterator_lazy_short_circuit() {
+        let entries: Vec<(Rect, u32)> = (0..10_000)
+            .map(|i| {
+                let x = (i % 100) as f64;
+                let y = (i / 100) as f64;
+                (Rect::point(Point::new(x, y)), i)
+            })
+            .collect();
+        let t = RTree::bulk_load(entries);
+        // Taking just one element must not materialize everything.
+        let first = t.window(&Rect::new(0.0, 0.0, 100.0, 100.0)).next();
+        assert!(first.is_some());
+    }
+}

@@ -1,0 +1,160 @@
+//! The R* node split: choose the split axis by minimal margin sum, then the
+//! split index by minimal overlap (ties by combined area).
+
+use super::node::{MAX_ENTRIES, MIN_ENTRIES};
+use crate::geom::Rect;
+
+/// Split an overflowing entry vector in place: `entries` keeps the left
+/// group, the right group is returned. `rect_of` projects an entry to its
+/// rectangle.
+pub(crate) fn split_entries<E>(entries: &mut Vec<E>, rect_of: impl Fn(&E) -> Rect) -> Vec<E> {
+    debug_assert!(entries.len() == MAX_ENTRIES + 1);
+    let n = entries.len();
+
+    // For each axis, consider entries sorted by (min, max); compute the
+    // margin sum over all legal distributions.
+    let axis_margin = |axis: usize, entries: &mut Vec<E>| -> f64 {
+        sort_by_axis(entries, axis, &rect_of);
+        let prefix = prefix_mbrs(entries, &rect_of);
+        let suffix = suffix_mbrs(entries, &rect_of);
+        let mut margin = 0.0;
+        for k in MIN_ENTRIES..=(n - MIN_ENTRIES) {
+            margin += prefix[k - 1].margin() + suffix[k].margin();
+        }
+        margin
+    };
+
+    let margin_x = axis_margin(0, entries);
+    let margin_y = axis_margin(1, entries);
+    // entries are currently sorted by y; re-sort to x if x wins.
+    if margin_x < margin_y {
+        sort_by_axis(entries, 0, &rect_of);
+    }
+
+    // Choose the distribution index minimizing overlap, ties by area.
+    let prefix = prefix_mbrs(entries, &rect_of);
+    let suffix = suffix_mbrs(entries, &rect_of);
+    let mut best_k = MIN_ENTRIES;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for k in MIN_ENTRIES..=(n - MIN_ENTRIES) {
+        let left = prefix[k - 1];
+        let right = suffix[k];
+        let key = (left.intersection_area(&right), left.area() + right.area());
+        if key < best_key {
+            best_key = key;
+            best_k = k;
+        }
+    }
+    entries.split_off(best_k)
+}
+
+fn sort_by_axis<E>(entries: &mut [E], axis: usize, rect_of: &impl Fn(&E) -> Rect) {
+    entries.sort_by(|a, b| {
+        let (ra, rb) = (rect_of(a), rect_of(b));
+        let ka = if axis == 0 {
+            (ra.min_x, ra.max_x)
+        } else {
+            (ra.min_y, ra.max_y)
+        };
+        let kb = if axis == 0 {
+            (rb.min_x, rb.max_x)
+        } else {
+            (rb.min_y, rb.max_y)
+        };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+fn prefix_mbrs<E>(entries: &[E], rect_of: &impl Fn(&E) -> Rect) -> Vec<Rect> {
+    let mut out = Vec::with_capacity(entries.len());
+    let mut acc: Option<Rect> = None;
+    for e in entries {
+        let r = rect_of(e);
+        acc = Some(match acc {
+            None => r,
+            Some(a) => a.union(&r),
+        });
+        out.push(acc.unwrap());
+    }
+    out
+}
+
+fn suffix_mbrs<E>(entries: &[E], rect_of: &impl Fn(&E) -> Rect) -> Vec<Rect> {
+    let mut out = vec![Rect::new(0.0, 0.0, 0.0, 0.0); entries.len() + 1];
+    let mut acc: Option<Rect> = None;
+    for (i, e) in entries.iter().enumerate().rev() {
+        let r = rect_of(e);
+        acc = Some(match acc {
+            None => r,
+            Some(a) => a.union(&r),
+        });
+        out[i] = acc.unwrap();
+    }
+    // out[n] is unused (empty suffix) but must exist for indexing.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_respects_min_entries() {
+        let mut entries: Vec<(Rect, u32)> = (0..=MAX_ENTRIES as u32)
+            .map(|i| (Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0), i))
+            .collect();
+        let right = split_entries(&mut entries, |(r, _)| *r);
+        assert!(entries.len() >= MIN_ENTRIES);
+        assert!(right.len() >= MIN_ENTRIES);
+        assert_eq!(entries.len() + right.len(), MAX_ENTRIES + 1);
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two well-separated clusters must not be mixed by the split.
+        let mut entries: Vec<(Rect, u32)> = Vec::new();
+        for i in 0..9u32 {
+            entries.push((
+                Rect::new(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.1, 1.0),
+                i,
+            ));
+        }
+        for i in 0..8u32 {
+            entries.push((
+                Rect::new(100.0 + i as f64 * 0.1, 0.0, 100.1 + i as f64 * 0.1, 1.0),
+                100 + i,
+            ));
+        }
+        let right = split_entries(&mut entries, |(r, _)| *r);
+        let left_max: u32 = entries.iter().map(|(_, v)| *v).max().unwrap();
+        let right_min: u32 = right.iter().map(|(_, v)| *v).min().unwrap();
+        // One side gets the 0..9 cluster, the other the 100.. cluster.
+        assert!(
+            (left_max < 100 && right_min >= 100) || (right_min < 9 && left_max >= 100),
+            "clusters mixed: left_max={left_max} right_min={right_min}"
+        );
+    }
+
+    #[test]
+    fn vertical_clusters_split_on_y_axis() {
+        let mut entries: Vec<(Rect, u32)> = Vec::new();
+        for i in 0..9u32 {
+            entries.push((Rect::new(0.0, i as f64 * 0.1, 1.0, i as f64 * 0.1 + 0.1), i));
+        }
+        for i in 0..8u32 {
+            entries.push((
+                Rect::new(0.0, 50.0 + i as f64 * 0.1, 1.0, 50.1 + i as f64 * 0.1),
+                100 + i,
+            ));
+        }
+        let right = split_entries(&mut entries, |(r, _)| *r);
+        let left_all_low = entries.iter().all(|(_, v)| *v < 100);
+        let right_all_high = right.iter().all(|(_, v)| *v >= 100);
+        let left_all_high = entries.iter().all(|(_, v)| *v >= 100);
+        let right_all_low = right.iter().all(|(_, v)| *v < 100);
+        assert!(
+            (left_all_low && right_all_high) || (left_all_high && right_all_low),
+            "y-clusters mixed"
+        );
+    }
+}

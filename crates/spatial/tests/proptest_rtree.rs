@@ -1,0 +1,137 @@
+//! Property-based tests for the R*-tree and geometry primitives.
+
+use gvdb_spatial::{geom::segments_intersect, Point, RTree, Rect, Segment};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..100.0, 0.0f64..100.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn window_query_is_exact(
+        rects in prop::collection::vec(arb_rect(), 0..400),
+        window in arb_rect(),
+    ) {
+        let entries: Vec<(Rect, usize)> =
+            rects.into_iter().enumerate().map(|(i, r)| (r, i)).collect();
+        let tree = RTree::bulk_load(entries.clone());
+        tree.check_invariants();
+        let mut got: Vec<usize> = tree.window(&window).map(|(_, v)| *v).collect();
+        let mut want: Vec<usize> = entries
+            .iter()
+            .filter(|(r, _)| r.intersects(&window))
+            .map(|(_, v)| *v)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_is_globally_nearest(
+        rects in prop::collection::vec(arb_rect(), 1..200),
+        qx in -100.0f64..1200.0,
+        qy in -100.0f64..1200.0,
+    ) {
+        let entries: Vec<(Rect, usize)> =
+            rects.into_iter().enumerate().map(|(i, r)| (r, i)).collect();
+        let tree = RTree::bulk_load(entries.clone());
+        let q = Point::new(qx, qy);
+        let first = tree.nearest(q, 1)[0];
+        let best = entries
+            .iter()
+            .map(|(r, _)| r.distance2_to_point(&q))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((first.0.distance2_to_point(&q) - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_inserts_maintain_invariants(
+        rects in prop::collection::vec(arb_rect(), 1..300)
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i);
+        }
+        prop_assert_eq!(tree.check_invariants(), rects.len());
+        // Bounds cover every entry.
+        let b = tree.bounds().unwrap();
+        for r in &rects {
+            prop_assert!(b.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_and_covering(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn intersection_area_symmetric_and_bounded(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersection_area(&b);
+        prop_assert!((i - b.intersection_area(&a)).abs() < 1e-9);
+        prop_assert!(i <= a.area() + 1e-9 && i <= b.area() + 1e-9);
+        prop_assert_eq!(i > 0.0, a.intersects(&b) && {
+            // touching rects intersect with zero area
+            let w = a.max_x.min(b.max_x) - a.min_x.max(b.min_x);
+            let h = a.max_y.min(b.max_y) - a.min_y.max(b.min_y);
+            w > 0.0 && h > 0.0
+        });
+    }
+
+    #[test]
+    fn segment_rect_intersection_agrees_with_sampling(
+        ax in 0.0f64..100.0, ay in 0.0f64..100.0,
+        bx in 0.0f64..100.0, by in 0.0f64..100.0,
+        r in arb_rect(),
+    ) {
+        let s = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        // Sample the segment densely; if any sample is inside, the exact
+        // test must agree. (One direction only: sampling can miss grazing
+        // intersections the exact test finds.)
+        let mut sampled_hit = false;
+        for t in 0..=100 {
+            let t = t as f64 / 100.0;
+            let p = Point::new(ax + (bx - ax) * t, ay + (by - ay) * t);
+            if r.contains_point(&p) {
+                sampled_hit = true;
+                break;
+            }
+        }
+        if sampled_hit {
+            prop_assert!(s.intersects_rect(&r));
+        }
+        // And the bbox filter is sound: exact hit implies bbox hit.
+        if s.intersects_rect(&r) {
+            prop_assert!(s.bbox().intersects(&r));
+        }
+    }
+
+    #[test]
+    fn segments_intersect_is_symmetric(
+        p1 in (0.0f64..10.0, 0.0f64..10.0),
+        p2 in (0.0f64..10.0, 0.0f64..10.0),
+        p3 in (0.0f64..10.0, 0.0f64..10.0),
+        p4 in (0.0f64..10.0, 0.0f64..10.0),
+    ) {
+        let a = Point::new(p1.0, p1.1);
+        let b = Point::new(p2.0, p2.1);
+        let c = Point::new(p3.0, p3.1);
+        let d = Point::new(p4.0, p4.1);
+        prop_assert_eq!(
+            segments_intersect(&a, &b, &c, &d),
+            segments_intersect(&c, &d, &a, &b)
+        );
+        prop_assert_eq!(
+            segments_intersect(&a, &b, &c, &d),
+            segments_intersect(&b, &a, &d, &c)
+        );
+    }
+}

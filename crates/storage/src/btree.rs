@@ -1,0 +1,531 @@
+//! A paged B+-tree over `(u64 key, u64 value)` pairs with duplicate keys.
+//!
+//! This is the index on the `Node1 ID` / `Node2 ID` columns of every layer
+//! table: key = node id, value = packed [`crate::RowId`]. Duplicates are
+//! first-class (a node appears in one row per incident edge), implemented
+//! by ordering entries on the composite `(key, value)`.
+//!
+//! Node layout (8 KiB pages, fixed 16-byte entries → fanout ≈ 500):
+//! ```text
+//! leaf:     [tag u16 = 1][count u16][next u64][ (key u64, value u64) ... ]
+//! internal: [tag u16 = 2][count u16][pad u64 ][ (sep_key u64, sep_val u64, child u64) ... ]
+//! ```
+//! Internal separators are composite `(key, value)` pairs: entries `<
+//! separator_i` go to child `i`; the last child catches the rest.
+//!
+//! Deletion removes the entry from its leaf without rebalancing —
+//! underfull leaves are tolerated. Edit-mode deletions are rare in this
+//! workload (the paper's Edit panel persists occasional canvas fixes), so
+//! index size is bounded by the compaction path in the table layer, which
+//! rebuilds indexes wholesale.
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+
+const TAG_LEAF: u16 = 1;
+const TAG_INTERNAL: u16 = 2;
+const OFF_TAG: usize = 0;
+const OFF_COUNT: usize = 2;
+const OFF_NEXT: usize = 4; // leaves only
+const HEADER: usize = 12;
+
+const LEAF_ENTRY: usize = 16;
+// One entry of slack: a node is allowed to hold CAP+1 entries transiently
+// (insert first, split after), and that overfull state must still fit in
+// the page.
+const LEAF_CAP: usize = (PAGE_SIZE - HEADER) / LEAF_ENTRY - 1;
+const INT_ENTRY: usize = 24;
+const INT_CAP: usize = (PAGE_SIZE - HEADER) / INT_ENTRY - 1;
+
+/// A B+-tree rooted at some page of a shared buffer pool.
+#[derive(Debug)]
+pub struct BTree {
+    root: PageId,
+}
+
+impl BTree {
+    /// Create an empty tree (a single empty leaf).
+    pub fn create(pool: &BufferPool) -> Result<Self> {
+        let root = pool.allocate()?;
+        pool.with_page_mut(root, |p| {
+            p.put_u16(OFF_TAG, TAG_LEAF);
+            p.put_u16(OFF_COUNT, 0);
+            p.put_u64(OFF_NEXT, 0);
+        })?;
+        Ok(BTree { root })
+    }
+
+    /// Reattach to an existing tree.
+    pub fn open(root: PageId) -> Self {
+        BTree { root }
+    }
+
+    /// Root page id (persist in the catalog). The root moves when it
+    /// splits, so persist it after every batch of writes.
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Insert `(key, value)`.
+    pub fn insert(&mut self, pool: &BufferPool, key: u64, value: u64) -> Result<()> {
+        if let Some((sep, right)) = self.insert_rec(pool, self.root, key, value)? {
+            // Root split: new internal root with two children.
+            let new_root = pool.allocate()?;
+            let old_root = self.root;
+            pool.with_page_mut(new_root, |p| {
+                p.put_u16(OFF_TAG, TAG_INTERNAL);
+                p.put_u16(OFF_COUNT, 2);
+                let base = HEADER;
+                p.put_u64(base, sep.0);
+                p.put_u64(base + 8, sep.1);
+                p.put_u64(base + 16, old_root.0);
+                // Last child: separator slot unused (set to MAX sentinel).
+                p.put_u64(base + INT_ENTRY, u64::MAX);
+                p.put_u64(base + INT_ENTRY + 8, u64::MAX);
+                p.put_u64(base + INT_ENTRY + 16, right.0);
+            })?;
+            self.root = new_root;
+        }
+        Ok(())
+    }
+
+    /// All values stored under `key`, in insertion-sorted (value) order.
+    pub fn get(&self, pool: &BufferPool, key: u64) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        self.range(pool, key, key, |_, v| out.push(v))?;
+        Ok(out)
+    }
+
+    /// Visit every `(key, value)` with `lo <= key <= hi` in key order.
+    pub fn range(
+        &self,
+        pool: &BufferPool,
+        lo: u64,
+        hi: u64,
+        mut visit: impl FnMut(u64, u64),
+    ) -> Result<()> {
+        // Descend to the first leaf that may contain `lo`.
+        let mut pid = self.root;
+        loop {
+            let (tag, next_pid) = pool.with_page(pid, |p| {
+                let tag = p.get_u16(OFF_TAG);
+                if tag == TAG_INTERNAL {
+                    let count = p.get_u16(OFF_COUNT) as usize;
+                    let mut child = None;
+                    for i in 0..count {
+                        let base = HEADER + i * INT_ENTRY;
+                        let sep_key = p.get_u64(base);
+                        let sep_val = p.get_u64(base + 8);
+                        if i == count - 1 || (lo, 0u64) < (sep_key, sep_val.saturating_add(1)) {
+                            child = Some(PageId(p.get_u64(base + 16)));
+                            break;
+                        }
+                    }
+                    (tag, child)
+                } else {
+                    (tag, None)
+                }
+            })?;
+            match (tag, next_pid) {
+                (TAG_INTERNAL, Some(child)) => pid = child,
+                (TAG_LEAF, _) => break,
+                _ => return Err(StorageError::Corrupt(format!("bad btree node tag {tag}"))),
+            }
+        }
+        // Walk the leaf chain.
+        loop {
+            let (entries, next) = pool.with_page(pid, |p| {
+                let count = p.get_u16(OFF_COUNT) as usize;
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let base = HEADER + i * LEAF_ENTRY;
+                    entries.push((p.get_u64(base), p.get_u64(base + 8)));
+                }
+                (entries, p.get_u64(OFF_NEXT))
+            })?;
+            for (k, v) in entries {
+                if k > hi {
+                    return Ok(());
+                }
+                if k >= lo {
+                    visit(k, v);
+                }
+            }
+            if next == 0 {
+                return Ok(());
+            }
+            pid = PageId(next);
+        }
+    }
+
+    /// Remove one `(key, value)` entry. Returns whether it existed.
+    pub fn remove(&self, pool: &BufferPool, key: u64, value: u64) -> Result<bool> {
+        // Descend to the leaf that would hold (key, value).
+        let mut pid = self.root;
+        loop {
+            let (is_leaf, child) = pool.with_page(pid, |p| {
+                if p.get_u16(OFF_TAG) == TAG_LEAF {
+                    (true, None)
+                } else {
+                    let count = p.get_u16(OFF_COUNT) as usize;
+                    let mut child = PageId(p.get_u64(HEADER + (count - 1) * INT_ENTRY + 16));
+                    for i in 0..count {
+                        let base = HEADER + i * INT_ENTRY;
+                        let sep = (p.get_u64(base), p.get_u64(base + 8));
+                        // `<=`: a leaf's separator is its own maximum entry,
+                        // so an entry equal to the separator lives left.
+                        if i == count - 1 || (key, value) <= sep {
+                            child = PageId(p.get_u64(base + 16));
+                            break;
+                        }
+                    }
+                    (false, Some(child))
+                }
+            })?;
+            if is_leaf {
+                break;
+            }
+            pid = child.expect("internal node yields child");
+        }
+        pool.with_page_mut(pid, |p| {
+            let count = p.get_u16(OFF_COUNT) as usize;
+            for i in 0..count {
+                let base = HEADER + i * LEAF_ENTRY;
+                if p.get_u64(base) == key && p.get_u64(base + 8) == value {
+                    // Shift remaining entries left.
+                    for j in i..count - 1 {
+                        let src = HEADER + (j + 1) * LEAF_ENTRY;
+                        let dst = HEADER + j * LEAF_ENTRY;
+                        let k = p.get_u64(src);
+                        let v = p.get_u64(src + 8);
+                        p.put_u64(dst, k);
+                        p.put_u64(dst + 8, v);
+                    }
+                    p.put_u16(OFF_COUNT, (count - 1) as u16);
+                    return true;
+                }
+            }
+            false
+        })
+    }
+
+    /// Total number of entries (full scan; test/diagnostic helper).
+    pub fn len(&self, pool: &BufferPool) -> Result<usize> {
+        let mut n = 0usize;
+        self.range(pool, 0, u64::MAX, |_, _| n += 1)?;
+        Ok(n)
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self, pool: &BufferPool) -> Result<bool> {
+        Ok(self.len(pool)? == 0)
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_page))` when
+    /// the child split.
+    fn insert_rec(
+        &self,
+        pool: &BufferPool,
+        pid: PageId,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<((u64, u64), PageId)>> {
+        let tag = pool.with_page(pid, |p| p.get_u16(OFF_TAG))?;
+        if tag == TAG_LEAF {
+            return self.leaf_insert(pool, pid, key, value);
+        }
+        // Internal: find the child, recurse, handle child split.
+        let (child_idx, child) = pool.with_page(pid, |p| {
+            let count = p.get_u16(OFF_COUNT) as usize;
+            let mut idx = count - 1;
+            for i in 0..count {
+                let base = HEADER + i * INT_ENTRY;
+                let sep = (p.get_u64(base), p.get_u64(base + 8));
+                // `<=` keeps insert/remove descent consistent: entries equal
+                // to a separator always live in the left child.
+                if i == count - 1 || (key, value) <= sep {
+                    idx = i;
+                    break;
+                }
+            }
+            (idx, PageId(p.get_u64(HEADER + idx * INT_ENTRY + 16)))
+        })?;
+        let Some((sep, right)) = self.insert_rec(pool, child, key, value)? else {
+            return Ok(None);
+        };
+        // Insert (sep -> child stays left; right goes after) at child_idx.
+        let split = pool.with_page_mut(pid, |p| {
+            let count = p.get_u16(OFF_COUNT) as usize;
+            // Shift entries right from child_idx.
+            for j in (child_idx..count).rev() {
+                let src = HEADER + j * INT_ENTRY;
+                let dst = HEADER + (j + 1) * INT_ENTRY;
+                for off in (0..INT_ENTRY).step_by(8) {
+                    let v = p.get_u64(src + off);
+                    p.put_u64(dst + off, v);
+                }
+            }
+            // New entry at child_idx: separator + old child. The displaced
+            // entry (now at child_idx + 1) keeps its separator but its child
+            // becomes the split's right page.
+            let base = HEADER + child_idx * INT_ENTRY;
+            p.put_u64(base, sep.0);
+            p.put_u64(base + 8, sep.1);
+            p.put_u64(base + 16, child.0);
+            p.put_u64(base + INT_ENTRY + 16, right.0);
+            p.put_u16(OFF_COUNT, (count + 1) as u16);
+            count + 1 > INT_CAP
+        })?;
+        if !split {
+            return Ok(None);
+        }
+        // Split this internal node in half.
+        let right_pid = pool.allocate()?;
+        let mut promoted = (0, 0);
+        pool.with_page_mut(pid, |p| {
+            let count = p.get_u16(OFF_COUNT) as usize;
+            let mid = count / 2;
+            let base = HEADER + (mid - 1) * INT_ENTRY;
+            promoted = (p.get_u64(base), p.get_u64(base + 8));
+            p.put_u16(OFF_COUNT, mid as u16);
+            // Entry mid-1 becomes the left node's last entry; its separator
+            // moves up, so mark it as the catch-all sentinel.
+            p.put_u64(base, u64::MAX);
+            p.put_u64(base + 8, u64::MAX);
+        })?;
+        // Copy entries mid.. into the right node: they are still physically
+        // present beyond the truncated count.
+        let count = pool.with_page(pid, |p| p.get_u16(OFF_COUNT) as usize)?;
+        let tail: Vec<(u64, u64, u64)> = pool.with_page(pid, |p| {
+            let total_before = count; // entries kept on the left
+            // The tail starts at `count` and runs while child pointers are
+            // non-zero (pages are zeroed on allocation and after splits).
+            let mut tail = Vec::new();
+            for j in total_before..=INT_CAP {
+                let base = HEADER + j * INT_ENTRY;
+                if base + INT_ENTRY > PAGE_SIZE {
+                    break;
+                }
+                let child = p.get_u64(base + 16);
+                if child == 0 {
+                    break;
+                }
+                tail.push((p.get_u64(base), p.get_u64(base + 8), child));
+            }
+            tail
+        })?;
+        pool.with_page_mut(right_pid, |p| {
+            p.put_u16(OFF_TAG, TAG_INTERNAL);
+            p.put_u16(OFF_COUNT, tail.len() as u16);
+            for (j, (k, v, c)) in tail.iter().enumerate() {
+                let base = HEADER + j * INT_ENTRY;
+                p.put_u64(base, *k);
+                p.put_u64(base + 8, *v);
+                p.put_u64(base + 16, *c);
+            }
+        })?;
+        // Zero the tail region of the left page so future splits see clean
+        // child pointers.
+        pool.with_page_mut(pid, |p| {
+            for j in count..=INT_CAP {
+                let base = HEADER + j * INT_ENTRY;
+                if base + INT_ENTRY > PAGE_SIZE {
+                    break;
+                }
+                p.put_u64(base, 0);
+                p.put_u64(base + 8, 0);
+                p.put_u64(base + 16, 0);
+            }
+        })?;
+        Ok(Some((promoted, right_pid)))
+    }
+
+    fn leaf_insert(
+        &self,
+        pool: &BufferPool,
+        pid: PageId,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<((u64, u64), PageId)>> {
+        let needs_split = pool.with_page_mut(pid, |p| {
+            let count = p.get_u16(OFF_COUNT) as usize;
+            // Binary search for the insertion point on (key, value).
+            let mut lo = 0usize;
+            let mut hi = count;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let base = HEADER + mid * LEAF_ENTRY;
+                let e = (p.get_u64(base), p.get_u64(base + 8));
+                if e < (key, value) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            for j in (lo..count).rev() {
+                let src = HEADER + j * LEAF_ENTRY;
+                let dst = HEADER + (j + 1) * LEAF_ENTRY;
+                let k = p.get_u64(src);
+                let v = p.get_u64(src + 8);
+                p.put_u64(dst, k);
+                p.put_u64(dst + 8, v);
+            }
+            let base = HEADER + lo * LEAF_ENTRY;
+            p.put_u64(base, key);
+            p.put_u64(base + 8, value);
+            p.put_u16(OFF_COUNT, (count + 1) as u16);
+            count + 1 > LEAF_CAP
+        })?;
+        if !needs_split {
+            return Ok(None);
+        }
+        // Split the leaf in half; right half moves to a new page.
+        let right_pid = pool.allocate()?;
+        let (sep, tail, old_next) = pool.with_page_mut(pid, |p| {
+            let count = p.get_u16(OFF_COUNT) as usize;
+            let mid = count / 2;
+            let mut tail = Vec::with_capacity(count - mid);
+            for j in mid..count {
+                let base = HEADER + j * LEAF_ENTRY;
+                tail.push((p.get_u64(base), p.get_u64(base + 8)));
+            }
+            let old_next = p.get_u64(OFF_NEXT);
+            p.put_u16(OFF_COUNT, mid as u16);
+            p.put_u64(OFF_NEXT, right_pid.0);
+            let sep_base = HEADER + (mid - 1) * LEAF_ENTRY;
+            let sep = (p.get_u64(sep_base), p.get_u64(sep_base + 8));
+            (sep, tail, old_next)
+        })?;
+        pool.with_page_mut(right_pid, |p| {
+            p.put_u16(OFF_TAG, TAG_LEAF);
+            p.put_u16(OFF_COUNT, tail.len() as u16);
+            p.put_u64(OFF_NEXT, old_next);
+            for (j, (k, v)) in tail.iter().enumerate() {
+                let base = HEADER + j * LEAF_ENTRY;
+                p.put_u64(base, *k);
+                p.put_u64(base + 8, *v);
+            }
+        })?;
+        Ok(Some((sep, right_pid)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+    use rand::prelude::*;
+
+    fn pool(name: &str) -> (BufferPool, std::path::PathBuf) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gvdb-btree-{name}-{}", std::process::id()));
+        (BufferPool::new(Pager::create(&p).unwrap(), 64), p)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (pool, path) = pool("small");
+        let mut t = BTree::create(&pool).unwrap();
+        t.insert(&pool, 5, 50).unwrap();
+        t.insert(&pool, 3, 30).unwrap();
+        t.insert(&pool, 5, 51).unwrap();
+        assert_eq!(t.get(&pool, 5).unwrap(), vec![50, 51]);
+        assert_eq!(t.get(&pool, 3).unwrap(), vec![30]);
+        assert!(t.get(&pool, 4).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let (pool, path) = pool("many");
+        let mut t = BTree::create(&pool).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut keys: Vec<u64> = (0..20_000).map(|_| rng.random_range(0..5_000)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(&pool, k, i as u64).unwrap();
+        }
+        // Full scan is sorted and complete.
+        let mut seen = Vec::new();
+        t.range(&pool, 0, u64::MAX, |k, _| seen.push(k)).unwrap();
+        assert_eq!(seen.len(), 20_000);
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]));
+        // Point lookups match a model.
+        keys.sort();
+        for probe in [0u64, 777, 2500, 4999] {
+            let expected = keys.iter().filter(|&&k| k == probe).count();
+            assert_eq!(t.get(&pool, probe).unwrap().len(), expected, "key {probe}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_queries_match_model() {
+        let (pool, path) = pool("range");
+        let mut t = BTree::create(&pool).unwrap();
+        for k in 0..1000u64 {
+            t.insert(&pool, k * 2, k).unwrap(); // even keys only
+        }
+        let mut got = Vec::new();
+        t.range(&pool, 100, 120, |k, _| got.push(k)).unwrap();
+        assert_eq!(got, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn remove_deletes_single_entry() {
+        let (pool, path) = pool("remove");
+        let mut t = BTree::create(&pool).unwrap();
+        for i in 0..2000u64 {
+            t.insert(&pool, i % 100, i).unwrap();
+        }
+        assert!(t.remove(&pool, 50, 50).unwrap());
+        assert!(!t.remove(&pool, 50, 50).unwrap());
+        let vals = t.get(&pool, 50).unwrap();
+        assert_eq!(vals.len(), 19);
+        assert!(!vals.contains(&50));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persists_via_root_page() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gvdb-btree-persist-{}", std::process::id()));
+        let root;
+        {
+            let pool = BufferPool::new(Pager::create(&path).unwrap(), 64);
+            let mut t = BTree::create(&pool).unwrap();
+            for i in 0..5000u64 {
+                t.insert(&pool, i, i * 10).unwrap();
+            }
+            root = t.root_page();
+            pool.flush().unwrap();
+        }
+        {
+            let pool = BufferPool::new(Pager::open(&path).unwrap(), 64);
+            let t = BTree::open(root);
+            assert_eq!(t.get(&pool, 4321).unwrap(), vec![43210]);
+            assert_eq!(t.len(&pool).unwrap(), 5000);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sequential_and_reverse_insertion_orders() {
+        for (name, rev) in [("seq", false), ("rev", true)] {
+            let (pool, path) = pool(name);
+            let mut t = BTree::create(&pool).unwrap();
+            let keys: Vec<u64> = if rev {
+                (0..3000).rev().collect()
+            } else {
+                (0..3000).collect()
+            };
+            for &k in &keys {
+                t.insert(&pool, k, k).unwrap();
+            }
+            assert_eq!(t.len(&pool).unwrap(), 3000);
+            assert_eq!(t.get(&pool, 1500).unwrap(), vec![1500]);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The database catalog: the persistent list of layer tables and their
+//! index roots, serialized into the header page's user region.
+
+use crate::error::{Result, StorageError};
+use crate::table::LayerMeta;
+
+const CATALOG_MAGIC: u32 = 0x6361_7431; // "cat1"
+
+/// The set of layers in a database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    /// Layer metadata in creation order (layer 0 first).
+    pub layers: Vec<LayerMeta>,
+}
+
+impl Catalog {
+    /// Serialize to bytes for the header user region.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CATALOG_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        for l in &self.layers {
+            let name = l.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            for v in [
+                l.heap_first,
+                l.bt_node1,
+                l.bt_node2,
+                l.node_trie,
+                l.edge_trie,
+                l.rtree_root,
+                l.rtree_len,
+                l.rows,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse bytes produced by [`Catalog::encode`]. An all-zero region
+    /// (fresh database) decodes as an empty catalog.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 8 || bytes[..4] == [0, 0, 0, 0] {
+            return Ok(Catalog::default());
+        }
+        let magic = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        if magic != CATALOG_MAGIC {
+            return Err(StorageError::Corrupt("bad catalog magic".into()));
+        }
+        let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let mut pos = 8usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > bytes.len() {
+                return Err(StorageError::Corrupt("catalog truncated".into()));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let mut layers = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+                .map_err(|_| StorageError::Corrupt("layer name not UTF-8".into()))?;
+            let mut vals = [0u64; 8];
+            for v in &mut vals {
+                *v = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            }
+            layers.push(LayerMeta {
+                name,
+                heap_first: vals[0],
+                bt_node1: vals[1],
+                bt_node2: vals[2],
+                node_trie: vals[3],
+                edge_trie: vals[4],
+                rtree_root: vals[5],
+                rtree_len: vals[6],
+                rows: vals[7],
+            });
+        }
+        Ok(Catalog { layers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str) -> LayerMeta {
+        LayerMeta {
+            name: name.into(),
+            heap_first: 1,
+            bt_node1: 2,
+            bt_node2: 3,
+            node_trie: 4,
+            edge_trie: 5,
+            rtree_root: 6,
+            rtree_len: 1000,
+            rows: 1234,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = Catalog {
+            layers: vec![meta("layer0"), meta("layer1"), meta("layer2")],
+        };
+        assert_eq!(Catalog::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn fresh_database_is_empty_catalog() {
+        assert_eq!(Catalog::decode(&[0u8; 64]).unwrap(), Catalog::default());
+        assert_eq!(Catalog::decode(&[]).unwrap(), Catalog::default());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        assert!(Catalog::decode(&[1, 2, 3, 4, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let c = Catalog {
+            layers: vec![meta("layer0")],
+        };
+        let bytes = c.encode();
+        assert!(Catalog::decode(&bytes[..bytes.len() - 4]).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Heap files: unordered record storage in slotted pages.
+//!
+//! Each layer table stores its rows in one heap file. Pages use the classic
+//! slotted layout: a header and slot directory grow from the front, cell
+//! payloads grow from the back. Records are addressed by [`RowId`]
+//! (page, slot) — the value every index stores.
+//!
+//! Page layout:
+//! ```text
+//! [next_page u64][slot_count u16][free_end u16]  -- header (12 bytes)
+//! [slot 0: offset u16, len u16][slot 1] ...      -- directory
+//!                 ... free space ...
+//!                      [cell payloads packed at the back]
+//! ```
+//! `len == 0` marks a dead slot (deleted record).
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+
+const OFF_NEXT: usize = 0;
+const OFF_SLOT_COUNT: usize = 8;
+const OFF_FREE_END: usize = 10;
+const HEADER: usize = 12;
+const SLOT_SIZE: usize = 4;
+
+/// Address of a record: page id + slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RowId {
+    /// Pack into a u64 (page in the high 48 bits) — the form indexes store.
+    pub fn to_u64(self) -> u64 {
+        (self.page.0 << 16) | self.slot as u64
+    }
+
+    /// Unpack from [`RowId::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        RowId {
+            page: PageId(v >> 16),
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// Largest record a heap page can hold.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT_SIZE;
+
+/// A heap file: a chain of slotted pages inside a shared buffer pool.
+#[derive(Debug)]
+pub struct HeapFile {
+    first: PageId,
+    last: PageId,
+}
+
+impl HeapFile {
+    /// Create an empty heap file.
+    pub fn create(pool: &BufferPool) -> Result<Self> {
+        let first = pool.allocate()?;
+        pool.with_page_mut(first, |p| {
+            p.put_u64(OFF_NEXT, 0);
+            p.put_u16(OFF_SLOT_COUNT, 0);
+            p.put_u16(OFF_FREE_END, PAGE_SIZE as u16);
+        })?;
+        Ok(HeapFile { first, last: first })
+    }
+
+    /// Reattach to an existing heap file given its first page.
+    pub fn open(pool: &BufferPool, first: PageId) -> Result<Self> {
+        // Walk to the tail so inserts append correctly.
+        let mut last = first;
+        loop {
+            let next = pool.with_page(last, |p| p.get_u64(OFF_NEXT))?;
+            if next == 0 {
+                break;
+            }
+            last = PageId(next);
+        }
+        Ok(HeapFile { first, last })
+    }
+
+    /// First page id (persist this in the catalog).
+    pub fn first_page(&self) -> PageId {
+        self.first
+    }
+
+    /// Insert a record, returning its address.
+    pub fn insert(&mut self, pool: &BufferPool, record: &[u8]) -> Result<RowId> {
+        if record.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge(record.len()));
+        }
+        let need = record.len() + SLOT_SIZE;
+        // Try the tail page, else chain a new one. (No free-space map: rows
+        // are write-mostly during preprocessing, and edit-mode deletions are
+        // rare; reclaiming dead slots is the compactor's job, not insert's.)
+        let fits = pool.with_page(self.last, |p| {
+            let slots = p.get_u16(OFF_SLOT_COUNT) as usize;
+            let free_end = p.get_u16(OFF_FREE_END) as usize;
+            free_end - (HEADER + slots * SLOT_SIZE) >= need
+        })?;
+        if !fits {
+            let new_page = pool.allocate()?;
+            pool.with_page_mut(new_page, |p| {
+                p.put_u64(OFF_NEXT, 0);
+                p.put_u16(OFF_SLOT_COUNT, 0);
+                p.put_u16(OFF_FREE_END, PAGE_SIZE as u16);
+            })?;
+            pool.with_page_mut(self.last, |p| p.put_u64(OFF_NEXT, new_page.0))?;
+            self.last = new_page;
+        }
+        let page = self.last;
+        let slot = pool.with_page_mut(page, |p| {
+            let slots = p.get_u16(OFF_SLOT_COUNT);
+            let free_end = p.get_u16(OFF_FREE_END) as usize;
+            let start = free_end - record.len();
+            p.put_slice(start, record);
+            let dir = HEADER + slots as usize * SLOT_SIZE;
+            p.put_u16(dir, start as u16);
+            p.put_u16(dir + 2, record.len() as u16);
+            p.put_u16(OFF_SLOT_COUNT, slots + 1);
+            p.put_u16(OFF_FREE_END, start as u16);
+            slots
+        })?;
+        Ok(RowId { page, slot })
+    }
+
+    /// Fetch a record by address.
+    pub fn get(&self, pool: &BufferPool, rid: RowId) -> Result<Vec<u8>> {
+        pool.with_page(rid.page, |p| {
+            let slots = p.get_u16(OFF_SLOT_COUNT);
+            if rid.slot >= slots {
+                return Err(StorageError::RowNotFound);
+            }
+            let dir = HEADER + rid.slot as usize * SLOT_SIZE;
+            let offset = p.get_u16(dir) as usize;
+            let len = p.get_u16(dir + 2) as usize;
+            if len == 0 {
+                return Err(StorageError::RowNotFound);
+            }
+            Ok(p.get_slice(offset, len).to_vec())
+        })?
+    }
+
+    /// Delete a record (marks the slot dead; space is reclaimed by
+    /// [`HeapFile::compact_into`]).
+    pub fn delete(&self, pool: &BufferPool, rid: RowId) -> Result<()> {
+        pool.with_page_mut(rid.page, |p| {
+            let slots = p.get_u16(OFF_SLOT_COUNT);
+            if rid.slot >= slots {
+                return Err(StorageError::RowNotFound);
+            }
+            let dir = HEADER + rid.slot as usize * SLOT_SIZE;
+            if p.get_u16(dir + 2) == 0 {
+                return Err(StorageError::RowNotFound);
+            }
+            p.put_u16(dir + 2, 0);
+            Ok(())
+        })?
+    }
+
+    /// Iterate all live records as `(RowId, bytes)`, page chain order.
+    pub fn scan(&self, pool: &BufferPool) -> Result<Vec<(RowId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut pid = self.first;
+        loop {
+            let (next, records) = pool.with_page(pid, |p| {
+                let slots = p.get_u16(OFF_SLOT_COUNT);
+                let mut records = Vec::new();
+                for slot in 0..slots {
+                    let dir = HEADER + slot as usize * SLOT_SIZE;
+                    let offset = p.get_u16(dir) as usize;
+                    let len = p.get_u16(dir + 2) as usize;
+                    if len > 0 {
+                        records.push((RowId { page: pid, slot }, p.get_slice(offset, len).to_vec()));
+                    }
+                }
+                (p.get_u64(OFF_NEXT), records)
+            })?;
+            out.extend(records);
+            if next == 0 {
+                break;
+            }
+            pid = PageId(next);
+        }
+        Ok(out)
+    }
+
+    /// Copy all live records into a fresh heap file, freeing this file's
+    /// pages. Returns the new file and the row-id remapping.
+    pub fn compact_into(self, pool: &BufferPool) -> Result<(HeapFile, Vec<(RowId, RowId)>)> {
+        let live = self.scan(pool)?;
+        let mut new = HeapFile::create(pool)?;
+        let mut mapping = Vec::with_capacity(live.len());
+        for (old_rid, bytes) in live {
+            let new_rid = new.insert(pool, &bytes)?;
+            mapping.push((old_rid, new_rid));
+        }
+        // Free the old chain.
+        let mut pid = self.first;
+        loop {
+            let next = pool.with_page(pid, |p| p.get_u64(OFF_NEXT))?;
+            pool.free(pid)?;
+            if next == 0 {
+                break;
+            }
+            pid = PageId(next);
+        }
+        Ok((new, mapping))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+
+    fn pool(name: &str) -> (BufferPool, std::path::PathBuf) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gvdb-heap-{name}-{}", std::process::id()));
+        (BufferPool::new(Pager::create(&p).unwrap(), 16), p)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (pool, path) = pool("roundtrip");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let rid = heap.insert(&pool, b"hello").unwrap();
+        assert_eq!(heap.get(&pool, rid).unwrap(), b"hello");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spills_across_pages() {
+        let (pool, path) = pool("spill");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let record = vec![7u8; 1000];
+        let rids: Vec<RowId> = (0..50).map(|_| heap.insert(&pool, &record).unwrap()).collect();
+        // 50 x ~1KB >> one 8KB page.
+        let pages: std::collections::HashSet<_> = rids.iter().map(|r| r.page).collect();
+        assert!(pages.len() > 1);
+        for rid in &rids {
+            assert_eq!(heap.get(&pool, *rid).unwrap().len(), 1000);
+        }
+        assert_eq!(heap.scan(&pool).unwrap().len(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delete_hides_record() {
+        let (pool, path) = pool("delete");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let a = heap.insert(&pool, b"a").unwrap();
+        let b = heap.insert(&pool, b"b").unwrap();
+        heap.delete(&pool, a).unwrap();
+        assert!(matches!(heap.get(&pool, a), Err(StorageError::RowNotFound)));
+        assert_eq!(heap.get(&pool, b).unwrap(), b"b");
+        assert_eq!(heap.scan(&pool).unwrap().len(), 1);
+        assert!(heap.delete(&pool, a).is_err(), "double delete");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_reattaches_to_tail() {
+        let (pool, path) = pool("reopen");
+        let first;
+        {
+            let mut heap = HeapFile::create(&pool).unwrap();
+            first = heap.first_page();
+            for _ in 0..30 {
+                heap.insert(&pool, &vec![1u8; 1000]).unwrap();
+            }
+        }
+        let mut heap = HeapFile::open(&pool, first).unwrap();
+        let rid = heap.insert(&pool, b"tail").unwrap();
+        assert_eq!(heap.get(&pool, rid).unwrap(), b"tail");
+        assert_eq!(heap.scan(&pool).unwrap().len(), 31);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn too_large_record_rejected() {
+        let (pool, path) = pool("toolarge");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        assert!(matches!(
+            heap.insert(&pool, &vec![0u8; PAGE_SIZE]),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_reclaims_dead_slots() {
+        let (pool, path) = pool("compact");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let rids: Vec<RowId> = (0..20)
+            .map(|i| heap.insert(&pool, format!("rec{i}").as_bytes()).unwrap())
+            .collect();
+        for rid in rids.iter().step_by(2) {
+            heap.delete(&pool, *rid).unwrap();
+        }
+        let (new_heap, mapping) = heap.compact_into(&pool).unwrap();
+        assert_eq!(mapping.len(), 10);
+        for (old, new) in &mapping {
+            assert!(old.slot % 2 == 1);
+            let bytes = new_heap.get(&pool, *new).unwrap();
+            assert_eq!(bytes, format!("rec{}", old.slot).as_bytes());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rowid_u64_roundtrip() {
+        let rid = RowId {
+            page: PageId(123456),
+            slot: 789,
+        };
+        assert_eq!(RowId::from_u64(rid.to_u64()), rid);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gvdb-storage
+//!
+//! A disk-backed storage engine — the platform's substitute for MySQL 5.6
+//! (Fig. 2 of the graphVizdb paper). It provides exactly the storage and
+//! index features the paper's schema uses:
+//!
+//! * one relational **table per abstraction layer**, each row a
+//!   `(node1, edge, node2)` triple with labels and an edge-geometry blob
+//!   ([`record::EdgeRow`], [`table::LayerTable`]);
+//! * **B+-trees** on the two node-id columns ([`btree`]);
+//! * **full-text tries** over the label columns ([`trie`]);
+//! * an **R-tree** over the edge geometries, stored in pages and queried
+//!   through the buffer pool ([`spatial_index`]);
+//! * the machinery underneath: fixed 8 KiB [`page`]s, a free-list
+//!   [`pager`], a clock-eviction [`buffer`] pool sized in pages (the
+//!   analogue of the 6 GB MySQL cache in the paper's evaluation), slotted
+//!   [`heap`] files, and a persistent [`catalog`].
+//!
+//! SQL parsing is deliberately absent: graphVizdb's online operations are
+//! window queries, id lookups and keyword searches, all of which map to
+//! direct index access paths.
+
+pub mod btree;
+pub mod buffer;
+pub mod catalog;
+pub mod db;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod pager;
+pub mod record;
+pub mod spatial_index;
+pub mod table;
+pub mod trie;
+pub mod wal;
+
+pub use buffer::BufferPool;
+pub use db::GraphDb;
+pub use error::{Result, StorageError};
+pub use heap::RowId;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pager::Pager;
+pub use record::{EdgeGeometry, EdgeRow};
+pub use table::LayerTable;

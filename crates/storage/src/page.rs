@@ -1,0 +1,170 @@
+//! Fixed-size pages: the unit of disk IO and buffer management.
+//!
+//! 8 KiB pages, little-endian scalar accessors. Page 0 of every database
+//! file is the header/catalog page; all other pages belong to heap files,
+//! B+-trees, the serialized trie, or the packed R-tree.
+
+use crate::error::{Result, StorageError};
+
+/// Page size in bytes (8 KiB, a common DBMS default).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page within the database file (its offset is
+/// `id * PAGE_SIZE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Byte offset of this page in the file.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An 8 KiB page buffer with typed little-endian accessors.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+macro_rules! scalar_accessors {
+    ($get:ident, $put:ident, $ty:ty) => {
+        /// Read a little-endian scalar at `offset`.
+        #[inline]
+        pub fn $get(&self, offset: usize) -> $ty {
+            let size = std::mem::size_of::<$ty>();
+            <$ty>::from_le_bytes(self.data[offset..offset + size].try_into().unwrap())
+        }
+
+        /// Write a little-endian scalar at `offset`.
+        #[inline]
+        pub fn $put(&mut self, offset: usize, v: $ty) {
+            let size = std::mem::size_of::<$ty>();
+            self.data[offset..offset + size].copy_from_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+impl Page {
+    /// An all-zero page.
+    pub fn zeroed() -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("exact size"),
+        }
+    }
+
+    /// Raw bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Raw bytes, mutable.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    scalar_accessors!(get_u16, put_u16, u16);
+    scalar_accessors!(get_u32, put_u32, u32);
+    scalar_accessors!(get_u64, put_u64, u64);
+    scalar_accessors!(get_f64, put_f64, f64);
+
+    /// Read `len` bytes at `offset`.
+    #[inline]
+    pub fn get_slice(&self, offset: usize, len: usize) -> &[u8] {
+        &self.data[offset..offset + len]
+    }
+
+    /// Write `bytes` at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the slice does not fit.
+    #[inline]
+    pub fn put_slice(&mut self, offset: usize, bytes: &[u8]) {
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Read a length-prefixed (u16) byte string at `offset`; returns the
+    /// bytes and the total encoded size.
+    pub fn get_bytes16(&self, offset: usize) -> Result<(&[u8], usize)> {
+        let len = self.get_u16(offset) as usize;
+        if offset + 2 + len > PAGE_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "bytes16 at {offset} overruns page (len {len})"
+            )));
+        }
+        Ok((self.get_slice(offset + 2, len), 2 + len))
+    }
+
+    /// Write a length-prefixed (u16) byte string; returns encoded size.
+    pub fn put_bytes16(&mut self, offset: usize, bytes: &[u8]) -> usize {
+        debug_assert!(bytes.len() <= u16::MAX as usize);
+        self.put_u16(offset, bytes.len() as u16);
+        self.put_slice(offset + 2, bytes);
+        2 + bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut p = Page::zeroed();
+        p.put_u16(0, 0xBEEF);
+        p.put_u32(2, 0xDEAD_BEEF);
+        p.put_u64(6, u64::MAX - 1);
+        p.put_f64(14, -1.5);
+        assert_eq!(p.get_u16(0), 0xBEEF);
+        assert_eq!(p.get_u32(2), 0xDEAD_BEEF);
+        assert_eq!(p.get_u64(6), u64::MAX - 1);
+        assert_eq!(p.get_f64(14), -1.5);
+    }
+
+    #[test]
+    fn bytes16_roundtrip() {
+        let mut p = Page::zeroed();
+        let n = p.put_bytes16(100, b"hello graphvizdb");
+        assert_eq!(n, 2 + 16);
+        let (bytes, size) = p.get_bytes16(100).unwrap();
+        assert_eq!(bytes, b"hello graphvizdb");
+        assert_eq!(size, n);
+    }
+
+    #[test]
+    fn bytes16_corrupt_length_detected() {
+        let mut p = Page::zeroed();
+        p.put_u16(PAGE_SIZE - 2, 100); // length overruns the page
+        assert!(p.get_bytes16(PAGE_SIZE - 2).is_err());
+    }
+
+    #[test]
+    fn page_id_offset() {
+        assert_eq!(PageId(3).offset(), 3 * 8192);
+        assert_eq!(PageId(0).to_string(), "p0");
+    }
+}

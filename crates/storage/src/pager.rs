@@ -1,0 +1,251 @@
+//! The pager: allocates, reads and writes pages of a single database file.
+//!
+//! Layout: page 0 is the pager header (magic, page count, free-list head);
+//! freed pages form an intrusive singly-linked list threaded through their
+//! first 8 bytes. Everything above the pager (buffer pool, heap files,
+//! indexes) deals only in [`PageId`]s.
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x6776_4442; // "gvDB"
+const OFF_MAGIC: usize = 0;
+const OFF_PAGE_COUNT: usize = 4;
+const OFF_FREE_HEAD: usize = 12;
+/// First header byte available to the embedding database (catalog root).
+pub const HEADER_USER_OFFSET: usize = 64;
+
+/// A page-oriented file.
+pub struct Pager {
+    file: File,
+    page_count: u64,
+    free_head: u64, // 0 = none (page 0 is never free)
+    header: Page,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("page_count", &self.page_count)
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Create a new database file (truncating any existing one).
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Page::zeroed();
+        header.put_u32(OFF_MAGIC, MAGIC);
+        header.put_u64(OFF_PAGE_COUNT, 1);
+        header.put_u64(OFF_FREE_HEAD, 0);
+        let mut pager = Pager {
+            file,
+            page_count: 1,
+            free_head: 0,
+            header,
+        };
+        pager.write_header()?;
+        Ok(pager)
+    }
+
+    /// Open an existing database file.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut header = Page::zeroed();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(header.bytes_mut())?;
+        if header.get_u32(OFF_MAGIC) != MAGIC {
+            return Err(StorageError::Corrupt("bad magic".into()));
+        }
+        let page_count = header.get_u64(OFF_PAGE_COUNT);
+        let free_head = header.get_u64(OFF_FREE_HEAD);
+        Ok(Pager {
+            file,
+            page_count,
+            free_head,
+            header,
+        })
+    }
+
+    /// Number of pages in the file (including the header page).
+    pub fn page_count(&self) -> u64 {
+        self.page_count
+    }
+
+    /// Read the caller-owned region of the header page.
+    pub fn header_user_bytes(&self) -> &[u8] {
+        &self.header.bytes()[HEADER_USER_OFFSET..]
+    }
+
+    /// Overwrite the caller-owned region of the header page (persisted on
+    /// [`Pager::sync`]).
+    pub fn set_header_user_bytes(&mut self, bytes: &[u8]) {
+        assert!(bytes.len() <= PAGE_SIZE - HEADER_USER_OFFSET);
+        // Zero then write, so shrinking payloads leave no stale bytes.
+        let region = &mut self.header.bytes_mut()[HEADER_USER_OFFSET..];
+        region.fill(0);
+        region[..bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Allocate a page, reusing the free list when possible.
+    pub fn allocate(&mut self) -> Result<PageId> {
+        if self.free_head != 0 {
+            let pid = PageId(self.free_head);
+            let page = self.read_page(pid)?;
+            self.free_head = page.get_u64(0);
+            return Ok(pid);
+        }
+        let pid = PageId(self.page_count);
+        self.page_count += 1;
+        self.write_page(pid, &Page::zeroed())?;
+        Ok(pid)
+    }
+
+    /// Return a page to the free list.
+    pub fn free(&mut self, pid: PageId) -> Result<()> {
+        debug_assert_ne!(pid.0, 0, "cannot free the header page");
+        let mut page = Page::zeroed();
+        page.put_u64(0, self.free_head);
+        self.write_page(pid, &page)?;
+        self.free_head = pid.0;
+        Ok(())
+    }
+
+    /// Read page `pid` from disk.
+    pub fn read_page(&mut self, pid: PageId) -> Result<Page> {
+        if pid.0 >= self.page_count {
+            return Err(StorageError::PageOutOfRange(pid.0));
+        }
+        let mut page = Page::zeroed();
+        self.file.seek(SeekFrom::Start(pid.offset()))?;
+        self.file.read_exact(page.bytes_mut())?;
+        Ok(page)
+    }
+
+    /// Write page `pid` to disk.
+    pub fn write_page(&mut self, pid: PageId, page: &Page) -> Result<()> {
+        if pid.0 > self.page_count {
+            return Err(StorageError::PageOutOfRange(pid.0));
+        }
+        self.file.seek(SeekFrom::Start(pid.offset()))?;
+        self.file.write_all(page.bytes())?;
+        Ok(())
+    }
+
+    fn write_header(&mut self) -> Result<()> {
+        self.header.put_u64(OFF_PAGE_COUNT, self.page_count);
+        self.header.put_u64(OFF_FREE_HEAD, self.free_head);
+        let header = self.header.clone();
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(header.bytes())?;
+        Ok(())
+    }
+
+    /// Persist the header and flush the OS file buffers.
+    pub fn sync(&mut self) -> Result<()> {
+        self.write_header()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// A point-in-time image of the header page (page count and free-list
+    /// head up to date) — what the WAL checkpoints.
+    pub fn header_snapshot(&mut self) -> Page {
+        self.header.put_u64(OFF_PAGE_COUNT, self.page_count);
+        self.header.put_u64(OFF_FREE_HEAD, self.free_head);
+        self.header.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gvdb-pager-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_allocate_write_read_roundtrip() {
+        let path = tmpfile("roundtrip");
+        let mut pager = Pager::create(&path).unwrap();
+        let pid = pager.allocate().unwrap();
+        let mut page = Page::zeroed();
+        page.put_u64(0, 12345);
+        pager.write_page(pid, &page).unwrap();
+        let back = pager.read_page(pid).unwrap();
+        assert_eq!(back.get_u64(0), 12345);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmpfile("reopen");
+        let pid;
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            pid = pager.allocate().unwrap();
+            let mut page = Page::zeroed();
+            page.put_u64(100, 777);
+            pager.write_page(pid, &page).unwrap();
+            pager.set_header_user_bytes(b"catalog here");
+            pager.sync().unwrap();
+        }
+        {
+            let mut pager = Pager::open(&path).unwrap();
+            assert_eq!(pager.read_page(pid).unwrap().get_u64(100), 777);
+            assert_eq!(&pager.header_user_bytes()[..12], b"catalog here");
+            assert_eq!(pager.page_count(), 2);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let path = tmpfile("freelist");
+        let mut pager = Pager::create(&path).unwrap();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        pager.free(a).unwrap();
+        pager.free(b).unwrap();
+        // LIFO reuse: b then a, no growth.
+        let count = pager.page_count();
+        assert_eq!(pager.allocate().unwrap(), b);
+        assert_eq!(pager.allocate().unwrap(), a);
+        assert_eq!(pager.page_count(), count);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_read_rejected() {
+        let path = tmpfile("range");
+        let mut pager = Pager::create(&path).unwrap();
+        assert!(matches!(
+            pager.read_page(PageId(99)),
+            Err(StorageError::PageOutOfRange(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("magic");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(matches!(
+            Pager::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,232 @@
+//! Row codec for the paper's storage scheme (Fig. 2).
+//!
+//! Each row is one `(node1, edge, node2)` triple:
+//! `Node1 ID | Node1 Label | Edge Geometry | Edge Label | Node2 ID | Node2 Label`.
+//! The geometry is the binary object representing the line between node1
+//! and node2 on the plane; direction is encoded inside it, exactly as the
+//! paper describes ("when the edge is directed, node1 is always the source
+//! node ... this information is encoded in the binary object").
+//!
+//! Encoding: fixed-width scalars little-endian, labels length-prefixed
+//! (u16). Self-describing enough for `decode` to reject truncated input.
+
+use crate::error::{Result, StorageError};
+use gvdb_spatial::{Point, Rect, Segment};
+
+/// The binary edge-geometry object: endpoint coordinates + direction flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeGeometry {
+    /// Node1 position.
+    pub x1: f64,
+    /// Node1 position.
+    pub y1: f64,
+    /// Node2 position.
+    pub x2: f64,
+    /// Node2 position.
+    pub y2: f64,
+    /// Whether the edge is directed (node1 = source, node2 = target).
+    pub directed: bool,
+}
+
+impl EdgeGeometry {
+    /// The geometry as a plane segment.
+    pub fn segment(&self) -> Segment {
+        Segment::new(Point::new(self.x1, self.y1), Point::new(self.x2, self.y2))
+    }
+
+    /// Bounding box of the segment (what the R-tree indexes).
+    pub fn bbox(&self) -> Rect {
+        self.segment().bbox()
+    }
+}
+
+/// One row of a layer table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeRow {
+    /// Unique id of the first node.
+    pub node1_id: u64,
+    /// Label of the first node.
+    pub node1_label: String,
+    /// Edge geometry blob.
+    pub geometry: EdgeGeometry,
+    /// Label of the edge.
+    pub edge_label: String,
+    /// Unique id of the second node.
+    pub node2_id: u64,
+    /// Label of the second node.
+    pub node2_label: String,
+}
+
+const GEOM_SIZE: usize = 4 * 8 + 1;
+
+impl EdgeRow {
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        8 + 2 + self.node1_label.len()
+            + GEOM_SIZE
+            + 2 + self.edge_label.len()
+            + 8
+            + 2 + self.node2_label.len()
+    }
+
+    /// Serialize into a byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.node1_id.to_le_bytes());
+        put_str(&mut out, &self.node1_label);
+        out.extend_from_slice(&self.geometry.x1.to_le_bytes());
+        out.extend_from_slice(&self.geometry.y1.to_le_bytes());
+        out.extend_from_slice(&self.geometry.x2.to_le_bytes());
+        out.extend_from_slice(&self.geometry.y2.to_le_bytes());
+        out.push(self.geometry.directed as u8);
+        put_str(&mut out, &self.edge_label);
+        out.extend_from_slice(&self.node2_id.to_le_bytes());
+        put_str(&mut out, &self.node2_label);
+        out
+    }
+
+    /// Deserialize from bytes produced by [`EdgeRow::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<EdgeRow> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let node1_id = cur.u64()?;
+        let node1_label = cur.string()?;
+        let x1 = cur.f64()?;
+        let y1 = cur.f64()?;
+        let x2 = cur.f64()?;
+        let y2 = cur.f64()?;
+        let directed = cur.u8()? != 0;
+        let edge_label = cur.string()?;
+        let node2_id = cur.u64()?;
+        let node2_label = cur.string()?;
+        Ok(EdgeRow {
+            node1_id,
+            node1_label,
+            geometry: EdgeGeometry {
+                x1,
+                y1,
+                x2,
+                y2,
+                directed,
+            },
+            edge_label,
+            node2_id,
+            node2_label,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(StorageError::Corrupt(format!(
+                "record truncated at byte {}",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Corrupt("label is not UTF-8".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeRow {
+        EdgeRow {
+            node1_id: 42,
+            node1_label: "Christos Faloutsos".into(),
+            geometry: EdgeGeometry {
+                x1: 1.5,
+                y1: -2.5,
+                x2: 100.0,
+                y2: 200.0,
+                directed: true,
+            },
+            edge_label: "has-author".into(),
+            node2_id: 7,
+            node2_label: "Graph Mining Paper".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let row = sample();
+        let bytes = row.encode();
+        assert_eq!(bytes.len(), row.encoded_len());
+        assert_eq!(EdgeRow::decode(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn empty_labels_roundtrip() {
+        let mut row = sample();
+        row.node1_label.clear();
+        row.edge_label.clear();
+        row.node2_label.clear();
+        assert_eq!(EdgeRow::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn unicode_labels_roundtrip() {
+        let mut row = sample();
+        row.node1_label = "Ζυρίχη — Zürich 🌍".into();
+        assert_eq!(EdgeRow::decode(&row.encode()).unwrap(), row);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = sample().encode();
+        for cut in [0, 5, 10, bytes.len() - 1] {
+            assert!(
+                EdgeRow::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn geometry_bbox_normalizes_endpoints() {
+        let g = EdgeGeometry {
+            x1: 10.0,
+            y1: 10.0,
+            x2: 0.0,
+            y2: 0.0,
+            directed: false,
+        };
+        let bb = g.bbox();
+        assert_eq!(bb.min_x, 0.0);
+        assert_eq!(bb.max_y, 10.0);
+        assert_eq!(g.segment().length(), (200.0f64).sqrt());
+    }
+}

@@ -1,0 +1,404 @@
+//! The disk-resident R-tree over edge geometries — the index every window
+//! query descends (paper §II-B: "The query is evaluated with a lookup in
+//! the R-tree of Fig. 2").
+//!
+//! Layers are write-once after preprocessing, so the tree is **packed**:
+//! built bottom-up with the same Sort-Tile-Recursive order as
+//! `gvdb-spatial`, stored one node per page, and queried through the
+//! buffer pool — only the pages a window actually touches are read, which
+//! is what gives the platform its "extremely low memory requirements".
+//!
+//! Canvas edits (the paper's Edit panel) go to a small in-memory overlay:
+//! an incremental R*-tree of inserted geometries plus a tombstone set of
+//! deleted row ids. The table layer folds the overlay back into a fresh
+//! packed tree on flush.
+//!
+//! Page layout (tag 1 = leaf, 2 = internal; 40-byte entries → fanout 204):
+//! ```text
+//! [tag u16][count u16][ rect: 4 x f64 | payload u64 ] x count
+//! ```
+//! Leaf payloads are packed row ids; internal payloads are child page ids.
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+use gvdb_spatial::{RTree, Rect};
+use std::collections::HashSet;
+
+const TAG_LEAF: u16 = 1;
+const TAG_INTERNAL: u16 = 2;
+const HEADER: usize = 4;
+const ENTRY: usize = 40;
+/// Entries per page.
+pub const FANOUT: usize = (PAGE_SIZE - HEADER) / ENTRY;
+
+/// A packed on-disk R-tree plus its edit overlay.
+#[derive(Debug)]
+pub struct PagedRTree {
+    root: Option<PageId>,
+    len: u64,
+    /// Geometries inserted since the last pack.
+    overlay: RTree<u64>,
+    /// Row ids deleted since the last pack (tombstones).
+    tombstones: HashSet<u64>,
+}
+
+/// Persistent identity of a packed tree (stored in the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedRoot {
+    /// Root page, 0 when the tree is empty.
+    pub root: u64,
+    /// Total packed entries.
+    pub len: u64,
+}
+
+impl PagedRTree {
+    /// Build a packed tree from `entries` (STR order), writing pages into
+    /// `pool`.
+    pub fn build(pool: &BufferPool, mut entries: Vec<(Rect, u64)>) -> Result<Self> {
+        let len = entries.len() as u64;
+        if entries.is_empty() {
+            return Ok(PagedRTree {
+                root: None,
+                len: 0,
+                overlay: RTree::new(),
+                tombstones: HashSet::new(),
+            });
+        }
+        // STR: sort by center x, slice, sort slices by center y, chunk.
+        let n = entries.len();
+        let pages = n.div_ceil(FANOUT);
+        let slices = (pages as f64).sqrt().ceil() as usize;
+        entries.sort_by(|a, b| {
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut level: Vec<(Rect, u64)> = Vec::with_capacity(pages);
+        let per_slice = n.div_ceil(slices);
+        let mut rest = entries;
+        while !rest.is_empty() {
+            let take = per_slice.min(rest.len());
+            let mut slice: Vec<(Rect, u64)> = rest.drain(..take).collect();
+            slice.sort_by(|a, b| {
+                a.0.center()
+                    .y
+                    .partial_cmp(&b.0.center().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            while !slice.is_empty() {
+                let take = FANOUT.min(slice.len());
+                let chunk: Vec<(Rect, u64)> = slice.drain(..take).collect();
+                let (pid, mbr) = Self::write_node(pool, TAG_LEAF, &chunk)?;
+                level.push((mbr, pid.0));
+            }
+        }
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(FANOUT));
+            let mut rest = level;
+            while !rest.is_empty() {
+                let take = FANOUT.min(rest.len());
+                let chunk: Vec<(Rect, u64)> = rest.drain(..take).collect();
+                let (pid, mbr) = Self::write_node(pool, TAG_INTERNAL, &chunk)?;
+                next.push((mbr, pid.0));
+            }
+            level = next;
+        }
+        Ok(PagedRTree {
+            root: Some(PageId(level[0].1)),
+            len,
+            overlay: RTree::new(),
+            tombstones: HashSet::new(),
+        })
+    }
+
+    /// Reattach to a packed tree persisted in the catalog.
+    pub fn open(packed: PackedRoot) -> Self {
+        PagedRTree {
+            root: if packed.root == 0 {
+                None
+            } else {
+                Some(PageId(packed.root))
+            },
+            len: packed.len,
+            overlay: RTree::new(),
+            tombstones: HashSet::new(),
+        }
+    }
+
+    /// Persistent identity for the catalog.
+    pub fn packed_root(&self) -> PackedRoot {
+        PackedRoot {
+            root: self.root.map(|p| p.0).unwrap_or(0),
+            len: self.len,
+        }
+    }
+
+    /// Entries in the packed portion (overlay counted separately).
+    pub fn packed_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether edits exist that are not reflected in the packed pages.
+    pub fn is_dirty(&self) -> bool {
+        !self.overlay.is_empty() || !self.tombstones.is_empty()
+    }
+
+    /// Insert a geometry for a new row (goes to the overlay).
+    pub fn insert(&mut self, rect: Rect, row: u64) {
+        self.overlay.insert(rect, row);
+    }
+
+    /// Delete a row's geometry. `rect` speeds up overlay removal; rows in
+    /// the packed pages get a tombstone.
+    pub fn remove(&mut self, rect: &Rect, row: u64) {
+        if !self.overlay.remove(rect, &row) {
+            self.tombstones.insert(row);
+        }
+    }
+
+    /// All `(rect, row)` entries intersecting `window`, overlay merged and
+    /// tombstones filtered.
+    pub fn window(&self, pool: &BufferPool, window: &Rect) -> Result<Vec<(Rect, u64)>> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            let mut stack = vec![root];
+            while let Some(pid) = stack.pop() {
+                pool.with_page(pid, |p| {
+                    let tag = p.get_u16(0);
+                    let count = p.get_u16(2) as usize;
+                    for i in 0..count {
+                        let base = HEADER + i * ENTRY;
+                        let rect = Rect::new(
+                            p.get_f64(base),
+                            p.get_f64(base + 8),
+                            p.get_f64(base + 16),
+                            p.get_f64(base + 24),
+                        );
+                        if !rect.intersects(window) {
+                            continue;
+                        }
+                        let payload = p.get_u64(base + 32);
+                        if tag == TAG_LEAF {
+                            if !self.tombstones.contains(&payload) {
+                                out.push((rect, payload));
+                            }
+                        } else {
+                            stack.push(PageId(payload));
+                        }
+                    }
+                    if tag != TAG_LEAF && tag != TAG_INTERNAL {
+                        return Err(StorageError::Corrupt(format!(
+                            "bad rtree page tag {tag}"
+                        )));
+                    }
+                    Ok(())
+                })??;
+            }
+        }
+        for (r, v) in self.overlay.window(window) {
+            out.push((*r, *v));
+        }
+        Ok(out)
+    }
+
+    /// Free all packed pages (before a rebuild). Overlay/tombstones remain.
+    pub fn free_packed(&mut self, pool: &BufferPool) -> Result<()> {
+        if let Some(root) = self.root.take() {
+            let mut stack = vec![root];
+            while let Some(pid) = stack.pop() {
+                let children = pool.with_page(pid, |p| {
+                    let tag = p.get_u16(0);
+                    let count = p.get_u16(2) as usize;
+                    let mut children = Vec::new();
+                    if tag == TAG_INTERNAL {
+                        for i in 0..count {
+                            children.push(PageId(p.get_u64(HEADER + i * ENTRY + 32)));
+                        }
+                    }
+                    children
+                })?;
+                pool.free(pid)?;
+                stack.extend(children);
+            }
+        }
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Drain the overlay/tombstones, returning inserted entries and the
+    /// tombstone set — the table layer uses this to rebuild the pack.
+    pub fn take_edits(&mut self) -> (Vec<(Rect, u64)>, HashSet<u64>) {
+        let mut inserted = Vec::new();
+        let bounds = self.overlay.bounds();
+        if let Some(b) = bounds {
+            for (r, v) in self.overlay.window(&b) {
+                inserted.push((*r, *v));
+            }
+        }
+        self.overlay = RTree::new();
+        (inserted, std::mem::take(&mut self.tombstones))
+    }
+
+    fn write_node(pool: &BufferPool, tag: u16, entries: &[(Rect, u64)]) -> Result<(PageId, Rect)> {
+        debug_assert!(!entries.is_empty() && entries.len() <= FANOUT);
+        let pid = pool.allocate()?;
+        let mut mbr = entries[0].0;
+        pool.with_page_mut(pid, |p| {
+            p.put_u16(0, tag);
+            p.put_u16(2, entries.len() as u16);
+            for (i, (rect, payload)) in entries.iter().enumerate() {
+                let base = HEADER + i * ENTRY;
+                p.put_f64(base, rect.min_x);
+                p.put_f64(base + 8, rect.min_y);
+                p.put_f64(base + 16, rect.max_x);
+                p.put_f64(base + 24, rect.max_y);
+                p.put_u64(base + 32, *payload);
+                mbr = mbr.union(rect);
+            }
+        })?;
+        Ok((pid, mbr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+    use rand::prelude::*;
+
+    fn pool(name: &str) -> (BufferPool, std::path::PathBuf) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gvdb-prtree-{name}-{}", std::process::id()));
+        (BufferPool::new(Pager::create(&p).unwrap(), 64), p)
+    }
+
+    fn random_entries(n: usize, seed: u64) -> Vec<(Rect, u64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.random::<f64>() * 1000.0;
+                let y = rng.random::<f64>() * 1000.0;
+                (Rect::new(x, y, x + 5.0, y + 5.0), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_matches_linear_scan() {
+        let (pool, path) = pool("scan");
+        let entries = random_entries(10_000, 1);
+        let tree = PagedRTree::build(&pool, entries.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let x = rng.random::<f64>() * 900.0;
+            let y = rng.random::<f64>() * 900.0;
+            let w = Rect::new(x, y, x + 80.0, y + 80.0);
+            let mut expect: Vec<u64> = entries
+                .iter()
+                .filter(|(r, _)| r.intersects(&w))
+                .map(|(_, v)| *v)
+                .collect();
+            let mut got: Vec<u64> = tree.window(&pool, &w).unwrap().iter().map(|(_, v)| *v).collect();
+            expect.sort();
+            got.sort();
+            assert_eq!(expect, got);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persists_via_packed_root() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gvdb-prtree-persist-{}", std::process::id()));
+        let packed;
+        {
+            let pool = BufferPool::new(Pager::create(&path).unwrap(), 64);
+            let tree = PagedRTree::build(&pool, random_entries(5_000, 3)).unwrap();
+            packed = tree.packed_root();
+            pool.flush().unwrap();
+        }
+        {
+            let pool = BufferPool::new(Pager::open(&path).unwrap(), 64);
+            let tree = PagedRTree::open(packed);
+            let hits = tree
+                .window(&pool, &Rect::new(0.0, 0.0, 1005.0, 1005.0))
+                .unwrap();
+            assert_eq!(hits.len(), 5_000);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overlay_insert_and_tombstones() {
+        let (pool, path) = pool("overlay");
+        let mut tree = PagedRTree::build(&pool, random_entries(100, 4)).unwrap();
+        assert!(!tree.is_dirty());
+        // Insert a fresh geometry far away.
+        tree.insert(Rect::new(5000.0, 5000.0, 5001.0, 5001.0), 999);
+        // Delete a packed row.
+        tree.remove(&Rect::new(0.0, 0.0, 0.0, 0.0), 0);
+        assert!(tree.is_dirty());
+        let everything = Rect::new(-10.0, -10.0, 10_000.0, 10_000.0);
+        let hits = tree.window(&pool, &everything).unwrap();
+        assert_eq!(hits.len(), 100); // 100 - 1 deleted + 1 inserted
+        assert!(hits.iter().any(|(_, v)| *v == 999));
+        assert!(!hits.iter().any(|(_, v)| *v == 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overlay_remove_of_overlay_insert_cancels() {
+        let (pool, path) = pool("cancel");
+        let mut tree = PagedRTree::build(&pool, Vec::new()).unwrap();
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        tree.insert(r, 7);
+        tree.remove(&r, 7);
+        assert!(tree.tombstones.is_empty(), "no tombstone for overlay rows");
+        let hits = tree.window(&pool, &Rect::new(0.0, 0.0, 10.0, 10.0)).unwrap();
+        assert!(hits.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_packed_releases_pages() {
+        let (pool, path) = pool("free");
+        let before = pool.page_count();
+        let mut tree = PagedRTree::build(&pool, random_entries(2_000, 5)).unwrap();
+        let after_build = pool.page_count();
+        assert!(after_build > before);
+        tree.free_packed(&pool).unwrap();
+        // Rebuild reuses freed pages rather than growing the file.
+        let rebuilt = PagedRTree::build(&pool, random_entries(2_000, 6)).unwrap();
+        assert!(pool.page_count() <= after_build + 1, "file grew after rebuild");
+        assert_eq!(rebuilt.packed_len(), 2_000);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_tree() {
+        let (pool, path) = pool("empty");
+        let tree = PagedRTree::build(&pool, Vec::new()).unwrap();
+        assert_eq!(tree.packed_root().root, 0);
+        assert!(tree
+            .window(&pool, &Rect::new(0.0, 0.0, 1.0, 1.0))
+            .unwrap()
+            .is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn take_edits_drains_overlay() {
+        let (pool, path) = pool("drain");
+        let mut tree = PagedRTree::build(&pool, random_entries(10, 7)).unwrap();
+        tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 100);
+        tree.remove(&Rect::new(0.0, 0.0, 0.0, 0.0), 3);
+        let (ins, tombs) = tree.take_edits();
+        assert_eq!(ins.len(), 1);
+        assert!(tombs.contains(&3));
+        assert!(!tree.is_dirty());
+        std::fs::remove_file(&path).ok();
+    }
+}

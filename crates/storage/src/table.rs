@@ -1,0 +1,456 @@
+//! Layer tables: the paper's "single relational table per abstraction
+//! layer" (Fig. 2) with all four index kinds attached.
+//!
+//! | Column        | Index          |
+//! |---------------|----------------|
+//! | Node1 ID      | B+-tree        |
+//! | Node1 Label   | full-text trie |
+//! | Edge Geometry | R-tree         |
+//! | Edge Label    | full-text trie |
+//! | Node2 ID      | B+-tree        |
+//! | Node2 Label   | full-text trie |
+//!
+//! Rows live in a heap file; every index stores packed [`RowId`]s (the
+//! node-label trie stores node ids, since keyword search returns nodes).
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::error::Result;
+use crate::heap::{HeapFile, RowId};
+use crate::page::PageId;
+use crate::record::EdgeRow;
+use crate::spatial_index::{PackedRoot, PagedRTree};
+use crate::trie::{blob, FullTextTrie};
+use gvdb_spatial::{Point, Rect};
+
+/// Persistent metadata of one layer table (what the catalog stores).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerMeta {
+    /// Layer name (e.g. `layer0`).
+    pub name: String,
+    /// First heap page.
+    pub heap_first: u64,
+    /// Root of the B+-tree on Node1 ID.
+    pub bt_node1: u64,
+    /// Root of the B+-tree on Node2 ID.
+    pub bt_node2: u64,
+    /// Head page of the serialized node-label trie.
+    pub node_trie: u64,
+    /// Head page of the serialized edge-label trie.
+    pub edge_trie: u64,
+    /// Packed R-tree root (0 = empty).
+    pub rtree_root: u64,
+    /// Packed R-tree entry count.
+    pub rtree_len: u64,
+    /// Live row count.
+    pub rows: u64,
+}
+
+/// One abstraction layer's table + indexes.
+#[derive(Debug)]
+pub struct LayerTable {
+    name: String,
+    heap: HeapFile,
+    by_node1: BTree,
+    by_node2: BTree,
+    node_trie: FullTextTrie,
+    edge_trie: FullTextTrie,
+    rtree: PagedRTree,
+    rows: u64,
+    /// Saved trie blob heads (freed and rewritten on save).
+    node_trie_head: Option<PageId>,
+    edge_trie_head: Option<PageId>,
+    tries_dirty: bool,
+}
+
+impl LayerTable {
+    /// Bulk-build a layer from rows — preprocessing Step 5 for one layer.
+    /// Indexes are constructed after the heap load: B+-trees from sorted
+    /// runs, the R-tree by STR packing.
+    pub fn bulk_build(
+        pool: &BufferPool,
+        name: impl Into<String>,
+        rows: impl IntoIterator<Item = EdgeRow>,
+    ) -> Result<Self> {
+        let mut heap = HeapFile::create(pool)?;
+        let mut by_node1 = BTree::create(pool)?;
+        let mut by_node2 = BTree::create(pool)?;
+        let mut node_trie = FullTextTrie::new();
+        let mut edge_trie = FullTextTrie::new();
+        let mut geoms: Vec<(Rect, u64)> = Vec::new();
+        let mut n1: Vec<(u64, u64)> = Vec::new();
+        let mut n2: Vec<(u64, u64)> = Vec::new();
+        let mut count = 0u64;
+        for row in rows {
+            let bytes = row.encode();
+            let rid = heap.insert(pool, &bytes)?.to_u64();
+            n1.push((row.node1_id, rid));
+            n2.push((row.node2_id, rid));
+            node_trie.insert(&row.node1_label, row.node1_id);
+            node_trie.insert(&row.node2_label, row.node2_id);
+            edge_trie.insert(&row.edge_label, rid);
+            geoms.push((row.geometry.bbox(), rid));
+            count += 1;
+        }
+        // Sorted insertion keeps B+-tree construction append-mostly.
+        n1.sort_unstable();
+        n2.sort_unstable();
+        for (k, v) in n1 {
+            by_node1.insert(pool, k, v)?;
+        }
+        for (k, v) in n2 {
+            by_node2.insert(pool, k, v)?;
+        }
+        let rtree = PagedRTree::build(pool, geoms)?;
+        Ok(LayerTable {
+            name: name.into(),
+            heap,
+            by_node1,
+            by_node2,
+            node_trie,
+            edge_trie,
+            rtree,
+            rows: count,
+            node_trie_head: None,
+            edge_trie_head: None,
+            tries_dirty: true,
+        })
+    }
+
+    /// Reopen a layer from its catalog metadata.
+    pub fn open(pool: &BufferPool, meta: &LayerMeta) -> Result<Self> {
+        Ok(LayerTable {
+            name: meta.name.clone(),
+            heap: HeapFile::open(pool, PageId(meta.heap_first))?,
+            by_node1: BTree::open(PageId(meta.bt_node1)),
+            by_node2: BTree::open(PageId(meta.bt_node2)),
+            node_trie: FullTextTrie::load(pool, PageId(meta.node_trie))?,
+            edge_trie: FullTextTrie::load(pool, PageId(meta.edge_trie))?,
+            rtree: PagedRTree::open(PackedRoot {
+                root: meta.rtree_root,
+                len: meta.rtree_len,
+            }),
+            rows: meta.rows,
+            node_trie_head: Some(PageId(meta.node_trie)),
+            edge_trie_head: Some(PageId(meta.edge_trie)),
+            tries_dirty: false,
+        })
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Live row count.
+    pub fn row_count(&self) -> u64 {
+        self.rows
+    }
+
+    /// Fetch and decode one row.
+    pub fn get(&self, pool: &BufferPool, rid: RowId) -> Result<EdgeRow> {
+        EdgeRow::decode(&self.heap.get(pool, rid)?)
+    }
+
+    /// **The** online operation: all rows whose edge geometry intersects
+    /// `window`. R-tree filter on bounding boxes, then exact
+    /// segment/rectangle refinement (`exact = false` skips refinement,
+    /// exposing the pure index path for benchmarks).
+    pub fn window(
+        &self,
+        pool: &BufferPool,
+        window: &Rect,
+        exact: bool,
+    ) -> Result<Vec<(RowId, EdgeRow)>> {
+        let candidates = self.rtree.window(pool, window)?;
+        let mut out = Vec::with_capacity(candidates.len());
+        for (_, rid64) in candidates {
+            let rid = RowId::from_u64(rid64);
+            let row = self.get(pool, rid)?;
+            if !exact || row.geometry.segment().intersects_rect(window) {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row ids incident to a node (as node1 or node2), deduplicated.
+    pub fn rows_of_node(&self, pool: &BufferPool, node_id: u64) -> Result<Vec<RowId>> {
+        let mut rids = self.by_node1.get(pool, node_id)?;
+        rids.extend(self.by_node2.get(pool, node_id)?);
+        rids.sort_unstable();
+        rids.dedup();
+        Ok(rids.into_iter().map(RowId::from_u64).collect())
+    }
+
+    /// Position of a node on the plane (from any incident row), with its
+    /// label — powers keyword-result focusing and "Focus on node".
+    pub fn node_position(&self, pool: &BufferPool, node_id: u64) -> Result<Option<(Point, String)>> {
+        let rids = self.rows_of_node(pool, node_id)?;
+        for rid in rids {
+            let row = self.get(pool, rid)?;
+            if row.node1_id == node_id {
+                return Ok(Some((
+                    Point::new(row.geometry.x1, row.geometry.y1),
+                    row.node1_label,
+                )));
+            }
+            if row.node2_id == node_id {
+                return Ok(Some((
+                    Point::new(row.geometry.x2, row.geometry.y2),
+                    row.node2_label,
+                )));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Keyword search over node labels: node ids whose label contains
+    /// `keyword` (paper §II-B, Keyword-based Exploration).
+    pub fn search_nodes(&self, keyword: &str) -> Vec<u64> {
+        self.node_trie.search(keyword)
+    }
+
+    /// Keyword search over edge labels: row ids (for the Filter panel).
+    pub fn search_edges(&self, keyword: &str) -> Vec<RowId> {
+        self.edge_trie
+            .search(keyword)
+            .into_iter()
+            .map(RowId::from_u64)
+            .collect()
+    }
+
+    /// Edit path: insert a new row (paper's Edit panel, "store in the
+    /// database the graph modifications made through the canvas").
+    pub fn insert_row(&mut self, pool: &BufferPool, row: &EdgeRow) -> Result<RowId> {
+        let rid = self.heap.insert(pool, &row.encode())?;
+        let rid64 = rid.to_u64();
+        self.by_node1.insert(pool, row.node1_id, rid64)?;
+        self.by_node2.insert(pool, row.node2_id, rid64)?;
+        self.node_trie.insert(&row.node1_label, row.node1_id);
+        self.node_trie.insert(&row.node2_label, row.node2_id);
+        self.edge_trie.insert(&row.edge_label, rid64);
+        self.rtree.insert(row.geometry.bbox(), rid64);
+        self.rows += 1;
+        self.tries_dirty = true;
+        Ok(rid)
+    }
+
+    /// Edit path: delete a row. Node-label postings are kept (the nodes may
+    /// appear in other rows); edge-label postings and geometry are removed.
+    pub fn delete_row(&mut self, pool: &BufferPool, rid: RowId) -> Result<()> {
+        let row = self.get(pool, rid)?;
+        self.heap.delete(pool, rid)?;
+        let rid64 = rid.to_u64();
+        self.by_node1.remove(pool, row.node1_id, rid64)?;
+        self.by_node2.remove(pool, row.node2_id, rid64)?;
+        self.edge_trie.remove_id(rid64);
+        self.rtree.remove(&row.geometry.bbox(), rid64);
+        self.rows -= 1;
+        self.tries_dirty = true;
+        Ok(())
+    }
+
+    /// Persist in-memory index state; returns fresh catalog metadata.
+    ///
+    /// * Tries are rewritten when dirty (old blobs freed).
+    /// * A dirty R-tree (edits since the last pack) is repacked from the
+    ///   live heap.
+    pub fn save(&mut self, pool: &BufferPool) -> Result<LayerMeta> {
+        if self.rtree.is_dirty() {
+            let _ = self.rtree.take_edits();
+            self.rtree.free_packed(pool)?;
+            let mut geoms = Vec::with_capacity(self.rows as usize);
+            for (rid, bytes) in self.heap.scan(pool)? {
+                let row = EdgeRow::decode(&bytes)?;
+                geoms.push((row.geometry.bbox(), rid.to_u64()));
+            }
+            self.rtree = PagedRTree::build(pool, geoms)?;
+        }
+        if self.tries_dirty || self.node_trie_head.is_none() {
+            if let Some(head) = self.node_trie_head.take() {
+                blob::free(pool, head)?;
+            }
+            if let Some(head) = self.edge_trie_head.take() {
+                blob::free(pool, head)?;
+            }
+            self.node_trie_head = Some(self.node_trie.save(pool)?);
+            self.edge_trie_head = Some(self.edge_trie.save(pool)?);
+            self.tries_dirty = false;
+        }
+        let packed = self.rtree.packed_root();
+        Ok(LayerMeta {
+            name: self.name.clone(),
+            heap_first: self.heap.first_page().0,
+            bt_node1: self.by_node1.root_page().0,
+            bt_node2: self.by_node2.root_page().0,
+            node_trie: self.node_trie_head.expect("saved above").0,
+            edge_trie: self.edge_trie_head.expect("saved above").0,
+            rtree_root: packed.root,
+            rtree_len: packed.len,
+            rows: self.rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+    use crate::record::EdgeGeometry;
+
+    fn pool(name: &str) -> (BufferPool, std::path::PathBuf) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gvdb-table-{name}-{}", std::process::id()));
+        (BufferPool::new(Pager::create(&p).unwrap(), 256), p)
+    }
+
+    fn row(n1: u64, n2: u64, x1: f64, y1: f64, x2: f64, y2: f64) -> EdgeRow {
+        EdgeRow {
+            node1_id: n1,
+            node1_label: format!("node {n1}"),
+            geometry: EdgeGeometry {
+                x1,
+                y1,
+                x2,
+                y2,
+                directed: true,
+            },
+            edge_label: "cites".into(),
+            node2_id: n2,
+            node2_label: format!("node {n2}"),
+        }
+    }
+
+    /// A 10x10 grid of nodes, edges between horizontal neighbors.
+    fn grid_rows() -> Vec<EdgeRow> {
+        let mut rows = Vec::new();
+        for r in 0..10u64 {
+            for c in 0..9u64 {
+                let n1 = r * 10 + c;
+                let n2 = n1 + 1;
+                rows.push(row(
+                    n1,
+                    n2,
+                    c as f64 * 10.0,
+                    r as f64 * 10.0,
+                    (c + 1) as f64 * 10.0,
+                    r as f64 * 10.0,
+                ));
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn window_query_returns_local_edges() {
+        let (pool, path) = pool("window");
+        let t = LayerTable::bulk_build(&pool, "layer0", grid_rows()).unwrap();
+        // Window around the top-left 2x2 corner.
+        let hits = t
+            .window(&pool, &Rect::new(-1.0, -1.0, 15.0, 15.0), true)
+            .unwrap();
+        // Horizontal edges with any overlap: rows y=0 and y=10, segments
+        // x:[0,10] and x:[10,20] both intersect; that's 2 per row -> 4.
+        assert_eq!(hits.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exact_refinement_filters_bbox_only_matches() {
+        let (pool, path) = pool("exact");
+        // Diagonal edge whose bbox covers the window corner but whose
+        // segment misses it.
+        let rows = vec![row(0, 1, 0.0, 20.0, 20.0, 0.0)];
+        let t = LayerTable::bulk_build(&pool, "layer0", rows).unwrap();
+        let w = Rect::new(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(t.window(&pool, &w, false).unwrap().len(), 1);
+        assert_eq!(t.window(&pool, &w, true).unwrap().len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn node_lookup_and_position() {
+        let (pool, path) = pool("node");
+        let t = LayerTable::bulk_build(&pool, "layer0", grid_rows()).unwrap();
+        // Node 55 (row 5, col 5): incident to left and right edges.
+        let rids = t.rows_of_node(&pool, 55).unwrap();
+        assert_eq!(rids.len(), 2);
+        let (pos, label) = t.node_position(&pool, 55).unwrap().unwrap();
+        assert_eq!((pos.x, pos.y), (50.0, 50.0));
+        assert_eq!(label, "node 55");
+        assert!(t.node_position(&pool, 9999).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn keyword_search_finds_nodes_and_edges() {
+        let (pool, path) = pool("search");
+        let t = LayerTable::bulk_build(&pool, "layer0", grid_rows()).unwrap();
+        let hits = t.search_nodes("node 55");
+        assert!(hits.contains(&55));
+        assert_eq!(t.search_edges("cites").len(), 90);
+        assert!(t.search_edges("nonexistent").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edit_insert_then_window_sees_it() {
+        let (pool, path) = pool("edit");
+        let mut t = LayerTable::bulk_build(&pool, "layer0", grid_rows()).unwrap();
+        let new_row = row(500, 501, 1000.0, 1000.0, 1010.0, 1000.0);
+        t.insert_row(&pool, &new_row).unwrap();
+        let hits = t
+            .window(&pool, &Rect::new(990.0, 990.0, 1020.0, 1010.0), true)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.node1_id, 500);
+        assert_eq!(t.row_count(), 91);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edit_delete_removes_everywhere() {
+        let (pool, path) = pool("delete");
+        let mut t = LayerTable::bulk_build(&pool, "layer0", grid_rows()).unwrap();
+        let rids = t.rows_of_node(&pool, 0).unwrap();
+        assert_eq!(rids.len(), 1);
+        t.delete_row(&pool, rids[0]).unwrap();
+        assert!(t.rows_of_node(&pool, 0).unwrap().is_empty());
+        let hits = t
+            .window(&pool, &Rect::new(-1.0, -1.0, 5.0, 5.0), false)
+            .unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(t.row_count(), 89);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_and_reopen_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gvdb-table-persist-{}", std::process::id()));
+        let meta;
+        {
+            let pool = BufferPool::new(Pager::create(&path).unwrap(), 256);
+            let mut t = LayerTable::bulk_build(&pool, "layer0", grid_rows()).unwrap();
+            // Mutate so save() has to repack.
+            t.insert_row(&pool, &row(777, 778, 500.0, 500.0, 510.0, 500.0))
+                .unwrap();
+            meta = t.save(&pool).unwrap();
+            pool.flush().unwrap();
+        }
+        {
+            let pool = BufferPool::new(Pager::open(&path).unwrap(), 256);
+            let t = LayerTable::open(&pool, &meta).unwrap();
+            assert_eq!(t.row_count(), 91);
+            assert!(t.search_nodes("node 777").contains(&777));
+            let hits = t
+                .window(&pool, &Rect::new(495.0, 495.0, 515.0, 505.0), true)
+                .unwrap();
+            assert_eq!(hits.len(), 1);
+            // Grid data intact too.
+            assert_eq!(t.rows_of_node(&pool, 55).unwrap().len(), 2);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

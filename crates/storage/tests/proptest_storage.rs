@@ -1,0 +1,171 @@
+//! Property-based tests for the storage engine: B+-tree vs BTreeMap model,
+//! catalog codec, packed R-tree vs linear scan.
+
+use gvdb_storage::btree::BTree;
+use gvdb_storage::spatial_index::PagedRTree;
+use gvdb_storage::table::LayerMeta;
+use gvdb_storage::{BufferPool, Pager};
+use gvdb_spatial::Rect;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn temp_pool(tag: u64, cache: usize) -> (BufferPool, std::path::PathBuf) {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gvdb-prop-store-{}-{tag}", std::process::id()));
+    (BufferPool::new(Pager::create(&p).unwrap(), cache), p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// B+-tree behaves exactly like a BTreeMap<(key, value)> model under
+    /// random interleaved inserts and removes, with a tiny buffer pool to
+    /// force eviction traffic.
+    #[test]
+    fn btree_matches_model(
+        ops in prop::collection::vec((0u64..500, 0u64..10_000, prop::bool::ANY), 1..800),
+        probes in prop::collection::vec(0u64..500, 1..20),
+        seed in 0u64..1_000_000,
+    ) {
+        let (pool, path) = temp_pool(seed, 8);
+        let mut tree = BTree::create(&pool).unwrap();
+        let mut model: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+        for &(k, v, insert) in &ops {
+            if insert || model.is_empty() {
+                // The tree stores duplicates; the model is a set. Keep them
+                // aligned by skipping exact-duplicate inserts.
+                if model.contains_key(&(k, v)) {
+                    continue;
+                }
+                tree.insert(&pool, k, v).unwrap();
+                model.insert((k, v), ());
+            } else {
+                let existing = *model.keys().next().unwrap();
+                prop_assert!(tree.remove(&pool, existing.0, existing.1).unwrap());
+                model.remove(&existing);
+            }
+        }
+        for &k in &probes {
+            let got = tree.get(&pool, k).unwrap();
+            let want: Vec<u64> = model
+                .keys()
+                .filter(|(key, _)| *key == k)
+                .map(|(_, v)| *v)
+                .collect();
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+        prop_assert_eq!(tree.len(&pool).unwrap(), model.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Range scans return exactly the model's range, in order.
+    #[test]
+    fn btree_range_matches_model(
+        keys in prop::collection::vec(0u64..1000, 1..500),
+        lo in 0u64..1000,
+        span in 0u64..200,
+        seed in 0u64..1_000_000,
+    ) {
+        let (pool, path) = temp_pool(seed.wrapping_add(1), 16);
+        let mut tree = BTree::create(&pool).unwrap();
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(&pool, k, i as u64).unwrap();
+            model.push((k, i as u64));
+        }
+        model.sort_unstable();
+        let hi = lo.saturating_add(span);
+        let mut got = Vec::new();
+        tree.range(&pool, lo, hi, |k, v| got.push((k, v))).unwrap();
+        let want: Vec<(u64, u64)> = model
+            .iter()
+            .copied()
+            .filter(|(k, _)| *k >= lo && *k <= hi)
+            .collect();
+        prop_assert_eq!(got, want);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Catalog encode/decode roundtrips arbitrary layer metadata.
+    #[test]
+    fn catalog_roundtrip(
+        layers in prop::collection::vec(
+            ("[a-z0-9]{1,24}", any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0..12
+        )
+    ) {
+        use gvdb_storage::catalog::Catalog;
+        let catalog = Catalog {
+            layers: layers
+                .into_iter()
+                .map(|(name, a, b, c, d)| LayerMeta {
+                    name,
+                    heap_first: a,
+                    bt_node1: b,
+                    bt_node2: c,
+                    node_trie: d,
+                    edge_trie: a ^ b,
+                    rtree_root: b ^ c,
+                    rtree_len: c ^ d,
+                    rows: a.wrapping_add(d),
+                })
+                .collect(),
+        };
+        let decoded = Catalog::decode(&catalog.encode()).unwrap();
+        prop_assert_eq!(decoded, catalog);
+    }
+
+    /// Packed R-tree windows (through a tiny buffer pool) match a linear
+    /// scan, with overlay edits applied on top.
+    #[test]
+    fn paged_rtree_with_edits_matches_model(
+        base in prop::collection::vec((0.0f64..500.0, 0.0f64..500.0), 1..200),
+        inserts in prop::collection::vec((0.0f64..500.0, 0.0f64..500.0), 0..20),
+        delete_every in 2usize..10,
+        wx in 0.0f64..400.0,
+        wy in 0.0f64..400.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let (pool, path) = temp_pool(seed.wrapping_add(2), 8);
+        let entries: Vec<(Rect, u64)> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect::new(x, y, x + 10.0, y + 10.0), i as u64))
+            .collect();
+        let mut tree = PagedRTree::build(&pool, entries.clone()).unwrap();
+        // Model: live set of (rect, id).
+        let mut model = entries.clone();
+        // Delete every n-th packed entry.
+        let mut deleted = Vec::new();
+        for (i, (r, v)) in entries.iter().enumerate() {
+            if i % delete_every == 0 {
+                tree.remove(r, *v);
+                deleted.push(*v);
+            }
+        }
+        model.retain(|(_, v)| !deleted.contains(v));
+        // Overlay inserts.
+        for (j, &(x, y)) in inserts.iter().enumerate() {
+            let r = Rect::new(x, y, x + 5.0, y + 5.0);
+            let id = 10_000 + j as u64;
+            tree.insert(r, id);
+            model.push((r, id));
+        }
+        let window = Rect::new(wx, wy, wx + 120.0, wy + 120.0);
+        let mut got: Vec<u64> = tree
+            .window(&pool, &window)
+            .unwrap()
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
+        let mut want: Vec<u64> = model
+            .iter()
+            .filter(|(r, _)| r.intersects(&window))
+            .map(|(_, v)| *v)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        std::fs::remove_file(&path).ok();
+    }
+}

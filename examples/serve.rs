@@ -1,0 +1,179 @@
+//! A real HTTP endpoint for the platform: the Query Manager behind a
+//! hand-rolled HTTP/1.1 server (std::net only), serving the same JSON a
+//! browser frontend would consume.
+//!
+//! Endpoints:
+//! * `GET /layers` — layer inventory
+//! * `GET /window?layer=0&minx=..&miny=..&maxx=..&maxy=..` — window query
+//! * `GET /search?layer=0&q=keyword` — keyword search
+//! * `GET /focus?layer=0&node=ID` — focus-on-node neighborhood
+//!
+//! By default the example starts the server, issues demo requests against
+//! itself, prints the responses and exits (CI-friendly). Pass `--serve` to
+//! keep listening.
+//!
+//! ```text
+//! cargo run --release --example serve             # self-demo
+//! cargo run --release --example serve -- --serve  # keep serving
+//! ```
+
+use graphvizdb::core::json::escape_into;
+use graphvizdb::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn main() {
+    let graph = wikidata_like(RdfConfig {
+        entities: 1_000,
+        ..Default::default()
+    });
+    let mut path = std::env::temp_dir();
+    path.push(format!("gvdb-serve-{}.db", std::process::id()));
+    let (db, _) = preprocess(&graph, &path, &PreprocessConfig::default()).expect("preprocess");
+    let qm = Arc::new(QueryManager::new(db));
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    println!("graphvizdb serving on http://{addr}");
+
+    let server_qm = qm.clone();
+    let server = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let qm = server_qm.clone();
+            std::thread::spawn(move || handle(stream, &qm));
+        }
+    });
+
+    let keep_serving = std::env::args().any(|a| a == "--serve");
+    if keep_serving {
+        server.join().ok();
+        return;
+    }
+
+    // Self-demo: act as our own client.
+    for path_q in [
+        "/layers".to_string(),
+        "/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200".to_string(),
+        "/search?layer=0&q=Faloutsos".to_string(),
+    ] {
+        let body = http_get(addr, &path_q);
+        let preview: String = body.chars().take(160).collect();
+        println!("\nGET {path_q}\n{preview}{}", if body.len() > 160 { "…" } else { "" });
+    }
+    // Focus on the first search hit.
+    let hits = qm.keyword_search(0, "Faloutsos").expect("search");
+    if let Some(hit) = hits.first() {
+        let body = http_get(addr, &format!("/focus?layer=0&node={}", hit.node_id));
+        let preview: String = body.chars().take(160).collect();
+        println!("\nGET /focus?layer=0&node={}\n{preview}…", hit.node_id);
+    }
+    println!("\nself-demo complete (pass --serve to keep the server running)");
+    std::fs::remove_file(&path).ok();
+    std::process::exit(0);
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(response)
+}
+
+fn handle(mut stream: TcpStream, qm: &QueryManager) {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers.
+    let mut line = String::new();
+    while reader.read_line(&mut line).is_ok() && line != "\r\n" && !line.is_empty() {
+        line.clear();
+    }
+    let target = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    let params: Vec<(&str, &str)> = query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .collect();
+    let get = |k: &str| params.iter().find(|(key, _)| *key == k).map(|(_, v)| *v);
+    let layer: usize = get("layer").and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    let (status, body) = match path {
+        "/layers" => {
+            let mut out = String::from("{\"layers\":[");
+            for i in 0..qm.layer_count() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let rows = qm.db().layer(i).map(|l| l.row_count()).unwrap_or(0);
+                out.push_str(&format!("{{\"index\":{i},\"rows\":{rows}}}"));
+            }
+            out.push_str("]}");
+            ("200 OK", out)
+        }
+        "/window" => {
+            let parse = |k: &str| get(k).and_then(|v| v.parse::<f64>().ok());
+            match (parse("minx"), parse("miny"), parse("maxx"), parse("maxy")) {
+                (Some(minx), Some(miny), Some(maxx), Some(maxy)) if minx <= maxx && miny <= maxy => {
+                    match qm.window_query(layer, &Rect::new(minx, miny, maxx, maxy)) {
+                        Ok(resp) => ("200 OK", resp.json.text),
+                        Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}")),
+                    }
+                }
+                _ => (
+                    "400 Bad Request",
+                    "{\"error\":\"need minx,miny,maxx,maxy\"}".to_string(),
+                ),
+            }
+        }
+        "/search" => match get("q") {
+            Some(q) => {
+                let q = q.replace('+', " ");
+                match qm.keyword_search(layer, &q) {
+                    Ok(hits) => {
+                        let mut out = String::from("{\"hits\":[");
+                        for (i, h) in hits.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!(
+                                "{{\"node\":{},\"x\":{:.2},\"y\":{:.2},\"label\":\"",
+                                h.node_id, h.position.x, h.position.y
+                            ));
+                            escape_into(&h.label, &mut out);
+                            out.push_str("\"}");
+                        }
+                        out.push_str("]}");
+                        ("200 OK", out)
+                    }
+                    Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}")),
+                }
+            }
+            None => ("400 Bad Request", "{\"error\":\"need q\"}".to_string()),
+        },
+        "/focus" => match get("node").and_then(|v| v.parse::<u64>().ok()) {
+            Some(node) => match qm.focus_on_node(layer, node) {
+                Ok(rows) => {
+                    let json = graphvizdb::core::build_graph_json(&rows);
+                    ("200 OK", json.text)
+                }
+                Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}")),
+            },
+            None => ("400 Bad Request", "{\"error\":\"need node\"}".to_string()),
+        },
+        _ => ("404 Not Found", "{\"error\":\"unknown endpoint\"}".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+}

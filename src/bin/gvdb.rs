@@ -1,0 +1,210 @@
+//! `gvdb` — the graphvizdb command-line tool.
+//!
+//! ```text
+//! gvdb preprocess <edge-list|.nt> <db> [--k N] [--layout force|circular|star|grid|hier]
+//!                                      [--levels N] [--criterion degree|pagerank|hits]
+//! gvdb info <db>
+//! gvdb window <db> <layer> <minx> <miny> <maxx> <maxy>
+//! gvdb search <db> <layer> <keyword...>
+//! gvdb focus <db> <layer> <node-id>
+//! gvdb stats <db>
+//! ```
+//!
+//! Input format is inferred from the extension: `.nt` parses as N-Triples,
+//! anything else as a (tab/space-separated) edge list.
+
+use graphvizdb::abstraction::{AbstractionMethod, HierarchyConfig, RankingCriterion};
+use graphvizdb::core::{preprocess, LayoutChoice, PreprocessConfig, QueryManager};
+use graphvizdb::graph::io::{read_edge_list, read_ntriples};
+use graphvizdb::graph::Graph;
+use graphvizdb::spatial::Rect;
+use graphvizdb::storage::GraphDb;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("preprocess") => cmd_preprocess(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("window") => cmd_window(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("focus") => cmd_focus(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        _ => {
+            eprintln!("{}", USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  gvdb preprocess <graph-file> <db> [--k N] [--layout force|circular|star|grid|hier]
+                                    [--levels N] [--criterion degree|pagerank|hits]
+  gvdb info <db>
+  gvdb window <db> <layer> <minx> <miny> <maxx> <maxy>
+  gvdb search <db> <layer> <keyword...>
+  gvdb focus <db> <layer> <node-id>
+  gvdb stats <db>";
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    if path.ends_with(".nt") {
+        read_ntriples(file).map_err(|e| format!("parse {path}: {e}"))
+    } else {
+        read_edge_list(file, true).map_err(|e| format!("parse {path}: {e}"))
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_preprocess(args: &[String]) -> Result<(), String> {
+    let [input, db_path, ..] = args else {
+        return Err("preprocess needs <graph-file> <db>".into());
+    };
+    let graph = load_graph(input)?;
+    println!(
+        "loaded {}: {} nodes, {} edges",
+        input,
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let mut cfg = PreprocessConfig::default();
+    if let Some(k) = flag(args, "--k") {
+        cfg.k = Some(k.parse().map_err(|_| format!("bad --k {k}"))?);
+    }
+    if let Some(layout) = flag(args, "--layout") {
+        cfg.layout = match layout {
+            "force" => LayoutChoice::ForceDirected,
+            "circular" => LayoutChoice::Circular,
+            "star" => LayoutChoice::Star,
+            "grid" => LayoutChoice::Grid,
+            "hier" => LayoutChoice::Hierarchical,
+            other => return Err(format!("unknown layout {other}")),
+        };
+    }
+    let levels: usize = match flag(args, "--levels") {
+        Some(v) => v.parse().map_err(|_| format!("bad --levels {v}"))?,
+        None => 4,
+    };
+    let criterion = match flag(args, "--criterion") {
+        Some("pagerank") => RankingCriterion::PageRank,
+        Some("hits") => RankingCriterion::HitsAuthority,
+        Some("degree") | None => RankingCriterion::Degree,
+        Some(other) => return Err(format!("unknown criterion {other}")),
+    };
+    cfg.hierarchy = HierarchyConfig {
+        levels,
+        method: AbstractionMethod::Filter {
+            criterion,
+            fraction: 0.3,
+        },
+    };
+    let (_db, report) =
+        preprocess(&graph, Path::new(db_path), &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "built {} layers into {db_path} (k = {}, edge cut {})",
+        report.layer_sizes.len(),
+        report.k,
+        report.edge_cut
+    );
+    let t = &report.times;
+    println!(
+        "step times: 1) partition {:.2?}  2) layout {:.2?}  3) organize {:.2?}  4) abstraction {:.2?}  5) indexing {:.2?}",
+        t.partitioning, t.layout, t.organize, t.abstraction, t.indexing
+    );
+    Ok(())
+}
+
+fn open_db(path: &str) -> Result<GraphDb, String> {
+    GraphDb::open(Path::new(path)).map_err(|e| format!("open {path}: {e}"))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [db_path, ..] = args else {
+        return Err("info needs <db>".into());
+    };
+    let db = open_db(db_path)?;
+    println!("{db_path}: {} layers", db.layer_count());
+    for i in 0..db.layer_count() {
+        let layer = db.layer(i).expect("index in range");
+        println!("  layer {i} ({}): {} rows", layer.name(), layer.row_count());
+    }
+    Ok(())
+}
+
+fn cmd_window(args: &[String]) -> Result<(), String> {
+    let [db_path, layer, minx, miny, maxx, maxy, ..] = args else {
+        return Err("window needs <db> <layer> <minx> <miny> <maxx> <maxy>".into());
+    };
+    let layer: usize = layer.parse().map_err(|_| "bad layer index")?;
+    let parse = |v: &String| v.parse::<f64>().map_err(|_| format!("bad coordinate {v}"));
+    let rect = Rect::new(parse(minx)?, parse(miny)?, parse(maxx)?, parse(maxy)?);
+    let qm = QueryManager::new(open_db(db_path)?);
+    let resp = qm.window_query(layer, &rect).map_err(|e| e.to_string())?;
+    println!("{}", resp.json.text);
+    eprintln!(
+        "# {} nodes, {} edges; db {:.3} ms, json {:.3} ms",
+        resp.json.node_count, resp.json.edge_count, resp.db_ms, resp.build_json_ms
+    );
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let [db_path, layer, keyword @ ..] = args else {
+        return Err("search needs <db> <layer> <keyword...>".into());
+    };
+    if keyword.is_empty() {
+        return Err("search needs a keyword".into());
+    }
+    let layer: usize = layer.parse().map_err(|_| "bad layer index")?;
+    let qm = QueryManager::new(open_db(db_path)?);
+    let hits = qm
+        .keyword_search(layer, &keyword.join(" "))
+        .map_err(|e| e.to_string())?;
+    println!("{} hit(s)", hits.len());
+    for h in hits.iter().take(25) {
+        println!("  node {} @ ({:.1}, {:.1}): {}", h.node_id, h.position.x, h.position.y, h.label);
+    }
+    Ok(())
+}
+
+fn cmd_focus(args: &[String]) -> Result<(), String> {
+    let [db_path, layer, node, ..] = args else {
+        return Err("focus needs <db> <layer> <node-id>".into());
+    };
+    let layer: usize = layer.parse().map_err(|_| "bad layer index")?;
+    let node: u64 = node.parse().map_err(|_| "bad node id")?;
+    let qm = QueryManager::new(open_db(db_path)?);
+    let rows = qm.focus_on_node(layer, node).map_err(|e| e.to_string())?;
+    println!("{} incident edge(s)", rows.len());
+    for (_, r) in rows.iter().take(25) {
+        println!("  {} --{}--> {}", r.node1_label, r.edge_label, r.node2_label);
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [db_path, ..] = args else {
+        return Err("stats needs <db>".into());
+    };
+    let db = open_db(db_path)?;
+    println!("layer |     rows | searchable");
+    for i in 0..db.layer_count() {
+        let layer = db.layer(i).expect("index in range");
+        println!("{:>5} | {:>8} | yes", i, layer.row_count());
+    }
+    Ok(())
+}

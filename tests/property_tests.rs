@@ -1,0 +1,236 @@
+//! Cross-crate property-based tests (proptest): randomized inputs checking
+//! the invariants each subsystem promises the others.
+
+use graphvizdb::core::build_graph_json;
+use graphvizdb::prelude::*;
+use graphvizdb::spatial::RTree;
+use graphvizdb::storage::heap::RowId;
+use graphvizdb::storage::{PageId, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// R-tree window queries agree with a linear scan for any entry set
+    /// and any window.
+    #[test]
+    fn rtree_window_equals_linear_scan(
+        entries in prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..50.0, 0.0f64..50.0),
+            0..300
+        ),
+        wx in -100.0f64..1100.0,
+        wy in -100.0f64..1100.0,
+        ww in 0.0f64..500.0,
+        wh in 0.0f64..500.0,
+    ) {
+        let rects: Vec<(Rect, usize)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, w, h))| (Rect::new(x, y, x + w, y + h), i))
+            .collect();
+        let window = Rect::new(wx, wy, wx + ww, wy + wh);
+        let tree = RTree::bulk_load(rects.clone());
+        let mut got: Vec<usize> = tree.window(&window).map(|(_, v)| *v).collect();
+        let mut expected: Vec<usize> = rects
+            .iter()
+            .filter(|(r, _)| r.intersects(&window))
+            .map(|(_, v)| *v)
+            .collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Incremental insert + remove keeps the R-tree consistent with a model.
+    #[test]
+    fn rtree_insert_remove_model(
+        ops in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0, prop::bool::ANY), 1..150)
+    ) {
+        let mut tree: RTree<usize> = RTree::new();
+        let mut model: Vec<(Rect, usize)> = Vec::new();
+        for (i, &(x, y, is_insert)) in ops.iter().enumerate() {
+            if is_insert || model.is_empty() {
+                let r = Rect::new(x, y, x + 1.0, y + 1.0);
+                tree.insert(r, i);
+                model.push((r, i));
+            } else {
+                let idx = (i * 7919) % model.len();
+                let (r, v) = model.swap_remove(idx);
+                prop_assert!(tree.remove(&r, &v));
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        tree.check_invariants();
+        let everything = Rect::new(-1.0, -1.0, 102.0, 102.0);
+        let mut got: Vec<usize> = tree.window(&everything).map(|(_, v)| *v).collect();
+        let mut expected: Vec<usize> = model.iter().map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Partitioning always covers every node with a valid part and keeps
+    /// balance within tolerance for connected-ish graphs.
+    #[test]
+    fn partition_cover_and_range(nodes in 2usize..200, edges in 1usize..400, k in 1u32..8) {
+        let g = erdos_renyi(nodes, edges, 42);
+        let p = partition(&g, &PartitionConfig::with_k(k));
+        prop_assert_eq!(p.assignment().len(), nodes);
+        prop_assert!(p.assignment().iter().all(|&x| x < k));
+        // Edge cut is bounded by edge count.
+        prop_assert!(p.edge_cut(&g) <= g.edge_count());
+    }
+
+    /// EdgeRow codec roundtrips for arbitrary labels and coordinates.
+    #[test]
+    fn edge_row_roundtrip(
+        n1 in any::<u64>(),
+        n2 in any::<u64>(),
+        l1 in "\\PC{0,40}",
+        l2 in "\\PC{0,40}",
+        le in "\\PC{0,40}",
+        x1 in -1e9f64..1e9,
+        y1 in -1e9f64..1e9,
+        x2 in -1e9f64..1e9,
+        y2 in -1e9f64..1e9,
+        directed in prop::bool::ANY,
+    ) {
+        let row = EdgeRow {
+            node1_id: n1,
+            node1_label: l1,
+            geometry: EdgeGeometry { x1, y1, x2, y2, directed },
+            edge_label: le,
+            node2_id: n2,
+            node2_label: l2,
+        };
+        let decoded = EdgeRow::decode(&row.encode()).unwrap();
+        prop_assert_eq!(decoded, row);
+    }
+
+    /// JSON building always emits parseable-ish structure: balanced braces
+    /// and correct counts, for arbitrary label content.
+    #[test]
+    fn json_structure_sound(labels in prop::collection::vec("\\PC{0,20}", 1..20)) {
+        let rows: Vec<(RowId, EdgeRow)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                (
+                    RowId { page: PageId(1), slot: i as u16 },
+                    EdgeRow {
+                        node1_id: i as u64,
+                        node1_label: l.clone(),
+                        geometry: EdgeGeometry {
+                            x1: 0.0, y1: 0.0, x2: 1.0, y2: 1.0, directed: false,
+                        },
+                        edge_label: l.clone(),
+                        node2_id: (i + 1) as u64,
+                        node2_label: l.clone(),
+                    },
+                )
+            })
+            .collect();
+        let json = build_graph_json(&rows);
+        prop_assert_eq!(json.edge_count, rows.len());
+        // No raw control characters leak through.
+        prop_assert!(!json.text.chars().any(|c| (c as u32) < 0x20));
+        // Structural soundness: track string state (respecting escapes);
+        // braces/brackets must balance outside strings and the document
+        // must end outside a string.
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut depth: i64 = 0;
+        for c in json.text.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    _ => {}
+                }
+                prop_assert!(depth >= 0, "negative nesting");
+            }
+        }
+        prop_assert!(!in_string, "unterminated string");
+        prop_assert_eq!(depth, 0, "unbalanced braces");
+    }
+
+    /// Heap file roundtrip under random record sizes.
+    #[test]
+    fn heap_roundtrip(sizes in prop::collection::vec(1usize..PAGE_SIZE / 4, 1..40)) {
+        use graphvizdb::storage::buffer::BufferPool;
+        use graphvizdb::storage::heap::HeapFile;
+        use graphvizdb::storage::Pager;
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "gvdb-prop-heap-{}-{}",
+            std::process::id(),
+            sizes.len() * 1000 + sizes[0]
+        ));
+        let pool = BufferPool::new(Pager::create(&path).unwrap(), 16);
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let mut rids = Vec::new();
+        for (i, &len) in sizes.iter().enumerate() {
+            let record = vec![(i % 251) as u8; len];
+            rids.push((heap.insert(&pool, &record).unwrap(), record));
+        }
+        for (rid, record) in &rids {
+            prop_assert_eq!(&heap.get(&pool, *rid).unwrap(), record);
+        }
+        prop_assert_eq!(heap.scan(&pool).unwrap().len(), rids.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Trie search agrees with a linear substring scan (word-level).
+    #[test]
+    fn trie_matches_linear_scan(
+        labels in prop::collection::vec("[a-c]{1,8}", 1..30),
+        keyword in "[a-c]{1,4}",
+    ) {
+        use graphvizdb::storage::trie::FullTextTrie;
+        let mut trie = FullTextTrie::new();
+        for (i, l) in labels.iter().enumerate() {
+            trie.insert(l, i as u64);
+        }
+        let got = trie.search(&keyword);
+        let expected: Vec<u64> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains(keyword.as_str()))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Organizer invariant: partitions never overlap on the plane.
+    #[test]
+    fn organizer_no_overlap(communities in 2usize..6, size in 5usize..20) {
+        use graphvizdb::core::{organize_partitions, OrganizerConfig};
+        use graphvizdb::layout::{Layout, LayoutAlgorithm};
+        let g = planted_partition(communities, size, 4.0, 0.5, 9);
+        let parts = partition(&g, &PartitionConfig::with_k(communities as u32));
+        let layouts: Vec<Layout> = parts
+            .parts()
+            .iter()
+            .map(|nodes| {
+                let (sub, _) = g.induced_subgraph(nodes);
+                ForceDirected { iterations: 5, ..Default::default() }.layout(&sub)
+            })
+            .collect();
+        let org = organize_partitions(&g, &parts, &layouts, &OrganizerConfig::default());
+        let mut slots = org.slots.clone();
+        slots.sort_unstable();
+        let before = slots.len();
+        slots.dedup();
+        prop_assert_eq!(before, slots.len(), "two partitions share a slot");
+    }
+}
