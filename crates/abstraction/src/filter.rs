@@ -84,16 +84,14 @@ mod tests {
     fn kept_nodes_are_highest_degree() {
         let g = barabasi_albert(200, 2, 5);
         let layer = filter_top_fraction(&g, RankingCriterion::Degree, 0.1);
-        let min_kept = layer
-            .node_map
-            .iter()
-            .map(|&v| g.degree(v))
-            .min()
-            .unwrap();
+        let min_kept = layer.node_map.iter().map(|&v| g.degree(v)).min().unwrap();
         // Count nodes strictly above the lowest kept degree; they must all
         // be kept, so there can be at most 20 of them.
         let above = g.node_ids().filter(|&v| g.degree(v) > min_kept).count();
-        assert!(above <= 20, "{above} nodes above threshold but only 20 kept");
+        assert!(
+            above <= 20,
+            "{above} nodes above threshold but only 20 kept"
+        );
         assert_eq!(layer.threshold, min_kept as f64);
     }
 

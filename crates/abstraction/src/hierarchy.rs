@@ -137,8 +137,7 @@ pub fn build_hierarchy(
                 }
             }
             AbstractionMethod::Summarize { ratio, seed } => {
-                let clusters =
-                    ((parent.graph.node_count() as f64 * ratio).ceil() as u32).max(1);
+                let clusters = ((parent.graph.node_count() as f64 * ratio).ceil() as u32).max(1);
                 let s = summarize_by_clusters(&parent.graph, clusters, seed + level as u64);
                 let k = s.graph.node_count();
                 let mut sums = vec![(0.0f64, 0.0f64, 0u32); k];

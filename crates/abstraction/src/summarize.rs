@@ -68,10 +68,7 @@ pub fn summarize_by_clusters(g: &Graph, clusters: u32, seed: u64) -> SummarizedL
     // Collapse crossing edges into weighted superedges.
     let mut weights: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
     for e in g.edges() {
-        let (cs, ct) = (
-            membership[e.source.index()],
-            membership[e.target.index()],
-        );
+        let (cs, ct) = (membership[e.source.index()], membership[e.target.index()]);
         if cs == ct {
             continue;
         }

@@ -19,9 +19,7 @@ fn bench_algorithms(c: &mut Criterion) {
     group.bench_function("circular", |b| {
         b.iter(|| black_box(Circular::default().layout(&g)))
     });
-    group.bench_function("star", |b| {
-        b.iter(|| black_box(Star::default().layout(&g)))
-    });
+    group.bench_function("star", |b| b.iter(|| black_box(Star::default().layout(&g))));
     group.bench_function("grid", |b| {
         b.iter(|| black_box(GridLayout::default().layout(&g)))
     });

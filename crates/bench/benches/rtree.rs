@@ -27,15 +27,19 @@ fn bench_build(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("str_bulk", n), &data, |b, data| {
             b.iter(|| black_box(RTree::bulk_load(data.clone())))
         });
-        group.bench_with_input(BenchmarkId::new("incremental_rstar", n), &data, |b, data| {
-            b.iter(|| {
-                let mut t = RTree::new();
-                for (r, v) in data {
-                    t.insert(*r, *v);
-                }
-                black_box(t)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_rstar", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut t = RTree::new();
+                    for (r, v) in data {
+                        t.insert(*r, *v);
+                    }
+                    black_box(t)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -19,7 +19,15 @@ fn main() {
     println!("graphVizdb Table I reproduction (scale 1/{scale} of the paper's datasets)\n");
     println!(
         "{:<10} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8}",
-        "Dataset", "#Edges", "#Nodes", "Step1(s)", "Step2(s)", "Step3(s)", "Step4(s)", "Step5(s)", "Total(s)"
+        "Dataset",
+        "#Edges",
+        "#Nodes",
+        "Step1(s)",
+        "Step2(s)",
+        "Step3(s)",
+        "Step4(s)",
+        "Step5(s)",
+        "Total(s)"
     );
 
     let mut per_edge: Vec<(&str, f64, f64)> = Vec::new();

@@ -1,0 +1,502 @@
+//! A sharded LRU cache for window-query results — the online hot path's
+//! answer to the paper's multi-user serving claim.
+//!
+//! Exploration traffic is heavily repetitive: every pan re-enters
+//! overlapping windows, popular regions are visited by many users, and a
+//! browser "back" replays an identical `(layer, window)` pair. The
+//! [`WindowCache`] sits in front of `QueryManager::window_query` and
+//! serves repeats without touching the R-tree, heap file, or JSON
+//! builder.
+//!
+//! Design:
+//!
+//! * **Key** — `(layer, quantized window)`. Coordinates are `f64`s, which
+//!   neither hash nor compare for equality reliably, so the key quantizes
+//!   each coordinate to a fixed grid ([`CacheConfig::quantum`], default
+//!   10⁻³ plane units). The *exact* window is stored alongside the entry
+//!   and compared bit-for-bit on lookup, so two distinct windows that
+//!   collide on the quantized key can never serve each other's rows —
+//!   quantization only buckets, it never changes results.
+//! * **Sharding** — the key hash picks one of [`CacheConfig::shards`]
+//!   independently locked shards, so concurrent sessions rarely contend
+//!   on the same mutex (the query path itself is `&self` and fully
+//!   concurrent, like the buffer pool underneath).
+//! * **LRU** — each shard evicts its least-recently-used entry when it
+//!   exceeds `capacity / shards` entries.
+//! * **Invalidation** — edits go through `QueryManager::db_mut`, which
+//!   clears the whole cache; a stale row can never be served after an
+//!   edit.
+//!
+//! Hits and misses are counted globally ([`WindowCache::stats`]) and
+//! surfaced per-response through `WindowResponse::cache_hit`.
+
+use crate::json::GraphJson;
+use gvdb_storage::{EdgeRow, RowId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gvdb_spatial::Rect;
+
+/// Cache sizing and keying parameters.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum cached window results across all shards.
+    pub capacity: usize,
+    /// Approximate memory budget (bytes) across all shards. Entry sizes
+    /// are estimated from row labels and JSON text; entries are evicted
+    /// (LRU first) to stay under budget, and a single result bigger than
+    /// one shard's budget is simply not cached — a handful of whole-plane
+    /// queries cannot pin the dataset in RAM many times over.
+    pub max_bytes: usize,
+    /// Number of independently locked shards.
+    pub shards: usize,
+    /// Quantization grid (plane units) for bucketing window coordinates.
+    pub quantum: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 512,
+            max_bytes: 64 << 20, // 64 MiB
+            shards: 8,
+            quantum: 1e-3,
+        }
+    }
+}
+
+/// Hit/miss/occupancy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the database.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Approximate bytes held by cached entries.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A cached window-query result: the DB rows and the client payload built
+/// from them. The fields are `Arc`s shared with the
+/// [`crate::query::WindowResponse`]s built from this entry, so cloning a
+/// `CachedWindow` — which is all a hit does — is two reference-count
+/// bumps, no row or JSON copying (sessions that filter use copy-on-write
+/// via `Arc::make_mut`).
+#[derive(Debug, Clone)]
+pub struct CachedWindow {
+    /// The rows in the window.
+    pub rows: Arc<Vec<(RowId, EdgeRow)>>,
+    /// The serialized client payload.
+    pub json: Arc<GraphJson>,
+}
+
+impl CachedWindow {
+    /// Estimated heap footprint: struct sizes plus the variable-length
+    /// parts (labels, JSON text). Good to within a small constant factor,
+    /// which is all a budget needs.
+    pub fn approx_bytes(&self) -> usize {
+        let row_fixed = std::mem::size_of::<(RowId, EdgeRow)>();
+        let labels: usize = self
+            .rows
+            .iter()
+            .map(|(_, r)| r.node1_label.len() + r.node2_label.len() + r.edge_label.len())
+            .sum();
+        self.rows.len() * row_fixed + labels + self.json.text.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    layer: usize,
+    qx0: i64,
+    qy0: i64,
+    qx1: i64,
+    qy1: i64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Bit pattern of the exact window, for collision-proof lookups.
+    exact: [u64; 4],
+    /// Last-touched tick (shard-local LRU clock).
+    tick: u64,
+    /// Cached [`CachedWindow::approx_bytes`] (stable for an entry's life).
+    bytes: usize,
+    value: CachedWindow,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn remove_lru(&mut self) -> bool {
+        let Some(lru) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k) else {
+            return false;
+        };
+        if let Some(e) = self.map.remove(&lru) {
+            self.bytes -= e.bytes;
+        }
+        true
+    }
+}
+
+/// The sharded LRU cache over window-query results.
+#[derive(Debug)]
+pub struct WindowCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    per_shard_bytes: usize,
+    quantum: f64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WindowCache {
+    /// Build a cache from `config` (shards and capacity are clamped to at
+    /// least 1).
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let capacity = config.capacity.max(1);
+        WindowCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards),
+            per_shard_bytes: config.max_bytes.max(1).div_ceil(shards),
+            quantum: if config.quantum > 0.0 {
+                config.quantum
+            } else {
+                1e-3
+            },
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn key(&self, layer: usize, window: &Rect) -> CacheKey {
+        let q = |v: f64| {
+            let scaled = v / self.quantum;
+            // Saturate instead of overflowing for absurd windows (±1e12
+            // "whole plane" probes are routine in tests).
+            if scaled >= i64::MAX as f64 {
+                i64::MAX
+            } else if scaled <= i64::MIN as f64 {
+                i64::MIN
+            } else {
+                scaled.round() as i64
+            }
+        };
+        CacheKey {
+            layer,
+            qx0: q(window.min_x),
+            qy0: q(window.min_y),
+            qx1: q(window.max_x),
+            qy1: q(window.max_y),
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn exact_bits(window: &Rect) -> [u64; 4] {
+        [
+            window.min_x.to_bits(),
+            window.min_y.to_bits(),
+            window.max_x.to_bits(),
+            window.max_y.to_bits(),
+        ]
+    }
+
+    /// Look up `(layer, window)`; counts a hit or miss.
+    pub fn get(&self, layer: usize, window: &Rect) -> Option<CachedWindow> {
+        let key = self.key(layer, window);
+        let exact = Self::exact_bits(window);
+        let mut shard = self
+            .shard_for(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.clock += 1;
+        let tick = shard.clock;
+        if let Some(entry) = shard.map.get_mut(&key) {
+            if entry.exact == exact {
+                entry.tick = tick;
+                let value = entry.value.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(value);
+            }
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert a result for `(layer, window)`, evicting least-recently-used
+    /// entries while the shard is over its entry or byte budget. A result
+    /// that alone exceeds the shard's byte budget is not cached at all —
+    /// caching it would evict everything else for one query that will
+    /// rarely repeat. A quantized-key collision overwrites (newest exact
+    /// window wins).
+    pub fn insert(&self, layer: usize, window: &Rect, value: CachedWindow) {
+        let bytes = value.approx_bytes();
+        if bytes > self.per_shard_bytes {
+            return;
+        }
+        let key = self.key(layer, window);
+        let exact = Self::exact_bits(window);
+        let mut shard = self
+            .shard_for(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.clock += 1;
+        let tick = shard.clock;
+        if let Some(old) = shard.map.remove(&key) {
+            shard.bytes -= old.bytes;
+        }
+        while (shard.map.len() >= self.per_shard_capacity
+            || shard.bytes + bytes > self.per_shard_bytes)
+            && shard.remove_lru()
+        {}
+        shard.bytes += bytes;
+        shard.map.insert(
+            key,
+            Entry {
+                exact,
+                tick,
+                bytes,
+                value,
+            },
+        );
+    }
+
+    /// Drop every entry (after any database mutation).
+    pub fn invalidate_all(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+                .sum(),
+            bytes: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).bytes)
+                .sum(),
+        }
+    }
+}
+
+impl Default for WindowCache {
+    fn default() -> Self {
+        WindowCache::new(CacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_storage::{EdgeGeometry, PageId};
+
+    fn cached(rows: usize) -> CachedWindow {
+        let rows = (0..rows)
+            .map(|i| {
+                (
+                    RowId {
+                        page: PageId(1),
+                        slot: i as u16,
+                    },
+                    EdgeRow {
+                        node1_id: i as u64,
+                        node1_label: format!("n{i}"),
+                        geometry: EdgeGeometry {
+                            x1: 0.0,
+                            y1: 0.0,
+                            x2: 1.0,
+                            y2: 1.0,
+                            directed: false,
+                        },
+                        edge_label: String::new(),
+                        node2_id: i as u64 + 1,
+                        node2_label: format!("n{}", i + 1),
+                    },
+                )
+            })
+            .collect::<Vec<_>>();
+        let json = crate::json::build_graph_json(&rows);
+        CachedWindow {
+            rows: Arc::new(rows),
+            json: Arc::new(json),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = WindowCache::default();
+        let w = Rect::new(0.0, 0.0, 100.0, 100.0);
+        assert!(cache.get(0, &w).is_none());
+        cache.insert(0, &w, cached(3));
+        let hit = cache.get(0, &w).expect("hit");
+        assert_eq!(hit.rows.len(), 3);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_is_part_of_the_key() {
+        let cache = WindowCache::default();
+        let w = Rect::new(0.0, 0.0, 10.0, 10.0);
+        cache.insert(0, &w, cached(1));
+        assert!(cache.get(1, &w).is_none());
+        assert!(cache.get(0, &w).is_some());
+    }
+
+    #[test]
+    fn quantized_collision_never_serves_wrong_window() {
+        // Two windows within one quantum of each other share a bucket but
+        // must not share results.
+        let cache = WindowCache::new(CacheConfig {
+            quantum: 1.0,
+            ..CacheConfig::default()
+        });
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(0.1, 0.1, 10.1, 10.1); // same quantized key
+        cache.insert(0, &a, cached(5));
+        assert!(cache.get(0, &b).is_none(), "exact-window check must reject");
+        assert!(cache.get(0, &a).is_some());
+    }
+
+    #[test]
+    fn eviction_at_capacity_is_lru() {
+        let cache = WindowCache::new(CacheConfig {
+            capacity: 4,
+            shards: 1,
+            ..CacheConfig::default()
+        });
+        let w = |i: usize| Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0);
+        for i in 0..4 {
+            cache.insert(0, &w(i), cached(i + 1));
+        }
+        // Touch 0 so 1 becomes the LRU, then overflow.
+        assert!(cache.get(0, &w(0)).is_some());
+        cache.insert(0, &w(4), cached(5));
+        assert_eq!(cache.stats().entries, 4);
+        assert!(cache.get(0, &w(1)).is_none(), "LRU entry evicted");
+        assert!(cache.get(0, &w(0)).is_some(), "recently used survives");
+        assert!(cache.get(0, &w(4)).is_some(), "new entry present");
+    }
+
+    #[test]
+    fn invalidate_all_clears_every_shard() {
+        let cache = WindowCache::default();
+        for i in 0..32 {
+            cache.insert(0, &Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0), cached(1));
+        }
+        assert!(cache.stats().entries > 0);
+        cache.invalidate_all();
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get(0, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_refuses_oversized() {
+        let one_entry_bytes = cached(10).approx_bytes();
+        let cache = WindowCache::new(CacheConfig {
+            capacity: 1_000,
+            max_bytes: one_entry_bytes * 3, // one shard, fits ~3 entries
+            shards: 1,
+            quantum: 1e-3,
+        });
+        let w = |i: usize| Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0);
+        for i in 0..6 {
+            cache.insert(0, &w(i), cached(10));
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= 3,
+            "byte budget must bound entries, got {}",
+            stats.entries
+        );
+        assert!(stats.bytes <= one_entry_bytes * 3);
+        // An entry alone bigger than the whole budget is refused outright.
+        cache.invalidate_all();
+        cache.insert(0, &w(0), cached(1_000));
+        assert_eq!(cache.stats().entries, 0, "oversized result not cached");
+        // ...but normal entries still cache afterwards.
+        cache.insert(0, &w(1), cached(10));
+        assert!(cache.get(0, &w(1)).is_some());
+    }
+
+    #[test]
+    fn invalidate_resets_byte_accounting() {
+        let cache = WindowCache::default();
+        cache.insert(0, &Rect::new(0.0, 0.0, 1.0, 1.0), cached(20));
+        assert!(cache.stats().bytes > 0);
+        cache.invalidate_all();
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn whole_plane_windows_do_not_overflow() {
+        let cache = WindowCache::default();
+        let w = Rect::new(-1e12, -1e12, 1e12, 1e12);
+        cache.insert(3, &w, cached(2));
+        assert!(cache.get(3, &w).is_some());
+    }
+
+    #[test]
+    fn concurrent_hammering_is_consistent() {
+        let cache = Arc::new(WindowCache::default());
+        let w = Rect::new(0.0, 0.0, 50.0, 50.0);
+        cache.insert(0, &w, cached(7));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    let w = Rect::new(0.0, 0.0, 50.0, 50.0);
+                    for _ in 0..500 {
+                        let hit = cache.get(0, &w).expect("entry stays");
+                        assert_eq!(hit.rows.len(), 7);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.stats().hits, 8 * 500);
+    }
+}

@@ -62,11 +62,10 @@ impl ClientModel {
     pub fn deliver(&self, json: &GraphJson) -> ClientCost {
         let bytes = json.byte_len();
         let chunks = bytes.div_ceil(self.chunk_bytes).max(1);
-        let transfer = self.rtt_ms
-            + bytes as f64 / self.bytes_per_ms
-            + chunks as f64 * self.per_chunk_ms;
-        let render = json.node_count as f64 * self.per_node_ms
-            + json.edge_count as f64 * self.per_edge_ms;
+        let transfer =
+            self.rtt_ms + bytes as f64 / self.bytes_per_ms + chunks as f64 * self.per_chunk_ms;
+        let render =
+            json.node_count as f64 * self.per_node_ms + json.edge_count as f64 * self.per_edge_ms;
         ClientCost {
             comm_render_ms: transfer + render,
             chunks,

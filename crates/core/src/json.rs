@@ -40,8 +40,18 @@ pub fn build_graph_json(rows: &[(RowId, EdgeRow)]) -> GraphJson {
     let mut node_count = 0usize;
     for (rid, row) in rows {
         for (id, label, x, y) in [
-            (row.node1_id, &row.node1_label, row.geometry.x1, row.geometry.y1),
-            (row.node2_id, &row.node2_label, row.geometry.x2, row.geometry.y2),
+            (
+                row.node1_id,
+                &row.node1_label,
+                row.geometry.x1,
+                row.geometry.y1,
+            ),
+            (
+                row.node2_id,
+                &row.node2_label,
+                row.geometry.x2,
+                row.geometry.y2,
+            ),
         ] {
             if seen.insert(id) {
                 if node_count > 0 {
@@ -71,7 +81,11 @@ pub fn build_graph_json(rows: &[(RowId, EdgeRow)]) -> GraphJson {
         edges.push_str(",\"label\":\"");
         escape_into(&row.edge_label, &mut edges);
         edges.push_str("\",\"directed\":");
-        edges.push_str(if row.geometry.directed { "true" } else { "false" });
+        edges.push_str(if row.geometry.directed {
+            "true"
+        } else {
+            "false"
+        });
         edges.push('}');
     }
     let text = format!("{{\"nodes\":[{nodes}],\"edges\":[{edges}]}}");

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod birdview;
+pub mod cache;
 pub mod client;
 pub mod json;
 pub mod organizer;
@@ -45,11 +46,13 @@ pub mod stats;
 pub mod workspace;
 
 pub use birdview::Birdview;
+pub use cache::{CacheConfig, CacheStats, WindowCache};
 pub use client::{ClientCost, ClientModel};
 pub use json::{build_graph_json, GraphJson};
 pub use organizer::{organize_partitions, OrganizedLayout, OrganizerConfig};
 pub use preprocess::{
-    layer_rows, preprocess, LayoutChoice, PreprocessConfig, PreprocessReport, StepTimes,
+    layer_rows, preprocess, LayoutChoice, PreprocessConfig, PreprocessReport, StageThreads,
+    StepTimes,
 };
 pub use query::{QueryManager, SearchHit, WindowResponse};
 pub use session::{Filters, Session};

@@ -231,10 +231,7 @@ mod tests {
     use gvdb_layout::{ForceDirected, LayoutAlgorithm};
     use gvdb_partition::{partition, PartitionConfig};
 
-    fn organize(
-        g: &Graph,
-        k: u32,
-    ) -> (OrganizedLayout, Partitioning) {
+    fn organize(g: &Graph, k: u32) -> (OrganizedLayout, Partitioning) {
         let parts = partition(g, &PartitionConfig::with_k(k));
         let layouts: Vec<Layout> = parts
             .parts()
@@ -292,9 +289,7 @@ mod tests {
                 continue;
             }
             let touches = (-1..=1).any(|dx| {
-                (-1..=1).any(|dy| {
-                    (dx != 0 || dy != 0) && occupied.contains(&(x + dx, y + dy))
-                })
+                (-1..=1).any(|dy| (dx != 0 || dy != 0) && occupied.contains(&(x + dx, y + dy)))
             });
             assert!(touches, "slot ({x},{y}) floats free");
         }
@@ -333,7 +328,11 @@ mod tests {
             g.edges()
                 .iter()
                 .filter(|e| parts.part_of(e.source) != parts.part_of(e.target))
-                .map(|e| layout.position(e.source).distance(&layout.position(e.target)))
+                .map(|e| {
+                    layout
+                        .position(e.source)
+                        .distance(&layout.position(e.target))
+                })
                 .sum()
         };
         let organized = crossing_len(&org.layout);

@@ -1,12 +1,33 @@
 //! The offline preprocessing pipeline (Fig. 1): partition → layout →
 //! organize → abstract → store & index, with per-step wall-clock timing —
 //! the instrumentation behind Table I.
+//!
+//! ## Parallelism
+//!
+//! The pipeline's two embarrassingly parallel stages fan out across
+//! `std::thread::scope` workers, controlled by
+//! [`PreprocessConfig::parallelism`] (`0` = one worker per CPU, `1` =
+//! fully sequential):
+//!
+//! * **Step 2** — partitions are laid out independently by construction
+//!   (crossing edges are ignored), so subgraph induction + layout run
+//!   per-partition through [`gvdb_layout::parallel_map`];
+//! * **Step 5** — each abstraction layer's storage rows are built
+//!   concurrently; the rows are then written and indexed layer by layer
+//!   (the database itself is single-writer).
+//!
+//! Both stages collect results **by index**, so a parallel run produces a
+//! byte-identical database to a sequential run on the same input — the
+//! platform's reproducibility guarantee does not depend on thread count.
+//! [`PreprocessReport::threads`] records how many workers each stage used
+//! so speedups are measurable (see `stats::format_preprocess_report`).
 
 use crate::organizer::{organize_partitions, OrganizerConfig};
 use gvdb_abstract::{build_hierarchy, Hierarchy, HierarchyConfig};
 use gvdb_graph::Graph;
 use gvdb_layout::{
-    Circular, ForceDirected, GridLayout, Hierarchical, Layout, LayoutAlgorithm, Star,
+    parallel_map, planned_workers, Circular, ForceDirected, GridLayout, Hierarchical, Layout,
+    LayoutAlgorithm, Star,
 };
 use gvdb_partition::{partition, suggest_k, PartitionConfig};
 use gvdb_storage::{EdgeGeometry, EdgeRow, GraphDb, Result};
@@ -29,7 +50,7 @@ pub enum LayoutChoice {
 }
 
 impl LayoutChoice {
-    fn algorithm(&self) -> Box<dyn LayoutAlgorithm> {
+    fn algorithm(&self) -> Box<dyn LayoutAlgorithm + Send + Sync> {
         match self {
             LayoutChoice::ForceDirected => Box::new(ForceDirected::default()),
             LayoutChoice::Circular => Box::new(Circular::default()),
@@ -61,6 +82,11 @@ pub struct PreprocessConfig {
     pub index_isolated_nodes: bool,
     /// Partitioner seed.
     pub seed: u64,
+    /// Worker threads for the parallel stages (per-partition layout, Step
+    /// 2, and per-layer row building, Step 5). `0` uses one worker per
+    /// available CPU; `1` runs fully sequentially. The database produced
+    /// is byte-identical regardless of this setting.
+    pub parallelism: usize,
 }
 
 impl Default for PreprocessConfig {
@@ -74,6 +100,7 @@ impl Default for PreprocessConfig {
             cache_pages: 4_096,
             index_isolated_nodes: true,
             seed: 42,
+            parallelism: 0,
         }
     }
 }
@@ -100,11 +127,23 @@ impl StepTimes {
     }
 }
 
+/// Worker-thread counts actually used by the parallel stages, for
+/// measuring speedup against a `parallelism: 1` run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageThreads {
+    /// Workers used for Step 2 (per-partition layout).
+    pub layout: usize,
+    /// Workers used for Step 5's row building (per abstraction layer).
+    pub row_building: usize,
+}
+
 /// Everything the pipeline produced.
 #[derive(Debug)]
 pub struct PreprocessReport {
     /// Per-step timings.
     pub times: StepTimes,
+    /// Worker threads used per parallel stage.
+    pub threads: StageThreads,
     /// Partition count used.
     pub k: u32,
     /// Crossing edges after Step 1.
@@ -117,7 +156,11 @@ pub struct PreprocessReport {
 }
 
 /// Run the full pipeline on `graph`, producing a database at `db_path`.
-pub fn preprocess(graph: &Graph, db_path: &Path, cfg: &PreprocessConfig) -> Result<(GraphDb, PreprocessReport)> {
+pub fn preprocess(
+    graph: &Graph,
+    db_path: &Path,
+    cfg: &PreprocessConfig,
+) -> Result<(GraphDb, PreprocessReport)> {
     // Step 1: k-way partitioning.
     let t = Instant::now();
     let k = cfg
@@ -129,17 +172,21 @@ pub fn preprocess(graph: &Graph, db_path: &Path, cfg: &PreprocessConfig) -> Resu
     let step1 = t.elapsed();
     let edge_cut = parts.edge_cut(graph);
 
-    // Step 2: layout each partition independently, ignoring crossing edges.
+    // Step 2: layout each partition independently, ignoring crossing
+    // edges. The subproblems are independent by construction, so they fan
+    // out across worker threads; results come back in partition order, so
+    // the outcome matches a sequential run exactly. Subgraph induction
+    // happens inside each worker, so at most one induced subgraph per
+    // worker is alive at a time — partitions exist precisely to bound
+    // this memory, at any thread count.
     let t = Instant::now();
     let algo = cfg.layout.algorithm();
-    let part_layouts: Vec<Layout> = parts
-        .parts()
-        .iter()
-        .map(|nodes| {
+    let layout_threads = planned_workers(cfg.parallelism, parts.parts().len());
+    let part_layouts: Vec<Layout> =
+        parallel_map(parts.parts().as_slice(), cfg.parallelism, |nodes| {
             let (sub, _) = graph.induced_subgraph(nodes);
             algo.layout(&sub)
-        })
-        .collect();
+        });
     let step2 = t.elapsed();
 
     // Step 3: organize partitions on the global plane.
@@ -158,14 +205,31 @@ pub fn preprocess(graph: &Graph, db_path: &Path, cfg: &PreprocessConfig) -> Resu
     let hierarchy = build_hierarchy(graph, &positions, &cfg.hierarchy);
     let step4 = t.elapsed();
 
-    // Step 5: store & index every layer.
+    // Step 5: store & index every layer. Row building (geometry + label
+    // materialization) is independent per layer and fans out across
+    // workers; the write+index pass stays sequential in layer order — the
+    // storage engine is single-writer — which keeps the database file
+    // byte-identical to a sequential run. The sequential path streams
+    // (one layer's rows alive at a time); the parallel path materializes
+    // all layers' rows to overlap their construction.
     let t = Instant::now();
+    let row_threads = planned_workers(cfg.parallelism, hierarchy.layers.len());
     let mut db = GraphDb::create_with_cache(db_path, cfg.cache_pages)?;
     let mut layer_sizes = Vec::with_capacity(hierarchy.layers.len());
-    for (i, layer) in hierarchy.layers.iter().enumerate() {
-        let rows = layer_rows(&layer.graph, &layer.positions, cfg.index_isolated_nodes);
-        db.create_layer(format!("layer{i}"), rows)?;
-        layer_sizes.push((layer.graph.node_count(), layer.graph.edge_count()));
+    if row_threads <= 1 {
+        for (i, layer) in hierarchy.layers.iter().enumerate() {
+            let rows = layer_rows(&layer.graph, &layer.positions, cfg.index_isolated_nodes);
+            db.create_layer(format!("layer{i}"), rows)?;
+            layer_sizes.push((layer.graph.node_count(), layer.graph.edge_count()));
+        }
+    } else {
+        let per_layer_rows = parallel_map(&hierarchy.layers, cfg.parallelism, |layer| {
+            layer_rows(&layer.graph, &layer.positions, cfg.index_isolated_nodes)
+        });
+        for (i, (layer, rows)) in hierarchy.layers.iter().zip(per_layer_rows).enumerate() {
+            db.create_layer(format!("layer{i}"), rows)?;
+            layer_sizes.push((layer.graph.node_count(), layer.graph.edge_count()));
+        }
     }
     db.flush()?;
     let step5 = t.elapsed();
@@ -180,6 +244,10 @@ pub fn preprocess(graph: &Graph, db_path: &Path, cfg: &PreprocessConfig) -> Resu
                 abstraction: step4,
                 indexing: step5,
             },
+            threads: StageThreads {
+                layout: layout_threads,
+                row_building: row_threads,
+            },
             k,
             edge_cut,
             layer_sizes,
@@ -190,11 +258,7 @@ pub fn preprocess(graph: &Graph, db_path: &Path, cfg: &PreprocessConfig) -> Resu
 
 /// Convert a laid-out graph into storage rows (one per edge, plus optional
 /// degenerate rows for isolated nodes).
-pub fn layer_rows(
-    graph: &Graph,
-    positions: &[(f64, f64)],
-    index_isolated: bool,
-) -> Vec<EdgeRow> {
+pub fn layer_rows(graph: &Graph, positions: &[(f64, f64)], index_isolated: bool) -> Vec<EdgeRow> {
     let directed = graph.is_directed();
     let mut rows: Vec<EdgeRow> = graph
         .edges()
@@ -321,6 +385,55 @@ mod tests {
             t.partitioning + t.layout + t.organize + t.abstraction + t.indexing
         );
         assert!(t.indexing > Duration::ZERO);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let g = planted_partition(6, 40, 6.0, 0.5, 9);
+        let path_seq = tmp("det-seq");
+        let path_par = tmp("det-par");
+        let base = PreprocessConfig {
+            k: Some(6),
+            ..Default::default()
+        };
+        let cfg_seq = PreprocessConfig {
+            parallelism: 1,
+            ..base.clone()
+        };
+        let cfg_par = PreprocessConfig {
+            parallelism: 4,
+            ..base
+        };
+        let (db_seq, rep_seq) = preprocess(&g, &path_seq, &cfg_seq).unwrap();
+        let (db_par, rep_par) = preprocess(&g, &path_par, &cfg_par).unwrap();
+        assert_eq!(rep_seq.threads.layout, 1);
+        assert!(rep_par.threads.layout > 1, "parallel run must fan out");
+        assert_eq!(rep_seq.layer_sizes, rep_par.layer_sizes);
+        drop(db_seq);
+        drop(db_par);
+        let bytes_seq = std::fs::read(&path_seq).unwrap();
+        let bytes_par = std::fs::read(&path_par).unwrap();
+        assert_eq!(
+            bytes_seq, bytes_par,
+            "database layout must not depend on thread count"
+        );
+        std::fs::remove_file(&path_seq).ok();
+        std::fs::remove_file(&path_par).ok();
+    }
+
+    #[test]
+    fn report_records_thread_counts() {
+        let g = planted_partition(4, 30, 5.0, 0.5, 11);
+        let path = tmp("threads");
+        let cfg = PreprocessConfig {
+            k: Some(4),
+            parallelism: 2,
+            ..Default::default()
+        };
+        let (_db, report) = preprocess(&g, &path, &cfg).unwrap();
+        assert_eq!(report.threads.layout, 2);
+        assert!(report.threads.row_building >= 1);
         std::fs::remove_file(&path).ok();
     }
 

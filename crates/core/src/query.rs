@@ -4,24 +4,43 @@
 //! * **DB Query Execution** — R-tree window lookup + heap fetch.
 //! * **Build JSON Objects** — serializing the sub-graph for the client.
 //! * **Communication + Rendering** — the simulated client pipeline.
+//!
+//! A sharded LRU [`crate::cache::WindowCache`] fronts
+//! [`QueryManager::window_query`]: a repeated `(layer, window)` pair is
+//! served from memory (counted in [`WindowResponse::cache_hit`] /
+//! [`QueryManager::cache_stats`]) without touching the spatial index or
+//! rebuilding JSON. Any mutable database access through
+//! [`QueryManager::db_mut`] invalidates the entire cache, so edits are
+//! never masked by stale entries.
 
+use crate::cache::{CacheConfig, CacheStats, CachedWindow, WindowCache};
 use crate::client::{ClientCost, ClientModel};
 use crate::json::{build_graph_json, GraphJson};
 use gvdb_spatial::{Point, Rect};
 use gvdb_storage::{EdgeRow, GraphDb, Result, RowId, StorageError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One measured window query, stage by stage.
+///
+/// `rows` and `json` are `Arc`s shared with the window cache: a cache hit
+/// costs two reference-count bumps, not a payload copy. Mutating
+/// consumers (session filters) use `Arc::make_mut` for copy-on-write.
 #[derive(Debug)]
 pub struct WindowResponse {
     /// The rows in the window.
-    pub rows: Vec<(RowId, EdgeRow)>,
+    pub rows: Arc<Vec<(RowId, EdgeRow)>>,
     /// The client payload.
-    pub json: GraphJson,
-    /// DB query execution time (ms).
+    pub json: Arc<GraphJson>,
+    /// DB query execution time (ms). Zero on a cache hit.
     pub db_ms: f64,
-    /// JSON building time (ms).
+    /// JSON building time (ms). Zero on a cache hit.
     pub build_json_ms: f64,
+    /// Cache lookup time (ms); on a hit this replaces `db_ms` +
+    /// `build_json_ms` as the server-side cost.
+    pub cache_ms: f64,
+    /// Whether this response was served from the window cache.
+    pub cache_hit: bool,
     /// Simulated communication + rendering cost.
     pub client: ClientCost,
 }
@@ -29,7 +48,13 @@ pub struct WindowResponse {
 impl WindowResponse {
     /// Total response time (ms): the Fig. 3 "Total Time" series.
     pub fn total_ms(&self) -> f64 {
-        self.db_ms + self.build_json_ms + self.client.comm_render_ms
+        self.db_ms + self.build_json_ms + self.cache_ms + self.client.comm_render_ms
+    }
+
+    /// Server-side time only (ms): everything except the simulated
+    /// client. This is the quantity the window cache shrinks.
+    pub fn server_ms(&self) -> f64 {
+        self.db_ms + self.build_json_ms + self.cache_ms
     }
 }
 
@@ -49,20 +74,37 @@ pub struct SearchHit {
 pub struct QueryManager {
     db: GraphDb,
     client: ClientModel,
+    cache: WindowCache,
 }
 
 impl QueryManager {
-    /// Wrap a database with the default client model.
+    /// Wrap a database with the default client model and cache.
     pub fn new(db: GraphDb) -> Self {
         QueryManager {
             db,
             client: ClientModel::default(),
+            cache: WindowCache::default(),
         }
     }
 
     /// Wrap with an explicit client model.
     pub fn with_client(db: GraphDb, client: ClientModel) -> Self {
-        QueryManager { db, client }
+        QueryManager {
+            db,
+            client,
+            cache: WindowCache::default(),
+        }
+    }
+
+    /// Wrap with an explicit window-cache configuration. A zero-capacity
+    /// configuration is clamped to one entry; to measure the uncached
+    /// path, query distinct windows instead.
+    pub fn with_cache_config(db: GraphDb, config: CacheConfig) -> Self {
+        QueryManager {
+            db,
+            client: ClientModel::default(),
+            cache: WindowCache::new(config),
+        }
     }
 
     /// The underlying database.
@@ -70,9 +112,21 @@ impl QueryManager {
         &self.db
     }
 
-    /// Mutable database access (edit operations).
+    /// Mutable database access (edit operations). Invalidates the window
+    /// cache: after any mutation, no stale window may be served.
     pub fn db_mut(&mut self) -> &mut GraphDb {
+        self.cache.invalidate_all();
         &mut self.db
+    }
+
+    /// Window-cache hit/miss/occupancy counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The client cost model responses are priced with.
+    pub fn client_model(&self) -> &ClientModel {
+        &self.client
     }
 
     /// Number of abstraction layers.
@@ -81,19 +135,51 @@ impl QueryManager {
     }
 
     /// Interactive navigation: evaluate a window query on `layer` and
-    /// measure every stage.
+    /// measure every stage. Repeated queries for the same `(layer,
+    /// window)` are served from the sharded LRU cache.
     pub fn window_query(&self, layer: usize, window: &Rect) -> Result<WindowResponse> {
+        // Resolve the layer before consulting the cache so an invalid
+        // layer is an error, not a counted miss.
         let table = self
             .db
             .layer(layer)
             .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+
         let t = Instant::now();
-        let rows = table.window(self.db.pool(), window, true)?;
+        if let Some(CachedWindow { rows, json }) = self.cache.get(layer, window) {
+            // Arc handles shared with the cache entry: no payload copy.
+            let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+            let client = self.client.deliver(&json);
+            return Ok(WindowResponse {
+                rows,
+                json,
+                db_ms: 0.0,
+                build_json_ms: 0.0,
+                cache_ms,
+                cache_hit: true,
+                client,
+            });
+        }
+        let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let rows = Arc::new(table.window(self.db.pool(), window, true)?);
         let db_ms = t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
-        let json = build_graph_json(&rows);
+        let json = Arc::new(build_graph_json(&rows));
         let build_json_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // The cache entry shares the same Arcs as the response: inserting
+        // copies nothing.
+        self.cache.insert(
+            layer,
+            window,
+            CachedWindow {
+                rows: rows.clone(),
+                json: json.clone(),
+            },
+        );
 
         let client = self.client.deliver(&json);
         Ok(WindowResponse {
@@ -101,6 +187,8 @@ impl QueryManager {
             json,
             db_ms,
             build_json_ms,
+            cache_ms,
+            cache_hit: false,
             client,
         })
     }
@@ -181,6 +269,74 @@ mod tests {
         assert!(resp.client.comm_render_ms > 0.0);
         assert!(resp.total_ms() >= resp.client.comm_render_ms);
         assert_eq!(resp.json.edge_count, resp.rows.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repeated_window_is_a_cache_hit() {
+        let (qm, path) = manager("cachehit");
+        let w = Rect::new(0.0, 0.0, 2000.0, 2000.0);
+        let first = qm.window_query(0, &w).unwrap();
+        assert!(!first.cache_hit);
+        let second = qm.window_query(0, &w).unwrap();
+        assert!(second.cache_hit, "identical (layer, window) must hit");
+        assert_eq!(second.rows, first.rows);
+        assert_eq!(second.json, first.json);
+        assert_eq!(second.db_ms, 0.0);
+        assert!(
+            second.server_ms() <= first.server_ms(),
+            "hit ({:.4} ms) must not cost more than the miss ({:.4} ms)",
+            second.server_ms(),
+            first.server_ms()
+        );
+        let stats = qm.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nearby_windows_are_distinct_entries() {
+        let (qm, path) = manager("cachedistinct");
+        let a = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let b = Rect::new(10.0, 0.0, 1010.0, 1000.0);
+        let ra = qm.window_query(0, &a).unwrap();
+        let rb = qm.window_query(0, &b).unwrap();
+        assert!(!ra.cache_hit && !rb.cache_hit);
+        // Both repeats hit, each with its own rows.
+        assert!(qm.window_query(0, &a).unwrap().cache_hit);
+        assert!(qm.window_query(0, &b).unwrap().cache_hit);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn db_mut_invalidates_the_cache() {
+        let (mut qm, path) = manager("cacheinval");
+        let w = Rect::new(0.0, 0.0, 1500.0, 1500.0);
+        let before = qm.window_query(0, &w).unwrap();
+        assert!(qm.window_query(0, &w).unwrap().cache_hit);
+
+        // Insert a row inside the window through the edit path.
+        let row = gvdb_storage::EdgeRow {
+            node1_id: 777_001,
+            node1_label: "edit-a".into(),
+            geometry: gvdb_storage::EdgeGeometry {
+                x1: 10.0,
+                y1: 10.0,
+                x2: 20.0,
+                y2: 20.0,
+                directed: false,
+            },
+            edge_label: "edited".into(),
+            node2_id: 777_002,
+            node2_label: "edit-b".into(),
+        };
+        qm.db_mut().insert_row(0, &row).unwrap();
+
+        let after = qm.window_query(0, &w).unwrap();
+        assert!(!after.cache_hit, "edits must invalidate cached windows");
+        assert_eq!(after.rows.len(), before.rows.len() + 1);
+        assert!(after.rows.iter().any(|(_, r)| r.edge_label == "edited"));
         std::fs::remove_file(&path).ok();
     }
 

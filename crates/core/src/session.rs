@@ -84,11 +84,16 @@ impl Session {
         if !self.filters.hidden_edge_labels.is_empty()
             || !self.filters.hidden_node_substrings.is_empty()
         {
-            resp.rows.retain(|(_, row)| self.filters.keeps(row));
+            // Copy-on-write: the response may share its rows with the
+            // window cache; make_mut clones only in that case, so the
+            // cached (unfiltered) entry is never mutated.
+            let rows = std::sync::Arc::make_mut(&mut resp.rows);
+            rows.retain(|(_, row)| self.filters.keeps(row));
             // Rebuild the payload from the filtered rows (filtering is a
-            // client-side concept, but the server prunes the stream).
-            resp.json = crate::json::build_graph_json(&resp.rows);
-            resp.client = crate::client::ClientModel::default().deliver(&resp.json);
+            // client-side concept, but the server prunes the stream),
+            // priced with the manager's configured client model.
+            resp.json = std::sync::Arc::new(crate::json::build_graph_json(rows));
+            resp.client = qm.client_model().deliver(&resp.json);
         }
         Ok(resp)
     }
@@ -254,7 +259,7 @@ mod tests {
         s.filters_mut().hidden_node_substrings.push("\"".into()); // literals
         let filtered = s.view(&qm).unwrap();
         assert!(filtered.rows.len() < unfiltered);
-        for (_, row) in &filtered.rows {
+        for (_, row) in filtered.rows.iter() {
             assert!(!row.node1_label.starts_with('"'));
             assert!(!row.node2_label.starts_with('"'));
         }

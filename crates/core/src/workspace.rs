@@ -120,8 +120,10 @@ mod tests {
             .rows
             .iter()
             .all(|(_, r)| r.edge_label == "cites" || r.edge_label.is_empty()));
-        assert!(v1.rows.iter().any(|(_, r)| r.edge_label.starts_with("wdt:")
-            || r.edge_label.starts_with("rdfs:")));
+        assert!(v1
+            .rows
+            .iter()
+            .any(|(_, r)| r.edge_label.starts_with("wdt:") || r.edge_label.starts_with("rdfs:")));
 
         // Unknown dataset errors cleanly.
         assert!(ws.dataset("ACM").is_err());

@@ -58,7 +58,12 @@ fn intern(b: &mut GraphBuilder, ids: &mut HashMap<String, NodeId>, key: &str) ->
 /// non-empty), using node labels as identifiers.
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# graphvizdb edge list: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# graphvizdb edge list: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    )?;
     for e in g.edges() {
         if e.label.is_empty() {
             writeln!(w, "{}\t{}", g.node_label(e.source), g.node_label(e.target))?;

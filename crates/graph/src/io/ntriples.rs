@@ -26,10 +26,7 @@ pub fn read_ntriples<R: Read>(reader: R) -> io::Result<Graph> {
             let t = line.trim();
             if !t.is_empty() && !t.starts_with('#') {
                 let (s, p, o) = parse_triple(t).map_err(|msg| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("line {lineno}: {msg}"),
-                    )
+                    io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: {msg}"))
                 })?;
                 let sid = intern(&mut b, &mut ids, &s);
                 // Literals are never shared between subjects in this model:
@@ -105,9 +102,7 @@ fn take_term(rest: &mut &str) -> Result<String, String> {
         return Ok(term);
     }
     if s.starts_with("_:") {
-        let end = s
-            .find(|c: char| c.is_ascii_whitespace())
-            .unwrap_or(s.len());
+        let end = s.find(|c: char| c.is_ascii_whitespace()).unwrap_or(s.len());
         let term = s[..end].to_string();
         *rest = &s[end..];
         return Ok(term);
@@ -155,9 +150,7 @@ _:b0 <http://ex/p> "x \"quoted\"" .
         assert_eq!(g.edge_count(), 3);
         // a, b, literal1, _:b0, literal2
         assert_eq!(g.node_count(), 5);
-        assert!(g
-            .node_ids()
-            .any(|v| g.node_label(v) == "\"Alice\"@en"));
+        assert!(g.node_ids().any(|v| g.node_label(v) == "\"Alice\"@en"));
     }
 
     #[test]

@@ -88,10 +88,7 @@ mod tests {
 
     #[test]
     fn bbox_of_points() {
-        let l = Layout::from_positions(vec![
-            Position::new(-1.0, 2.0),
-            Position::new(3.0, -4.0),
-        ]);
+        let l = Layout::from_positions(vec![Position::new(-1.0, 2.0), Position::new(3.0, -4.0)]);
         let bb = bounding_box(&l).unwrap();
         assert_eq!(bb.min_x, -1.0);
         assert_eq!(bb.max_y, 2.0);
@@ -106,10 +103,8 @@ mod tests {
 
     #[test]
     fn normalize_fits_target_rect() {
-        let mut l = Layout::from_positions(vec![
-            Position::new(10.0, 10.0),
-            Position::new(20.0, 30.0),
-        ]);
+        let mut l =
+            Layout::from_positions(vec![Position::new(10.0, 10.0), Position::new(20.0, 30.0)]);
         normalize_to(&mut l, 100.0, 50.0);
         let bb = bounding_box(&l).unwrap();
         assert!((bb.min_x - 0.0).abs() < 1e-9);
@@ -119,10 +114,7 @@ mod tests {
 
     #[test]
     fn normalize_degenerate_axis_centers() {
-        let mut l = Layout::from_positions(vec![
-            Position::new(5.0, 1.0),
-            Position::new(5.0, 2.0),
-        ]);
+        let mut l = Layout::from_positions(vec![Position::new(5.0, 1.0), Position::new(5.0, 2.0)]);
         normalize_to(&mut l, 10.0, 10.0);
         assert_eq!(l.position(gvdb_graph::NodeId(0)).x, 5.0);
         assert_eq!(l.position(gvdb_graph::NodeId(1)).y, 10.0);

@@ -64,8 +64,10 @@ impl LayoutAlgorithm for Circular {
         let mut positions = vec![Position::default(); n];
         for (i, &v) in order.iter().enumerate() {
             let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
-            positions[v.index()] =
-                Position::new(center + self.radius * theta.cos(), center + self.radius * theta.sin());
+            positions[v.index()] = Position::new(
+                center + self.radius * theta.cos(),
+                center + self.radius * theta.sin(),
+            );
         }
         Layout::from_positions(positions)
     }

@@ -34,7 +34,10 @@ impl LayoutAlgorithm for GridLayout {
             return Layout::default();
         }
         let order: Vec<u32> = if self.bfs_order {
-            let start = g.node_ids().max_by_key(|&v| g.degree(v)).expect("non-empty");
+            let start = g
+                .node_ids()
+                .max_by_key(|&v| g.degree(v))
+                .expect("non-empty");
             let mut order: Vec<u32> = bfs_order(g, start).iter().map(|v| v.0).collect();
             if order.len() < n {
                 let mut seen = vec![false; n];

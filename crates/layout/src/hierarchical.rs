@@ -180,7 +180,10 @@ mod tests {
         b.add_edge(c, a, "");
         let l = Hierarchical::default().layout(&b.build());
         assert_eq!(l.len(), 2);
-        assert!(l.positions().iter().all(|p| p.x.is_finite() && p.y.is_finite()));
+        assert!(l
+            .positions()
+            .iter()
+            .all(|p| p.x.is_finite() && p.y.is_finite()));
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod circular;
 pub mod force;
 pub mod grid;
 pub mod hierarchical;
+pub mod parallel;
 pub mod random;
 pub mod star;
 
@@ -32,6 +33,7 @@ pub use circular::Circular;
 pub use force::ForceDirected;
 pub use grid::GridLayout;
 pub use hierarchical::Hierarchical;
+pub use parallel::{effective_threads, layout_many, parallel_map, planned_workers};
 pub use random::RandomLayout;
 pub use star::Star;
 
@@ -110,9 +112,7 @@ impl Layout {
     pub fn total_edge_length(&self, g: &Graph) -> f64 {
         g.edges()
             .iter()
-            .map(|e| {
-                self.positions[e.source.index()].distance(&self.positions[e.target.index()])
-            })
+            .map(|e| self.positions[e.source.index()].distance(&self.positions[e.target.index()]))
             .sum()
     }
 }

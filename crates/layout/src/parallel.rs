@@ -1,0 +1,142 @@
+//! Parallel fan-out over independent layout problems.
+//!
+//! Step 2 of the graphVizdb pipeline lays out every partition *in
+//! isolation* — crossing edges are ignored by construction — so the
+//! per-partition layouts are embarrassingly parallel. [`layout_many`] is
+//! the crate's parallel entry point: it spreads a batch of graphs across
+//! `std::thread::scope` workers and returns the layouts **in input
+//! order**, so a parallel run is bit-for-bit identical to a sequential
+//! one (each algorithm is itself deterministic given its seed).
+//!
+//! The underlying [`parallel_map`] is generic and shared with the other
+//! fan-out stage of the pipeline (per-layer row building in
+//! `gvdb-core`). Scheduling is static: the batch is cut into one
+//! contiguous chunk per worker. Partition sizes are balanced by the
+//! partitioner (that is its job), so static chunks waste little time
+//! compared to work stealing and keep the code free of `unsafe` and
+//! synchronization beyond the scope join.
+
+use crate::{Layout, LayoutAlgorithm};
+use gvdb_graph::Graph;
+
+/// Map `f` over `items` using up to `threads` scoped worker threads
+/// (`0` means one per available CPU). Results are returned in input
+/// order; with `threads <= 1` this is exactly `items.iter().map(f)`.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (item_chunk, result_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("scope joined all workers"))
+        .collect()
+}
+
+/// Lay out every graph in `graphs` with `algo`, using up to `threads`
+/// worker threads (`0` means one per available CPU). Results are returned
+/// in input order; the output is identical to calling
+/// `algo.layout(&graphs[i])` serially for every `i`.
+pub fn layout_many<A>(algo: &A, graphs: &[Graph], threads: usize) -> Vec<Layout>
+where
+    A: LayoutAlgorithm + Sync + ?Sized,
+{
+    parallel_map(graphs, threads, |g| algo.layout(g))
+}
+
+/// Resolve a thread-count request: `0` = all available CPUs, otherwise the
+/// request itself, in both cases capped by the number of jobs.
+pub fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, jobs.max(1))
+}
+
+/// Number of workers [`parallel_map`] actually spawns for a request:
+/// chunking is contiguous, so `jobs` not divisible by the thread count
+/// can need fewer workers than requested (e.g. 6 jobs at 4 threads →
+/// chunks of 2 → 3 workers). Use this, not the request, when reporting
+/// thread counts.
+pub fn planned_workers(requested: usize, jobs: usize) -> usize {
+    let t = effective_threads(requested, jobs);
+    if jobs <= 1 || t <= 1 {
+        return t;
+    }
+    let chunk = jobs.div_ceil(t);
+    jobs.div_ceil(chunk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ForceDirected;
+    use gvdb_graph::generators::grid_graph;
+
+    fn batch() -> Vec<Graph> {
+        (2..8u32).map(|n| grid_graph(n as usize, 3)).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let graphs = batch();
+        let algo = ForceDirected::default();
+        let serial: Vec<Layout> = graphs.iter().map(|g| algo.layout(g)).collect();
+        for threads in [1, 2, 4, 0] {
+            let parallel = layout_many(&algo, &graphs, threads);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let algo = ForceDirected::default();
+        assert!(layout_many(&algo, &[], 4).is_empty());
+        let one = vec![grid_graph(3, 3)];
+        assert_eq!(layout_many(&algo, &one, 4).len(), 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, 4, |x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(3, 100), 3);
+        assert_eq!(effective_threads(8, 2), 2);
+        assert_eq!(effective_threads(5, 0), 1);
+        assert!(effective_threads(0, 64) >= 1);
+    }
+
+    #[test]
+    fn planned_workers_accounts_for_chunking() {
+        // 6 jobs at 4 threads: chunks of 2 → only 3 workers spawn.
+        assert_eq!(planned_workers(4, 6), 3);
+        assert_eq!(planned_workers(4, 8), 4);
+        assert_eq!(planned_workers(2, 4), 2);
+        assert_eq!(planned_workers(1, 10), 1);
+        assert_eq!(planned_workers(8, 1), 1);
+    }
+}

@@ -17,7 +17,9 @@ pub struct Star {
 
 impl Default for Star {
     fn default() -> Self {
-        Star { ring_spacing: 120.0 }
+        Star {
+            ring_spacing: 120.0,
+        }
     }
 }
 
@@ -27,14 +29,14 @@ impl LayoutAlgorithm for Star {
         if n == 0 {
             return Layout::default();
         }
-        let hub = g.node_ids().max_by_key(|&v| g.degree(v)).expect("non-empty");
+        let hub = g
+            .node_ids()
+            .max_by_key(|&v| g.degree(v))
+            .expect("non-empty");
         let dist = bfs_distances(g, hub);
         // Unreachable nodes go on an outermost ring.
         let max_ring = dist.iter().flatten().copied().max().unwrap_or(0) + 1;
-        let ring_of: Vec<u32> = dist
-            .iter()
-            .map(|d| d.unwrap_or(max_ring))
-            .collect();
+        let ring_of: Vec<u32> = dist.iter().map(|d| d.unwrap_or(max_ring)).collect();
         let mut ring_members: Vec<Vec<usize>> = vec![Vec::new(); (max_ring + 1) as usize];
         for (v, &r) in ring_of.iter().enumerate() {
             ring_members[r as usize].push(v);
@@ -55,8 +57,8 @@ impl LayoutAlgorithm for Star {
             }
             let radius = self.ring_spacing * r as f64;
             for (i, &v) in members.iter().enumerate() {
-                let theta = 2.0 * std::f64::consts::PI * i as f64 / members.len() as f64
-                    + (r as f64) * 0.5; // stagger rings to avoid radial lines
+                let theta =
+                    2.0 * std::f64::consts::PI * i as f64 / members.len() as f64 + (r as f64) * 0.5; // stagger rings to avoid radial lines
                 positions[v] = Position::new(
                     center.x + radius * theta.cos(),
                     center.y + radius * theta.sin(),

@@ -1,11 +1,11 @@
 //! Property-based tests for layout algorithms: every algorithm must place
 //! every node at finite coordinates, deterministically.
 
-use gvdb_layout::{
-    bounding_box, normalize_to, Circular, ForceDirected, GridLayout, Hierarchical,
-    LayoutAlgorithm, RandomLayout, Star,
-};
 use gvdb_graph::generators::erdos_renyi;
+use gvdb_layout::{
+    bounding_box, normalize_to, Circular, ForceDirected, GridLayout, Hierarchical, LayoutAlgorithm,
+    RandomLayout, Star,
+};
 use proptest::prelude::*;
 
 fn algorithms() -> Vec<Box<dyn LayoutAlgorithm>> {

@@ -1,4 +1,20 @@
-//! Graph contraction for the coarsening phase.
+//! Graph contraction for the coarsening phase of the multilevel scheme.
+//!
+//! Coarsening is the first of the three multilevel phases (coarsen →
+//! initial partition → uncoarsen + refine). Each round computes a
+//! heavy-edge matching ([`crate::matching`]) and [`contract`]s the graph
+//! along it: every matched pair collapses into one coarse vertex whose
+//! weight is the sum of its members, edges between coarse vertices merge
+//! with summed weights, and intra-pair edges vanish. A cut measured on
+//! the coarse graph therefore equals the corresponding cut on the fine
+//! graph — which is what lets the initial partitioner work on a few
+//! hundred vertices and still say something about millions.
+//!
+//! [`coarsen_to`] repeats rounds until the target size is reached or a
+//! round stops making progress (matching can stall on star-like graphs,
+//! where almost everything is matched to one hub); the returned
+//! [`CoarseLevel`] stack records the fine→coarse vertex maps needed to
+//! project the partition back down.
 
 use crate::matching::heavy_edge_matching;
 use crate::wgraph::WeightedGraph;
@@ -101,7 +117,7 @@ mod tests {
     }
 
     #[test]
-    fn map_is_total_and_in_range(){
+    fn map_is_total_and_in_range() {
         let g = WeightedGraph::from_graph(&planted_partition(3, 20, 6.0, 1.0, 5));
         let mut rng = StdRng::seed_from_u64(4);
         let mate = heavy_edge_matching(&g, &mut rng);
@@ -117,7 +133,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let levels = coarsen_to(&g, 50, &mut rng);
         assert!(levels.last().unwrap().graph.len() <= 100); // near target
-        // weights preserved through the whole hierarchy
+                                                            // weights preserved through the whole hierarchy
         assert_eq!(levels.last().unwrap().graph.total_vwgt(), g.total_vwgt());
     }
 
@@ -126,7 +142,12 @@ mod tests {
         use std::collections::HashMap;
         // Square a-b-c-d-a with unit weights; match (a,b) and (c,d):
         // coarse graph has 2 vertices connected by weight 2 (edges b-c, d-a).
-        let mut adj = vec![HashMap::new(), HashMap::new(), HashMap::new(), HashMap::new()];
+        let mut adj = vec![
+            HashMap::new(),
+            HashMap::new(),
+            HashMap::new(),
+            HashMap::new(),
+        ];
         for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0)] {
             adj[u as usize].insert(v, 1);
             adj[v as usize].insert(u, 1);

@@ -1,5 +1,21 @@
 //! The multilevel k-way driver: coarsen → initial partition → project back
 //! with refinement at every level.
+//!
+//! This is the crate's public entry point ([`partition`]) and the
+//! platform's substitute for `metis`'s `gpmetis`. The driver wires the
+//! phases together:
+//!
+//! 1. [`crate::coarsen::coarsen_to`] shrinks the graph to roughly
+//!    `coarsen_to_factor · k` vertices via heavy-edge matching;
+//! 2. [`crate::initial::greedy_growing`] partitions the coarsest graph;
+//! 3. the assignment is projected back up the hierarchy, with
+//!    [`crate::refine`] repairing the boundary at every level.
+//!
+//! Degenerate inputs (`k == 1`, fewer nodes than parts) skip the
+//! machinery. [`suggest_k`] derives `k` from a per-partition node budget
+//! the way the paper prescribes — partitions exist so that Step 2's
+//! layout never needs more than one partition in memory — and the whole
+//! run is deterministic given [`PartitionConfig::seed`].
 
 use crate::coarsen::coarsen_to;
 use crate::initial::greedy_growing;

@@ -40,7 +40,6 @@ mod wgraph;
 pub use kway::{partition, suggest_k, PartitionConfig};
 pub use quality::{balance, edge_cut};
 
-
 use gvdb_graph::{Graph, NodeId};
 
 /// A k-way partitioning of a graph: a dense part id per node.

@@ -4,7 +4,14 @@
 //! with its unmatched neighbor of maximal edge weight (ties broken by lower
 //! vertex weight to keep coarse vertices balanced). Matching by heavy edges
 //! removes as much edge weight as possible from the coarser graph, which is
-//! what keeps the final cut small.
+//! what keeps the final cut small: edge weight that disappears inside a
+//! coarse vertex can never end up on the cut.
+//!
+//! The randomized visiting order is drawn from the partitioner's seeded
+//! [`rand::StdRng`], so matchings — and everything built on them — are
+//! deterministic given [`crate::PartitionConfig::seed`]. This is one of
+//! the links in the platform's end-to-end reproducibility chain (same
+//! seed ⇒ same partition ⇒ same layout ⇒ byte-identical database).
 
 use crate::wgraph::WeightedGraph;
 use rand::prelude::*;
@@ -96,7 +103,10 @@ mod tests {
     fn isolated_vertices_self_match() {
         let g = WeightedGraph::from_adjacency(
             vec![1, 1],
-            &[std::collections::HashMap::new(), std::collections::HashMap::new()],
+            &[
+                std::collections::HashMap::new(),
+                std::collections::HashMap::new(),
+            ],
         );
         let mut rng = StdRng::seed_from_u64(0);
         let mate = heavy_edge_matching(&g, &mut rng);

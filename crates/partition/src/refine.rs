@@ -1,10 +1,19 @@
 //! K-way Fiduccia–Mattheyses-style boundary refinement.
 //!
-//! After projecting a partition to a finer level, only vertices on the
-//! partition boundary can improve the cut by moving. Each pass scans the
-//! boundary, computes for every vertex the gain of moving it to its best
-//! neighboring part, and applies positive-gain (or balance-improving
-//! zero-gain) moves greedily. Passes repeat until no improvement.
+//! The third multilevel phase: after [`crate::coarsen`]'s hierarchy is
+//! partitioned at the bottom, the assignment is projected level by level
+//! back to the original graph, and this module repairs the projection at
+//! every step. Only vertices on the partition boundary can improve the
+//! cut by moving, so each pass scans the boundary, computes for every
+//! vertex the gain of moving it to its best neighboring part, and applies
+//! positive-gain (or balance-improving zero-gain) moves greedily. Passes
+//! repeat until a pass makes no move or [`RefineParams::max_passes`] is
+//! reached; [`RefineParams::imbalance`] caps how lopsided parts may grow
+//! (the usual Metis-style 1.05 tolerance).
+//!
+//! For graphVizdb the cut size matters because crossing edges are exactly
+//! the edges Step 2's per-partition layout ignores: the smaller the cut,
+//! the less geometry the global arrangement has to stretch.
 
 use crate::wgraph::WeightedGraph;
 
@@ -73,8 +82,8 @@ pub fn refine_kway(g: &WeightedGraph, part: &mut [u32], k: u32, params: &RefineP
                 }
                 if let Some((external, to)) = best {
                     let gain = external as i64 - internal as i64;
-                    let balance_improves = part_weight[from as usize]
-                        > part_weight[to as usize] + g.vwgt[v] as u64;
+                    let balance_improves =
+                        part_weight[from as usize] > part_weight[to as usize] + g.vwgt[v] as u64;
                     if gain > 0 || (gain == 0 && balance_improves) {
                         part[v] = to;
                         part_weight[from as usize] -= g.vwgt[v] as u64;
@@ -177,7 +186,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // Heavily skewed random start: 80% in part 0.
         let mut part: Vec<u32> = (0..g.len())
-            .map(|_| if rng.random::<f64>() < 0.8 { 0 } else { rng.random_range(1..4) })
+            .map(|_| {
+                if rng.random::<f64>() < 0.8 {
+                    0
+                } else {
+                    rng.random_range(1..4)
+                }
+            })
             .collect();
         refine_kway(&g, &mut part, 4, &RefineParams::default());
         let mut w = [0u64; 4];
@@ -228,7 +243,15 @@ mod tests {
         }
         let g = WeightedGraph::from_adjacency(vec![1; 4], &adj);
         let mut part = vec![0, 0, 0, 1];
-        refine_kway(&g, &mut part, 2, &RefineParams { imbalance: 1.0, max_passes: 4 });
+        refine_kway(
+            &g,
+            &mut part,
+            2,
+            &RefineParams {
+                imbalance: 1.0,
+                max_passes: 4,
+            },
+        );
         let w0 = part.iter().filter(|&&p| p == 0).count();
         assert_eq!(w0, 2, "expected 2/2 split, got {part:?}");
     }

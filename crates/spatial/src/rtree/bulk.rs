@@ -17,15 +17,17 @@ pub(crate) fn str_pack<T>(entries: Vec<(Rect, T)>) -> Option<Node<T>> {
     let leaves = tile_level(entries, Node::Leaf);
     let mut level = leaves;
     while level.len() > 1 {
-        let entries: Vec<(Rect, Node<T>)> =
-            level.into_iter().map(|n| (n.mbr(), n)).collect();
+        let entries: Vec<(Rect, Node<T>)> = level.into_iter().map(|n| (n.mbr(), n)).collect();
         level = tile_level(entries, Node::Internal);
     }
     level.into_iter().next()
 }
 
 /// Tile one level: group `entries` into nodes of up to [`MAX_ENTRIES`].
-fn tile_level<E, T>(mut entries: Vec<(Rect, E)>, make: impl Fn(Vec<(Rect, E)>) -> Node<T>) -> Vec<Node<T>>
+fn tile_level<E, T>(
+    mut entries: Vec<(Rect, E)>,
+    make: impl Fn(Vec<(Rect, E)>) -> Node<T>,
+) -> Vec<Node<T>>
 where
     Node<T>: Sized,
 {
@@ -91,7 +93,10 @@ mod tests {
                 (
                     Rect::from_points(
                         Point::new(x, y),
-                        Point::new(x + rng.random::<f64>() * 10.0, y + rng.random::<f64>() * 10.0),
+                        Point::new(
+                            x + rng.random::<f64>() * 10.0,
+                            y + rng.random::<f64>() * 10.0,
+                        ),
                     ),
                     i,
                 )

@@ -25,7 +25,6 @@ pub use query::{Nearest, Window};
 use crate::geom::{Point, Rect};
 use node::Node;
 
-
 /// An R*-tree mapping rectangles to payloads of type `T`.
 #[derive(Debug, Clone)]
 pub struct RTree<T> {
@@ -79,10 +78,7 @@ impl<T> RTree<T> {
                     // Root split: grow the tree by one level.
                     let left_mbr = root.mbr();
                     let right_mbr = sibling.mbr();
-                    self.root = Some(Node::Internal(vec![
-                        (left_mbr, root),
-                        (right_mbr, sibling),
-                    ]));
+                    self.root = Some(Node::Internal(vec![(left_mbr, root), (right_mbr, sibling)]));
                 } else {
                     self.root = Some(root);
                 }

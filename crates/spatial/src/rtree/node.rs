@@ -73,10 +73,7 @@ impl<T> Node<T> {
     {
         match self {
             Node::Leaf(entries) => {
-                if let Some(pos) = entries
-                    .iter()
-                    .position(|(r, v)| r == rect && v == value)
-                {
+                if let Some(pos) = entries.iter().position(|(r, v)| r == rect && v == value) {
                     entries.swap_remove(pos);
                     true
                 } else {
@@ -143,10 +140,7 @@ impl<T> Node<T> {
                 let mut total = 0;
                 let mut depth = None;
                 for (mbr, child) in children {
-                    assert!(
-                        mbr.contains_rect(&child.mbr()),
-                        "MBR does not cover child"
-                    );
+                    assert!(mbr.contains_rect(&child.mbr()), "MBR does not cover child");
                     let (c, d) = child.check(false);
                     total += c;
                     match depth {

@@ -114,10 +114,7 @@ mod tests {
         // Two well-separated clusters must not be mixed by the split.
         let mut entries: Vec<(Rect, u32)> = Vec::new();
         for i in 0..9u32 {
-            entries.push((
-                Rect::new(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.1, 1.0),
-                i,
-            ));
+            entries.push((Rect::new(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.1, 1.0), i));
         }
         for i in 0..8u32 {
             entries.push((

@@ -299,8 +299,8 @@ impl BTree {
         let count = pool.with_page(pid, |p| p.get_u16(OFF_COUNT) as usize)?;
         let tail: Vec<(u64, u64, u64)> = pool.with_page(pid, |p| {
             let total_before = count; // entries kept on the left
-            // The tail starts at `count` and runs while child pointers are
-            // non-zero (pages are zeroed on allocation and after splits).
+                                      // The tail starts at `count` and runs while child pointers are
+                                      // non-zero (pages are zeroed on allocation and after splits).
             let mut tail = Vec::new();
             for j in total_before..=INT_CAP {
                 let base = HEADER + j * INT_ENTRY;
@@ -468,7 +468,10 @@ mod tests {
         }
         let mut got = Vec::new();
         t.range(&pool, 100, 120, |k, _| got.push(k)).unwrap();
-        assert_eq!(got, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120]);
+        assert_eq!(
+            got,
+            vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120]
+        );
         std::fs::remove_file(&path).ok();
     }
 

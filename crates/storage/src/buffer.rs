@@ -186,7 +186,12 @@ impl BufferPool {
 
     /// Locate (or load) `pid` into a frame, evicting if needed.
     /// `fresh` skips the disk read for newly allocated pages.
-    fn frame_for(inner: &mut Inner, stats: &BufferStats, pid: PageId, fresh: bool) -> Result<usize> {
+    fn frame_for(
+        inner: &mut Inner,
+        stats: &BufferStats,
+        pid: PageId,
+        fresh: bool,
+    ) -> Result<usize> {
         if let Some(&idx) = inner.map.get(&pid) {
             stats.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(idx);

@@ -69,7 +69,10 @@ impl GraphDb {
         let Some(cp) = wal::read_checkpoint(path)? else {
             return Ok(());
         };
-        let mut file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
         file.seek(SeekFrom::Start(0))?;
         file.write_all(cp.header.bytes())?;
         for (pid, page) in &cp.pages {

@@ -31,7 +31,9 @@ impl fmt::Display for StorageError {
             StorageError::RowNotFound => write!(f, "row not found"),
             StorageError::LayerNotFound(name) => write!(f, "layer not found: {name}"),
             StorageError::LayerExists(name) => write!(f, "layer already exists: {name}"),
-            StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds page capacity"),
+            StorageError::RecordTooLarge(n) => {
+                write!(f, "record of {n} bytes exceeds page capacity")
+            }
         }
     }
 }

@@ -182,7 +182,8 @@ impl HeapFile {
                     let offset = p.get_u16(dir) as usize;
                     let len = p.get_u16(dir + 2) as usize;
                     if len > 0 {
-                        records.push((RowId { page: pid, slot }, p.get_slice(offset, len).to_vec()));
+                        records
+                            .push((RowId { page: pid, slot }, p.get_slice(offset, len).to_vec()));
                     }
                 }
                 (p.get_u64(OFF_NEXT), records)
@@ -245,7 +246,9 @@ mod tests {
         let (pool, path) = pool("spill");
         let mut heap = HeapFile::create(&pool).unwrap();
         let record = vec![7u8; 1000];
-        let rids: Vec<RowId> = (0..50).map(|_| heap.insert(&pool, &record).unwrap()).collect();
+        let rids: Vec<RowId> = (0..50)
+            .map(|_| heap.insert(&pool, &record).unwrap())
+            .collect();
         // 50 x ~1KB >> one 8KB page.
         let pages: std::collections::HashSet<_> = rids.iter().map(|r| r.page).collect();
         assert!(pages.len() > 1);

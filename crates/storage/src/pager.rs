@@ -242,10 +242,7 @@ mod tests {
     fn bad_magic_rejected() {
         let path = tmpfile("magic");
         std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
-        assert!(matches!(
-            Pager::open(&path),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(Pager::open(&path), Err(StorageError::Corrupt(_))));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -62,11 +62,14 @@ const GEOM_SIZE: usize = 4 * 8 + 1;
 impl EdgeRow {
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
-        8 + 2 + self.node1_label.len()
+        8 + 2
+            + self.node1_label.len()
             + GEOM_SIZE
-            + 2 + self.edge_label.len()
+            + 2
+            + self.edge_label.len()
             + 8
-            + 2 + self.node2_label.len()
+            + 2
+            + self.node2_label.len()
     }
 
     /// Serialize into a byte vector.

@@ -190,9 +190,7 @@ impl PagedRTree {
                         }
                     }
                     if tag != TAG_LEAF && tag != TAG_INTERNAL {
-                        return Err(StorageError::Corrupt(format!(
-                            "bad rtree page tag {tag}"
-                        )));
+                        return Err(StorageError::Corrupt(format!("bad rtree page tag {tag}")));
                     }
                     Ok(())
                 })??;
@@ -301,7 +299,12 @@ mod tests {
                 .filter(|(r, _)| r.intersects(&w))
                 .map(|(_, v)| *v)
                 .collect();
-            let mut got: Vec<u64> = tree.window(&pool, &w).unwrap().iter().map(|(_, v)| *v).collect();
+            let mut got: Vec<u64> = tree
+                .window(&pool, &w)
+                .unwrap()
+                .iter()
+                .map(|(_, v)| *v)
+                .collect();
             expect.sort();
             got.sort();
             assert_eq!(expect, got);
@@ -357,7 +360,9 @@ mod tests {
         tree.insert(r, 7);
         tree.remove(&r, 7);
         assert!(tree.tombstones.is_empty(), "no tombstone for overlay rows");
-        let hits = tree.window(&pool, &Rect::new(0.0, 0.0, 10.0, 10.0)).unwrap();
+        let hits = tree
+            .window(&pool, &Rect::new(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
         assert!(hits.is_empty());
         std::fs::remove_file(&path).ok();
     }
@@ -372,7 +377,10 @@ mod tests {
         tree.free_packed(&pool).unwrap();
         // Rebuild reuses freed pages rather than growing the file.
         let rebuilt = PagedRTree::build(&pool, random_entries(2_000, 6)).unwrap();
-        assert!(pool.page_count() <= after_build + 1, "file grew after rebuild");
+        assert!(
+            pool.page_count() <= after_build + 1,
+            "file grew after rebuild"
+        );
         assert_eq!(rebuilt.packed_len(), 2_000);
         std::fs::remove_file(&path).ok();
     }

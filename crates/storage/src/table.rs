@@ -185,7 +185,11 @@ impl LayerTable {
 
     /// Position of a node on the plane (from any incident row), with its
     /// label — powers keyword-result focusing and "Focus on node".
-    pub fn node_position(&self, pool: &BufferPool, node_id: u64) -> Result<Option<(Point, String)>> {
+    pub fn node_position(
+        &self,
+        pool: &BufferPool,
+        node_id: u64,
+    ) -> Result<Option<(Point, String)>> {
         let rids = self.rows_of_node(pool, node_id)?;
         for rid in rids {
             let row = self.get(pool, rid)?;

@@ -154,10 +154,7 @@ fn decode(bytes: &[u8]) -> Option<Checkpoint> {
     if u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize != count {
         return None;
     }
-    Some(Checkpoint {
-        header,
-        pages,
-    })
+    Some(Checkpoint { header, pages })
 }
 
 #[cfg(test)]

@@ -60,9 +60,7 @@ fn committed_wal_is_replayed_on_open() {
         use gvdb_storage::{Page, PageId, PAGE_SIZE};
         let mut pages = Vec::new();
         let mut header = Page::zeroed();
-        header
-            .bytes_mut()
-            .copy_from_slice(&after[..PAGE_SIZE]);
+        header.bytes_mut().copy_from_slice(&after[..PAGE_SIZE]);
         for pid in 1..(after.len() / PAGE_SIZE) {
             let range = pid * PAGE_SIZE..(pid + 1) * PAGE_SIZE;
             let after_page = &after[range.clone()];
@@ -80,11 +78,12 @@ fn committed_wal_is_replayed_on_open() {
     // Open: recovery must replay the checkpoint.
     let db = GraphDb::open(&path).unwrap();
     assert_eq!(db.layer(0).unwrap().row_count(), 51);
-    assert!(db.layer(0).unwrap().search_nodes("node 1000").contains(&1000));
-    assert!(
-        !wal::wal_path(&path).exists(),
-        "WAL removed after recovery"
-    );
+    assert!(db
+        .layer(0)
+        .unwrap()
+        .search_nodes("node 1000")
+        .contains(&1000));
+    assert!(!wal::wal_path(&path).exists(), "WAL removed after recovery");
     std::fs::remove_file(&path).ok();
 }
 

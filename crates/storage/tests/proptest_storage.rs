@@ -1,11 +1,11 @@
 //! Property-based tests for the storage engine: B+-tree vs BTreeMap model,
 //! catalog codec, packed R-tree vs linear scan.
 
+use gvdb_spatial::Rect;
 use gvdb_storage::btree::BTree;
 use gvdb_storage::spatial_index::PagedRTree;
 use gvdb_storage::table::LayerMeta;
 use gvdb_storage::{BufferPool, Pager};
-use gvdb_spatial::Rect;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

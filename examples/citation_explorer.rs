@@ -40,13 +40,19 @@ fn main() {
     // Find a well-cited patent via keyword search.
     let hits = qm.keyword_search(0, "US3000100").expect("search");
     let hit = hits.first().expect("patent exists");
-    println!("\nfocusing on {} at ({:.0}, {:.0})", hit.label, hit.position.x, hit.position.y);
+    println!(
+        "\nfocusing on {} at ({:.0}, {:.0})",
+        hit.label, hit.position.x, hit.position.y
+    );
 
     // "Focus on node": the patent and everything it cites / is cited by.
     let neighborhood = qm.focus_on_node(0, hit.node_id).expect("focus");
     println!("direct citation neighborhood: {} edges", neighborhood.len());
     for (_, row) in neighborhood.iter().take(5) {
-        println!("  {} --{}--> {}", row.node1_label, row.edge_label, row.node2_label);
+        println!(
+            "  {} --{}--> {}",
+            row.node1_label, row.edge_label, row.node2_label
+        );
     }
 
     // Follow a citation path: hop from patent to patent, two steps.

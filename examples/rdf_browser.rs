@@ -65,7 +65,10 @@ fn main() {
         bounds.min_y + 2000.0,
     ));
     let raw = session.view(&qm).expect("view").rows.len();
-    session.filters_mut().hidden_node_substrings.push("\"".into());
+    session
+        .filters_mut()
+        .hidden_node_substrings
+        .push("\"".into());
     let filtered = session.view(&qm).expect("filtered").rows.len();
     println!("window rows: {raw} with literals, {filtered} without");
 

@@ -5,8 +5,10 @@
 //! Endpoints:
 //! * `GET /layers` — layer inventory
 //! * `GET /window?layer=0&minx=..&miny=..&maxx=..&maxy=..` — window query
+//!   (served through the sharded LRU window cache; repeats are hits)
 //! * `GET /search?layer=0&q=keyword` — keyword search
 //! * `GET /focus?layer=0&node=ID` — focus-on-node neighborhood
+//! * `GET /cache` — window-cache hit/miss/occupancy counters
 //!
 //! By default the example starts the server, issues demo requests against
 //! itself, prints the responses and exits (CI-friendly). Pass `--serve` to
@@ -52,15 +54,21 @@ fn main() {
         return;
     }
 
-    // Self-demo: act as our own client.
+    // Self-demo: act as our own client. The window request is issued
+    // twice: the repeat is served from the window cache (see /cache).
     for path_q in [
         "/layers".to_string(),
         "/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200".to_string(),
+        "/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200".to_string(),
         "/search?layer=0&q=Faloutsos".to_string(),
+        "/cache".to_string(),
     ] {
         let body = http_get(addr, &path_q);
         let preview: String = body.chars().take(160).collect();
-        println!("\nGET {path_q}\n{preview}{}", if body.len() > 160 { "…" } else { "" });
+        println!(
+            "\nGET {path_q}\n{preview}{}",
+            if body.len() > 160 { "…" } else { "" }
+        );
     }
     // Focus on the first search hit.
     let hits = qm.keyword_search(0, "Faloutsos").expect("search");
@@ -76,14 +84,39 @@ fn main() {
 
 fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
-        .expect("request");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("response");
     response
         .split_once("\r\n\r\n")
         .map(|(_, body)| body.to_string())
         .unwrap_or(response)
+}
+
+/// Response body: either built for this request, or the cached window
+/// JSON shared by `Arc` (no per-request copy of the payload).
+enum Body {
+    Owned(String),
+    Shared(Arc<graphvizdb::core::GraphJson>),
+}
+
+impl Body {
+    fn as_str(&self) -> &str {
+        match self {
+            Body::Owned(s) => s,
+            Body::Shared(json) => &json.text,
+        }
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Body::Owned(s)
+    }
 }
 
 fn handle(mut stream: TcpStream, qm: &QueryManager) {
@@ -106,7 +139,7 @@ fn handle(mut stream: TcpStream, qm: &QueryManager) {
     let get = |k: &str| params.iter().find(|(key, _)| *key == k).map(|(_, v)| *v);
     let layer: usize = get("layer").and_then(|v| v.parse().ok()).unwrap_or(0);
 
-    let (status, body) = match path {
+    let (status, body): (&str, Body) = match path {
         "/layers" => {
             let mut out = String::from("{\"layers\":[");
             for i in 0..qm.layer_count() {
@@ -117,20 +150,24 @@ fn handle(mut stream: TcpStream, qm: &QueryManager) {
                 out.push_str(&format!("{{\"index\":{i},\"rows\":{rows}}}"));
             }
             out.push_str("]}");
-            ("200 OK", out)
+            ("200 OK", out.into())
         }
         "/window" => {
             let parse = |k: &str| get(k).and_then(|v| v.parse::<f64>().ok());
             match (parse("minx"), parse("miny"), parse("maxx"), parse("maxy")) {
-                (Some(minx), Some(miny), Some(maxx), Some(maxy)) if minx <= maxx && miny <= maxy => {
+                (Some(minx), Some(miny), Some(maxx), Some(maxy))
+                    if minx <= maxx && miny <= maxy =>
+                {
                     match qm.window_query(layer, &Rect::new(minx, miny, maxx, maxy)) {
-                        Ok(resp) => ("200 OK", resp.json.text),
-                        Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}")),
+                        Ok(resp) => ("200 OK", Body::Shared(resp.json)),
+                        Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}").into()),
                     }
                 }
                 _ => (
                     "400 Bad Request",
-                    "{\"error\":\"need minx,miny,maxx,maxy\"}".to_string(),
+                    "{\"error\":\"need minx,miny,maxx,maxy\"}"
+                        .to_string()
+                        .into(),
                 ),
             }
         }
@@ -152,25 +189,50 @@ fn handle(mut stream: TcpStream, qm: &QueryManager) {
                             out.push_str("\"}");
                         }
                         out.push_str("]}");
-                        ("200 OK", out)
+                        ("200 OK", out.into())
                     }
-                    Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}")),
+                    Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}").into()),
                 }
             }
-            None => ("400 Bad Request", "{\"error\":\"need q\"}".to_string()),
+            None => (
+                "400 Bad Request",
+                "{\"error\":\"need q\"}".to_string().into(),
+            ),
         },
         "/focus" => match get("node").and_then(|v| v.parse::<u64>().ok()) {
             Some(node) => match qm.focus_on_node(layer, node) {
                 Ok(rows) => {
                     let json = graphvizdb::core::build_graph_json(&rows);
-                    ("200 OK", json.text)
+                    ("200 OK", json.text.into())
                 }
-                Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}")),
+                Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}").into()),
             },
-            None => ("400 Bad Request", "{\"error\":\"need node\"}".to_string()),
+            None => (
+                "400 Bad Request",
+                "{\"error\":\"need node\"}".to_string().into(),
+            ),
         },
-        _ => ("404 Not Found", "{\"error\":\"unknown endpoint\"}".to_string()),
+        "/cache" => {
+            let stats = qm.cache_stats();
+            (
+                "200 OK",
+                format!(
+                    "{{\"hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.3}}}",
+                    stats.hits,
+                    stats.misses,
+                    stats.entries,
+                    stats.bytes,
+                    stats.hit_rate()
+                )
+                .into(),
+            )
+        }
+        _ => (
+            "404 Not Found",
+            "{\"error\":\"unknown endpoint\"}".to_string().into(),
+        ),
     };
+    let body = body.as_str();
     let _ = write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",

@@ -112,8 +112,7 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
             fraction: 0.3,
         },
     };
-    let (_db, report) =
-        preprocess(&graph, Path::new(db_path), &cfg).map_err(|e| e.to_string())?;
+    let (_db, report) = preprocess(&graph, Path::new(db_path), &cfg).map_err(|e| e.to_string())?;
     println!(
         "built {} layers into {db_path} (k = {}, edge cut {})",
         report.layer_sizes.len(),
@@ -176,7 +175,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("{} hit(s)", hits.len());
     for h in hits.iter().take(25) {
-        println!("  node {} @ ({:.1}, {:.1}): {}", h.node_id, h.position.x, h.position.y, h.label);
+        println!(
+            "  node {} @ ({:.1}, {:.1}): {}",
+            h.node_id, h.position.x, h.position.y, h.label
+        );
     }
     Ok(())
 }
@@ -191,7 +193,10 @@ fn cmd_focus(args: &[String]) -> Result<(), String> {
     let rows = qm.focus_on_node(layer, node).map_err(|e| e.to_string())?;
     println!("{} incident edge(s)", rows.len());
     for (_, r) in rows.iter().take(25) {
-        println!("  {} --{}--> {}", r.node1_label, r.edge_label, r.node2_label);
+        println!(
+            "  {} --{}--> {}",
+            r.node1_label, r.edge_label, r.node2_label
+        );
     }
     Ok(())
 }

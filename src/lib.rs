@@ -61,8 +61,8 @@ pub mod prelude {
         build_hierarchy, AbstractionMethod, HierarchyConfig, RankingCriterion,
     };
     pub use gvdb_core::{
-        preprocess, Birdview, ClientModel, LayoutChoice, PreprocessConfig, QueryManager,
-        SearchHit, Session,
+        preprocess, Birdview, ClientModel, LayoutChoice, PreprocessConfig, QueryManager, SearchHit,
+        Session,
     };
     pub use gvdb_graph::generators::{
         barabasi_albert, erdos_renyi, grid_graph, patent_like, planted_partition, rmat,

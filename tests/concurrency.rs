@@ -1,7 +1,8 @@
 //! Multi-user serving: the paper claims interactive latency "even in
 //! multi-user environments built upon commodity machines". The query
 //! manager is `&self` end-to-end (one shared buffer pool, like MySQL's
-//! cache), so N concurrent sessions can explore one database.
+//! cache, plus one sharded window cache), so N concurrent sessions can
+//! explore one database.
 
 use graphvizdb::prelude::*;
 use std::sync::Arc;
@@ -72,6 +73,83 @@ fn concurrent_sessions_share_one_database() {
         let (_, total) = h.join().expect("worker panicked");
         assert_eq!(total, expected_total, "reader saw inconsistent data");
     }
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn concurrent_sessions_hammer_one_cached_query_manager() {
+    // N threads replay a small set of popular windows against one shared
+    // QueryManager. Every thread must observe identical rows for a given
+    // window whether it is served from the database or from the sharded
+    // window cache, and the cache must absorb the repeats.
+    let graph = wikidata_like(RdfConfig {
+        entities: 800,
+        ..Default::default()
+    });
+    let mut path = std::env::temp_dir();
+    path.push(format!("gvdb-cache-hammer-{}", std::process::id()));
+    let (db, _) = preprocess(
+        &graph,
+        &path,
+        &PreprocessConfig {
+            partition_node_budget: 512,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let qm = Arc::new(QueryManager::new(db));
+
+    // A fixed set of "popular" windows across layers.
+    let windows: Vec<(usize, Rect)> = (0..6u64)
+        .map(|i| {
+            let layer = (i % qm.layer_count() as u64) as usize;
+            let off = i as f64 * 700.0;
+            (layer, Rect::new(off, off, off + 2_500.0, off + 2_500.0))
+        })
+        .collect();
+
+    // Ground truth from a single-threaded pass (these also warm the cache).
+    let expected: Vec<usize> = windows
+        .iter()
+        .map(|(layer, w)| qm.window_query(*layer, w).unwrap().rows.len())
+        .collect();
+
+    const THREADS: usize = 8;
+    const STEPS: usize = 60;
+    let mut handles = Vec::new();
+    for t in 0..THREADS as u64 {
+        let qm = qm.clone();
+        let windows = windows.clone();
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            for step in 0..STEPS as u64 {
+                let i = ((t * 131 + step * 17) % windows.len() as u64) as usize;
+                let (layer, w) = &windows[i];
+                let resp = qm.window_query(*layer, w).unwrap();
+                assert_eq!(
+                    resp.rows.len(),
+                    expected[i],
+                    "thread {t} step {step} saw inconsistent rows"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    let stats = qm.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        (windows.len() + THREADS * STEPS) as u64,
+        "every query is accounted as hit or miss"
+    );
+    assert_eq!(
+        stats.hits,
+        (THREADS * STEPS) as u64,
+        "after warming, every hammered query must hit the cache"
+    );
 
     std::fs::remove_file(&path).ok();
 }

@@ -57,13 +57,16 @@ fn full_lifecycle_wikidata_like() {
     let qm = QueryManager::new(db);
     let everything = Rect::new(-1e12, -1e12, 1e12, 1e12);
     let all = qm.window_query(0, &everything).unwrap();
-    assert_eq!(all.rows.len(), report.layer_sizes[0].1 + {
-        let l0 = &report.hierarchy.layers[0];
-        l0.graph
-            .node_ids()
-            .filter(|&v| l0.graph.degree(v) == 0)
-            .count()
-    });
+    assert_eq!(
+        all.rows.len(),
+        report.layer_sizes[0].1 + {
+            let l0 = &report.hierarchy.layers[0];
+            l0.graph
+                .node_ids()
+                .filter(|&v| l0.graph.degree(v) == 0)
+                .count()
+        }
+    );
 
     // Spot-check spatial correctness against a linear filter.
     let window = Rect::new(0.0, 0.0, 2_000.0, 2_000.0);

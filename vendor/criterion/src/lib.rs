@@ -1,0 +1,305 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the benchmarking surface the workspace's benches compile against:
+//! [`Criterion`], [`BenchmarkGroup`] (`measurement_time`, `warm_up_time`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology (simplified relative to real criterion — no outlier
+//! analysis, no plots): each benchmark warms up for `warm_up_time`, sizes
+//! an iteration batch so one sample lasts roughly
+//! `measurement_time / sample_size`, then reports min / median / mean per
+//! iteration over the collected samples on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the black-box optimizer barrier benches import.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_measurement: Duration,
+    default_warm_up: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement: Duration::from_secs(3),
+            default_warm_up: Duration::from_millis(500),
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = BenchmarkGroup {
+            name: name.into(),
+            measurement: self.default_measurement,
+            warm_up: self.default_warm_up,
+            samples: self.default_samples,
+            _criterion: self,
+        };
+        println!("\n== group {}", group.name);
+        group
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let (m, w, s) = (
+            self.default_measurement,
+            self.default_warm_up,
+            self.default_samples,
+        );
+        run_benchmark(&id.into().0, m, w, s, &mut f);
+    }
+}
+
+/// A set of benchmarks sharing timing settings, printed under one heading.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up time per benchmark before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.into().0),
+            self.measurement,
+            self.warm_up,
+            self.samples,
+            &mut f,
+        );
+    }
+
+    /// Benchmark a closure that receives a shared `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.into().0),
+            self.measurement,
+            self.warm_up,
+            self.samples,
+            &mut |b| f(b, input),
+        );
+    }
+
+    /// Close the group (printing is incremental; nothing further to do).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to every benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: Mode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+impl Bencher {
+    /// Measure `f`, called in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Calibrate => {
+                // One untimed call so calibration can size batches.
+                let t = Instant::now();
+                black_box(f());
+                self.samples.push(t.elapsed());
+            }
+            Mode::Measure => {
+                let t = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(f());
+                }
+                self.samples
+                    .push(t.elapsed() / self.iters_per_sample.max(1) as u32);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measurement: Duration,
+    warm_up: Duration,
+    samples: usize,
+    f: &mut F,
+) {
+    // Calibration + warm-up: run single iterations until warm_up elapses,
+    // estimating per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            mode: Mode::Calibrate,
+        };
+        f(&mut b);
+        if let Some(d) = b.samples.last() {
+            per_iter = (*d).max(Duration::from_nanos(1));
+        }
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+    }
+
+    // Size batches so one sample lasts ~ measurement/samples.
+    let per_sample = measurement / samples.max(1) as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(samples),
+        mode: Mode::Measure,
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+
+    let mut times = b.samples;
+    times.sort_unstable();
+    let min = times.first().copied().unwrap_or_default();
+    let median = times.get(times.len() / 2).copied().unwrap_or_default();
+    let mean = times
+        .iter()
+        .sum::<Duration>()
+        .checked_div(times.len().max(1) as u32)
+        .unwrap_or_default();
+    println!(
+        "{label:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples x {} iters)",
+        min,
+        median,
+        mean,
+        times.len(),
+        iters
+    );
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main()` from one or more [`criterion_group!`] outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(5);
+        let mut ran = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("inputs");
+        group
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2))
+            .sample_size(3);
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter("v3"), &data, |b, d| {
+            b.iter(|| black_box(d.iter().sum::<u64>()))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! Supplies the two trait names and the derive macros so that
+//! `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without crates.io access.
+//! The derives are no-ops (see `serde_derive`): nothing in this workspace
+//! serializes through serde — the wire format is the hand-rolled JSON in
+//! `gvdb-core`, whose construction cost is itself part of the reproduced
+//! experiment.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Vendored no-op `serde` derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few plain-old-data
+//! types so downstream users *could* serialize them, but nothing in-tree
+//! actually drives serde serialization (the client JSON is hand-rolled —
+//! its cost is part of the reproduced experiment). With no crates.io
+//! access, the derives expand to nothing: the attribute positions stay
+//! valid and no trait impls are emitted.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
