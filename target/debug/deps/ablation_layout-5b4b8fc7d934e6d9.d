@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_layout-5b4b8fc7d934e6d9.d: crates/bench/src/bin/ablation_layout.rs
+
+/root/repo/target/debug/deps/ablation_layout-5b4b8fc7d934e6d9: crates/bench/src/bin/ablation_layout.rs
+
+crates/bench/src/bin/ablation_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_layout-679899f1287760b8.d: crates/bench/src/bin/ablation_layout.rs
+
+/root/repo/target/debug/deps/libablation_layout-679899f1287760b8.rmeta: crates/bench/src/bin/ablation_layout.rs
+
+crates/bench/src/bin/ablation_layout.rs:

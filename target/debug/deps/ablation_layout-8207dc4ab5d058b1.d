@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_layout-8207dc4ab5d058b1.d: crates/bench/src/bin/ablation_layout.rs
+
+/root/repo/target/debug/deps/ablation_layout-8207dc4ab5d058b1: crates/bench/src/bin/ablation_layout.rs
+
+crates/bench/src/bin/ablation_layout.rs:

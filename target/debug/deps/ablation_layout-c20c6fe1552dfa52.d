@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_layout-c20c6fe1552dfa52.d: crates/bench/src/bin/ablation_layout.rs
+
+/root/repo/target/debug/deps/ablation_layout-c20c6fe1552dfa52: crates/bench/src/bin/ablation_layout.rs
+
+crates/bench/src/bin/ablation_layout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_layout-c515abb1caf4a108.d: crates/bench/src/bin/ablation_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_layout-c515abb1caf4a108.rmeta: crates/bench/src/bin/ablation_layout.rs Cargo.toml
+
+crates/bench/src/bin/ablation_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_layout-e958caa326ae3b9d.d: crates/bench/src/bin/ablation_layout.rs
+
+/root/repo/target/debug/deps/ablation_layout-e958caa326ae3b9d: crates/bench/src/bin/ablation_layout.rs
+
+crates/bench/src/bin/ablation_layout.rs:

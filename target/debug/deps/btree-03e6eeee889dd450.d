@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/btree-03e6eeee889dd450.d: crates/bench/benches/btree.rs
+
+/root/repo/target/debug/deps/btree-03e6eeee889dd450: crates/bench/benches/btree.rs
+
+crates/bench/benches/btree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/btree-30151c20089672bd.d: crates/bench/benches/btree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbtree-30151c20089672bd.rmeta: crates/bench/benches/btree.rs Cargo.toml
+
+crates/bench/benches/btree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/btree-7daff826a7d82afb.d: crates/bench/benches/btree.rs
+
+/root/repo/target/debug/deps/btree-7daff826a7d82afb: crates/bench/benches/btree.rs
+
+crates/bench/benches/btree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/buffer_pool-643368852e839571.d: crates/bench/benches/buffer_pool.rs
+
+/root/repo/target/debug/deps/buffer_pool-643368852e839571: crates/bench/benches/buffer_pool.rs
+
+crates/bench/benches/buffer_pool.rs:

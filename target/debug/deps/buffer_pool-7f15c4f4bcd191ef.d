@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/buffer_pool-7f15c4f4bcd191ef.d: crates/bench/benches/buffer_pool.rs
+
+/root/repo/target/debug/deps/buffer_pool-7f15c4f4bcd191ef: crates/bench/benches/buffer_pool.rs
+
+crates/bench/benches/buffer_pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/buffer_pool-813ffe62324c2119.d: crates/bench/benches/buffer_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuffer_pool-813ffe62324c2119.rmeta: crates/bench/benches/buffer_pool.rs Cargo.toml
+
+crates/bench/benches/buffer_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

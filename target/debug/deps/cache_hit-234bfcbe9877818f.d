@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_hit-234bfcbe9877818f.d: crates/bench/benches/cache_hit.rs
+
+/root/repo/target/debug/deps/cache_hit-234bfcbe9877818f: crates/bench/benches/cache_hit.rs
+
+crates/bench/benches/cache_hit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_hit-49b708dc3b56b217.d: crates/bench/benches/cache_hit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_hit-49b708dc3b56b217.rmeta: crates/bench/benches/cache_hit.rs Cargo.toml
+
+crates/bench/benches/cache_hit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

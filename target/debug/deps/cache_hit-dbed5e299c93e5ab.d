@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_hit-dbed5e299c93e5ab.d: crates/bench/benches/cache_hit.rs
+
+/root/repo/target/debug/deps/cache_hit-dbed5e299c93e5ab: crates/bench/benches/cache_hit.rs
+
+crates/bench/benches/cache_hit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-a5d25c0d23599cec.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-a5d25c0d23599cec: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-e01c69d3592de77c.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-e01c69d3592de77c: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-e375cf41c57e19aa.d: tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-e375cf41c57e19aa.rmeta: tests/concurrency.rs Cargo.toml
+
+tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

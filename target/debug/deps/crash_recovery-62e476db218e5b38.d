@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_recovery-62e476db218e5b38.d: crates/storage/tests/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_recovery-62e476db218e5b38.rmeta: crates/storage/tests/crash_recovery.rs Cargo.toml
+
+crates/storage/tests/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-ac1c22e29f17005b.d: crates/storage/tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-ac1c22e29f17005b: crates/storage/tests/crash_recovery.rs
+
+crates/storage/tests/crash_recovery.rs:

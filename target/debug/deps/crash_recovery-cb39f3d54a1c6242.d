@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-cb39f3d54a1c6242.d: crates/storage/tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-cb39f3d54a1c6242: crates/storage/tests/crash_recovery.rs
+
+crates/storage/tests/crash_recovery.rs:

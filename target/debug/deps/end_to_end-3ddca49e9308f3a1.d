@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3ddca49e9308f3a1.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3ddca49e9308f3a1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

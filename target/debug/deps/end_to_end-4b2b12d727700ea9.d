@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4b2b12d727700ea9.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4b2b12d727700ea9: tests/end_to_end.rs
+
+tests/end_to_end.rs:

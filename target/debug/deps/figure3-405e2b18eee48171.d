@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-405e2b18eee48171.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/libfigure3-405e2b18eee48171.rmeta: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

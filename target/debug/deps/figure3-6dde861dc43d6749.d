@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-6dde861dc43d6749.d: crates/bench/src/bin/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-6dde861dc43d6749.rmeta: crates/bench/src/bin/figure3.rs Cargo.toml
+
+crates/bench/src/bin/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

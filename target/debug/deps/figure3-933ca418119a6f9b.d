@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-933ca418119a6f9b.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-933ca418119a6f9b: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

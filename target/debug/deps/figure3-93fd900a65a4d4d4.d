@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-93fd900a65a4d4d4.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-93fd900a65a4d4d4: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-dc48a79c5d70e190.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-dc48a79c5d70e190: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

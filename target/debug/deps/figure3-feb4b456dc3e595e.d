@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-feb4b456dc3e595e.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-feb4b456dc3e595e: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphvizdb-39b31c2dba8ee6e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/graphvizdb-39b31c2dba8ee6e2: src/lib.rs
+
+src/lib.rs:

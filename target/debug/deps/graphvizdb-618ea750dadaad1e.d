@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphvizdb-618ea750dadaad1e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphvizdb-618ea750dadaad1e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graphvizdb-a798567b56f42ea5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphvizdb-a798567b56f42ea5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphvizdb-a798567b56f42ea5.rmeta: src/lib.rs
+
+src/lib.rs:

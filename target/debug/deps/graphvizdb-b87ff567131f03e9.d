@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graphvizdb-b87ff567131f03e9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphvizdb-b87ff567131f03e9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgraphvizdb-b87ff567131f03e9.rmeta: src/lib.rs
+
+src/lib.rs:

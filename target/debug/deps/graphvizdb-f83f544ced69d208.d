@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphvizdb-f83f544ced69d208.d: src/lib.rs
+
+/root/repo/target/debug/deps/graphvizdb-f83f544ced69d208: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvdb-1be29b5c5b27d1c4.d: src/bin/gvdb.rs
+
+/root/repo/target/debug/deps/gvdb-1be29b5c5b27d1c4: src/bin/gvdb.rs
+
+src/bin/gvdb.rs:

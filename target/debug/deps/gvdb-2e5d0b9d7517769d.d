@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvdb-2e5d0b9d7517769d.d: src/bin/gvdb.rs
+
+/root/repo/target/debug/deps/gvdb-2e5d0b9d7517769d: src/bin/gvdb.rs
+
+src/bin/gvdb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvdb-36aafe68c9b0731e.d: src/bin/gvdb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb-36aafe68c9b0731e.rmeta: src/bin/gvdb.rs Cargo.toml
+
+src/bin/gvdb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvdb-78d166f379265e5d.d: src/bin/gvdb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb-78d166f379265e5d.rmeta: src/bin/gvdb.rs Cargo.toml
+
+src/bin/gvdb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvdb-b8532f4ea9a1e837.d: src/bin/gvdb.rs
+
+/root/repo/target/debug/deps/libgvdb-b8532f4ea9a1e837.rmeta: src/bin/gvdb.rs
+
+src/bin/gvdb.rs:

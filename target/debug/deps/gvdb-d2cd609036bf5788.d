@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvdb-d2cd609036bf5788.d: src/bin/gvdb.rs
+
+/root/repo/target/debug/deps/gvdb-d2cd609036bf5788: src/bin/gvdb.rs
+
+src/bin/gvdb.rs:

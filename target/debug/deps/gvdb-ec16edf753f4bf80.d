@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvdb-ec16edf753f4bf80.d: src/bin/gvdb.rs
+
+/root/repo/target/debug/deps/gvdb-ec16edf753f4bf80: src/bin/gvdb.rs
+
+src/bin/gvdb.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gvdb_abstract-0e98503444d96dd3.d: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+/root/repo/target/debug/deps/libgvdb_abstract-0e98503444d96dd3.rlib: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+/root/repo/target/debug/deps/libgvdb_abstract-0e98503444d96dd3.rmeta: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+crates/abstraction/src/lib.rs:
+crates/abstraction/src/filter.rs:
+crates/abstraction/src/hierarchy.rs:
+crates/abstraction/src/rank.rs:
+crates/abstraction/src/summarize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvdb_abstract-37a1ae6dd5cf07f6.d: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+/root/repo/target/debug/deps/gvdb_abstract-37a1ae6dd5cf07f6: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+crates/abstraction/src/lib.rs:
+crates/abstraction/src/filter.rs:
+crates/abstraction/src/hierarchy.rs:
+crates/abstraction/src/rank.rs:
+crates/abstraction/src/summarize.rs:

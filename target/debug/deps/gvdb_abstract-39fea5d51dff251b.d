@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvdb_abstract-39fea5d51dff251b.d: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb_abstract-39fea5d51dff251b.rmeta: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs Cargo.toml
+
+crates/abstraction/src/lib.rs:
+crates/abstraction/src/filter.rs:
+crates/abstraction/src/hierarchy.rs:
+crates/abstraction/src/rank.rs:
+crates/abstraction/src/summarize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

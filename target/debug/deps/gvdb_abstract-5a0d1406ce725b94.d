@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvdb_abstract-5a0d1406ce725b94.d: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+/root/repo/target/debug/deps/libgvdb_abstract-5a0d1406ce725b94.rmeta: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+crates/abstraction/src/lib.rs:
+crates/abstraction/src/filter.rs:
+crates/abstraction/src/hierarchy.rs:
+crates/abstraction/src/rank.rs:
+crates/abstraction/src/summarize.rs:

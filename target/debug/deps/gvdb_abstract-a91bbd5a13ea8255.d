@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gvdb_abstract-a91bbd5a13ea8255.d: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+/root/repo/target/debug/deps/libgvdb_abstract-a91bbd5a13ea8255.rlib: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+/root/repo/target/debug/deps/libgvdb_abstract-a91bbd5a13ea8255.rmeta: crates/abstraction/src/lib.rs crates/abstraction/src/filter.rs crates/abstraction/src/hierarchy.rs crates/abstraction/src/rank.rs crates/abstraction/src/summarize.rs
+
+crates/abstraction/src/lib.rs:
+crates/abstraction/src/filter.rs:
+crates/abstraction/src/hierarchy.rs:
+crates/abstraction/src/rank.rs:
+crates/abstraction/src/summarize.rs:

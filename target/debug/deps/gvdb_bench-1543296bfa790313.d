@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvdb_bench-1543296bfa790313.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgvdb_bench-1543296bfa790313.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

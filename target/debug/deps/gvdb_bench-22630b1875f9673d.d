@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gvdb_bench-22630b1875f9673d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgvdb_bench-22630b1875f9673d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgvdb_bench-22630b1875f9673d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

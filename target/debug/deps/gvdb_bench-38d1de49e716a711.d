@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvdb_bench-38d1de49e716a711.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gvdb_bench-38d1de49e716a711: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

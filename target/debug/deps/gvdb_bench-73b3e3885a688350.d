@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvdb_bench-73b3e3885a688350.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb_bench-73b3e3885a688350.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

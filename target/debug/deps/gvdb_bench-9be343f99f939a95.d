@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gvdb_bench-9be343f99f939a95.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgvdb_bench-9be343f99f939a95.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgvdb_bench-9be343f99f939a95.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

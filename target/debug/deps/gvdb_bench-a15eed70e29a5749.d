@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvdb_bench-a15eed70e29a5749.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gvdb_bench-a15eed70e29a5749: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvdb_bench-b58dfb67fca7ae24.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb_bench-b58dfb67fca7ae24.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

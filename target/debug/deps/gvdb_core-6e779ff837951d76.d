@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gvdb_core-6e779ff837951d76.d: crates/core/src/lib.rs crates/core/src/birdview.rs crates/core/src/cache.rs crates/core/src/client.rs crates/core/src/json.rs crates/core/src/organizer.rs crates/core/src/preprocess.rs crates/core/src/query.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb_core-6e779ff837951d76.rmeta: crates/core/src/lib.rs crates/core/src/birdview.rs crates/core/src/cache.rs crates/core/src/client.rs crates/core/src/json.rs crates/core/src/organizer.rs crates/core/src/preprocess.rs crates/core/src/query.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/workspace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/birdview.rs:
+crates/core/src/cache.rs:
+crates/core/src/client.rs:
+crates/core/src/json.rs:
+crates/core/src/organizer.rs:
+crates/core/src/preprocess.rs:
+crates/core/src/query.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:
+crates/core/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gvdb_core-bddfcec28a19b91b.d: crates/core/src/lib.rs crates/core/src/birdview.rs crates/core/src/cache.rs crates/core/src/client.rs crates/core/src/json.rs crates/core/src/organizer.rs crates/core/src/preprocess.rs crates/core/src/query.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/workspace.rs
+
+/root/repo/target/debug/deps/gvdb_core-bddfcec28a19b91b: crates/core/src/lib.rs crates/core/src/birdview.rs crates/core/src/cache.rs crates/core/src/client.rs crates/core/src/json.rs crates/core/src/organizer.rs crates/core/src/preprocess.rs crates/core/src/query.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/workspace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/birdview.rs:
+crates/core/src/cache.rs:
+crates/core/src/client.rs:
+crates/core/src/json.rs:
+crates/core/src/organizer.rs:
+crates/core/src/preprocess.rs:
+crates/core/src/query.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:
+crates/core/src/workspace.rs:

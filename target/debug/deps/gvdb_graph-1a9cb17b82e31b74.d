@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/gvdb_graph-1a9cb17b82e31b74.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/barabasi_albert.rs crates/graph/src/generators/citation.rs crates/graph/src/generators/community.rs crates/graph/src/generators/erdos_renyi.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/rdf.rs crates/graph/src/generators/rmat.rs crates/graph/src/graph.rs crates/graph/src/io/mod.rs crates/graph/src/io/edge_list.rs crates/graph/src/io/ntriples.rs crates/graph/src/metrics.rs crates/graph/src/traversal.rs crates/graph/src/types.rs
+
+/root/repo/target/debug/deps/libgvdb_graph-1a9cb17b82e31b74.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/barabasi_albert.rs crates/graph/src/generators/citation.rs crates/graph/src/generators/community.rs crates/graph/src/generators/erdos_renyi.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/rdf.rs crates/graph/src/generators/rmat.rs crates/graph/src/graph.rs crates/graph/src/io/mod.rs crates/graph/src/io/edge_list.rs crates/graph/src/io/ntriples.rs crates/graph/src/metrics.rs crates/graph/src/traversal.rs crates/graph/src/types.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/barabasi_albert.rs:
+crates/graph/src/generators/citation.rs:
+crates/graph/src/generators/community.rs:
+crates/graph/src/generators/erdos_renyi.rs:
+crates/graph/src/generators/grid.rs:
+crates/graph/src/generators/rdf.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io/mod.rs:
+crates/graph/src/io/edge_list.rs:
+crates/graph/src/io/ntriples.rs:
+crates/graph/src/metrics.rs:
+crates/graph/src/traversal.rs:
+crates/graph/src/types.rs:

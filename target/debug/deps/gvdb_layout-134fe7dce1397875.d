@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvdb_layout-134fe7dce1397875.d: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+/root/repo/target/debug/deps/gvdb_layout-134fe7dce1397875: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/bounds.rs:
+crates/layout/src/circular.rs:
+crates/layout/src/force.rs:
+crates/layout/src/grid.rs:
+crates/layout/src/hierarchical.rs:
+crates/layout/src/parallel.rs:
+crates/layout/src/random.rs:
+crates/layout/src/star.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gvdb_layout-2106fea00d96c875.d: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb_layout-2106fea00d96c875.rmeta: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs Cargo.toml
+
+crates/layout/src/lib.rs:
+crates/layout/src/bounds.rs:
+crates/layout/src/circular.rs:
+crates/layout/src/force.rs:
+crates/layout/src/grid.rs:
+crates/layout/src/hierarchical.rs:
+crates/layout/src/parallel.rs:
+crates/layout/src/random.rs:
+crates/layout/src/star.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gvdb_layout-9aa99d7fcde97f3a.d: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+/root/repo/target/debug/deps/libgvdb_layout-9aa99d7fcde97f3a.rlib: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+/root/repo/target/debug/deps/libgvdb_layout-9aa99d7fcde97f3a.rmeta: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/bounds.rs:
+crates/layout/src/circular.rs:
+crates/layout/src/force.rs:
+crates/layout/src/grid.rs:
+crates/layout/src/hierarchical.rs:
+crates/layout/src/parallel.rs:
+crates/layout/src/random.rs:
+crates/layout/src/star.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gvdb_layout-e46e8a938bf37962.d: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+/root/repo/target/debug/deps/gvdb_layout-e46e8a938bf37962: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/bounds.rs:
+crates/layout/src/circular.rs:
+crates/layout/src/force.rs:
+crates/layout/src/grid.rs:
+crates/layout/src/hierarchical.rs:
+crates/layout/src/parallel.rs:
+crates/layout/src/random.rs:
+crates/layout/src/star.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gvdb_partition-08b72a115bc2429c.d: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb_partition-08b72a115bc2429c.rmeta: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/coarsen.rs:
+crates/partition/src/initial.rs:
+crates/partition/src/kway.rs:
+crates/partition/src/matching.rs:
+crates/partition/src/quality.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/wgraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

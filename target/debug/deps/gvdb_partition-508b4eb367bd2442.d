@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gvdb_partition-508b4eb367bd2442.d: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+/root/repo/target/debug/deps/libgvdb_partition-508b4eb367bd2442.rlib: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+/root/repo/target/debug/deps/libgvdb_partition-508b4eb367bd2442.rmeta: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/coarsen.rs:
+crates/partition/src/initial.rs:
+crates/partition/src/kway.rs:
+crates/partition/src/matching.rs:
+crates/partition/src/quality.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/wgraph.rs:

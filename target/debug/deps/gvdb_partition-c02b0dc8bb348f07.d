@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gvdb_partition-c02b0dc8bb348f07.d: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+/root/repo/target/debug/deps/libgvdb_partition-c02b0dc8bb348f07.rlib: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+/root/repo/target/debug/deps/libgvdb_partition-c02b0dc8bb348f07.rmeta: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/coarsen.rs:
+crates/partition/src/initial.rs:
+crates/partition/src/kway.rs:
+crates/partition/src/matching.rs:
+crates/partition/src/quality.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/wgraph.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gvdb_partition-c7e812e809e59e60.d: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+/root/repo/target/debug/deps/gvdb_partition-c7e812e809e59e60: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/coarsen.rs:
+crates/partition/src/initial.rs:
+crates/partition/src/kway.rs:
+crates/partition/src/matching.rs:
+crates/partition/src/quality.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/wgraph.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gvdb_spatial-16980f774b1a523a.d: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs
+
+/root/repo/target/debug/deps/libgvdb_spatial-16980f774b1a523a.rlib: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs
+
+/root/repo/target/debug/deps/libgvdb_spatial-16980f774b1a523a.rmeta: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/geom.rs:
+crates/spatial/src/morton.rs:
+crates/spatial/src/rtree/mod.rs:
+crates/spatial/src/rtree/bulk.rs:
+crates/spatial/src/rtree/node.rs:
+crates/spatial/src/rtree/query.rs:
+crates/spatial/src/rtree/split.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gvdb_spatial-309a823f1d7a34ed.d: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb_spatial-309a823f1d7a34ed.rmeta: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs Cargo.toml
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/geom.rs:
+crates/spatial/src/morton.rs:
+crates/spatial/src/rtree/mod.rs:
+crates/spatial/src/rtree/bulk.rs:
+crates/spatial/src/rtree/node.rs:
+crates/spatial/src/rtree/query.rs:
+crates/spatial/src/rtree/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gvdb_spatial-4e56ef79c9d6410b.d: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs
+
+/root/repo/target/debug/deps/gvdb_spatial-4e56ef79c9d6410b: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/geom.rs:
+crates/spatial/src/morton.rs:
+crates/spatial/src/rtree/mod.rs:
+crates/spatial/src/rtree/bulk.rs:
+crates/spatial/src/rtree/node.rs:
+crates/spatial/src/rtree/query.rs:
+crates/spatial/src/rtree/split.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gvdb_storage-62231b6fdfbbec5f.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/db.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/pager.rs crates/storage/src/record.rs crates/storage/src/spatial_index.rs crates/storage/src/table.rs crates/storage/src/trie.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/gvdb_storage-62231b6fdfbbec5f: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/db.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/pager.rs crates/storage/src/record.rs crates/storage/src/spatial_index.rs crates/storage/src/table.rs crates/storage/src/trie.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/db.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/pager.rs:
+crates/storage/src/record.rs:
+crates/storage/src/spatial_index.rs:
+crates/storage/src/table.rs:
+crates/storage/src/trie.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/gvdb_storage-cd888b8585f79b20.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/db.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/pager.rs crates/storage/src/record.rs crates/storage/src/spatial_index.rs crates/storage/src/table.rs crates/storage/src/trie.rs crates/storage/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvdb_storage-cd888b8585f79b20.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/db.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/pager.rs crates/storage/src/record.rs crates/storage/src/spatial_index.rs crates/storage/src/table.rs crates/storage/src/trie.rs crates/storage/src/wal.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/db.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/pager.rs:
+crates/storage/src/record.rs:
+crates/storage/src/spatial_index.rs:
+crates/storage/src/table.rs:
+crates/storage/src/trie.rs:
+crates/storage/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

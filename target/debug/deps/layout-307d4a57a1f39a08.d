@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout-307d4a57a1f39a08.d: crates/bench/benches/layout.rs
+
+/root/repo/target/debug/deps/layout-307d4a57a1f39a08: crates/bench/benches/layout.rs
+
+crates/bench/benches/layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout-4d6ddb854d372d5d.d: crates/bench/benches/layout.rs
+
+/root/repo/target/debug/deps/layout-4d6ddb854d372d5d: crates/bench/benches/layout.rs
+
+crates/bench/benches/layout.rs:

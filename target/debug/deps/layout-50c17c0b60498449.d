@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/layout-50c17c0b60498449.d: crates/bench/benches/layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblayout-50c17c0b60498449.rmeta: crates/bench/benches/layout.rs Cargo.toml
+
+crates/bench/benches/layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

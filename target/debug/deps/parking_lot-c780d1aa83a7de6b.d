@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-c780d1aa83a7de6b.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-c780d1aa83a7de6b: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

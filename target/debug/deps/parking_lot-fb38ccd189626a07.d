@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-fb38ccd189626a07.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-fb38ccd189626a07.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

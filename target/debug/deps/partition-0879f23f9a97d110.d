@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition-0879f23f9a97d110.d: crates/bench/benches/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition-0879f23f9a97d110.rmeta: crates/bench/benches/partition.rs Cargo.toml
+
+crates/bench/benches/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition-44968e1fae4a70b8.d: crates/bench/benches/partition.rs
+
+/root/repo/target/debug/deps/partition-44968e1fae4a70b8: crates/bench/benches/partition.rs
+
+crates/bench/benches/partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition-b328e2432d11070a.d: crates/bench/benches/partition.rs
+
+/root/repo/target/debug/deps/partition-b328e2432d11070a: crates/bench/benches/partition.rs
+
+crates/bench/benches/partition.rs:

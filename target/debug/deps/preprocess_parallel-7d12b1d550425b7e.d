@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preprocess_parallel-7d12b1d550425b7e.d: crates/bench/benches/preprocess_parallel.rs
+
+/root/repo/target/debug/deps/preprocess_parallel-7d12b1d550425b7e: crates/bench/benches/preprocess_parallel.rs
+
+crates/bench/benches/preprocess_parallel.rs:

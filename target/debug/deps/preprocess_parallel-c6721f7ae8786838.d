@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preprocess_parallel-c6721f7ae8786838.d: crates/bench/benches/preprocess_parallel.rs
+
+/root/repo/target/debug/deps/preprocess_parallel-c6721f7ae8786838: crates/bench/benches/preprocess_parallel.rs
+
+crates/bench/benches/preprocess_parallel.rs:

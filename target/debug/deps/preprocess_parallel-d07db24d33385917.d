@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preprocess_parallel-d07db24d33385917.d: crates/bench/benches/preprocess_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreprocess_parallel-d07db24d33385917.rmeta: crates/bench/benches/preprocess_parallel.rs Cargo.toml
+
+crates/bench/benches/preprocess_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-40d3b3e4bc721ae9.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-40d3b3e4bc721ae9: tests/property_tests.rs
+
+tests/property_tests.rs:

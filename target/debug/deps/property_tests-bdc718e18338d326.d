@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-bdc718e18338d326.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-bdc718e18338d326: tests/property_tests.rs
+
+tests/property_tests.rs:

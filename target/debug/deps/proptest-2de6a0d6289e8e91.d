@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2de6a0d6289e8e91.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2de6a0d6289e8e91.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-87b7efeed29f85b3.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/proptest_graph-87b7efeed29f85b3: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

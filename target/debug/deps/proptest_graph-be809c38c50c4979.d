@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-be809c38c50c4979.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/proptest_graph-be809c38c50c4979: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_graph-dd741e39f070c0fb.d: crates/graph/tests/proptest_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_graph-dd741e39f070c0fb.rmeta: crates/graph/tests/proptest_graph.rs Cargo.toml
+
+crates/graph/tests/proptest_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

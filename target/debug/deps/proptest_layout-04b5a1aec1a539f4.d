@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_layout-04b5a1aec1a539f4.d: crates/layout/tests/proptest_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_layout-04b5a1aec1a539f4.rmeta: crates/layout/tests/proptest_layout.rs Cargo.toml
+
+crates/layout/tests/proptest_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

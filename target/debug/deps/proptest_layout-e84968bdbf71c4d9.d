@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_layout-e84968bdbf71c4d9.d: crates/layout/tests/proptest_layout.rs
+
+/root/repo/target/debug/deps/proptest_layout-e84968bdbf71c4d9: crates/layout/tests/proptest_layout.rs
+
+crates/layout/tests/proptest_layout.rs:

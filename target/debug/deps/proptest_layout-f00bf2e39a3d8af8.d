@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_layout-f00bf2e39a3d8af8.d: crates/layout/tests/proptest_layout.rs
+
+/root/repo/target/debug/deps/proptest_layout-f00bf2e39a3d8af8: crates/layout/tests/proptest_layout.rs
+
+crates/layout/tests/proptest_layout.rs:

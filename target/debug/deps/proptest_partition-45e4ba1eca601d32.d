@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_partition-45e4ba1eca601d32.d: crates/partition/tests/proptest_partition.rs
+
+/root/repo/target/debug/deps/proptest_partition-45e4ba1eca601d32: crates/partition/tests/proptest_partition.rs
+
+crates/partition/tests/proptest_partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_partition-5ad72733acb4f123.d: crates/partition/tests/proptest_partition.rs
+
+/root/repo/target/debug/deps/proptest_partition-5ad72733acb4f123: crates/partition/tests/proptest_partition.rs
+
+crates/partition/tests/proptest_partition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_partition-e452edbd77018296.d: crates/partition/tests/proptest_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_partition-e452edbd77018296.rmeta: crates/partition/tests/proptest_partition.rs Cargo.toml
+
+crates/partition/tests/proptest_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_rtree-51c294093b46039e.d: crates/spatial/tests/proptest_rtree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_rtree-51c294093b46039e.rmeta: crates/spatial/tests/proptest_rtree.rs Cargo.toml
+
+crates/spatial/tests/proptest_rtree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_rtree-b529a2d9a1f8835d.d: crates/spatial/tests/proptest_rtree.rs
+
+/root/repo/target/debug/deps/proptest_rtree-b529a2d9a1f8835d: crates/spatial/tests/proptest_rtree.rs
+
+crates/spatial/tests/proptest_rtree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_rtree-f91579a3d25ea536.d: crates/spatial/tests/proptest_rtree.rs
+
+/root/repo/target/debug/deps/proptest_rtree-f91579a3d25ea536: crates/spatial/tests/proptest_rtree.rs
+
+crates/spatial/tests/proptest_rtree.rs:

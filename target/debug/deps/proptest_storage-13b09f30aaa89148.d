@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_storage-13b09f30aaa89148.d: crates/storage/tests/proptest_storage.rs
+
+/root/repo/target/debug/deps/proptest_storage-13b09f30aaa89148: crates/storage/tests/proptest_storage.rs
+
+crates/storage/tests/proptest_storage.rs:

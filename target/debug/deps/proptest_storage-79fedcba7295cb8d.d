@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_storage-79fedcba7295cb8d.d: crates/storage/tests/proptest_storage.rs
+
+/root/repo/target/debug/deps/proptest_storage-79fedcba7295cb8d: crates/storage/tests/proptest_storage.rs
+
+crates/storage/tests/proptest_storage.rs:

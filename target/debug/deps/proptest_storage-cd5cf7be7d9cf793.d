@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_storage-cd5cf7be7d9cf793.d: crates/storage/tests/proptest_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_storage-cd5cf7be7d9cf793.rmeta: crates/storage/tests/proptest_storage.rs Cargo.toml
+
+crates/storage/tests/proptest_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

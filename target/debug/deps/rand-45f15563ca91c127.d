@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-45f15563ca91c127.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-45f15563ca91c127.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

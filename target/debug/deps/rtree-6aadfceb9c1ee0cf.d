@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtree-6aadfceb9c1ee0cf.d: crates/bench/benches/rtree.rs
+
+/root/repo/target/debug/deps/rtree-6aadfceb9c1ee0cf: crates/bench/benches/rtree.rs
+
+crates/bench/benches/rtree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtree-bb94f07363761c92.d: crates/bench/benches/rtree.rs
+
+/root/repo/target/debug/deps/rtree-bb94f07363761c92: crates/bench/benches/rtree.rs
+
+crates/bench/benches/rtree.rs:

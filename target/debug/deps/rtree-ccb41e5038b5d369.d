@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtree-ccb41e5038b5d369.d: crates/bench/benches/rtree.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtree-ccb41e5038b5d369.rmeta: crates/bench/benches/rtree.rs Cargo.toml
+
+crates/bench/benches/rtree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-3096c1927cc55d68.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-3096c1927cc55d68: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

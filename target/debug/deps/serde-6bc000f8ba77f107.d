@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6bc000f8ba77f107.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6bc000f8ba77f107.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6bc000f8ba77f107.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-bb17da705c06d873.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-bb17da705c06d873.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0667a612022e4d1e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0667a612022e4d1e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

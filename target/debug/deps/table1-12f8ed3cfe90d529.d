@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-12f8ed3cfe90d529.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-12f8ed3cfe90d529.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

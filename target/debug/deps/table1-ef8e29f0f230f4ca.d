@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ef8e29f0f230f4ca.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ef8e29f0f230f4ca: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

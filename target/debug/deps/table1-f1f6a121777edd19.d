@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f1f6a121777edd19.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f1f6a121777edd19: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

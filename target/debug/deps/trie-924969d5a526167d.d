@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trie-924969d5a526167d.d: crates/bench/benches/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrie-924969d5a526167d.rmeta: crates/bench/benches/trie.rs Cargo.toml
+
+crates/bench/benches/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

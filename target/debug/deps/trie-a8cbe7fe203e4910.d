@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trie-a8cbe7fe203e4910.d: crates/bench/benches/trie.rs
+
+/root/repo/target/debug/deps/trie-a8cbe7fe203e4910: crates/bench/benches/trie.rs
+
+crates/bench/benches/trie.rs:

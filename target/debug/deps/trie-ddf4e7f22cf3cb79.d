@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trie-ddf4e7f22cf3cb79.d: crates/bench/benches/trie.rs
+
+/root/repo/target/debug/deps/trie-ddf4e7f22cf3cb79: crates/bench/benches/trie.rs
+
+crates/bench/benches/trie.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/window_query-9e22ca3b40c2b884.d: crates/bench/benches/window_query.rs
+
+/root/repo/target/debug/deps/window_query-9e22ca3b40c2b884: crates/bench/benches/window_query.rs
+
+crates/bench/benches/window_query.rs:

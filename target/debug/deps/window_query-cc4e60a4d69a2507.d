@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/window_query-cc4e60a4d69a2507.d: crates/bench/benches/window_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwindow_query-cc4e60a4d69a2507.rmeta: crates/bench/benches/window_query.rs Cargo.toml
+
+crates/bench/benches/window_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/window_query-ccfc859314d49b2c.d: crates/bench/benches/window_query.rs
+
+/root/repo/target/debug/deps/window_query-ccfc859314d49b2c: crates/bench/benches/window_query.rs
+
+crates/bench/benches/window_query.rs:

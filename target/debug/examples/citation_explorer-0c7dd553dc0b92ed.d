@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/citation_explorer-0c7dd553dc0b92ed.d: examples/citation_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcitation_explorer-0c7dd553dc0b92ed.rmeta: examples/citation_explorer.rs Cargo.toml
+
+examples/citation_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

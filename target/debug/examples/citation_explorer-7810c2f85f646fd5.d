@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/citation_explorer-7810c2f85f646fd5.d: examples/citation_explorer.rs
+
+/root/repo/target/debug/examples/citation_explorer-7810c2f85f646fd5: examples/citation_explorer.rs
+
+examples/citation_explorer.rs:

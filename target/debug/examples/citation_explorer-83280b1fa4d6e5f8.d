@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/citation_explorer-83280b1fa4d6e5f8.d: examples/citation_explorer.rs
+
+/root/repo/target/debug/examples/citation_explorer-83280b1fa4d6e5f8: examples/citation_explorer.rs
+
+examples/citation_explorer.rs:

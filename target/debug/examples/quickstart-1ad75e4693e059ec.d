@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1ad75e4693e059ec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1ad75e4693e059ec: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-92026b1cee842ad4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-92026b1cee842ad4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rdf_browser-c2b69952044dc5aa.d: examples/rdf_browser.rs Cargo.toml
+
+/root/repo/target/debug/examples/librdf_browser-c2b69952044dc5aa.rmeta: examples/rdf_browser.rs Cargo.toml
+
+examples/rdf_browser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rdf_browser-c7b000e48ca7ab8a.d: examples/rdf_browser.rs
+
+/root/repo/target/debug/examples/rdf_browser-c7b000e48ca7ab8a: examples/rdf_browser.rs
+
+examples/rdf_browser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rdf_browser-e6ff98d5a8343cd2.d: examples/rdf_browser.rs
+
+/root/repo/target/debug/examples/rdf_browser-e6ff98d5a8343cd2: examples/rdf_browser.rs
+
+examples/rdf_browser.rs:

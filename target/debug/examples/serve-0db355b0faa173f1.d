@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve-0db355b0faa173f1.d: examples/serve.rs
+
+/root/repo/target/debug/examples/serve-0db355b0faa173f1: examples/serve.rs
+
+examples/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve-12ced38e4ac645c5.d: examples/serve.rs
+
+/root/repo/target/debug/examples/serve-12ced38e4ac645c5: examples/serve.rs
+
+examples/serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve-7ed588576f8f2a39.d: examples/serve.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve-7ed588576f8f2a39.rmeta: examples/serve.rs Cargo.toml
+
+examples/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

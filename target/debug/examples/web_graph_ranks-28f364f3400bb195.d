@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/web_graph_ranks-28f364f3400bb195.d: examples/web_graph_ranks.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweb_graph_ranks-28f364f3400bb195.rmeta: examples/web_graph_ranks.rs Cargo.toml
+
+examples/web_graph_ranks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_graph_ranks-84d3369cc281d9bb.d: examples/web_graph_ranks.rs
+
+/root/repo/target/debug/examples/web_graph_ranks-84d3369cc281d9bb: examples/web_graph_ranks.rs
+
+examples/web_graph_ranks.rs:

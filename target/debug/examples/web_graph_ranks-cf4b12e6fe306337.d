@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_graph_ranks-cf4b12e6fe306337.d: examples/web_graph_ranks.rs
+
+/root/repo/target/debug/examples/web_graph_ranks-cf4b12e6fe306337: examples/web_graph_ranks.rs
+
+examples/web_graph_ranks.rs:

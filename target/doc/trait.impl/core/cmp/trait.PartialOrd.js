@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["gvdb_graph",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"gvdb_graph/types/struct.EdgeId.html\" title=\"struct gvdb_graph::types::EdgeId\">EdgeId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"gvdb_graph/types/struct.NodeId.html\" title=\"struct gvdb_graph::types::NodeId\">NodeId</a>",0]]],["gvdb_storage",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"gvdb_storage/heap/struct.RowId.html\" title=\"struct gvdb_storage::heap::RowId\">RowId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"gvdb_storage/page/struct.PageId.html\" title=\"struct gvdb_storage::page::PageId\">PageId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[574,578]}

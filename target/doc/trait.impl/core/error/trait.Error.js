@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["gvdb_storage",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"gvdb_storage/error/enum.StorageError.html\" title=\"enum gvdb_storage::error::StorageError\">StorageError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[302]}

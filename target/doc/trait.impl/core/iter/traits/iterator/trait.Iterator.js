@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["gvdb_spatial",[["impl&lt;'a, T&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"gvdb_spatial/rtree/struct.Nearest.html\" title=\"struct gvdb_spatial::rtree::Nearest\">Nearest</a>&lt;'a, T&gt;",0],["impl&lt;'a, T&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"gvdb_spatial/rtree/struct.Window.html\" title=\"struct gvdb_spatial::rtree::Window\">Window</a>&lt;'a, T&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[699]}

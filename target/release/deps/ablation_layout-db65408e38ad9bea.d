@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_layout-db65408e38ad9bea.d: crates/bench/src/bin/ablation_layout.rs
+
+/root/repo/target/release/deps/ablation_layout-db65408e38ad9bea: crates/bench/src/bin/ablation_layout.rs
+
+crates/bench/src/bin/ablation_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_hit-bc9c65e8657ebd55.d: crates/bench/benches/cache_hit.rs
+
+/root/repo/target/release/deps/cache_hit-bc9c65e8657ebd55: crates/bench/benches/cache_hit.rs
+
+crates/bench/benches/cache_hit.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-7af427e779b5e8cc.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7af427e779b5e8cc.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7af427e779b5e8cc.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-10112da88d3d29af.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-10112da88d3d29af: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

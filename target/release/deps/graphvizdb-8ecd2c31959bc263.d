@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/graphvizdb-8ecd2c31959bc263.d: src/lib.rs
+
+/root/repo/target/release/deps/libgraphvizdb-8ecd2c31959bc263.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgraphvizdb-8ecd2c31959bc263.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gvdb-b603b113b94ee150.d: src/bin/gvdb.rs
+
+/root/repo/target/release/deps/gvdb-b603b113b94ee150: src/bin/gvdb.rs
+
+src/bin/gvdb.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gvdb_bench-9cf4aeaa257906b4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgvdb_bench-9cf4aeaa257906b4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgvdb_bench-9cf4aeaa257906b4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/gvdb_core-d745e60d7f8bafe8.d: crates/core/src/lib.rs crates/core/src/birdview.rs crates/core/src/cache.rs crates/core/src/client.rs crates/core/src/json.rs crates/core/src/organizer.rs crates/core/src/preprocess.rs crates/core/src/query.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/workspace.rs
+
+/root/repo/target/release/deps/libgvdb_core-d745e60d7f8bafe8.rlib: crates/core/src/lib.rs crates/core/src/birdview.rs crates/core/src/cache.rs crates/core/src/client.rs crates/core/src/json.rs crates/core/src/organizer.rs crates/core/src/preprocess.rs crates/core/src/query.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/workspace.rs
+
+/root/repo/target/release/deps/libgvdb_core-d745e60d7f8bafe8.rmeta: crates/core/src/lib.rs crates/core/src/birdview.rs crates/core/src/cache.rs crates/core/src/client.rs crates/core/src/json.rs crates/core/src/organizer.rs crates/core/src/preprocess.rs crates/core/src/query.rs crates/core/src/session.rs crates/core/src/stats.rs crates/core/src/workspace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/birdview.rs:
+crates/core/src/cache.rs:
+crates/core/src/client.rs:
+crates/core/src/json.rs:
+crates/core/src/organizer.rs:
+crates/core/src/preprocess.rs:
+crates/core/src/query.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:
+crates/core/src/workspace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gvdb_layout-b518643bcabdc1ad.d: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+/root/repo/target/release/deps/libgvdb_layout-b518643bcabdc1ad.rlib: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+/root/repo/target/release/deps/libgvdb_layout-b518643bcabdc1ad.rmeta: crates/layout/src/lib.rs crates/layout/src/bounds.rs crates/layout/src/circular.rs crates/layout/src/force.rs crates/layout/src/grid.rs crates/layout/src/hierarchical.rs crates/layout/src/parallel.rs crates/layout/src/random.rs crates/layout/src/star.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/bounds.rs:
+crates/layout/src/circular.rs:
+crates/layout/src/force.rs:
+crates/layout/src/grid.rs:
+crates/layout/src/hierarchical.rs:
+crates/layout/src/parallel.rs:
+crates/layout/src/random.rs:
+crates/layout/src/star.rs:

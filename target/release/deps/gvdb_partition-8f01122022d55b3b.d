@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gvdb_partition-8f01122022d55b3b.d: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+/root/repo/target/release/deps/libgvdb_partition-8f01122022d55b3b.rlib: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+/root/repo/target/release/deps/libgvdb_partition-8f01122022d55b3b.rmeta: crates/partition/src/lib.rs crates/partition/src/coarsen.rs crates/partition/src/initial.rs crates/partition/src/kway.rs crates/partition/src/matching.rs crates/partition/src/quality.rs crates/partition/src/refine.rs crates/partition/src/wgraph.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/coarsen.rs:
+crates/partition/src/initial.rs:
+crates/partition/src/kway.rs:
+crates/partition/src/matching.rs:
+crates/partition/src/quality.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/wgraph.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gvdb_spatial-9df806f173e052e7.d: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs
+
+/root/repo/target/release/deps/libgvdb_spatial-9df806f173e052e7.rlib: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs
+
+/root/repo/target/release/deps/libgvdb_spatial-9df806f173e052e7.rmeta: crates/spatial/src/lib.rs crates/spatial/src/geom.rs crates/spatial/src/morton.rs crates/spatial/src/rtree/mod.rs crates/spatial/src/rtree/bulk.rs crates/spatial/src/rtree/node.rs crates/spatial/src/rtree/query.rs crates/spatial/src/rtree/split.rs
+
+crates/spatial/src/lib.rs:
+crates/spatial/src/geom.rs:
+crates/spatial/src/morton.rs:
+crates/spatial/src/rtree/mod.rs:
+crates/spatial/src/rtree/bulk.rs:
+crates/spatial/src/rtree/node.rs:
+crates/spatial/src/rtree/query.rs:
+crates/spatial/src/rtree/split.rs:

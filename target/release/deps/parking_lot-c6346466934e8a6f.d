@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-c6346466934e8a6f.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c6346466934e8a6f.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c6346466934e8a6f.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/preprocess_parallel-7ab36cfdcd799a84.d: crates/bench/benches/preprocess_parallel.rs
+
+/root/repo/target/release/deps/preprocess_parallel-7ab36cfdcd799a84: crates/bench/benches/preprocess_parallel.rs
+
+crates/bench/benches/preprocess_parallel.rs:

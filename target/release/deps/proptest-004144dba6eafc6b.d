@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-004144dba6eafc6b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-004144dba6eafc6b.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-004144dba6eafc6b.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

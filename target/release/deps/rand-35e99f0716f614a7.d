@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-35e99f0716f614a7.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-35e99f0716f614a7.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-35e99f0716f614a7.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c0cdd6c860b71fdb.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c0cdd6c860b71fdb.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c0cdd6c860b71fdb.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

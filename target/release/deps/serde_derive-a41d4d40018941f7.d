@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a41d4d40018941f7.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a41d4d40018941f7.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-52c1d6b70f9a1309.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-52c1d6b70f9a1309: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

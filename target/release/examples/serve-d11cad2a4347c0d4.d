@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve-d11cad2a4347c0d4.d: examples/serve.rs
+
+/root/repo/target/release/examples/serve-d11cad2a4347c0d4: examples/serve.rs
+
+examples/serve.rs:
