@@ -135,6 +135,39 @@ pub fn random_windows(bounds: &Rect, size: f64, count: usize, seed: u64) -> Vec<
         .collect()
 }
 
+/// A deterministic interactive pan trajectory: `steps` square windows of
+/// side `side`, consecutive windows overlapping by the fraction `overlap`
+/// of their area along one axis, walking boustrophedon (right across the
+/// plane, down one step, back left, …) so the whole run stays inside
+/// `bounds`. This is the workload of the `window_pan` bench and the
+/// `gvdb bench-smoke` trajectory: every step is the paper's §II-B pan
+/// interaction at a controlled overlap ratio.
+pub fn pan_trajectory(bounds: &Rect, side: f64, overlap: f64, steps: usize) -> Vec<Rect> {
+    let step = (side * (1.0 - overlap)).max(1e-9);
+    let max_x = (bounds.max_x - side).max(bounds.min_x);
+    let max_y = (bounds.max_y - side).max(bounds.min_y);
+    let mut x = bounds.min_x;
+    let mut y = bounds.min_y;
+    let mut dir = 1.0f64;
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        out.push(Rect::new(x, y, x + side, y + side));
+        let nx = x + dir * step;
+        if nx < bounds.min_x || nx > max_x {
+            // Bounce: move down one step and reverse horizontal direction.
+            dir = -dir;
+            y = if y + step > max_y {
+                bounds.min_y
+            } else {
+                y + step
+            };
+        } else {
+            x = nx;
+        }
+    }
+    out
+}
+
 /// Scale factor from the environment (`GVDB_SCALE`, default 1000; the
 /// paper's size is `GVDB_SCALE=1`).
 pub fn scale_from_env() -> u64 {
@@ -165,6 +198,24 @@ mod tests {
         for w in random_windows(&b, 500.0, 50, 1) {
             assert!(w.min_x >= 0.0 && w.max_x <= 10_000.0 + 500.0);
             assert!((w.width() - 500.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pan_trajectory_respects_overlap_and_bounds() {
+        let b = Rect::new(0.0, 0.0, 10_000.0, 10_000.0);
+        let side = 1000.0;
+        let windows = pan_trajectory(&b, side, 0.8, 50);
+        assert_eq!(windows.len(), 50);
+        for w in &windows {
+            assert!((w.width() - side).abs() < 1e-9);
+            assert!(w.min_x >= b.min_x - 1e-9 && w.max_x <= b.max_x + 1e-9);
+        }
+        // Consecutive windows overlap by ~the requested fraction (bounce
+        // steps shift on the other axis but keep the same overlap area).
+        for p in windows.windows(2) {
+            let frac = p[0].intersection_area(&p[1]) / p[1].area();
+            assert!((0.79..1.0).contains(&frac), "overlap {frac}");
         }
     }
 

@@ -23,12 +23,23 @@
 //!   concurrent, like the buffer pool underneath).
 //! * **LRU** — each shard evicts its least-recently-used entry when it
 //!   exceeds `capacity / shards` entries.
-//! * **Invalidation** — edits go through `QueryManager::db_mut`, which
-//!   clears the whole cache; a stale row can never be served after an
-//!   edit.
+//! * **Partial hits** — a window that misses the exact-match map is
+//!   matched against *overlapping* cached windows on the same layer
+//!   ([`WindowCache::best_overlap`]); the query manager's delta path then
+//!   reuses the overlap and queries only the difference strips. Entries
+//!   carry the row set, its rid key column, the payload with its span
+//!   index, and a node-reference count index ([`CachedWindow`]) so the
+//!   delta is assembled without re-deduplicating or re-serializing
+//!   surviving data.
+//! * **Invalidation** — layer-aware edits (`QueryManager::insert_row` /
+//!   `delete_row`) drop only the edited layer's entries
+//!   ([`WindowCache::invalidate_layer`]); raw `QueryManager::db_mut`
+//!   access clears everything. Either way a stale row can never be
+//!   served after an edit.
 //!
-//! Hits and misses are counted globally ([`WindowCache::stats`]) and
-//! surfaced per-response through `WindowResponse::cache_hit`.
+//! Hits, partial hits and misses are counted globally
+//! ([`WindowCache::stats`]) and surfaced per-response through
+//! `WindowResponse::cache_hit` / `WindowResponse::delta`.
 
 use crate::json::GraphJson;
 use gvdb_storage::{EdgeRow, RowId};
@@ -55,6 +66,12 @@ pub struct CacheConfig {
     pub shards: usize,
     /// Quantization grid (plane units) for bucketing window coordinates.
     pub quantum: f64,
+    /// Minimum fraction of a requested window an overlapping cached
+    /// window must cover before the delta path engages (default
+    /// [`crate::query::MIN_DELTA_OVERLAP`]). Set above `1.0` to disable
+    /// partial hits entirely — benchmarks use this to measure the cold
+    /// path against the same traffic.
+    pub min_delta_overlap: f64,
 }
 
 impl Default for CacheConfig {
@@ -64,6 +81,7 @@ impl Default for CacheConfig {
             max_bytes: 64 << 20, // 64 MiB
             shards: 8,
             quantum: 1e-3,
+            min_delta_overlap: crate::query::MIN_DELTA_OVERLAP,
         }
     }
 }
@@ -71,10 +89,14 @@ impl Default for CacheConfig {
 /// Hit/miss/occupancy counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served whole from the cache (exact window match).
     pub hits: u64,
     /// Lookups that fell through to the database.
     pub misses: u64,
+    /// The subset of `misses` that found an *overlapping* cached window
+    /// ([`WindowCache::best_overlap`]) and were answered by the delta
+    /// path — only the non-overlapping strips touched the database.
+    pub partial_hits: u64,
     /// Entries currently cached.
     pub entries: usize,
     /// Approximate bytes held by cached entries.
@@ -101,16 +123,27 @@ impl CacheStats {
 /// via `Arc::make_mut`).
 #[derive(Debug, Clone)]
 pub struct CachedWindow {
-    /// The rows in the window.
+    /// The rows in the window, ascending by [`RowId`] — the canonical
+    /// order of every query path, which lets the delta path binary-search
+    /// and two-way merge instead of hashing.
     pub rows: Arc<Vec<(RowId, EdgeRow)>>,
+    /// The key column of `rows` (same order): membership tests in the
+    /// delta path walk this compact array sequentially instead of
+    /// striding through the 100-byte row structs.
+    pub rids: Arc<Vec<RowId>>,
     /// The serialized client payload.
     pub json: Arc<GraphJson>,
+    /// Sorted `(node id, incident row count)` pairs over `rows`. The
+    /// delta path updates this incrementally and reads orphaned nodes
+    /// (count reaching zero) straight off the update, instead of
+    /// re-deduplicating every node in the window.
+    pub node_refs: Arc<Vec<(u64, u32)>>,
 }
 
 impl CachedWindow {
     /// Estimated heap footprint: struct sizes plus the variable-length
-    /// parts (labels, JSON text). Good to within a small constant factor,
-    /// which is all a budget needs.
+    /// parts (labels, JSON text, span and node indexes). Good to within a
+    /// small constant factor, which is all a budget needs.
     pub fn approx_bytes(&self) -> usize {
         let row_fixed = std::mem::size_of::<(RowId, EdgeRow)>();
         let labels: usize = self
@@ -118,7 +151,32 @@ impl CachedWindow {
             .iter()
             .map(|(_, r)| r.node1_label.len() + r.node2_label.len() + r.edge_label.len())
             .sum();
-        self.rows.len() * row_fixed + labels + self.json.text.len()
+        self.rows.len() * row_fixed
+            + labels
+            + self.json.approx_heap_bytes()
+            + self.rids.len() * std::mem::size_of::<RowId>()
+            + self.node_refs.len() * std::mem::size_of::<(u64, u32)>()
+    }
+
+    /// Build the node-reference index for `rows`: each distinct node id
+    /// with the number of rows touching it, sorted by id. The cold query
+    /// path computes this once per window; delta queries then maintain it
+    /// incrementally.
+    pub fn count_node_refs(rows: &[(RowId, EdgeRow)]) -> Vec<(u64, u32)> {
+        let mut ids: Vec<u64> = Vec::with_capacity(rows.len() * 2);
+        for (_, r) in rows {
+            ids.push(r.node1_id);
+            ids.push(r.node2_id);
+        }
+        ids.sort_unstable();
+        let mut out: Vec<(u64, u32)> = Vec::new();
+        for id in ids {
+            match out.last_mut() {
+                Some((last, c)) if *last == id => *c += 1,
+                _ => out.push((id, 1)),
+            }
+        }
+        out
     }
 }
 
@@ -133,8 +191,10 @@ struct CacheKey {
 
 #[derive(Debug)]
 struct Entry {
-    /// Bit pattern of the exact window, for collision-proof lookups.
-    exact: [u64; 4],
+    /// The exact window this entry answers. Compared bit-for-bit on
+    /// lookup (collision-proof), and intersected with incoming windows by
+    /// the overlap scan of the delta path.
+    rect: Rect,
     /// Last-touched tick (shard-local LRU clock).
     tick: u64,
     /// Cached [`CachedWindow::approx_bytes`] (stable for an entry's life).
@@ -168,8 +228,10 @@ pub struct WindowCache {
     per_shard_capacity: usize,
     per_shard_bytes: usize,
     quantum: f64,
+    min_delta_overlap: f64,
     hits: AtomicU64,
     misses: AtomicU64,
+    partial_hits: AtomicU64,
 }
 
 impl WindowCache {
@@ -187,8 +249,10 @@ impl WindowCache {
             } else {
                 1e-3
             },
+            min_delta_overlap: config.min_delta_overlap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            partial_hits: AtomicU64::new(0),
         }
     }
 
@@ -231,6 +295,22 @@ impl WindowCache {
 
     /// Look up `(layer, window)`; counts a hit or miss.
     pub fn get(&self, layer: usize, window: &Rect) -> Option<CachedWindow> {
+        match self.peek(layer, window) {
+            Some(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Exact lookup without touching the hit/miss counters (the delta
+    /// path probes its anchor window this way before deciding how to
+    /// account the query). Refreshes the entry's LRU position.
+    pub fn peek(&self, layer: usize, window: &Rect) -> Option<CachedWindow> {
         let key = self.key(layer, window);
         let exact = Self::exact_bits(window);
         let mut shard = self
@@ -240,17 +320,64 @@ impl WindowCache {
         shard.clock += 1;
         let tick = shard.clock;
         if let Some(entry) = shard.map.get_mut(&key) {
-            if entry.exact == exact {
+            if Self::exact_bits(&entry.rect) == exact {
                 entry.tick = tick;
-                let value = entry.value.clone();
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(value);
+                return Some(entry.value.clone());
             }
         }
-        drop(shard);
-        self.misses.fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// Best *overlapping* cached window on `layer`: the entry whose
+    /// window covers the largest fraction of `window`, if that fraction
+    /// is at least `min_fraction`. Returns the cached window's rectangle
+    /// (the delta anchor) together with its rows and payload.
+    ///
+    /// This is the partial-hit lookup of the incremental viewport path: a
+    /// pan that misses the exact-match map almost always overlaps the
+    /// previous viewport's entry, and reusing it turns a full R-tree +
+    /// heap query into a query over up to four thin strips. The scan
+    /// walks every shard (entries are hashed by quantized rect, so
+    /// overlap can't be looked up directly), which at the cache's few
+    /// hundred entries is nanoseconds next to a window query. Counts a
+    /// partial hit and refreshes the chosen entry's LRU position; the
+    /// exact-match miss is still counted by the [`WindowCache::get`] that
+    /// preceded this call.
+    pub fn best_overlap(
+        &self,
+        layer: usize,
+        window: &Rect,
+        min_fraction: f64,
+    ) -> Option<(Rect, CachedWindow)> {
+        let area = window.area();
+        if area <= 0.0 {
+            return None;
+        }
+        let mut best: Option<(f64, usize, CacheKey, Rect, CachedWindow)> = None;
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, entry) in shard.map.iter() {
+                if key.layer != layer {
+                    continue;
+                }
+                let covered = entry.rect.intersection_area(window) / area;
+                if covered >= min_fraction && best.as_ref().is_none_or(|(f, ..)| covered > *f) {
+                    best = Some((covered, idx, *key, entry.rect, entry.value.clone()));
+                }
+            }
+        }
+        let (_, idx, key, rect, value) = best?;
+        // Refresh the chosen entry's LRU position (it may have been
+        // evicted between the scan and this relock; that's fine).
+        let mut shard = self.shards[idx].lock().unwrap_or_else(|e| e.into_inner());
+        shard.clock += 1;
+        let tick = shard.clock;
+        if let Some(entry) = shard.map.get_mut(&key) {
+            entry.tick = tick;
+        }
+        drop(shard);
+        self.partial_hits.fetch_add(1, Ordering::Relaxed);
+        Some((rect, value))
     }
 
     /// Insert a result for `(layer, window)`, evicting least-recently-used
@@ -265,7 +392,6 @@ impl WindowCache {
             return;
         }
         let key = self.key(layer, window);
-        let exact = Self::exact_bits(window);
         let mut shard = self
             .shard_for(&key)
             .lock()
@@ -283,7 +409,7 @@ impl WindowCache {
         shard.map.insert(
             key,
             Entry {
-                exact,
+                rect: *window,
                 tick,
                 bytes,
                 value,
@@ -291,7 +417,21 @@ impl WindowCache {
         );
     }
 
-    /// Drop every entry (after any database mutation).
+    /// The configured minimum covered fraction for the delta path
+    /// ([`CacheConfig::min_delta_overlap`]).
+    pub fn min_delta_overlap(&self) -> f64 {
+        self.min_delta_overlap
+    }
+
+    /// Count a partial hit that was resolved outside
+    /// [`WindowCache::best_overlap`] (the anchored fast path peeks its
+    /// entry directly but is still a partial hit for accounting).
+    pub(crate) fn count_partial_hit(&self) {
+        self.partial_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop every entry (after a mutation whose target layer is unknown,
+    /// e.g. raw [`crate::QueryManager::db_mut`] access).
     pub fn invalidate_all(&self) {
         for shard in &self.shards {
             let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
@@ -300,11 +440,32 @@ impl WindowCache {
         }
     }
 
+    /// Drop only the entries of one layer (after an edit through the
+    /// layer-aware edit path). Windows cached for *other* layers stay
+    /// valid — each layer is an independent table, so an edit on layer
+    /// `i` can never be masked by a cached window of layer `j ≠ i`.
+    pub fn invalidate_layer(&self, layer: usize) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let mut freed = 0usize;
+            shard.map.retain(|key, entry| {
+                if key.layer == layer {
+                    freed += entry.bytes;
+                    false
+                } else {
+                    true
+                }
+            });
+            shard.bytes -= freed;
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            partial_hits: self.partial_hits.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -340,7 +501,7 @@ mod tests {
                     },
                     EdgeRow {
                         node1_id: i as u64,
-                        node1_label: format!("n{i}"),
+                        node1_label: format!("n{i}").into(),
                         geometry: EdgeGeometry {
                             x1: 0.0,
                             y1: 0.0,
@@ -348,17 +509,21 @@ mod tests {
                             y2: 1.0,
                             directed: false,
                         },
-                        edge_label: String::new(),
+                        edge_label: "".into(),
                         node2_id: i as u64 + 1,
-                        node2_label: format!("n{}", i + 1),
+                        node2_label: format!("n{}", i + 1).into(),
                     },
                 )
             })
             .collect::<Vec<_>>();
         let json = crate::json::build_graph_json(&rows);
+        let node_refs = CachedWindow::count_node_refs(&rows);
+        let rids = rows.iter().map(|(rid, _)| *rid).collect();
         CachedWindow {
             rows: Arc::new(rows),
+            rids: Arc::new(rids),
             json: Arc::new(json),
+            node_refs: Arc::new(node_refs),
         }
     }
 
@@ -420,6 +585,60 @@ mod tests {
     }
 
     #[test]
+    fn best_overlap_finds_the_biggest_cover() {
+        let cache = WindowCache::default();
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 0.0, 15.0, 10.0);
+        cache.insert(0, &a, cached(3));
+        cache.insert(0, &b, cached(4));
+        // A window mostly inside `b`.
+        let w = Rect::new(6.0, 0.0, 14.0, 10.0);
+        let (anchor, value) = cache.best_overlap(0, &w, 0.5).expect("partial hit");
+        assert_eq!(anchor, b);
+        assert_eq!(value.rows.len(), 4);
+        assert_eq!(cache.stats().partial_hits, 1);
+        // Wrong layer: nothing.
+        assert!(cache.best_overlap(1, &w, 0.5).is_none());
+        // Fraction threshold respected.
+        let far = Rect::new(100.0, 100.0, 110.0, 110.0);
+        assert!(cache.best_overlap(0, &far, 0.1).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let cache = WindowCache::default();
+        let w = Rect::new(0.0, 0.0, 5.0, 5.0);
+        assert!(cache.peek(0, &w).is_none());
+        cache.insert(0, &w, cached(2));
+        assert!(cache.peek(0, &w).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    fn invalidate_layer_spares_other_layers() {
+        let cache = WindowCache::default();
+        for layer in 0..3 {
+            for i in 0..8 {
+                cache.insert(
+                    layer,
+                    &Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0),
+                    cached(2),
+                );
+            }
+        }
+        let before = cache.stats();
+        assert_eq!(before.entries, 24);
+        cache.invalidate_layer(1);
+        let after = cache.stats();
+        assert_eq!(after.entries, 16, "only layer 1's entries dropped");
+        assert!(after.bytes < before.bytes);
+        assert!(cache.get(1, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_none());
+        assert!(cache.get(0, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_some());
+        assert!(cache.get(2, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_some());
+    }
+
+    #[test]
     fn invalidate_all_clears_every_shard() {
         let cache = WindowCache::default();
         for i in 0..32 {
@@ -439,6 +658,7 @@ mod tests {
             max_bytes: one_entry_bytes * 3, // one shard, fits ~3 entries
             shards: 1,
             quantum: 1e-3,
+            ..CacheConfig::default()
         });
         let w = |i: usize| Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0);
         for i in 0..6 {

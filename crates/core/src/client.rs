@@ -82,6 +82,8 @@ mod tests {
             text: "x".repeat(bytes),
             node_count: nodes,
             edge_count: edges,
+            node_spans: Vec::new(),
+            edge_spans: Vec::new(),
         }
     }
 

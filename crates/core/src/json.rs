@@ -5,9 +5,42 @@
 //! reproduced experiment, so it must do the real work — string escaping,
 //! node deduplication across rows, number formatting — the way the Java
 //! prototype's JSON layer does.
+//!
+//! Alongside the serialized text, every [`GraphJson`] carries a **span
+//! index**: the byte range of each node and edge object inside `text`,
+//! keyed by its id. The index is what makes the delta-pan path's
+//! [`GraphJson::retain`] / [`GraphJson::merge`] pure splices — surviving
+//! fragments are `memcpy`d by range, with no re-escaping, no number
+//! re-formatting, and no scanning of the payload.
 
 use gvdb_storage::{EdgeRow, RowId};
 use std::collections::HashSet;
+
+/// The emitted payload skeleton: `{"nodes":[…],"edges":[…]}`.
+const NODES_PREFIX: &str = "{\"nodes\":[";
+const EDGES_SEP: &str = "],\"edges\":[";
+const SUFFIX: &str = "]}";
+
+/// The empty payload — [`GraphJson::retain`] splices against it.
+static EMPTY_JSON: std::sync::LazyLock<GraphJson> =
+    std::sync::LazyLock::new(|| build_graph_json(&[]));
+
+/// Byte range of one serialized object (a node or an edge) in
+/// [`GraphJson::text`], keyed by the object's id (node id / packed row
+/// id). Offsets are `u32`: a payload is bounded far below 4 GiB by the
+/// window-cache byte budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Span {
+    pub(crate) id: u64,
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+}
+
+impl Span {
+    fn slice<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start as usize..self.end as usize]
+    }
+}
 
 /// The JSON payload for one window query response.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,12 +51,236 @@ pub struct GraphJson {
     pub node_count: usize,
     /// Edges in the payload.
     pub edge_count: usize,
+    /// Span of each node object in `text`, in emission order.
+    pub(crate) node_spans: Vec<Span>,
+    /// Span of each edge object in `text`, ascending by edge (row) id —
+    /// every query path emits rows in ascending [`RowId`] order, which is
+    /// what lets [`GraphJson::merge`] two-way merge without sorting.
+    pub(crate) edge_spans: Vec<Span>,
+}
+
+/// Single-pass payload writer: prefix, node objects, separator, edge
+/// objects, suffix, all into one buffer, recording spans as it goes. The
+/// splice paths feed it contiguous *runs* of surviving fragments (one
+/// `memcpy` per run, span offsets adjusted arithmetically), so a delta
+/// update never re-serializes or re-scans surviving objects.
+struct PayloadBuilder {
+    text: String,
+    node_spans: Vec<Span>,
+    edge_spans: Vec<Span>,
+    /// Whether the currently open array already has an element.
+    has_element: bool,
+    in_edges: bool,
+}
+
+impl PayloadBuilder {
+    fn with_capacity(bytes: usize) -> Self {
+        let mut text = String::with_capacity(bytes + 32);
+        text.push_str(NODES_PREFIX);
+        PayloadBuilder {
+            text,
+            node_spans: Vec::new(),
+            edge_spans: Vec::new(),
+            has_element: false,
+            in_edges: false,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.has_element {
+            self.text.push(',');
+        }
+        self.has_element = true;
+    }
+
+    /// Close the node array and open the edge array.
+    fn begin_edges(&mut self) {
+        debug_assert!(!self.in_edges);
+        self.text.push_str(EDGES_SEP);
+        self.has_element = false;
+        self.in_edges = true;
+    }
+
+    fn spans_mut(&mut self) -> &mut Vec<Span> {
+        if self.in_edges {
+            &mut self.edge_spans
+        } else {
+            &mut self.node_spans
+        }
+    }
+
+    /// Append one already-serialized object fragment.
+    fn push_fragment(&mut self, id: u64, fragment: &str) {
+        self.sep();
+        let start = self.text.len() as u32;
+        self.text.push_str(fragment);
+        let end = self.text.len() as u32;
+        self.spans_mut().push(Span { id, start, end });
+    }
+
+    /// Append a contiguous run of fragments from `src` in one `memcpy` —
+    /// `spans` must be consecutive spans of `src` (each separated from
+    /// the next by exactly the one comma the run copy carries along).
+    fn push_run(&mut self, src: &str, spans: &[Span]) {
+        let (Some(first), Some(last)) = (spans.first(), spans.last()) else {
+            return;
+        };
+        debug_assert!(spans.windows(2).all(|w| w[0].end + 1 == w[1].start,));
+        self.sep();
+        let shift = self.text.len() as i64 - first.start as i64;
+        self.text
+            .push_str(&src[first.start as usize..last.end as usize]);
+        let out = if self.in_edges {
+            &mut self.edge_spans
+        } else {
+            &mut self.node_spans
+        };
+        out.extend(spans.iter().map(|s| Span {
+            id: s.id,
+            start: (s.start as i64 + shift) as u32,
+            end: (s.end as i64 + shift) as u32,
+        }));
+    }
+
+    /// Open a new object at the current position (the caller writes its
+    /// body straight into the returned buffer), closed by
+    /// [`PayloadBuilder::finish_object`].
+    fn open_object(&mut self) -> u32 {
+        self.sep();
+        self.text.len() as u32
+    }
+
+    fn finish_object(&mut self, id: u64, start: u32) {
+        let end = self.text.len() as u32;
+        self.spans_mut().push(Span { id, start, end });
+    }
+
+    fn finish(mut self) -> GraphJson {
+        debug_assert!(self.in_edges);
+        self.text.push_str(SUFFIX);
+        GraphJson {
+            text: self.text,
+            node_count: self.node_spans.len(),
+            edge_count: self.edge_spans.len(),
+            node_spans: self.node_spans,
+            edge_spans: self.edge_spans,
+        }
+    }
 }
 
 impl GraphJson {
     /// Payload size in bytes (what travels over the wire).
     pub fn byte_len(&self) -> usize {
         self.text.len()
+    }
+
+    /// Approximate heap footprint: the text plus the span index (what the
+    /// window cache charges against its byte budget).
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.text.len()
+            + (self.node_spans.len() + self.edge_spans.len()) * std::mem::size_of::<Span>()
+    }
+
+    /// Incremental update, removal half: a copy of this payload with the
+    /// edges in `drop_edges` (packed row ids) and the nodes in
+    /// `drop_nodes` (node ids) removed; everything else is retained in
+    /// its original order. Both lists must be sorted ascending — the
+    /// delta path produces them that way, and sortedness is what keeps
+    /// this O(payload) with a memcpy-sized constant: edges stream
+    /// through a two-pointer walk (the edge index is ascending too), and
+    /// each node span does a binary search of the (small) drop list. No
+    /// label re-escaping, number re-formatting, hashing, or payload
+    /// scanning happens for surviving objects.
+    ///
+    /// # Panics
+    /// Debug builds assert the drop lists are sorted.
+    pub fn retain(&self, drop_edges: &[u64], drop_nodes: &[u64]) -> GraphJson {
+        self.splice(drop_edges, drop_nodes, &EMPTY_JSON, &[])
+    }
+
+    /// Incremental update, addition half: splice `add` into this payload.
+    ///
+    /// Edge fragments of both payloads two-way merge in ascending edge
+    /// (row) id — both span indexes already are ascending — so the result
+    /// lists edges exactly as a cold build over the merged row set would.
+    /// Nodes of `add` whose id already appears here are dropped (`self`
+    /// wins); the survivors append after `self`'s nodes. All fragments
+    /// are copied verbatim by indexed range.
+    pub fn merge(&self, add: &GraphJson) -> GraphJson {
+        let mut have: Vec<u64> = self.node_spans.iter().map(|s| s.id).collect();
+        have.sort_unstable();
+        let mut new_nodes: Vec<u64> = add
+            .node_spans
+            .iter()
+            .map(|s| s.id)
+            .filter(|id| have.binary_search(id).is_err())
+            .collect();
+        new_nodes.sort_unstable();
+        self.splice(&[], &[], add, &new_nodes)
+    }
+
+    /// The fused incremental payload update — what the delta query path
+    /// runs once per pan. Semantically `self.retain(drop_edges,
+    /// drop_nodes).merge(add)` restricted to `add` nodes in `new_nodes`,
+    /// but in a single pass with a single output allocation: every
+    /// surviving fragment's bytes move exactly once.
+    ///
+    /// All four id lists must be sorted ascending; `add`'s edge ids must
+    /// be disjoint from the retained ones (the delta path guarantees
+    /// both — they come off sorted row ids and the node-reference
+    /// update). [`GraphJson::retain`] and [`GraphJson::merge`] are thin
+    /// wrappers over this.
+    pub fn splice(
+        &self,
+        drop_edges: &[u64],
+        drop_nodes: &[u64],
+        add: &GraphJson,
+        new_nodes: &[u64],
+    ) -> GraphJson {
+        debug_assert!(drop_edges.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(drop_nodes.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(new_nodes.windows(2).all(|w| w[0] <= w[1]));
+        let mut b = PayloadBuilder::with_capacity(self.text.len() + add.text.len());
+
+        // Nodes: copy maximal runs between dropped fragments, then append
+        // the genuinely new nodes of `add`.
+        let mut run = 0usize;
+        for (i, span) in self.node_spans.iter().enumerate() {
+            if drop_nodes.binary_search(&span.id).is_ok() {
+                b.push_run(&self.text, &self.node_spans[run..i]);
+                run = i + 1;
+            }
+        }
+        b.push_run(&self.text, &self.node_spans[run..]);
+        for span in &add.node_spans {
+            if new_nodes.binary_search(&span.id).is_ok() {
+                b.push_fragment(span.id, span.slice(&add.text));
+            }
+        }
+
+        // Edges: all id sequences ascending — walk self's spans once,
+        // splitting runs at drops and splicing arrivals in id position.
+        b.begin_edges();
+        let mut drop = drop_edges.iter().peekable();
+        let mut arrive = add.edge_spans.iter().peekable();
+        let mut run = 0usize;
+        for (i, span) in self.edge_spans.iter().enumerate() {
+            while let Some(a) = arrive.next_if(|a| a.id < span.id) {
+                b.push_run(&self.text, &self.edge_spans[run..i]);
+                run = i;
+                b.push_fragment(a.id, a.slice(&add.text));
+            }
+            while drop.next_if(|d| **d < span.id).is_some() {}
+            if drop.peek() == Some(&&span.id) {
+                b.push_run(&self.text, &self.edge_spans[run..i]);
+                run = i + 1;
+            }
+        }
+        b.push_run(&self.text, &self.edge_spans[run..]);
+        for a in arrive {
+            b.push_fragment(a.id, a.slice(&add.text));
+        }
+        b.finish()
     }
 }
 
@@ -32,13 +289,14 @@ impl GraphJson {
 ///
 /// Nodes are deduplicated across rows (a node appears in one row per
 /// incident edge). Row ids become edge ids so the client can address edges
-/// in edit operations.
+/// in edit operations. The span index is recorded while writing, at no
+/// extra scan.
 pub fn build_graph_json(rows: &[(RowId, EdgeRow)]) -> GraphJson {
     let mut seen: HashSet<u64> = HashSet::new();
-    let mut nodes = String::new();
-    let mut edges = String::new();
-    let mut node_count = 0usize;
-    for (rid, row) in rows {
+    // Nodes interleave with edges in row order, but the payload lists all
+    // nodes first: write the node array in a first pass, edges second.
+    let mut b = PayloadBuilder::with_capacity(rows.len() * 96);
+    for (_, row) in rows {
         for (id, label, x, y) in [
             (
                 row.node1_id,
@@ -54,46 +312,44 @@ pub fn build_graph_json(rows: &[(RowId, EdgeRow)]) -> GraphJson {
             ),
         ] {
             if seen.insert(id) {
-                if node_count > 0 {
-                    nodes.push(',');
-                }
-                nodes.push_str("{\"id\":");
-                nodes.push_str(&id.to_string());
-                nodes.push_str(",\"label\":\"");
-                escape_into(label, &mut nodes);
-                nodes.push_str("\",\"x\":");
-                push_f64(&mut nodes, x);
-                nodes.push_str(",\"y\":");
-                push_f64(&mut nodes, y);
-                nodes.push('}');
-                node_count += 1;
+                let start = b.open_object();
+                let buf = &mut b.text;
+                buf.push_str("{\"id\":");
+                buf.push_str(&id.to_string());
+                buf.push_str(",\"label\":\"");
+                escape_into(label, buf);
+                buf.push_str("\",\"x\":");
+                push_f64(buf, x);
+                buf.push_str(",\"y\":");
+                push_f64(buf, y);
+                buf.push('}');
+                b.finish_object(id, start);
             }
         }
-        if !edges.is_empty() {
-            edges.push(',');
-        }
-        edges.push_str("{\"id\":");
-        edges.push_str(&rid.to_u64().to_string());
-        edges.push_str(",\"source\":");
-        edges.push_str(&row.node1_id.to_string());
-        edges.push_str(",\"target\":");
-        edges.push_str(&row.node2_id.to_string());
-        edges.push_str(",\"label\":\"");
-        escape_into(&row.edge_label, &mut edges);
-        edges.push_str("\",\"directed\":");
-        edges.push_str(if row.geometry.directed {
+    }
+    b.begin_edges();
+    for (rid, row) in rows {
+        let rid64 = rid.to_u64();
+        let start = b.open_object();
+        let buf = &mut b.text;
+        buf.push_str("{\"id\":");
+        buf.push_str(&rid64.to_string());
+        buf.push_str(",\"source\":");
+        buf.push_str(&row.node1_id.to_string());
+        buf.push_str(",\"target\":");
+        buf.push_str(&row.node2_id.to_string());
+        buf.push_str(",\"label\":\"");
+        escape_into(&row.edge_label, buf);
+        buf.push_str("\",\"directed\":");
+        buf.push_str(if row.geometry.directed {
             "true"
         } else {
             "false"
         });
-        edges.push('}');
+        buf.push('}');
+        b.finish_object(rid64, start);
     }
-    let text = format!("{{\"nodes\":[{nodes}],\"edges\":[{edges}]}}");
-    GraphJson {
-        text,
-        node_count,
-        edge_count: rows.len(),
-    }
+    b.finish()
 }
 
 /// JSON string escaping per RFC 8259.
@@ -123,6 +379,85 @@ mod tests {
     use super::*;
     use gvdb_storage::{EdgeGeometry, PageId};
 
+    /// Independent string-aware fragment scanner, used only to
+    /// cross-check the span index against what the text actually
+    /// contains (the scanner is the slow-but-obvious implementation the
+    /// spans replaced).
+    mod scan {
+        #[derive(Default)]
+        struct StrScan {
+            in_string: bool,
+            escaped: bool,
+        }
+
+        impl StrScan {
+            fn step(&mut self, b: u8) {
+                if self.in_string {
+                    if self.escaped {
+                        self.escaped = false;
+                    } else if b == b'\\' {
+                        self.escaped = true;
+                    } else if b == b'"' {
+                        self.in_string = false;
+                    }
+                } else if b == b'"' {
+                    self.in_string = true;
+                }
+            }
+        }
+
+        /// Split a payload into its node and edge array bodies.
+        pub fn split_arrays(text: &str) -> (&str, &str) {
+            let body = &text[super::NODES_PREFIX.len()..];
+            let mut s = StrScan::default();
+            let bytes = body.as_bytes();
+            for i in 0..bytes.len() {
+                if !s.in_string && bytes[i..].starts_with(super::EDGES_SEP.as_bytes()) {
+                    let rest = &body[i + super::EDGES_SEP.len()..];
+                    return (&body[..i], rest.strip_suffix(super::SUFFIX).unwrap_or(rest));
+                }
+                s.step(bytes[i]);
+            }
+            unreachable!("payload without an edges array");
+        }
+
+        /// Top-level `{…}` object slices of an array body.
+        pub fn objects(body: &str) -> Vec<&str> {
+            let bytes = body.as_bytes();
+            let mut out = Vec::new();
+            let mut pos = 0;
+            while pos < bytes.len() {
+                while pos < bytes.len() && bytes[pos] != b'{' {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    break;
+                }
+                let start = pos;
+                let mut depth = 0usize;
+                let mut s = StrScan::default();
+                while pos < bytes.len() {
+                    let b = bytes[pos];
+                    if !s.in_string {
+                        if b == b'{' {
+                            depth += 1;
+                        } else if b == b'}' {
+                            depth -= 1;
+                            if depth == 0 {
+                                pos += 1;
+                                out.push(&body[start..pos]);
+                                break;
+                            }
+                        }
+                    }
+                    s.step(b);
+                    pos += 1;
+                }
+            }
+            out
+        }
+    }
+
     fn row(n1: u64, n2: u64, label: &str) -> (RowId, EdgeRow) {
         (
             RowId {
@@ -131,7 +466,7 @@ mod tests {
             },
             EdgeRow {
                 node1_id: n1,
-                node1_label: format!("node{n1}"),
+                node1_label: format!("node{n1}").into(),
                 geometry: EdgeGeometry {
                     x1: n1 as f64,
                     y1: 0.0,
@@ -141,9 +476,35 @@ mod tests {
                 },
                 edge_label: label.into(),
                 node2_id: n2,
-                node2_label: format!("node{n2}"),
+                node2_label: format!("node{n2}").into(),
             },
         )
+    }
+
+    /// Like `row` but with node `n` always at `(n, n)`, the way real
+    /// layouts position a node identically in every incident row.
+    fn crow(n1: u64, n2: u64, label: &str) -> (RowId, EdgeRow) {
+        let (rid, mut r) = row(n1, n2, label);
+        r.geometry.y1 = n1 as f64;
+        r.geometry.y2 = n2 as f64;
+        (rid, r)
+    }
+
+    /// Every span must slice exactly the object the scanner sees.
+    fn check_spans(json: &GraphJson) {
+        let (nodes, edges) = scan::split_arrays(&json.text);
+        let node_objs = scan::objects(nodes);
+        let edge_objs = scan::objects(edges);
+        assert_eq!(node_objs.len(), json.node_spans.len());
+        assert_eq!(edge_objs.len(), json.edge_spans.len());
+        assert_eq!(json.node_count, json.node_spans.len());
+        assert_eq!(json.edge_count, json.edge_spans.len());
+        for (span, obj) in json.node_spans.iter().zip(&node_objs) {
+            assert_eq!(span.slice(&json.text), *obj);
+        }
+        for (span, obj) in json.edge_spans.iter().zip(&edge_objs) {
+            assert_eq!(span.slice(&json.text), *obj);
+        }
     }
 
     #[test]
@@ -153,6 +514,7 @@ mod tests {
         assert_eq!(json.node_count, 3);
         assert_eq!(json.edge_count, 2);
         assert_eq!(json.text.matches("\"label\":\"node2\"").count(), 1);
+        check_spans(&json);
     }
 
     #[test]
@@ -160,6 +522,7 @@ mod tests {
         let rows = vec![row(1, 2, "quote\" backslash\\ newline\n")];
         let json = build_graph_json(&rows);
         assert!(json.text.contains("quote\\\" backslash\\\\ newline\\n"));
+        check_spans(&json);
     }
 
     #[test]
@@ -174,6 +537,7 @@ mod tests {
         let json = build_graph_json(&[]);
         assert_eq!(json.text, "{\"nodes\":[],\"edges\":[]}");
         assert_eq!(json.node_count, 0);
+        check_spans(&json);
     }
 
     #[test]
@@ -187,5 +551,77 @@ mod tests {
     fn byte_len_matches_text() {
         let json = build_graph_json(&[row(1, 2, "ü")]);
         assert_eq!(json.byte_len(), json.text.len());
+        assert!(json.approx_heap_bytes() > json.byte_len());
+    }
+
+    #[test]
+    fn retain_drops_edges_and_orphaned_nodes() {
+        let rows = vec![crow(1, 2, "a"), crow(2, 3, "b"), crow(3, 4, "c")];
+        let json = build_graph_json(&rows);
+        // Drop the outer edges: nodes 2 and 3 survive, 1 and 4 drop.
+        let mut drop_edges: Vec<u64> = [rows[0].0.to_u64(), rows[2].0.to_u64()].into();
+        drop_edges.sort_unstable();
+        let kept = json.retain(&drop_edges, &[1, 4]);
+        assert_eq!((kept.node_count, kept.edge_count), (2, 1));
+        let direct = build_graph_json(&rows[1..2]);
+        assert_eq!(kept.text, direct.text, "splice must equal a cold build");
+        check_spans(&kept);
+    }
+
+    #[test]
+    fn retain_nothing_dropped_is_identity() {
+        let rows = vec![row(1, 2, "x"), row(2, 3, "y")];
+        let json = build_graph_json(&rows);
+        let kept = json.retain(&[], &[]);
+        assert_eq!(kept.text, json.text);
+        check_spans(&kept);
+        let mut all_edges: Vec<u64> = rows.iter().map(|(rid, _)| rid.to_u64()).collect();
+        all_edges.sort_unstable();
+        let empty = json.retain(&all_edges, &[1, 2, 3]);
+        assert_eq!(empty.text, "{\"nodes\":[],\"edges\":[]}");
+        check_spans(&empty);
+    }
+
+    #[test]
+    fn merge_dedups_nodes_and_sorts_edges_by_id() {
+        // Rows 1-2 and 2-3 share node 2; edge ids interleave (slots 1, 3
+        // vs 2) so the merge must produce ascending edge ids.
+        let a = build_graph_json(&[row(1, 2, "a"), row(3, 4, "c")]);
+        let b = build_graph_json(&[row(2, 3, "b")]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.edge_count, 3);
+        assert_eq!(merged.node_count, 4, "node 2/3 deduplicated");
+        check_spans(&merged);
+        // Edge fragments appear in ascending id order, like a cold build.
+        let ids: Vec<u64> = merged.edge_spans.iter().map(|s| s.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = build_graph_json(&[row(1, 2, "a")]);
+        let empty = build_graph_json(&[]);
+        assert_eq!(a.merge(&empty).text, a.text);
+        assert_eq!(empty.merge(&a).text, a.text);
+        check_spans(&a.merge(&empty));
+    }
+
+    #[test]
+    fn splice_survives_hostile_labels() {
+        // Labels full of braces, quotes, backslashes and commas must not
+        // corrupt the splice — including one embedding the `],"edges":[`
+        // separator itself.
+        let rows = vec![
+            row(1, 2, "{\"}],\"edges\":[weird\\"),
+            row(2, 3, "}}{{,,\"\\\""),
+        ];
+        let json = build_graph_json(&rows);
+        check_spans(&json);
+        assert_eq!(json.retain(&[], &[]).text, json.text);
+        let merged = build_graph_json(&rows[..1]).merge(&build_graph_json(&rows[1..]));
+        assert_eq!(merged.text, json.text);
+        check_spans(&merged);
     }
 }

@@ -268,7 +268,7 @@ pub fn layer_rows(graph: &Graph, positions: &[(f64, f64)], index_isolated: bool)
             let (x2, y2) = positions[e.target.index()];
             EdgeRow {
                 node1_id: e.source.0 as u64,
-                node1_label: graph.node_label(e.source).to_string(),
+                node1_label: graph.node_label(e.source).into(),
                 geometry: EdgeGeometry {
                     x1,
                     y1,
@@ -276,9 +276,9 @@ pub fn layer_rows(graph: &Graph, positions: &[(f64, f64)], index_isolated: bool)
                     y2,
                     directed,
                 },
-                edge_label: e.label.clone(),
+                edge_label: e.label.as_str().into(),
                 node2_id: e.target.0 as u64,
-                node2_label: graph.node_label(e.target).to_string(),
+                node2_label: graph.node_label(e.target).into(),
             }
         })
         .collect();
@@ -288,7 +288,7 @@ pub fn layer_rows(graph: &Graph, positions: &[(f64, f64)], index_isolated: bool)
                 let (x, y) = positions[v.index()];
                 rows.push(EdgeRow {
                     node1_id: v.0 as u64,
-                    node1_label: graph.node_label(v).to_string(),
+                    node1_label: graph.node_label(v).into(),
                     geometry: EdgeGeometry {
                         x1: x,
                         y1: y,
@@ -296,9 +296,9 @@ pub fn layer_rows(graph: &Graph, positions: &[(f64, f64)], index_isolated: bool)
                         y2: y,
                         directed: false,
                     },
-                    edge_label: String::new(),
+                    edge_label: "".into(),
                     node2_id: v.0 as u64,
-                    node2_label: graph.node_label(v).to_string(),
+                    node2_label: graph.node_label(v).into(),
                 });
             }
         }

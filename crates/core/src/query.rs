@@ -6,20 +6,40 @@
 //! * **Communication + Rendering** — the simulated client pipeline.
 //!
 //! A sharded LRU [`crate::cache::WindowCache`] fronts
-//! [`QueryManager::window_query`]: a repeated `(layer, window)` pair is
-//! served from memory (counted in [`WindowResponse::cache_hit`] /
-//! [`QueryManager::cache_stats`]) without touching the spatial index or
-//! rebuilding JSON. Any mutable database access through
-//! [`QueryManager::db_mut`] invalidates the entire cache, so edits are
-//! never masked by stale entries.
+//! [`QueryManager::window_query`] at two levels:
+//!
+//! * an **exact hit** — the same `(layer, window)` again — is served
+//!   whole from memory ([`WindowResponse::cache_hit`]);
+//! * a **partial hit** — a pan/zoom window overlapping a cached one —
+//!   runs the *delta path* ([`WindowResponse::delta`]): the R-tree is
+//!   descended only over the up-to-four strips of window not covered by
+//!   the cached anchor ([`gvdb_spatial::Rect::difference`]), departed
+//!   rows are dropped from the cached result, arriving rows are fetched
+//!   with one buffer-pool pin per heap page
+//!   (`gvdb_storage::LayerTable::fetch_many`), and the payload is spliced
+//!   incrementally ([`GraphJson::retain`] / [`GraphJson::merge`]) instead
+//!   of rebuilt. [`WindowResponse::rows_reused`] /
+//!   [`WindowResponse::rows_fetched`] report the split.
+//!
+//! Edits through the layer-aware [`QueryManager::insert_row`] /
+//! [`QueryManager::delete_row`] invalidate only the edited layer's cached
+//! windows; raw mutable access through [`QueryManager::db_mut`] cannot
+//! know the target layer and invalidates the entire cache. Either way an
+//! edit is never masked by a stale entry.
 
 use crate::cache::{CacheConfig, CacheStats, CachedWindow, WindowCache};
 use crate::client::{ClientCost, ClientModel};
 use crate::json::{build_graph_json, GraphJson};
 use gvdb_spatial::{Point, Rect};
-use gvdb_storage::{EdgeRow, GraphDb, Result, RowId, StorageError};
+use gvdb_storage::{EdgeRow, GraphDb, LayerTable, PoolStats, Result, RowId, StorageError};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Minimum fraction of a requested window that a cached window must cover
+/// for the delta path to engage. Below this the strips are so large that
+/// a cold query is as cheap, and the overlap bookkeeping pure overhead;
+/// typical interactive pans overlap 80–95%.
+pub const MIN_DELTA_OVERLAP: f64 = 0.35;
 
 /// One measured window query, stage by stage.
 ///
@@ -39,8 +59,20 @@ pub struct WindowResponse {
     /// Cache lookup time (ms); on a hit this replaces `db_ms` +
     /// `build_json_ms` as the server-side cost.
     pub cache_ms: f64,
-    /// Whether this response was served from the window cache.
+    /// Whether this response was served whole from the window cache.
     pub cache_hit: bool,
+    /// Whether this response was assembled by the delta path: an
+    /// overlapping cached window supplied the kept region and only the
+    /// delta strips touched the index and heap.
+    pub delta: bool,
+    /// Rows taken from the overlapping cached window (or the whole
+    /// result on an exact cache hit). Zero on a cold query.
+    pub rows_reused: usize,
+    /// Rows fetched from the heap for this response: every R-tree
+    /// candidate the query actually decoded, including bounding-box
+    /// matches the exact segment refinement later rejected. On the delta
+    /// path this is bounded by the candidates of the delta strips.
+    pub rows_fetched: usize,
     /// Simulated communication + rendering cost.
     pub client: ClientCost,
 }
@@ -64,7 +96,7 @@ pub struct SearchHit {
     /// Node id within the queried layer.
     pub node_id: u64,
     /// Node label.
-    pub label: String,
+    pub label: gvdb_storage::Label,
     /// Position on the plane (used to focus the window).
     pub position: Point,
 }
@@ -112,16 +144,42 @@ impl QueryManager {
         &self.db
     }
 
-    /// Mutable database access (edit operations). Invalidates the window
-    /// cache: after any mutation, no stale window may be served.
+    /// Mutable database access (edit operations). Invalidates the
+    /// **whole** window cache — raw access cannot know which layer will
+    /// be mutated. Edits that know their layer should go through
+    /// [`QueryManager::insert_row`] / [`QueryManager::delete_row`], which
+    /// invalidate only that layer's cached windows.
     pub fn db_mut(&mut self) -> &mut GraphDb {
         self.cache.invalidate_all();
         &mut self.db
     }
 
+    /// Edit path: insert a row into `layer`, invalidating only that
+    /// layer's cached windows. Cached windows of other layers stay warm —
+    /// each layer is an independent table, so they can never serve stale
+    /// rows for this edit.
+    pub fn insert_row(&mut self, layer: usize, row: &EdgeRow) -> Result<RowId> {
+        self.cache.invalidate_layer(layer);
+        self.db.insert_row(layer, row)
+    }
+
+    /// Edit path: delete a row from `layer`, invalidating only that
+    /// layer's cached windows (see [`QueryManager::insert_row`]).
+    pub fn delete_row(&mut self, layer: usize, rid: RowId) -> Result<()> {
+        self.cache.invalidate_layer(layer);
+        self.db.delete_row(layer, rid)
+    }
+
     /// Window-cache hit/miss/occupancy counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Buffer-pool counters (page pins served from memory vs disk) —
+    /// difference two snapshots around a query to see what it cost in
+    /// page accesses.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.db.pool().stats().snapshot()
     }
 
     /// The client cost model responses are priced with.
@@ -136,8 +194,26 @@ impl QueryManager {
 
     /// Interactive navigation: evaluate a window query on `layer` and
     /// measure every stage. Repeated queries for the same `(layer,
-    /// window)` are served from the sharded LRU cache.
+    /// window)` are served whole from the sharded LRU cache; windows
+    /// overlapping a cached one by at least [`MIN_DELTA_OVERLAP`] run the
+    /// delta path (see [`QueryManager::window_query_anchored`]).
     pub fn window_query(&self, layer: usize, window: &Rect) -> Result<WindowResponse> {
+        self.window_query_anchored(layer, window, None)
+    }
+
+    /// [`QueryManager::window_query`] with an explicit delta anchor: a
+    /// session that just panned or zoomed passes its *previous* window,
+    /// and if that exact window is still cached with enough overlap it is
+    /// used as the delta base without scanning the cache for overlap
+    /// candidates. Without an anchor (or when the anchor is gone or
+    /// barely overlaps) the cache is scanned for the best overlapping
+    /// entry instead, so anonymous repeat traffic gets the same benefit.
+    pub fn window_query_anchored(
+        &self,
+        layer: usize,
+        window: &Rect,
+        anchor: Option<&Rect>,
+    ) -> Result<WindowResponse> {
         // Resolve the layer before consulting the cache so an invalid
         // layer is an error, not a counted miss.
         let table = self
@@ -146,9 +222,10 @@ impl QueryManager {
             .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
 
         let t = Instant::now();
-        if let Some(CachedWindow { rows, json }) = self.cache.get(layer, window) {
+        if let Some(CachedWindow { rows, json, .. }) = self.cache.get(layer, window) {
             // Arc handles shared with the cache entry: no payload copy.
             let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+            let rows_reused = rows.len();
             let client = self.client.deliver(&json);
             return Ok(WindowResponse {
                 rows,
@@ -157,13 +234,62 @@ impl QueryManager {
                 build_json_ms: 0.0,
                 cache_ms,
                 cache_hit: true,
+                delta: false,
+                rows_reused,
+                rows_fetched: 0,
                 client,
             });
         }
+        // Partial hit: prefer the caller's anchor if it is still cached
+        // and covers enough of the new window; otherwise scan for the
+        // best overlapping entry.
+        let base = self.anchored_base(layer, window, anchor).or_else(|| {
+            self.cache
+                .best_overlap(layer, window, self.cache.min_delta_overlap())
+        });
         let cache_ms = t.elapsed().as_secs_f64() * 1e3;
 
+        match base {
+            Some((old_rect, old)) => {
+                self.delta_window_query(table, layer, window, &old_rect, &old, cache_ms)
+            }
+            None => self.cold_window_query(table, layer, window, cache_ms),
+        }
+    }
+
+    /// The caller-supplied anchor as a delta base, if its entry survives
+    /// in the cache and covers at least [`MIN_DELTA_OVERLAP`] of `window`.
+    fn anchored_base(
+        &self,
+        layer: usize,
+        window: &Rect,
+        anchor: Option<&Rect>,
+    ) -> Option<(Rect, CachedWindow)> {
+        let a = anchor?;
+        let area = window.area();
+        if area <= 0.0 || a.intersection_area(window) / area < self.cache.min_delta_overlap() {
+            return None;
+        }
+        let value = self.cache.peek(layer, a)?;
+        self.cache.count_partial_hit();
+        Some((*a, value))
+    }
+
+    /// The uncached path: full R-tree descent + batched heap fetch + full
+    /// JSON build.
+    fn cold_window_query(
+        &self,
+        table: &LayerTable,
+        layer: usize,
+        window: &Rect,
+        cache_ms: f64,
+    ) -> Result<WindowResponse> {
         let t = Instant::now();
-        let rows = Arc::new(table.window(self.db.pool(), window, true)?);
+        let candidates = table.window_rids(self.db.pool(), window)?;
+        let rows_fetched = candidates.len();
+        let mut rows = table.fetch_many(self.db.pool(), &candidates)?;
+        rows.retain(|(_, row)| row.geometry.segment().intersects_rect(window));
+        let rows = Arc::new(rows);
         let db_ms = t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
@@ -171,11 +297,25 @@ impl QueryManager {
         let build_json_ms = t.elapsed().as_secs_f64() * 1e3;
 
         // The cache entry shares the same Arcs as the response: inserting
-        // copies nothing.
+        // copies nothing. The rid column and node-reference index seed
+        // future delta queries anchored on this window — skipped when the
+        // delta path is disabled ([`CacheConfig::min_delta_overlap`] above
+        // 1.0, the benchmark baseline), so the baseline pays no
+        // incremental-engine bookkeeping.
+        let (rids, node_refs) = if self.cache.min_delta_overlap() <= 1.0 {
+            (
+                rows.iter().map(|(rid, _)| *rid).collect(),
+                CachedWindow::count_node_refs(&rows),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         self.cache.insert(
             layer,
             window,
             CachedWindow {
+                node_refs: Arc::new(node_refs),
+                rids: Arc::new(rids),
                 rows: rows.clone(),
                 json: json.clone(),
             },
@@ -189,6 +329,218 @@ impl QueryManager {
             build_json_ms,
             cache_ms,
             cache_hit: false,
+            delta: false,
+            rows_reused: 0,
+            rows_fetched,
+            client,
+        })
+    }
+
+    /// The delta path: assemble `window`'s result from an overlapping
+    /// cached window instead of re-running the full query. Every
+    /// *per-row* expensive step (index descent, heap fetch, row decode,
+    /// serialization, hashing) runs only over the rows that changed; the
+    /// surviving majority is moved by clone-of-`Arc` and `memcpy`.
+    ///
+    /// 1. **Departures** — a cached row can only leave if its segment
+    ///    touches the departed region, so the R-tree is descended over
+    ///    the `old \ new` strips ([`Rect::difference`]) and only those
+    ///    candidates are re-tested against the new window. Everything
+    ///    else is kept *without being looked at*.
+    /// 2. **Arrivals** — a row intersecting the new window but absent
+    ///    from the cached result must cross a `new \ old` strip;
+    ///    candidates there (minus rows already cached, by binary search)
+    ///    are heap-fetched in one batched page-sorted pass
+    ///    (`LayerTable::fetch_many`) and refined against the full window.
+    /// 3. **Merge** — cached-minus-departed and fetched rows two-way
+    ///    merge in ascending [`RowId`] order (all inputs already are),
+    ///    making the result row-for-row identical to a cold query.
+    /// 4. **Splice** — the cached window's node-reference index is
+    ///    updated by the departure/arrival counts, yielding the orphaned
+    ///    nodes directly; the payload is then spliced with
+    ///    [`GraphJson::retain`] (drop departed edges + orphaned nodes)
+    ///    and [`GraphJson::merge`] (splice in the fetched rows'
+    ///    fragments, deduplicating nodes), all by indexed `memcpy`.
+    fn delta_window_query(
+        &self,
+        table: &LayerTable,
+        layer: usize,
+        window: &Rect,
+        old_rect: &Rect,
+        old: &CachedWindow,
+        cache_ms: f64,
+    ) -> Result<WindowResponse> {
+        let pool = self.db.pool();
+        let t = Instant::now();
+
+        // One R-tree descent over the whole change ring: the `old \ new`
+        // strips (where cached rows can depart) together with the
+        // `new \ old` strips (where rows can arrive). Tree pages shared
+        // by several strips are pinned and scanned once.
+        let arrival_strips = window.difference(old_rect);
+        let mut ring = old_rect.difference(window);
+        ring.extend_from_slice(&arrival_strips);
+        let candidates = table.window_candidates_multi(pool, &ring)?;
+
+        // Classify every ring candidate in one pass against the cached
+        // rid column (both ascending):
+        //
+        // * **cached** → departure test: the row leaves iff its segment
+        //   no longer intersects the new window (bbox miss short-cuts the
+        //   test). Cached rows outside the ring are kept *without being
+        //   looked at*.
+        // * **not cached, bbox touching an arrival strip** → fetch
+        //   candidate. (A ring candidate only near the departed strips
+        //   cannot enter the window: it would already be cached if it
+        //   did.)
+        let mut departed: Vec<usize> = Vec::new();
+        let mut strip_rids: Vec<RowId> = Vec::new();
+        let mut oi = 0usize;
+        for (bbox, rid) in &candidates {
+            while oi < old.rids.len() && old.rids[oi] < *rid {
+                oi += 1;
+            }
+            if oi < old.rids.len() && old.rids[oi] == *rid {
+                if !bbox.intersects(window)
+                    || !old.rows[oi].1.geometry.segment().intersects_rect(window)
+                {
+                    departed.push(oi);
+                }
+            } else if arrival_strips.iter().any(|s| bbox.intersects(s)) {
+                strip_rids.push(*rid);
+            }
+        }
+        // Arrivals: batch-fetched and refined against the full window.
+        let rows_fetched = strip_rids.len();
+        let mut fetched = table.fetch_many(pool, &strip_rids)?;
+        fetched.retain(|(_, row)| row.geometry.segment().intersects_rect(window));
+
+        // Nothing departed and nothing arrived: the result is
+        // row-for-row the anchor's. Share its Arcs outright — a
+        // sub-quantum pan or a re-centering costs no row or payload work
+        // at all.
+        if departed.is_empty() && fetched.is_empty() {
+            let db_ms = t.elapsed().as_secs_f64() * 1e3;
+            self.cache.insert(layer, window, old.clone());
+            let rows_reused = old.rows.len();
+            let client = self.client.deliver(&old.json);
+            return Ok(WindowResponse {
+                rows: old.rows.clone(),
+                json: old.json.clone(),
+                db_ms,
+                build_json_ms: 0.0,
+                cache_ms,
+                cache_hit: false,
+                delta: true,
+                rows_reused,
+                rows_fetched,
+                client,
+            });
+        }
+
+        // 3. Merge rows: copy the cached rows skipping departures,
+        //    splicing arrivals in RowId position (all ascending). Kept
+        //    rows are cloned in maximal runs between events, so the
+        //    common case is chunked slice clones rather than per-row
+        //    branching.
+        let capacity = old.rows.len() - departed.len() + fetched.len();
+        let mut rows: Vec<(RowId, EdgeRow)> = Vec::with_capacity(capacity);
+        let mut gone = departed.iter().peekable();
+        let mut arriving = fetched.iter().peekable();
+        let mut run = 0usize;
+        let flush = |upto: usize, rows: &mut Vec<(RowId, EdgeRow)>, run: &mut usize| {
+            rows.extend_from_slice(&old.rows[*run..upto]);
+            *run = upto;
+        };
+        // Monotonic cursor for arrival insert positions: arrivals come in
+        // ascending RowId order, so the scan never backtracks and the
+        // whole merge stays O(rows) even with many departures.
+        let mut aj = 0usize;
+        loop {
+            let next_gone = gone.peek().map(|&&i| i);
+            // Find where the next arrival slots into the kept sequence.
+            let next_arrival_pos = arriving.peek().map(|(frid, _)| {
+                aj = aj.max(run);
+                while aj < old.rows.len() && old.rows[aj].0 < *frid {
+                    aj += 1;
+                }
+                aj
+            });
+            match (next_gone, next_arrival_pos) {
+                (Some(g), Some(a)) if g < a => {
+                    flush(g, &mut rows, &mut run);
+                    run = g + 1;
+                    gone.next();
+                }
+                (_, Some(a)) => {
+                    flush(a, &mut rows, &mut run);
+                    rows.push(arriving.next().expect("peeked").clone());
+                }
+                (Some(g), None) => {
+                    flush(g, &mut rows, &mut run);
+                    run = g + 1;
+                    gone.next();
+                }
+                (None, None) => {
+                    flush(old.rows.len(), &mut rows, &mut run);
+                    break;
+                }
+            }
+        }
+        let rids: Vec<RowId> = rows.iter().map(|(rid, _)| *rid).collect();
+        let rows_reused = rows.len() - fetched.len();
+        let rows = Arc::new(rows);
+        let db_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // 4. Splice JSON. The node-reference update surfaces orphaned
+        //    nodes in O(changed rows); the drop lists come out ascending
+        //    because `departed` and the index are.
+        let t = Instant::now();
+        let mut ref_changes: Vec<(u64, i64)> =
+            Vec::with_capacity(2 * (fetched.len() + departed.len()));
+        for (_, row) in &fetched {
+            ref_changes.push((row.node1_id, 1));
+            ref_changes.push((row.node2_id, 1));
+        }
+        for &i in &departed {
+            let row = &old.rows[i].1;
+            ref_changes.push((row.node1_id, -1));
+            ref_changes.push((row.node2_id, -1));
+        }
+        ref_changes.sort_unstable();
+        let (node_refs, dropped_nodes, added_nodes) =
+            apply_ref_changes(&old.node_refs, &ref_changes);
+        let drop_edges: Vec<u64> = departed.iter().map(|&i| old.rows[i].0.to_u64()).collect();
+
+        let add = build_graph_json(&fetched);
+        let json = Arc::new(
+            old.json
+                .splice(&drop_edges, &dropped_nodes, &add, &added_nodes),
+        );
+        let build_json_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        self.cache.insert(
+            layer,
+            window,
+            CachedWindow {
+                rows: rows.clone(),
+                rids: Arc::new(rids),
+                json: json.clone(),
+                node_refs: Arc::new(node_refs),
+            },
+        );
+
+        let client = self.client.deliver(&json);
+        Ok(WindowResponse {
+            rows,
+            json,
+            db_ms,
+            build_json_ms,
+            cache_ms,
+            cache_hit: false,
+            delta: true,
+            rows_reused,
+            rows_fetched,
             client,
         })
     }
@@ -233,6 +585,67 @@ impl QueryManager {
         }
         Ok(rows)
     }
+}
+
+/// Apply sorted `(node id, ±1)` reference changes to a sorted
+/// node-reference index (see [`CachedWindow::node_refs`]). Returns the
+/// updated index, the node ids whose count reached zero (the nodes a pan
+/// orphaned — what the splice drops) and the ids that appeared (what
+/// [`GraphJson::splice`] splices in). All outputs are ascending.
+/// O(index + changes), no hashing.
+#[allow(clippy::type_complexity)]
+fn apply_ref_changes(
+    old: &[(u64, u32)],
+    changes: &[(u64, i64)],
+) -> (Vec<(u64, u32)>, Vec<u64>, Vec<u64>) {
+    let mut out = Vec::with_capacity(old.len() + changes.len());
+    let mut dropped = Vec::new();
+    let mut added = Vec::new();
+    let (mut oi, mut ci) = (0usize, 0usize);
+    while oi < old.len() || ci < changes.len() {
+        let oid = old.get(oi).map(|o| o.0);
+        let cid = changes.get(ci).map(|c| c.0);
+        match (oid, cid) {
+            (Some(a), Some(b)) if a < b => {
+                out.push(old[oi]);
+                oi += 1;
+            }
+            (Some(a), Some(b)) if a == b => {
+                let mut delta = 0i64;
+                while ci < changes.len() && changes[ci].0 == b {
+                    delta += changes[ci].1;
+                    ci += 1;
+                }
+                let count = old[oi].1 as i64 + delta;
+                oi += 1;
+                if count > 0 {
+                    out.push((a, count as u32));
+                } else {
+                    debug_assert_eq!(count, 0, "reference count went negative");
+                    dropped.push(a);
+                }
+            }
+            (_, Some(b)) => {
+                // Absent from the old index: must be net-new arrivals.
+                let mut delta = 0i64;
+                while ci < changes.len() && changes[ci].0 == b {
+                    delta += changes[ci].1;
+                    ci += 1;
+                }
+                debug_assert!(delta >= 0, "negative change for unindexed node");
+                if delta > 0 {
+                    out.push((b, delta as u32));
+                    added.push(b);
+                }
+            }
+            (Some(_), None) => {
+                out.push(old[oi]);
+                oi += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    (out, dropped, added)
 }
 
 #[cfg(test)]
@@ -336,7 +749,180 @@ mod tests {
         let after = qm.window_query(0, &w).unwrap();
         assert!(!after.cache_hit, "edits must invalidate cached windows");
         assert_eq!(after.rows.len(), before.rows.len() + 1);
-        assert!(after.rows.iter().any(|(_, r)| r.edge_label == "edited"));
+        assert!(after.rows.iter().any(|(_, r)| &*r.edge_label == "edited"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Ground truth for a window, straight off the table (no cache).
+    fn cold_rows(qm: &QueryManager, layer: usize, w: &Rect) -> Vec<(RowId, EdgeRow)> {
+        qm.db()
+            .layer(layer)
+            .unwrap()
+            .window(qm.db().pool(), w, true)
+            .unwrap()
+    }
+
+    #[test]
+    fn pan_runs_delta_path_and_matches_cold() {
+        let (qm, path) = manager("deltapan");
+        let w1 = Rect::new(0.0, 0.0, 2000.0, 2000.0);
+        let first = qm.window_query(0, &w1).unwrap();
+        assert!(!first.delta && !first.cache_hit);
+        assert!(first.rows_fetched > 0 && first.rows_reused == 0);
+
+        // 80%-overlap pan to the right.
+        let w2 = Rect::new(400.0, 0.0, 2400.0, 2000.0);
+        let resp = qm.window_query(0, &w2).unwrap();
+        assert!(resp.delta, "overlapping pan must take the delta path");
+        assert!(!resp.cache_hit);
+        assert!(
+            resp.rows_fetched < first.rows_fetched,
+            "delta fetched {} rows, cold fetched {}",
+            resp.rows_fetched,
+            first.rows_fetched
+        );
+        assert!(resp.rows_reused > 0);
+        assert_eq!(*resp.rows, cold_rows(&qm, 0, &w2), "row-for-row identical");
+        assert_eq!(resp.json.edge_count, resp.rows.len());
+        assert_eq!(qm.cache_stats().partial_hits, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zoom_out_delta_covers_the_ring() {
+        let (qm, path) = manager("deltazoom");
+        let inner = Rect::new(500.0, 500.0, 2000.0, 2000.0);
+        qm.window_query(0, &inner).unwrap();
+        // Zoom out around the same center: old window covers 56% of new.
+        let outer = Rect::new(250.0, 250.0, 2250.0, 2250.0);
+        let resp = qm.window_query(0, &outer).unwrap();
+        assert!(resp.delta);
+        assert_eq!(*resp.rows, cold_rows(&qm, 0, &outer));
+        // Zoom back in: pure subset, nothing to fetch.
+        let resp = qm.window_query(0, &inner).unwrap();
+        assert!(resp.cache_hit, "inner window still cached exactly");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shrink_window_delta_fetches_nothing() {
+        let (qm, path) = manager("deltashrink");
+        let big = Rect::new(0.0, 0.0, 2500.0, 2500.0);
+        qm.window_query(0, &big).unwrap();
+        // A zoom-in strictly inside the cached window: all rows kept or
+        // dropped, no strips at all.
+        let small = Rect::new(300.0, 300.0, 2200.0, 2200.0);
+        let resp = qm.window_query(0, &small).unwrap();
+        assert!(resp.delta);
+        assert_eq!(resp.rows_fetched, 0, "subset pan needs no heap access");
+        assert_eq!(*resp.rows, cold_rows(&qm, 0, &small));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disjoint_window_stays_cold() {
+        let (qm, path) = manager("deltacold");
+        qm.window_query(0, &Rect::new(0.0, 0.0, 1000.0, 1000.0))
+            .unwrap();
+        let far = Rect::new(5000.0, 5000.0, 6000.0, 6000.0);
+        let resp = qm.window_query(0, &far).unwrap();
+        assert!(!resp.delta && !resp.cache_hit);
+        assert_eq!(qm.cache_stats().partial_hits, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn anchored_query_prefers_the_anchor() {
+        let (qm, path) = manager("anchored");
+        let w1 = Rect::new(0.0, 0.0, 1800.0, 1800.0);
+        qm.window_query(0, &w1).unwrap();
+        let w2 = Rect::new(300.0, 200.0, 2100.0, 2000.0);
+        let resp = qm.window_query_anchored(0, &w2, Some(&w1)).unwrap();
+        assert!(resp.delta);
+        assert_eq!(*resp.rows, cold_rows(&qm, 0, &w2));
+        assert_eq!(qm.cache_stats().partial_hits, 1);
+        // An anchor that was never cached falls back gracefully.
+        let w3 = Rect::new(350.0, 250.0, 2150.0, 2050.0);
+        let ghost = Rect::new(9e6, 9e6, 9.1e6, 9.1e6);
+        let resp = qm.window_query_anchored(0, &w3, Some(&ghost)).unwrap();
+        assert_eq!(*resp.rows, cold_rows(&qm, 0, &w3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn layer_scoped_edit_invalidates_only_that_layer() {
+        let (mut qm, path) = manager("layerinval");
+        let w = Rect::new(0.0, 0.0, 1500.0, 1500.0);
+        let l0_before = qm.window_query(0, &w).unwrap();
+        qm.window_query(1, &w).unwrap();
+
+        let row = gvdb_storage::EdgeRow {
+            node1_id: 888_001,
+            node1_label: "scoped-a".into(),
+            geometry: gvdb_storage::EdgeGeometry {
+                x1: 100.0,
+                y1: 100.0,
+                x2: 200.0,
+                y2: 200.0,
+                directed: false,
+            },
+            edge_label: "scoped-edit".into(),
+            node2_id: 888_002,
+            node2_label: "scoped-b".into(),
+        };
+        let rid = qm.insert_row(0, &row).unwrap();
+
+        // The edit is never masked on the edited layer...
+        let l0_after = qm.window_query(0, &w).unwrap();
+        assert!(!l0_after.cache_hit, "layer-0 windows must be invalidated");
+        assert_eq!(l0_after.rows.len(), l0_before.rows.len() + 1);
+        assert!(l0_after
+            .rows
+            .iter()
+            .any(|(_, r)| &*r.edge_label == "scoped-edit"));
+        // ...while the other layer's cached window survives untouched.
+        assert!(
+            qm.window_query(1, &w).unwrap().cache_hit,
+            "cross-layer entries must survive a scoped edit"
+        );
+
+        // Scoped delete behaves the same way.
+        qm.delete_row(0, rid).unwrap();
+        let l0_deleted = qm.window_query(0, &w).unwrap();
+        assert!(!l0_deleted.cache_hit);
+        assert_eq!(l0_deleted.rows.len(), l0_before.rows.len());
+        assert!(qm.window_query(1, &w).unwrap().cache_hit);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_after_scoped_edit_sees_the_edit() {
+        // A delta query anchored on a pre-edit window must never happen:
+        // the edit drops every cached window of the layer, so the next
+        // query is cold and correct.
+        let (mut qm, path) = manager("deltaedit");
+        let w1 = Rect::new(0.0, 0.0, 2000.0, 2000.0);
+        qm.window_query(0, &w1).unwrap();
+        let row = gvdb_storage::EdgeRow {
+            node1_id: 777_101,
+            node1_label: "post-edit".into(),
+            geometry: gvdb_storage::EdgeGeometry {
+                x1: 2100.0,
+                y1: 1000.0,
+                x2: 2200.0,
+                y2: 1000.0,
+                directed: false,
+            },
+            edge_label: "fresh".into(),
+            node2_id: 777_102,
+            node2_label: "post-edit-b".into(),
+        };
+        qm.insert_row(0, &row).unwrap();
+        // Pan toward the inserted row; w2 overlaps w1 by 80%.
+        let w2 = Rect::new(400.0, 0.0, 2400.0, 2000.0);
+        let resp = qm.window_query(0, &w2).unwrap();
+        assert!(!resp.delta, "no stale anchor may survive the edit");
+        assert!(resp.rows.iter().any(|(_, r)| &*r.edge_label == "fresh"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -26,7 +26,7 @@ pub struct Filters {
 impl Filters {
     /// Whether a row survives the filters.
     pub fn keeps(&self, row: &EdgeRow) -> bool {
-        if self.hidden_edge_labels.contains(&row.edge_label) {
+        if self.hidden_edge_labels.contains(&*row.edge_label) {
             return false;
         }
         for s in &self.hidden_node_substrings {
@@ -45,6 +45,12 @@ pub struct Session {
     window: Rect,
     zoom: f64,
     filters: Filters,
+    /// The window *before* the most recent pan/zoom on the current
+    /// layer — the delta anchor passed to
+    /// [`QueryManager::window_query_anchored`], so consecutive viewports
+    /// reuse their overlap instead of re-running the full query. Cleared
+    /// on layer changes (an anchor never spans layers).
+    anchor: Option<Rect>,
 }
 
 impl Session {
@@ -55,7 +61,19 @@ impl Session {
             window,
             zoom: 1.0,
             filters: Filters::default(),
+            anchor: None,
         }
+    }
+
+    /// The delta anchor the next [`Session::view`] will pass along (the
+    /// previous window on this layer, if any).
+    pub fn anchor(&self) -> Option<Rect> {
+        self.anchor
+    }
+
+    /// Remember the current window as the anchor for the next view.
+    fn rebase_anchor(&mut self) {
+        self.anchor = Some(self.window);
     }
 
     /// Current abstraction layer.
@@ -78,9 +96,12 @@ impl Session {
         &mut self.filters
     }
 
-    /// Fetch the current viewport's sub-graph, filters applied.
+    /// Fetch the current viewport's sub-graph, filters applied. The
+    /// previous window on this layer rides along as the delta anchor, so
+    /// a view following a pan or zoom is answered incrementally (see
+    /// [`QueryManager::window_query_anchored`]).
     pub fn view(&self, qm: &QueryManager) -> Result<WindowResponse> {
-        let mut resp = qm.window_query(self.layer, &self.window)?;
+        let mut resp = qm.window_query_anchored(self.layer, &self.window, self.anchor.as_ref())?;
         if !self.filters.hidden_edge_labels.is_empty()
             || !self.filters.hidden_node_substrings.is_empty()
         {
@@ -99,7 +120,9 @@ impl Session {
     }
 
     /// Horizontal navigation: move the window by `(dx, dy)` plane units.
+    /// The pre-pan window becomes the delta anchor of the next view.
     pub fn pan(&mut self, dx: f64, dy: f64) {
+        self.rebase_anchor();
         self.window = Rect::new(
             self.window.min_x + dx,
             self.window.min_y + dy,
@@ -116,6 +139,7 @@ impl Session {
     /// Panics if `factor` is not positive.
     pub fn zoom_by(&mut self, factor: f64) {
         assert!(factor > 0.0, "zoom factor must be positive");
+        self.rebase_anchor();
         self.zoom *= factor;
         let c = self.window.center();
         let w = self.window.width() / factor;
@@ -132,6 +156,7 @@ impl Session {
             )));
         }
         self.layer += 1;
+        self.anchor = None;
         Ok(())
     }
 
@@ -141,6 +166,7 @@ impl Session {
             return Err(StorageError::LayerNotFound("no layer below 0".into()));
         }
         self.layer -= 1;
+        self.anchor = None;
         Ok(())
     }
 
@@ -149,12 +175,18 @@ impl Session {
         if layer >= qm.layer_count() {
             return Err(StorageError::LayerNotFound(format!("index {layer}")));
         }
+        if layer != self.layer {
+            self.anchor = None;
+        }
         self.layer = layer;
         Ok(())
     }
 
-    /// Recenter the window on a point (keyword-search result click).
+    /// Recenter the window on a point (keyword-search result click). The
+    /// pre-focus window anchors the next view — a focus jump near the
+    /// current viewport still pans incrementally.
     pub fn focus(&mut self, p: Point) {
+        self.rebase_anchor();
         self.window = Rect::centered(p, self.window.width(), self.window.height());
     }
 
@@ -179,14 +211,17 @@ impl Session {
         Ok(target)
     }
 
-    /// Edit: persist a new edge drawn on the canvas.
+    /// Edit: persist a new edge drawn on the canvas. Goes through the
+    /// layer-aware edit path, so only this layer's cached windows are
+    /// invalidated.
     pub fn add_edge(&self, qm: &mut QueryManager, row: &EdgeRow) -> Result<RowId> {
-        qm.db_mut().insert_row(self.layer, row)
+        qm.insert_row(self.layer, row)
     }
 
-    /// Edit: delete an edge from the canvas.
+    /// Edit: delete an edge from the canvas (layer-scoped invalidation,
+    /// see [`Session::add_edge`]).
     pub fn delete_edge(&self, qm: &mut QueryManager, rid: RowId) -> Result<()> {
-        qm.db_mut().delete_row(self.layer, rid)
+        qm.delete_row(self.layer, rid)
     }
 }
 
@@ -274,7 +309,10 @@ mod tests {
             .hidden_edge_labels
             .insert("rdfs:label".into());
         let resp = s.view(&qm).unwrap();
-        assert!(resp.rows.iter().all(|(_, r)| r.edge_label != "rdfs:label"));
+        assert!(resp
+            .rows
+            .iter()
+            .all(|(_, r)| &*r.edge_label != "rdfs:label"));
         std::fs::remove_file(&path).ok();
     }
 
@@ -310,6 +348,82 @@ mod tests {
     fn invalid_zoom_panics() {
         let mut s = Session::new(Rect::new(0.0, 0.0, 1.0, 1.0));
         s.zoom_by(0.0);
+    }
+
+    #[test]
+    fn pan_view_rides_the_delta_path() {
+        let (qm, path) = setup("deltaview");
+        let mut s = Session::new(Rect::new(0.0, 0.0, 2000.0, 2000.0));
+        assert!(s.anchor().is_none());
+        let first = s.view(&qm).unwrap();
+        assert!(!first.delta && !first.cache_hit);
+
+        s.pan(300.0, 0.0); // 85% overlap
+        assert_eq!(s.anchor(), Some(Rect::new(0.0, 0.0, 2000.0, 2000.0)));
+        let second = s.view(&qm).unwrap();
+        assert!(second.delta, "a panned view must be incremental");
+        assert!(second.rows_reused > 0);
+        // The delta result matches a cold query of the same window.
+        let cold = qm
+            .db()
+            .layer(0)
+            .unwrap()
+            .window(qm.db().pool(), &s.window(), true)
+            .unwrap();
+        assert_eq!(*second.rows, cold);
+
+        // Zoom keeps anchoring too.
+        s.zoom_by(1.25);
+        let third = s.view(&qm).unwrap();
+        assert!(third.delta || third.cache_hit);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn layer_change_clears_the_anchor() {
+        let (qm, path) = setup("anchorclear");
+        let mut s = Session::new(Rect::new(0.0, 0.0, 800.0, 800.0));
+        s.pan(10.0, 10.0);
+        assert!(s.anchor().is_some());
+        s.layer_up(&qm).unwrap();
+        assert!(s.anchor().is_none(), "anchors never span layers");
+        s.pan(5.0, 5.0);
+        s.layer_down().unwrap();
+        assert!(s.anchor().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn session_edits_keep_other_layers_cached() {
+        let (mut qm, path) = setup("scopededit");
+        let w = Rect::new(-1e6, -1e6, 1e6, 1e6);
+        let s0 = Session::new(w);
+        let mut s1 = Session::new(w);
+        s1.set_layer(&qm, 1).unwrap();
+        s0.view(&qm).unwrap();
+        s1.view(&qm).unwrap();
+
+        let row = EdgeRow {
+            node1_id: 910_001,
+            node1_label: "scoped A".into(),
+            geometry: EdgeGeometry {
+                x1: 0.0,
+                y1: 0.0,
+                x2: 5.0,
+                y2: 5.0,
+                directed: false,
+            },
+            edge_label: "scoped".into(),
+            node2_id: 910_002,
+            node2_label: "scoped B".into(),
+        };
+        s0.add_edge(&mut qm, &row).unwrap();
+        assert!(!s0.view(&qm).unwrap().cache_hit, "edited layer refreshed");
+        assert!(
+            s1.view(&qm).unwrap().cache_hit,
+            "the other layer's cached window survives the edit"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -119,7 +119,7 @@ mod tests {
         assert!(v2
             .rows
             .iter()
-            .all(|(_, r)| r.edge_label == "cites" || r.edge_label.is_empty()));
+            .all(|(_, r)| &*r.edge_label == "cites" || r.edge_label.is_empty()));
         assert!(v1
             .rows
             .iter()

@@ -158,6 +158,73 @@ impl Rect {
         w * h
     }
 
+    /// The overlapping rectangle, or `None` when the two do not overlap
+    /// with positive area (touching edges yield `None`: a zero-area
+    /// "kept region" is useless to a delta query).
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let min_x = self.min_x.max(other.min_x);
+        let min_y = self.min_y.max(other.min_y);
+        let max_x = self.max_x.min(other.max_x);
+        let max_y = self.max_y.min(other.max_y);
+        if min_x < max_x && min_y < max_y {
+            Some(Rect {
+                min_x,
+                min_y,
+                max_x,
+                max_y,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// `self \ other` as at most four disjoint strips (left, right, bottom,
+    /// top of the carved-out intersection). The strips partition the area
+    /// of `self` not covered by `other`:
+    ///
+    /// ```text
+    ///        ┌──────┬────────────┬───────┐
+    ///        │      │    top     │       │
+    ///        │      ├────────────┤       │
+    ///        │ left │ self∩other │ right │
+    ///        │      ├────────────┤       │
+    ///        │      │   bottom   │       │
+    ///        └──────┴────────────┴───────┘
+    /// ```
+    ///
+    /// This is the pan decomposition of the incremental viewport path: a
+    /// panned window splits into the kept region ([`Rect::intersection`]
+    /// with the previous window) plus these delta strips, and only the
+    /// strips need an index lookup. Strips are pairwise disjoint in area
+    /// (they share edges at most), each lies inside `self`, none overlaps
+    /// `other` with positive area, and their areas sum to
+    /// `self.area() - self.intersection_area(other)`. Degenerate
+    /// (zero-area) strips are omitted; when the rectangles are disjoint
+    /// the result is `[self]`, and when `other` covers `self` it is empty.
+    pub fn difference(&self, other: &Rect) -> Vec<Rect> {
+        let Some(i) = self.intersection(other) else {
+            return if self.area() > 0.0 {
+                vec![*self]
+            } else {
+                Vec::new()
+            };
+        };
+        let mut strips = Vec::with_capacity(4);
+        if self.min_x < i.min_x {
+            strips.push(Rect::new(self.min_x, self.min_y, i.min_x, self.max_y));
+        }
+        if i.max_x < self.max_x {
+            strips.push(Rect::new(i.max_x, self.min_y, self.max_x, self.max_y));
+        }
+        if self.min_y < i.min_y {
+            strips.push(Rect::new(i.min_x, self.min_y, i.max_x, i.min_y));
+        }
+        if i.max_y < self.max_y {
+            strips.push(Rect::new(i.min_x, i.max_y, i.max_x, self.max_y));
+        }
+        strips
+    }
+
     /// How much `self`'s area grows to absorb `other`.
     pub fn enlargement(&self, other: &Rect) -> f64 {
         self.union(other).area() - self.area()
@@ -297,6 +364,63 @@ mod tests {
         assert_eq!(a.intersection_area(&b), 1.0);
         let c = Rect::new(5.0, 5.0, 6.0, 6.0);
         assert_eq!(a.intersection_area(&c), 0.0);
+    }
+
+    #[test]
+    fn intersection_some_and_none() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), Some(Rect::new(1.0, 1.0, 2.0, 2.0)));
+        // Touching edge: zero-area overlap is None.
+        assert_eq!(a.intersection(&Rect::new(2.0, 0.0, 3.0, 2.0)), None);
+        assert_eq!(a.intersection(&Rect::new(5.0, 5.0, 6.0, 6.0)), None);
+    }
+
+    #[test]
+    fn difference_disjoint_is_self() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.difference(&Rect::new(5.0, 5.0, 6.0, 6.0)), vec![a]);
+    }
+
+    #[test]
+    fn difference_contained_is_empty() {
+        let a = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(a.difference(&Rect::new(0.0, 0.0, 3.0, 3.0)).is_empty());
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn difference_pan_right_is_one_strip() {
+        // The common case: a pure pan produces one strip on the leading edge.
+        let old = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let new = Rect::new(2.0, 0.0, 12.0, 10.0);
+        let strips = new.difference(&old);
+        assert_eq!(strips, vec![Rect::new(10.0, 0.0, 12.0, 10.0)]);
+    }
+
+    #[test]
+    fn difference_diagonal_pan_is_two_strips() {
+        let old = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let new = Rect::new(3.0, 4.0, 13.0, 14.0);
+        let strips = new.difference(&old);
+        assert_eq!(strips.len(), 2);
+        let area: f64 = strips.iter().map(Rect::area).sum();
+        assert!((area - (new.area() - new.intersection_area(&old))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn difference_zoom_out_is_four_strips() {
+        // Zoom out: the old window sits strictly inside the new one.
+        let old = Rect::new(4.0, 4.0, 6.0, 6.0);
+        let new = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let strips = new.difference(&old);
+        assert_eq!(strips.len(), 4);
+        for s in &strips {
+            assert!(new.contains_rect(s));
+            assert_eq!(s.intersection_area(&old), 0.0);
+        }
+        let area: f64 = strips.iter().map(Rect::area).sum();
+        assert!((area - (100.0 - 4.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -87,6 +87,67 @@ proptest! {
     }
 
     #[test]
+    fn difference_strips_are_disjoint_and_cover_exactly_new_minus_old(
+        new in arb_rect(),
+        old in arb_rect(),
+    ) {
+        let strips = new.difference(&old);
+        prop_assert!(strips.len() <= 4);
+        // Each strip lies inside `new` and carves nothing out of `old`.
+        for s in &strips {
+            prop_assert!(new.contains_rect(s));
+            prop_assert!(s.intersection_area(&old) < 1e-9);
+            prop_assert!(s.area() > 0.0, "degenerate strips must be omitted");
+        }
+        // Pairwise disjoint in area.
+        for (i, a) in strips.iter().enumerate() {
+            for b in strips.iter().skip(i + 1) {
+                prop_assert!(a.intersection_area(b) < 1e-9);
+            }
+        }
+        // Areas sum to exactly the uncovered part of `new`.
+        let sum: f64 = strips.iter().map(Rect::area).sum();
+        let want = new.area() - new.intersection_area(&old);
+        prop_assert!((sum - want).abs() < 1e-6, "sum {sum} want {want}");
+        // Point-level coverage: a sampled point of `new` outside `old` is
+        // in some strip; a point inside `old` is in none (interior-wise).
+        for ti in 0..10 {
+            for tj in 0..10 {
+                let p = Point::new(
+                    new.min_x + new.width() * (ti as f64 + 0.5) / 10.0,
+                    new.min_y + new.height() * (tj as f64 + 0.5) / 10.0,
+                );
+                let in_strips = strips.iter().any(|s| s.contains_point(&p));
+                // Skip points on `old`'s boundary: closed-rect containment
+                // is ambiguous exactly there.
+                let strictly_in_old = p.x > old.min_x && p.x < old.max_x
+                    && p.y > old.min_y && p.y < old.max_y;
+                let strictly_out_old = p.x < old.min_x || p.x > old.max_x
+                    || p.y < old.min_y || p.y > old.max_y;
+                if strictly_in_old {
+                    prop_assert!(
+                        strips.iter().all(|s| s.intersection_area(&old) < 1e-9)
+                    );
+                }
+                if strictly_out_old {
+                    prop_assert!(in_strips, "uncovered point {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_agrees_with_intersection_area(a in arb_rect(), b in arb_rect()) {
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!((i.area() - a.intersection_area(&b)).abs() < 1e-9);
+                prop_assert!(a.contains_rect(&i) && b.contains_rect(&i));
+            }
+            None => prop_assert!(a.intersection_area(&b) < 1e-12),
+        }
+    }
+
+    #[test]
     fn segment_rect_intersection_agrees_with_sampling(
         ax in 0.0f64..100.0, ay in 0.0f64..100.0,
         bx in 0.0f64..100.0, by in 0.0f64..100.0,

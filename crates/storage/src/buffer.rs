@@ -40,6 +40,51 @@ impl BufferStats {
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+
+    /// Point-in-time copy of all counters — what the query layer reports
+    /// so a bench can difference two snapshots around a query and see how
+    /// many page pins it cost.
+    pub fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+        }
+    }
+}
+
+/// A copyable snapshot of [`BufferStats`] (monotonic totals since the pool
+/// was opened).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that went to disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit fraction in `[0, 1]` (0 when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot (for
+    /// per-query accounting).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
 }
 
 struct Frame {

@@ -178,7 +178,7 @@ mod tests {
         (0..n)
             .map(|i| EdgeRow {
                 node1_id: i,
-                node1_label: format!("entity {i}"),
+                node1_label: format!("entity {i}").into(),
                 geometry: EdgeGeometry {
                     x1: offset + i as f64,
                     y1: offset,
@@ -188,7 +188,7 @@ mod tests {
                 },
                 edge_label: "related".into(),
                 node2_id: i + 1,
-                node2_label: format!("entity {}", i + 1),
+                node2_label: format!("entity {}", i + 1).into(),
             })
             .collect()
     }

@@ -34,11 +34,11 @@ pub mod table;
 pub mod trie;
 pub mod wal;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, PoolStats};
 pub use db::GraphDb;
 pub use error::{Result, StorageError};
 pub use heap::RowId;
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::Pager;
-pub use record::{EdgeGeometry, EdgeRow};
+pub use record::{EdgeGeometry, EdgeRow, Label};
 pub use table::LayerTable;

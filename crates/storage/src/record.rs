@@ -12,6 +12,13 @@
 
 use crate::error::{Result, StorageError};
 use gvdb_spatial::{Point, Rect, Segment};
+use std::sync::Arc;
+
+/// A row label: reference-counted and immutable, so cloning a decoded row
+/// — which the delta-query path does for every row kept across a pan — is
+/// three refcount bumps instead of three heap copies. Build one with
+/// `"text".into()` or `format!(…).into()`.
+pub type Label = Arc<str>;
 
 /// The binary edge-geometry object: endpoint coordinates + direction flag.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,15 +53,15 @@ pub struct EdgeRow {
     /// Unique id of the first node.
     pub node1_id: u64,
     /// Label of the first node.
-    pub node1_label: String,
+    pub node1_label: Label,
     /// Edge geometry blob.
     pub geometry: EdgeGeometry,
     /// Label of the edge.
-    pub edge_label: String,
+    pub edge_label: Label,
     /// Unique id of the second node.
     pub node2_id: u64,
     /// Label of the second node.
-    pub node2_label: String,
+    pub node2_label: Label,
 }
 
 const GEOM_SIZE: usize = 4 * 8 + 1;
@@ -154,10 +161,11 @@ impl Cursor<'_> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn string(&mut self) -> Result<String> {
+    fn string(&mut self) -> Result<Label> {
         let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
+        std::str::from_utf8(bytes)
+            .map(Label::from)
             .map_err(|_| StorageError::Corrupt("label is not UTF-8".into()))
     }
 }
@@ -194,9 +202,9 @@ mod tests {
     #[test]
     fn empty_labels_roundtrip() {
         let mut row = sample();
-        row.node1_label.clear();
-        row.edge_label.clear();
-        row.node2_label.clear();
+        row.node1_label = "".into();
+        row.edge_label = "".into();
+        row.node2_label = "".into();
         assert_eq!(EdgeRow::decode(&row.encode()).unwrap(), row);
     }
 

@@ -202,6 +202,61 @@ impl PagedRTree {
         Ok(out)
     }
 
+    /// All `(rect, row)` entries intersecting **any** of `windows`, in one
+    /// descent: an internal node is entered once if its MBR touches any
+    /// window, so the strip queries of a delta pan (the whole change ring
+    /// of up to eight strips) share the upper tree levels and pin each
+    /// page at most once, instead of one full descent per strip. Entries
+    /// matching several windows are emitted once, sorted ascending by
+    /// payload.
+    pub fn windows(&self, pool: &BufferPool, windows: &[Rect]) -> Result<Vec<(Rect, u64)>> {
+        let mut out = Vec::new();
+        if windows.is_empty() {
+            return Ok(out);
+        }
+        if let Some(root) = self.root {
+            let mut stack = vec![root];
+            while let Some(pid) = stack.pop() {
+                pool.with_page(pid, |p| {
+                    let tag = p.get_u16(0);
+                    let count = p.get_u16(2) as usize;
+                    for i in 0..count {
+                        let base = HEADER + i * ENTRY;
+                        let rect = Rect::new(
+                            p.get_f64(base),
+                            p.get_f64(base + 8),
+                            p.get_f64(base + 16),
+                            p.get_f64(base + 24),
+                        );
+                        if !windows.iter().any(|w| rect.intersects(w)) {
+                            continue;
+                        }
+                        let payload = p.get_u64(base + 32);
+                        if tag == TAG_LEAF {
+                            if !self.tombstones.contains(&payload) {
+                                out.push((rect, payload));
+                            }
+                        } else {
+                            stack.push(PageId(payload));
+                        }
+                    }
+                    if tag != TAG_LEAF && tag != TAG_INTERNAL {
+                        return Err(StorageError::Corrupt(format!("bad rtree page tag {tag}")));
+                    }
+                    Ok(())
+                })??;
+            }
+        }
+        for w in windows {
+            for (r, v) in self.overlay.window(w) {
+                out.push((*r, *v));
+            }
+        }
+        out.sort_unstable_by_key(|(_, v)| *v);
+        out.dedup_by_key(|(_, v)| *v);
+        Ok(out)
+    }
+
     /// Free all packed pages (before a rebuild). Overlay/tombstones remain.
     pub fn free_packed(&mut self, pool: &BufferPool) -> Result<()> {
         if let Some(root) = self.root.take() {

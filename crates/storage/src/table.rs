@@ -67,11 +67,31 @@ impl LayerTable {
     /// Bulk-build a layer from rows — preprocessing Step 5 for one layer.
     /// Indexes are constructed after the heap load: B+-trees from sorted
     /// runs, the R-tree by STR packing.
+    ///
+    /// Rows are written to the heap in **Morton order** of their geometry
+    /// centers, so spatially close edges share heap pages. A window query
+    /// then touches O(window area) heap pages instead of O(row count)
+    /// scattered ones, and the thin strips of a delta pan touch
+    /// proportionally few — this is what makes the batched page-sorted
+    /// fetch ([`LayerTable::fetch_many`]) effective.
     pub fn bulk_build(
         pool: &BufferPool,
         name: impl Into<String>,
         rows: impl IntoIterator<Item = EdgeRow>,
     ) -> Result<Self> {
+        let mut rows: Vec<EdgeRow> = rows.into_iter().collect();
+        if !rows.is_empty() {
+            let bounds = rows
+                .iter()
+                .map(|r| r.geometry.bbox())
+                .reduce(|a, b| a.union(&b))
+                .expect("non-empty");
+            // Stable sort: rows at the same Morton cell keep their input
+            // order, so builds are deterministic.
+            rows.sort_by_key(|r| {
+                gvdb_spatial::morton::morton_of_point(&r.geometry.bbox().center(), &bounds)
+            });
+        }
         let mut heap = HeapFile::create(pool)?;
         let mut by_node1 = BTree::create(pool)?;
         let mut by_node2 = BTree::create(pool)?;
@@ -152,10 +172,59 @@ impl LayerTable {
         EdgeRow::decode(&self.heap.get(pool, rid)?)
     }
 
+    /// Batched fetch: decode the rows for `rids` with one buffer-pool pin
+    /// per distinct heap page (see [`HeapFile::get_many`]). Returns rows
+    /// in ascending [`RowId`] order — the canonical row order of every
+    /// window-query path, so a delta-assembled result can be compared
+    /// row-for-row against a cold one.
+    pub fn fetch_many(&self, pool: &BufferPool, rids: &[RowId]) -> Result<Vec<(RowId, EdgeRow)>> {
+        let records = self.heap.get_many(pool, rids)?;
+        let mut out = Vec::with_capacity(records.len());
+        for (rid, bytes) in records {
+            out.push((rid, EdgeRow::decode(&bytes)?));
+        }
+        Ok(out)
+    }
+
+    /// The R-tree filter step alone: ids of rows whose geometry *bounding
+    /// box* intersects `window`, with no heap access. The delta-query
+    /// path runs this over each pan strip and batches the heap fetch of
+    /// the deduplicated ids through [`LayerTable::fetch_many`].
+    pub fn window_rids(&self, pool: &BufferPool, window: &Rect) -> Result<Vec<RowId>> {
+        Ok(self
+            .rtree
+            .window(pool, window)?
+            .into_iter()
+            .map(|(_, rid64)| RowId::from_u64(rid64))
+            .collect())
+    }
+
+    /// [`LayerTable::window_rids`] over several windows in a single
+    /// R-tree descent (each tree page pinned at most once — see
+    /// `PagedRTree::windows`), keeping each candidate's indexed bounding
+    /// box so the caller can classify candidates against sub-regions
+    /// without touching the heap. Deduplicated and sorted ascending by
+    /// [`RowId`] ([`RowId::to_u64`] order is preserved by the index
+    /// sort). This is how the delta path resolves all pan strips at once.
+    pub fn window_candidates_multi(
+        &self,
+        pool: &BufferPool,
+        windows: &[Rect],
+    ) -> Result<Vec<(Rect, RowId)>> {
+        Ok(self
+            .rtree
+            .windows(pool, windows)?
+            .into_iter()
+            .map(|(rect, rid64)| (rect, RowId::from_u64(rid64)))
+            .collect())
+    }
+
     /// **The** online operation: all rows whose edge geometry intersects
-    /// `window`. R-tree filter on bounding boxes, then exact
+    /// `window`. R-tree filter on bounding boxes, a batched page-sorted
+    /// heap fetch ([`LayerTable::fetch_many`]), then exact
     /// segment/rectangle refinement (`exact = false` skips refinement,
-    /// exposing the pure index path for benchmarks).
+    /// exposing the pure index path for benchmarks). Rows come back in
+    /// ascending [`RowId`] order.
     pub fn window(
         &self,
         pool: &BufferPool,
@@ -163,13 +232,13 @@ impl LayerTable {
         exact: bool,
     ) -> Result<Vec<(RowId, EdgeRow)>> {
         let candidates = self.rtree.window(pool, window)?;
-        let mut out = Vec::with_capacity(candidates.len());
-        for (_, rid64) in candidates {
-            let rid = RowId::from_u64(rid64);
-            let row = self.get(pool, rid)?;
-            if !exact || row.geometry.segment().intersects_rect(window) {
-                out.push((rid, row));
-            }
+        let rids: Vec<RowId> = candidates
+            .into_iter()
+            .map(|(_, rid64)| RowId::from_u64(rid64))
+            .collect();
+        let mut out = self.fetch_many(pool, &rids)?;
+        if exact {
+            out.retain(|(_, row)| row.geometry.segment().intersects_rect(window));
         }
         Ok(out)
     }
@@ -189,7 +258,7 @@ impl LayerTable {
         &self,
         pool: &BufferPool,
         node_id: u64,
-    ) -> Result<Option<(Point, String)>> {
+    ) -> Result<Option<(Point, crate::record::Label)>> {
         let rids = self.rows_of_node(pool, node_id)?;
         for rid in rids {
             let row = self.get(pool, rid)?;
@@ -312,7 +381,7 @@ mod tests {
     fn row(n1: u64, n2: u64, x1: f64, y1: f64, x2: f64, y2: f64) -> EdgeRow {
         EdgeRow {
             node1_id: n1,
-            node1_label: format!("node {n1}"),
+            node1_label: format!("node {n1}").into(),
             geometry: EdgeGeometry {
                 x1,
                 y1,
@@ -322,7 +391,7 @@ mod tests {
             },
             edge_label: "cites".into(),
             node2_id: n2,
-            node2_label: format!("node {n2}"),
+            node2_label: format!("node {n2}").into(),
         }
     }
 
@@ -374,6 +443,19 @@ mod tests {
     }
 
     #[test]
+    fn fetch_many_agrees_with_window() {
+        let (pool, path) = pool("fetchmany");
+        let t = LayerTable::bulk_build(&pool, "layer0", grid_rows()).unwrap();
+        let w = Rect::new(-1.0, -1.0, 45.0, 45.0);
+        let rows = t.window(&pool, &w, true).unwrap();
+        assert!(rows.windows(2).all(|p| p[0].0 < p[1].0), "RowId order");
+        let rids: Vec<RowId> = rows.iter().map(|(rid, _)| *rid).collect();
+        let refetched = t.fetch_many(&pool, &rids).unwrap();
+        assert_eq!(rows, refetched);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn node_lookup_and_position() {
         let (pool, path) = pool("node");
         let t = LayerTable::bulk_build(&pool, "layer0", grid_rows()).unwrap();
@@ -382,7 +464,7 @@ mod tests {
         assert_eq!(rids.len(), 2);
         let (pos, label) = t.node_position(&pool, 55).unwrap().unwrap();
         assert_eq!((pos.x, pos.y), (50.0, 50.0));
-        assert_eq!(label, "node 55");
+        assert_eq!(&*label, "node 55");
         assert!(t.node_position(&pool, 9999).unwrap().is_none());
         std::fs::remove_file(&path).ok();
     }

@@ -15,7 +15,7 @@ fn tmp(name: &str) -> PathBuf {
 fn row(i: u64) -> EdgeRow {
     EdgeRow {
         node1_id: i,
-        node1_label: format!("node {i}"),
+        node1_label: format!("node {i}").into(),
         geometry: EdgeGeometry {
             x1: i as f64,
             y1: 0.0,
@@ -25,7 +25,7 @@ fn row(i: u64) -> EdgeRow {
         },
         edge_label: "e".into(),
         node2_id: i + 1,
-        node2_label: format!("node {}", i + 1),
+        node2_label: format!("node {}", i + 1).into(),
     }
 }
 

@@ -5,10 +5,14 @@
 //! Endpoints:
 //! * `GET /layers` — layer inventory
 //! * `GET /window?layer=0&minx=..&miny=..&maxx=..&maxy=..` — window query
-//!   (served through the sharded LRU window cache; repeats are hits)
+//!   (served through the sharded LRU window cache; exact repeats are
+//!   hits, overlapping pans run the incremental delta path — the
+//!   `X-Gvdb-Source` response header says `hit`, `delta`, or `cold`, and
+//!   `X-Gvdb-Rows-Reused`/`X-Gvdb-Rows-Fetched` report the split)
 //! * `GET /search?layer=0&q=keyword` — keyword search
 //! * `GET /focus?layer=0&node=ID` — focus-on-node neighborhood
-//! * `GET /cache` — window-cache hit/miss/occupancy counters
+//! * `GET /cache` — window-cache hit/partial/miss/occupancy counters plus
+//!   buffer-pool page hit rate
 //!
 //! By default the example starts the server, issues demo requests against
 //! itself, prints the responses and exits (CI-friendly). Pass `--serve` to
@@ -55,11 +59,13 @@ fn main() {
     }
 
     // Self-demo: act as our own client. The window request is issued
-    // twice: the repeat is served from the window cache (see /cache).
+    // twice (the repeat is an exact cache hit), then panned by 20% (the
+    // overlap is served by the incremental delta path — see /cache).
     for path_q in [
         "/layers".to_string(),
         "/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200".to_string(),
         "/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200".to_string(),
+        "/window?layer=0&minx=240&miny=0&maxx=1440&maxy=1200".to_string(),
         "/search?layer=0&q=Faloutsos".to_string(),
         "/cache".to_string(),
     ] {
@@ -139,6 +145,8 @@ fn handle(mut stream: TcpStream, qm: &QueryManager) {
     let get = |k: &str| params.iter().find(|(key, _)| *key == k).map(|(_, v)| *v);
     let layer: usize = get("layer").and_then(|v| v.parse().ok()).unwrap_or(0);
 
+    // Extra response headers (the delta-path telemetry for /window).
+    let mut extra_headers = String::new();
     let (status, body): (&str, Body) = match path {
         "/layers" => {
             let mut out = String::from("{\"layers\":[");
@@ -159,7 +167,20 @@ fn handle(mut stream: TcpStream, qm: &QueryManager) {
                     if minx <= maxx && miny <= maxy =>
                 {
                     match qm.window_query(layer, &Rect::new(minx, miny, maxx, maxy)) {
-                        Ok(resp) => ("200 OK", Body::Shared(resp.json)),
+                        Ok(resp) => {
+                            let source = if resp.cache_hit {
+                                "hit"
+                            } else if resp.delta {
+                                "delta"
+                            } else {
+                                "cold"
+                            };
+                            extra_headers = format!(
+                                "X-Gvdb-Source: {source}\r\nX-Gvdb-Rows-Reused: {}\r\nX-Gvdb-Rows-Fetched: {}\r\n",
+                                resp.rows_reused, resp.rows_fetched
+                            );
+                            ("200 OK", Body::Shared(resp.json))
+                        }
                         Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}").into()),
                     }
                 }
@@ -214,15 +235,20 @@ fn handle(mut stream: TcpStream, qm: &QueryManager) {
         },
         "/cache" => {
             let stats = qm.cache_stats();
+            let pool = qm.pool_stats();
             (
                 "200 OK",
                 format!(
-                    "{{\"hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.3}}}",
+                    "{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.3},\"pool\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.3}}}}}",
                     stats.hits,
+                    stats.partial_hits,
                     stats.misses,
                     stats.entries,
                     stats.bytes,
-                    stats.hit_rate()
+                    stats.hit_rate(),
+                    pool.hits,
+                    pool.misses,
+                    pool.hit_rate()
                 )
                 .into(),
             )
@@ -235,7 +261,7 @@ fn handle(mut stream: TcpStream, qm: &QueryManager) {
     let body = body.as_str();
     let _ = write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n{body}",
         body.len()
     );
 }

@@ -8,6 +8,7 @@
 //! gvdb search <db> <layer> <keyword...>
 //! gvdb focus <db> <layer> <node-id>
 //! gvdb stats <db>
+//! gvdb bench-smoke [--out FILE] [--nodes N] [--pans K] [--overlap F]
 //! ```
 //!
 //! Input format is inferred from the extension: `.nt` parses as N-Triples,
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         Some("search") => cmd_search(&args[1..]),
         Some("focus") => cmd_focus(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("bench-smoke") => cmd_bench_smoke(&args[1..]),
         _ => {
             eprintln!("{}", USAGE);
             return ExitCode::from(2);
@@ -52,7 +54,8 @@ const USAGE: &str = "usage:
   gvdb window <db> <layer> <minx> <miny> <maxx> <maxy>
   gvdb search <db> <layer> <keyword...>
   gvdb focus <db> <layer> <node-id>
-  gvdb stats <db>";
+  gvdb stats <db>
+  gvdb bench-smoke [--out FILE] [--nodes N] [--pans K] [--overlap F]";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -154,9 +157,21 @@ fn cmd_window(args: &[String]) -> Result<(), String> {
     let qm = QueryManager::new(open_db(db_path)?);
     let resp = qm.window_query(layer, &rect).map_err(|e| e.to_string())?;
     println!("{}", resp.json.text);
+    let source = if resp.cache_hit {
+        "cache-hit"
+    } else if resp.delta {
+        "delta"
+    } else {
+        "cold"
+    };
     eprintln!(
-        "# {} nodes, {} edges; db {:.3} ms, json {:.3} ms",
-        resp.json.node_count, resp.json.edge_count, resp.db_ms, resp.build_json_ms
+        "# {} nodes, {} edges; db {:.3} ms, json {:.3} ms; {source}, {} reused / {} fetched",
+        resp.json.node_count,
+        resp.json.edge_count,
+        resp.db_ms,
+        resp.build_json_ms,
+        resp.rows_reused,
+        resp.rows_fetched
     );
     Ok(())
 }
@@ -198,6 +213,159 @@ fn cmd_focus(args: &[String]) -> Result<(), String> {
             r.node1_label, r.edge_label, r.node2_label
         );
     }
+    Ok(())
+}
+
+/// The perf-trajectory smoke bench: a synthetic patent-like dataset, one
+/// interactive pan trajectory, cold vs delta execution, written to a JSON
+/// file (`BENCH_pan.json` by default) so successive PRs can diff the
+/// numbers. Runs in seconds; CI executes it on every push.
+fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
+    use graphvizdb::prelude::{patent_like, CitationConfig};
+    use gvdb_bench::{pan_trajectory, prepare};
+    use gvdb_core::CacheConfig;
+    use std::time::Instant;
+
+    let out = flag(args, "--out").unwrap_or("BENCH_pan.json");
+    // Default dataset size is chosen so one viewport's heap pages exceed
+    // the default buffer pool: cold pans then pay real page I/O, which is
+    // exactly the regime the delta path exists for (and the paper's own
+    // setting — datasets far larger than the 6 GB MySQL cache).
+    let nodes: usize = match flag(args, "--nodes") {
+        Some(v) => v.parse().map_err(|_| format!("bad --nodes {v}"))?,
+        None => 12_000,
+    };
+    let pans: usize = match flag(args, "--pans") {
+        Some(v) => v.parse().map_err(|_| format!("bad --pans {v}"))?,
+        None => 40,
+    };
+    let overlap: f64 = match flag(args, "--overlap") {
+        Some(v) => v.parse().map_err(|_| format!("bad --overlap {v}"))?,
+        None => 0.8,
+    };
+    let side_frac: f64 = match flag(args, "--side") {
+        Some(v) => v.parse().map_err(|_| format!("bad --side {v}"))?,
+        None => 0.3,
+    };
+    if !(0.0..1.0).contains(&overlap) {
+        return Err(format!("--overlap must be in [0, 1), got {overlap}"));
+    }
+
+    let graph = patent_like(CitationConfig {
+        nodes,
+        avg_citations: 4.34,
+        ..Default::default()
+    });
+    eprintln!(
+        "bench-smoke: {} nodes, {} edges; preprocessing…",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let (db, _report, bounds, path) = prepare(&graph, "smoke");
+    let side = (bounds.width().min(bounds.height()) * side_frac).max(1.0);
+    let windows = pan_trajectory(&bounds, side, overlap, pans);
+
+    // Delta manager: the default incremental path. Cold manager: a second
+    // handle on the same file with partial hits disabled and a single
+    // one-entry cache shard (each insert evicts the previous window), so
+    // every query re-runs the full R-tree descent + heap fetch even if
+    // the trajectory ever revisits a window.
+    let qm_delta = QueryManager::new(db);
+    let qm_cold = QueryManager::with_cache_config(
+        GraphDb::open(Path::new(&path)).map_err(|e| e.to_string())?,
+        CacheConfig {
+            capacity: 1,
+            shards: 1,
+            min_delta_overlap: 2.0,
+            ..CacheConfig::default()
+        },
+    );
+
+    let mut cold_ms = Vec::with_capacity(windows.len());
+    let mut delta_ms = Vec::with_capacity(windows.len());
+    let mut cold_db = Vec::new();
+    let mut cold_json = Vec::new();
+    let mut delta_db = Vec::new();
+    let mut delta_json = Vec::new();
+    let (mut cold_fetched, mut delta_fetched, mut delta_reused) = (0u64, 0u64, 0u64);
+    let cold_pool0 = qm_cold.pool_stats();
+    let delta_pool0 = qm_delta.pool_stats();
+    for (i, w) in windows.iter().enumerate() {
+        let t = Instant::now();
+        let cold = qm_cold.window_query(0, w).map_err(|e| e.to_string())?;
+        cold_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        cold_fetched += cold.rows_fetched as u64;
+        cold_db.push(cold.db_ms);
+        cold_json.push(cold.build_json_ms);
+        if cold.delta || cold.cache_hit {
+            return Err(format!("pan {i}: cold baseline was served from cache"));
+        }
+
+        let t = Instant::now();
+        let delta = qm_delta.window_query(0, w).map_err(|e| e.to_string())?;
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if i > 0 {
+            // The first query has no anchor; it is cold by definition and
+            // excluded from the delta series.
+            delta_ms.push(ms);
+            delta_fetched += delta.rows_fetched as u64;
+            delta_reused += delta.rows_reused as u64;
+            delta_db.push(delta.db_ms);
+            delta_json.push(delta.build_json_ms);
+            if !delta.delta {
+                eprintln!("warning: pan {i} did not take the delta path");
+            }
+        }
+        if delta.rows != cold.rows {
+            return Err(format!("pan {i}: delta result diverged from cold"));
+        }
+    }
+    let cold_pool = qm_cold.pool_stats().since(&cold_pool0);
+    let delta_pool = qm_delta.pool_stats().since(&delta_pool0);
+
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs[xs.len() / 2]
+        }
+    };
+    let cold_median = median(&mut cold_ms);
+    let delta_median = median(&mut delta_ms);
+    let speedup = if delta_median > 0.0 {
+        cold_median / delta_median
+    } else {
+        f64::INFINITY
+    };
+
+    let json = format!(
+        "{{\n  \"dataset\": \"patent_like\",\n  \"nodes\": {},\n  \"edges\": {},\n  \"pans\": {},\n  \"overlap\": {:.2},\n  \"window_side\": {:.1},\n  \"cold\": {{ \"median_ms\": {:.4}, \"db_ms\": {:.4}, \"json_ms\": {:.4}, \"rows_fetched\": {} }},\n  \"delta\": {{ \"median_ms\": {:.4}, \"db_ms\": {:.4}, \"json_ms\": {:.4}, \"rows_fetched\": {}, \"rows_reused\": {} }},\n  \"speedup\": {:.2},\n  \"pool_hit_rate\": {{ \"cold\": {:.4}, \"delta\": {:.4} }}\n}}\n",
+        graph.node_count(),
+        graph.edge_count(),
+        pans,
+        overlap,
+        side,
+        cold_median,
+        median(&mut cold_db),
+        median(&mut cold_json),
+        cold_fetched,
+        delta_median,
+        median(&mut delta_db),
+        median(&mut delta_json),
+        delta_fetched,
+        delta_reused,
+        speedup,
+        cold_pool.hit_rate(),
+        delta_pool.hit_rate()
+    );
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("{json}");
+    println!(
+        "wrote {out}: delta {:.3} ms vs cold {:.3} ms median ({speedup:.1}x), {} vs {} rows fetched",
+        delta_median, cold_median, delta_fetched, cold_fetched
+    );
+    std::fs::remove_file(&path).ok();
     Ok(())
 }
 

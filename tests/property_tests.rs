@@ -98,11 +98,11 @@ proptest! {
     ) {
         let row = EdgeRow {
             node1_id: n1,
-            node1_label: l1,
+            node1_label: l1.into(),
             geometry: EdgeGeometry { x1, y1, x2, y2, directed },
-            edge_label: le,
+            edge_label: le.into(),
             node2_id: n2,
-            node2_label: l2,
+            node2_label: l2.into(),
         };
         let decoded = EdgeRow::decode(&row.encode()).unwrap();
         prop_assert_eq!(decoded, row);
@@ -120,13 +120,13 @@ proptest! {
                     RowId { page: PageId(1), slot: i as u16 },
                     EdgeRow {
                         node1_id: i as u64,
-                        node1_label: l.clone(),
+                        node1_label: l.as_str().into(),
                         geometry: EdgeGeometry {
                             x1: 0.0, y1: 0.0, x2: 1.0, y2: 1.0, directed: false,
                         },
-                        edge_label: l.clone(),
+                        edge_label: l.as_str().into(),
                         node2_id: (i + 1) as u64,
-                        node2_label: l.clone(),
+                        node2_label: l.as_str().into(),
                     },
                 )
             })
@@ -233,4 +233,71 @@ proptest! {
         slots.dedup();
         prop_assert_eq!(before, slots.len(), "two partitions share a slot");
     }
+
+    /// The incremental viewport engine is invisible to results: across a
+    /// randomized pan/zoom sequence, every delta-assembled
+    /// `WindowResponse` is row-for-row identical to a cold query of the
+    /// same window straight off the table, and its payload counts match a
+    /// cold build.
+    #[test]
+    fn delta_pan_equals_cold_query(
+        start_x in 0.0f64..3000.0,
+        start_y in 0.0f64..3000.0,
+        side in 500.0f64..2500.0,
+        moves in prop::collection::vec(
+            (-0.4f64..0.4, -0.4f64..0.4, prop::bool::ANY),
+            1..12
+        ),
+    ) {
+        let (qm, _) = &*PAN_DB;
+        let mut session = Session::new(Rect::new(
+            start_x,
+            start_y,
+            start_x + side,
+            start_y + side,
+        ));
+        for &(dx, dy, zoom_too) in &moves {
+            session.pan(dx * side, dy * side);
+            if zoom_too {
+                // Mild zooms keep the overlap in delta range.
+                session.zoom_by(if dx > 0.0 { 1.1 } else { 0.9 });
+            }
+            let resp = session.view(qm).unwrap();
+            let cold = qm
+                .db()
+                .layer(session.layer())
+                .unwrap()
+                .window(qm.db().pool(), &session.window(), true)
+                .unwrap();
+            prop_assert_eq!(
+                &*resp.rows, &cold,
+                "delta result diverged from cold (window {:?})",
+                session.window()
+            );
+            let cold_json = build_graph_json(&cold);
+            prop_assert_eq!(resp.json.edge_count, cold_json.edge_count);
+            prop_assert_eq!(resp.json.node_count, cold_json.node_count);
+            prop_assert_eq!(resp.json.byte_len(), cold_json.byte_len());
+        }
+    }
 }
+
+/// One shared database for the pan-equivalence property: built once, the
+/// window cache accumulates entries across cases so delta queries anchor
+/// on a rich mix of earlier windows.
+static PAN_DB: std::sync::LazyLock<(QueryManager, std::path::PathBuf)> =
+    std::sync::LazyLock::new(|| {
+        let g = planted_partition(4, 60, 6.0, 0.5, 7);
+        let mut path = std::env::temp_dir();
+        path.push(format!("gvdb-prop-pan-{}.db", std::process::id()));
+        let (db, _) = graphvizdb::core::preprocess(
+            &g,
+            &path,
+            &graphvizdb::core::PreprocessConfig {
+                k: Some(4),
+                ..Default::default()
+            },
+        )
+        .expect("preprocess");
+        (QueryManager::new(db), path)
+    });
