@@ -176,6 +176,44 @@ pub fn scale_from_env() -> u64 {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1000)
 }
+/// Thread counts swept by the concurrent-read harnesses (the
+/// `concurrent_reads` criterion bench and the `gvdb bench-smoke`
+/// concurrency phase — both must measure the same workload).
+pub const CONCURRENCY_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Distinct windows each reader thread cycles through in those
+/// harnesses.
+pub const CONCURRENCY_WINDOWS_PER_THREAD: usize = 8;
+
+/// Window side for the concurrent-read harnesses: small enough that
+/// every thread's entries fit the window cache, so the cached variant
+/// really measures the hit path.
+pub fn concurrency_window_side(bounds: &Rect) -> f64 {
+    (bounds.width().min(bounds.height()) * 0.08).max(1.0)
+}
+
+/// Reader thread `t`'s `i`-th window for the concurrent-read harnesses:
+/// deterministic, disjoint from other threads' sets, inside `bounds`.
+pub fn concurrency_window(bounds: &Rect, side: f64, t: usize, i: usize) -> Rect {
+    let fx = ((t * 131 + i * 29) % 97) as f64 / 97.0;
+    let fy = ((t * 53 + i * 71) % 89) as f64 / 89.0;
+    let x = bounds.min_x + fx * (bounds.width() - side).max(0.0);
+    let y = bounds.min_y + fy * (bounds.height() - side).max(0.0);
+    Rect::new(x, y, x + side, y + side)
+}
+
+/// The true-cold-baseline cache configuration shared by every bench
+/// that measures the uncached path: one single-shard entry (each
+/// insert evicts the previous window) and the delta path disabled, so
+/// every query re-runs the full R-tree descent + heap fetch.
+pub fn uncached_cache_config() -> gvdb_core::CacheConfig {
+    gvdb_core::CacheConfig {
+        capacity: 1,
+        shards: 1,
+        min_delta_overlap: 2.0,
+        ..gvdb_core::CacheConfig::default()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -36,10 +36,18 @@
 //!   ([`WindowCache::invalidate_layer`]); raw `QueryManager::db_mut`
 //!   access clears everything. Either way a stale row can never be
 //!   served after an edit.
+//! * **Epoch validation** — every entry records the *edit epoch* of its
+//!   layer at the time its rows were read (see
+//!   `QueryManager::layer_epoch`). Lookups pass the current epoch and an
+//!   entry whose epoch differs is treated as a miss and pruned, so even
+//!   an entry inserted by a query that raced an edit (computed before the
+//!   edit, inserted after the invalidation swept the shard) can never be
+//!   served: its recorded epoch is behind the layer's.
 //!
 //! Hits, partial hits and misses are counted globally
 //! ([`WindowCache::stats`]) and surfaced per-response through
-//! `WindowResponse::cache_hit` / `WindowResponse::delta`.
+//! `WindowResponse::cache_hit` / `WindowResponse::delta`; per-shard
+//! occupancy is reported by [`WindowCache::shard_stats`].
 
 use crate::json::GraphJson;
 use gvdb_storage::{EdgeRow, RowId};
@@ -113,6 +121,15 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// Per-shard occupancy snapshot (see [`WindowCache::shard_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Entries currently cached in this shard.
+    pub entries: usize,
+    /// Approximate bytes held by this shard's entries.
+    pub bytes: usize,
 }
 
 /// A cached window-query result: the DB rows and the client payload built
@@ -195,6 +212,9 @@ struct Entry {
     /// lookup (collision-proof), and intersected with incoming windows by
     /// the overlap scan of the delta path.
     rect: Rect,
+    /// The layer's edit epoch when this entry's rows were read. An entry
+    /// is only served while its layer is still at this epoch.
+    epoch: u64,
     /// Last-touched tick (shard-local LRU clock).
     tick: u64,
     /// Cached [`CachedWindow::approx_bytes`] (stable for an entry's life).
@@ -293,9 +313,11 @@ impl WindowCache {
         ]
     }
 
-    /// Look up `(layer, window)`; counts a hit or miss.
-    pub fn get(&self, layer: usize, window: &Rect) -> Option<CachedWindow> {
-        match self.peek(layer, window) {
+    /// Look up `(layer, window)` at the layer's current edit `epoch`;
+    /// counts a hit or miss. An entry recorded at a different epoch is a
+    /// miss (and is pruned — its rows predate an edit).
+    pub fn get(&self, layer: usize, window: &Rect, epoch: u64) -> Option<CachedWindow> {
+        match self.peek(layer, window, epoch) {
             Some(value) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
@@ -309,8 +331,10 @@ impl WindowCache {
 
     /// Exact lookup without touching the hit/miss counters (the delta
     /// path probes its anchor window this way before deciding how to
-    /// account the query). Refreshes the entry's LRU position.
-    pub fn peek(&self, layer: usize, window: &Rect) -> Option<CachedWindow> {
+    /// account the query). Refreshes the entry's LRU position. Entries
+    /// whose recorded epoch differs from `epoch` are pruned, never
+    /// returned.
+    pub fn peek(&self, layer: usize, window: &Rect, epoch: u64) -> Option<CachedWindow> {
         let key = self.key(layer, window);
         let exact = Self::exact_bits(window);
         let mut shard = self
@@ -321,6 +345,12 @@ impl WindowCache {
         let tick = shard.clock;
         if let Some(entry) = shard.map.get_mut(&key) {
             if Self::exact_bits(&entry.rect) == exact {
+                if entry.epoch != epoch {
+                    if let Some(stale) = shard.map.remove(&key) {
+                        shard.bytes -= stale.bytes;
+                    }
+                    return None;
+                }
                 entry.tick = tick;
                 return Some(entry.value.clone());
             }
@@ -347,6 +377,7 @@ impl WindowCache {
         &self,
         layer: usize,
         window: &Rect,
+        epoch: u64,
         min_fraction: f64,
     ) -> Option<(Rect, CachedWindow)> {
         let area = window.area();
@@ -357,7 +388,7 @@ impl WindowCache {
         for (idx, shard) in self.shards.iter().enumerate() {
             let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
             for (key, entry) in shard.map.iter() {
-                if key.layer != layer {
+                if key.layer != layer || entry.epoch != epoch {
                     continue;
                 }
                 let covered = entry.rect.intersection_area(window) / area;
@@ -380,13 +411,13 @@ impl WindowCache {
         Some((rect, value))
     }
 
-    /// Insert a result for `(layer, window)`, evicting least-recently-used
-    /// entries while the shard is over its entry or byte budget. A result
-    /// that alone exceeds the shard's byte budget is not cached at all —
-    /// caching it would evict everything else for one query that will
-    /// rarely repeat. A quantized-key collision overwrites (newest exact
-    /// window wins).
-    pub fn insert(&self, layer: usize, window: &Rect, value: CachedWindow) {
+    /// Insert a result for `(layer, window)` computed at the layer's edit
+    /// `epoch`, evicting least-recently-used entries while the shard is
+    /// over its entry or byte budget. A result that alone exceeds the
+    /// shard's byte budget is not cached at all — caching it would evict
+    /// everything else for one query that will rarely repeat. A
+    /// quantized-key collision overwrites (newest exact window wins).
+    pub fn insert(&self, layer: usize, window: &Rect, epoch: u64, value: CachedWindow) {
         let bytes = value.approx_bytes();
         if bytes > self.per_shard_bytes {
             return;
@@ -410,6 +441,7 @@ impl WindowCache {
             key,
             Entry {
                 rect: *window,
+                epoch,
                 tick,
                 bytes,
                 value,
@@ -458,6 +490,22 @@ impl WindowCache {
             });
             shard.bytes -= freed;
         }
+    }
+
+    /// Per-shard occupancy (index = shard). Sums to the `entries`/`bytes`
+    /// of [`WindowCache::stats`]; the spread shows whether window traffic
+    /// is striping evenly across shard locks.
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().unwrap_or_else(|e| e.into_inner());
+                CacheShardStats {
+                    entries: s.map.len(),
+                    bytes: s.bytes,
+                }
+            })
+            .collect()
     }
 
     /// Current counters.
@@ -531,9 +579,9 @@ mod tests {
     fn hit_after_insert_miss_before() {
         let cache = WindowCache::default();
         let w = Rect::new(0.0, 0.0, 100.0, 100.0);
-        assert!(cache.get(0, &w).is_none());
-        cache.insert(0, &w, cached(3));
-        let hit = cache.get(0, &w).expect("hit");
+        assert!(cache.get(0, &w, 0).is_none());
+        cache.insert(0, &w, 0, cached(3));
+        let hit = cache.get(0, &w, 0).expect("hit");
         assert_eq!(hit.rows.len(), 3);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
@@ -544,9 +592,9 @@ mod tests {
     fn layer_is_part_of_the_key() {
         let cache = WindowCache::default();
         let w = Rect::new(0.0, 0.0, 10.0, 10.0);
-        cache.insert(0, &w, cached(1));
-        assert!(cache.get(1, &w).is_none());
-        assert!(cache.get(0, &w).is_some());
+        cache.insert(0, &w, 0, cached(1));
+        assert!(cache.get(1, &w, 0).is_none());
+        assert!(cache.get(0, &w, 0).is_some());
     }
 
     #[test]
@@ -559,9 +607,12 @@ mod tests {
         });
         let a = Rect::new(0.0, 0.0, 10.0, 10.0);
         let b = Rect::new(0.1, 0.1, 10.1, 10.1); // same quantized key
-        cache.insert(0, &a, cached(5));
-        assert!(cache.get(0, &b).is_none(), "exact-window check must reject");
-        assert!(cache.get(0, &a).is_some());
+        cache.insert(0, &a, 0, cached(5));
+        assert!(
+            cache.get(0, &b, 0).is_none(),
+            "exact-window check must reject"
+        );
+        assert!(cache.get(0, &a, 0).is_some());
     }
 
     #[test]
@@ -573,15 +624,15 @@ mod tests {
         });
         let w = |i: usize| Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0);
         for i in 0..4 {
-            cache.insert(0, &w(i), cached(i + 1));
+            cache.insert(0, &w(i), 0, cached(i + 1));
         }
         // Touch 0 so 1 becomes the LRU, then overflow.
-        assert!(cache.get(0, &w(0)).is_some());
-        cache.insert(0, &w(4), cached(5));
+        assert!(cache.get(0, &w(0), 0).is_some());
+        cache.insert(0, &w(4), 0, cached(5));
         assert_eq!(cache.stats().entries, 4);
-        assert!(cache.get(0, &w(1)).is_none(), "LRU entry evicted");
-        assert!(cache.get(0, &w(0)).is_some(), "recently used survives");
-        assert!(cache.get(0, &w(4)).is_some(), "new entry present");
+        assert!(cache.get(0, &w(1), 0).is_none(), "LRU entry evicted");
+        assert!(cache.get(0, &w(0), 0).is_some(), "recently used survives");
+        assert!(cache.get(0, &w(4), 0).is_some(), "new entry present");
     }
 
     #[test]
@@ -589,28 +640,28 @@ mod tests {
         let cache = WindowCache::default();
         let a = Rect::new(0.0, 0.0, 10.0, 10.0);
         let b = Rect::new(5.0, 0.0, 15.0, 10.0);
-        cache.insert(0, &a, cached(3));
-        cache.insert(0, &b, cached(4));
+        cache.insert(0, &a, 0, cached(3));
+        cache.insert(0, &b, 0, cached(4));
         // A window mostly inside `b`.
         let w = Rect::new(6.0, 0.0, 14.0, 10.0);
-        let (anchor, value) = cache.best_overlap(0, &w, 0.5).expect("partial hit");
+        let (anchor, value) = cache.best_overlap(0, &w, 0, 0.5).expect("partial hit");
         assert_eq!(anchor, b);
         assert_eq!(value.rows.len(), 4);
         assert_eq!(cache.stats().partial_hits, 1);
         // Wrong layer: nothing.
-        assert!(cache.best_overlap(1, &w, 0.5).is_none());
+        assert!(cache.best_overlap(1, &w, 0, 0.5).is_none());
         // Fraction threshold respected.
         let far = Rect::new(100.0, 100.0, 110.0, 110.0);
-        assert!(cache.best_overlap(0, &far, 0.1).is_none());
+        assert!(cache.best_overlap(0, &far, 0, 0.1).is_none());
     }
 
     #[test]
     fn peek_does_not_count() {
         let cache = WindowCache::default();
         let w = Rect::new(0.0, 0.0, 5.0, 5.0);
-        assert!(cache.peek(0, &w).is_none());
-        cache.insert(0, &w, cached(2));
-        assert!(cache.peek(0, &w).is_some());
+        assert!(cache.peek(0, &w, 0).is_none());
+        cache.insert(0, &w, 0, cached(2));
+        assert!(cache.peek(0, &w, 0).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0));
     }
@@ -623,6 +674,7 @@ mod tests {
                 cache.insert(
                     layer,
                     &Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0),
+                    0,
                     cached(2),
                 );
             }
@@ -633,21 +685,26 @@ mod tests {
         let after = cache.stats();
         assert_eq!(after.entries, 16, "only layer 1's entries dropped");
         assert!(after.bytes < before.bytes);
-        assert!(cache.get(1, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_none());
-        assert!(cache.get(0, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_some());
-        assert!(cache.get(2, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_some());
+        assert!(cache.get(1, &Rect::new(0.0, 0.0, 1.0, 1.0), 0).is_none());
+        assert!(cache.get(0, &Rect::new(0.0, 0.0, 1.0, 1.0), 0).is_some());
+        assert!(cache.get(2, &Rect::new(0.0, 0.0, 1.0, 1.0), 0).is_some());
     }
 
     #[test]
     fn invalidate_all_clears_every_shard() {
         let cache = WindowCache::default();
         for i in 0..32 {
-            cache.insert(0, &Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0), cached(1));
+            cache.insert(
+                0,
+                &Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0),
+                0,
+                cached(1),
+            );
         }
         assert!(cache.stats().entries > 0);
         cache.invalidate_all();
         assert_eq!(cache.stats().entries, 0);
-        assert!(cache.get(0, &Rect::new(0.0, 0.0, 1.0, 1.0)).is_none());
+        assert!(cache.get(0, &Rect::new(0.0, 0.0, 1.0, 1.0), 0).is_none());
     }
 
     #[test]
@@ -662,7 +719,7 @@ mod tests {
         });
         let w = |i: usize| Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0);
         for i in 0..6 {
-            cache.insert(0, &w(i), cached(10));
+            cache.insert(0, &w(i), 0, cached(10));
         }
         let stats = cache.stats();
         assert!(
@@ -673,17 +730,17 @@ mod tests {
         assert!(stats.bytes <= one_entry_bytes * 3);
         // An entry alone bigger than the whole budget is refused outright.
         cache.invalidate_all();
-        cache.insert(0, &w(0), cached(1_000));
+        cache.insert(0, &w(0), 0, cached(1_000));
         assert_eq!(cache.stats().entries, 0, "oversized result not cached");
         // ...but normal entries still cache afterwards.
-        cache.insert(0, &w(1), cached(10));
-        assert!(cache.get(0, &w(1)).is_some());
+        cache.insert(0, &w(1), 0, cached(10));
+        assert!(cache.get(0, &w(1), 0).is_some());
     }
 
     #[test]
     fn invalidate_resets_byte_accounting() {
         let cache = WindowCache::default();
-        cache.insert(0, &Rect::new(0.0, 0.0, 1.0, 1.0), cached(20));
+        cache.insert(0, &Rect::new(0.0, 0.0, 1.0, 1.0), 0, cached(20));
         assert!(cache.stats().bytes > 0);
         cache.invalidate_all();
         assert_eq!(cache.stats().bytes, 0);
@@ -693,22 +750,22 @@ mod tests {
     fn whole_plane_windows_do_not_overflow() {
         let cache = WindowCache::default();
         let w = Rect::new(-1e12, -1e12, 1e12, 1e12);
-        cache.insert(3, &w, cached(2));
-        assert!(cache.get(3, &w).is_some());
+        cache.insert(3, &w, 0, cached(2));
+        assert!(cache.get(3, &w, 0).is_some());
     }
 
     #[test]
     fn concurrent_hammering_is_consistent() {
         let cache = Arc::new(WindowCache::default());
         let w = Rect::new(0.0, 0.0, 50.0, 50.0);
-        cache.insert(0, &w, cached(7));
+        cache.insert(0, &w, 0, cached(7));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let cache = cache.clone();
                 std::thread::spawn(move || {
                     let w = Rect::new(0.0, 0.0, 50.0, 50.0);
                     for _ in 0..500 {
-                        let hit = cache.get(0, &w).expect("entry stays");
+                        let hit = cache.get(0, &w, 0).expect("entry stays");
                         assert_eq!(hit.rows.len(), 7);
                     }
                 })
@@ -718,5 +775,49 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(cache.stats().hits, 8 * 500);
+    }
+
+    #[test]
+    fn stale_epoch_entry_is_a_miss_and_pruned() {
+        let cache = WindowCache::default();
+        let w = Rect::new(0.0, 0.0, 100.0, 100.0);
+        cache.insert(0, &w, 3, cached(4));
+        assert!(cache.get(0, &w, 3).is_some(), "matching epoch serves");
+        // An edit bumped the layer to epoch 4: the entry must never be
+        // served again, and the probe prunes it.
+        assert!(cache.get(0, &w, 4).is_none(), "stale epoch rejected");
+        assert_eq!(cache.stats().entries, 0, "stale entry pruned");
+        // Same for the overlap scan of the delta path.
+        cache.insert(0, &w, 3, cached(4));
+        let probe = Rect::new(10.0, 0.0, 110.0, 100.0);
+        assert!(cache.best_overlap(0, &probe, 3, 0.5).is_some());
+        assert!(
+            cache.best_overlap(0, &probe, 4, 0.5).is_none(),
+            "delta anchors must be epoch-checked too"
+        );
+    }
+
+    #[test]
+    fn shard_stats_sum_to_totals() {
+        let cache = WindowCache::default();
+        for i in 0..24 {
+            cache.insert(
+                0,
+                &Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0),
+                0,
+                cached(2),
+            );
+        }
+        let total = cache.stats();
+        let shards = cache.shard_stats();
+        assert_eq!(
+            shards.iter().map(|s| s.entries).sum::<usize>(),
+            total.entries
+        );
+        assert_eq!(shards.iter().map(|s| s.bytes).sum::<usize>(), total.bytes);
+        assert!(
+            shards.iter().filter(|s| s.entries > 0).count() > 1,
+            "entries must stripe across shards"
+        );
     }
 }

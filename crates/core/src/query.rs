@@ -21,19 +21,36 @@
 //!   of rebuilt. [`WindowResponse::rows_reused`] /
 //!   [`WindowResponse::rows_fetched`] report the split.
 //!
-//! Edits through the layer-aware [`QueryManager::insert_row`] /
-//! [`QueryManager::delete_row`] invalidate only the edited layer's cached
-//! windows; raw mutable access through [`QueryManager::db_mut`] cannot
-//! know the target layer and invalidates the entire cache. Either way an
-//! edit is never masked by a stale entry.
+//! ## Shared edits and epochs
+//!
+//! The manager is **shared for writes too**: edits go through the
+//! layer-aware [`QueryManager::insert_row`] / [`QueryManager::delete_row`]
+//! (both `&self`), which take the internal [`RwLock`]'s write guard,
+//! mutate the database, bump the layer's monotonically increasing **edit
+//! epoch** and invalidate that layer's cached windows. Readers take the
+//! read guard — so N window queries run concurrently with each other and
+//! are serialized only against an in-flight edit. Every response records
+//! the epoch it is consistent with ([`WindowResponse::epoch`]), and every
+//! cache entry records the epoch its rows were read at; a lookup only
+//! serves an entry whose epoch matches the layer's current one, so a
+//! racing edit can never be masked by a stale cached or delta-merged
+//! window. Raw access through [`QueryManager::db_mut`] (exclusive `&mut`)
+//! or [`QueryManager::edit_db`] (shared, write-locked) cannot know the
+//! target layer and therefore bumps every epoch and clears the whole
+//! cache.
 
-use crate::cache::{CacheConfig, CacheStats, CachedWindow, WindowCache};
+use crate::cache::{CacheConfig, CacheShardStats, CacheStats, CachedWindow, WindowCache};
 use crate::client::{ClientCost, ClientModel};
 use crate::json::{build_graph_json, GraphJson};
 use gvdb_spatial::{Point, Rect};
 use gvdb_storage::{EdgeRow, GraphDb, LayerTable, PoolStats, Result, RowId, StorageError};
+use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The read guard handed out by [`QueryManager::db`]. Holding it keeps
+/// edits out; drop it promptly.
+pub type DbReadGuard<'a> = parking_lot::RwLockReadGuard<'a, GraphDb>;
 
 /// Minimum fraction of a requested window that a cached window must cover
 /// for the delta path to engage. Below this the strips are so large that
@@ -59,6 +76,11 @@ pub struct WindowResponse {
     /// Cache lookup time (ms); on a hit this replaces `db_ms` +
     /// `build_json_ms` as the server-side cost.
     pub cache_ms: f64,
+    /// The edit epoch of the queried layer this response is consistent
+    /// with: the rows reflect exactly the edits applied before the epoch
+    /// reached this value, and none after (see
+    /// [`QueryManager::layer_epoch`]).
+    pub epoch: u64,
     /// Whether this response was served whole from the window cache.
     pub cache_hit: bool,
     /// Whether this response was assembled by the delta path: an
@@ -102,9 +124,18 @@ pub struct SearchHit {
 }
 
 /// The server-side query engine over a preprocessed database.
+///
+/// Shared by reference between any number of reader threads *and*
+/// writers: reads take the internal lock's read guard, edits its write
+/// guard (see the module docs for the epoch protocol).
 #[derive(Debug)]
 pub struct QueryManager {
-    db: GraphDb,
+    db: RwLock<GraphDb>,
+    /// Per-layer edit epochs. Grown on demand; guarded by its own tiny
+    /// lock, always acquired *after* `db` (readers: `db.read()` then
+    /// `epochs.read()`; writers: `db.write()` then `epochs.write()`), so
+    /// the pair can never deadlock.
+    epochs: RwLock<Vec<u64>>,
     client: ClientModel,
     cache: WindowCache,
 }
@@ -112,62 +143,114 @@ pub struct QueryManager {
 impl QueryManager {
     /// Wrap a database with the default client model and cache.
     pub fn new(db: GraphDb) -> Self {
-        QueryManager {
-            db,
-            client: ClientModel::default(),
-            cache: WindowCache::default(),
-        }
+        Self::build(db, ClientModel::default(), WindowCache::default())
     }
 
     /// Wrap with an explicit client model.
     pub fn with_client(db: GraphDb, client: ClientModel) -> Self {
-        QueryManager {
-            db,
-            client,
-            cache: WindowCache::default(),
-        }
+        Self::build(db, client, WindowCache::default())
     }
 
     /// Wrap with an explicit window-cache configuration. A zero-capacity
     /// configuration is clamped to one entry; to measure the uncached
     /// path, query distinct windows instead.
     pub fn with_cache_config(db: GraphDb, config: CacheConfig) -> Self {
+        Self::build(db, ClientModel::default(), WindowCache::new(config))
+    }
+
+    fn build(db: GraphDb, client: ClientModel, cache: WindowCache) -> Self {
+        let epochs = vec![0u64; db.layer_count()];
         QueryManager {
-            db,
-            client: ClientModel::default(),
-            cache: WindowCache::new(config),
+            db: RwLock::new(db),
+            epochs: RwLock::new(epochs),
+            client,
+            cache,
         }
     }
 
-    /// The underlying database.
-    pub fn db(&self) -> &GraphDb {
-        &self.db
+    /// Shared read access to the underlying database. The guard blocks
+    /// writers while held — take it once per batch of lookups and drop
+    /// it, rather than calling `db()` repeatedly in one expression.
+    pub fn db(&self) -> DbReadGuard<'_> {
+        self.db.read()
     }
 
-    /// Mutable database access (edit operations). Invalidates the
-    /// **whole** window cache — raw access cannot know which layer will
-    /// be mutated. Edits that know their layer should go through
-    /// [`QueryManager::insert_row`] / [`QueryManager::delete_row`], which
-    /// invalidate only that layer's cached windows.
+    /// Exclusive mutable database access (requires `&mut self`, so no
+    /// reader can exist concurrently). Invalidates the **whole** window
+    /// cache and bumps **every** layer's epoch — raw access cannot know
+    /// which layer will be mutated. Edits that know their layer should go
+    /// through [`QueryManager::insert_row`] / [`QueryManager::delete_row`],
+    /// which are `&self` and invalidate only that layer.
     pub fn db_mut(&mut self) -> &mut GraphDb {
         self.cache.invalidate_all();
-        &mut self.db
+        let db = self.db.get_mut();
+        Self::bump_all_epochs(&self.epochs, db.layer_count());
+        db
+    }
+
+    /// Bump every layer's epoch (growing the table to `layer_count`):
+    /// the raw-access invalidation step shared by [`QueryManager::db_mut`]
+    /// and [`QueryManager::edit_db`]. Called with exclusive database
+    /// access (the `&mut` borrow or the write guard).
+    fn bump_all_epochs(epochs: &RwLock<Vec<u64>>, layer_count: usize) {
+        let mut epochs = epochs.write();
+        let len = epochs.len().max(layer_count);
+        epochs.resize(len, 0);
+        for e in epochs.iter_mut() {
+            *e += 1;
+        }
+    }
+
+    /// Shared-reference equivalent of [`QueryManager::db_mut`]: run `f`
+    /// under the write lock (readers drained and blocked for the
+    /// duration), then bump every epoch and clear the cache. Prefer the
+    /// layer-scoped edit methods when the mutated layer is known.
+    pub fn edit_db<R>(&self, f: impl FnOnce(&mut GraphDb) -> R) -> R {
+        let mut db = self.db.write();
+        let out = f(&mut db);
+        Self::bump_all_epochs(&self.epochs, db.layer_count());
+        self.cache.invalidate_all();
+        out
     }
 
     /// Edit path: insert a row into `layer`, invalidating only that
-    /// layer's cached windows. Cached windows of other layers stay warm —
-    /// each layer is an independent table, so they can never serve stale
-    /// rows for this edit.
-    pub fn insert_row(&mut self, layer: usize, row: &EdgeRow) -> Result<RowId> {
+    /// layer's cached windows and bumping only its epoch. Cached windows
+    /// of other layers stay warm — each layer is an independent table, so
+    /// they can never serve stale rows for this edit. Concurrent readers
+    /// are blocked only for the duration of the row insert itself.
+    pub fn insert_row(&self, layer: usize, row: &EdgeRow) -> Result<RowId> {
+        let mut db = self.db.write();
+        let rid = db.insert_row(layer, row)?;
+        self.bump_epoch(layer);
         self.cache.invalidate_layer(layer);
-        self.db.insert_row(layer, row)
+        Ok(rid)
     }
 
     /// Edit path: delete a row from `layer`, invalidating only that
     /// layer's cached windows (see [`QueryManager::insert_row`]).
-    pub fn delete_row(&mut self, layer: usize, rid: RowId) -> Result<()> {
+    pub fn delete_row(&self, layer: usize, rid: RowId) -> Result<()> {
+        let mut db = self.db.write();
+        db.delete_row(layer, rid)?;
+        self.bump_epoch(layer);
         self.cache.invalidate_layer(layer);
-        self.db.delete_row(layer, rid)
+        Ok(())
+    }
+
+    /// The current edit epoch of `layer`: incremented once per completed
+    /// edit on that layer (never-edited layers are at 0). A
+    /// [`WindowResponse`] whose [`WindowResponse::epoch`] equals this
+    /// value is consistent with the layer's latest state.
+    pub fn layer_epoch(&self, layer: usize) -> u64 {
+        self.epochs.read().get(layer).copied().unwrap_or(0)
+    }
+
+    /// Increment `layer`'s epoch (called with the `db` write guard held).
+    fn bump_epoch(&self, layer: usize) {
+        let mut epochs = self.epochs.write();
+        if layer >= epochs.len() {
+            epochs.resize(layer + 1, 0);
+        }
+        epochs[layer] += 1;
     }
 
     /// Window-cache hit/miss/occupancy counters.
@@ -175,11 +258,23 @@ impl QueryManager {
         self.cache.stats()
     }
 
+    /// Per-shard window-cache occupancy (see
+    /// [`WindowCache::shard_stats`]).
+    pub fn cache_shard_stats(&self) -> Vec<CacheShardStats> {
+        self.cache.shard_stats()
+    }
+
     /// Buffer-pool counters (page pins served from memory vs disk) —
     /// difference two snapshots around a query to see what it cost in
     /// page accesses.
     pub fn pool_stats(&self) -> PoolStats {
-        self.db.pool().stats().snapshot()
+        self.db.read().pool().stats().snapshot()
+    }
+
+    /// Per-shard buffer-pool counters (index = pool shard); sums to
+    /// [`QueryManager::pool_stats`].
+    pub fn pool_shard_stats(&self) -> Vec<PoolStats> {
+        self.db.read().pool().shard_stats()
     }
 
     /// The client cost model responses are priced with.
@@ -189,7 +284,7 @@ impl QueryManager {
 
     /// Number of abstraction layers.
     pub fn layer_count(&self) -> usize {
-        self.db.layer_count()
+        self.db.read().layer_count()
     }
 
     /// Interactive navigation: evaluate a window query on `layer` and
@@ -214,15 +309,19 @@ impl QueryManager {
         window: &Rect,
         anchor: Option<&Rect>,
     ) -> Result<WindowResponse> {
+        // The read guard is held for the whole query: edits are fenced
+        // out, so the epoch loaded below is exact for everything this
+        // query reads, caches and returns.
+        let db = self.db.read();
         // Resolve the layer before consulting the cache so an invalid
         // layer is an error, not a counted miss.
-        let table = self
-            .db
+        let table = db
             .layer(layer)
             .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let epoch = self.layer_epoch(layer);
 
         let t = Instant::now();
-        if let Some(CachedWindow { rows, json, .. }) = self.cache.get(layer, window) {
+        if let Some(CachedWindow { rows, json, .. }) = self.cache.get(layer, window, epoch) {
             // Arc handles shared with the cache entry: no payload copy.
             let cache_ms = t.elapsed().as_secs_f64() * 1e3;
             let rows_reused = rows.len();
@@ -233,6 +332,7 @@ impl QueryManager {
                 db_ms: 0.0,
                 build_json_ms: 0.0,
                 cache_ms,
+                epoch,
                 cache_hit: true,
                 delta: false,
                 rows_reused,
@@ -242,27 +342,32 @@ impl QueryManager {
         }
         // Partial hit: prefer the caller's anchor if it is still cached
         // and covers enough of the new window; otherwise scan for the
-        // best overlapping entry.
-        let base = self.anchored_base(layer, window, anchor).or_else(|| {
-            self.cache
-                .best_overlap(layer, window, self.cache.min_delta_overlap())
-        });
+        // best overlapping entry. Both probes are epoch-checked, so an
+        // anchor from before an edit can never seed the delta path.
+        let base = self
+            .anchored_base(layer, window, epoch, anchor)
+            .or_else(|| {
+                self.cache
+                    .best_overlap(layer, window, epoch, self.cache.min_delta_overlap())
+            });
         let cache_ms = t.elapsed().as_secs_f64() * 1e3;
 
         match base {
             Some((old_rect, old)) => {
-                self.delta_window_query(table, layer, window, &old_rect, &old, cache_ms)
+                self.delta_window_query(&db, table, layer, epoch, window, &old_rect, &old, cache_ms)
             }
-            None => self.cold_window_query(table, layer, window, cache_ms),
+            None => self.cold_window_query(&db, table, layer, epoch, window, cache_ms),
         }
     }
 
     /// The caller-supplied anchor as a delta base, if its entry survives
-    /// in the cache and covers at least [`MIN_DELTA_OVERLAP`] of `window`.
+    /// in the cache at the current `epoch` and covers at least
+    /// [`MIN_DELTA_OVERLAP`] of `window`.
     fn anchored_base(
         &self,
         layer: usize,
         window: &Rect,
+        epoch: u64,
         anchor: Option<&Rect>,
     ) -> Option<(Rect, CachedWindow)> {
         let a = anchor?;
@@ -270,24 +375,27 @@ impl QueryManager {
         if area <= 0.0 || a.intersection_area(window) / area < self.cache.min_delta_overlap() {
             return None;
         }
-        let value = self.cache.peek(layer, a)?;
+        let value = self.cache.peek(layer, a, epoch)?;
         self.cache.count_partial_hit();
         Some((*a, value))
     }
 
     /// The uncached path: full R-tree descent + batched heap fetch + full
     /// JSON build.
+    #[allow(clippy::too_many_arguments)]
     fn cold_window_query(
         &self,
+        db: &GraphDb,
         table: &LayerTable,
         layer: usize,
+        epoch: u64,
         window: &Rect,
         cache_ms: f64,
     ) -> Result<WindowResponse> {
         let t = Instant::now();
-        let candidates = table.window_rids(self.db.pool(), window)?;
+        let candidates = table.window_rids(db.pool(), window)?;
         let rows_fetched = candidates.len();
-        let mut rows = table.fetch_many(self.db.pool(), &candidates)?;
+        let mut rows = table.fetch_many(db.pool(), &candidates)?;
         rows.retain(|(_, row)| row.geometry.segment().intersects_rect(window));
         let rows = Arc::new(rows);
         let db_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -313,6 +421,7 @@ impl QueryManager {
         self.cache.insert(
             layer,
             window,
+            epoch,
             CachedWindow {
                 node_refs: Arc::new(node_refs),
                 rids: Arc::new(rids),
@@ -328,6 +437,7 @@ impl QueryManager {
             db_ms,
             build_json_ms,
             cache_ms,
+            epoch,
             cache_hit: false,
             delta: false,
             rows_reused: 0,
@@ -361,16 +471,19 @@ impl QueryManager {
     ///    [`GraphJson::retain`] (drop departed edges + orphaned nodes)
     ///    and [`GraphJson::merge`] (splice in the fetched rows'
     ///    fragments, deduplicating nodes), all by indexed `memcpy`.
+    #[allow(clippy::too_many_arguments)]
     fn delta_window_query(
         &self,
+        db: &GraphDb,
         table: &LayerTable,
         layer: usize,
+        epoch: u64,
         window: &Rect,
         old_rect: &Rect,
         old: &CachedWindow,
         cache_ms: f64,
     ) -> Result<WindowResponse> {
-        let pool = self.db.pool();
+        let pool = db.pool();
         let t = Instant::now();
 
         // One R-tree descent over the whole change ring: the `old \ new`
@@ -421,7 +534,7 @@ impl QueryManager {
         // at all.
         if departed.is_empty() && fetched.is_empty() {
             let db_ms = t.elapsed().as_secs_f64() * 1e3;
-            self.cache.insert(layer, window, old.clone());
+            self.cache.insert(layer, window, epoch, old.clone());
             let rows_reused = old.rows.len();
             let client = self.client.deliver(&old.json);
             return Ok(WindowResponse {
@@ -430,6 +543,7 @@ impl QueryManager {
                 db_ms,
                 build_json_ms: 0.0,
                 cache_ms,
+                epoch,
                 cache_hit: false,
                 delta: true,
                 rows_reused,
@@ -522,6 +636,7 @@ impl QueryManager {
         self.cache.insert(
             layer,
             window,
+            epoch,
             CachedWindow {
                 rows: rows.clone(),
                 rids: Arc::new(rids),
@@ -537,6 +652,7 @@ impl QueryManager {
             db_ms,
             build_json_ms,
             cache_ms,
+            epoch,
             cache_hit: false,
             delta: true,
             rows_reused,
@@ -548,13 +664,13 @@ impl QueryManager {
     /// Keyword search over node labels of `layer` (trie lookup), with
     /// positions resolved for focusing.
     pub fn keyword_search(&self, layer: usize, keyword: &str) -> Result<Vec<SearchHit>> {
-        let table = self
-            .db
+        let db = self.db.read();
+        let table = db
             .layer(layer)
             .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
         let mut hits = Vec::new();
         for node_id in table.search_nodes(keyword) {
-            if let Some((position, label)) = table.node_position(self.db.pool(), node_id)? {
+            if let Some((position, label)) = table.node_position(db.pool(), node_id)? {
                 hits.push(SearchHit {
                     node_id,
                     label,
@@ -574,14 +690,14 @@ impl QueryManager {
     /// "Focus on node" mode: the node's row set (the node and its direct
     /// neighbours), bypassing the spatial index.
     pub fn focus_on_node(&self, layer: usize, node_id: u64) -> Result<Vec<(RowId, EdgeRow)>> {
-        let table = self
-            .db
+        let db = self.db.read();
+        let table = db
             .layer(layer)
             .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
-        let rids = table.rows_of_node(self.db.pool(), node_id)?;
+        let rids = table.rows_of_node(db.pool(), node_id)?;
         let mut rows = Vec::with_capacity(rids.len());
         for rid in rids {
-            rows.push((rid, table.get(self.db.pool(), rid)?));
+            rows.push((rid, table.get(db.pool(), rid)?));
         }
         Ok(rows)
     }
@@ -755,11 +871,8 @@ mod tests {
 
     /// Ground truth for a window, straight off the table (no cache).
     fn cold_rows(qm: &QueryManager, layer: usize, w: &Rect) -> Vec<(RowId, EdgeRow)> {
-        qm.db()
-            .layer(layer)
-            .unwrap()
-            .window(qm.db().pool(), w, true)
-            .unwrap()
+        let db = qm.db();
+        db.layer(layer).unwrap().window(db.pool(), w, true).unwrap()
     }
 
     #[test]
@@ -851,7 +964,7 @@ mod tests {
 
     #[test]
     fn layer_scoped_edit_invalidates_only_that_layer() {
-        let (mut qm, path) = manager("layerinval");
+        let (qm, path) = manager("layerinval");
         let w = Rect::new(0.0, 0.0, 1500.0, 1500.0);
         let l0_before = qm.window_query(0, &w).unwrap();
         qm.window_query(1, &w).unwrap();
@@ -900,7 +1013,7 @@ mod tests {
         // A delta query anchored on a pre-edit window must never happen:
         // the edit drops every cached window of the layer, so the next
         // query is cold and correct.
-        let (mut qm, path) = manager("deltaedit");
+        let (qm, path) = manager("deltaedit");
         let w1 = Rect::new(0.0, 0.0, 2000.0, 2000.0);
         qm.window_query(0, &w1).unwrap();
         let row = gvdb_storage::EdgeRow {
@@ -923,6 +1036,58 @@ mod tests {
         let resp = qm.window_query(0, &w2).unwrap();
         assert!(!resp.delta, "no stale anchor may survive the edit");
         assert!(resp.rows.iter().any(|(_, r)| &*r.edge_label == "fresh"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn epochs_advance_per_layer_and_tag_responses() {
+        let (qm, path) = manager("epochs");
+        let w = Rect::new(0.0, 0.0, 1500.0, 1500.0);
+        assert_eq!(qm.layer_epoch(0), 0);
+        let r0 = qm.window_query(0, &w).unwrap();
+        assert_eq!(r0.epoch, 0, "pre-edit responses are at epoch 0");
+
+        let row = gvdb_storage::EdgeRow {
+            node1_id: 555_001,
+            node1_label: "epoch-a".into(),
+            geometry: gvdb_storage::EdgeGeometry {
+                x1: 5.0,
+                y1: 5.0,
+                x2: 15.0,
+                y2: 15.0,
+                directed: false,
+            },
+            edge_label: "epoch-edit".into(),
+            node2_id: 555_002,
+            node2_label: "epoch-b".into(),
+        };
+        let rid = qm.insert_row(0, &row).unwrap();
+        assert_eq!(qm.layer_epoch(0), 1, "insert bumps the edited layer");
+        assert_eq!(qm.layer_epoch(1), 0, "other layers are untouched");
+
+        let r1 = qm.window_query(0, &w).unwrap();
+        assert_eq!(r1.epoch, 1, "post-edit responses carry the new epoch");
+        assert!(!r1.cache_hit);
+        assert_eq!(r1.rows.len(), r0.rows.len() + 1);
+
+        qm.delete_row(0, rid).unwrap();
+        assert_eq!(qm.layer_epoch(0), 2, "delete bumps too");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edit_db_bumps_every_layer() {
+        let (qm, path) = manager("editdb");
+        let w = Rect::new(0.0, 0.0, 1500.0, 1500.0);
+        qm.window_query(0, &w).unwrap();
+        qm.window_query(1, &w).unwrap();
+        let flushed = qm.edit_db(|db| db.flush());
+        flushed.unwrap();
+        assert_eq!(qm.layer_epoch(0), 1);
+        assert_eq!(qm.layer_epoch(1), 1);
+        // Whole cache invalidated: both layers re-query cold.
+        assert!(!qm.window_query(0, &w).unwrap().cache_hit);
+        assert!(!qm.window_query(1, &w).unwrap().cache_hit);
         std::fs::remove_file(&path).ok();
     }
 

@@ -190,6 +190,21 @@ impl Session {
         self.window = Rect::centered(p, self.window.width(), self.window.height());
     }
 
+    /// Jump the viewport to an absolute window (how a stateless HTTP
+    /// client expresses a pan/zoom: each request carries the full target
+    /// rectangle). The previous window becomes the delta anchor, so a
+    /// session-tagged request overlapping its predecessor is answered
+    /// incrementally exactly like a [`Session::pan`]. A no-op when the
+    /// window is unchanged (the anchor is left alone so an exact repeat
+    /// stays an exact cache hit).
+    pub fn navigate(&mut self, window: Rect) {
+        if window == self.window {
+            return;
+        }
+        self.rebase_anchor();
+        self.window = window;
+    }
+
     /// Zoom with automatic vertical navigation — the paper's coupling of
     /// zoom and layer ("Vertical navigation can be combined with
     /// traditional zoom in/out operations in order to give the impression
@@ -212,15 +227,17 @@ impl Session {
     }
 
     /// Edit: persist a new edge drawn on the canvas. Goes through the
-    /// layer-aware edit path, so only this layer's cached windows are
-    /// invalidated.
-    pub fn add_edge(&self, qm: &mut QueryManager, row: &EdgeRow) -> Result<RowId> {
+    /// layer-aware shared edit path (`&QueryManager` — concurrent
+    /// sessions keep reading while the edit briefly takes the write
+    /// lock), so only this layer's cached windows are invalidated and
+    /// only this layer's epoch advances.
+    pub fn add_edge(&self, qm: &QueryManager, row: &EdgeRow) -> Result<RowId> {
         qm.insert_row(self.layer, row)
     }
 
     /// Edit: delete an edge from the canvas (layer-scoped invalidation,
     /// see [`Session::add_edge`]).
-    pub fn delete_edge(&self, qm: &mut QueryManager, rid: RowId) -> Result<()> {
+    pub fn delete_edge(&self, qm: &QueryManager, rid: RowId) -> Result<()> {
         qm.delete_row(self.layer, rid)
     }
 }
@@ -318,7 +335,7 @@ mod tests {
 
     #[test]
     fn edit_roundtrip_via_session() {
-        let (mut qm, path) = setup("edit");
+        let (qm, path) = setup("edit");
         let s = Session::new(Rect::new(0.0, 0.0, 10.0, 10.0));
         let row = EdgeRow {
             node1_id: 900_001,
@@ -334,10 +351,10 @@ mod tests {
             node2_id: 900_002,
             node2_label: "manual node B".into(),
         };
-        let rid = s.add_edge(&mut qm, &row).unwrap();
+        let rid = s.add_edge(&qm, &row).unwrap();
         let resp = s.view(&qm).unwrap();
         assert!(resp.rows.iter().any(|(r, _)| *r == rid));
-        s.delete_edge(&mut qm, rid).unwrap();
+        s.delete_edge(&qm, rid).unwrap();
         let resp = s.view(&qm).unwrap();
         assert!(!resp.rows.iter().any(|(r, _)| *r == rid));
         std::fs::remove_file(&path).ok();
@@ -364,18 +381,44 @@ mod tests {
         assert!(second.delta, "a panned view must be incremental");
         assert!(second.rows_reused > 0);
         // The delta result matches a cold query of the same window.
-        let cold = qm
-            .db()
+        // (One guard for both lookups: re-entrant `qm.db()` calls in a
+        // single expression could deadlock against a queued writer.)
+        let db = qm.db();
+        let cold = db
             .layer(0)
             .unwrap()
-            .window(qm.db().pool(), &s.window(), true)
+            .window(db.pool(), &s.window(), true)
             .unwrap();
+        drop(db);
         assert_eq!(*second.rows, cold);
 
         // Zoom keeps anchoring too.
         s.zoom_by(1.25);
         let third = s.view(&qm).unwrap();
         assert!(third.delta || third.cache_hit);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn navigate_anchors_like_a_pan() {
+        let (qm, path) = setup("navigate");
+        let mut s = Session::new(Rect::new(0.0, 0.0, 2000.0, 2000.0));
+        let first = s.view(&qm).unwrap();
+        assert!(!first.delta && !first.cache_hit);
+
+        // An absolute jump overlapping the previous window (how an HTTP
+        // client pans) must ride the delta path.
+        s.navigate(Rect::new(300.0, 0.0, 2300.0, 2000.0));
+        assert_eq!(s.anchor(), Some(Rect::new(0.0, 0.0, 2000.0, 2000.0)));
+        let second = s.view(&qm).unwrap();
+        assert!(second.delta, "overlapping navigate must be incremental");
+
+        // Navigating to the same window is a no-op: the anchor survives
+        // and the repeat is an exact cache hit.
+        let anchor = s.anchor();
+        s.navigate(s.window());
+        assert_eq!(s.anchor(), anchor);
+        assert!(s.view(&qm).unwrap().cache_hit);
         std::fs::remove_file(&path).ok();
     }
 
@@ -395,7 +438,7 @@ mod tests {
 
     #[test]
     fn session_edits_keep_other_layers_cached() {
-        let (mut qm, path) = setup("scopededit");
+        let (qm, path) = setup("scopededit");
         let w = Rect::new(-1e6, -1e6, 1e6, 1e6);
         let s0 = Session::new(w);
         let mut s1 = Session::new(w);
@@ -417,7 +460,7 @@ mod tests {
             node2_id: 910_002,
             node2_label: "scoped B".into(),
         };
-        s0.add_edge(&mut qm, &row).unwrap();
+        s0.add_edge(&qm, &row).unwrap();
         assert!(!s0.view(&qm).unwrap().cache_hit, "edited layer refreshed");
         assert!(
             s1.view(&qm).unwrap().cache_hit,

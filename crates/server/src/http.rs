@@ -1,0 +1,155 @@
+//! Minimal HTTP/1.1 plumbing (std::net only): request-line parsing,
+//! query-string decoding, and response writing. One request per
+//! connection (`Connection: close`) — the workload is coarse window
+//! queries, not chatty RPC, so keep-alive buys little and this keeps the
+//! worker loop trivially robust.
+
+use gvdb_core::GraphJson;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A parsed GET request: path plus decoded query parameters.
+#[derive(Debug)]
+pub struct Request {
+    /// URL path (no query string).
+    pub path: String,
+    params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `key` parsed as `T` (None when absent or malformed).
+    pub fn parse<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.param(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// Read and parse one request from `stream` (headers are drained and
+/// discarded). Returns `None` on connection errors or garbage.
+pub fn read_request(stream: &TcpStream) -> Option<Request> {
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line).ok()?;
+    let mut line = String::new();
+    while reader.read_line(&mut line).is_ok() && line != "\r\n" && !line.is_empty() {
+        line.clear();
+    }
+    let target = request_line.split_whitespace().nth(1)?;
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    // Values are kept verbatim: '+'-for-space decoding only applies to
+    // text fields and would corrupt numeric values ("1e+21" → "1e 21"),
+    // so the /search handler decodes its own `q`.
+    let params = query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    Some(Request {
+        path: path.to_string(),
+        params,
+    })
+}
+
+/// Response body: either built for this request, or the cached window
+/// payload shared by `Arc` (no per-request copy).
+pub enum Body {
+    /// A string built for this response.
+    Owned(String),
+    /// The window cache's payload, shared by reference count.
+    Shared(Arc<GraphJson>),
+}
+
+impl Body {
+    /// The body text.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Body::Owned(s) => s,
+            Body::Shared(json) => &json.text,
+        }
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Body::Owned(s)
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Self {
+        Body::Owned(s.to_string())
+    }
+}
+
+/// A response ready to be written: status line, extra headers
+/// (`X-Gvdb-*` telemetry), body.
+pub struct Response {
+    /// HTTP status line tail, e.g. `200 OK`.
+    pub status: &'static str,
+    /// Extra header lines, each `\r\n`-terminated.
+    pub extra_headers: String,
+    /// The body.
+    pub body: Body,
+}
+
+impl Response {
+    /// A 200 response with no extra headers.
+    pub fn ok(body: impl Into<Body>) -> Self {
+        Response {
+            status: "200 OK",
+            extra_headers: String::new(),
+            body: body.into(),
+        }
+    }
+
+    /// An error response carrying a JSON `{"error": …}` body.
+    pub fn error(status: &'static str, message: &str) -> Self {
+        let mut body = String::from("{\"error\":\"");
+        gvdb_core::json::escape_into(message, &mut body);
+        body.push_str("\"}");
+        Response {
+            status,
+            extra_headers: String::new(),
+            body: body.into(),
+        }
+    }
+}
+
+/// Write `response` to `stream` (errors are ignored — the client hung up).
+pub fn write_response(stream: &mut TcpStream, response: &Response) {
+    let body = response.body.as_str();
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+        response.status,
+        body.len(),
+        response.extra_headers,
+        body
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_variants_expose_text() {
+        assert_eq!(Body::from("x".to_string()).as_str(), "x");
+        let json = Arc::new(gvdb_core::build_graph_json(&[]));
+        assert_eq!(Body::Shared(json.clone()).as_str(), &json.text);
+    }
+
+    #[test]
+    fn error_response_escapes_message() {
+        let r = Response::error("400 Bad Request", "quote \" here");
+        assert!(r.body.as_str().contains("quote \\\" here"));
+    }
+}

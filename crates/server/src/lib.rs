@@ -1,0 +1,494 @@
+//! # gvdb-server
+//!
+//! The serving layer of the platform: a multi-threaded HTTP server over a
+//! shared [`QueryManager`], turning the paper's "multi-user environments
+//! built upon commodity machines" claim into a real endpoint.
+//!
+//! Architecture:
+//!
+//! * **Bounded worker pool** — an acceptor thread pushes connections into
+//!   a bounded queue drained by [`ServerConfig::workers`] worker threads.
+//!   When the queue is full the acceptor answers `503` immediately
+//!   instead of letting latency grow without bound (and counts the
+//!   rejection in `/stats`).
+//! * **Shared query manager** — all workers hold one `Arc<QueryManager>`:
+//!   reads run concurrently over the sharded buffer pool and window
+//!   cache; edits (none are exposed over HTTP yet, but embedders may
+//!   perform them on the same manager) briefly take the write lock and
+//!   bump the edited layer's epoch.
+//! * **Session registry** — `GET /session/new` hands out a [`SessionId`];
+//!   window queries tagged `session=<id>` anchor on that client's
+//!   previous viewport, so HTTP pans ride the incremental delta path
+//!   (`X-Gvdb-Source: delta`).
+//! * **Graceful shutdown** — [`Server::shutdown`] stops accepting,
+//!   drains queued connections, and joins every thread.
+//!
+//! Endpoints:
+//!
+//! * `GET /layers` — layer inventory
+//! * `GET /window?layer=0&minx=..&miny=..&maxx=..&maxy=..[&session=ID]`
+//!   — window query; `X-Gvdb-Source` says `hit`, `delta` or `cold`,
+//!   `X-Gvdb-Epoch` the edit epoch the response is consistent with
+//! * `GET /session/new[?minx=..&miny=..&maxx=..&maxy=..]` — register a
+//!   session for delta-pan anchoring (the registry is LRU-bounded, so
+//!   abandoned sessions age out under pressure)
+//! * `GET /session/close?session=ID` — release a session explicitly
+//! * `GET /search?layer=0&q=keyword` — keyword search
+//! * `GET /focus?layer=0&node=ID` — focus-on-node neighborhood
+//! * `GET /cache` — window-cache and buffer-pool hit counters
+//! * `GET /stats` — full serving telemetry: per-shard pool and cache
+//!   counters, per-layer epochs, session/worker/queue numbers
+//! * `GET /healthz` — liveness probe
+
+mod http;
+mod registry;
+
+pub use http::{Body, Request, Response};
+pub use registry::{SessionHandle, SessionId, SessionRegistry};
+
+use gvdb_core::{build_graph_json, json::escape_into, QueryManager};
+use gvdb_spatial::Rect;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads draining the connection queue (min 1).
+    pub workers: usize,
+    /// Connection-queue depth; connections beyond it get `503` (min 1).
+    pub backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            backlog: 64,
+        }
+    }
+}
+
+/// Shared serving state handed to every worker.
+struct AppState {
+    qm: Arc<QueryManager>,
+    sessions: SessionRegistry,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    workers: usize,
+    backlog: usize,
+}
+
+/// A running HTTP server (see module docs). Dropping it shuts it down
+/// gracefully; call [`Server::shutdown`] to do so explicitly, or
+/// [`Server::wait`] to block until another thread shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<AppState>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind and start serving `qm` with `config`. Returns as soon as the
+    /// listener is live; requests are handled on the worker pool.
+    pub fn start(qm: Arc<QueryManager>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let backlog = config.backlog.max(1);
+        let state = Arc::new(AppState {
+            qm,
+            sessions: SessionRegistry::new(),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            workers,
+            backlog,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&rx, &state))
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                // `tx` lives in this thread: when the acceptor exits, the
+                // channel disconnects and the workers drain and stop.
+                accept_loop(&listener, &tx, &shutdown, &state);
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            state,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of live sessions in the registry.
+    pub fn session_count(&self) -> usize {
+        self.state.sessions.len()
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.state.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain queued connections, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// A cloneable handle that can trigger shutdown from another thread
+    /// (or a signal handler) while the owning thread sits in
+    /// [`Server::wait`].
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.addr,
+        }
+    }
+
+    /// Block until the server shuts down — via a [`ShutdownHandle`] from
+    /// another thread, or the process being killed. Used by `gvdb serve`
+    /// to park the main thread while the pool serves.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().ok();
+        }
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the blocking `accept` so the acceptor observes the flag.
+        TcpStream::connect(self.addr).ok();
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().ok();
+        }
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Triggers a [`Server`]'s shutdown from anywhere (see
+/// [`Server::shutdown_handle`]). Cloneable; firing it is idempotent.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Stop the server: the acceptor observes the flag and exits, the
+    /// workers drain the queue and stop, and any thread blocked in
+    /// [`Server::wait`] returns once they have joined.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the blocking `accept` so the acceptor observes the flag.
+        TcpStream::connect(self.addr).ok();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    state: &AppState,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Shed load instead of queueing without bound.
+                state.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.write_all(
+                    b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 26\r\nConnection: close\r\n\r\n{\"error\":\"server is full\"}",
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// How long a worker waits on a client before giving up on the
+/// connection. Without this, `workers` silent sockets (clients that
+/// connect and send nothing) would wedge the whole bounded pool.
+const CLIENT_IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &AppState) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the request.
+        let stream = rx.lock().recv();
+        match stream {
+            Ok(mut stream) => {
+                let _ = stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
+                let response = match http::read_request(&stream) {
+                    Some(request) => route(&request, state),
+                    None => Response::error("400 Bad Request", "malformed request"),
+                };
+                http::write_response(&mut stream, &response);
+                state.served.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => break, // channel disconnected: shutting down
+        }
+    }
+}
+
+/// Dispatch one parsed request against the shared state.
+fn route(request: &Request, state: &AppState) -> Response {
+    let qm = &state.qm;
+    let layer_param: Option<usize> = request.parse("layer");
+    let layer = layer_param.unwrap_or(0);
+    match request.path.as_str() {
+        "/healthz" => Response::ok("{\"ok\":true}"),
+        "/layers" => {
+            let db = qm.db();
+            let mut out = String::from("{\"layers\":[");
+            for i in 0..db.layer_count() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let rows = db.layer(i).map(|l| l.row_count()).unwrap_or(0);
+                out.push_str(&format!(
+                    "{{\"index\":{i},\"rows\":{rows},\"epoch\":{}}}",
+                    qm.layer_epoch(i)
+                ));
+            }
+            out.push_str("]}");
+            Response::ok(out)
+        }
+        "/session/new" => {
+            let window = parse_window(request).unwrap_or(Rect::new(0.0, 0.0, 1000.0, 1000.0));
+            let id = state.sessions.create(window);
+            Response::ok(format!("{{\"session\":{id}}}"))
+        }
+        "/session/close" => match request.parse::<SessionId>("session") {
+            Some(sid) => {
+                if state.sessions.remove(sid) {
+                    Response::ok("{\"closed\":true}")
+                } else {
+                    Response::error("404 Not Found", "unknown session")
+                }
+            }
+            None => Response::error("400 Bad Request", "need session"),
+        },
+        "/window" => {
+            let Some(window) = parse_window(request) else {
+                return Response::error("400 Bad Request", "need minx,miny,maxx,maxy");
+            };
+            let result = match request.parse::<SessionId>("session") {
+                Some(sid) => match state.sessions.get(sid) {
+                    Some(handle) => {
+                        // Per-session lock: one client's requests are
+                        // ordered, different clients run concurrently.
+                        let mut session = handle.lock();
+                        // A request that omits `layer` stays on the
+                        // session's current layer (keeping its delta
+                        // anchor) instead of snapping back to 0.
+                        let layer = layer_param.unwrap_or_else(|| session.layer());
+                        session
+                            .set_layer(qm, layer)
+                            .and_then(|()| {
+                                session.navigate(window);
+                                session.view(qm)
+                            })
+                            .map(|resp| (resp, Some(sid)))
+                    }
+                    None => return Response::error("404 Not Found", "unknown session"),
+                },
+                None => qm.window_query(layer, &window).map(|resp| (resp, None)),
+            };
+            match result {
+                Ok((resp, sid)) => {
+                    let source = if resp.cache_hit {
+                        "hit"
+                    } else if resp.delta {
+                        "delta"
+                    } else {
+                        "cold"
+                    };
+                    let mut extra_headers = format!(
+                        "X-Gvdb-Source: {source}\r\nX-Gvdb-Rows-Reused: {}\r\nX-Gvdb-Rows-Fetched: {}\r\nX-Gvdb-Epoch: {}\r\n",
+                        resp.rows_reused, resp.rows_fetched, resp.epoch
+                    );
+                    if let Some(sid) = sid {
+                        extra_headers.push_str(&format!("X-Gvdb-Session: {sid}\r\n"));
+                    }
+                    Response {
+                        status: "200 OK",
+                        extra_headers,
+                        body: Body::Shared(resp.json),
+                    }
+                }
+                Err(e) => Response::error("404 Not Found", &e.to_string()),
+            }
+        }
+        "/search" => match request.param("q") {
+            // '+'-for-space decoding happens here, on the one text field.
+            Some(q) => match qm.keyword_search(layer, &q.replace('+', " ")) {
+                Ok(hits) => {
+                    let mut out = String::from("{\"hits\":[");
+                    for (i, h) in hits.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!(
+                            "{{\"node\":{},\"x\":{:.2},\"y\":{:.2},\"label\":\"",
+                            h.node_id, h.position.x, h.position.y
+                        ));
+                        escape_into(&h.label, &mut out);
+                        out.push_str("\"}");
+                    }
+                    out.push_str("]}");
+                    Response::ok(out)
+                }
+                Err(e) => Response::error("404 Not Found", &e.to_string()),
+            },
+            None => Response::error("400 Bad Request", "need q"),
+        },
+        "/focus" => match request.parse::<u64>("node") {
+            Some(node) => match qm.focus_on_node(layer, node) {
+                Ok(rows) => Response::ok(build_graph_json(&rows).text),
+                Err(e) => Response::error("404 Not Found", &e.to_string()),
+            },
+            None => Response::error("400 Bad Request", "need node"),
+        },
+        "/cache" => {
+            let stats = qm.cache_stats();
+            let pool = qm.pool_stats();
+            Response::ok(format!(
+                "{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.3},\"pool\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.3}}}}}",
+                stats.hits,
+                stats.partial_hits,
+                stats.misses,
+                stats.entries,
+                stats.bytes,
+                stats.hit_rate(),
+                pool.hits,
+                pool.misses,
+                pool.hit_rate()
+            ))
+        }
+        "/stats" => Response::ok(stats_json(state)),
+        _ => Response::error("404 Not Found", "unknown endpoint"),
+    }
+}
+
+/// The `/stats` payload: serving counters, per-layer epochs, and the
+/// per-shard breakdowns of both the buffer pool and the window cache.
+fn stats_json(state: &AppState) -> String {
+    let qm = &state.qm;
+    let cache = qm.cache_stats();
+    let pool = qm.pool_stats();
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"served\":{},\"rejected\":{},\"workers\":{},\"backlog\":{},\"sessions\":{},",
+        state.served.load(Ordering::Relaxed),
+        state.rejected.load(Ordering::Relaxed),
+        state.workers,
+        state.backlog,
+        state.sessions.len()
+    ));
+    out.push_str("\"epochs\":[");
+    for layer in 0..qm.layer_count() {
+        if layer > 0 {
+            out.push(',');
+        }
+        out.push_str(&qm.layer_epoch(layer).to_string());
+    }
+    out.push_str("],");
+    out.push_str(&format!(
+        "\"pool\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.3},\"shards\":[",
+        pool.hits,
+        pool.misses,
+        pool.evictions,
+        pool.hit_rate()
+    ));
+    for (i, s) in qm.pool_shard_stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+            s.hits, s.misses, s.evictions
+        ));
+    }
+    out.push_str("]},");
+    out.push_str(&format!(
+        "\"cache\":{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"shards\":[",
+        cache.hits, cache.partial_hits, cache.misses, cache.entries, cache.bytes
+    ));
+    for (i, s) in qm.cache_shard_stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"entries\":{},\"bytes\":{}}}",
+            s.entries, s.bytes
+        ));
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// The `minx,miny,maxx,maxy` parameters as a [`Rect`], if present and
+/// ordered.
+fn parse_window(request: &Request) -> Option<Rect> {
+    let minx: f64 = request.parse("minx")?;
+    let miny: f64 = request.parse("miny")?;
+    let maxx: f64 = request.parse("maxx")?;
+    let maxy: f64 = request.parse("maxy")?;
+    (minx <= maxx && miny <= maxy).then(|| Rect::new(minx, miny, maxx, maxy))
+}

@@ -1,0 +1,190 @@
+//! The session registry: server-side per-client exploration state.
+//!
+//! Each HTTP client that wants incremental pans requests a [`SessionId`]
+//! (`GET /session/new`) and tags its window queries with it. The registry
+//! maps the id to an anchored [`Session`], so a client's consecutive
+//! viewports ride the delta path exactly like an embedded caller's —
+//! over a stateless protocol.
+//!
+//! Capacity: the registry is **bounded** ([`SessionRegistry::with_capacity`],
+//! default [`DEFAULT_SESSION_CAPACITY`]). Creating a session at capacity
+//! evicts the least-recently-used one — a server that runs for weeks
+//! cannot be grown without bound by clients that never say goodbye.
+//! Well-behaved clients can release explicitly (`GET /session/close`).
+//!
+//! Locking: the map itself is locked only to resolve an id to its
+//! session handle; each session then has its own mutex, so requests from
+//! *different* clients run concurrently and only a client racing itself
+//! serializes (which is also what keeps its anchor chain coherent).
+
+use gvdb_core::Session;
+use gvdb_spatial::Rect;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Opaque id of a registered [`Session`].
+pub type SessionId = u64;
+
+/// A shared handle on one client's session.
+pub type SessionHandle = Arc<Mutex<Session>>;
+
+/// Default maximum number of live sessions (LRU-evicted beyond it).
+pub const DEFAULT_SESSION_CAPACITY: usize = 10_000;
+
+#[derive(Debug)]
+struct Slot {
+    handle: SessionHandle,
+    /// Last-resolved tick (registry-local LRU clock).
+    tick: u64,
+}
+
+/// Registry of live sessions (see module docs).
+#[derive(Debug)]
+pub struct SessionRegistry {
+    sessions: Mutex<HashMap<SessionId, Slot>>,
+    next: AtomicU64,
+    clock: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SESSION_CAPACITY)
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry with the default capacity.
+    pub fn new() -> Self {
+        SessionRegistry::default()
+    }
+
+    /// An empty registry holding at most `capacity` sessions (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SessionRegistry {
+            sessions: Mutex::new(HashMap::new()),
+            next: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Register a new session starting at `window`; returns its id. At
+    /// capacity, the least-recently-used session is evicted to make room
+    /// (its id stops resolving; an in-flight request holding the handle
+    /// finishes normally).
+    pub fn create(&self, window: Rect) -> SessionId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut sessions = self.sessions.lock();
+        // O(capacity) min-scan, but only once the registry is full — a
+        // create burst at the cap serializes behind it (see ROADMAP for
+        // the O(log n) follow-on).
+        while sessions.len() >= self.capacity {
+            let Some(lru) = sessions
+                .iter()
+                .min_by_key(|(_, slot)| slot.tick)
+                .map(|(id, _)| *id)
+            else {
+                break;
+            };
+            sessions.remove(&lru);
+        }
+        sessions.insert(
+            id,
+            Slot {
+                handle: Arc::new(Mutex::new(Session::new(window))),
+                tick,
+            },
+        );
+        id
+    }
+
+    /// The session handle for `id`, if it is still registered. Refreshes
+    /// its LRU position.
+    pub fn get(&self, id: SessionId) -> Option<SessionHandle> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut sessions = self.sessions.lock();
+        let slot = sessions.get_mut(&id)?;
+        slot.tick = tick;
+        Some(slot.handle.clone())
+    }
+
+    /// Drop a session (its id stops resolving; in-flight requests holding
+    /// the handle finish normally).
+    pub fn remove(&self, id: SessionId) -> bool {
+        self.sessions.lock().remove(&id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_remove_roundtrip() {
+        let reg = SessionRegistry::new();
+        assert!(reg.is_empty());
+        let id = reg.create(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let other = reg.create(Rect::new(5.0, 5.0, 15.0, 15.0));
+        assert_ne!(id, other);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(id).is_some());
+        assert!(reg.get(9_999).is_none());
+        assert!(reg.remove(id));
+        assert!(!reg.remove(id), "double remove reports absence");
+        assert!(reg.get(id).is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let reg = SessionRegistry::with_capacity(3);
+        let a = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        let b = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        let c = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        // Touch `a` so `b` becomes the LRU, then overflow.
+        assert!(reg.get(a).is_some());
+        let d = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(reg.len(), 3, "registry must stay at capacity");
+        assert!(reg.get(b).is_none(), "LRU session evicted");
+        assert!(reg.get(a).is_some(), "recently used survives");
+        assert!(reg.get(c).is_some());
+        assert!(reg.get(d).is_some());
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let reg = Arc::new(SessionRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    (0..50)
+                        .map(|_| reg.create(Rect::new(0.0, 0.0, 1.0, 1.0)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<SessionId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 50, "no id may be handed out twice");
+        assert_eq!(reg.len(), 8 * 50);
+    }
+}

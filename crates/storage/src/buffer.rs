@@ -3,21 +3,32 @@
 //! 6 GB in its evaluation. Capacity here is configured in *pages*, so the
 //! Fig. 3 ablation can sweep cache sizes directly.
 //!
-//! Concurrency model: one `parking_lot` mutex over the frame table, with
-//! page access through short closures ([`BufferPool::with_page`] /
-//! [`BufferPool::with_page_mut`]). Queries in graphVizdb are sub-millisecond
-//! index descents, so coarse locking keeps the design simple without
-//! measurable contention in the demo workloads (multi-user serving shares
-//! one pool the same way MySQL shares its cache).
+//! Concurrency model: the frame table is split into [`BufferPool::shard_count`]
+//! **lock-striped shards**, each owning a disjoint slice of the page-id
+//! space (`pid % shards`), its own clock hand, and its own file handle.
+//! Page access goes through short closures ([`BufferPool::with_page`] /
+//! [`BufferPool::with_page_mut`]) that lock only the owning shard, so
+//! concurrent window queries touching different pages never contend, and
+//! cold misses on different shards perform their disk reads in parallel
+//! (each shard seeks its private descriptor). Only allocation, freeing
+//! and header access take the global pager lock — none of which sit on
+//! the read hot path. Counters ([`BufferStats`]) are relaxed atomics,
+//! kept both per shard and in aggregate.
 
 use crate::error::Result;
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::fs::File;
+#[cfg(not(unix))]
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Cache statistics (monotonic counters).
+/// Default number of lock-striped shards (see [`BufferPool::with_shards`]).
+pub const DEFAULT_POOL_SHARDS: usize = 8;
+
+/// Cache statistics (monotonic counters, relaxed atomics).
 #[derive(Debug, Default)]
 pub struct BufferStats {
     hits: AtomicU64,
@@ -94,187 +105,112 @@ struct Frame {
     referenced: bool,
 }
 
-struct Inner {
-    pager: Pager,
+/// One lock stripe: the frames for `pid % shards == index`, plus a
+/// private file handle so this stripe's disk I/O never waits on another
+/// stripe's.
+struct ShardInner {
+    file: File,
     frames: Vec<Frame>,
     map: HashMap<PageId, usize>,
     clock: usize,
     capacity: usize,
 }
 
-/// A buffer pool over a [`Pager`].
-pub struct BufferPool {
-    inner: Mutex<Inner>,
+struct Shard {
+    inner: Mutex<ShardInner>,
     stats: BufferStats,
 }
 
-impl std::fmt::Debug for BufferPool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BufferPool")
-            .field("hits", &self.stats.hits())
-            .field("misses", &self.stats.misses())
-            .finish()
-    }
-}
-
-impl BufferPool {
-    /// Wrap `pager` with a cache of `capacity` pages (min 4).
-    pub fn new(pager: Pager, capacity: usize) -> Self {
-        BufferPool {
-            inner: Mutex::new(Inner {
-                pager,
-                frames: Vec::new(),
-                map: HashMap::new(),
-                clock: 0,
-                capacity: capacity.max(4),
-            }),
-            stats: BufferStats::default(),
+impl ShardInner {
+    /// Page I/O on the shard's handle. On Unix the handle is a dup of
+    /// the pager's descriptor and `read_at`/`write_at` are positional
+    /// (`pread`/`pwrite`): no cursor is read or moved, so shards never
+    /// interfere with each other or with the pager. Elsewhere the handle
+    /// is a private reopen of the path and `seek` + `read`/`write` on it
+    /// is safe under this shard's lock.
+    fn read_page(&mut self, pid: PageId, page_count: u64) -> Result<Page> {
+        if pid.0 >= page_count {
+            return Err(crate::error::StorageError::PageOutOfRange(pid.0));
         }
-    }
-
-    /// Cache statistics.
-    pub fn stats(&self) -> &BufferStats {
-        &self.stats
-    }
-
-    /// Allocate a fresh page (cached immediately as dirty-zeroed).
-    pub fn allocate(&self) -> Result<PageId> {
-        let mut inner = self.inner.lock();
-        let pid = inner.pager.allocate()?;
-        let idx = Self::frame_for(&mut inner, &self.stats, pid, true)?;
-        inner.frames[idx].dirty = true;
-        Ok(pid)
-    }
-
-    /// Run `f` with read access to page `pid`.
-    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let idx = Self::frame_for(&mut inner, &self.stats, pid, false)?;
-        inner.frames[idx].referenced = true;
-        Ok(f(&inner.frames[idx].page))
-    }
-
-    /// Run `f` with write access to page `pid`; the page is marked dirty.
-    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let idx = Self::frame_for(&mut inner, &self.stats, pid, false)?;
-        inner.frames[idx].referenced = true;
-        inner.frames[idx].dirty = true;
-        Ok(f(&mut inner.frames[idx].page))
-    }
-
-    /// Drop `pid` from the cache and return it to the pager free list.
-    pub fn free(&self, pid: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if let Some(idx) = inner.map.remove(&pid) {
-            // Swap-remove and fix up the displaced frame's map entry.
-            inner.frames.swap_remove(idx);
-            if idx < inner.frames.len() {
-                let moved_pid = inner.frames[idx].pid;
-                inner.map.insert(moved_pid, idx);
-            }
-            if inner.clock >= inner.frames.len() {
-                inner.clock = 0;
-            }
+        let mut page = Page::zeroed();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(page.bytes_mut(), pid.offset())?;
         }
-        inner.pager.free(pid)
-    }
-
-    /// Read the caller-owned header region.
-    pub fn header_user_bytes(&self) -> Vec<u8> {
-        self.inner.lock().pager.header_user_bytes().to_vec()
-    }
-
-    /// Replace the caller-owned header region (persisted on [`Self::flush`]).
-    pub fn set_header_user_bytes(&self, bytes: &[u8]) {
-        self.inner.lock().pager.set_header_user_bytes(bytes);
-    }
-
-    /// Point-in-time images of all dirty pages plus the header snapshot —
-    /// the input to a WAL checkpoint. Dirty flags are left set; a
-    /// subsequent [`Self::flush`] applies the same state.
-    pub fn checkpoint_images(&self) -> (Page, Vec<(PageId, Page)>) {
-        let mut inner = self.inner.lock();
-        let header = inner.pager.header_snapshot();
-        let pages = inner
-            .frames
-            .iter()
-            .filter(|fr| fr.dirty)
-            .map(|fr| (fr.pid, fr.page.clone()))
-            .collect();
-        (header, pages)
-    }
-
-    /// Write back all dirty pages and sync the file.
-    pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let dirty: Vec<usize> = inner
-            .frames
-            .iter()
-            .enumerate()
-            .filter(|(_, fr)| fr.dirty)
-            .map(|(i, _)| i)
-            .collect();
-        for i in dirty {
-            let pid = inner.frames[i].pid;
-            let page = inner.frames[i].page.clone();
-            inner.pager.write_page(pid, &page)?;
-            inner.frames[i].dirty = false;
+        #[cfg(not(unix))]
+        {
+            self.file.seek(SeekFrom::Start(pid.offset()))?;
+            self.file.read_exact(page.bytes_mut())?;
         }
-        inner.pager.sync()
+        Ok(page)
     }
 
-    /// Number of pages in the underlying file.
-    pub fn page_count(&self) -> u64 {
-        self.inner.lock().pager.page_count()
+    fn write_page(&mut self, pid: PageId, page: &Page) -> Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(page.bytes(), pid.offset())?;
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.seek(SeekFrom::Start(pid.offset()))?;
+            self.file.write_all(page.bytes())?;
+        }
+        Ok(())
     }
 
     /// Locate (or load) `pid` into a frame, evicting if needed.
     /// `fresh` skips the disk read for newly allocated pages.
     fn frame_for(
-        inner: &mut Inner,
+        &mut self,
         stats: &BufferStats,
+        global: &BufferStats,
         pid: PageId,
+        page_count: u64,
         fresh: bool,
     ) -> Result<usize> {
-        if let Some(&idx) = inner.map.get(&pid) {
+        if let Some(&idx) = self.map.get(&pid) {
             stats.hits.fetch_add(1, Ordering::Relaxed);
+            global.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(idx);
         }
         stats.misses.fetch_add(1, Ordering::Relaxed);
+        global.misses.fetch_add(1, Ordering::Relaxed);
         let page = if fresh {
             Page::zeroed()
         } else {
-            inner.pager.read_page(pid)?
+            self.read_page(pid, page_count)?
         };
-        let idx = if inner.frames.len() < inner.capacity {
-            inner.frames.push(Frame {
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
                 pid,
                 page,
                 dirty: false,
                 referenced: true,
             });
-            inner.frames.len() - 1
+            self.frames.len() - 1
         } else {
             // Clock eviction: first frame without a reference bit.
             let victim = loop {
-                let i = inner.clock;
-                inner.clock = (inner.clock + 1) % inner.frames.len();
-                if inner.frames[i].referenced {
-                    inner.frames[i].referenced = false;
+                let i = self.clock;
+                self.clock = (self.clock + 1) % self.frames.len();
+                if self.frames[i].referenced {
+                    self.frames[i].referenced = false;
                 } else {
                     break i;
                 }
             };
             stats.evictions.fetch_add(1, Ordering::Relaxed);
-            let old = &inner.frames[victim];
+            global.evictions.fetch_add(1, Ordering::Relaxed);
+            let old = &self.frames[victim];
             if old.dirty {
                 let (old_pid, old_page) = (old.pid, old.page.clone());
-                inner.pager.write_page(old_pid, &old_page)?;
+                self.write_page(old_pid, &old_page)?;
             }
-            let old_pid = inner.frames[victim].pid;
-            inner.map.remove(&old_pid);
-            inner.frames[victim] = Frame {
+            let old_pid = self.frames[victim].pid;
+            self.map.remove(&old_pid);
+            self.frames[victim] = Frame {
                 pid,
                 page,
                 dirty: false,
@@ -282,8 +218,244 @@ impl BufferPool {
             };
             victim
         };
-        inner.map.insert(pid, idx);
+        self.map.insert(pid, idx);
         Ok(idx)
+    }
+}
+
+/// A sharded buffer pool over a [`Pager`].
+///
+/// Lock hierarchy: a shard mutex and the pager mutex are **never held
+/// together** — allocation takes the pager lock, releases it, then takes
+/// the target shard's lock; flush walks the shards one at a time and
+/// takes the pager lock last. This keeps every path deadlock-free.
+pub struct BufferPool {
+    shards: Vec<Shard>,
+    pager: Mutex<Pager>,
+    /// Mirror of the pager's page count (shards bounds-check reads
+    /// without taking the pager lock). Updated under the pager lock.
+    page_count: AtomicU64,
+    stats: BufferStats,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("shards", &self.shards.len())
+            .field("hits", &self.stats.hits())
+            .field("misses", &self.stats.misses())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Wrap `pager` with a cache of `capacity` pages (min 4) split over
+    /// [`DEFAULT_POOL_SHARDS`] lock stripes.
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        Self::with_shards(pager, capacity, DEFAULT_POOL_SHARDS)
+    }
+
+    /// Wrap `pager` with an explicit shard count (clamped to at least 1).
+    /// Capacity is divided evenly between shards; each shard runs its own
+    /// clock over its slice of the page-id space (`pid % shards`).
+    pub fn with_shards(pager: Pager, capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(4).div_ceil(shards).max(1);
+        let page_count = pager.page_count();
+        let shard_vec = (0..shards)
+            .map(|_| Shard {
+                inner: Mutex::new(ShardInner {
+                    // On Unix a dup of an open fd: fails only on fd
+                    // exhaustion, which is not recoverable here anyway.
+                    file: pager.clone_handle().expect("clone pool file handle"),
+                    frames: Vec::new(),
+                    map: HashMap::new(),
+                    clock: 0,
+                    capacity: per_shard,
+                }),
+                stats: BufferStats::default(),
+            })
+            .collect();
+        BufferPool {
+            shards: shard_vec,
+            pager: Mutex::new(pager),
+            page_count: AtomicU64::new(page_count),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregate cache statistics across all shards.
+    pub fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    /// Per-shard counter snapshots (index = shard). The sum over shards
+    /// equals [`BufferPool::stats`]; the spread shows whether traffic is
+    /// striping evenly.
+    pub fn shard_stats(&self) -> Vec<PoolStats> {
+        self.shards.iter().map(|s| s.stats.snapshot()).collect()
+    }
+
+    fn shard_of(&self, pid: PageId) -> &Shard {
+        &self.shards[(pid.0 % self.shards.len() as u64) as usize]
+    }
+
+    /// Allocate a fresh page (cached immediately as dirty-zeroed).
+    pub fn allocate(&self) -> Result<PageId> {
+        let pid = {
+            let mut pager = self.pager.lock();
+            let pid = pager.allocate()?;
+            self.page_count.store(pager.page_count(), Ordering::Release);
+            pid
+        };
+        let shard = self.shard_of(pid);
+        let mut inner = shard.inner.lock();
+        let count = self.page_count.load(Ordering::Acquire);
+        let idx = inner.frame_for(&shard.stats, &self.stats, pid, count, true)?;
+        inner.frames[idx].dirty = true;
+        Ok(pid)
+    }
+
+    /// Run `f` with read access to page `pid`.
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let shard = self.shard_of(pid);
+        let mut inner = shard.inner.lock();
+        let count = self.page_count.load(Ordering::Acquire);
+        let idx = inner.frame_for(&shard.stats, &self.stats, pid, count, false)?;
+        inner.frames[idx].referenced = true;
+        Ok(f(&inner.frames[idx].page))
+    }
+
+    /// Run `f` with write access to page `pid`; the page is marked dirty.
+    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        let shard = self.shard_of(pid);
+        let mut inner = shard.inner.lock();
+        let count = self.page_count.load(Ordering::Acquire);
+        let idx = inner.frame_for(&shard.stats, &self.stats, pid, count, false)?;
+        inner.frames[idx].referenced = true;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].page))
+    }
+
+    /// Batched page access: run `f` once per id in `pids`, grouping the
+    /// ids by shard so each shard is **locked once** for its whole group
+    /// (and each page pinned once within it) instead of once per page.
+    /// `f` receives the index of the page within `pids` (shards are
+    /// visited in stripe order, so invocation order is *not* input
+    /// order), and results come back aligned with the input order. This
+    /// is what keeps the window-query strip fetches at one pin per page
+    /// without re-taking a stripe lock for every row.
+    pub fn with_pages<R>(
+        &self,
+        pids: &[PageId],
+        mut f: impl FnMut(usize, &Page) -> R,
+    ) -> Result<Vec<R>> {
+        let mut out: Vec<Option<R>> = Vec::with_capacity(pids.len());
+        out.resize_with(pids.len(), || None);
+        let shards = self.shards.len() as u64;
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, pid) in pids.iter().enumerate() {
+            by_shard[(pid.0 % shards) as usize].push(i);
+        }
+        for (s, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[s];
+            let mut inner = shard.inner.lock();
+            let count = self.page_count.load(Ordering::Acquire);
+            for &i in group {
+                let pid = pids[i];
+                let idx = inner.frame_for(&shard.stats, &self.stats, pid, count, false)?;
+                inner.frames[idx].referenced = true;
+                out[i] = Some(f(i, &inner.frames[idx].page));
+            }
+        }
+        Ok(out.into_iter().map(|r| r.expect("filled above")).collect())
+    }
+
+    /// Drop `pid` from the cache and return it to the pager free list.
+    pub fn free(&self, pid: PageId) -> Result<()> {
+        {
+            let shard = self.shard_of(pid);
+            let mut inner = shard.inner.lock();
+            if let Some(idx) = inner.map.remove(&pid) {
+                // Swap-remove and fix up the displaced frame's map entry.
+                inner.frames.swap_remove(idx);
+                if idx < inner.frames.len() {
+                    let moved_pid = inner.frames[idx].pid;
+                    inner.map.insert(moved_pid, idx);
+                }
+                if inner.clock >= inner.frames.len() {
+                    inner.clock = 0;
+                }
+            }
+        }
+        self.pager.lock().free(pid)
+    }
+
+    /// Read the caller-owned header region.
+    pub fn header_user_bytes(&self) -> Vec<u8> {
+        self.pager.lock().header_user_bytes().to_vec()
+    }
+
+    /// Replace the caller-owned header region (persisted on [`Self::flush`]).
+    pub fn set_header_user_bytes(&self, bytes: &[u8]) {
+        self.pager.lock().set_header_user_bytes(bytes);
+    }
+
+    /// Point-in-time images of all dirty pages plus the header snapshot —
+    /// the input to a WAL checkpoint. Dirty flags are left set; a
+    /// subsequent [`Self::flush`] applies the same state. Callers must
+    /// have quiesced writers (the query layer's edit lock guarantees it);
+    /// shards are snapshotted one at a time.
+    pub fn checkpoint_images(&self) -> (Page, Vec<(PageId, Page)>) {
+        let mut pages = Vec::new();
+        for shard in &self.shards {
+            let inner = shard.inner.lock();
+            pages.extend(
+                inner
+                    .frames
+                    .iter()
+                    .filter(|fr| fr.dirty)
+                    .map(|fr| (fr.pid, fr.page.clone())),
+            );
+        }
+        let header = self.pager.lock().header_snapshot();
+        (header, pages)
+    }
+
+    /// Write back all dirty pages and sync the file.
+    pub fn flush(&self) -> Result<()> {
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let dirty: Vec<usize> = inner
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, fr)| fr.dirty)
+                .map(|(i, _)| i)
+                .collect();
+            for i in dirty {
+                let pid = inner.frames[i].pid;
+                let page = inner.frames[i].page.clone();
+                inner.write_page(pid, &page)?;
+                inner.frames[i].dirty = false;
+            }
+        }
+        // One fsync suffices: every shard handle references the same
+        // inode, and the pager's sync flushes it after the header write.
+        self.pager.lock().sync()
+    }
+
+    /// Number of pages in the underlying file.
+    pub fn page_count(&self) -> u64 {
+        self.page_count.load(Ordering::Acquire)
     }
 }
 
@@ -312,7 +484,7 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_pages() {
         let (pool, path) = pool("evict", 4);
-        let pids: Vec<PageId> = (0..20)
+        let pids: Vec<PageId> = (0..40)
             .map(|i| {
                 let pid = pool.allocate().unwrap();
                 pool.with_page_mut(pid, |p| p.put_u64(0, i as u64)).unwrap();
@@ -381,5 +553,77 @@ mod tests {
         }
         assert_eq!(pool.with_page(pid, |p| p.get_u64(0)).unwrap(), 400);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_stats_sum_to_totals() {
+        let (pool, path) = pool("shardsum", 32);
+        let pids: Vec<PageId> = (0..24).map(|_| pool.allocate().unwrap()).collect();
+        for (i, pid) in pids.iter().enumerate() {
+            pool.with_page_mut(*pid, |p| p.put_u64(0, i as u64))
+                .unwrap();
+        }
+        for pid in &pids {
+            pool.with_page(*pid, |p| p.get_u64(0)).unwrap();
+        }
+        let total = pool.stats().snapshot();
+        let per_shard = pool.shard_stats();
+        assert_eq!(per_shard.len(), pool.shard_count());
+        let sum = per_shard
+            .iter()
+            .fold(PoolStats::default(), |acc, s| PoolStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                evictions: acc.evictions + s.evictions,
+            });
+        assert_eq!(sum, total, "shard counters must sum to the aggregate");
+        // 24 sequential pids over 8 shards: traffic must stripe widely.
+        assert!(
+            per_shard.iter().filter(|s| s.hits + s.misses > 0).count() > 1,
+            "sequential page ids must spread across shards"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn with_pages_matches_with_page_and_keeps_order() {
+        let (pool, path) = pool("batch", 64);
+        let pids: Vec<PageId> = (0..20)
+            .map(|i| {
+                let pid = pool.allocate().unwrap();
+                pool.with_page_mut(pid, |p| p.put_u64(0, i as u64 * 7))
+                    .unwrap();
+                pid
+            })
+            .collect();
+        // Request in reverse order; results must align with the request.
+        let req: Vec<PageId> = pids.iter().rev().copied().collect();
+        let got = pool.with_pages(&req, |_, p| p.get_u64(0)).unwrap();
+        assert_eq!(got.len(), req.len());
+        for (j, v) in got.iter().enumerate() {
+            let i = pids.len() - 1 - j;
+            assert_eq!(*v, i as u64 * 7, "result {j} must match request order");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn with_pages_out_of_range_is_an_error() {
+        let (pool, path) = pool("batchrange", 8);
+        let pid = pool.allocate().unwrap();
+        assert!(pool.with_pages(&[pid, PageId(9_999)], |_, _| ()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_shard_pool_still_works() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gvdb-buffer-oneshard-{}", std::process::id()));
+        let pool = BufferPool::with_shards(Pager::create(&p).unwrap(), 8, 1);
+        assert_eq!(pool.shard_count(), 1);
+        let pid = pool.allocate().unwrap();
+        pool.with_page_mut(pid, |pg| pg.put_u64(0, 11)).unwrap();
+        assert_eq!(pool.with_page(pid, |pg| pg.get_u64(0)).unwrap(), 11);
+        std::fs::remove_file(&p).ok();
     }
 }

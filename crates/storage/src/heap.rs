@@ -154,17 +154,20 @@ impl HeapFile {
 
     /// Batched fetch: records for `rids`, pinning each heap page **once**.
     ///
-    /// The ids are sorted by `(page, slot)` and grouped, so a page chain
-    /// shared by many requested rows costs one buffer-pool lookup per
-    /// *page* instead of one per *row* — the difference between O(rows)
-    /// random accesses and O(pages) sequential ones on the window-query
-    /// hot path. Duplicates are collapsed. Results come back in ascending
-    /// [`RowId`] order (the canonical order of every batched read path).
+    /// The ids are sorted by `(page, slot)` and grouped by page; the page
+    /// groups then go through [`BufferPool::with_pages`], which locks each
+    /// pool *shard* once for all of its pages — so a page chain shared by
+    /// many requested rows costs one buffer-pool lookup per *page* (and
+    /// one stripe lock per *shard*) instead of one per *row*. Duplicates
+    /// are collapsed. Results come back in ascending [`RowId`] order (the
+    /// canonical order of every batched read path).
     pub fn get_many(&self, pool: &BufferPool, rids: &[RowId]) -> Result<Vec<(RowId, Vec<u8>)>> {
         let mut sorted: Vec<RowId> = rids.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        let mut out = Vec::with_capacity(sorted.len());
+        // Page groups: (pid, range into `sorted`).
+        let mut pages: Vec<PageId> = Vec::new();
+        let mut groups: Vec<(usize, usize)> = Vec::new();
         let mut i = 0;
         while i < sorted.len() {
             let pid = sorted[i].page;
@@ -172,26 +175,34 @@ impl HeapFile {
             while j < sorted.len() && sorted[j].page == pid {
                 j += 1;
             }
-            let group = &sorted[i..j];
-            let records = pool.with_page(pid, |p| {
-                let slots = p.get_u16(OFF_SLOT_COUNT);
-                let mut records = Vec::with_capacity(group.len());
-                for rid in group {
-                    if rid.slot >= slots {
-                        return Err(StorageError::RowNotFound);
-                    }
-                    let dir = HEADER + rid.slot as usize * SLOT_SIZE;
-                    let offset = p.get_u16(dir) as usize;
-                    let len = p.get_u16(dir + 2) as usize;
-                    if len == 0 {
-                        return Err(StorageError::RowNotFound);
-                    }
-                    records.push((*rid, p.get_slice(offset, len).to_vec()));
-                }
-                Ok(records)
-            })??;
-            out.extend(records);
+            pages.push(pid);
+            groups.push((i, j));
             i = j;
+        }
+        // One stripe lock per shard, one pin per page; per-page record
+        // lists come back aligned with `pages`, i.e. ascending RowId.
+        let per_page = pool.with_pages(&pages, |gi, p| {
+            let (lo, hi) = groups[gi];
+            let group = &sorted[lo..hi];
+            let slots = p.get_u16(OFF_SLOT_COUNT);
+            let mut records = Vec::with_capacity(group.len());
+            for rid in group {
+                if rid.slot >= slots {
+                    return Err(StorageError::RowNotFound);
+                }
+                let dir = HEADER + rid.slot as usize * SLOT_SIZE;
+                let offset = p.get_u16(dir) as usize;
+                let len = p.get_u16(dir + 2) as usize;
+                if len == 0 {
+                    return Err(StorageError::RowNotFound);
+                }
+                records.push((*rid, p.get_slice(offset, len).to_vec()));
+            }
+            Ok(records)
+        })?;
+        let mut out = Vec::with_capacity(sorted.len());
+        for records in per_page {
+            out.extend(records?);
         }
         Ok(out)
     }

@@ -9,7 +9,7 @@ use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: u32 = 0x6776_4442; // "gvDB"
 const OFF_MAGIC: usize = 0;
@@ -21,6 +21,7 @@ pub const HEADER_USER_OFFSET: usize = 64;
 /// A page-oriented file.
 pub struct Pager {
     file: File,
+    path: PathBuf,
     page_count: u64,
     free_head: u64, // 0 = none (page 0 is never free)
     header: Page,
@@ -49,6 +50,7 @@ impl Pager {
         header.put_u64(OFF_FREE_HEAD, 0);
         let mut pager = Pager {
             file,
+            path: path.to_path_buf(),
             page_count: 1,
             free_head: 0,
             header,
@@ -70,6 +72,7 @@ impl Pager {
         let free_head = header.get_u64(OFF_FREE_HEAD);
         Ok(Pager {
             file,
+            path: path.to_path_buf(),
             page_count,
             free_head,
             header,
@@ -79,6 +82,32 @@ impl Pager {
     /// Number of pages in the file (including the header page).
     pub fn page_count(&self) -> u64 {
         self.page_count
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// An additional read/write handle on the backing file for the
+    /// sharded buffer pool, so cold misses on different shards do disk
+    /// I/O in parallel instead of serializing on one descriptor.
+    ///
+    /// On Unix this **duplicates the open descriptor** (`try_clone`), so
+    /// the handle stays bound to this pager's file even if the path is
+    /// later renamed or unlinked; shards there use positional
+    /// `read_at`/`write_at` and never touch the (shared) cursor.
+    /// Elsewhere the path is reopened so each handle gets a private
+    /// cursor for `seek` + `read`.
+    pub fn clone_handle(&self) -> Result<File> {
+        #[cfg(unix)]
+        {
+            Ok(self.file.try_clone()?)
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(OpenOptions::new().read(true).write(true).open(&self.path)?)
+        }
     }
 
     /// Read the caller-owned region of the header page.

@@ -1,32 +1,21 @@
-//! A real HTTP endpoint for the platform: the Query Manager behind a
-//! hand-rolled HTTP/1.1 server (std::net only), serving the same JSON a
-//! browser frontend would consume.
-//!
-//! Endpoints:
-//! * `GET /layers` — layer inventory
-//! * `GET /window?layer=0&minx=..&miny=..&maxx=..&maxy=..` — window query
-//!   (served through the sharded LRU window cache; exact repeats are
-//!   hits, overlapping pans run the incremental delta path — the
-//!   `X-Gvdb-Source` response header says `hit`, `delta`, or `cold`, and
-//!   `X-Gvdb-Rows-Reused`/`X-Gvdb-Rows-Fetched` report the split)
-//! * `GET /search?layer=0&q=keyword` — keyword search
-//! * `GET /focus?layer=0&node=ID` — focus-on-node neighborhood
-//! * `GET /cache` — window-cache hit/partial/miss/occupancy counters plus
-//!   buffer-pool page hit rate
+//! The serving layer demo: a synthetic RDF dataset behind the real
+//! [`graphvizdb::server`] stack — bounded worker pool, session registry
+//! with delta-pan anchoring, per-shard `/stats`.
 //!
 //! By default the example starts the server, issues demo requests against
-//! itself, prints the responses and exits (CI-friendly). Pass `--serve` to
-//! keep listening.
+//! itself (including a session-anchored pan that rides the incremental
+//! delta path) and exits (CI-friendly). Pass `--serve` to keep listening.
 //!
 //! ```text
 //! cargo run --release --example serve             # self-demo
 //! cargo run --release --example serve -- --serve  # keep serving
 //! ```
+//!
+//! For a real database use the CLI instead: `gvdb serve <db>`.
 
-use graphvizdb::core::json::escape_into;
 use graphvizdb::prelude::*;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 
 fn main() {
@@ -39,56 +28,62 @@ fn main() {
     let (db, _) = preprocess(&graph, &path, &PreprocessConfig::default()).expect("preprocess");
     let qm = Arc::new(QueryManager::new(db));
 
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-    let addr = listener.local_addr().expect("addr");
+    let server = Server::start(qm.clone(), ServerConfig::default()).expect("bind");
+    let addr = server.addr();
     println!("graphvizdb serving on http://{addr}");
 
-    let server_qm = qm.clone();
-    let server = std::thread::spawn(move || {
-        for stream in listener.incoming() {
-            let Ok(stream) = stream else { continue };
-            let qm = server_qm.clone();
-            std::thread::spawn(move || handle(stream, &qm));
-        }
-    });
-
-    let keep_serving = std::env::args().any(|a| a == "--serve");
-    if keep_serving {
-        server.join().ok();
+    if std::env::args().any(|a| a == "--serve") {
+        server.wait();
         return;
     }
 
     // Self-demo: act as our own client. The window request is issued
-    // twice (the repeat is an exact cache hit), then panned by 20% (the
-    // overlap is served by the incremental delta path — see /cache).
-    for path_q in [
-        "/layers".to_string(),
-        "/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200".to_string(),
-        "/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200".to_string(),
-        "/window?layer=0&minx=240&miny=0&maxx=1440&maxy=1200".to_string(),
-        "/search?layer=0&q=Faloutsos".to_string(),
-        "/cache".to_string(),
-    ] {
-        let body = http_get(addr, &path_q);
+    // twice (the repeat is an exact cache hit), then a session is
+    // registered and panned by 20% — the overlap is served by the
+    // incremental delta path (see the X-Gvdb-Source headers and /stats).
+    let demo = |path_q: &str| {
+        let (headers, body) = http_get(addr, path_q);
+        let source = headers
+            .lines()
+            .find(|l| l.starts_with("X-Gvdb-Source"))
+            .unwrap_or("")
+            .trim();
         let preview: String = body.chars().take(160).collect();
         println!(
-            "\nGET {path_q}\n{preview}{}",
+            "\nGET {path_q}  {source}\n{preview}{}",
             if body.len() > 160 { "…" } else { "" }
         );
-    }
+        body
+    };
+    demo("/layers");
+    demo("/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200");
+    demo("/window?layer=0&minx=0&miny=0&maxx=1200&maxy=1200");
+    let session = demo("/session/new")
+        .trim_start_matches("{\"session\":")
+        .trim_end_matches('}')
+        .parse::<u64>()
+        .expect("session id");
+    demo(&format!(
+        "/window?layer=0&session={session}&minx=0&miny=0&maxx=1200&maxy=1200"
+    ));
+    demo(&format!(
+        "/window?layer=0&session={session}&minx=240&miny=0&maxx=1440&maxy=1200"
+    ));
+    demo("/search?layer=0&q=Faloutsos");
+    demo("/cache");
+    demo("/stats");
+
     // Focus on the first search hit.
     let hits = qm.keyword_search(0, "Faloutsos").expect("search");
     if let Some(hit) = hits.first() {
-        let body = http_get(addr, &format!("/focus?layer=0&node={}", hit.node_id));
-        let preview: String = body.chars().take(160).collect();
-        println!("\nGET /focus?layer=0&node={}\n{preview}…", hit.node_id);
+        demo(&format!("/focus?layer=0&node={}", hit.node_id));
     }
     println!("\nself-demo complete (pass --serve to keep the server running)");
+    server.shutdown();
     std::fs::remove_file(&path).ok();
-    std::process::exit(0);
 }
 
-fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(
         stream,
@@ -97,171 +92,8 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     .expect("request");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("response");
-    response
-        .split_once("\r\n\r\n")
-        .map(|(_, body)| body.to_string())
-        .unwrap_or(response)
-}
-
-/// Response body: either built for this request, or the cached window
-/// JSON shared by `Arc` (no per-request copy of the payload).
-enum Body {
-    Owned(String),
-    Shared(Arc<graphvizdb::core::GraphJson>),
-}
-
-impl Body {
-    fn as_str(&self) -> &str {
-        match self {
-            Body::Owned(s) => s,
-            Body::Shared(json) => &json.text,
-        }
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) => (head.to_string(), body.to_string()),
+        None => (response, String::new()),
     }
-}
-
-impl From<String> for Body {
-    fn from(s: String) -> Self {
-        Body::Owned(s)
-    }
-}
-
-fn handle(mut stream: TcpStream, qm: &QueryManager) {
-    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
-    }
-    // Drain headers.
-    let mut line = String::new();
-    while reader.read_line(&mut line).is_ok() && line != "\r\n" && !line.is_empty() {
-        line.clear();
-    }
-    let target = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (path, query) = target.split_once('?').unwrap_or((target, ""));
-    let params: Vec<(&str, &str)> = query
-        .split('&')
-        .filter_map(|kv| kv.split_once('='))
-        .collect();
-    let get = |k: &str| params.iter().find(|(key, _)| *key == k).map(|(_, v)| *v);
-    let layer: usize = get("layer").and_then(|v| v.parse().ok()).unwrap_or(0);
-
-    // Extra response headers (the delta-path telemetry for /window).
-    let mut extra_headers = String::new();
-    let (status, body): (&str, Body) = match path {
-        "/layers" => {
-            let mut out = String::from("{\"layers\":[");
-            for i in 0..qm.layer_count() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let rows = qm.db().layer(i).map(|l| l.row_count()).unwrap_or(0);
-                out.push_str(&format!("{{\"index\":{i},\"rows\":{rows}}}"));
-            }
-            out.push_str("]}");
-            ("200 OK", out.into())
-        }
-        "/window" => {
-            let parse = |k: &str| get(k).and_then(|v| v.parse::<f64>().ok());
-            match (parse("minx"), parse("miny"), parse("maxx"), parse("maxy")) {
-                (Some(minx), Some(miny), Some(maxx), Some(maxy))
-                    if minx <= maxx && miny <= maxy =>
-                {
-                    match qm.window_query(layer, &Rect::new(minx, miny, maxx, maxy)) {
-                        Ok(resp) => {
-                            let source = if resp.cache_hit {
-                                "hit"
-                            } else if resp.delta {
-                                "delta"
-                            } else {
-                                "cold"
-                            };
-                            extra_headers = format!(
-                                "X-Gvdb-Source: {source}\r\nX-Gvdb-Rows-Reused: {}\r\nX-Gvdb-Rows-Fetched: {}\r\n",
-                                resp.rows_reused, resp.rows_fetched
-                            );
-                            ("200 OK", Body::Shared(resp.json))
-                        }
-                        Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}").into()),
-                    }
-                }
-                _ => (
-                    "400 Bad Request",
-                    "{\"error\":\"need minx,miny,maxx,maxy\"}"
-                        .to_string()
-                        .into(),
-                ),
-            }
-        }
-        "/search" => match get("q") {
-            Some(q) => {
-                let q = q.replace('+', " ");
-                match qm.keyword_search(layer, &q) {
-                    Ok(hits) => {
-                        let mut out = String::from("{\"hits\":[");
-                        for (i, h) in hits.iter().enumerate() {
-                            if i > 0 {
-                                out.push(',');
-                            }
-                            out.push_str(&format!(
-                                "{{\"node\":{},\"x\":{:.2},\"y\":{:.2},\"label\":\"",
-                                h.node_id, h.position.x, h.position.y
-                            ));
-                            escape_into(&h.label, &mut out);
-                            out.push_str("\"}");
-                        }
-                        out.push_str("]}");
-                        ("200 OK", out.into())
-                    }
-                    Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}").into()),
-                }
-            }
-            None => (
-                "400 Bad Request",
-                "{\"error\":\"need q\"}".to_string().into(),
-            ),
-        },
-        "/focus" => match get("node").and_then(|v| v.parse::<u64>().ok()) {
-            Some(node) => match qm.focus_on_node(layer, node) {
-                Ok(rows) => {
-                    let json = graphvizdb::core::build_graph_json(&rows);
-                    ("200 OK", json.text.into())
-                }
-                Err(e) => ("404 Not Found", format!("{{\"error\":\"{e}\"}}").into()),
-            },
-            None => (
-                "400 Bad Request",
-                "{\"error\":\"need node\"}".to_string().into(),
-            ),
-        },
-        "/cache" => {
-            let stats = qm.cache_stats();
-            let pool = qm.pool_stats();
-            (
-                "200 OK",
-                format!(
-                    "{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.3},\"pool\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.3}}}}}",
-                    stats.hits,
-                    stats.partial_hits,
-                    stats.misses,
-                    stats.entries,
-                    stats.bytes,
-                    stats.hit_rate(),
-                    pool.hits,
-                    pool.misses,
-                    pool.hit_rate()
-                )
-                .into(),
-            )
-        }
-        _ => (
-            "404 Not Found",
-            "{\"error\":\"unknown endpoint\"}".to_string().into(),
-        ),
-    };
-    let body = body.as_str();
-    let _ = write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n{body}",
-        body.len()
-    );
 }

@@ -8,7 +8,8 @@
 //! gvdb search <db> <layer> <keyword...>
 //! gvdb focus <db> <layer> <node-id>
 //! gvdb stats <db>
-//! gvdb bench-smoke [--out FILE] [--nodes N] [--pans K] [--overlap F]
+//! gvdb serve <db> [--addr HOST:PORT] [--workers N] [--backlog N]
+//! gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--nodes N] [--pans K] [--overlap F]
 //! ```
 //!
 //! Input format is inferred from the extension: `.nt` parses as N-Triples,
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         Some("search") => cmd_search(&args[1..]),
         Some("focus") => cmd_focus(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("bench-smoke") => cmd_bench_smoke(&args[1..]),
         _ => {
             eprintln!("{}", USAGE);
@@ -55,7 +57,8 @@ const USAGE: &str = "usage:
   gvdb search <db> <layer> <keyword...>
   gvdb focus <db> <layer> <node-id>
   gvdb stats <db>
-  gvdb bench-smoke [--out FILE] [--nodes N] [--pans K] [--overlap F]";
+  gvdb serve <db> [--addr HOST:PORT] [--workers N] [--backlog N]
+  gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--nodes N] [--pans K] [--overlap F]";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -216,6 +219,44 @@ fn cmd_focus(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `gvdb serve`: open a preprocessed database and serve it over HTTP on
+/// the bounded worker pool until the process is killed. Clients that want
+/// incremental pans register a session first (`GET /session/new`) and tag
+/// their `/window` requests with it; `/stats` exposes the per-shard
+/// buffer-pool and window-cache counters.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use graphvizdb::server::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    let [db_path, ..] = args else {
+        return Err("serve needs <db>".into());
+    };
+    let mut config = ServerConfig::default();
+    if let Some(addr) = flag(args, "--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(workers) = flag(args, "--workers") {
+        config.workers = workers
+            .parse()
+            .map_err(|_| format!("bad --workers {workers}"))?;
+    }
+    if let Some(backlog) = flag(args, "--backlog") {
+        config.backlog = backlog
+            .parse()
+            .map_err(|_| format!("bad --backlog {backlog}"))?;
+    }
+    let qm = Arc::new(QueryManager::new(open_db(db_path)?));
+    let layers = qm.layer_count();
+    let server = Server::start(qm, config).map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "graphvizdb serving {db_path} ({layers} layers) on http://{}",
+        server.addr()
+    );
+    println!("endpoints: /layers /window /session/new /session/close /search /focus /cache /stats /healthz");
+    server.wait();
+    Ok(())
+}
+
 /// The perf-trajectory smoke bench: a synthetic patent-like dataset, one
 /// interactive pan trajectory, cold vs delta execution, written to a JSON
 /// file (`BENCH_pan.json` by default) so successive PRs can diff the
@@ -223,7 +264,6 @@ fn cmd_focus(args: &[String]) -> Result<(), String> {
 fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
     use graphvizdb::prelude::{patent_like, CitationConfig};
     use gvdb_bench::{pan_trajectory, prepare};
-    use gvdb_core::CacheConfig;
     use std::time::Instant;
 
     let out = flag(args, "--out").unwrap_or("BENCH_pan.json");
@@ -273,12 +313,7 @@ fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
     let qm_delta = QueryManager::new(db);
     let qm_cold = QueryManager::with_cache_config(
         GraphDb::open(Path::new(&path)).map_err(|e| e.to_string())?,
-        CacheConfig {
-            capacity: 1,
-            shards: 1,
-            min_delta_overlap: 2.0,
-            ..CacheConfig::default()
-        },
+        gvdb_bench::uncached_cache_config(),
     );
 
     let mut cold_ms = Vec::with_capacity(windows.len());
@@ -365,7 +400,144 @@ fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
         "wrote {out}: delta {:.3} ms vs cold {:.3} ms median ({speedup:.1}x), {} vs {} rows fetched",
         delta_median, cold_median, delta_fetched, cold_fetched
     );
+
+    let conc_out = flag(args, "--concurrency-out").unwrap_or("BENCH_concurrency.json");
+    bench_concurrency(Path::new(&path), &bounds, conc_out)?;
+
     std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+/// The concurrency smoke bench: 1/2/4/8 reader threads hammering
+/// `window_query` on per-thread distinct windows of a shared
+/// [`QueryManager`], over a warm buffer pool. Two paths are measured:
+///
+/// * **cached** — the default manager; after the first round every query
+///   is an exact window-cache hit, so this stresses the sharded cache and
+///   the read-lock fast path.
+/// * **uncached** — a manager with the cache reduced to one entry and the
+///   delta path disabled, so every query runs the full R-tree descent and
+///   batched heap fetch through the sharded buffer pool (pages resident
+///   after the warm-up round: pure lock-striping, no disk).
+///
+/// Writes queries/sec per thread count plus the per-shard pool counters
+/// to `out`. `host_cpus` is recorded because aggregate throughput cannot
+/// scale past the core count regardless of locking.
+fn bench_concurrency(
+    db_path: &Path,
+    bounds: &graphvizdb::spatial::Rect,
+    out: &str,
+) -> Result<(), String> {
+    use graphvizdb::spatial::Rect;
+    use gvdb_bench::{
+        concurrency_window, concurrency_window_side, uncached_cache_config, CONCURRENCY_THREADS,
+        CONCURRENCY_WINDOWS_PER_THREAD,
+    };
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    // Per-variant work: cache hits are ~µs, so they need many more
+    // iterations than full index+heap queries for a stable wall time.
+    const CACHED_QUERIES_PER_THREAD: usize = 20_000;
+    const UNCACHED_QUERIES_PER_THREAD: usize = 150;
+    let side = concurrency_window_side(bounds);
+    let thread_counts = CONCURRENCY_THREADS;
+
+    let open = || GraphDb::open(db_path).map_err(|e| e.to_string());
+    let qm_hot = Arc::new(QueryManager::new(open()?));
+    let qm_cold = Arc::new(QueryManager::with_cache_config(
+        open()?,
+        uncached_cache_config(),
+    ));
+
+    // Deterministic per-thread windows (shared with the criterion bench
+    // so both harnesses measure the same workload).
+    let window = |t: usize, i: usize| -> Rect { concurrency_window(bounds, side, t, i) };
+
+    let run = |qm: &Arc<QueryManager>, threads: usize, queries: usize| -> Result<f64, String> {
+        // Warm-up round: touch every window once so the pool is resident
+        // and (for the hot manager) the cache is populated.
+        for t in 0..threads {
+            for i in 0..CONCURRENCY_WINDOWS_PER_THREAD {
+                qm.window_query(0, &window(t, i))
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        let started = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let qm = Arc::clone(qm);
+                let windows: Vec<Rect> = (0..CONCURRENCY_WINDOWS_PER_THREAD)
+                    .map(|i| window(t, i))
+                    .collect();
+                std::thread::spawn(move || {
+                    for q in 0..queries {
+                        qm.window_query(0, &windows[q % windows.len()])
+                            .expect("window query");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().map_err(|_| "bench thread panicked".to_string())?;
+        }
+        let secs = started.elapsed().as_secs_f64();
+        Ok(threads as f64 * queries as f64 / secs.max(1e-9))
+    };
+
+    let mut cached_qps = Vec::new();
+    let mut uncached_qps = Vec::new();
+    for &threads in &thread_counts {
+        cached_qps.push(run(&qm_hot, threads, CACHED_QUERIES_PER_THREAD)?);
+        uncached_qps.push(run(&qm_cold, threads, UNCACHED_QUERIES_PER_THREAD)?);
+    }
+    let ratio = |qps: &[f64], threads: usize| {
+        let idx = thread_counts
+            .iter()
+            .position(|&t| t == threads)
+            .unwrap_or(0);
+        if qps[0] > 0.0 {
+            qps[idx] / qps[0]
+        } else {
+            0.0
+        }
+    };
+
+    let shard_stats = qm_cold.pool_shard_stats();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let fmt_list = |xs: &[f64]| {
+        xs.iter()
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let threads_list = thread_counts
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"threads\": [{threads_list}],\n  \"queries_per_thread\": {{\"cached\": {CACHED_QUERIES_PER_THREAD}, \"uncached\": {UNCACHED_QUERIES_PER_THREAD}}},\n  \"cached_qps\": [{}],\n  \"uncached_qps\": [{}],\n  \"cached_speedup_4t\": {:.2},\n  \"uncached_speedup_4t\": {:.2},\n  \"pool_shards\": {},\n  \"pool_shard_pins\": [{}]\n}}\n",
+        fmt_list(&cached_qps),
+        fmt_list(&uncached_qps),
+        ratio(&cached_qps, 4),
+        ratio(&uncached_qps, 4),
+        shard_stats.len(),
+        shard_stats
+            .iter()
+            .map(|s| (s.hits + s.misses).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("{json}");
+    let at4 = thread_counts.iter().position(|&t| t == 4).unwrap_or(0);
+    println!(
+        "wrote {out}: cached {:.0} -> {:.0} qps (1 -> {} threads), uncached {:.0} -> {:.0} qps, {host_cpus} host cpu(s)",
+        cached_qps[0], cached_qps[at4], thread_counts[at4], uncached_qps[0], uncached_qps[at4]
+    );
     Ok(())
 }
 

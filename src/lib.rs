@@ -24,6 +24,7 @@
 //! | [`storage`] | paged storage engine: heap files, B+-trees, tries, packed R-tree (MySQL substitute) |
 //! | [`abstraction`] | degree/PageRank/HITS filtering + cluster summarization |
 //! | [`core`] | preprocessing pipeline, query manager, sessions, client model |
+//! | [`server`] | HTTP serving layer: worker pool, session registry, stats |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use gvdb_core as core;
 pub use gvdb_graph as graph;
 pub use gvdb_layout as layout;
 pub use gvdb_partition as partition;
+pub use gvdb_server as server;
 pub use gvdb_spatial as spatial;
 pub use gvdb_storage as storage;
 
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use gvdb_graph::{Graph, GraphBuilder, GraphMetrics, NodeId};
     pub use gvdb_layout::{ForceDirected, LayoutAlgorithm};
     pub use gvdb_partition::{partition, PartitionConfig};
+    pub use gvdb_server::{Server, ServerConfig};
     pub use gvdb_spatial::{Point, Rect};
     pub use gvdb_storage::{EdgeGeometry, EdgeRow, GraphDb};
 }

@@ -137,7 +137,7 @@ fn keyword_search_then_navigate_then_edit() {
         node2_id: 5_000_002,
         node2_label: "added B".into(),
     };
-    let rid = session.add_edge(&mut qm, &row).unwrap();
+    let rid = session.add_edge(&qm, &row).unwrap();
     assert!(session
         .view(&qm)
         .unwrap()

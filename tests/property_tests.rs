@@ -263,12 +263,13 @@ proptest! {
                 session.zoom_by(if dx > 0.0 { 1.1 } else { 0.9 });
             }
             let resp = session.view(qm).unwrap();
-            let cold = qm
-                .db()
+            let db = qm.db();
+            let cold = db
                 .layer(session.layer())
                 .unwrap()
-                .window(qm.db().pool(), &session.window(), true)
+                .window(db.pool(), &session.window(), true)
                 .unwrap();
+            drop(db);
             prop_assert_eq!(
                 &*resp.rows, &cold,
                 "delta result diverged from cold (window {:?})",

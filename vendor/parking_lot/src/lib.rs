@@ -7,9 +7,14 @@
 //! is recovered by taking the inner guard, matching `parking_lot`'s
 //! poison-free semantics.
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+
+// Guard types are part of the public API, under the same names and with
+// the same one-lifetime-one-type shape as the real parking_lot's own
+// guards: downstream code should write `parking_lot::RwLockReadGuard`,
+// not `std::sync::…`, so a future swap to the real crate stays
+// source-compatible.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free API.
 #[derive(Debug, Default)]
@@ -48,6 +53,11 @@ impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
         RwLock(StdRwLock::new(value))
     }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 impl<T: ?Sized> RwLock<T> {
@@ -59,6 +69,11 @@ impl<T: ?Sized> RwLock<T> {
     /// Block until exclusive write access is held.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
