@@ -1,0 +1,258 @@
+//! Round-trip tests of the v1 wire protocol: every [`ApiRequest`] and
+//! [`ApiResponse`] variant must survive `to_json` → `from_json` exactly.
+
+use gvdb_api::{
+    ApiError, ApiRequest, ApiResponse, CacheStatsDto, DatasetInfo, DatasetStats, EdgeDto,
+    ErrorKind, LayerInfo, PoolStatsDto, RectDto, SearchHitDto, SessionStatsDto, Source, StatsDto,
+    WindowMeta,
+};
+
+fn rect() -> RectDto {
+    RectDto {
+        min_x: -10.25,
+        min_y: 0.0,
+        max_x: 1500.5,
+        max_y: 2e6,
+    }
+}
+
+fn edge() -> EdgeDto {
+    EdgeDto {
+        node1_id: 900_001,
+        node1_label: "node \"A\" — draft".into(),
+        node2_id: u64::MAX - 7, // above i64::MAX: must ride Json::UInt
+        node2_label: "node B\nsecond line".into(),
+        edge_label: "hand-drawn".into(),
+        x1: 1.5,
+        y1: -2.25,
+        x2: 100.0,
+        y2: 200.0,
+        directed: true,
+    }
+}
+
+#[track_caller]
+fn roundtrip_request(req: ApiRequest) {
+    let text = req.to_json();
+    let parsed = ApiRequest::from_json(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+    assert_eq!(parsed, req, "wire form: {text}");
+    // The wire form is itself stable (canonical writer).
+    assert_eq!(parsed.to_json(), text);
+}
+
+#[track_caller]
+fn roundtrip_response(resp: ApiResponse) {
+    let text = resp.to_json();
+    let parsed = ApiResponse::from_json(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+    assert_eq!(parsed, resp, "wire form: {text}");
+    assert_eq!(parsed.to_json(), text);
+}
+
+#[test]
+fn every_request_variant_roundtrips() {
+    roundtrip_request(ApiRequest::ListDatasets);
+    roundtrip_request(ApiRequest::ListLayers { dataset: None });
+    roundtrip_request(ApiRequest::ListLayers {
+        dataset: Some("patents".into()),
+    });
+    roundtrip_request(ApiRequest::Window {
+        dataset: Some("dblp".into()),
+        layer: Some(2),
+        window: rect(),
+        session: Some(41),
+    });
+    roundtrip_request(ApiRequest::Window {
+        dataset: None,
+        layer: None,
+        window: rect(),
+        session: None,
+    });
+    roundtrip_request(ApiRequest::Search {
+        dataset: None,
+        layer: 0,
+        query: "Faloutsos \"graph mining\"".into(),
+    });
+    roundtrip_request(ApiRequest::Focus {
+        dataset: Some("acm".into()),
+        layer: 1,
+        node: u64::from(u32::MAX) + 5,
+    });
+    roundtrip_request(ApiRequest::InsertEdge {
+        dataset: Some("dblp".into()),
+        layer: 0,
+        edge: edge(),
+    });
+    roundtrip_request(ApiRequest::DeleteEdge {
+        dataset: None,
+        layer: 3,
+        rid: (77u64 << 16) | 12, // a packed RowId
+    });
+    roundtrip_request(ApiRequest::SessionNew {
+        dataset: None,
+        window: None,
+    });
+    roundtrip_request(ApiRequest::SessionNew {
+        dataset: Some("patents".into()),
+        window: Some(rect()),
+    });
+    roundtrip_request(ApiRequest::SessionClose {
+        dataset: None,
+        session: 9,
+    });
+    roundtrip_request(ApiRequest::Stats);
+}
+
+#[test]
+fn every_response_variant_roundtrips() {
+    roundtrip_response(ApiResponse::Datasets {
+        datasets: vec![
+            DatasetInfo {
+                name: "acm".into(),
+                layers: 5,
+            },
+            DatasetInfo {
+                name: "dblp".into(),
+                layers: 3,
+            },
+        ],
+    });
+    roundtrip_response(ApiResponse::Layers {
+        dataset: "acm".into(),
+        layers: vec![
+            LayerInfo {
+                index: 0,
+                rows: 150_000,
+                epoch: 2,
+            },
+            LayerInfo {
+                index: 1,
+                rows: 45_000,
+                epoch: 0,
+            },
+        ],
+    });
+    roundtrip_response(ApiResponse::Window {
+        meta: WindowMeta {
+            dataset: "default".into(),
+            layer: 0,
+            epoch: 7,
+            source: Source::Delta,
+            rows_reused: 812,
+            rows_fetched: 44,
+            session: Some(3),
+        },
+        // Canonical payload text (what the parser re-emits).
+        graph: r#"{"nodes":[{"id":1,"label":"a","x":1.5,"y":2.5}],"edges":[]}"#.into(),
+    });
+    roundtrip_response(ApiResponse::Window {
+        meta: WindowMeta {
+            dataset: "patents".into(),
+            layer: 4,
+            epoch: 0,
+            source: Source::Cold,
+            rows_reused: 0,
+            rows_fetched: 1203,
+            session: None,
+        },
+        graph: r#"{"nodes":[],"edges":[]}"#.into(),
+    });
+    roundtrip_response(ApiResponse::Hits {
+        hits: vec![SearchHitDto {
+            node: 42,
+            label: "C. Faloutsos".into(),
+            x: -17.25,
+            y: 3300.5,
+        }],
+    });
+    roundtrip_response(ApiResponse::Focus {
+        rows: 6,
+        graph: r#"{"nodes":[{"id":9,"label":"hub","x":0.5,"y":0.5}],"edges":[]}"#.into(),
+    });
+    roundtrip_response(ApiResponse::Mutated {
+        dataset: "default".into(),
+        layer: 0,
+        epoch: 3,
+        rid: Some((8191u64 << 16) | 3),
+    });
+    roundtrip_response(ApiResponse::Mutated {
+        dataset: "acm".into(),
+        layer: 2,
+        epoch: 11,
+        rid: None,
+    });
+    roundtrip_response(ApiResponse::Session { id: 77 });
+    roundtrip_response(ApiResponse::Closed);
+    roundtrip_response(ApiResponse::Stats(StatsDto {
+        served: 1_234,
+        rejected: 5,
+        workers: 4,
+        backlog: 64,
+        datasets: vec![DatasetStats {
+            name: "default".into(),
+            epochs: vec![3, 0, 0],
+            cache: CacheStatsDto {
+                hits: 100,
+                partial_hits: 20,
+                misses: 30,
+                entries: 12,
+                bytes: 1 << 20,
+                shards: vec![(6, 1 << 19), (6, 1 << 19)],
+            },
+            pool: PoolStatsDto {
+                hits: 9_000,
+                misses: 120,
+                evictions: 7,
+                shards: vec![(4_500, 60, 3), (4_500, 60, 4)],
+            },
+            sessions: SessionStatsDto {
+                live: 2,
+                created: 10,
+                evictions: 3,
+                expired: 5,
+            },
+        }],
+    }));
+    roundtrip_response(ApiResponse::Error(ApiError::new(
+        ErrorKind::NotFound,
+        "dataset 'acm' not found (available: dblp, patents)",
+    )));
+}
+
+#[test]
+fn error_kinds_map_to_http_statuses() {
+    let cases = [
+        (ErrorKind::BadRequest, "400"),
+        (ErrorKind::NotFound, "404"),
+        (ErrorKind::Conflict, "409"),
+        (ErrorKind::TooLarge, "413"),
+        (ErrorKind::Unavailable, "503"),
+        (ErrorKind::Internal, "500"),
+    ];
+    for (kind, status) in cases {
+        assert!(kind.http_status().starts_with(status));
+        assert_eq!(ErrorKind::parse(kind.as_str()), Some(kind));
+    }
+}
+
+#[test]
+fn malformed_requests_are_typed_errors() {
+    for bad in [
+        "",
+        "not json",
+        "{}",                                                      // no op
+        r#"{"op":"frobnicate"}"#,                                  // unknown op
+        r#"{"op":"window"}"#,                                      // missing window
+        r#"{"op":"search","layer":0}"#,                            // missing q
+        r#"{"op":"delete_edge","layer":0}"#,                       // missing rid
+        r#"{"op":"insert_edge","layer":0,"edge":{"node1_id":1}}"#, // truncated edge
+    ] {
+        let err = ApiRequest::from_json(bad).expect_err(bad);
+        assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+    }
+}
+
+#[test]
+fn window_graph_payload_is_validated_json() {
+    let text = r#"{"kind":"window","window":{"dataset":"d","layer":0,"epoch":0,"source":"cold","rows_reused":0,"rows_fetched":0},"graph":{"nodes":[],"edges":"#;
+    assert!(ApiResponse::from_json(text).is_err());
+}

@@ -10,6 +10,11 @@
 //!   focus-on-node, measured stage by stage as in Fig. 3.
 //! * [`session`] — per-user exploration state (pan/zoom/layers/filters/
 //!   edits).
+//! * [`service`] — the typed entry point: [`GraphService`] executes
+//!   `gvdb_api::ApiRequest`s against a [`QueryManager`] (one dataset)
+//!   or a [`SharedWorkspace`] (many, each isolated).
+//! * [`registry`] — per-dataset session registries (LRU min-heap +
+//!   idle-TTL eviction) behind stateless protocols.
 //! * [`json`] / [`client`] — client payload building and the simulated
 //!   communication + rendering pipeline.
 //! * [`stats`] / [`birdview`] — the Statistics and Birdview panels.
@@ -41,6 +46,8 @@ pub mod json;
 pub mod organizer;
 pub mod preprocess;
 pub mod query;
+pub mod registry;
+pub mod service;
 pub mod session;
 pub mod stats;
 pub mod workspace;
@@ -55,5 +62,7 @@ pub use preprocess::{
     StepTimes,
 };
 pub use query::{QueryManager, SearchHit, WindowResponse};
+pub use registry::{SessionHandle, SessionId, SessionRegistry, SessionStats};
+pub use service::{ApiOutcome, GraphService, WindowOutcome, DEFAULT_DATASET};
 pub use session::{Filters, Session};
-pub use workspace::Workspace;
+pub use workspace::{SharedWorkspace, Workspace};

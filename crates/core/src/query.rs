@@ -42,6 +42,7 @@
 use crate::cache::{CacheConfig, CacheShardStats, CacheStats, CachedWindow, WindowCache};
 use crate::client::{ClientCost, ClientModel};
 use crate::json::{build_graph_json, GraphJson};
+use crate::registry::SessionRegistry;
 use gvdb_spatial::{Point, Rect};
 use gvdb_storage::{EdgeRow, GraphDb, LayerTable, PoolStats, Result, RowId, StorageError};
 use parking_lot::RwLock;
@@ -138,6 +139,10 @@ pub struct QueryManager {
     epochs: RwLock<Vec<u64>>,
     client: ClientModel,
     cache: WindowCache,
+    /// Registered client sessions (delta-pan anchoring over stateless
+    /// protocols). Owned per manager, so a multi-dataset workspace gets
+    /// per-dataset session registries for free.
+    sessions: SessionRegistry,
 }
 
 impl QueryManager {
@@ -165,7 +170,15 @@ impl QueryManager {
             epochs: RwLock::new(epochs),
             client,
             cache,
+            sessions: SessionRegistry::new(),
         }
+    }
+
+    /// This manager's session registry (see [`SessionRegistry`]): clients
+    /// that want anchored delta pans register here and tag their window
+    /// requests with the returned id.
+    pub fn sessions(&self) -> &SessionRegistry {
+        &self.sessions
     }
 
     /// Shared read access to the underlying database. The guard blocks

@@ -1,0 +1,374 @@
+//! The session registry: server-side per-client exploration state.
+//!
+//! Each client that wants incremental pans registers a [`SessionId`]
+//! (`SessionNew`) and tags its window queries with it. The registry maps
+//! the id to an anchored [`Session`], so a client's consecutive viewports
+//! ride the delta path exactly like an embedded caller's — over a
+//! stateless protocol. Every [`crate::QueryManager`] owns one registry,
+//! which is what gives a multi-dataset workspace **per-dataset** session
+//! registries for free.
+//!
+//! Capacity: the registry is **bounded**
+//! ([`SessionRegistry::with_capacity`], default
+//! [`DEFAULT_SESSION_CAPACITY`]). Creating a session at capacity evicts
+//! the least-recently-used one — a server that runs for weeks cannot be
+//! grown without bound by clients that never say goodbye. Eviction is
+//! **O(log n)** via a lazy min-heap over last-used ticks: every touch
+//! pushes a `(tick, id)` entry, eviction pops until it finds an entry
+//! whose tick still matches the slot (stale entries from older touches
+//! are discarded), and the heap is rebuilt whenever stale entries
+//! outnumber live ones. On top of the capacity bound, an **idle-TTL
+//! sweep** ([`SessionRegistry::set_idle_ttl`], default
+//! [`DEFAULT_IDLE_TTL`]) reclaims sessions nobody has touched, before the
+//! cap ever bites. Both reclamation paths are counted
+//! ([`SessionStats::evictions`] / [`SessionStats::expired`]) and surfaced
+//! in `/v1/stats`.
+//!
+//! Locking: the registry lock is held only to resolve an id to its
+//! session handle; each session then has its own mutex, so requests from
+//! *different* clients run concurrently and only a client racing itself
+//! serializes (which is also what keeps its anchor chain coherent).
+
+use crate::session::Session;
+use gvdb_spatial::Rect;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Opaque id of a registered [`Session`].
+pub type SessionId = u64;
+
+/// A shared handle on one client's session.
+pub type SessionHandle = Arc<Mutex<Session>>;
+
+/// Default maximum number of live sessions (LRU-evicted beyond it).
+pub const DEFAULT_SESSION_CAPACITY: usize = 10_000;
+
+/// Default idle TTL: a session untouched this long is reclaimed by the
+/// next sweep.
+pub const DEFAULT_IDLE_TTL: Duration = Duration::from_secs(30 * 60);
+
+/// Registry lifetime counters (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Sessions currently live.
+    pub live: usize,
+    /// Sessions ever created.
+    pub created: u64,
+    /// Sessions evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Sessions reclaimed by the idle-TTL sweep.
+    pub expired: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    handle: SessionHandle,
+    /// Last-touch tick (registry-local LRU clock). The heap entry whose
+    /// tick equals this one is the slot's live entry; older heap entries
+    /// are stale and discarded lazily.
+    tick: u64,
+    /// Last-touch wall time, for the idle-TTL sweep.
+    last_used: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    sessions: HashMap<SessionId, Slot>,
+    /// Lazy min-heap of `(tick, id)` touches; `Reverse` turns the std
+    /// max-heap into a min-heap.
+    lru: BinaryHeap<Reverse<(u64, SessionId)>>,
+}
+
+/// Registry of live sessions (see module docs).
+#[derive(Debug)]
+pub struct SessionRegistry {
+    inner: Mutex<Inner>,
+    next: AtomicU64,
+    clock: AtomicU64,
+    capacity: usize,
+    /// Idle TTL in milliseconds; 0 disables the sweep.
+    idle_ttl_ms: AtomicU64,
+    created: AtomicU64,
+    evictions: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SESSION_CAPACITY)
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry with the default capacity and TTL.
+    pub fn new() -> Self {
+        SessionRegistry::default()
+    }
+
+    /// An empty registry holding at most `capacity` sessions (min 1),
+    /// with the default idle TTL.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SessionRegistry {
+            inner: Mutex::new(Inner::default()),
+            next: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            idle_ttl_ms: AtomicU64::new(DEFAULT_IDLE_TTL.as_millis() as u64),
+            created: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// Change the idle TTL; `None` disables the sweep entirely.
+    pub fn set_idle_ttl(&self, ttl: Option<Duration>) {
+        let ms = ttl.map_or(0, |t| (t.as_millis() as u64).max(1));
+        self.idle_ttl_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Register a new session starting at `window`; returns its id. At
+    /// capacity, the least-recently-used session is evicted to make room
+    /// (its id stops resolving; an in-flight request holding the handle
+    /// finishes normally). Idle sessions past the TTL are swept first.
+    pub fn create(&self, window: Rect) -> SessionId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.created.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        self.sweep_expired(&mut inner, Instant::now());
+        while inner.sessions.len() >= self.capacity {
+            if !self.evict_lru(&mut inner) {
+                break;
+            }
+        }
+        inner.sessions.insert(
+            id,
+            Slot {
+                handle: Arc::new(Mutex::new(Session::new(window))),
+                tick,
+                last_used: Instant::now(),
+            },
+        );
+        inner.lru.push(Reverse((tick, id)));
+        id
+    }
+
+    /// The session handle for `id`, if it is still registered and not
+    /// expired. Refreshes its LRU position and idle timer.
+    pub fn get(&self, id: SessionId) -> Option<SessionHandle> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let ttl = self.ttl();
+        let mut inner = self.inner.lock();
+        let slot = inner.sessions.get_mut(&id)?;
+        let now = Instant::now();
+        if let Some(ttl) = ttl {
+            if now.duration_since(slot.last_used) > ttl {
+                inner.sessions.remove(&id);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        slot.tick = tick;
+        slot.last_used = now;
+        let handle = slot.handle.clone();
+        inner.lru.push(Reverse((tick, id)));
+        // Compact once stale heap entries (from older touches) dominate.
+        if inner.lru.len() > 2 * inner.sessions.len() + 64 {
+            inner.lru = inner
+                .sessions
+                .iter()
+                .map(|(&id, slot)| Reverse((slot.tick, id)))
+                .collect();
+        }
+        Some(handle)
+    }
+
+    /// Drop a session (its id stops resolving; in-flight requests holding
+    /// the handle finish normally).
+    pub fn remove(&self, id: SessionId) -> bool {
+        self.inner.lock().sessions.remove(&id).is_some()
+    }
+
+    /// Number of live sessions (expired-but-unswept sessions count until
+    /// the next create/stats sweep touches them).
+    pub fn len(&self) -> usize {
+        self.inner.lock().sessions.len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().sessions.is_empty()
+    }
+
+    /// Lifetime counters. Runs an idle sweep first, so `expired` reflects
+    /// sessions that timed out since the last touch.
+    pub fn stats(&self) -> SessionStats {
+        let mut inner = self.inner.lock();
+        self.sweep_expired(&mut inner, Instant::now());
+        SessionStats {
+            live: inner.sessions.len(),
+            created: self.created.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+        }
+    }
+
+    fn ttl(&self) -> Option<Duration> {
+        match self.idle_ttl_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+
+    /// Pop heap entries until one matches a live slot's current tick,
+    /// then evict that slot. Returns false when the heap runs dry.
+    fn evict_lru(&self, inner: &mut Inner) -> bool {
+        while let Some(Reverse((tick, id))) = inner.lru.pop() {
+            let live = inner
+                .sessions
+                .get(&id)
+                .is_some_and(|slot| slot.tick == tick);
+            if live {
+                inner.sessions.remove(&id);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            // Stale entry (the session was touched again, removed, or
+            // expired since this push): discard and keep popping.
+        }
+        false
+    }
+
+    /// Remove every session idle past the TTL.
+    fn sweep_expired(&self, inner: &mut Inner, now: Instant) {
+        let Some(ttl) = self.ttl() else { return };
+        let before = inner.sessions.len();
+        inner
+            .sessions
+            .retain(|_, slot| now.duration_since(slot.last_used) <= ttl);
+        let swept = before - inner.sessions.len();
+        if swept > 0 {
+            self.expired.fetch_add(swept as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_remove_roundtrip() {
+        let reg = SessionRegistry::new();
+        assert!(reg.is_empty());
+        let id = reg.create(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let other = reg.create(Rect::new(5.0, 5.0, 15.0, 15.0));
+        assert_ne!(id, other);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(id).is_some());
+        assert!(reg.get(9_999).is_none());
+        assert!(reg.remove(id));
+        assert!(!reg.remove(id), "double remove reports absence");
+        assert!(reg.get(id).is_none());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.stats().created, 2);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let reg = SessionRegistry::with_capacity(3);
+        let a = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        let b = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        let c = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        // Touch `a` so `b` becomes the LRU, then overflow.
+        assert!(reg.get(a).is_some());
+        let d = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(reg.len(), 3, "registry must stay at capacity");
+        assert!(reg.get(b).is_none(), "LRU session evicted");
+        assert!(reg.get(a).is_some(), "recently used survives");
+        assert!(reg.get(c).is_some());
+        assert!(reg.get(d).is_some());
+        assert_eq!(reg.stats().evictions, 1);
+    }
+
+    #[test]
+    fn heap_evicts_correctly_under_many_touches() {
+        // Stale heap entries (one per touch) must never cause a
+        // recently-used session to be evicted.
+        let reg = SessionRegistry::with_capacity(4);
+        let ids: Vec<_> = (0..4)
+            .map(|_| reg.create(Rect::new(0.0, 0.0, 1.0, 1.0)))
+            .collect();
+        // Touch everything but ids[2], many times, in rotating order.
+        for round in 0..100 {
+            for (i, &id) in ids.iter().enumerate() {
+                if i != 2 && (round + i) % 2 == 0 {
+                    assert!(reg.get(id).is_some());
+                }
+            }
+        }
+        let newcomer = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert!(reg.get(ids[2]).is_none(), "the untouched session goes");
+        for (i, &id) in ids.iter().enumerate() {
+            if i != 2 {
+                assert!(reg.get(id).is_some(), "session {i} must survive");
+            }
+        }
+        assert!(reg.get(newcomer).is_some());
+    }
+
+    #[test]
+    fn idle_sessions_expire() {
+        let reg = SessionRegistry::with_capacity(10);
+        reg.set_idle_ttl(Some(Duration::from_millis(30)));
+        let old = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        std::thread::sleep(Duration::from_millis(60));
+        // Direct lookup of an expired session fails and counts.
+        assert!(reg.get(old).is_none(), "expired session must not resolve");
+        let stats = reg.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.live, 0);
+
+        // The sweep reclaims without anyone touching the expired id.
+        let a = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        std::thread::sleep(Duration::from_millis(60));
+        let b = reg.create(Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert!(reg.get(b).is_some());
+        let stats = reg.stats();
+        assert_eq!(stats.expired, 2, "create sweeps the idle session");
+        assert_eq!(stats.live, 1);
+        assert!(reg.get(a).is_none());
+
+        // Disabling the TTL stops the sweep.
+        reg.set_idle_ttl(None);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(reg.get(b).is_some(), "no TTL, no expiry");
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let reg = Arc::new(SessionRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    (0..50)
+                        .map(|_| reg.create(Rect::new(0.0, 0.0, 1.0, 1.0)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<SessionId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 50, "no id may be handed out twice");
+        assert_eq!(reg.len(), 8 * 50);
+    }
+}

@@ -1,0 +1,815 @@
+//! The typed service layer: every consumer — HTTP routes, CLI
+//! subcommands, examples, benches — reaches the engine through one
+//! entry point, [`GraphService::call`], instead of poking
+//! [`QueryManager`] methods directly.
+//!
+//! ```text
+//!                 ApiRequest (gvdb-api, versioned wire DTOs)
+//!                      │
+//!              GraphService::call
+//!               ┌──────┴────────┐
+//!        QueryManager      SharedWorkspace
+//!        (one dataset,     (name → Arc<QueryManager>,
+//!         "default")        per-dataset sessions/epochs)
+//!               └──────┬────────┘
+//!                  ApiOutcome ── into_response() ──► ApiResponse
+//! ```
+//!
+//! [`ApiOutcome`] is the *server-side* result: it still holds the
+//! `Arc`-shared rows and payload of a [`WindowResponse`], so the HTTP
+//! layer can splice the cached payload into its envelope without a copy.
+//! [`ApiOutcome::into_response`] flattens it into the pure wire DTO for
+//! callers that want the serialized form (the RPC endpoint, the CLI).
+//!
+//! Both implementations answer session operations from their own
+//! [`SessionRegistry`](crate::registry::SessionRegistry) — the
+//! single-dataset service through the manager's
+//! registry, the workspace through each dataset's — so mutation and
+//! session state never leak across datasets.
+
+use crate::json::build_graph_json;
+use crate::query::{QueryManager, SearchHit, WindowResponse};
+use crate::registry::SessionId;
+use crate::workspace::SharedWorkspace;
+use gvdb_api::{
+    ApiError, ApiRequest, ApiResponse, ApiResult, DatasetInfo, DatasetStats, EdgeDto, LayerInfo,
+    RectDto, SearchHitDto, SessionStatsDto, Source, StatsDto, WindowMeta,
+};
+use gvdb_spatial::Rect;
+use gvdb_storage::{EdgeGeometry, EdgeRow, RowId, StorageError};
+
+/// The dataset name a bare [`QueryManager`] serves under (what the
+/// single-database `gvdb serve <db>` form binds).
+pub const DEFAULT_DATASET: &str = "default";
+
+/// A window query's server-side result: the raw [`WindowResponse`] (with
+/// its `Arc`-shared rows/payload) plus the service-level addressing that
+/// produced it.
+#[derive(Debug)]
+pub struct WindowOutcome {
+    /// The dataset that answered.
+    pub dataset: String,
+    /// The layer queried (after session-default resolution).
+    pub layer: usize,
+    /// The engine response; `response.json` is shared with the cache.
+    pub response: WindowResponse,
+    /// The session that anchored the query, if any.
+    pub session: Option<SessionId>,
+}
+
+impl WindowOutcome {
+    /// How the response was produced, as the wire enum.
+    pub fn source(&self) -> Source {
+        if self.response.cache_hit {
+            Source::Hit
+        } else if self.response.delta {
+            Source::Delta
+        } else {
+            Source::Cold
+        }
+    }
+
+    /// The response metadata as the wire DTO.
+    pub fn meta(&self) -> WindowMeta {
+        WindowMeta {
+            dataset: self.dataset.clone(),
+            layer: self.layer,
+            epoch: self.response.epoch,
+            source: self.source(),
+            rows_reused: self.response.rows_reused,
+            rows_fetched: self.response.rows_fetched,
+            session: self.session,
+        }
+    }
+}
+
+/// The typed result of one [`GraphService::call`] — the server-side twin
+/// of [`ApiResponse`], still holding `Arc`-shared payloads.
+#[derive(Debug)]
+pub enum ApiOutcome {
+    /// Answer to [`ApiRequest::ListDatasets`].
+    Datasets(Vec<DatasetInfo>),
+    /// Answer to [`ApiRequest::ListLayers`].
+    Layers {
+        /// The resolved dataset.
+        dataset: String,
+        /// One entry per layer.
+        layers: Vec<LayerInfo>,
+    },
+    /// Answer to [`ApiRequest::Window`].
+    Window(WindowOutcome),
+    /// Answer to [`ApiRequest::Search`].
+    Hits(Vec<SearchHit>),
+    /// Answer to [`ApiRequest::Focus`].
+    Focus {
+        /// The neighbourhood payload.
+        json: crate::json::GraphJson,
+        /// Incident row count.
+        rows: usize,
+    },
+    /// Answer to a mutation: the layer's new epoch (and the inserted
+    /// row's id).
+    Mutated {
+        /// The mutated dataset.
+        dataset: String,
+        /// The mutated layer.
+        layer: usize,
+        /// The layer's epoch after the edit.
+        epoch: u64,
+        /// The inserted row id (insertions only).
+        rid: Option<u64>,
+    },
+    /// Answer to [`ApiRequest::SessionNew`].
+    Session {
+        /// The new session's id.
+        id: SessionId,
+    },
+    /// Answer to [`ApiRequest::SessionClose`].
+    Closed,
+    /// Answer to [`ApiRequest::Stats`] (per-dataset; the serving layer
+    /// adds its own counters on top).
+    Stats(Vec<DatasetStats>),
+}
+
+impl ApiOutcome {
+    /// Flatten into the pure wire DTO. Graph payloads are copied into the
+    /// response string here — the HTTP window path avoids this method and
+    /// splices the shared payload directly.
+    pub fn into_response(self) -> ApiResponse {
+        match self {
+            ApiOutcome::Datasets(datasets) => ApiResponse::Datasets { datasets },
+            ApiOutcome::Layers { dataset, layers } => ApiResponse::Layers { dataset, layers },
+            ApiOutcome::Window(outcome) => {
+                let meta = outcome.meta();
+                ApiResponse::Window {
+                    meta,
+                    graph: outcome.response.json.text.clone(),
+                }
+            }
+            ApiOutcome::Hits(hits) => ApiResponse::Hits {
+                hits: hits
+                    .iter()
+                    .map(|h| SearchHitDto {
+                        node: h.node_id,
+                        label: h.label.to_string(),
+                        x: h.position.x,
+                        y: h.position.y,
+                    })
+                    .collect(),
+            },
+            ApiOutcome::Focus { json, rows } => ApiResponse::Focus {
+                rows: rows as u64,
+                graph: json.text,
+            },
+            ApiOutcome::Mutated {
+                dataset,
+                layer,
+                epoch,
+                rid,
+            } => ApiResponse::Mutated {
+                dataset,
+                layer,
+                epoch,
+                rid,
+            },
+            ApiOutcome::Session { id } => ApiResponse::Session { id },
+            ApiOutcome::Closed => ApiResponse::Closed,
+            ApiOutcome::Stats(datasets) => ApiResponse::Stats(StatsDto {
+                served: 0,
+                rejected: 0,
+                workers: 0,
+                backlog: 0,
+                datasets,
+            }),
+        }
+    }
+}
+
+/// The typed service every consumer programs against: one method per
+/// protocol ([`GraphService::call`]), implemented by [`QueryManager`]
+/// (single dataset, named [`DEFAULT_DATASET`]) and [`SharedWorkspace`]
+/// (multi-dataset).
+pub trait GraphService: Send + Sync {
+    /// Execute one typed request.
+    fn call(&self, request: &ApiRequest) -> ApiResult<ApiOutcome>;
+
+    /// The dataset names this service can resolve.
+    fn dataset_names(&self) -> Vec<String>;
+}
+
+impl GraphService for QueryManager {
+    fn call(&self, request: &ApiRequest) -> ApiResult<ApiOutcome> {
+        match request {
+            ApiRequest::ListDatasets => Ok(ApiOutcome::Datasets(vec![DatasetInfo {
+                name: DEFAULT_DATASET.into(),
+                layers: self.layer_count(),
+            }])),
+            ApiRequest::Stats => Ok(ApiOutcome::Stats(vec![dataset_stats(
+                DEFAULT_DATASET,
+                self,
+            )])),
+            other => {
+                if let Some(name) = other.dataset() {
+                    if name != DEFAULT_DATASET {
+                        return Err(ApiError::not_found(format!(
+                            "dataset '{name}' not found (available: {DEFAULT_DATASET})"
+                        )));
+                    }
+                }
+                call_dataset(DEFAULT_DATASET, self, other)
+            }
+        }
+    }
+
+    fn dataset_names(&self) -> Vec<String> {
+        vec![DEFAULT_DATASET.into()]
+    }
+}
+
+impl GraphService for SharedWorkspace {
+    fn call(&self, request: &ApiRequest) -> ApiResult<ApiOutcome> {
+        match request {
+            ApiRequest::ListDatasets => Ok(ApiOutcome::Datasets(
+                self.entries()
+                    .into_iter()
+                    .map(|(name, qm)| DatasetInfo {
+                        name,
+                        layers: qm.layer_count(),
+                    })
+                    .collect(),
+            )),
+            ApiRequest::Stats => Ok(ApiOutcome::Stats(
+                self.entries()
+                    .into_iter()
+                    .map(|(name, qm)| dataset_stats(&name, &qm))
+                    .collect(),
+            )),
+            other => {
+                let (name, qm) = self.resolve(other.dataset())?;
+                call_dataset(&name, &qm, other)
+            }
+        }
+    }
+
+    fn dataset_names(&self) -> Vec<String> {
+        self.names()
+    }
+}
+
+/// Execute a dataset-addressed request against one resolved manager. The
+/// shared core of both [`GraphService`] implementations.
+fn call_dataset(name: &str, qm: &QueryManager, request: &ApiRequest) -> ApiResult<ApiOutcome> {
+    match request {
+        ApiRequest::ListDatasets | ApiRequest::Stats => {
+            unreachable!("service-level requests are handled by the impls")
+        }
+        ApiRequest::ListLayers { .. } => Ok(ApiOutcome::Layers {
+            dataset: name.to_string(),
+            layers: layer_infos(qm),
+        }),
+        ApiRequest::Window {
+            layer,
+            window,
+            session,
+            ..
+        } => window_op(name, qm, *layer, window, *session),
+        ApiRequest::Search { layer, query, .. } => qm
+            .keyword_search(*layer, query)
+            .map(ApiOutcome::Hits)
+            .map_err(storage_error),
+        ApiRequest::Focus { layer, node, .. } => {
+            let rows = qm.focus_on_node(*layer, *node).map_err(storage_error)?;
+            Ok(ApiOutcome::Focus {
+                json: build_graph_json(&rows),
+                rows: rows.len(),
+            })
+        }
+        ApiRequest::InsertEdge { layer, edge, .. } => {
+            let rid = qm
+                .insert_row(*layer, &edge_row(edge))
+                .map_err(storage_error)?;
+            Ok(ApiOutcome::Mutated {
+                dataset: name.to_string(),
+                layer: *layer,
+                epoch: qm.layer_epoch(*layer),
+                rid: Some(rid.to_u64()),
+            })
+        }
+        ApiRequest::DeleteEdge { layer, rid, .. } => {
+            qm.delete_row(*layer, RowId::from_u64(*rid))
+                .map_err(storage_error)?;
+            Ok(ApiOutcome::Mutated {
+                dataset: name.to_string(),
+                layer: *layer,
+                epoch: qm.layer_epoch(*layer),
+                rid: None,
+            })
+        }
+        ApiRequest::SessionNew { window, .. } => {
+            let window = match window {
+                Some(w) => to_rect(w)?,
+                None => Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            };
+            Ok(ApiOutcome::Session {
+                id: qm.sessions().create(window),
+            })
+        }
+        ApiRequest::SessionClose { session, .. } => {
+            if qm.sessions().remove(*session) {
+                Ok(ApiOutcome::Closed)
+            } else {
+                Err(unknown_session(*session))
+            }
+        }
+    }
+}
+
+fn window_op(
+    name: &str,
+    qm: &QueryManager,
+    layer: Option<usize>,
+    window: &RectDto,
+    session: Option<SessionId>,
+) -> ApiResult<ApiOutcome> {
+    let rect = to_rect(window)?;
+    match session {
+        Some(sid) => {
+            let handle = qm.sessions().get(sid).ok_or_else(|| unknown_session(sid))?;
+            // Per-session lock: one client's requests are ordered,
+            // different clients run concurrently.
+            let mut session = handle.lock();
+            // A request that omits `layer` stays on the session's current
+            // layer (keeping its delta anchor) instead of snapping to 0.
+            let layer = layer.unwrap_or_else(|| session.layer());
+            session.set_layer(qm, layer).map_err(storage_error)?;
+            session.navigate(rect);
+            let response = session.view(qm).map_err(storage_error)?;
+            Ok(ApiOutcome::Window(WindowOutcome {
+                dataset: name.to_string(),
+                layer,
+                response,
+                session: Some(sid),
+            }))
+        }
+        None => {
+            let layer = layer.unwrap_or(0);
+            let response = qm.window_query(layer, &rect).map_err(storage_error)?;
+            Ok(ApiOutcome::Window(WindowOutcome {
+                dataset: name.to_string(),
+                layer,
+                response,
+                session: None,
+            }))
+        }
+    }
+}
+
+/// Per-layer inventory of one manager.
+fn layer_infos(qm: &QueryManager) -> Vec<LayerInfo> {
+    let db = qm.db();
+    (0..db.layer_count())
+        .map(|i| LayerInfo {
+            index: i,
+            rows: db.layer(i).map(|l| l.row_count()).unwrap_or(0),
+            epoch: qm.layer_epoch(i),
+        })
+        .collect()
+}
+
+/// Full serving statistics of one dataset, as the wire DTO.
+pub fn dataset_stats(name: &str, qm: &QueryManager) -> DatasetStats {
+    let cache = qm.cache_stats();
+    let pool = qm.pool_stats();
+    let sessions = qm.sessions().stats();
+    DatasetStats {
+        name: name.to_string(),
+        epochs: (0..qm.layer_count()).map(|l| qm.layer_epoch(l)).collect(),
+        cache: gvdb_api::CacheStatsDto {
+            hits: cache.hits,
+            partial_hits: cache.partial_hits,
+            misses: cache.misses,
+            entries: cache.entries as u64,
+            bytes: cache.bytes as u64,
+            shards: qm
+                .cache_shard_stats()
+                .iter()
+                .map(|s| (s.entries as u64, s.bytes as u64))
+                .collect(),
+        },
+        pool: gvdb_api::PoolStatsDto {
+            hits: pool.hits,
+            misses: pool.misses,
+            evictions: pool.evictions,
+            shards: qm
+                .pool_shard_stats()
+                .iter()
+                .map(|s| (s.hits, s.misses, s.evictions))
+                .collect(),
+        },
+        sessions: SessionStatsDto {
+            live: sessions.live as u64,
+            created: sessions.created,
+            evictions: sessions.evictions,
+            expired: sessions.expired,
+        },
+    }
+}
+
+/// Map a storage failure onto the typed protocol error.
+pub fn storage_error(e: StorageError) -> ApiError {
+    match e {
+        StorageError::LayerNotFound(_) | StorageError::RowNotFound => {
+            ApiError::not_found(e.to_string())
+        }
+        StorageError::LayerExists(_) => ApiError::conflict(e.to_string()),
+        StorageError::RecordTooLarge(_) => {
+            ApiError::new(gvdb_api::ErrorKind::TooLarge, e.to_string())
+        }
+        other => ApiError::internal(other.to_string()),
+    }
+}
+
+/// The mutation DTO as an engine row.
+pub fn edge_row(edge: &EdgeDto) -> EdgeRow {
+    EdgeRow {
+        node1_id: edge.node1_id,
+        node1_label: edge.node1_label.as_str().into(),
+        geometry: EdgeGeometry {
+            x1: edge.x1,
+            y1: edge.y1,
+            x2: edge.x2,
+            y2: edge.y2,
+            directed: edge.directed,
+        },
+        edge_label: edge.edge_label.as_str().into(),
+        node2_id: edge.node2_id,
+        node2_label: edge.node2_label.as_str().into(),
+    }
+}
+
+/// A viewport DTO as an ordered [`Rect`]; inverted rectangles are a
+/// [`gvdb_api::ErrorKind::BadRequest`] for every consumer at once.
+pub fn to_rect(w: &RectDto) -> ApiResult<Rect> {
+    if !w.is_ordered() {
+        return Err(ApiError::bad_request(
+            "window must satisfy min_x <= max_x and min_y <= max_y",
+        ));
+    }
+    Ok(Rect::new(w.min_x, w.min_y, w.max_x, w.max_y))
+}
+
+fn unknown_session(sid: SessionId) -> ApiError {
+    ApiError::not_found(format!("unknown session {sid}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, PreprocessConfig};
+    use gvdb_api::ErrorKind;
+    use gvdb_graph::generators::{patent_like, wikidata_like, CitationConfig, RdfConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gvdb-svc-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn manager(name: &str) -> (QueryManager, std::path::PathBuf) {
+        let g = wikidata_like(RdfConfig {
+            entities: 250,
+            ..Default::default()
+        });
+        let path = tmp(name);
+        let (db, _) = preprocess(
+            &g,
+            &path,
+            &PreprocessConfig {
+                k: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (QueryManager::new(db), path)
+    }
+
+    fn window_req(session: Option<u64>) -> ApiRequest {
+        ApiRequest::Window {
+            dataset: None,
+            layer: Some(0),
+            window: RectDto {
+                min_x: 0.0,
+                min_y: 0.0,
+                max_x: 2000.0,
+                max_y: 2000.0,
+            },
+            session,
+        }
+    }
+
+    #[test]
+    fn query_manager_serves_the_default_dataset() {
+        let (qm, path) = manager("single");
+        let ApiOutcome::Datasets(datasets) = qm.call(&ApiRequest::ListDatasets).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(datasets.len(), 1);
+        assert_eq!(datasets[0].name, DEFAULT_DATASET);
+        assert_eq!(datasets[0].layers, qm.layer_count());
+
+        // Addressing it as "default" works; any other name is NotFound.
+        assert!(qm
+            .call(&ApiRequest::ListLayers {
+                dataset: Some("default".into())
+            })
+            .is_ok());
+        let err = qm
+            .call(&ApiRequest::ListLayers {
+                dataset: Some("acm".into()),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NotFound);
+        assert!(err.message.contains("default"), "{}", err.message);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn window_flow_through_the_trait() {
+        let (qm, path) = manager("winflow");
+        let svc: &dyn GraphService = &qm;
+        let ApiOutcome::Window(first) = svc.call(&window_req(None)).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(first.source(), Source::Cold);
+        assert!(!first.response.rows.is_empty());
+        // Same window again: exact cache hit through the same entry point.
+        let ApiOutcome::Window(second) = svc.call(&window_req(None)).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(second.source(), Source::Hit);
+        assert_eq!(second.response.rows, first.response.rows);
+
+        // The wire DTO carries the meta and the payload.
+        let resp = ApiOutcome::Window(second).into_response();
+        let ApiResponse::Window { meta, graph } = &resp else {
+            panic!("wrong response")
+        };
+        assert_eq!(meta.source, Source::Hit);
+        assert_eq!(graph, &first.response.json.text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn session_anchored_pans_ride_delta() {
+        let (qm, path) = manager("svcsession");
+        let svc: &dyn GraphService = &qm;
+        let ApiOutcome::Session { id } = svc
+            .call(&ApiRequest::SessionNew {
+                dataset: None,
+                window: None,
+            })
+            .unwrap()
+        else {
+            panic!("wrong outcome")
+        };
+        let ApiOutcome::Window(first) = svc.call(&window_req(Some(id))).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(first.source(), Source::Cold);
+        // 85%-overlap pan: must be incremental.
+        let pan = ApiRequest::Window {
+            dataset: None,
+            layer: None,
+            window: RectDto {
+                min_x: 300.0,
+                min_y: 0.0,
+                max_x: 2300.0,
+                max_y: 2000.0,
+            },
+            session: Some(id),
+        };
+        let ApiOutcome::Window(second) = svc.call(&pan).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(second.source(), Source::Delta);
+        assert!(second.response.rows_reused > 0);
+
+        // Close, then the id stops resolving.
+        assert!(matches!(
+            svc.call(&ApiRequest::SessionClose {
+                dataset: None,
+                session: id
+            }),
+            Ok(ApiOutcome::Closed)
+        ));
+        let err = svc.call(&window_req(Some(id))).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NotFound);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mutations_carry_the_new_epoch() {
+        let (qm, path) = manager("svcmut");
+        let edge = EdgeDto {
+            node1_id: 990_001,
+            node1_label: "svc A".into(),
+            node2_id: 990_002,
+            node2_label: "svc B".into(),
+            edge_label: "svc-edit".into(),
+            x1: 5.0,
+            y1: 5.0,
+            x2: 25.0,
+            y2: 25.0,
+            directed: false,
+        };
+        let ApiOutcome::Mutated {
+            epoch, rid, layer, ..
+        } = qm
+            .call(&ApiRequest::InsertEdge {
+                dataset: None,
+                layer: 0,
+                edge,
+            })
+            .unwrap()
+        else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(layer, 0);
+        assert_eq!(epoch, 1, "insert bumps the layer epoch");
+        let rid = rid.expect("insert returns the row id");
+
+        // The write is observable through the same service.
+        let ApiOutcome::Window(view) = qm.call(&window_req(None)).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(view.response.epoch, 1);
+        assert!(view
+            .response
+            .rows
+            .iter()
+            .any(|(_, r)| &*r.edge_label == "svc-edit"));
+
+        // Delete through the protocol, epoch bumps again.
+        let ApiOutcome::Mutated {
+            epoch, rid: none, ..
+        } = qm
+            .call(&ApiRequest::DeleteEdge {
+                dataset: None,
+                layer: 0,
+                rid,
+            })
+            .unwrap()
+        else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(epoch, 2);
+        assert!(none.is_none());
+
+        // Deleting a missing row is NotFound, not a panic.
+        let err = qm
+            .call(&ApiRequest::DeleteEdge {
+                dataset: None,
+                layer: 0,
+                rid,
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NotFound);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_window_is_bad_request() {
+        let (qm, path) = manager("svcbadrect");
+        let err = qm
+            .call(&ApiRequest::Window {
+                dataset: None,
+                layer: Some(0),
+                window: RectDto {
+                    min_x: 5.0,
+                    min_y: 0.0,
+                    max_x: 1.0,
+                    max_y: 1.0,
+                },
+                session: None,
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        // A missing layer is NotFound.
+        let err = qm
+            .call(&ApiRequest::Search {
+                dataset: None,
+                layer: 99,
+                query: "x".into(),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NotFound);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_workspace_keeps_datasets_isolated() {
+        let rdf_path = tmp("ws-rdf");
+        let cite_path = tmp("ws-cite");
+        let cfg = PreprocessConfig {
+            k: Some(2),
+            ..Default::default()
+        };
+        let (rdf_db, _) = preprocess(
+            &wikidata_like(RdfConfig {
+                entities: 200,
+                ..Default::default()
+            }),
+            &rdf_path,
+            &cfg,
+        )
+        .unwrap();
+        let (cite_db, _) = preprocess(
+            &patent_like(CitationConfig {
+                nodes: 300,
+                ..Default::default()
+            }),
+            &cite_path,
+            &cfg,
+        )
+        .unwrap();
+
+        let ws = SharedWorkspace::new();
+        ws.add("dblp", rdf_db).unwrap();
+        ws.add("patents", cite_db).unwrap();
+        let svc: &dyn GraphService = &ws;
+
+        let ApiOutcome::Datasets(datasets) = svc.call(&ApiRequest::ListDatasets).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(
+            datasets.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+            vec!["dblp", "patents"]
+        );
+
+        // With several datasets, an unaddressed request is BadRequest.
+        let err = svc.call(&window_req(None)).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("dblp"), "{}", err.message);
+
+        // Warm both caches, then mutate only patents.
+        let win = |dataset: &str| ApiRequest::Window {
+            dataset: Some(dataset.into()),
+            layer: Some(0),
+            window: RectDto {
+                min_x: -1e9,
+                min_y: -1e9,
+                max_x: 1e9,
+                max_y: 1e9,
+            },
+            session: None,
+        };
+        svc.call(&win("dblp")).unwrap();
+        svc.call(&win("patents")).unwrap();
+        let ApiOutcome::Mutated { epoch, .. } = svc
+            .call(&ApiRequest::InsertEdge {
+                dataset: Some("patents".into()),
+                layer: 0,
+                edge: EdgeDto {
+                    node1_id: 991_001,
+                    node1_label: "iso A".into(),
+                    node2_id: 991_002,
+                    node2_label: "iso B".into(),
+                    edge_label: "isolated-edit".into(),
+                    x1: 0.0,
+                    y1: 0.0,
+                    x2: 1.0,
+                    y2: 1.0,
+                    directed: false,
+                },
+            })
+            .unwrap()
+        else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(epoch, 1);
+
+        // The mutated dataset re-queries cold at the new epoch; the other
+        // dataset's cached window and epochs are untouched.
+        let ApiOutcome::Window(pat) = svc.call(&win("patents")).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(pat.response.epoch, 1);
+        assert_ne!(pat.source(), Source::Hit);
+        let ApiOutcome::Window(rdf) = svc.call(&win("dblp")).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(rdf.response.epoch, 0, "other dataset's epochs untouched");
+        assert_eq!(rdf.source(), Source::Hit, "other dataset's cache survives");
+
+        // Per-dataset stats expose the divergence.
+        let ApiOutcome::Stats(stats) = svc.call(&ApiRequest::Stats).unwrap() else {
+            panic!("wrong outcome")
+        };
+        let by_name = |n: &str| stats.iter().find(|d| d.name == n).unwrap();
+        assert_eq!(by_name("patents").epochs[0], 1);
+        assert_eq!(by_name("dblp").epochs[0], 0);
+
+        std::fs::remove_file(&rdf_path).ok();
+        std::fs::remove_file(&cite_path).ok();
+    }
+}

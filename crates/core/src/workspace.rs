@@ -1,16 +1,48 @@
-//! Multi-dataset workspace: the demo's dataset selector (§IV: "attendees
+//! Multi-dataset workspaces: the demo's dataset selector (§IV: "attendees
 //! will first select a dataset from a number of real-word datasets (e.g.,
 //! ACM, DBLP, DBpedia)").
 //!
-//! A [`Workspace`] holds several preprocessed databases side by side, each
-//! behind its own [`QueryManager`]; sessions pick a dataset by name.
+//! Two flavours:
+//!
+//! * [`Workspace`] — the original `&mut`-based container for embedded,
+//!   single-threaded use (one owner, exclusive mutation).
+//! * [`SharedWorkspace`] — the thread-safe container the server binds:
+//!   datasets live behind `Arc<QueryManager>` in an `RwLock`ed map, so
+//!   any number of worker threads resolve names concurrently while
+//!   datasets can still be registered at runtime. It implements
+//!   [`crate::GraphService`], giving every dataset its own session
+//!   registry, epochs and cache isolation.
+//!
+//! Both reject duplicate names ([`gvdb_storage::StorageError::LayerExists`])
+//! and list the available names in their not-found errors, so a typo'd
+//! `dataset=` selector is self-explanatory.
 
 use crate::query::QueryManager;
+use gvdb_api::ApiError;
 use gvdb_storage::{GraphDb, Result, StorageError};
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 
-/// A named collection of preprocessed graph databases.
+/// The "available: …" tail of every missing-dataset error.
+fn available(names: &[String]) -> String {
+    if names.is_empty() {
+        "none".to_string()
+    } else {
+        names.join(", ")
+    }
+}
+
+/// "dataset 'x' (available: a, b)" — shared by both flavours.
+fn not_found(name: &str, names: &[String]) -> StorageError {
+    StorageError::LayerNotFound(format!(
+        "dataset '{name}' (available: {})",
+        available(names)
+    ))
+}
+
+/// A named collection of preprocessed graph databases (single-owner).
 #[derive(Debug, Default)]
 pub struct Workspace {
     datasets: BTreeMap<String, QueryManager>,
@@ -23,13 +55,20 @@ impl Workspace {
     }
 
     /// Register an already-open database under `name`. Replaces any
-    /// previous dataset with the same name.
+    /// previous dataset with the same name (use [`Workspace::open`] for
+    /// duplicate-rejecting registration).
     pub fn add(&mut self, name: impl Into<String>, db: GraphDb) {
         self.datasets.insert(name.into(), QueryManager::new(db));
     }
 
-    /// Open a database file and register it under `name`.
+    /// Open a database file and register it under `name`. A duplicate
+    /// name is rejected ([`StorageError::LayerExists`]) instead of
+    /// silently replacing the open dataset.
     pub fn open(&mut self, name: impl Into<String>, path: &Path) -> Result<()> {
+        let name = name.into();
+        if self.datasets.contains_key(&name) {
+            return Err(StorageError::LayerExists(format!("dataset '{name}'")));
+        }
         let db = GraphDb::open(path)?;
         self.add(name, db);
         Ok(())
@@ -50,24 +89,134 @@ impl Workspace {
         self.datasets.is_empty()
     }
 
-    /// The query manager for `name`.
+    /// The query manager for `name`. The error of a missing dataset lists
+    /// what is available.
     pub fn dataset(&self, name: &str) -> Result<&QueryManager> {
         self.datasets
             .get(name)
-            .ok_or_else(|| StorageError::LayerNotFound(format!("dataset {name}")))
+            .ok_or_else(|| not_found(name, &self.datasets.keys().cloned().collect::<Vec<_>>()))
     }
 
     /// Mutable access (edit operations).
     pub fn dataset_mut(&mut self, name: &str) -> Result<&mut QueryManager> {
-        self.datasets
-            .get_mut(name)
-            .ok_or_else(|| StorageError::LayerNotFound(format!("dataset {name}")))
+        if !self.datasets.contains_key(name) {
+            let names: Vec<String> = self.datasets.keys().cloned().collect();
+            return Err(not_found(name, &names));
+        }
+        Ok(self.datasets.get_mut(name).expect("checked above"))
     }
 
     /// Remove a dataset, returning its query manager (dropping it closes
     /// nothing on disk — the file remains openable).
     pub fn remove(&mut self, name: &str) -> Option<QueryManager> {
         self.datasets.remove(name)
+    }
+}
+
+/// A thread-safe, shared multi-dataset workspace (see module docs): what
+/// `gvdb serve` binds when given several `<name>=<path>` datasets.
+#[derive(Debug, Default)]
+pub struct SharedWorkspace {
+    datasets: RwLock<BTreeMap<String, Arc<QueryManager>>>,
+}
+
+impl SharedWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        SharedWorkspace::default()
+    }
+
+    /// Register an already-open database under `name` (duplicate names
+    /// are rejected).
+    pub fn add(&self, name: impl Into<String>, db: GraphDb) -> Result<()> {
+        self.add_manager(name, Arc::new(QueryManager::new(db)))
+    }
+
+    /// Register an existing manager under `name` (duplicate names are
+    /// rejected). Lets callers share a manager with embedded readers or
+    /// configure its cache before serving.
+    pub fn add_manager(&self, name: impl Into<String>, qm: Arc<QueryManager>) -> Result<()> {
+        let name = name.into();
+        let mut datasets = self.datasets.write();
+        if datasets.contains_key(&name) {
+            return Err(StorageError::LayerExists(format!("dataset '{name}'")));
+        }
+        datasets.insert(name, qm);
+        Ok(())
+    }
+
+    /// Open a database file and register it under `name`.
+    pub fn open(&self, name: impl Into<String>, path: &Path) -> Result<()> {
+        let db = GraphDb::open(path)?;
+        self.add(name, db)
+    }
+
+    /// Dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.datasets.read().keys().cloned().collect()
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.read().len()
+    }
+
+    /// Whether the workspace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.read().is_empty()
+    }
+
+    /// The query manager for `name`.
+    pub fn dataset(&self, name: &str) -> Result<Arc<QueryManager>> {
+        let datasets = self.datasets.read();
+        datasets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| not_found(name, &datasets.keys().cloned().collect::<Vec<_>>()))
+    }
+
+    /// Remove a dataset, returning its manager.
+    pub fn remove(&self, name: &str) -> Option<Arc<QueryManager>> {
+        self.datasets.write().remove(name)
+    }
+
+    /// Every `(name, manager)` pair, name-sorted (snapshot).
+    pub fn entries(&self) -> Vec<(String, Arc<QueryManager>)> {
+        self.datasets
+            .read()
+            .iter()
+            .map(|(name, qm)| (name.clone(), Arc::clone(qm)))
+            .collect()
+    }
+
+    /// Resolve a request's dataset selector: an explicit name must exist;
+    /// no name is allowed only when exactly one dataset is registered.
+    pub fn resolve(
+        &self,
+        name: Option<&str>,
+    ) -> std::result::Result<(String, Arc<QueryManager>), ApiError> {
+        let datasets = self.datasets.read();
+        match name {
+            Some(n) => match datasets.get(n) {
+                Some(qm) => Ok((n.to_string(), Arc::clone(qm))),
+                None => {
+                    let names: Vec<String> = datasets.keys().cloned().collect();
+                    Err(ApiError::not_found(format!(
+                        "dataset '{n}' not found (available: {})",
+                        available(&names)
+                    )))
+                }
+            },
+            None if datasets.len() == 1 => {
+                let (name, qm) = datasets.iter().next().expect("len checked");
+                Ok((name.clone(), Arc::clone(qm)))
+            }
+            None => Err(ApiError::bad_request(format!(
+                "this workspace serves {} datasets; pass dataset=<name> (available: {})",
+                datasets.len(),
+                datasets.keys().cloned().collect::<Vec<_>>().join(", ")
+            ))),
+        }
     }
 }
 
@@ -125,8 +274,12 @@ mod tests {
             .iter()
             .any(|(_, r)| r.edge_label.starts_with("wdt:") || r.edge_label.starts_with("rdfs:")));
 
-        // Unknown dataset errors cleanly.
-        assert!(ws.dataset("ACM").is_err());
+        // Unknown dataset errors cleanly — and names the alternatives.
+        let err = ws.dataset("ACM").unwrap_err().to_string();
+        assert!(
+            err.contains("DBpedia-like") && err.contains("Patents"),
+            "{err}"
+        );
         // Removal.
         assert!(ws.remove("Patents").is_some());
         assert_eq!(ws.len(), 1);
@@ -154,6 +307,56 @@ mod tests {
         ws.open("patents", &path).unwrap();
         assert_eq!(ws.dataset("patents").unwrap().layer_count(), 5);
         assert!(ws.open("missing", &tmp("nonexistent")).is_err());
+        // Re-opening an already-registered name is a conflict, not a
+        // silent replacement.
+        assert!(matches!(
+            ws.open("patents", &path),
+            Err(StorageError::LayerExists(_))
+        ));
+        assert_eq!(ws.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_workspace_is_shareable_and_duplicate_safe() {
+        let path = tmp("shared");
+        let g = patent_like(CitationConfig {
+            nodes: 150,
+            ..Default::default()
+        });
+        {
+            let cfg = PreprocessConfig {
+                k: Some(1),
+                ..Default::default()
+            };
+            let (mut db, _) = preprocess(&g, &path, &cfg).unwrap();
+            db.flush().unwrap();
+        }
+        let ws = Arc::new(SharedWorkspace::new());
+        ws.open("patents", &path).unwrap();
+        assert!(matches!(
+            ws.open("patents", &path),
+            Err(StorageError::LayerExists(_))
+        ));
+
+        // Resolution from several threads at once.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let ws = Arc::clone(&ws);
+                std::thread::spawn(move || {
+                    let (name, qm) = ws.resolve(None).unwrap();
+                    assert_eq!(name, "patents");
+                    qm.layer_count()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 5);
+        }
+
+        // Unknown names list the alternatives.
+        let err = ws.resolve(Some("acm")).unwrap_err();
+        assert!(err.message.contains("patents"), "{}", err.message);
         std::fs::remove_file(&path).ok();
     }
 }

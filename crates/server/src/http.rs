@@ -1,19 +1,42 @@
-//! Minimal HTTP/1.1 plumbing (std::net only): request-line parsing,
-//! query-string decoding, and response writing. One request per
-//! connection (`Connection: close`) — the workload is coarse window
-//! queries, not chatty RPC, so keep-alive buys little and this keeps the
-//! worker loop trivially robust.
+//! Minimal HTTP/1.1 plumbing (std::net only): request parsing (method,
+//! path, query string, the headers the server cares about, POST bodies)
+//! and response writing.
+//!
+//! Connections are **persistent**: the worker keeps one buffered reader
+//! per connection and loops request → response until the client asks for
+//! `Connection: close`, an error occurs, the server shuts down, or the
+//! idle timeout strikes. Pipelined requests queue naturally in the reader
+//! buffer and are answered in order. This matters because a cache-hit
+//! window query costs microseconds server-side — per-request TCP setup
+//! used to dominate it (see `BENCH_http.json`).
 
 use gvdb_core::GraphJson;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 
-/// A parsed GET request: path plus decoded query parameters.
+/// Largest accepted request body (mutations are single edges; anything
+/// bigger is a client bug or abuse).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted request line + header block. Without this cap a
+/// client streaming an endless header line would grow a worker's buffer
+/// without bound.
+pub const MAX_HEADER_BYTES: usize = 64 << 10;
+
+/// A parsed request: method, path, decoded query parameters, body.
 #[derive(Debug)]
 pub struct Request {
+    /// HTTP method (`GET`, `POST`, …), uppercase.
+    pub method: String,
     /// URL path (no query string).
     pub path: String,
+    /// Whether the client allows the connection to be reused after this
+    /// request (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection`
+    /// header decides).
+    pub keep_alive: bool,
+    /// Request body (empty for body-less requests).
+    pub body: String,
     params: Vec<(String, String)>,
 }
 
@@ -32,17 +55,75 @@ impl Request {
     }
 }
 
-/// Read and parse one request from `stream` (headers are drained and
-/// discarded). Returns `None` on connection errors or garbage.
-pub fn read_request(stream: &TcpStream) -> Option<Request> {
-    let mut reader = BufReader::new(stream.try_clone().ok()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line).ok()?;
-    let mut line = String::new();
-    while reader.read_line(&mut line).is_ok() && line != "\r\n" && !line.is_empty() {
-        line.clear();
+/// Why [`read_request`] returned no request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// The client closed (or went silent past the timeout) between
+    /// requests — not an error, just the end of the connection.
+    Closed,
+    /// The bytes on the wire are not a parseable request.
+    Malformed,
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+/// Read one `\n`-terminated line into `out` (cleared first), charging
+/// the bytes against `budget`. Returns the line length; 0 means EOF
+/// before any byte. A line that would overrun the budget is
+/// [`ReadError::Malformed`] — nothing past the budget is ever buffered.
+fn read_header_line(
+    reader: &mut BufReader<TcpStream>,
+    out: &mut Vec<u8>,
+    budget: &mut usize,
+) -> Result<usize, ReadError> {
+    out.clear();
+    loop {
+        let (taken, complete) = {
+            let buf = reader.fill_buf().map_err(|_| ReadError::Closed)?;
+            if buf.is_empty() {
+                return Ok(out.len()); // EOF (caller decides if mid-line)
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if i + 1 > *budget {
+                        return Err(ReadError::Malformed);
+                    }
+                    out.extend_from_slice(&buf[..=i]);
+                    (i + 1, true)
+                }
+                None => {
+                    if buf.len() > *budget {
+                        return Err(ReadError::Malformed);
+                    }
+                    out.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(taken);
+        *budget -= taken;
+        if complete {
+            return Ok(out.len());
+        }
     }
-    let target = request_line.split_whitespace().nth(1)?;
+}
+
+/// Read and parse one request from `reader`. The reader persists across
+/// calls on the same connection, so buffered (pipelined) requests are
+/// picked up without touching the socket.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let mut line_buf = Vec::new();
+    if read_header_line(reader, &mut line_buf, &mut budget)? == 0 {
+        return Err(ReadError::Closed); // clean EOF between requests
+    }
+    let request_line = std::str::from_utf8(&line_buf).map_err(|_| ReadError::Malformed)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(ReadError::Malformed)?.to_uppercase();
+    let target = parts.next().ok_or(ReadError::Malformed)?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let mut keep_alive = version != "HTTP/1.0";
+
     let (path, query) = target.split_once('?').unwrap_or((target, ""));
     // Values are kept verbatim: '+'-for-space decoding only applies to
     // text fields and would corrupt numeric values ("1e+21" → "1e 21"),
@@ -52,27 +133,102 @@ pub fn read_request(stream: &TcpStream) -> Option<Request> {
         .filter_map(|kv| kv.split_once('='))
         .map(|(k, v)| (k.to_string(), v.to_string()))
         .collect();
-    Some(Request {
-        path: path.to_string(),
+    let path = path.to_string();
+
+    let mut content_length = 0usize;
+    let mut line_buf = Vec::new();
+    loop {
+        if read_header_line(reader, &mut line_buf, &mut budget)? == 0 {
+            return Err(ReadError::Malformed); // EOF mid-headers
+        }
+        if line_buf == b"\r\n" || line_buf == b"\n" {
+            break;
+        }
+        // Non-UTF-8 header lines are skipped, not fatal — only the two
+        // headers below matter and both are ASCII.
+        let Some((name, value)) = std::str::from_utf8(&line_buf)
+            .ok()
+            .and_then(|line| line.split_once(':'))
+        else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| ReadError::Malformed)?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    let body = if content_length > 0 {
+        if content_length > MAX_BODY_BYTES {
+            return Err(ReadError::BodyTooLarge);
+        }
+        let mut buf = vec![0u8; content_length];
+        reader
+            .read_exact(&mut buf)
+            .map_err(|_| ReadError::Malformed)?;
+        String::from_utf8(buf).map_err(|_| ReadError::Malformed)?
+    } else {
+        String::new()
+    };
+
+    Ok(Request {
+        method,
+        path,
+        keep_alive,
+        body,
         params,
     })
 }
 
-/// Response body: either built for this request, or the cached window
-/// payload shared by `Arc` (no per-request copy).
+/// Response body: built for this request, the cached window payload
+/// shared by `Arc`, or a typed **envelope** around that shared payload —
+/// head and tail are built per request, the graph text is written
+/// straight from the cache entry with no copy.
 pub enum Body {
     /// A string built for this response.
     Owned(String),
     /// The window cache's payload, shared by reference count.
     Shared(Arc<GraphJson>),
+    /// `head` + the shared payload text + `tail` (the `/v1/window`
+    /// envelope).
+    Enveloped {
+        /// Everything before the graph payload.
+        head: String,
+        /// The shared payload.
+        graph: Arc<GraphJson>,
+        /// Everything after the graph payload.
+        tail: String,
+    },
 }
 
 impl Body {
-    /// The body text.
-    pub fn as_str(&self) -> &str {
+    /// Total body length in bytes (the `Content-Length` value).
+    pub fn len(&self) -> usize {
         match self {
-            Body::Owned(s) => s,
-            Body::Shared(json) => &json.text,
+            Body::Owned(s) => s.len(),
+            Body::Shared(json) => json.text.len(),
+            Body::Enveloped { head, graph, tail } => head.len() + graph.text.len() + tail.len(),
+        }
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The body as one string (copies enveloped bodies; intended for
+    /// tests and error paths, not the hot write path).
+    pub fn text(&self) -> std::borrow::Cow<'_, str> {
+        match self {
+            Body::Owned(s) => s.as_str().into(),
+            Body::Shared(json) => json.text.as_str().into(),
+            Body::Enveloped { head, graph, tail } => format!("{head}{}{tail}", graph.text).into(),
         }
     }
 }
@@ -110,7 +266,7 @@ impl Response {
         }
     }
 
-    /// An error response carrying a JSON `{"error": …}` body.
+    /// A legacy-dialect error response carrying `{"error": "…"}`.
     pub fn error(status: &'static str, message: &str) -> Self {
         let mut body = String::from("{\"error\":\"");
         gvdb_core::json::escape_into(message, &mut body);
@@ -121,19 +277,43 @@ impl Response {
             body: body.into(),
         }
     }
+
+    /// Whether this response may leave the connection open (success —
+    /// errors always close, simplifying client-side failure handling).
+    pub fn is_success(&self) -> bool {
+        self.status.starts_with("200")
+    }
 }
 
-/// Write `response` to `stream` (errors are ignored — the client hung up).
-pub fn write_response(stream: &mut TcpStream, response: &Response) {
-    let body = response.body.as_str();
-    let _ = write!(
-        stream,
-        "HTTP/1.1 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+/// Write `response` to `stream`. `keep_alive` decides the `Connection`
+/// header; a write failure means the client hung up (the caller drops the
+/// connection).
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    // One buffer (and usually one syscall) for the whole header block —
+    // `write!` straight to the socket would emit a packet per format
+    // fragment.
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
-        body.len(),
+        response.body.len(),
         response.extra_headers,
-        body
+        if keep_alive { "keep-alive" } else { "close" },
     );
+    stream.write_all(head.as_bytes())?;
+    match &response.body {
+        Body::Owned(s) => stream.write_all(s.as_bytes())?,
+        Body::Shared(json) => stream.write_all(json.text.as_bytes())?,
+        Body::Enveloped { head, graph, tail } => {
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(graph.text.as_bytes())?;
+            stream.write_all(tail.as_bytes())?;
+        }
+    }
+    stream.flush()
 }
 
 #[cfg(test)]
@@ -141,15 +321,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn body_variants_expose_text() {
-        assert_eq!(Body::from("x".to_string()).as_str(), "x");
+    fn body_variants_expose_text_and_length() {
+        assert_eq!(Body::from("x".to_string()).text(), "x");
         let json = Arc::new(gvdb_core::build_graph_json(&[]));
-        assert_eq!(Body::Shared(json.clone()).as_str(), &json.text);
+        assert_eq!(Body::Shared(json.clone()).text(), json.text.as_str());
+        let enveloped = Body::Enveloped {
+            head: "{\"graph\":".into(),
+            graph: json.clone(),
+            tail: "}".into(),
+        };
+        assert_eq!(enveloped.text(), format!("{{\"graph\":{}}}", json.text));
+        assert_eq!(enveloped.len(), enveloped.text().len());
     }
 
     #[test]
     fn error_response_escapes_message() {
         let r = Response::error("400 Bad Request", "quote \" here");
-        assert!(r.body.as_str().contains("quote \\\" here"));
+        assert!(r.body.text().contains("quote \\\" here"));
+        assert!(!r.is_success());
     }
 }

@@ -1,8 +1,10 @@
 //! # gvdb-server
 //!
-//! The serving layer of the platform: a multi-threaded HTTP server over a
-//! shared [`QueryManager`], turning the paper's "multi-user environments
-//! built upon commodity machines" claim into a real endpoint.
+//! The serving layer of the platform: a multi-threaded HTTP server over
+//! any [`GraphService`] — a single shared
+//! [`QueryManager`](gvdb_core::QueryManager) or a multi-dataset
+//! [`SharedWorkspace`](gvdb_core::SharedWorkspace) — speaking the
+//! versioned `v1` protocol defined in `gvdb-api`.
 //!
 //! Architecture:
 //!
@@ -10,51 +12,68 @@
 //!   a bounded queue drained by [`ServerConfig::workers`] worker threads.
 //!   When the queue is full the acceptor answers `503` immediately
 //!   instead of letting latency grow without bound (and counts the
-//!   rejection in `/stats`).
-//! * **Shared query manager** — all workers hold one `Arc<QueryManager>`:
-//!   reads run concurrently over the sharded buffer pool and window
-//!   cache; edits (none are exposed over HTTP yet, but embedders may
-//!   perform them on the same manager) briefly take the write lock and
-//!   bump the edited layer's epoch.
-//! * **Session registry** — `GET /session/new` hands out a [`SessionId`];
-//!   window queries tagged `session=<id>` anchor on that client's
-//!   previous viewport, so HTTP pans ride the incremental delta path
-//!   (`X-Gvdb-Source: delta`).
-//! * **Graceful shutdown** — [`Server::shutdown`] stops accepting,
-//!   drains queued connections, and joins every thread.
+//!   rejection in `/v1/stats`).
+//! * **Typed service underneath** — every route parses into a
+//!   `gvdb_api::ApiRequest` and executes through [`GraphService::call`]:
+//!   the HTTP layer owns no query, session or mutation logic of its own,
+//!   so CLI subcommands, examples and embedded callers behave identically
+//!   to remote clients.
+//! * **HTTP/1.1 keep-alive** — connections are persistent: a worker
+//!   answers request after request on one socket (pipelined requests
+//!   drain in order from the connection's buffer), closing only on
+//!   client request, error, idle timeout, or shutdown. This removes the
+//!   per-request TCP setup that used to dominate the µs-scale cache-hit
+//!   path (measured in `BENCH_http.json`).
+//! * **Per-dataset isolation** — sessions, epochs and caches live in each
+//!   dataset's own `QueryManager`; a mutation to one dataset can never
+//!   invalidate another's windows (integration-tested in `tests/v1.rs`).
+//! * **Graceful shutdown** — [`Server::shutdown`] stops accepting, lets
+//!   workers finish their current request, closes persistent connections
+//!   at the next request boundary, and joins every thread.
 //!
-//! Endpoints:
+//! ## `v1` endpoints (JSON; errors are typed `{"kind":"error","error":{…}}`)
 //!
-//! * `GET /layers` — layer inventory
-//! * `GET /window?layer=0&minx=..&miny=..&maxx=..&maxy=..[&session=ID]`
-//!   — window query; `X-Gvdb-Source` says `hit`, `delta` or `cold`,
-//!   `X-Gvdb-Epoch` the edit epoch the response is consistent with
-//! * `GET /session/new[?minx=..&miny=..&maxx=..&maxy=..]` — register a
-//!   session for delta-pan anchoring (the registry is LRU-bounded, so
-//!   abandoned sessions age out under pressure)
-//! * `GET /session/close?session=ID` — release a session explicitly
-//! * `GET /search?layer=0&q=keyword` — keyword search
-//! * `GET /focus?layer=0&node=ID` — focus-on-node neighborhood
-//! * `GET /cache` — window-cache and buffer-pool hit counters
-//! * `GET /stats` — full serving telemetry: per-shard pool and cache
-//!   counters, per-layer epochs, session/worker/queue numbers
-//! * `GET /healthz` — liveness probe
+//! | Route | Method | Maps to |
+//! |---|---|---|
+//! | `/v1/datasets` | GET | `ListDatasets` |
+//! | `/v1/layers?dataset=` | GET | `ListLayers` |
+//! | `/v1/window?dataset=&layer=&minx=&miny=&maxx=&maxy=[&session=]` | GET | `Window` (cold / hit / anchored delta) |
+//! | `/v1/search?dataset=&layer=&q=` | GET | `Search` |
+//! | `/v1/focus?dataset=&layer=&node=` | GET | `Focus` |
+//! | `/v1/edge` | POST | `InsertEdge` (body: `{"dataset":…,"layer":…,"edge":{…}}` or a bare edge object) |
+//! | `/v1/edge/delete` | POST | `DeleteEdge` (body: `{"rid":…}`) |
+//! | `/v1/session/new[?dataset=&minx=…]` | GET/POST | `SessionNew` |
+//! | `/v1/session/close?session=` | GET/POST | `SessionClose` |
+//! | `/v1/stats` | GET | `Stats` |
+//! | `/v1` | POST | any serialized `ApiRequest` (the RPC form) |
+//! | `/v1/healthz` | GET | liveness probe |
+//!
+//! Mutation responses carry the mutated layer's **new epoch**, so a
+//! client can tell when subsequent window responses include its write.
+//!
+//! The pre-`v1` query-string routes (`/layers`, `/window`, `/search`,
+//! `/focus`, `/session/*`, `/cache`, `/stats`) survive as **deprecated
+//! shims**: they parse into the same `ApiRequest`s, execute through the
+//! same service, and re-emit the legacy wire shapes with an
+//! `X-Gvdb-Deprecated` header pointing at their `/v1` replacement.
 
 mod http;
-mod registry;
 
 pub use http::{Body, Request, Response};
-pub use registry::{SessionHandle, SessionId, SessionRegistry};
+// The session registry moved into gvdb-core (each QueryManager owns one);
+// re-exported here for compatibility with pre-v1 embedders.
+pub use gvdb_core::registry::{SessionHandle, SessionId, SessionRegistry};
 
-use gvdb_core::{build_graph_json, json::escape_into, QueryManager};
-use gvdb_spatial::Rect;
+use gvdb_api::{ApiError, ApiRequest, ApiResponse, DatasetStats, EdgeDto, Json, RectDto, StatsDto};
+use gvdb_core::{ApiOutcome, GraphService, WindowOutcome};
 use parking_lot::Mutex;
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server sizing knobs.
 #[derive(Debug, Clone)]
@@ -79,12 +98,17 @@ impl Default for ServerConfig {
 
 /// Shared serving state handed to every worker.
 struct AppState {
-    qm: Arc<QueryManager>,
-    sessions: SessionRegistry,
+    service: Arc<dyn GraphService>,
     served: AtomicU64,
     rejected: AtomicU64,
+    /// Accepted connections waiting in the queue for a worker. While this
+    /// is non-zero, workers give up their idle persistent connections
+    /// (and stop keeping new ones alive) so keep-alive can never starve
+    /// queued clients behind `workers` parked sockets.
+    queued: AtomicUsize,
     workers: usize,
     backlog: usize,
+    shutdown: Arc<AtomicBool>,
 }
 
 /// A running HTTP server (see module docs). Dropping it shuts it down
@@ -108,22 +132,27 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Bind and start serving `qm` with `config`. Returns as soon as the
-    /// listener is live; requests are handled on the worker pool.
-    pub fn start(qm: Arc<QueryManager>, config: ServerConfig) -> std::io::Result<Server> {
+    /// Bind and start serving `service` with `config`. Returns as soon as
+    /// the listener is live; requests are handled on the worker pool.
+    ///
+    /// Any [`GraphService`] works: an `Arc<QueryManager>` serves its one
+    /// database as dataset `default`, an `Arc<SharedWorkspace>` serves
+    /// every registered dataset behind the `dataset=` selector.
+    pub fn start(service: Arc<dyn GraphService>, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let backlog = config.backlog.max(1);
+        let shutdown = Arc::new(AtomicBool::new(false));
         let state = Arc::new(AppState {
-            qm,
-            sessions: SessionRegistry::new(),
+            service,
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
             workers,
             backlog,
+            shutdown: Arc::clone(&shutdown),
         });
-        let shutdown = Arc::new(AtomicBool::new(false));
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
         let rx = Arc::new(Mutex::new(rx));
@@ -159,9 +188,14 @@ impl Server {
         self.addr
     }
 
-    /// Number of live sessions in the registry.
+    /// Number of live sessions, summed across every dataset's registry.
     pub fn session_count(&self) -> usize {
-        self.state.sessions.len()
+        match self.state.service.call(&ApiRequest::Stats) {
+            Ok(ApiOutcome::Stats(datasets)) => {
+                datasets.iter().map(|d| d.sessions.live as usize).sum()
+            }
+            _ => 0,
+        }
     }
 
     /// Requests served so far.
@@ -227,7 +261,8 @@ pub struct ShutdownHandle {
 
 impl ShutdownHandle {
     /// Stop the server: the acceptor observes the flag and exits, the
-    /// workers drain the queue and stop, and any thread blocked in
+    /// workers drain the queue, close persistent connections at the next
+    /// request boundary and stop, and any thread blocked in
     /// [`Server::wait`] returns once they have joined.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -247,138 +282,455 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Count the connection as queued BEFORE it becomes visible to a
+        // worker — incrementing after try_send races the worker's
+        // decrement and would underflow the gauge.
+        state.queued.fetch_add(1, Ordering::SeqCst);
         match tx.try_send(stream) {
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
+                state.queued.fetch_sub(1, Ordering::SeqCst);
                 // Shed load instead of queueing without bound.
                 state.rejected.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.write_all(
                     b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 26\r\nConnection: close\r\n\r\n{\"error\":\"server is full\"}",
                 );
             }
-            Err(TrySendError::Disconnected(_)) => break,
+            Err(TrySendError::Disconnected(_)) => {
+                state.queued.fetch_sub(1, Ordering::SeqCst);
+                break;
+            }
         }
     }
 }
 
-/// How long a worker waits on a client before giving up on the
-/// connection. Without this, `workers` silent sockets (clients that
-/// connect and send nothing) would wedge the whole bounded pool.
-const CLIENT_IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+/// How long a worker waits on one request's bytes (headers/body) before
+/// giving up on the connection. Without this, `workers` silent sockets
+/// would wedge the whole bounded pool.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a persistent connection may sit idle between requests before
+/// the worker reclaims itself for the queue.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(10);
+
+/// Idle-poll granularity: the worker re-checks the shutdown flag this
+/// often while parked on an idle connection, bounding shutdown latency.
+const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// Requests answered on one connection before the server rotates it out
+/// (bounds how long one client can monopolize a worker).
+const MAX_REQUESTS_PER_CONNECTION: usize = 10_000;
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &AppState) {
     loop {
-        // Hold the receiver lock only for the dequeue, not the request.
+        // Hold the receiver lock only for the dequeue, not the
+        // connection's lifetime.
         let stream = rx.lock().recv();
         match stream {
-            Ok(mut stream) => {
-                let _ = stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT));
-                let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
-                let response = match http::read_request(&stream) {
-                    Some(request) => route(&request, state),
-                    None => Response::error("400 Bad Request", "malformed request"),
-                };
-                http::write_response(&mut stream, &response);
-                state.served.fetch_add(1, Ordering::Relaxed);
+            Ok(stream) => {
+                state.queued.fetch_sub(1, Ordering::SeqCst);
+                handle_connection(stream, state);
             }
             Err(_) => break, // channel disconnected: shutting down
         }
     }
 }
 
-/// Dispatch one parsed request against the shared state.
+/// Outcome of waiting for the next request on a persistent connection.
+enum Wait {
+    /// Bytes are buffered and ready to parse.
+    Ready,
+    /// EOF, error, idle timeout or shutdown: close the connection.
+    Close,
+}
+
+/// Park on an idle connection until request bytes arrive, with short poll
+/// timeouts so the shutdown flag and the idle budget are honored.
+/// `fill_buf` only peeks — no request byte is consumed before
+/// `read_request` runs with the full I/O timeout.
+///
+/// `yield_to_queue` is set when at least one request was already served
+/// on this connection: a parked persistent connection then gives up as
+/// soon as other connections are waiting for a worker. A fresh
+/// connection never yields — it was just dequeued and is owed its first
+/// response.
+fn wait_for_request(
+    reader: &mut BufReader<TcpStream>,
+    state: &AppState,
+    yield_to_queue: bool,
+) -> Wait {
+    if !reader.buffer().is_empty() {
+        return Wait::Ready; // pipelined request already buffered
+    }
+    if reader.get_ref().set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return Wait::Close;
+    }
+    let parked = Instant::now();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return Wait::Close;
+        }
+        // Connections are waiting for a worker: hand this idle one back
+        // instead of letting a parked client starve the queue.
+        if yield_to_queue && state.queued.load(Ordering::SeqCst) > 0 {
+            return Wait::Close;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return Wait::Close, // clean EOF
+            Ok(_) => return Wait::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if parked.elapsed() >= KEEP_ALIVE_IDLE {
+                    return Wait::Close;
+                }
+            }
+            Err(_) => return Wait::Close,
+        }
+    }
+}
+
+/// Serve one connection: request → response until the client closes,
+/// asks to close, errors, idles out, or the server shuts down.
+fn handle_connection(mut stream: TcpStream, state: &AppState) {
+    // Persistent connections + Nagle = ~40 ms stalls: the response's
+    // header and body segments would sit in the kernel waiting for the
+    // client's delayed ACK. Small-packet latency IS the product here.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    for served_here in 0..MAX_REQUESTS_PER_CONNECTION {
+        if let Wait::Close = wait_for_request(&mut reader, state, served_here > 0) {
+            break;
+        }
+        // Request bytes are arriving: switch to the full I/O timeout for
+        // the headers + body of this one request.
+        if reader
+            .get_ref()
+            .set_read_timeout(Some(CLIENT_IO_TIMEOUT))
+            .is_err()
+        {
+            break;
+        }
+        match http::read_request(&mut reader) {
+            Ok(request) => {
+                let response = route(&request, state);
+                let keep_alive = request.keep_alive
+                    && response.is_success()
+                    && !state.shutdown.load(Ordering::SeqCst)
+                    && state.queued.load(Ordering::SeqCst) == 0
+                    && served_here + 1 < MAX_REQUESTS_PER_CONNECTION;
+                let written = http::write_response(&mut stream, &response, keep_alive);
+                state.served.fetch_add(1, Ordering::Relaxed);
+                if written.is_err() || !keep_alive {
+                    break;
+                }
+            }
+            Err(http::ReadError::Closed) => break,
+            Err(http::ReadError::Malformed) => {
+                let response = Response::error("400 Bad Request", "malformed request");
+                let _ = http::write_response(&mut stream, &response, false);
+                state.served.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(http::ReadError::BodyTooLarge) => {
+                let response = Response::error("413 Payload Too Large", "request body too large");
+                let _ = http::write_response(&mut stream, &response, false);
+                state.served.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+/// Dispatch one parsed request: `/v1/*` speaks the typed protocol, other
+/// paths fall through to the deprecated legacy shims.
 fn route(request: &Request, state: &AppState) -> Response {
-    let qm = &state.qm;
-    let layer_param: Option<usize> = request.parse("layer");
-    let layer = layer_param.unwrap_or(0);
+    match request.path.strip_prefix("/v1") {
+        Some(rest) => route_v1(rest, request, state),
+        None => route_legacy(request, state),
+    }
+}
+
+/// The `minx,miny,maxx,maxy` parameters as a [`RectDto`], if all present.
+/// (Ordering is validated by the service, so every consumer shares one
+/// error message.)
+fn parse_window(request: &Request) -> Option<RectDto> {
+    Some(RectDto {
+        min_x: request.parse("minx")?,
+        min_y: request.parse("miny")?,
+        max_x: request.parse("maxx")?,
+        max_y: request.parse("maxy")?,
+    })
+}
+
+fn route_v1(rest: &str, request: &Request, state: &AppState) -> Response {
+    let dataset = request.param("dataset").map(str::to_string);
+    let api_request = match (request.method.as_str(), rest) {
+        ("GET", "/healthz") => return Response::ok("{\"ok\":true}"),
+        // The RPC form: the body is a full serialized ApiRequest.
+        ("POST", "" | "/") => match ApiRequest::from_json(&request.body) {
+            Ok(req) => req,
+            Err(e) => return v1_error(e),
+        },
+        ("GET", "/datasets") => ApiRequest::ListDatasets,
+        ("GET", "/layers") => ApiRequest::ListLayers { dataset },
+        ("GET", "/window") => match parse_window(request) {
+            Some(window) => ApiRequest::Window {
+                dataset,
+                layer: request.parse("layer"),
+                window,
+                session: request.parse("session"),
+            },
+            None => return v1_error(ApiError::bad_request("need minx,miny,maxx,maxy")),
+        },
+        ("GET", "/search") => match request.param("q") {
+            // '+'-for-space decoding happens here, on the one text field.
+            Some(q) => ApiRequest::Search {
+                dataset,
+                layer: request.parse("layer").unwrap_or(0),
+                query: q.replace('+', " "),
+            },
+            None => return v1_error(ApiError::bad_request("need q")),
+        },
+        ("GET", "/focus") => match request.parse("node") {
+            Some(node) => ApiRequest::Focus {
+                dataset,
+                layer: request.parse("layer").unwrap_or(0),
+                node,
+            },
+            None => return v1_error(ApiError::bad_request("need node")),
+        },
+        ("GET" | "POST", "/session/new") => ApiRequest::SessionNew {
+            dataset,
+            window: parse_window(request),
+        },
+        ("GET" | "POST", "/session/close") => match request.parse("session") {
+            Some(session) => ApiRequest::SessionClose { dataset, session },
+            None => return v1_error(ApiError::bad_request("need session")),
+        },
+        ("GET", "/stats") => ApiRequest::Stats,
+        ("POST", "/edge") => match edge_body_request(request, dataset, false) {
+            Ok(req) => req,
+            Err(e) => return v1_error(e),
+        },
+        ("POST", "/edge/delete") => match edge_body_request(request, dataset, true) {
+            Ok(req) => req,
+            Err(e) => return v1_error(e),
+        },
+        _ => {
+            return v1_error(ApiError::not_found(format!(
+                "no v1 endpoint {} {}",
+                request.method, request.path
+            )))
+        }
+    };
+    match state.service.call(&api_request) {
+        Ok(outcome) => v1_response(outcome, state),
+        Err(e) => v1_error(e),
+    }
+}
+
+/// Parse a mutation body. Insertions accept `{"dataset":…,"layer":…,
+/// "edge":{…}}` or a bare edge object; deletions `{"rid":…}` (+ optional
+/// dataset/layer). Query parameters fill whatever the body omits.
+fn edge_body_request(
+    request: &Request,
+    dataset: Option<String>,
+    delete: bool,
+) -> Result<ApiRequest, ApiError> {
+    let v = Json::parse(&request.body)
+        .map_err(|e| ApiError::bad_request(format!("malformed mutation body: {e}")))?;
+    let dataset = v
+        .get("dataset")
+        .and_then(Json::as_str)
+        .map(String::from)
+        .or(dataset);
+    let layer = v
+        .get("layer")
+        .and_then(Json::as_usize)
+        .or_else(|| request.parse("layer"))
+        .unwrap_or(0);
+    if delete {
+        let rid = v
+            .get("rid")
+            .and_then(Json::as_u64)
+            .or_else(|| request.parse("rid"))
+            .ok_or_else(|| ApiError::bad_request("need rid"))?;
+        Ok(ApiRequest::DeleteEdge {
+            dataset,
+            layer,
+            rid,
+        })
+    } else {
+        let edge = EdgeDto::from_value(v.get("edge").unwrap_or(&v))?;
+        Ok(ApiRequest::InsertEdge {
+            dataset,
+            layer,
+            edge,
+        })
+    }
+}
+
+/// The per-response `X-Gvdb-*` telemetry headers of a window outcome.
+fn window_headers(outcome: &WindowOutcome) -> String {
+    let mut headers = format!(
+        "X-Gvdb-Source: {}\r\nX-Gvdb-Rows-Reused: {}\r\nX-Gvdb-Rows-Fetched: {}\r\nX-Gvdb-Epoch: {}\r\n",
+        outcome.source().as_str(),
+        outcome.response.rows_reused,
+        outcome.response.rows_fetched,
+        outcome.response.epoch
+    );
+    if let Some(sid) = outcome.session {
+        headers.push_str(&format!("X-Gvdb-Session: {sid}\r\n"));
+    }
+    headers
+}
+
+/// Format a v1 success. Window outcomes become the typed envelope with
+/// the `Arc`-shared payload spliced in (no copy); stats gain the serving
+/// counters only the HTTP layer knows.
+fn v1_response(outcome: ApiOutcome, state: &AppState) -> Response {
+    match outcome {
+        ApiOutcome::Window(outcome) => {
+            let head = format!(
+                "{{\"kind\":\"window\",\"window\":{},\"graph\":",
+                outcome.meta().to_json()
+            );
+            Response {
+                status: "200 OK",
+                extra_headers: window_headers(&outcome),
+                body: Body::Enveloped {
+                    head,
+                    graph: outcome.response.json,
+                    tail: "}".into(),
+                },
+            }
+        }
+        ApiOutcome::Stats(datasets) => {
+            Response::ok(ApiResponse::Stats(server_stats(state, datasets)).to_json())
+        }
+        other => Response::ok(other.into_response().to_json()),
+    }
+}
+
+/// Format a v1 failure: the typed error body under the kind's status.
+fn v1_error(e: ApiError) -> Response {
+    Response {
+        status: e.kind.http_status(),
+        extra_headers: String::new(),
+        body: ApiResponse::Error(e).to_json().into(),
+    }
+}
+
+/// Per-dataset stats wrapped with the serving counters.
+fn server_stats(state: &AppState, datasets: Vec<DatasetStats>) -> StatsDto {
+    StatsDto {
+        served: state.served.load(Ordering::Relaxed),
+        rejected: state.rejected.load(Ordering::Relaxed),
+        workers: state.workers as u64,
+        backlog: state.backlog as u64,
+        datasets,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy shims (deprecated — kept for pre-v1 clients)
+// ---------------------------------------------------------------------------
+
+/// Header advertising the replacement route on every legacy response.
+fn deprecation_header(replacement: &str) -> String {
+    format!("X-Gvdb-Deprecated: use {replacement}\r\n")
+}
+
+/// A legacy-dialect error (`{"error":"…"}`) from a typed one.
+fn legacy_error(e: &ApiError) -> Response {
+    Response::error(e.kind.http_status(), &e.message)
+}
+
+fn route_legacy(request: &Request, state: &AppState) -> Response {
+    let dataset = request.param("dataset").map(str::to_string);
+    let service = &state.service;
     match request.path.as_str() {
         "/healthz" => Response::ok("{\"ok\":true}"),
-        "/layers" => {
-            let db = qm.db();
-            let mut out = String::from("{\"layers\":[");
-            for i in 0..db.layer_count() {
-                if i > 0 {
-                    out.push(',');
+        "/layers" => match service.call(&ApiRequest::ListLayers { dataset }) {
+            Ok(ApiOutcome::Layers { layers, .. }) => {
+                let mut out = String::from("{\"layers\":[");
+                for (i, l) in layers.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"index\":{},\"rows\":{},\"epoch\":{}}}",
+                        l.index, l.rows, l.epoch
+                    ));
                 }
-                let rows = db.layer(i).map(|l| l.row_count()).unwrap_or(0);
-                out.push_str(&format!(
-                    "{{\"index\":{i},\"rows\":{rows},\"epoch\":{}}}",
-                    qm.layer_epoch(i)
-                ));
+                out.push_str("]}");
+                legacy_ok(out, "/v1/layers")
             }
-            out.push_str("]}");
-            Response::ok(out)
-        }
-        "/session/new" => {
-            let window = parse_window(request).unwrap_or(Rect::new(0.0, 0.0, 1000.0, 1000.0));
-            let id = state.sessions.create(window);
-            Response::ok(format!("{{\"session\":{id}}}"))
-        }
+            Ok(_) => unreachable!("layers request yields a layers outcome"),
+            Err(e) => legacy_error(&e),
+        },
+        // Legacy contract: a missing OR unordered window falls back to
+        // the default viewport (the v1 route reports unordered as 400).
+        "/session/new" => match service.call(&ApiRequest::SessionNew {
+            dataset,
+            window: parse_window(request).filter(RectDto::is_ordered),
+        }) {
+            Ok(ApiOutcome::Session { id }) => {
+                legacy_ok(format!("{{\"session\":{id}}}"), "/v1/session/new")
+            }
+            Ok(_) => unreachable!("session_new yields a session outcome"),
+            Err(e) => legacy_error(&e),
+        },
         "/session/close" => match request.parse::<SessionId>("session") {
-            Some(sid) => {
-                if state.sessions.remove(sid) {
-                    Response::ok("{\"closed\":true}")
-                } else {
-                    Response::error("404 Not Found", "unknown session")
-                }
-            }
+            Some(session) => match service.call(&ApiRequest::SessionClose { dataset, session }) {
+                Ok(_) => legacy_ok("{\"closed\":true}".to_string(), "/v1/session/close"),
+                Err(e) => legacy_error(&e),
+            },
             None => Response::error("400 Bad Request", "need session"),
         },
         "/window" => {
             let Some(window) = parse_window(request) else {
                 return Response::error("400 Bad Request", "need minx,miny,maxx,maxy");
             };
-            let result = match request.parse::<SessionId>("session") {
-                Some(sid) => match state.sessions.get(sid) {
-                    Some(handle) => {
-                        // Per-session lock: one client's requests are
-                        // ordered, different clients run concurrently.
-                        let mut session = handle.lock();
-                        // A request that omits `layer` stays on the
-                        // session's current layer (keeping its delta
-                        // anchor) instead of snapping back to 0.
-                        let layer = layer_param.unwrap_or_else(|| session.layer());
-                        session
-                            .set_layer(qm, layer)
-                            .and_then(|()| {
-                                session.navigate(window);
-                                session.view(qm)
-                            })
-                            .map(|resp| (resp, Some(sid)))
-                    }
-                    None => return Response::error("404 Not Found", "unknown session"),
-                },
-                None => qm.window_query(layer, &window).map(|resp| (resp, None)),
+            let api_request = ApiRequest::Window {
+                dataset,
+                layer: request.parse("layer"),
+                window,
+                session: request.parse("session"),
             };
-            match result {
-                Ok((resp, sid)) => {
-                    let source = if resp.cache_hit {
-                        "hit"
-                    } else if resp.delta {
-                        "delta"
-                    } else {
-                        "cold"
-                    };
-                    let mut extra_headers = format!(
-                        "X-Gvdb-Source: {source}\r\nX-Gvdb-Rows-Reused: {}\r\nX-Gvdb-Rows-Fetched: {}\r\nX-Gvdb-Epoch: {}\r\n",
-                        resp.rows_reused, resp.rows_fetched, resp.epoch
-                    );
-                    if let Some(sid) = sid {
-                        extra_headers.push_str(&format!("X-Gvdb-Session: {sid}\r\n"));
-                    }
+            match service.call(&api_request) {
+                Ok(ApiOutcome::Window(outcome)) => {
+                    let mut extra_headers = window_headers(&outcome);
+                    extra_headers.push_str(&deprecation_header("/v1/window"));
                     Response {
                         status: "200 OK",
                         extra_headers,
-                        body: Body::Shared(resp.json),
+                        body: Body::Shared(outcome.response.json),
                     }
                 }
-                Err(e) => Response::error("404 Not Found", &e.to_string()),
+                Ok(_) => unreachable!("window request yields a window outcome"),
+                Err(e) => legacy_error(&e),
             }
         }
         "/search" => match request.param("q") {
-            // '+'-for-space decoding happens here, on the one text field.
-            Some(q) => match qm.keyword_search(layer, &q.replace('+', " ")) {
-                Ok(hits) => {
+            Some(q) => match service.call(&ApiRequest::Search {
+                dataset,
+                layer: request.parse("layer").unwrap_or(0),
+                query: q.replace('+', " "),
+            }) {
+                Ok(ApiOutcome::Hits(hits)) => {
                     let mut out = String::from("{\"hits\":[");
                     for (i, h) in hits.iter().enumerate() {
                         if i > 0 {
@@ -388,50 +740,97 @@ fn route(request: &Request, state: &AppState) -> Response {
                             "{{\"node\":{},\"x\":{:.2},\"y\":{:.2},\"label\":\"",
                             h.node_id, h.position.x, h.position.y
                         ));
-                        escape_into(&h.label, &mut out);
+                        gvdb_core::json::escape_into(&h.label, &mut out);
                         out.push_str("\"}");
                     }
                     out.push_str("]}");
-                    Response::ok(out)
+                    legacy_ok(out, "/v1/search")
                 }
-                Err(e) => Response::error("404 Not Found", &e.to_string()),
+                Ok(_) => unreachable!("search yields a hits outcome"),
+                Err(e) => legacy_error(&e),
             },
             None => Response::error("400 Bad Request", "need q"),
         },
         "/focus" => match request.parse::<u64>("node") {
-            Some(node) => match qm.focus_on_node(layer, node) {
-                Ok(rows) => Response::ok(build_graph_json(&rows).text),
-                Err(e) => Response::error("404 Not Found", &e.to_string()),
+            Some(node) => match service.call(&ApiRequest::Focus {
+                dataset,
+                layer: request.parse("layer").unwrap_or(0),
+                node,
+            }) {
+                Ok(ApiOutcome::Focus { json, .. }) => legacy_ok(json.text, "/v1/focus"),
+                Ok(_) => unreachable!("focus yields a focus outcome"),
+                Err(e) => legacy_error(&e),
             },
             None => Response::error("400 Bad Request", "need node"),
         },
-        "/cache" => {
-            let stats = qm.cache_stats();
-            let pool = qm.pool_stats();
-            Response::ok(format!(
-                "{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.3},\"pool\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.3}}}}}",
-                stats.hits,
-                stats.partial_hits,
-                stats.misses,
-                stats.entries,
-                stats.bytes,
-                stats.hit_rate(),
-                pool.hits,
-                pool.misses,
-                pool.hit_rate()
-            ))
-        }
-        "/stats" => Response::ok(stats_json(state)),
+        "/cache" => match legacy_dataset_stats(state, dataset.as_deref()) {
+            Ok(ds) => {
+                let cache_total = ds.cache.hits + ds.cache.misses;
+                let cache_rate = ds.cache.hits as f64 / (cache_total.max(1)) as f64;
+                let pool_total = ds.pool.hits + ds.pool.misses;
+                let pool_rate = ds.pool.hits as f64 / (pool_total.max(1)) as f64;
+                legacy_ok(
+                    format!(
+                        "{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.3},\"pool\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.3}}}}}",
+                        ds.cache.hits,
+                        ds.cache.partial_hits,
+                        ds.cache.misses,
+                        ds.cache.entries,
+                        ds.cache.bytes,
+                        cache_rate,
+                        ds.pool.hits,
+                        ds.pool.misses,
+                        pool_rate
+                    ),
+                    "/v1/stats",
+                )
+            }
+            Err(e) => legacy_error(&e),
+        },
+        "/stats" => match legacy_dataset_stats(state, dataset.as_deref()) {
+            Ok(ds) => legacy_ok(legacy_stats_json(state, &ds), "/v1/stats"),
+            Err(e) => legacy_error(&e),
+        },
         _ => Response::error("404 Not Found", "unknown endpoint"),
     }
 }
 
-/// The `/stats` payload: serving counters, per-layer epochs, and the
-/// per-shard breakdowns of both the buffer pool and the window cache.
-fn stats_json(state: &AppState) -> String {
-    let qm = &state.qm;
-    let cache = qm.cache_stats();
-    let pool = qm.pool_stats();
+fn legacy_ok(body: String, replacement: &str) -> Response {
+    Response {
+        status: "200 OK",
+        extra_headers: deprecation_header(replacement),
+        body: body.into(),
+    }
+}
+
+/// Resolve the dataset a legacy stats route addresses: the explicit
+/// `dataset=` value, or the only dataset when there is exactly one.
+fn legacy_dataset_stats(state: &AppState, dataset: Option<&str>) -> Result<DatasetStats, ApiError> {
+    let Ok(ApiOutcome::Stats(mut datasets)) = state.service.call(&ApiRequest::Stats) else {
+        return Err(ApiError::internal("stats unavailable"));
+    };
+    match dataset {
+        Some(name) => datasets
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| datasets.swap_remove(i))
+            .ok_or_else(|| {
+                ApiError::not_found(format!(
+                    "dataset '{name}' not found (available: {})",
+                    state.service.dataset_names().join(", ")
+                ))
+            }),
+        None if datasets.len() == 1 => Ok(datasets.pop().expect("len checked")),
+        None => Err(ApiError::bad_request(format!(
+            "this workspace serves {} datasets; pass dataset=<name> or use /v1/stats",
+            datasets.len()
+        ))),
+    }
+}
+
+/// The legacy `/stats` payload: serving counters, the dataset's per-layer
+/// epochs, and the per-shard breakdowns of pool and cache.
+fn legacy_stats_json(state: &AppState, ds: &DatasetStats) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
         "\"served\":{},\"rejected\":{},\"workers\":{},\"backlog\":{},\"sessions\":{},",
@@ -439,56 +838,43 @@ fn stats_json(state: &AppState) -> String {
         state.rejected.load(Ordering::Relaxed),
         state.workers,
         state.backlog,
-        state.sessions.len()
+        ds.sessions.live
     ));
     out.push_str("\"epochs\":[");
-    for layer in 0..qm.layer_count() {
-        if layer > 0 {
+    for (i, epoch) in ds.epochs.iter().enumerate() {
+        if i > 0 {
             out.push(',');
         }
-        out.push_str(&qm.layer_epoch(layer).to_string());
+        out.push_str(&epoch.to_string());
     }
     out.push_str("],");
+    let pool_total = ds.pool.hits + ds.pool.misses;
     out.push_str(&format!(
         "\"pool\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.3},\"shards\":[",
-        pool.hits,
-        pool.misses,
-        pool.evictions,
-        pool.hit_rate()
+        ds.pool.hits,
+        ds.pool.misses,
+        ds.pool.evictions,
+        ds.pool.hits as f64 / (pool_total.max(1)) as f64
     ));
-    for (i, s) in qm.pool_shard_stats().iter().enumerate() {
+    for (i, (hits, misses, evictions)) in ds.pool.shards.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"hits\":{},\"misses\":{},\"evictions\":{}}}",
-            s.hits, s.misses, s.evictions
+            "{{\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions}}}"
         ));
     }
     out.push_str("]},");
     out.push_str(&format!(
         "\"cache\":{{\"hits\":{},\"partial_hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"shards\":[",
-        cache.hits, cache.partial_hits, cache.misses, cache.entries, cache.bytes
+        ds.cache.hits, ds.cache.partial_hits, ds.cache.misses, ds.cache.entries, ds.cache.bytes
     ));
-    for (i, s) in qm.cache_shard_stats().iter().enumerate() {
+    for (i, (entries, bytes)) in ds.cache.shards.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "{{\"entries\":{},\"bytes\":{}}}",
-            s.entries, s.bytes
-        ));
+        out.push_str(&format!("{{\"entries\":{entries},\"bytes\":{bytes}}}"));
     }
     out.push_str("]}}");
     out
-}
-
-/// The `minx,miny,maxx,maxy` parameters as a [`Rect`], if present and
-/// ordered.
-fn parse_window(request: &Request) -> Option<Rect> {
-    let minx: f64 = request.parse("minx")?;
-    let miny: f64 = request.parse("miny")?;
-    let maxx: f64 = request.parse("maxx")?;
-    let maxy: f64 = request.parse("maxy")?;
-    (minx <= maxx && miny <= maxy).then(|| Rect::new(minx, miny, maxx, maxy))
 }

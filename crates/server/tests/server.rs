@@ -156,6 +156,18 @@ fn session_pans_ride_the_delta_path_over_http() {
         "layer-less session request must stay on the session's layer: {h}"
     );
 
+    // Legacy contract: an inverted window on /session/new falls back to
+    // the default viewport instead of erroring.
+    let (h, body) = http_get(addr, "/session/new?minx=5&miny=0&maxx=1&maxy=1");
+    assert!(h.contains("200 OK"), "inverted window must fall back: {h}");
+    assert!(body.starts_with("{\"session\":"), "{body}");
+    let fallback_sid: u64 = body
+        .trim_start_matches("{\"session\":")
+        .trim_end_matches('}')
+        .parse()
+        .expect("session id");
+    http_get(addr, &format!("/session/close?session={fallback_sid}"));
+
     // Explicit release: the id stops resolving and the registry shrinks.
     let (_, closed) = http_get(addr, &format!("/session/close?session={sid}"));
     assert_eq!(closed, "{\"closed\":true}");

@@ -8,9 +8,16 @@
 //! gvdb search <db> <layer> <keyword...>
 //! gvdb focus <db> <layer> <node-id>
 //! gvdb stats <db>
-//! gvdb serve <db> [--addr HOST:PORT] [--workers N] [--backlog N]
-//! gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--nodes N] [--pans K] [--overlap F]
+//! gvdb serve <db> | <name>=<path>... | --workspace <dir>
+//!            [--addr HOST:PORT] [--workers N] [--backlog N]
+//! gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--http-out FILE]
+//!                  [--nodes N] [--pans K] [--overlap F]
 //! ```
+//!
+//! `serve` binds a multi-dataset workspace behind the `/v1` API: a single
+//! bare `<db>` serves as dataset `default`, several `<name>=<path>` pairs
+//! serve side by side behind `dataset=<name>`, and `--workspace <dir>`
+//! loads every `*.gvdb` file in the directory (dataset name = file stem).
 //!
 //! Input format is inferred from the extension: `.nt` parses as N-Triples,
 //! anything else as a (tab/space-separated) edge list.
@@ -57,8 +64,10 @@ const USAGE: &str = "usage:
   gvdb search <db> <layer> <keyword...>
   gvdb focus <db> <layer> <node-id>
   gvdb stats <db>
-  gvdb serve <db> [--addr HOST:PORT] [--workers N] [--backlog N]
-  gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--nodes N] [--pans K] [--overlap F]";
+  gvdb serve <db> | <name>=<path>... | --workspace <dir>
+             [--addr HOST:PORT] [--workers N] [--backlog N]
+  gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--http-out FILE]
+                   [--nodes N] [--pans K] [--overlap F]";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -219,18 +228,19 @@ fn cmd_focus(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `gvdb serve`: open a preprocessed database and serve it over HTTP on
-/// the bounded worker pool until the process is killed. Clients that want
-/// incremental pans register a session first (`GET /session/new`) and tag
-/// their `/window` requests with it; `/stats` exposes the per-shard
-/// buffer-pool and window-cache counters.
+/// `gvdb serve`: open one or more preprocessed databases as a shared
+/// workspace and serve them over HTTP (the `/v1` typed API, plus the
+/// deprecated legacy routes) until the process is killed.
+///
+/// * `gvdb serve graph.db` — one dataset, named `default`.
+/// * `gvdb serve acm=acm.gvdb dblp=dblp.gvdb` — several datasets behind
+///   the `dataset=` selector, each with its own sessions and epochs.
+/// * `gvdb serve --workspace ./data` — every `*.gvdb` in the directory.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use graphvizdb::core::SharedWorkspace;
     use graphvizdb::server::{Server, ServerConfig};
     use std::sync::Arc;
 
-    let [db_path, ..] = args else {
-        return Err("serve needs <db>".into());
-    };
     let mut config = ServerConfig::default();
     if let Some(addr) = flag(args, "--addr") {
         config.addr = addr.to_string();
@@ -245,14 +255,63 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --backlog {backlog}"))?;
     }
-    let qm = Arc::new(QueryManager::new(open_db(db_path)?));
-    let layers = qm.layer_count();
-    let server = Server::start(qm, config).map_err(|e| format!("bind: {e}"))?;
+
+    let workspace = Arc::new(SharedWorkspace::new());
+    if let Some(dir) = flag(args, "--workspace") {
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("read {dir}: {e}"))?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("gvdb") {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("unusable file name {}", path.display()))?
+                .to_string();
+            workspace
+                .open(&name, &path)
+                .map_err(|e| format!("open {}: {e}", path.display()))?;
+        }
+        if workspace.is_empty() {
+            return Err(format!("no *.gvdb files in {dir}"));
+        }
+    }
+    // Positional dataset specs: `<name>=<path>`, or a bare `<path>`
+    // serving as dataset `default` (the backwards-compatible form).
+    let value_flags = ["--addr", "--workers", "--backlog", "--workspace"];
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if value_flags.contains(&arg) {
+            i += 2;
+            continue;
+        }
+        if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg}"));
+        }
+        let (name, path) = match arg.split_once('=') {
+            Some((name, path)) if !name.is_empty() => (name, path),
+            _ => ("default", arg),
+        };
+        workspace
+            .open(name, Path::new(path))
+            .map_err(|e| format!("open {path}: {e}"))?;
+        i += 1;
+    }
+    if workspace.is_empty() {
+        return Err("serve needs <db>, <name>=<path>... or --workspace <dir>".into());
+    }
+
+    let datasets = workspace.names().join(", ");
+    let count = workspace.len();
+    let server = Server::start(workspace, config).map_err(|e| format!("bind: {e}"))?;
     println!(
-        "graphvizdb serving {db_path} ({layers} layers) on http://{}",
+        "graphvizdb serving {count} dataset(s) [{datasets}] on http://{}",
         server.addr()
     );
-    println!("endpoints: /layers /window /session/new /session/close /search /focus /cache /stats /healthz");
+    println!("v1 API: /v1/datasets /v1/layers /v1/window /v1/search /v1/focus /v1/edge (POST) /v1/edge/delete (POST) /v1/session/new /v1/session/close /v1/stats /v1/healthz");
+    println!("legacy routes (/window /search /stats ...) remain as deprecated shims");
     server.wait();
     Ok(())
 }
@@ -404,7 +463,139 @@ fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
     let conc_out = flag(args, "--concurrency-out").unwrap_or("BENCH_concurrency.json");
     bench_concurrency(Path::new(&path), &bounds, conc_out)?;
 
+    let http_out = flag(args, "--http-out").unwrap_or("BENCH_http.json");
+    bench_http(Path::new(&path), &bounds, http_out)?;
+
     std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+/// The HTTP smoke bench: the same cache-hit `/v1/window` request measured
+/// two ways — **keep-alive** (one persistent connection, requests in
+/// sequence) vs **connection-per-request** (`Connection: close`, a fresh
+/// TCP handshake every time). Server-side the work is identical (an exact
+/// window-cache hit, ~µs), so the difference is pure connection overhead —
+/// the cost HTTP/1.1 keep-alive removes. Writes medians to `out`.
+fn bench_http(db_path: &Path, bounds: &graphvizdb::spatial::Rect, out: &str) -> Result<(), String> {
+    use graphvizdb::server::{Server, ServerConfig};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const REQUESTS: usize = 300;
+
+    let qm = Arc::new(QueryManager::new(
+        GraphDb::open(db_path).map_err(|e| e.to_string())?,
+    ));
+    let server = Server::start(qm, ServerConfig::default()).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    let side = (bounds.width().min(bounds.height()) * 0.25).max(1.0);
+    let target = format!(
+        "/v1/window?layer=0&minx={:.1}&miny={:.1}&maxx={:.1}&maxy={:.1}",
+        bounds.min_x,
+        bounds.min_y,
+        bounds.min_x + side,
+        bounds.min_y + side
+    );
+
+    /// Read exactly one HTTP response (headers + Content-Length body).
+    fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(), String> {
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                return Err("connection closed mid-response".into());
+            }
+            if line == "\r\n" {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().map_err(|_| "bad content-length")?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs[xs.len() / 2]
+        }
+    };
+
+    // Warm the window cache so both variants measure the hit path.
+    {
+        let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n"
+        )
+        .map_err(|e| e.to_string())?;
+        let mut sink = String::new();
+        stream
+            .read_to_string(&mut sink)
+            .map_err(|e| e.to_string())?;
+    }
+
+    // Keep-alive: one connection, REQUESTS sequential request/response
+    // round-trips. The request is one `write_all` on a no-delay socket —
+    // fragmented writes on a reused connection would measure Nagle +
+    // delayed-ACK stalls, not the server.
+    let keepalive_request = format!("GET {target} HTTP/1.1\r\nHost: b\r\n\r\n").into_bytes();
+    let mut keepalive_ms = Vec::with_capacity(REQUESTS);
+    {
+        let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        for _ in 0..REQUESTS {
+            let t = Instant::now();
+            writer
+                .write_all(&keepalive_request)
+                .map_err(|e| e.to_string())?;
+            read_response(&mut reader)?;
+            keepalive_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    // Connection-per-request: a fresh TCP handshake before every request.
+    let close_request =
+        format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").into_bytes();
+    let mut per_conn_ms = Vec::with_capacity(REQUESTS);
+    for _ in 0..REQUESTS {
+        let t = Instant::now();
+        let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        writer
+            .write_all(&close_request)
+            .map_err(|e| e.to_string())?;
+        read_response(&mut reader)?;
+        per_conn_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    server.shutdown();
+
+    let keepalive_median = median(&mut keepalive_ms);
+    let per_conn_median = median(&mut per_conn_ms);
+    let speedup = if keepalive_median > 0.0 {
+        per_conn_median / keepalive_median
+    } else {
+        f64::INFINITY
+    };
+    let json = format!(
+        "{{\n  \"requests\": {REQUESTS},\n  \"path\": \"cache-hit /v1/window\",\n  \"keepalive_median_ms\": {keepalive_median:.4},\n  \"per_connection_median_ms\": {per_conn_median:.4},\n  \"keepalive_speedup\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("{json}");
+    println!(
+        "wrote {out}: keep-alive {keepalive_median:.3} ms vs connection-per-request {per_conn_median:.3} ms median ({speedup:.1}x)"
+    );
     Ok(())
 }
 
