@@ -1,0 +1,456 @@
+//! The **streamed frame layer** of the `v1` protocol.
+//!
+//! A buffered `ApiResponse` makes the client wait for the whole result
+//! body before it can paint anything; the paper's interactive pipeline
+//! instead streams each window's sub-graph in small pieces so transfer
+//! overlaps client-side rendering (its Fig. 3 "Communication + Rendering"
+//! series). [`ApiFrame`] is that pipeline as a wire type: a streamed
+//! result is a **frame sequence**
+//!
+//! ```text
+//! Header · Rows* · (Progress interleaved) · Trailer
+//!                                         | Error   (terminal failure)
+//! ```
+//!
+//! * [`ApiFrame::Header`] — what is being answered (op, dataset, layer,
+//!   the epoch the rows are consistent with, the window source). Sent
+//!   before any row is fetched into the response, so time-to-first-frame
+//!   is independent of window size.
+//! * [`ApiFrame::Rows`] — one batch of results: a self-contained graph
+//!   fragment (`{"nodes":[…],"edges":[…]}`, nodes deduplicated within the
+//!   batch — clients merge by id) or a batch of search hits. Delta pans
+//!   emit **reused** batches first, then fetched arrivals, so the client
+//!   can repaint the kept region immediately.
+//! * [`ApiFrame::Progress`] — rows sent so far vs total, for progress UI.
+//! * [`ApiFrame::Trailer`] — the stats the buffered envelope carries in
+//!   `X-Gvdb-*` headers (source, reused/fetched counts) plus the layer
+//!   epoch **observed at stream end**: if an edit raced the stream, the
+//!   trailer epoch is newer than the header epoch and the client knows
+//!   its view is already stale.
+//! * [`ApiFrame::Error`] — a typed failure after the stream started (a
+//!   failure before the first frame stays a plain HTTP error response).
+//!
+//! Like the rest of this crate the codec is hand-rolled canonical JSON
+//! over [`Json`]; every frame round-trips byte-exactly (graph fragments
+//! are spliced verbatim on write and re-canonicalized on read).
+
+use crate::json::Json;
+use crate::{need, need_str, need_u64, need_usize, ApiError, ApiResult, SearchHitDto, Source};
+use serde::{Deserialize, Serialize};
+
+/// Default rows per [`ApiFrame::Rows`] batch.
+///
+/// Sized from the `ClientModel` calibration the Fig. 3 harness uses: the
+/// simulated browser pipeline streams 16 KiB chunks, and a serialized
+/// edge row (edge object + its share of node objects) measures ~128
+/// bytes, so a batch of 128 rows fills one calibrated chunk.
+pub const DEFAULT_CHUNK_ROWS: usize = 128;
+
+/// The opening frame of a streamed result (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameHeader {
+    /// The operation being answered (`window`, `search`, `focus`).
+    pub op: String,
+    /// The dataset that is answering.
+    pub dataset: String,
+    /// The layer queried.
+    pub layer: usize,
+    /// The edit epoch the streamed rows are consistent with.
+    pub epoch: u64,
+    /// How the result is being produced (window operations only).
+    pub source: Option<Source>,
+    /// The session that anchored the query, if any.
+    pub session: Option<u64>,
+}
+
+/// One batch of streamed results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RowBatch {
+    /// A self-contained graph fragment: nodes deduplicated within the
+    /// batch, clients merge batches by object id.
+    Graph {
+        /// The fragment as raw JSON (`{"nodes":[…],"edges":[…]}`),
+        /// spliced verbatim into the frame.
+        graph: String,
+        /// Node objects in the fragment.
+        nodes: u64,
+        /// Edge objects in the fragment.
+        edges: u64,
+        /// Whether the batch was reused from the delta anchor (reused
+        /// batches stream before fetched arrivals).
+        reused: bool,
+    },
+    /// A batch of keyword-search hits.
+    Hits {
+        /// The hits in this batch.
+        hits: Vec<SearchHitDto>,
+    },
+}
+
+impl RowBatch {
+    /// Rows in the batch (edges of a graph fragment, hits of a search
+    /// batch).
+    pub fn len(&self) -> usize {
+        match self {
+            RowBatch::Graph { edges, .. } => *edges as usize,
+            RowBatch::Hits { hits } => hits.len(),
+        }
+    }
+
+    /// Whether the batch carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Rows delivered so far vs the total the stream will carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressFrame {
+    /// Rows emitted in the frames before this one.
+    pub rows_sent: u64,
+    /// Total rows the stream will emit.
+    pub rows_total: u64,
+}
+
+/// The closing frame: the per-response stats the buffered envelope
+/// reports in `X-Gvdb-*` headers, plus the end-of-stream epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrailerFrame {
+    /// The layer's edit epoch **observed when the trailer was built** —
+    /// newer than the header epoch exactly when an edit raced the
+    /// stream.
+    pub epoch: u64,
+    /// How the result was produced (window operations only).
+    pub source: Option<Source>,
+    /// Total rows streamed.
+    pub rows: u64,
+    /// Rows reused from the cache / delta anchor.
+    pub rows_reused: u64,
+    /// Rows fetched from the heap.
+    pub rows_fetched: u64,
+    /// Number of [`ApiFrame::Rows`] frames emitted.
+    pub frames: u64,
+}
+
+/// One frame of a streamed `v1` result (see module docs for the
+/// sequence grammar).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ApiFrame {
+    /// Stream opening: what is being answered.
+    Header(FrameHeader),
+    /// One batch of rows.
+    Rows(RowBatch),
+    /// Delivery progress.
+    Progress(ProgressFrame),
+    /// Stream closing: response stats + end-of-stream epoch.
+    Trailer(TrailerFrame),
+    /// Terminal mid-stream failure.
+    Error(ApiError),
+}
+
+impl ApiFrame {
+    /// The wire tag of this frame.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApiFrame::Header(_) => "header",
+            ApiFrame::Rows(_) => "rows",
+            ApiFrame::Progress(_) => "progress",
+            ApiFrame::Trailer(_) => "trailer",
+            ApiFrame::Error(_) => "error",
+        }
+    }
+
+    /// Serialize to the wire form `{"frame":…, …}`. Graph fragments are
+    /// spliced in verbatim (they are already JSON), mirroring the
+    /// zero-copy envelope of [`crate::ApiResponse::to_json`].
+    pub fn to_json(&self) -> String {
+        match self {
+            ApiFrame::Rows(RowBatch::Graph {
+                graph,
+                nodes,
+                edges,
+                reused,
+            }) => {
+                let mut out = String::with_capacity(graph.len() + 64);
+                out.push_str("{\"frame\":\"rows\",\"nodes\":");
+                out.push_str(&nodes.to_string());
+                out.push_str(",\"edges\":");
+                out.push_str(&edges.to_string());
+                out.push_str(",\"reused\":");
+                out.push_str(if *reused { "true" } else { "false" });
+                out.push_str(",\"graph\":");
+                out.push_str(graph);
+                out.push('}');
+                out
+            }
+            other => other.to_value().to_string(),
+        }
+    }
+
+    fn to_value(&self) -> Json {
+        let mut members: Vec<(String, Json)> =
+            vec![("frame".into(), Json::Str(self.kind().into()))];
+        match self {
+            ApiFrame::Header(h) => {
+                members.push(("op".into(), Json::Str(h.op.clone())));
+                members.push(("dataset".into(), Json::Str(h.dataset.clone())));
+                members.push(("layer".into(), Json::uint(h.layer as u64)));
+                members.push(("epoch".into(), Json::uint(h.epoch)));
+                if let Some(source) = h.source {
+                    members.push(("source".into(), Json::Str(source.as_str().into())));
+                }
+                if let Some(session) = h.session {
+                    members.push(("session".into(), Json::uint(session)));
+                }
+            }
+            ApiFrame::Rows(RowBatch::Graph { .. }) => {
+                unreachable!("graph batches serialize in to_json")
+            }
+            ApiFrame::Rows(RowBatch::Hits { hits }) => {
+                members.push((
+                    "hits".into(),
+                    Json::Arr(
+                        hits.iter()
+                            .map(|h| {
+                                Json::Obj(vec![
+                                    ("node".into(), Json::uint(h.node)),
+                                    ("label".into(), Json::Str(h.label.clone())),
+                                    ("x".into(), Json::Float(h.x)),
+                                    ("y".into(), Json::Float(h.y)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            ApiFrame::Progress(p) => {
+                members.push(("rows_sent".into(), Json::uint(p.rows_sent)));
+                members.push(("rows_total".into(), Json::uint(p.rows_total)));
+            }
+            ApiFrame::Trailer(t) => {
+                members.push(("epoch".into(), Json::uint(t.epoch)));
+                if let Some(source) = t.source {
+                    members.push(("source".into(), Json::Str(source.as_str().into())));
+                }
+                members.push(("rows".into(), Json::uint(t.rows)));
+                members.push(("rows_reused".into(), Json::uint(t.rows_reused)));
+                members.push(("rows_fetched".into(), Json::uint(t.rows_fetched)));
+                members.push(("frames".into(), Json::uint(t.frames)));
+            }
+            ApiFrame::Error(e) => {
+                members.push((
+                    "error".into(),
+                    Json::Obj(vec![
+                        ("kind".into(), Json::Str(e.kind.as_str().into())),
+                        ("message".into(), Json::Str(e.message.clone())),
+                    ]),
+                ));
+            }
+        }
+        Json::Obj(members)
+    }
+
+    /// Parse the wire form produced by [`ApiFrame::to_json`]. Graph
+    /// fragments are re-canonicalized (parsed and re-serialized), so
+    /// round-trips of canonically-formatted fragments are exact.
+    pub fn from_json(text: &str) -> ApiResult<ApiFrame> {
+        let v = Json::parse(text)
+            .map_err(|e| ApiError::bad_request(format!("malformed frame: {e}")))?;
+        let kind = need_str(&v, "frame")?;
+        Ok(match kind {
+            "header" => ApiFrame::Header(FrameHeader {
+                op: need_str(&v, "op")?.to_string(),
+                dataset: need_str(&v, "dataset")?.to_string(),
+                layer: need_usize(&v, "layer")?,
+                epoch: need_u64(&v, "epoch")?,
+                source: match v.get("source").and_then(Json::as_str) {
+                    Some(tag) => Some(
+                        Source::parse(tag)
+                            .ok_or_else(|| ApiError::bad_request("unknown frame source"))?,
+                    ),
+                    None => None,
+                },
+                session: v.get("session").and_then(Json::as_u64),
+            }),
+            "rows" => {
+                if let Some(hits) = v.get("hits") {
+                    ApiFrame::Rows(RowBatch::Hits {
+                        hits: hits
+                            .as_arr()
+                            .ok_or_else(|| ApiError::bad_request("hits must be an array"))?
+                            .iter()
+                            .map(|h| {
+                                Ok(SearchHitDto {
+                                    node: need_u64(h, "node")?,
+                                    label: need_str(h, "label")?.to_string(),
+                                    x: crate::need_f64(h, "x")?,
+                                    y: crate::need_f64(h, "y")?,
+                                })
+                            })
+                            .collect::<ApiResult<_>>()?,
+                    })
+                } else {
+                    ApiFrame::Rows(RowBatch::Graph {
+                        graph: need(&v, "graph")?.to_string(),
+                        nodes: need_u64(&v, "nodes")?,
+                        edges: need_u64(&v, "edges")?,
+                        reused: v.get("reused").and_then(Json::as_bool).unwrap_or(false),
+                    })
+                }
+            }
+            "progress" => ApiFrame::Progress(ProgressFrame {
+                rows_sent: need_u64(&v, "rows_sent")?,
+                rows_total: need_u64(&v, "rows_total")?,
+            }),
+            "trailer" => ApiFrame::Trailer(TrailerFrame {
+                epoch: need_u64(&v, "epoch")?,
+                source: match v.get("source").and_then(Json::as_str) {
+                    Some(tag) => Some(
+                        Source::parse(tag)
+                            .ok_or_else(|| ApiError::bad_request("unknown frame source"))?,
+                    ),
+                    None => None,
+                },
+                rows: need_u64(&v, "rows")?,
+                rows_reused: need_u64(&v, "rows_reused")?,
+                rows_fetched: need_u64(&v, "rows_fetched")?,
+                frames: need_u64(&v, "frames")?,
+            }),
+            "error" => {
+                let e = need(&v, "error")?;
+                let kind = crate::ErrorKind::parse(need_str(e, "kind")?)
+                    .ok_or_else(|| ApiError::bad_request("unknown error kind"))?;
+                ApiFrame::Error(ApiError::new(kind, need_str(e, "message")?))
+            }
+            other => {
+                return Err(ApiError::bad_request(format!("unknown frame '{other}'")));
+            }
+        })
+    }
+}
+
+/// Encoded bytes a graph [`ApiFrame::Rows`] envelope adds around its
+/// payload (the `{"frame":"rows",…,"graph":…}` wrapper) — what the Fig. 3
+/// cost model charges per streamed chunk on top of the payload itself.
+/// Measured from the real encoder once per process (the cost model calls
+/// this on every window response, including µs-scale cache hits).
+pub fn rows_envelope_bytes() -> usize {
+    static BYTES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BYTES.get_or_init(|| {
+        let placeholder = "{}";
+        ApiFrame::Rows(RowBatch::Graph {
+            graph: placeholder.into(),
+            nodes: 0,
+            edges: 0,
+            reused: false,
+        })
+        .to_json()
+        .len()
+            - placeholder.len()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &ApiFrame) {
+        let wire = frame.to_json();
+        let back = ApiFrame::from_json(&wire).expect("parse frame");
+        assert_eq!(&back, frame, "wire: {wire}");
+        // Canonical: a second trip is byte-stable.
+        assert_eq!(back.to_json(), wire);
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        roundtrip(&ApiFrame::Header(FrameHeader {
+            op: "window".into(),
+            dataset: "dblp".into(),
+            layer: 2,
+            epoch: 7,
+            source: Some(Source::Delta),
+            session: Some(41),
+        }));
+        roundtrip(&ApiFrame::Header(FrameHeader {
+            op: "search".into(),
+            dataset: "default".into(),
+            layer: 0,
+            epoch: 0,
+            source: None,
+            session: None,
+        }));
+        roundtrip(&ApiFrame::Rows(RowBatch::Graph {
+            graph: "{\"nodes\":[{\"id\":1}],\"edges\":[]}".into(),
+            nodes: 1,
+            edges: 0,
+            reused: true,
+        }));
+        roundtrip(&ApiFrame::Rows(RowBatch::Hits {
+            hits: vec![SearchHitDto {
+                node: u64::MAX,
+                label: "a \"quoted\" hit".into(),
+                x: 1.5,
+                y: -2.0,
+            }],
+        }));
+        roundtrip(&ApiFrame::Progress(ProgressFrame {
+            rows_sent: 256,
+            rows_total: 1024,
+        }));
+        roundtrip(&ApiFrame::Trailer(TrailerFrame {
+            epoch: 8,
+            source: Some(Source::Cold),
+            rows: 1024,
+            rows_reused: 900,
+            rows_fetched: 124,
+            frames: 8,
+        }));
+        roundtrip(&ApiFrame::Error(ApiError::internal("disk on fire")));
+    }
+
+    #[test]
+    fn graph_payload_is_spliced_verbatim() {
+        let graph = "{\"nodes\":[],\"edges\":[]}";
+        let frame = ApiFrame::Rows(RowBatch::Graph {
+            graph: graph.into(),
+            nodes: 0,
+            edges: 0,
+            reused: false,
+        });
+        let wire = frame.to_json();
+        assert!(wire.ends_with(&format!(",\"graph\":{graph}}}")), "{wire}");
+    }
+
+    #[test]
+    fn unknown_frames_and_sources_are_typed_errors() {
+        let err = ApiFrame::from_json("{\"frame\":\"warble\"}").unwrap_err();
+        assert_eq!(err.kind, crate::ErrorKind::BadRequest);
+        let err = ApiFrame::from_json(
+            "{\"frame\":\"header\",\"op\":\"window\",\"dataset\":\"d\",\"layer\":0,\"epoch\":0,\"source\":\"tepid\"}",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, crate::ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn envelope_overhead_is_small_and_stable() {
+        let overhead = rows_envelope_bytes();
+        assert!(overhead > 0 && overhead < 128, "overhead {overhead}");
+    }
+
+    #[test]
+    fn batch_len_counts_rows() {
+        assert_eq!(
+            RowBatch::Graph {
+                graph: "{}".into(),
+                nodes: 3,
+                edges: 9,
+                reused: false
+            }
+            .len(),
+            9
+        );
+        assert!(RowBatch::Hits { hits: vec![] }.is_empty());
+    }
+}

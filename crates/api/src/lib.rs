@@ -16,6 +16,10 @@
 //! * [`ApiError`] — a typed error (`kind` + `message`) replacing stringly
 //!   HTTP errors; [`ErrorKind::http_status`] maps each kind onto a status
 //!   line.
+//! * [`ApiFrame`] (the [`frame`] module) — the **streamed** result form:
+//!   window and search results as a `Header · Rows* · Trailer` frame
+//!   sequence, so transfer overlaps client-side rendering and
+//!   time-to-first-frame is independent of result size.
 //! * This crate is a **leaf**: no storage, no query engine, nothing but
 //!   the protocol. `gvdb-core` implements the protocol behind the
 //!   `GraphService` trait; `gvdb-server` speaks it over HTTP under
@@ -27,8 +31,13 @@
 //! cached `Arc`-shared payload into the envelope verbatim, so the typed
 //! protocol costs no payload copy on the hot path.
 
+pub mod frame;
 pub mod json;
 
+pub use frame::{
+    rows_envelope_bytes, ApiFrame, FrameHeader, ProgressFrame, RowBatch, TrailerFrame,
+    DEFAULT_CHUNK_ROWS,
+};
 pub use json::{escape_into, Json};
 
 use serde::{Deserialize, Serialize};
@@ -57,6 +66,12 @@ pub enum ErrorKind {
     Conflict,
     /// The request body exceeds the configured limit.
     TooLarge,
+    /// The request needs credentials it did not present (missing or
+    /// wrong `Authorization` bearer token).
+    Unauthorized,
+    /// The credentials are fine but the operation is not allowed (e.g.
+    /// a mutation on a read-only dataset).
+    Forbidden,
     /// The server is shedding load (full connection queue).
     Unavailable,
     /// An internal error (storage failure, corruption).
@@ -71,6 +86,8 @@ impl ErrorKind {
             ErrorKind::NotFound => "not_found",
             ErrorKind::Conflict => "conflict",
             ErrorKind::TooLarge => "too_large",
+            ErrorKind::Unauthorized => "unauthorized",
+            ErrorKind::Forbidden => "forbidden",
             ErrorKind::Unavailable => "unavailable",
             ErrorKind::Internal => "internal",
         }
@@ -83,6 +100,8 @@ impl ErrorKind {
             "not_found" => ErrorKind::NotFound,
             "conflict" => ErrorKind::Conflict,
             "too_large" => ErrorKind::TooLarge,
+            "unauthorized" => ErrorKind::Unauthorized,
+            "forbidden" => ErrorKind::Forbidden,
             "unavailable" => ErrorKind::Unavailable,
             "internal" => ErrorKind::Internal,
             _ => return None,
@@ -96,6 +115,8 @@ impl ErrorKind {
             ErrorKind::NotFound => "404 Not Found",
             ErrorKind::Conflict => "409 Conflict",
             ErrorKind::TooLarge => "413 Payload Too Large",
+            ErrorKind::Unauthorized => "401 Unauthorized",
+            ErrorKind::Forbidden => "403 Forbidden",
             ErrorKind::Unavailable => "503 Service Unavailable",
             ErrorKind::Internal => "500 Internal Server Error",
         }
@@ -134,6 +155,16 @@ impl ApiError {
     /// A [`ErrorKind::Conflict`] error.
     pub fn conflict(message: impl Into<String>) -> Self {
         Self::new(ErrorKind::Conflict, message)
+    }
+
+    /// An [`ErrorKind::Unauthorized`] error.
+    pub fn unauthorized(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Unauthorized, message)
+    }
+
+    /// An [`ErrorKind::Forbidden`] error.
+    pub fn forbidden(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Forbidden, message)
     }
 
     /// An [`ErrorKind::Internal`] error.
@@ -673,6 +704,13 @@ pub enum ApiRequest {
         /// The session to close.
         session: u64,
     },
+    /// Durability hook: sync the dataset's buffer pool and pager to disk
+    /// (the explicit half of the mutation durability contract — edits
+    /// update the live database immediately but are persisted on flush).
+    Flush {
+        /// Target dataset.
+        dataset: Option<String>,
+    },
     /// Full serving statistics.
     Stats,
 }
@@ -689,8 +727,20 @@ impl ApiRequest {
             | ApiRequest::InsertEdge { dataset, .. }
             | ApiRequest::DeleteEdge { dataset, .. }
             | ApiRequest::SessionNew { dataset, .. }
-            | ApiRequest::SessionClose { dataset, .. } => dataset.as_deref(),
+            | ApiRequest::SessionClose { dataset, .. }
+            | ApiRequest::Flush { dataset } => dataset.as_deref(),
         }
+    }
+
+    /// Whether this request mutates graph data (what an API-key gate or a
+    /// read-only dataset must reject). [`ApiRequest::Flush`] is *not* a
+    /// mutation: it persists already-applied edits without changing any
+    /// row.
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            ApiRequest::InsertEdge { .. } | ApiRequest::DeleteEdge { .. }
+        )
     }
 
     /// The wire tag of this operation.
@@ -705,6 +755,7 @@ impl ApiRequest {
             ApiRequest::DeleteEdge { .. } => "delete_edge",
             ApiRequest::SessionNew { .. } => "session_new",
             ApiRequest::SessionClose { .. } => "session_close",
+            ApiRequest::Flush { .. } => "flush",
             ApiRequest::Stats => "stats",
         }
     }
@@ -719,7 +770,9 @@ impl ApiRequest {
         };
         match self {
             ApiRequest::ListDatasets | ApiRequest::Stats => {}
-            ApiRequest::ListLayers { dataset } => dataset_member(dataset, &mut members),
+            ApiRequest::ListLayers { dataset } | ApiRequest::Flush { dataset } => {
+                dataset_member(dataset, &mut members)
+            }
             ApiRequest::Window {
                 dataset,
                 layer,
@@ -795,6 +848,7 @@ impl ApiRequest {
             "list_datasets" => ApiRequest::ListDatasets,
             "stats" => ApiRequest::Stats,
             "list_layers" => ApiRequest::ListLayers { dataset },
+            "flush" => ApiRequest::Flush { dataset },
             "window" => ApiRequest::Window {
                 dataset,
                 layer: v.get("layer").and_then(Json::as_usize),
@@ -901,6 +955,14 @@ pub enum ApiResponse {
     },
     /// Answer to [`ApiRequest::SessionClose`].
     Closed,
+    /// Answer to [`ApiRequest::Flush`]: the dataset's dirty state was
+    /// checkpointed and fsynced to disk.
+    Flushed {
+        /// The flushed dataset.
+        dataset: String,
+        /// Dirty pages written back by the flush.
+        pages: u64,
+    },
     /// Answer to [`ApiRequest::Stats`].
     Stats(StatsDto),
     /// Any operation's failure.
@@ -919,6 +981,7 @@ impl ApiResponse {
             ApiResponse::Mutated { .. } => "mutated",
             ApiResponse::Session { .. } => "session",
             ApiResponse::Closed => "closed",
+            ApiResponse::Flushed { .. } => "flushed",
             ApiResponse::Stats(_) => "stats",
             ApiResponse::Error(_) => "error",
         }
@@ -1026,6 +1089,10 @@ impl ApiResponse {
             ApiResponse::Closed => {
                 members.push(("closed".into(), Json::Bool(true)));
             }
+            ApiResponse::Flushed { dataset, pages } => {
+                members.push(("dataset".into(), Json::Str(dataset.clone())));
+                members.push(("pages".into(), Json::uint(*pages)));
+            }
             ApiResponse::Stats(stats) => {
                 members.push(("served".into(), Json::uint(stats.served)));
                 members.push(("rejected".into(), Json::uint(stats.rejected)));
@@ -1112,6 +1179,10 @@ impl ApiResponse {
                 id: need_u64(&v, "session")?,
             },
             "closed" => ApiResponse::Closed,
+            "flushed" => ApiResponse::Flushed {
+                dataset: need_str(&v, "dataset")?.to_string(),
+                pages: need_u64(&v, "pages")?,
+            },
             "stats" => ApiResponse::Stats(StatsDto {
                 served: need_u64(&v, "served")?,
                 rejected: need_u64(&v, "rejected")?,
@@ -1138,30 +1209,30 @@ impl ApiResponse {
 // Field-extraction helpers
 // ---------------------------------------------------------------------------
 
-fn need<'a>(v: &'a Json, key: &str) -> ApiResult<&'a Json> {
+pub(crate) fn need<'a>(v: &'a Json, key: &str) -> ApiResult<&'a Json> {
     v.get(key)
         .ok_or_else(|| ApiError::bad_request(format!("missing field '{key}'")))
 }
 
-fn need_str<'a>(v: &'a Json, key: &str) -> ApiResult<&'a str> {
+pub(crate) fn need_str<'a>(v: &'a Json, key: &str) -> ApiResult<&'a str> {
     need(v, key)?
         .as_str()
         .ok_or_else(|| ApiError::bad_request(format!("field '{key}' must be a string")))
 }
 
-fn need_u64(v: &Json, key: &str) -> ApiResult<u64> {
+pub(crate) fn need_u64(v: &Json, key: &str) -> ApiResult<u64> {
     need(v, key)?
         .as_u64()
         .ok_or_else(|| ApiError::bad_request(format!("field '{key}' must be an unsigned integer")))
 }
 
-fn need_usize(v: &Json, key: &str) -> ApiResult<usize> {
+pub(crate) fn need_usize(v: &Json, key: &str) -> ApiResult<usize> {
     need(v, key)?
         .as_usize()
         .ok_or_else(|| ApiError::bad_request(format!("field '{key}' must be an unsigned integer")))
 }
 
-fn need_f64(v: &Json, key: &str) -> ApiResult<f64> {
+pub(crate) fn need_f64(v: &Json, key: &str) -> ApiResult<f64> {
     need(v, key)?
         .as_f64()
         .ok_or_else(|| ApiError::bad_request(format!("field '{key}' must be a number")))

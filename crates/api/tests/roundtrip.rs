@@ -99,7 +99,36 @@ fn every_request_variant_roundtrips() {
         dataset: None,
         session: 9,
     });
+    roundtrip_request(ApiRequest::Flush { dataset: None });
+    roundtrip_request(ApiRequest::Flush {
+        dataset: Some("patents".into()),
+    });
     roundtrip_request(ApiRequest::Stats);
+}
+
+#[test]
+fn mutation_classification_feeds_the_write_gate() {
+    assert!(ApiRequest::InsertEdge {
+        dataset: None,
+        layer: 0,
+        edge: edge(),
+    }
+    .is_mutation());
+    assert!(ApiRequest::DeleteEdge {
+        dataset: None,
+        layer: 0,
+        rid: 1,
+    }
+    .is_mutation());
+    // Flush persists state without changing rows; reads obviously don't.
+    assert!(!ApiRequest::Flush { dataset: None }.is_mutation());
+    assert!(!ApiRequest::Stats.is_mutation());
+    assert!(!ApiRequest::Search {
+        dataset: None,
+        layer: 0,
+        query: "q".into(),
+    }
+    .is_mutation());
 }
 
 #[test]
@@ -212,9 +241,19 @@ fn every_response_variant_roundtrips() {
             },
         }],
     }));
+    roundtrip_response(ApiResponse::Flushed {
+        dataset: "patents".into(),
+        pages: 512,
+    });
     roundtrip_response(ApiResponse::Error(ApiError::new(
         ErrorKind::NotFound,
         "dataset 'acm' not found (available: dblp, patents)",
+    )));
+    roundtrip_response(ApiResponse::Error(ApiError::unauthorized(
+        "mutations require 'Authorization: Bearer <api-key>'",
+    )));
+    roundtrip_response(ApiResponse::Error(ApiError::forbidden(
+        "dataset 'patents' is read-only",
     )));
 }
 
@@ -225,6 +264,8 @@ fn error_kinds_map_to_http_statuses() {
         (ErrorKind::NotFound, "404"),
         (ErrorKind::Conflict, "409"),
         (ErrorKind::TooLarge, "413"),
+        (ErrorKind::Unauthorized, "401"),
+        (ErrorKind::Forbidden, "403"),
         (ErrorKind::Unavailable, "503"),
         (ErrorKind::Internal, "500"),
     ];

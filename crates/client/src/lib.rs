@@ -1,0 +1,798 @@
+//! # gvdb-client
+//!
+//! The typed blocking client for the graphvizdb `v1` API — what
+//! downstream analytics use instead of hand-writing HTTP.
+//!
+//! * [`GvdbClient`] — one typed method per [`gvdb_api::ApiRequest`]
+//!   variant (discovery, windows, search, focus, **mutations**, sessions,
+//!   flush, stats), plus the raw RPC form ([`GvdbClient::rpc`]). Buffered
+//!   calls ride `POST /v1` with the serialized request.
+//! * **Keep-alive connection reuse** — connections live in a per-host
+//!   [`ConnectionPool`]; a successful response returns its connection to
+//!   the pool, so a request sequence costs one TCP handshake. A pooled
+//!   connection the server idled out is retried once on a fresh one.
+//! * **Streamed results** — [`GvdbClient::window_stream`] /
+//!   [`GvdbClient::search_stream`] consume the chunked frame protocol:
+//!   [`WindowStream`] is an iterator of decoded [`RowBatch`]es that
+//!   exposes the [`FrameHeader`] up-front (time-to-first-frame is
+//!   independent of window size) and the [`TrailerFrame`] — with the
+//!   end-of-stream epoch a racing edit bumps — once exhausted.
+//!
+//! ```no_run
+//! use gvdb_client::{GvdbClient, WindowParams};
+//! use gvdb_api::RectDto;
+//!
+//! let client = GvdbClient::new("127.0.0.1:7878");
+//! let mut stream = client.window_stream(&WindowParams {
+//!     window: RectDto { min_x: 0.0, min_y: 0.0, max_x: 2000.0, max_y: 2000.0 },
+//!     ..Default::default()
+//! }).unwrap();
+//! println!("epoch {} source {:?}", stream.header.epoch, stream.header.source);
+//! while let Some(batch) = stream.next_batch().unwrap() {
+//!     // paint the batch while the rest is still in flight
+//! }
+//! println!("end epoch {}", stream.trailer().unwrap().epoch);
+//! ```
+
+use gvdb_api::{
+    ApiError, ApiFrame, ApiRequest, ApiResponse, DatasetInfo, EdgeDto, FrameHeader, LayerInfo,
+    ProgressFrame, RectDto, RowBatch, SearchHitDto, StatsDto, TrailerFrame, WindowMeta,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the client waits for a connect, a request write, or a
+/// response read before giving up on the attempt.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write).
+    Io(std::io::Error),
+    /// The server answered with a typed protocol error.
+    Api(ApiError),
+    /// The bytes on the wire were not the protocol (bad status line,
+    /// missing framing, unexpected response kind).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Api(e) => write!(f, "api: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ApiError> for ClientError {
+    fn from(e: ApiError) -> Self {
+        ClientError::Api(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// Parsed response headers, in arrival order.
+type Headers = Vec<(String, String)>;
+
+/// Idle keep-alive connections, keyed by host address. Shared between a
+/// [`GvdbClient`] and the streams it spawns, so a fully-drained stream
+/// hands its connection back for the next call.
+#[derive(Debug, Default)]
+pub struct ConnectionPool {
+    idle: Mutex<HashMap<String, Vec<TcpStream>>>,
+}
+
+impl ConnectionPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A connection to `addr`: a pooled idle one if available (the
+    /// returned flag is `true`), else a fresh connect.
+    fn checkout(&self, addr: &str) -> Result<(TcpStream, bool)> {
+        if let Some(stream) = self
+            .idle
+            .lock()
+            .get_mut(addr)
+            .and_then(|streams| streams.pop())
+        {
+            return Ok((stream, true));
+        }
+        Ok((connect(addr)?, false))
+    }
+
+    /// Return a healthy keep-alive connection for reuse.
+    fn checkin(&self, addr: &str, stream: TcpStream) {
+        self.idle
+            .lock()
+            .entry(addr.to_string())
+            .or_default()
+            .push(stream);
+    }
+
+    /// Idle connections currently pooled for `addr`.
+    pub fn idle_count(&self, addr: &str) -> usize {
+        self.idle.lock().get(addr).map_or(0, Vec::len)
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    // One write per request on a reused connection; Nagle + delayed ACK
+    // would otherwise add ~40 ms per response.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    Ok(stream)
+}
+
+/// Parameters of a window query (buffered or streamed).
+#[derive(Debug, Clone)]
+pub struct WindowParams {
+    /// Target dataset (`None` = the server's only dataset).
+    pub dataset: Option<String>,
+    /// Layer to query (`None` = 0, or the session's current layer).
+    pub layer: Option<usize>,
+    /// The viewport.
+    pub window: RectDto,
+    /// Session to anchor delta pans on.
+    pub session: Option<u64>,
+}
+
+impl Default for WindowParams {
+    fn default() -> Self {
+        WindowParams {
+            dataset: None,
+            layer: None,
+            window: RectDto {
+                min_x: 0.0,
+                min_y: 0.0,
+                max_x: 1000.0,
+                max_y: 1000.0,
+            },
+            session: None,
+        }
+    }
+}
+
+impl WindowParams {
+    fn request(&self) -> ApiRequest {
+        ApiRequest::Window {
+            dataset: self.dataset.clone(),
+            layer: self.layer,
+            window: self.window,
+            session: self.session,
+        }
+    }
+
+    fn query_string(&self) -> Result<String> {
+        let mut q = format!(
+            "minx={}&miny={}&maxx={}&maxy={}",
+            self.window.min_x, self.window.min_y, self.window.max_x, self.window.max_y
+        );
+        if let Some(d) = &self.dataset {
+            q.push_str(&format!("&dataset={}", encode_query_value(d)?));
+        }
+        if let Some(l) = self.layer {
+            q.push_str(&format!("&layer={l}"));
+        }
+        if let Some(s) = self.session {
+            q.push_str(&format!("&session={s}"));
+        }
+        Ok(q)
+    }
+}
+
+/// Encode a text value for the `v1` query-string dialect: spaces travel
+/// as `+` (the server's `/v1/search` decodes them back). The dialect
+/// cannot carry URL metacharacters or whitespace-sensitive bytes — the
+/// server keeps values verbatim (no percent-decoding) and splits the
+/// request line on whitespace — so those are rejected up-front instead
+/// of silently corrupting the request; the buffered POST forms carry
+/// arbitrary strings.
+fn encode_query_value(value: &str) -> Result<String> {
+    if value
+        .chars()
+        .any(|c| c.is_control() || matches!(c, '&' | '#' | '?' | '+' | '=' | '%' | '\t'))
+    {
+        return Err(ClientError::Protocol(format!(
+            "value '{value}' contains characters the v1 query string cannot carry; \
+             use a buffered call (POST /v1) instead"
+        )));
+    }
+    Ok(value.replace(' ', "+"))
+}
+
+/// The result of a mutation: the layer's **new** epoch (and the inserted
+/// row's id), so the caller can observe its own write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutation {
+    /// The mutated dataset.
+    pub dataset: String,
+    /// The mutated layer.
+    pub layer: usize,
+    /// The layer's epoch after the mutation.
+    pub epoch: u64,
+    /// The inserted row's id (insertions only).
+    pub rid: Option<u64>,
+}
+
+/// The typed blocking client (see module docs).
+#[derive(Debug)]
+pub struct GvdbClient {
+    addr: String,
+    api_key: Option<String>,
+    pool: Arc<ConnectionPool>,
+}
+
+impl GvdbClient {
+    /// A client for the server at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        GvdbClient {
+            addr: addr.into(),
+            api_key: None,
+            pool: Arc::new(ConnectionPool::new()),
+        }
+    }
+
+    /// Attach the API key sent as `Authorization: Bearer <key>` on every
+    /// request (the server only checks it on mutations and flush).
+    pub fn with_api_key(mut self, key: impl Into<String>) -> Self {
+        self.api_key = Some(key.into());
+        self
+    }
+
+    /// The connection pool (shared with streams spawned by this client).
+    pub fn pool(&self) -> &Arc<ConnectionPool> {
+        &self.pool
+    }
+
+    // -- typed methods, one per ApiRequest variant --------------------------
+
+    /// List the server's datasets.
+    pub fn datasets(&self) -> Result<Vec<DatasetInfo>> {
+        match self.rpc(&ApiRequest::ListDatasets)? {
+            ApiResponse::Datasets { datasets } => Ok(datasets),
+            other => Err(unexpected("datasets", &other)),
+        }
+    }
+
+    /// List a dataset's layers.
+    pub fn layers(&self, dataset: Option<&str>) -> Result<(String, Vec<LayerInfo>)> {
+        let request = ApiRequest::ListLayers {
+            dataset: dataset.map(String::from),
+        };
+        match self.rpc(&request)? {
+            ApiResponse::Layers { dataset, layers } => Ok((dataset, layers)),
+            other => Err(unexpected("layers", &other)),
+        }
+    }
+
+    /// A **buffered** window query: the full graph payload in one
+    /// response. Prefer [`GvdbClient::window_stream`] for large windows.
+    pub fn window(&self, params: &WindowParams) -> Result<(WindowMeta, String)> {
+        match self.rpc(&params.request())? {
+            ApiResponse::Window { meta, graph } => Ok((meta, graph)),
+            other => Err(unexpected("window", &other)),
+        }
+    }
+
+    /// A **buffered** keyword search.
+    pub fn search(
+        &self,
+        dataset: Option<&str>,
+        layer: usize,
+        query: &str,
+    ) -> Result<Vec<SearchHitDto>> {
+        let request = ApiRequest::Search {
+            dataset: dataset.map(String::from),
+            layer,
+            query: query.to_string(),
+        };
+        match self.rpc(&request)? {
+            ApiResponse::Hits { hits } => Ok(hits),
+            other => Err(unexpected("hits", &other)),
+        }
+    }
+
+    /// Focus on a node: its neighbourhood payload and row count.
+    pub fn focus(&self, dataset: Option<&str>, layer: usize, node: u64) -> Result<(u64, String)> {
+        let request = ApiRequest::Focus {
+            dataset: dataset.map(String::from),
+            layer,
+            node,
+        };
+        match self.rpc(&request)? {
+            ApiResponse::Focus { rows, graph } => Ok((rows, graph)),
+            other => Err(unexpected("focus", &other)),
+        }
+    }
+
+    /// Mutation: insert an edge.
+    pub fn insert_edge(
+        &self,
+        dataset: Option<&str>,
+        layer: usize,
+        edge: EdgeDto,
+    ) -> Result<Mutation> {
+        let request = ApiRequest::InsertEdge {
+            dataset: dataset.map(String::from),
+            layer,
+            edge,
+        };
+        self.mutated(&request)
+    }
+
+    /// Mutation: delete an edge by row id.
+    pub fn delete_edge(&self, dataset: Option<&str>, layer: usize, rid: u64) -> Result<Mutation> {
+        let request = ApiRequest::DeleteEdge {
+            dataset: dataset.map(String::from),
+            layer,
+            rid,
+        };
+        self.mutated(&request)
+    }
+
+    fn mutated(&self, request: &ApiRequest) -> Result<Mutation> {
+        match self.rpc(request)? {
+            ApiResponse::Mutated {
+                dataset,
+                layer,
+                epoch,
+                rid,
+            } => Ok(Mutation {
+                dataset,
+                layer,
+                epoch,
+                rid,
+            }),
+            other => Err(unexpected("mutated", &other)),
+        }
+    }
+
+    /// Register a session for delta-pan anchoring.
+    pub fn session_new(&self, dataset: Option<&str>, window: Option<RectDto>) -> Result<u64> {
+        let request = ApiRequest::SessionNew {
+            dataset: dataset.map(String::from),
+            window,
+        };
+        match self.rpc(&request)? {
+            ApiResponse::Session { id } => Ok(id),
+            other => Err(unexpected("session", &other)),
+        }
+    }
+
+    /// Release a session.
+    pub fn session_close(&self, dataset: Option<&str>, session: u64) -> Result<()> {
+        let request = ApiRequest::SessionClose {
+            dataset: dataset.map(String::from),
+            session,
+        };
+        match self.rpc(&request)? {
+            ApiResponse::Closed => Ok(()),
+            other => Err(unexpected("closed", &other)),
+        }
+    }
+
+    /// Durability hook: checkpoint the dataset to disk. Returns the
+    /// flushed dataset's name and the number of pages written back.
+    pub fn flush(&self, dataset: Option<&str>) -> Result<(String, u64)> {
+        let request = ApiRequest::Flush {
+            dataset: dataset.map(String::from),
+        };
+        match self.rpc(&request)? {
+            ApiResponse::Flushed { dataset, pages } => Ok((dataset, pages)),
+            other => Err(unexpected("flushed", &other)),
+        }
+    }
+
+    /// Full serving statistics.
+    pub fn stats(&self) -> Result<StatsDto> {
+        match self.rpc(&ApiRequest::Stats)? {
+            ApiResponse::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn healthz(&self) -> Result<bool> {
+        let (status, _, body) = self.exchange("GET", "/v1/healthz", "", true)?;
+        Ok(status == 200 && body.contains("true"))
+    }
+
+    /// The RPC form: execute any serialized [`ApiRequest`] over
+    /// `POST /v1` and return the typed response. Typed errors come back
+    /// as [`ClientError::Api`].
+    pub fn rpc(&self, request: &ApiRequest) -> Result<ApiResponse> {
+        let body = request.to_json();
+        let (_, _, response_body) = self.exchange("POST", "/v1", &body, true)?;
+        match ApiResponse::from_json(&response_body) {
+            Ok(ApiResponse::Error(e)) => Err(ClientError::Api(e)),
+            Ok(response) => Ok(response),
+            Err(e) => Err(ClientError::Protocol(format!(
+                "unparseable response: {e} — body: {response_body}"
+            ))),
+        }
+    }
+
+    // -- streamed results ---------------------------------------------------
+
+    /// A **streamed** window query: the frame protocol over chunked
+    /// transfer-encoding. The returned [`WindowStream`] has already read
+    /// the [`FrameHeader`], so the first row batch is one iteration away.
+    pub fn window_stream(&self, params: &WindowParams) -> Result<WindowStream> {
+        let path = format!("/v1/window?{}&stream=1", params.query_string()?);
+        self.open_stream(&path)
+    }
+
+    /// A **streamed** keyword search. Spaces in `query` are fine (they
+    /// travel as `+`); strings the query-string dialect cannot carry are
+    /// a [`ClientError::Protocol`] — use [`GvdbClient::search`] for
+    /// those.
+    pub fn search_stream(
+        &self,
+        dataset: Option<&str>,
+        layer: usize,
+        query: &str,
+    ) -> Result<WindowStream> {
+        let mut path = format!(
+            "/v1/search?layer={layer}&q={}&stream=1",
+            encode_query_value(query)?
+        );
+        if let Some(d) = dataset {
+            path.push_str(&format!("&dataset={}", encode_query_value(d)?));
+        }
+        self.open_stream(&path)
+    }
+
+    fn open_stream(&self, path: &str) -> Result<WindowStream> {
+        let (mut reader, status, headers) = self.send(path, "GET", "", false)?;
+        if status != 200 {
+            // Errors before the first frame are plain buffered responses.
+            let body = read_buffered_body(&mut reader, &headers)?;
+            return Err(match ApiResponse::from_json(&body) {
+                Ok(ApiResponse::Error(e)) => ClientError::Api(e),
+                _ => ClientError::Protocol(format!("status {status}: {body}")),
+            });
+        }
+        if !header(&headers, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+        {
+            return Err(ClientError::Protocol(
+                "streamed endpoint did not answer with chunked transfer-encoding".into(),
+            ));
+        }
+        let keep_alive = header(&headers, "connection").is_some_and(|v| v.contains("keep-alive"));
+        let mut stream = WindowStream {
+            frames: FrameReader {
+                reader,
+                finished: false,
+                broken: false,
+            },
+            header: FrameHeader {
+                op: String::new(),
+                dataset: String::new(),
+                layer: 0,
+                epoch: 0,
+                source: None,
+                session: None,
+            },
+            progress: None,
+            trailer: None,
+            pool: Arc::clone(&self.pool),
+            addr: self.addr.clone(),
+            keep_alive,
+        };
+        match stream.frames.next_frame()? {
+            Some(ApiFrame::Header(h)) => stream.header = h,
+            Some(other) => {
+                return Err(ClientError::Protocol(format!(
+                    "stream began with a '{}' frame instead of the header",
+                    other.kind()
+                )))
+            }
+            None => return Err(ClientError::Protocol("empty stream".into())),
+        }
+        Ok(stream)
+    }
+
+    // -- HTTP plumbing ------------------------------------------------------
+
+    /// Send one request and return `(reader, status, headers)` with the
+    /// body unread. A pooled connection the server already closed (EOF /
+    /// reset before any response byte) is retried on a fresh connect;
+    /// any other failure — a timeout in particular — surfaces to the
+    /// caller, because the server may have already executed the request
+    /// and a blind resend would apply a mutation twice.
+    fn send(
+        &self,
+        path: &str,
+        method: &str,
+        body: &str,
+        buffered: bool,
+    ) -> Result<(BufReader<TcpStream>, u16, Headers)> {
+        loop {
+            let (stream, pooled) = self.pool.checkout(&self.addr)?;
+            let auth = match &self.api_key {
+                Some(key) => format!("Authorization: Bearer {key}\r\n"),
+                None => String::new(),
+            };
+            // Buffered exchanges pin the JSON envelope; streams negotiate
+            // frames via their explicit `stream=1` flag.
+            let accept = if buffered {
+                "Accept: application/json\r\n"
+            } else {
+                ""
+            };
+            let request = format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\n{accept}{auth}Content-Length: {}\r\n\r\n{body}",
+                self.addr,
+                body.len()
+            );
+            let mut writer = stream.try_clone()?;
+            let mut reader = BufReader::new(stream);
+            let outcome = writer
+                .write_all(request.as_bytes())
+                .map_err(ClientError::Io)
+                .and_then(|()| read_status_and_headers(&mut reader));
+            match outcome {
+                Ok((status, headers)) => return Ok((reader, status, headers)),
+                Err(e) => {
+                    if pooled && is_stale_connection(&e) {
+                        // The server idled this connection out between
+                        // calls; safe to retry on a fresh connect.
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One full buffered exchange. Successful keep-alive responses hand
+    /// their connection back to the pool.
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+        buffered: bool,
+    ) -> Result<(u16, Headers, String)> {
+        let (mut reader, status, headers) = self.send(path, method, body, buffered)?;
+        let response_body = read_buffered_body(&mut reader, &headers)?;
+        if status == 200 && header(&headers, "connection").is_some_and(|v| v.contains("keep-alive"))
+        {
+            self.pool.checkin(&self.addr, reader.into_inner());
+        }
+        Ok((status, headers, response_body))
+    }
+}
+
+/// Whether a send failure means the pooled connection was dead on
+/// arrival (closed by the server between calls) — the only case a
+/// resend cannot double-execute the request. Timeouts and mid-response
+/// errors are NOT retried: the server may already have acted.
+fn is_stale_connection(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(io) => matches!(
+            io.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::WriteZero
+        ),
+        _ => false,
+    }
+}
+
+fn unexpected(wanted: &str, got: &ApiResponse) -> ClientError {
+    ClientError::Protocol(format!(
+        "expected a '{wanted}' response, got '{}'",
+        got.kind()
+    ))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn read_status_and_headers(reader: &mut BufReader<TcpStream>) -> Result<(u16, Headers)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        )));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line: {}", line.trim())))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-headers".into(),
+            ));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    Ok((status, headers))
+}
+
+/// Read a `Content-Length` body (buffered responses and pre-stream
+/// errors).
+fn read_buffered_body(
+    reader: &mut BufReader<TcpStream>,
+    headers: &[(String, String)],
+) -> Result<String> {
+    let length: usize = header(headers, "content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ClientError::Protocol("response without content-length".into()))?;
+    let mut buf = vec![0u8; length];
+    reader.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| ClientError::Protocol("non-UTF-8 body".into()))
+}
+
+/// Low-level chunked-frame reader: one HTTP chunk = one `ApiFrame`.
+struct FrameReader {
+    reader: BufReader<TcpStream>,
+    finished: bool,
+    broken: bool,
+}
+
+impl FrameReader {
+    /// The next frame, or `None` once the terminating chunk arrived.
+    fn next_frame(&mut self) -> Result<Option<ApiFrame>> {
+        if self.finished {
+            return Ok(None);
+        }
+        match self.read_chunk() {
+            Ok(None) => {
+                self.finished = true;
+                Ok(None)
+            }
+            Ok(Some(payload)) => {
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|_| ClientError::Protocol("non-UTF-8 frame".into()))?;
+                let frame = ApiFrame::from_json(text.trim_end()).map_err(|e| {
+                    ClientError::Protocol(format!("bad frame: {e} — chunk: {text}"))
+                })?;
+                Ok(Some(frame))
+            }
+            Err(e) => {
+                self.broken = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn read_chunk(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut size_line = String::new();
+        if self.reader.read_line(&mut size_line)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-stream (no terminating chunk)".into(),
+            ));
+        }
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| ClientError::Protocol(format!("bad chunk size: {size_line:?}")))?;
+        if size == 0 {
+            // Consume the final CRLF after the zero chunk.
+            let mut crlf = String::new();
+            self.reader.read_line(&mut crlf)?;
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; size];
+        self.reader.read_exact(&mut payload)?;
+        let mut crlf = [0u8; 2];
+        self.reader.read_exact(&mut crlf)?;
+        Ok(Some(payload))
+    }
+}
+
+/// A streamed result: iterator of decoded [`RowBatch`]es (used for both
+/// window and search streams). The [`FrameHeader`] is available
+/// immediately; [`WindowStream::trailer`] after the last batch. Dropping
+/// a half-read stream drops its connection (the server notices on its
+/// next write and frees the worker); a fully-drained keep-alive stream
+/// returns the connection to the client's pool.
+pub struct WindowStream {
+    frames: FrameReader,
+    /// The stream's opening frame — dataset, layer, epoch, source.
+    pub header: FrameHeader,
+    progress: Option<ProgressFrame>,
+    trailer: Option<TrailerFrame>,
+    pool: Arc<ConnectionPool>,
+    addr: String,
+    keep_alive: bool,
+}
+
+impl WindowStream {
+    /// The next row batch, `Ok(None)` once the stream is exhausted.
+    /// Progress frames are absorbed (visible via
+    /// [`WindowStream::progress`]); a terminal `Error` frame surfaces as
+    /// [`ClientError::Api`].
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        loop {
+            match self.frames.next_frame()? {
+                Some(ApiFrame::Rows(batch)) => return Ok(Some(batch)),
+                Some(ApiFrame::Progress(p)) => self.progress = Some(p),
+                Some(ApiFrame::Trailer(t)) => self.trailer = Some(t),
+                Some(ApiFrame::Header(h)) => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected second header (op '{}')",
+                        h.op
+                    )))
+                }
+                Some(ApiFrame::Error(e)) => return Err(ClientError::Api(e)),
+                None => {
+                    // Fully drained: hand the connection back for reuse.
+                    if self.keep_alive && self.trailer.is_some() && !self.frames.broken {
+                        if let Ok(stream) = self.frames.reader.get_ref().try_clone() {
+                            self.pool.checkin(&self.addr, stream);
+                            self.keep_alive = false; // only once
+                        }
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Drain the remaining batches, returning them all.
+    pub fn collect_batches(&mut self) -> Result<Vec<RowBatch>> {
+        let mut batches = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            batches.push(batch);
+        }
+        Ok(batches)
+    }
+
+    /// The latest progress frame seen.
+    pub fn progress(&self) -> Option<&ProgressFrame> {
+        self.progress.as_ref()
+    }
+
+    /// The trailer, once the stream is exhausted. Its `epoch` is the
+    /// layer's epoch **at stream end** — newer than
+    /// [`WindowStream::header`]'s iff an edit raced the stream.
+    pub fn trailer(&self) -> Option<&TrailerFrame> {
+        self.trailer.as_ref()
+    }
+}
+
+impl Iterator for WindowStream {
+    type Item = Result<RowBatch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_batch().transpose()
+    }
+}

@@ -1,0 +1,312 @@
+//! gvdb-client against a **live** gvdb server over real TCP: every typed
+//! method round-trips, buffered and streamed results agree, connections
+//! are reused through the pool, and the mutation gate returns the typed
+//! 401/403 kinds.
+
+use gvdb_api::{EdgeDto, ErrorKind, RectDto, RowBatch, Source};
+use gvdb_client::{ClientError, GvdbClient, WindowParams};
+use gvdb_core::{preprocess, PreprocessConfig, QueryManager};
+use gvdb_graph::generators::{wikidata_like, RdfConfig};
+use gvdb_server::{Server, ServerConfig};
+use std::sync::Arc;
+
+fn db_path(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("gvdb-client-{name}-{}", std::process::id()));
+    path
+}
+
+fn manager(name: &str, entities: usize) -> (QueryManager, std::path::PathBuf) {
+    let graph = wikidata_like(RdfConfig {
+        entities,
+        ..Default::default()
+    });
+    let path = db_path(name);
+    let (db, _) = preprocess(
+        &graph,
+        &path,
+        &PreprocessConfig {
+            k: Some(2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (QueryManager::new(db), path)
+}
+
+fn test_edge(tag: &str) -> EdgeDto {
+    EdgeDto {
+        node1_id: 995_001,
+        node1_label: format!("{tag} A"),
+        node2_id: 995_002,
+        node2_label: format!("{tag} B"),
+        edge_label: tag.to_string(),
+        x1: 10.0,
+        y1: 10.0,
+        x2: 60.0,
+        y2: 60.0,
+        directed: false,
+    }
+}
+
+/// The acceptance-criterion test: every typed method of the client
+/// round-trips against a live `gvdb serve`-equivalent server.
+#[test]
+fn every_typed_method_round_trips() {
+    let (qm, path) = manager("roundtrip", 400);
+    let server = Server::start(Arc::new(qm), ServerConfig::default()).unwrap();
+    let client = GvdbClient::new(server.addr().to_string());
+
+    assert!(client.healthz().unwrap());
+
+    // Discovery.
+    let datasets = client.datasets().unwrap();
+    assert_eq!(datasets.len(), 1);
+    assert_eq!(datasets[0].name, "default");
+    let (dataset, layers) = client.layers(None).unwrap();
+    assert_eq!(dataset, "default");
+    assert_eq!(layers.len(), datasets[0].layers);
+    assert!(layers[0].rows > 0);
+
+    // Buffered window: cold then hit, typed meta.
+    let params = WindowParams {
+        window: RectDto {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 1500.0,
+            max_y: 1500.0,
+        },
+        ..Default::default()
+    };
+    let (meta, graph) = client.window(&params).unwrap();
+    assert_eq!(meta.source, Source::Cold);
+    assert!(graph.contains("\"nodes\""));
+    let (meta, _) = client.window(&params).unwrap();
+    assert_eq!(meta.source, Source::Hit);
+
+    // Search + focus.
+    let hits = client.search(None, 0, "Q1").unwrap();
+    assert!(!hits.is_empty());
+    let (rows, graph) = client.focus(None, 0, hits[0].node).unwrap();
+    assert!(rows > 0 && graph.contains("\"edges\""));
+
+    // Mutations observe their own epochs.
+    let inserted = client
+        .insert_edge(None, 0, test_edge("client-edit"))
+        .unwrap();
+    assert_eq!(inserted.epoch, 1);
+    let rid = inserted.rid.expect("insert returns the row id");
+    let deleted = client.delete_edge(None, 0, rid).unwrap();
+    assert_eq!(deleted.epoch, 2);
+    assert!(deleted.rid.is_none());
+
+    // Sessions: anchored pans ride the delta path through the client.
+    let sid = client.session_new(None, None).unwrap();
+    let mut anchored = params.clone();
+    anchored.session = Some(sid);
+    let (meta, _) = client.window(&anchored).unwrap();
+    assert_eq!(meta.session, Some(sid));
+    anchored.window.min_x += 300.0;
+    anchored.window.max_x += 300.0;
+    let (meta, _) = client.window(&anchored).unwrap();
+    assert_eq!(meta.source, Source::Delta, "session pan must be delta");
+    client.session_close(None, sid).unwrap();
+    let err = client.window(&anchored).unwrap_err();
+    let ClientError::Api(e) = err else {
+        panic!("expected a typed error, got {err}")
+    };
+    assert_eq!(e.kind, ErrorKind::NotFound);
+
+    // Durability hook.
+    let (flushed, pages) = client.flush(None).unwrap();
+    assert_eq!(flushed, "default");
+    assert!(pages > 0, "a preprocessed db has dirty pages to write");
+    let (_, pages_again) = client.flush(None).unwrap();
+    assert_eq!(pages_again, 0, "second flush finds nothing dirty");
+
+    // Stats.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.datasets.len(), 1);
+    assert!(stats.served > 10);
+
+    // Keep-alive reuse: after all of the above, the pool holds an idle
+    // connection and a follow-up call reuses it.
+    let addr = server.addr().to_string();
+    assert!(client.pool().idle_count(&addr) >= 1);
+    client.datasets().unwrap();
+    assert!(client.pool().idle_count(&addr) >= 1);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn streamed_window_matches_buffered_and_reuses_connections() {
+    let (qm, path) = manager("stream", 500);
+    let server = Server::start(Arc::new(qm), ServerConfig::default()).unwrap();
+    let client = GvdbClient::new(server.addr().to_string());
+    let params = WindowParams {
+        window: RectDto {
+            min_x: -1e9,
+            min_y: -1e9,
+            max_x: 1e9,
+            max_y: 1e9,
+        },
+        ..Default::default()
+    };
+
+    // Cold stream: header first, then batches, then the trailer.
+    let mut stream = client.window_stream(&params).unwrap();
+    assert_eq!(stream.header.op, "window");
+    assert_eq!(stream.header.source, Some(Source::Cold));
+    let batches = stream.collect_batches().unwrap();
+    assert!(!batches.is_empty());
+    let streamed_edges: u64 = batches
+        .iter()
+        .map(|b| match b {
+            RowBatch::Graph { edges, .. } => *edges,
+            RowBatch::Hits { .. } => panic!("window streams graph batches"),
+        })
+        .sum();
+    let trailer = stream.trailer().expect("trailer after drain").clone();
+    assert_eq!(trailer.rows, streamed_edges);
+    assert_eq!(trailer.source, Some(Source::Cold));
+    assert_eq!(trailer.frames, batches.len() as u64);
+
+    // The buffered envelope agrees on the row count.
+    let (meta, _) = client.window(&params).unwrap();
+    assert_eq!(meta.source, Source::Hit, "stream populated the cache");
+
+    // Hit stream: batches marked reused, multi-frame for a big window.
+    let mut stream = client.window_stream(&params).unwrap();
+    assert_eq!(stream.header.source, Some(Source::Hit));
+    let mut hit_edges = 0u64;
+    let mut frames = 0u64;
+    while let Some(batch) = stream.next_batch().unwrap() {
+        let RowBatch::Graph { edges, reused, .. } = batch else {
+            panic!("window streams graph batches")
+        };
+        assert!(reused, "cache-hit batches are reused rows");
+        hit_edges += edges;
+        frames += 1;
+    }
+    assert_eq!(hit_edges, streamed_edges);
+    if streamed_edges > gvdb_api::DEFAULT_CHUNK_ROWS as u64 {
+        assert!(frames > 1, "large windows stream multiple batches");
+        assert!(stream.progress().is_some(), "progress frames interleave");
+    }
+
+    // Search streams too.
+    let mut search = client.search_stream(None, 0, "Q1").unwrap();
+    assert_eq!(search.header.op, "search");
+    let hits: usize = search
+        .collect_batches()
+        .unwrap()
+        .iter()
+        .map(RowBatch::len)
+        .sum();
+    assert_eq!(search.trailer().unwrap().rows, hits as u64);
+    assert!(hits > 0);
+
+    // Fully-drained streams hand their connections back.
+    let addr = server.addr().to_string();
+    assert!(client.pool().idle_count(&addr) >= 1);
+
+    // Spaces in a streamed query travel as '+' and round-trip: the
+    // multi-word search matches what the buffered POST form finds.
+    let spaced = "Q1 label";
+    let buffered = client.search(None, 0, spaced).unwrap();
+    let mut stream = client.search_stream(None, 0, spaced).unwrap();
+    let streamed: usize = stream
+        .collect_batches()
+        .unwrap()
+        .iter()
+        .map(RowBatch::len)
+        .sum();
+    assert_eq!(streamed, buffered.len());
+    // Strings the query-string dialect cannot carry are rejected
+    // up-front instead of silently corrupting the request line.
+    match client.search_stream(None, 0, "a&b") {
+        Err(ClientError::Protocol(_)) => {}
+        Err(other) => panic!("expected a protocol error, got {other}"),
+        Ok(_) => panic!("uncarryable query must be rejected"),
+    }
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mutation_gate_returns_typed_kinds() {
+    let (qm, path) = manager("auth", 300);
+    let server = Server::start(
+        Arc::new(qm),
+        ServerConfig {
+            api_key: Some("sesame".into()),
+            read_only: vec![],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // No key: mutations and flush bounce with 401; reads stay open.
+    let anon = GvdbClient::new(addr.clone());
+    assert!(anon.datasets().is_ok());
+    let err = anon.insert_edge(None, 0, test_edge("denied")).unwrap_err();
+    let ClientError::Api(e) = err else {
+        panic!("expected typed error, got {err}")
+    };
+    assert_eq!(e.kind, ErrorKind::Unauthorized);
+    let ClientError::Api(e) = anon.flush(None).unwrap_err() else {
+        panic!("flush without key must be typed")
+    };
+    assert_eq!(e.kind, ErrorKind::Unauthorized);
+
+    // Wrong key is still a 401; the right key goes through.
+    let wrong = GvdbClient::new(addr.clone()).with_api_key("mellon");
+    let ClientError::Api(e) = wrong.insert_edge(None, 0, test_edge("denied")).unwrap_err() else {
+        panic!("wrong key must be typed")
+    };
+    assert_eq!(e.kind, ErrorKind::Unauthorized);
+    let authed = GvdbClient::new(addr).with_api_key("sesame");
+    let mutation = authed.insert_edge(None, 0, test_edge("granted")).unwrap();
+    assert_eq!(mutation.epoch, 1);
+    assert!(authed.flush(None).is_ok());
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn read_only_datasets_reject_mutations_with_403() {
+    let (qm, path) = manager("readonly", 300);
+    let server = Server::start(
+        Arc::new(qm),
+        ServerConfig {
+            read_only: vec!["default".into()],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let client = GvdbClient::new(server.addr().to_string());
+
+    // Reads and flush work; mutations bounce with the Forbidden kind.
+    assert!(client.layers(None).is_ok());
+    assert!(client.flush(None).is_ok());
+    let ClientError::Api(e) = client.insert_edge(None, 0, test_edge("ro")).unwrap_err() else {
+        panic!("read-only mutation must be a typed error")
+    };
+    assert_eq!(e.kind, ErrorKind::Forbidden);
+    // Addressing the dataset explicitly changes nothing.
+    let ClientError::Api(e) = client
+        .insert_edge(Some("default"), 0, test_edge("ro"))
+        .unwrap_err()
+    else {
+        panic!("read-only mutation must be a typed error")
+    };
+    assert_eq!(e.kind, ErrorKind::Forbidden);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}

@@ -2,16 +2,20 @@
 //!
 //! The paper's Fig. 3 reports "Communication + Rendering" as one series
 //! because the server streams the window's sub-graph to the client in
-//! small pieces, interleaving transfer with mxGraph DOM rendering. We
-//! reproduce that pipeline: the JSON payload is cut into chunks, each
-//! chunk pays transfer time, and every graph element pays a DOM-object
-//! rendering cost.
+//! small pieces, interleaving transfer with mxGraph DOM rendering. Since
+//! the streamed frame protocol (`gvdb_api::ApiFrame`) made that pipeline
+//! real, this model prices exactly what the wire carries: a `Header`
+//! frame, one `Rows` frame per [`ClientModel::chunk_rows`] rows (each
+//! paying the measured frame-envelope overhead,
+//! [`gvdb_api::rows_envelope_bytes`]), and a `Trailer` frame — no
+//! separately-maintained chunking math.
 //!
 //! Calibration (documented in `DESIGN.md` §4): at the paper's measured
 //! ~2.5 s total for ~350 elements, per-element rendering must be in the
 //! 5–8 ms range with transfer contributing a small linear term — DOM
 //! object creation dominates, which matches mxGraph experience. Defaults
-//! below use 6 ms/node, 5 ms/edge, 100 Mbit/s, 10 ms RTT.
+//! below use 6 ms/node, 5 ms/edge, 100 Mbit/s, 10 ms RTT, and the frame
+//! layer's default batch size ([`gvdb_api::DEFAULT_CHUNK_ROWS`]).
 //!
 //! The model is deterministic; it *computes* times instead of sleeping, so
 //! the Fig. 3 harness can sweep thousands of windows in seconds.
@@ -25,8 +29,9 @@ pub struct ClientModel {
     pub rtt_ms: f64,
     /// Transfer rate (bytes per ms). 100 Mbit/s ≈ 12_500 bytes/ms.
     pub bytes_per_ms: f64,
-    /// Streaming chunk size in bytes.
-    pub chunk_bytes: usize,
+    /// Rows per streamed `Rows` frame — the same batch size the real
+    /// streaming path uses (see `QueryManager::call_streamed`).
+    pub chunk_rows: usize,
     /// Per-chunk processing overhead on the client (ms).
     pub per_chunk_ms: f64,
     /// DOM-object creation cost per node (ms).
@@ -40,7 +45,7 @@ impl Default for ClientModel {
         ClientModel {
             rtt_ms: 10.0,
             bytes_per_ms: 12_500.0,
-            chunk_bytes: 16 * 1024,
+            chunk_rows: gvdb_api::DEFAULT_CHUNK_ROWS,
             per_chunk_ms: 0.5,
             per_node_ms: 6.0,
             per_edge_ms: 5.0,
@@ -53,15 +58,25 @@ impl Default for ClientModel {
 pub struct ClientCost {
     /// Communication + rendering in ms (reported combined, as in Fig. 3).
     pub comm_render_ms: f64,
-    /// Number of streamed chunks.
+    /// Number of streamed `Rows` frames.
     pub chunks: usize,
 }
 
 impl ClientModel {
-    /// Cost of shipping `json` to the browser and rendering it.
+    /// Number of `Rows` frames a payload of `rows` rows streams as (at
+    /// least one — an empty window still sends its frame sequence).
+    pub fn chunks_for(&self, rows: usize) -> usize {
+        rows.div_ceil(self.chunk_rows.max(1)).max(1)
+    }
+
+    /// Cost of shipping `json` to the browser as a frame stream and
+    /// rendering it.
     pub fn deliver(&self, json: &GraphJson) -> ClientCost {
-        let bytes = json.byte_len();
-        let chunks = bytes.div_ceil(self.chunk_bytes).max(1);
+        let chunks = self.chunks_for(json.edge_count);
+        // On the wire: the payload plus each Rows frame's envelope, with
+        // the Header and Trailer frames bracketing the stream priced at
+        // the same (measured) envelope size.
+        let bytes = json.byte_len() + (chunks + 2) * gvdb_api::rows_envelope_bytes();
         let transfer =
             self.rtt_ms + bytes as f64 / self.bytes_per_ms + chunks as f64 * self.per_chunk_ms;
         let render =
@@ -113,10 +128,29 @@ mod tests {
     }
 
     #[test]
-    fn chunk_count_follows_payload_size() {
+    fn chunk_count_follows_row_count() {
         let m = ClientModel::default();
-        assert_eq!(m.deliver(&json(0, 0, 10)).chunks, 1);
-        assert_eq!(m.deliver(&json(0, 0, 16 * 1024 + 1)).chunks, 2);
+        // Chunking is row-driven: one frame per chunk_rows edges.
+        assert_eq!(m.deliver(&json(5, 0, 400)).chunks, 1);
+        assert_eq!(m.deliver(&json(10, m.chunk_rows, 50_000)).chunks, 1);
+        assert_eq!(m.deliver(&json(10, m.chunk_rows + 1, 50_000)).chunks, 2);
+        assert_eq!(m.chunks_for(m.chunk_rows * 3), 3);
+    }
+
+    #[test]
+    fn frame_envelopes_are_charged_on_the_wire() {
+        // Same payload bytes, more rows => more frames => more wire bytes
+        // and per-chunk overhead, so delivery costs (slightly) more even
+        // with rendering held constant.
+        let m = ClientModel {
+            per_node_ms: 0.0,
+            per_edge_ms: 0.0,
+            ..Default::default()
+        };
+        let few_frames = m.deliver(&json(0, m.chunk_rows, 100_000));
+        let many_frames = m.deliver(&json(0, m.chunk_rows * 8, 100_000));
+        assert!(many_frames.chunks > few_frames.chunks);
+        assert!(many_frames.comm_render_ms > few_frames.comm_render_ms);
     }
 
     #[test]

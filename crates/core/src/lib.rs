@@ -63,6 +63,8 @@ pub use preprocess::{
 };
 pub use query::{QueryManager, SearchHit, WindowResponse};
 pub use registry::{SessionHandle, SessionId, SessionRegistry, SessionStats};
-pub use service::{ApiOutcome, GraphService, WindowOutcome, DEFAULT_DATASET};
+pub use service::{
+    stream_single, ApiOutcome, FrameBuffer, FrameSink, GraphService, WindowOutcome, DEFAULT_DATASET,
+};
 pub use session::{Filters, Session};
 pub use workspace::{SharedWorkspace, Workspace};

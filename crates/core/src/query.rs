@@ -96,6 +96,12 @@ pub struct WindowResponse {
     /// matches the exact segment refinement later rejected. On the delta
     /// path this is bounded by the candidates of the delta strips.
     pub rows_fetched: usize,
+    /// On the delta path, the [`RowId`]s of the rows that actually
+    /// *arrived* (fetched from the heap and kept), ascending. Empty for
+    /// cold queries and cache hits. The streaming path uses this to emit
+    /// reused rows first and arrivals last, so a panning client can
+    /// repaint the kept region before the new strip finishes loading.
+    pub arrival_rids: Vec<RowId>,
     /// Simulated communication + rendering cost.
     pub client: ClientCost,
 }
@@ -266,6 +272,16 @@ impl QueryManager {
         epochs[layer] += 1;
     }
 
+    /// Durability hook: checkpoint and fsync the database to disk (the
+    /// `/v1/flush` operation), returning the number of dirty pages
+    /// written back. Takes the write lock for the duration — readers
+    /// drain first and queue behind — but bumps **no** epoch and clears
+    /// **no** cache: a flush persists already-applied edits without
+    /// changing any visible row, so every cached window stays exact.
+    pub fn flush(&self) -> Result<usize> {
+        self.db.write().flush()
+    }
+
     /// Window-cache hit/miss/occupancy counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -350,6 +366,7 @@ impl QueryManager {
                 delta: false,
                 rows_reused,
                 rows_fetched: 0,
+                arrival_rids: Vec::new(),
                 client,
             });
         }
@@ -455,6 +472,7 @@ impl QueryManager {
             delta: false,
             rows_reused: 0,
             rows_fetched,
+            arrival_rids: Vec::new(),
             client,
         })
     }
@@ -540,6 +558,7 @@ impl QueryManager {
         let rows_fetched = strip_rids.len();
         let mut fetched = table.fetch_many(pool, &strip_rids)?;
         fetched.retain(|(_, row)| row.geometry.segment().intersects_rect(window));
+        let arrival_rids: Vec<RowId> = fetched.iter().map(|(rid, _)| *rid).collect();
 
         // Nothing departed and nothing arrived: the result is
         // row-for-row the anchor's. Share its Arcs outright — a
@@ -561,6 +580,7 @@ impl QueryManager {
                 delta: true,
                 rows_reused,
                 rows_fetched,
+                arrival_rids: Vec::new(),
                 client,
             });
         }
@@ -670,6 +690,7 @@ impl QueryManager {
             delta: true,
             rows_reused,
             rows_fetched,
+            arrival_rids,
             client,
         })
     }

@@ -32,8 +32,9 @@ use crate::query::{QueryManager, SearchHit, WindowResponse};
 use crate::registry::SessionId;
 use crate::workspace::SharedWorkspace;
 use gvdb_api::{
-    ApiError, ApiRequest, ApiResponse, ApiResult, DatasetInfo, DatasetStats, EdgeDto, LayerInfo,
-    RectDto, SearchHitDto, SessionStatsDto, Source, StatsDto, WindowMeta,
+    ApiError, ApiFrame, ApiRequest, ApiResponse, ApiResult, DatasetInfo, DatasetStats, EdgeDto,
+    FrameHeader, LayerInfo, ProgressFrame, RectDto, RowBatch, SearchHitDto, SessionStatsDto,
+    Source, StatsDto, TrailerFrame, WindowMeta,
 };
 use gvdb_spatial::Rect;
 use gvdb_storage::{EdgeGeometry, EdgeRow, RowId, StorageError};
@@ -99,9 +100,24 @@ pub enum ApiOutcome {
     /// Answer to [`ApiRequest::Window`].
     Window(WindowOutcome),
     /// Answer to [`ApiRequest::Search`].
-    Hits(Vec<SearchHit>),
+    Hits {
+        /// The dataset that answered.
+        dataset: String,
+        /// The layer searched.
+        layer: usize,
+        /// The layer's edit epoch at search time.
+        epoch: u64,
+        /// The matching nodes.
+        hits: Vec<SearchHit>,
+    },
     /// Answer to [`ApiRequest::Focus`].
     Focus {
+        /// The dataset that answered.
+        dataset: String,
+        /// The layer read.
+        layer: usize,
+        /// The layer's edit epoch at read time.
+        epoch: u64,
         /// The neighbourhood payload.
         json: crate::json::GraphJson,
         /// Incident row count.
@@ -126,6 +142,14 @@ pub enum ApiOutcome {
     },
     /// Answer to [`ApiRequest::SessionClose`].
     Closed,
+    /// Answer to [`ApiRequest::Flush`]: the dataset was checkpointed to
+    /// disk.
+    Flushed {
+        /// The flushed dataset.
+        dataset: String,
+        /// Dirty pages written back.
+        pages: u64,
+    },
     /// Answer to [`ApiRequest::Stats`] (per-dataset; the serving layer
     /// adds its own counters on top).
     Stats(Vec<DatasetStats>),
@@ -146,18 +170,10 @@ impl ApiOutcome {
                     graph: outcome.response.json.text.clone(),
                 }
             }
-            ApiOutcome::Hits(hits) => ApiResponse::Hits {
-                hits: hits
-                    .iter()
-                    .map(|h| SearchHitDto {
-                        node: h.node_id,
-                        label: h.label.to_string(),
-                        x: h.position.x,
-                        y: h.position.y,
-                    })
-                    .collect(),
+            ApiOutcome::Hits { hits, .. } => ApiResponse::Hits {
+                hits: hits.iter().map(hit_dto).collect(),
             },
-            ApiOutcome::Focus { json, rows } => ApiResponse::Focus {
+            ApiOutcome::Focus { json, rows, .. } => ApiResponse::Focus {
                 rows: rows as u64,
                 graph: json.text,
             },
@@ -174,6 +190,7 @@ impl ApiOutcome {
             },
             ApiOutcome::Session { id } => ApiResponse::Session { id },
             ApiOutcome::Closed => ApiResponse::Closed,
+            ApiOutcome::Flushed { dataset, pages } => ApiResponse::Flushed { dataset, pages },
             ApiOutcome::Stats(datasets) => ApiResponse::Stats(StatsDto {
                 served: 0,
                 rejected: 0,
@@ -182,6 +199,39 @@ impl ApiOutcome {
                 datasets,
             }),
         }
+    }
+}
+
+/// Receives the frames of one streamed result, in order (see
+/// [`GraphService::call_streamed`]). The HTTP layer implements this over
+/// chunked transfer-encoding; [`FrameBuffer`] collects in memory for
+/// tests and embedded consumers.
+pub trait FrameSink {
+    /// Deliver one frame. An `Err` aborts the stream — the canonical
+    /// cause is a disconnected client — and implementations of
+    /// [`GraphService::call_streamed`] propagate it immediately instead
+    /// of producing further frames.
+    fn emit(&mut self, frame: &ApiFrame) -> ApiResult<()>;
+}
+
+/// A [`FrameSink`] that collects every frame in memory.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    /// The frames emitted so far, in order.
+    pub frames: Vec<ApiFrame>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FrameSink for FrameBuffer {
+    fn emit(&mut self, frame: &ApiFrame) -> ApiResult<()> {
+        self.frames.push(frame.clone());
+        Ok(())
     }
 }
 
@@ -195,6 +245,29 @@ pub trait GraphService: Send + Sync {
 
     /// The dataset names this service can resolve.
     fn dataset_names(&self) -> Vec<String>;
+
+    /// Execute one **streamable** request (`window`, `search`, `focus`),
+    /// delivering the result as a typed frame sequence
+    /// (`Header · Rows* · Trailer`, see `gvdb_api::frame`) instead of one
+    /// buffered response.
+    ///
+    /// The default implementation wraps [`GraphService::call`] in a
+    /// single `Header + Rows + Trailer` sequence — correct for any
+    /// service, incremental for none. [`QueryManager`] and
+    /// [`SharedWorkspace`] override it with the real incremental path:
+    /// row batches stream as the engine produces them, delta pans emit
+    /// reused rows before arrivals, and the trailer re-samples the layer
+    /// epoch so a racing edit is visible to the client.
+    ///
+    /// Errors before the first frame surface as `Err` (the caller still
+    /// owns its transport and can send a plain error response); once the
+    /// header is out, sink failures propagate as `Err` and the caller
+    /// must abandon the transport. Non-streamable operations are a
+    /// [`gvdb_api::ErrorKind::BadRequest`].
+    fn call_streamed(&self, request: &ApiRequest, sink: &mut dyn FrameSink) -> ApiResult<()> {
+        let outcome = self.call(request)?;
+        stream_single(request, outcome, sink)
+    }
 }
 
 impl GraphService for QueryManager {
@@ -209,13 +282,7 @@ impl GraphService for QueryManager {
                 self,
             )])),
             other => {
-                if let Some(name) = other.dataset() {
-                    if name != DEFAULT_DATASET {
-                        return Err(ApiError::not_found(format!(
-                            "dataset '{name}' not found (available: {DEFAULT_DATASET})"
-                        )));
-                    }
-                }
+                self.check_default_dataset(other)?;
                 call_dataset(DEFAULT_DATASET, self, other)
             }
         }
@@ -223,6 +290,31 @@ impl GraphService for QueryManager {
 
     fn dataset_names(&self) -> Vec<String> {
         vec![DEFAULT_DATASET.into()]
+    }
+
+    fn call_streamed(&self, request: &ApiRequest, sink: &mut dyn FrameSink) -> ApiResult<()> {
+        match request {
+            ApiRequest::Window { .. } | ApiRequest::Search { .. } => {
+                self.check_default_dataset(request)?;
+                stream_dataset(DEFAULT_DATASET, self, request, sink)
+            }
+            other => stream_single(other, self.call(other)?, sink),
+        }
+    }
+}
+
+impl QueryManager {
+    /// Reject dataset selectors other than [`DEFAULT_DATASET`] (the only
+    /// name a bare manager serves under).
+    fn check_default_dataset(&self, request: &ApiRequest) -> ApiResult<()> {
+        if let Some(name) = request.dataset() {
+            if name != DEFAULT_DATASET {
+                return Err(ApiError::not_found(format!(
+                    "dataset '{name}' not found (available: {DEFAULT_DATASET})"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -254,6 +346,16 @@ impl GraphService for SharedWorkspace {
     fn dataset_names(&self) -> Vec<String> {
         self.names()
     }
+
+    fn call_streamed(&self, request: &ApiRequest, sink: &mut dyn FrameSink) -> ApiResult<()> {
+        match request {
+            ApiRequest::Window { .. } | ApiRequest::Search { .. } => {
+                let (name, qm) = self.resolve(request.dataset())?;
+                stream_dataset(&name, &qm, request, sink)
+            }
+            other => stream_single(other, self.call(other)?, sink),
+        }
+    }
 }
 
 /// Execute a dataset-addressed request against one resolved manager. The
@@ -273,17 +375,26 @@ fn call_dataset(name: &str, qm: &QueryManager, request: &ApiRequest) -> ApiResul
             session,
             ..
         } => window_op(name, qm, *layer, window, *session),
-        ApiRequest::Search { layer, query, .. } => qm
-            .keyword_search(*layer, query)
-            .map(ApiOutcome::Hits)
-            .map_err(storage_error),
+        ApiRequest::Search { layer, query, .. } => Ok(ApiOutcome::Hits {
+            dataset: name.to_string(),
+            layer: *layer,
+            epoch: qm.layer_epoch(*layer),
+            hits: qm.keyword_search(*layer, query).map_err(storage_error)?,
+        }),
         ApiRequest::Focus { layer, node, .. } => {
             let rows = qm.focus_on_node(*layer, *node).map_err(storage_error)?;
             Ok(ApiOutcome::Focus {
+                dataset: name.to_string(),
+                layer: *layer,
+                epoch: qm.layer_epoch(*layer),
                 json: build_graph_json(&rows),
                 rows: rows.len(),
             })
         }
+        ApiRequest::Flush { .. } => Ok(ApiOutcome::Flushed {
+            dataset: name.to_string(),
+            pages: qm.flush().map_err(storage_error)? as u64,
+        }),
         ApiRequest::InsertEdge { layer, edge, .. } => {
             let rid = qm
                 .insert_row(*layer, &edge_row(edge))
@@ -362,6 +473,294 @@ fn window_op(
             }))
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The streaming result path
+// ---------------------------------------------------------------------------
+
+/// A [`SearchHit`] as the wire DTO.
+fn hit_dto(h: &SearchHit) -> SearchHitDto {
+    SearchHitDto {
+        node: h.node_id,
+        label: h.label.to_string(),
+        x: h.position.x,
+        y: h.position.y,
+    }
+}
+
+/// The trait-default streaming shape: one `Header + Rows + Trailer`
+/// sequence around an already-computed [`ApiOutcome`]. Correct for any
+/// [`GraphService`]; the engine-backed implementations override
+/// [`GraphService::call_streamed`] with the chunked incremental path
+/// instead.
+pub fn stream_single(
+    request: &ApiRequest,
+    outcome: ApiOutcome,
+    sink: &mut dyn FrameSink,
+) -> ApiResult<()> {
+    match outcome {
+        ApiOutcome::Window(outcome) => {
+            let meta = outcome.meta();
+            sink.emit(&ApiFrame::Header(window_header(&meta)))?;
+            let rows = outcome.response.rows.len() as u64;
+            let mut frames = 0u64;
+            if rows > 0 {
+                sink.emit(&ApiFrame::Rows(RowBatch::Graph {
+                    graph: outcome.response.json.text.clone(),
+                    nodes: outcome.response.json.node_count as u64,
+                    edges: outcome.response.json.edge_count as u64,
+                    reused: meta.source == Source::Hit,
+                }))?;
+                frames = 1;
+            }
+            sink.emit(&ApiFrame::Trailer(TrailerFrame {
+                epoch: meta.epoch,
+                source: Some(meta.source),
+                rows,
+                rows_reused: meta.rows_reused as u64,
+                rows_fetched: meta.rows_fetched as u64,
+                frames,
+            }))
+        }
+        ApiOutcome::Hits {
+            dataset,
+            layer,
+            epoch,
+            hits,
+        } => {
+            sink.emit(&ApiFrame::Header(FrameHeader {
+                op: "search".into(),
+                dataset,
+                layer,
+                epoch,
+                source: None,
+                session: None,
+            }))?;
+            let mut frames = 0u64;
+            if !hits.is_empty() {
+                sink.emit(&ApiFrame::Rows(RowBatch::Hits {
+                    hits: hits.iter().map(hit_dto).collect(),
+                }))?;
+                frames = 1;
+            }
+            sink.emit(&ApiFrame::Trailer(TrailerFrame {
+                epoch,
+                source: None,
+                rows: hits.len() as u64,
+                rows_reused: 0,
+                rows_fetched: hits.len() as u64,
+                frames,
+            }))
+        }
+        ApiOutcome::Focus {
+            dataset,
+            layer,
+            epoch,
+            json,
+            rows,
+        } => {
+            sink.emit(&ApiFrame::Header(FrameHeader {
+                op: "focus".into(),
+                dataset,
+                layer,
+                epoch,
+                source: None,
+                session: None,
+            }))?;
+            let mut frames = 0u64;
+            if rows > 0 {
+                sink.emit(&ApiFrame::Rows(RowBatch::Graph {
+                    graph: json.text,
+                    nodes: json.node_count as u64,
+                    edges: json.edge_count as u64,
+                    reused: false,
+                }))?;
+                frames = 1;
+            }
+            sink.emit(&ApiFrame::Trailer(TrailerFrame {
+                epoch,
+                source: None,
+                rows: rows as u64,
+                rows_reused: 0,
+                rows_fetched: rows as u64,
+                frames,
+            }))
+        }
+        _ => Err(ApiError::bad_request(format!(
+            "op '{}' is not streamable; use the buffered call",
+            request.op()
+        ))),
+    }
+}
+
+/// The [`FrameHeader`] of a window stream.
+fn window_header(meta: &WindowMeta) -> FrameHeader {
+    FrameHeader {
+        op: "window".into(),
+        dataset: meta.dataset.clone(),
+        layer: meta.layer,
+        epoch: meta.epoch,
+        source: Some(meta.source),
+        session: meta.session,
+    }
+}
+
+/// The incremental streaming path of one resolved dataset: `window` and
+/// `search` requests only (every other op goes through
+/// [`stream_single`]). Row batches are sized by the manager's
+/// [`crate::ClientModel::chunk_rows`].
+fn stream_dataset(
+    name: &str,
+    qm: &QueryManager,
+    request: &ApiRequest,
+    sink: &mut dyn FrameSink,
+) -> ApiResult<()> {
+    let chunk = qm.client_model().chunk_rows.max(1);
+    match request {
+        ApiRequest::Window {
+            layer,
+            window,
+            session,
+            ..
+        } => {
+            let ApiOutcome::Window(outcome) = window_op(name, qm, *layer, window, *session)? else {
+                unreachable!("window_op yields a window outcome")
+            };
+            stream_window_outcome(qm, outcome, chunk, sink)
+        }
+        ApiRequest::Search { layer, query, .. } => {
+            // Errors (missing layer) surface before any frame is out.
+            let hits = qm.keyword_search(*layer, query).map_err(storage_error)?;
+            let epoch = qm.layer_epoch(*layer);
+            sink.emit(&ApiFrame::Header(FrameHeader {
+                op: "search".into(),
+                dataset: name.to_string(),
+                layer: *layer,
+                epoch,
+                source: None,
+                session: None,
+            }))?;
+            let total = hits.len() as u64;
+            let many = hits.len() > chunk;
+            let mut frames = 0u64;
+            let mut sent = 0u64;
+            for batch in hits.chunks(chunk) {
+                sink.emit(&ApiFrame::Rows(RowBatch::Hits {
+                    hits: batch.iter().map(hit_dto).collect(),
+                }))?;
+                frames += 1;
+                sent += batch.len() as u64;
+                if many {
+                    sink.emit(&ApiFrame::Progress(ProgressFrame {
+                        rows_sent: sent,
+                        rows_total: total,
+                    }))?;
+                }
+            }
+            sink.emit(&ApiFrame::Trailer(TrailerFrame {
+                epoch: qm.layer_epoch(*layer),
+                source: None,
+                rows: total,
+                rows_reused: 0,
+                rows_fetched: total,
+                frames,
+            }))
+        }
+        other => {
+            unreachable!(
+                "stream_dataset only handles window/search, got '{}'",
+                other.op()
+            )
+        }
+    }
+}
+
+/// Stream one computed [`WindowOutcome`] as chunked frames: reused rows
+/// first (a panning client repaints the kept region immediately), then
+/// the fetched arrivals, then a trailer that **re-samples the layer
+/// epoch** — the query's read guard was released when `window_op`
+/// returned, so an edit racing the emission is surfaced as a trailer
+/// epoch newer than the header's.
+fn stream_window_outcome(
+    qm: &QueryManager,
+    outcome: WindowOutcome,
+    chunk: usize,
+    sink: &mut dyn FrameSink,
+) -> ApiResult<()> {
+    let meta = outcome.meta();
+    sink.emit(&ApiFrame::Header(window_header(&meta)))?;
+
+    let resp = &outcome.response;
+    // A batch counts as "reused" when it came out of the cache: the
+    // whole result on an exact hit, the kept region on a delta. Cold
+    // rows were all fetched for this response.
+    let reused_flag = resp.cache_hit || resp.delta;
+    let total = resp.rows.len() as u64;
+    let many = resp.rows.len() > chunk;
+    let mut frames = 0u64;
+    let mut sent = 0u64;
+    let emit_batches = |rows: &[(RowId, EdgeRow)],
+                        reused: bool,
+                        sink: &mut dyn FrameSink,
+                        frames: &mut u64,
+                        sent: &mut u64|
+     -> ApiResult<()> {
+        for batch in rows.chunks(chunk) {
+            let json = build_graph_json(batch);
+            sink.emit(&ApiFrame::Rows(RowBatch::Graph {
+                graph: json.text,
+                nodes: json.node_count as u64,
+                edges: json.edge_count as u64,
+                reused,
+            }))?;
+            *frames += 1;
+            *sent += batch.len() as u64;
+            if many {
+                sink.emit(&ApiFrame::Progress(ProgressFrame {
+                    rows_sent: *sent,
+                    rows_total: total,
+                }))?;
+            }
+        }
+        Ok(())
+    };
+    if resp.arrival_rids.is_empty() {
+        // Hit, cold, or no-change delta: one homogeneous sequence,
+        // chunked straight off the shared row vector — no copies.
+        emit_batches(&resp.rows, reused_flag, sink, &mut frames, &mut sent)?;
+    } else {
+        // Delta with arrivals: split rows into the reused region and the
+        // arrivals (both stay in ascending RowId order — `arrival_rids`
+        // is ascending, so one two-pointer pass suffices; row clones are
+        // Arc-label bumps), and stream the kept region first.
+        let mut reused_rows: Vec<(RowId, EdgeRow)> =
+            Vec::with_capacity(resp.rows.len().saturating_sub(resp.arrival_rids.len()));
+        let mut arrival_rows: Vec<(RowId, EdgeRow)> = Vec::with_capacity(resp.arrival_rids.len());
+        let mut ai = 0usize;
+        for (rid, row) in resp.rows.iter() {
+            while ai < resp.arrival_rids.len() && resp.arrival_rids[ai] < *rid {
+                ai += 1;
+            }
+            if ai < resp.arrival_rids.len() && resp.arrival_rids[ai] == *rid {
+                arrival_rows.push((*rid, row.clone()));
+            } else {
+                reused_rows.push((*rid, row.clone()));
+            }
+        }
+        emit_batches(&reused_rows, reused_flag, sink, &mut frames, &mut sent)?;
+        emit_batches(&arrival_rows, false, sink, &mut frames, &mut sent)?;
+    }
+    sink.emit(&ApiFrame::Trailer(TrailerFrame {
+        // Re-sampled: newer than the header epoch iff an edit raced the
+        // stream.
+        epoch: qm.layer_epoch(meta.layer),
+        source: Some(meta.source),
+        rows: total,
+        rows_reused: meta.rows_reused as u64,
+        rows_fetched: meta.rows_fetched as u64,
+        frames,
+    }))
 }
 
 /// Per-layer inventory of one manager.
@@ -703,6 +1102,141 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err.kind, ErrorKind::NotFound);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_window_chunks_rows_and_reports_in_the_trailer() {
+        let (qm, path) = manager("stream-chunks");
+        let chunk = qm.client_model().chunk_rows;
+        let everything = ApiRequest::Window {
+            dataset: None,
+            layer: Some(0),
+            window: RectDto {
+                min_x: -1e9,
+                min_y: -1e9,
+                max_x: 1e9,
+                max_y: 1e9,
+            },
+            session: None,
+        };
+        let mut sink = crate::FrameBuffer::new();
+        qm.call_streamed(&everything, &mut sink).unwrap();
+
+        let gvdb_api::ApiFrame::Header(header) = &sink.frames[0] else {
+            panic!("first frame is the header")
+        };
+        assert_eq!(header.op, "window");
+        assert_eq!(header.dataset, DEFAULT_DATASET);
+        assert_eq!(header.source, Some(Source::Cold));
+        let gvdb_api::ApiFrame::Trailer(trailer) = sink.frames.last().unwrap() else {
+            panic!("last frame is the trailer")
+        };
+        let mut rows = 0u64;
+        let mut batches = 0u64;
+        for frame in &sink.frames {
+            if let gvdb_api::ApiFrame::Rows(batch) = frame {
+                assert!(batch.len() <= chunk, "batches respect chunk_rows");
+                rows += batch.len() as u64;
+                batches += 1;
+            }
+        }
+        assert_eq!(trailer.rows, rows);
+        assert_eq!(trailer.frames, batches);
+        assert!(rows > 0);
+        // The streamed rows equal the buffered response's.
+        let ApiOutcome::Window(buffered) = qm.call(&everything).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert_eq!(buffered.response.rows.len() as u64, rows);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_delta_pan_emits_reused_rows_before_arrivals() {
+        let (qm, path) = manager("stream-delta");
+        qm.call(&window_req(None)).unwrap(); // anchor the cache
+        let pan = ApiRequest::Window {
+            dataset: None,
+            layer: Some(0),
+            window: RectDto {
+                min_x: 300.0,
+                min_y: 0.0,
+                max_x: 2300.0,
+                max_y: 2000.0,
+            },
+            session: None,
+        };
+        let mut sink = crate::FrameBuffer::new();
+        qm.call_streamed(&pan, &mut sink).unwrap();
+        let gvdb_api::ApiFrame::Header(header) = &sink.frames[0] else {
+            panic!("first frame is the header")
+        };
+        assert_eq!(header.source, Some(Source::Delta));
+        // Once a fetched (non-reused) batch appears, no reused batch may
+        // follow: the kept region streams first so the client can paint.
+        let flags: Vec<bool> = sink
+            .frames
+            .iter()
+            .filter_map(|f| match f {
+                gvdb_api::ApiFrame::Rows(gvdb_api::RowBatch::Graph { reused, .. }) => Some(*reused),
+                _ => None,
+            })
+            .collect();
+        assert!(flags.contains(&true), "a delta pan reuses rows");
+        let first_fetched = flags.iter().position(|r| !r);
+        if let Some(i) = first_fetched {
+            assert!(
+                flags[i..].iter().all(|r| !r),
+                "reused batches must precede arrivals: {flags:?}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_streamable_ops_fall_back_or_reject() {
+        let (qm, path) = manager("stream-misc");
+        // Focus streams through the single-sequence default.
+        let hits = qm.keyword_search(0, "Q1").unwrap();
+        let mut sink = crate::FrameBuffer::new();
+        qm.call_streamed(
+            &ApiRequest::Focus {
+                dataset: None,
+                layer: 0,
+                node: hits[0].node_id,
+            },
+            &mut sink,
+        )
+        .unwrap();
+        assert!(
+            matches!(sink.frames.first(), Some(gvdb_api::ApiFrame::Header(h)) if h.op == "focus")
+        );
+        assert!(matches!(
+            sink.frames.last(),
+            Some(gvdb_api::ApiFrame::Trailer(_))
+        ));
+
+        // Stats has no row stream: a typed BadRequest, no frames emitted.
+        let mut sink = crate::FrameBuffer::new();
+        let err = qm.call_streamed(&ApiRequest::Stats, &mut sink).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(sink.frames.is_empty());
+
+        // Errors surface before any frame for streamable ops too.
+        let mut sink = crate::FrameBuffer::new();
+        let err = qm
+            .call_streamed(
+                &ApiRequest::Search {
+                    dataset: None,
+                    layer: 99,
+                    query: "x".into(),
+                },
+                &mut sink,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NotFound);
+        assert!(sink.frames.is_empty());
         std::fs::remove_file(&path).ok();
     }
 

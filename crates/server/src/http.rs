@@ -35,6 +35,13 @@ pub struct Request {
     /// request (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection`
     /// header decides).
     pub keep_alive: bool,
+    /// The `Accept` header, verbatim (streamed endpoints fall back to the
+    /// buffered envelope when a legacy client demands
+    /// `application/json`).
+    pub accept: Option<String>,
+    /// The `Authorization` header, verbatim (the mutation gate checks it
+    /// against the configured API key).
+    pub authorization: Option<String>,
     /// Request body (empty for body-less requests).
     pub body: String,
     params: Vec<(String, String)>,
@@ -136,6 +143,8 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
     let path = path.to_string();
 
     let mut content_length = 0usize;
+    let mut accept = None;
+    let mut authorization = None;
     let mut line_buf = Vec::new();
     loop {
         if read_header_line(reader, &mut line_buf, &mut budget)? == 0 {
@@ -144,8 +153,8 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         if line_buf == b"\r\n" || line_buf == b"\n" {
             break;
         }
-        // Non-UTF-8 header lines are skipped, not fatal — only the two
-        // headers below matter and both are ASCII.
+        // Non-UTF-8 header lines are skipped, not fatal — only the
+        // headers below matter and all are ASCII.
         let Some((name, value)) = std::str::from_utf8(&line_buf)
             .ok()
             .and_then(|line| line.split_once(':'))
@@ -161,6 +170,10 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 keep_alive = true;
             }
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("authorization") {
+            authorization = Some(value.to_string());
         }
     }
 
@@ -181,6 +194,8 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         method,
         path,
         keep_alive,
+        accept,
+        authorization,
         body,
         params,
     })
@@ -313,6 +328,48 @@ pub fn write_response(
             stream.write_all(tail.as_bytes())?;
         }
     }
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Chunked transfer-encoding (the streamed frame path)
+// ---------------------------------------------------------------------------
+
+/// The `Content-Type` of a streamed frame response: each HTTP chunk is
+/// one `\n`-terminated `gvdb_api::ApiFrame` JSON document, so the body as
+/// a whole reads as NDJSON.
+pub const STREAM_CONTENT_TYPE: &str = "application/x-ndjson";
+
+/// Write the response head of a streamed result: `200 OK` with
+/// `Transfer-Encoding: chunked` (no `Content-Length` — the stream's size
+/// is unknown when the first frame leaves). The per-response stats that
+/// buffered responses carry in `X-Gvdb-*` headers travel in the Trailer
+/// frame instead.
+pub fn write_chunked_head(stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {STREAM_CONTENT_TYPE}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())
+}
+
+/// Write one HTTP chunk (`<hex size>\r\n<data>\r\n`). The size prefix,
+/// payload and terminator go out in a single `write_all` so one frame is
+/// one socket write (and, with `TCP_NODELAY`, usually one packet train).
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(data.len() + 16);
+    buf.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    buf.extend_from_slice(data);
+    buf.extend_from_slice(b"\r\n");
+    stream.write_all(&buf)?;
+    stream.flush()
+}
+
+/// Terminate a chunked response (`0\r\n\r\n`). Until this is written the
+/// client's decoder keeps waiting, so every streamed response — including
+/// one that ends in an `Error` frame — must finish with it.
+pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }
 

@@ -27,6 +27,19 @@
 //! * **Per-dataset isolation** — sessions, epochs and caches live in each
 //!   dataset's own `QueryManager`; a mutation to one dataset can never
 //!   invalidate another's windows (integration-tested in `tests/v1.rs`).
+//! * **Streamed results** — `/v1/window` and `/v1/search` answer with
+//!   HTTP/1.1 chunked transfer-encoding by default: one typed
+//!   `gvdb_api::ApiFrame` per chunk (`Header · Rows* · Trailer`), so the
+//!   client paints row batches while later batches are still in flight
+//!   and time-to-first-frame is independent of window size. `stream=0`
+//!   (or `Accept: application/json`) keeps the buffered envelope; the
+//!   `X-Gvdb-*` stats of the buffered form travel in the Trailer frame,
+//!   whose epoch is re-sampled at stream end so a racing edit is visible.
+//!   `gvdb-client` is the typed consumer.
+//! * **Write gate** — with [`ServerConfig::api_key`] set, mutations and
+//!   `/v1/flush` require `Authorization: Bearer <key>` (typed `401`
+//!   otherwise); datasets in [`ServerConfig::read_only`] reject mutations
+//!   with a typed `403` regardless of credentials.
 //! * **Graceful shutdown** — [`Server::shutdown`] stops accepting, lets
 //!   workers finish their current request, closes persistent connections
 //!   at the next request boundary, and joins every thread.
@@ -37,15 +50,16 @@
 //! |---|---|---|
 //! | `/v1/datasets` | GET | `ListDatasets` |
 //! | `/v1/layers?dataset=` | GET | `ListLayers` |
-//! | `/v1/window?dataset=&layer=&minx=&miny=&maxx=&maxy=[&session=]` | GET | `Window` (cold / hit / anchored delta) |
-//! | `/v1/search?dataset=&layer=&q=` | GET | `Search` |
+//! | `/v1/window?dataset=&layer=&minx=&miny=&maxx=&maxy=[&session=][&stream=0]` | GET | `Window` (cold / hit / anchored delta; **streamed** unless `stream=0`) |
+//! | `/v1/search?dataset=&layer=&q=[&stream=0]` | GET | `Search` (**streamed** unless `stream=0`) |
 //! | `/v1/focus?dataset=&layer=&node=` | GET | `Focus` |
 //! | `/v1/edge` | POST | `InsertEdge` (body: `{"dataset":…,"layer":…,"edge":{…}}` or a bare edge object) |
 //! | `/v1/edge/delete` | POST | `DeleteEdge` (body: `{"rid":…}`) |
 //! | `/v1/session/new[?dataset=&minx=…]` | GET/POST | `SessionNew` |
 //! | `/v1/session/close?session=` | GET/POST | `SessionClose` |
+//! | `/v1/flush?dataset=` | POST | `Flush` (checkpoint + fsync; reports pages written) |
 //! | `/v1/stats` | GET | `Stats` |
-//! | `/v1` | POST | any serialized `ApiRequest` (the RPC form) |
+//! | `/v1` | POST | any serialized `ApiRequest` (the RPC form, always buffered) |
 //! | `/v1/healthz` | GET | liveness probe |
 //!
 //! Mutation responses carry the mutated layer's **new epoch**, so a
@@ -64,8 +78,10 @@ pub use http::{Body, Request, Response};
 // re-exported here for compatibility with pre-v1 embedders.
 pub use gvdb_core::registry::{SessionHandle, SessionId, SessionRegistry};
 
-use gvdb_api::{ApiError, ApiRequest, ApiResponse, DatasetStats, EdgeDto, Json, RectDto, StatsDto};
-use gvdb_core::{ApiOutcome, GraphService, WindowOutcome};
+use gvdb_api::{
+    ApiError, ApiFrame, ApiRequest, ApiResponse, DatasetStats, EdgeDto, Json, RectDto, StatsDto,
+};
+use gvdb_core::{ApiOutcome, FrameSink, GraphService, WindowOutcome};
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -75,7 +91,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Server sizing knobs.
+/// Server sizing and policy knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks a free port).
@@ -84,6 +100,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Connection-queue depth; connections beyond it get `503` (min 1).
     pub backlog: usize,
+    /// When set, mutations (`/v1/edge*`) and `/v1/flush` require
+    /// `Authorization: Bearer <api_key>`; anything else is a typed `401`.
+    /// Reads stay open.
+    pub api_key: Option<String>,
+    /// Datasets that reject mutations outright (typed `403`), regardless
+    /// of credentials. `/v1/flush` stays allowed — it persists state
+    /// without changing a row.
+    pub read_only: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +116,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
             backlog: 64,
+            api_key: None,
+            read_only: Vec::new(),
         }
     }
 }
@@ -108,6 +134,8 @@ struct AppState {
     queued: AtomicUsize,
     workers: usize,
     backlog: usize,
+    api_key: Option<String>,
+    read_only: Vec<String>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -151,6 +179,8 @@ impl Server {
             queued: AtomicUsize::new(0),
             workers,
             backlog,
+            api_key: config.api_key.clone(),
+            read_only: config.read_only.clone(),
             shutdown: Arc::clone(&shutdown),
         });
 
@@ -420,12 +450,35 @@ fn handle_connection(mut stream: TcpStream, state: &AppState) {
         }
         match http::read_request(&mut reader) {
             Ok(request) => {
-                let response = route(&request, state);
-                let keep_alive = request.keep_alive
-                    && response.is_success()
+                // Whether this connection may stay open after the
+                // response, assuming the response itself succeeds. A
+                // streamed response must commit to the Connection header
+                // before the result exists, which is why errors after the
+                // first frame close the connection instead.
+                let reusable = request.keep_alive
                     && !state.shutdown.load(Ordering::SeqCst)
                     && state.queued.load(Ordering::SeqCst) == 0
                     && served_here + 1 < MAX_REQUESTS_PER_CONNECTION;
+                if let Some(api_request) = streamable_request(&request) {
+                    state.served.fetch_add(1, Ordering::Relaxed);
+                    match serve_streamed(&api_request, state, &mut stream, reusable) {
+                        StreamServe::Completed => {
+                            if !reusable {
+                                break;
+                            }
+                        }
+                        StreamServe::Failed(e) => {
+                            // Nothing was written yet: a plain buffered
+                            // error response (errors close).
+                            let _ = http::write_response(&mut stream, &v1_error(e), false);
+                            break;
+                        }
+                        StreamServe::Aborted => break,
+                    }
+                    continue;
+                }
+                let response = route(&request, state);
+                let keep_alive = reusable && response.is_success();
                 let written = http::write_response(&mut stream, &response, keep_alive);
                 state.served.fetch_add(1, Ordering::Relaxed);
                 if written.is_err() || !keep_alive {
@@ -444,6 +497,153 @@ fn handle_connection(mut stream: TcpStream, state: &AppState) {
                 let _ = http::write_response(&mut stream, &response, false);
                 state.served.fetch_add(1, Ordering::Relaxed);
                 break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The streamed result path
+// ---------------------------------------------------------------------------
+
+/// Whether this request goes down the streamed frame path, and as which
+/// typed request. Only `GET /v1/window` and `GET /v1/search` stream;
+/// `stream=0` or an `Accept: application/json` header keeps the buffered
+/// envelope for legacy clients, and a malformed request falls through to
+/// the buffered route (which produces the proper `400`).
+fn streamable_request(request: &Request) -> Option<ApiRequest> {
+    if request.method != "GET" || !wants_stream(request) {
+        return None;
+    }
+    let rest = request.path.strip_prefix("/v1")?;
+    let dataset = request.param("dataset").map(str::to_string);
+    match rest {
+        "/window" => window_request(request, dataset),
+        "/search" => search_request(request, dataset),
+        _ => None,
+    }
+}
+
+/// `GET /v1/window` query parameters as the typed request (`None` when
+/// the window coordinates are missing) — one parser for the streamed and
+/// buffered paths, so both interpret identical URLs identically.
+fn window_request(request: &Request, dataset: Option<String>) -> Option<ApiRequest> {
+    parse_window(request).map(|window| ApiRequest::Window {
+        dataset,
+        layer: request.parse("layer"),
+        window,
+        session: request.parse("session"),
+    })
+}
+
+/// `GET /v1/search` query parameters as the typed request (`None` when
+/// `q` is missing). '+'-for-space decoding happens here, on the one text
+/// field — shared by the streamed and buffered paths.
+fn search_request(request: &Request, dataset: Option<String>) -> Option<ApiRequest> {
+    request.param("q").map(|q| ApiRequest::Search {
+        dataset,
+        layer: request.parse("layer").unwrap_or(0),
+        query: q.replace('+', " "),
+    })
+}
+
+/// Stream negotiation: an explicit `stream=` flag wins (any common
+/// falsey spelling opts out, anything else opts in); with no flag, a
+/// client that demands `application/json` (and nothing broader) gets the
+/// buffered envelope, everyone else streams.
+fn wants_stream(request: &Request) -> bool {
+    match request.param("stream") {
+        Some("0") | Some("false") | Some("no") | Some("off") => return false,
+        Some(_) => return true,
+        None => {}
+    }
+    match &request.accept {
+        Some(a) => !(a.contains("application/json") && !a.contains("ndjson") && !a.contains("*/*")),
+        None => true,
+    }
+}
+
+/// How a streamed request ended, from the connection's point of view.
+enum StreamServe {
+    /// The full frame sequence (and the terminating chunk) went out.
+    Completed,
+    /// The request failed before the first frame — nothing was written,
+    /// the caller sends a buffered error response.
+    Failed(ApiError),
+    /// The stream broke mid-flight (client disconnect, or a mid-stream
+    /// error reported as an `Error` frame): close the connection.
+    Aborted,
+}
+
+/// A [`FrameSink`] writing each frame as one HTTP chunk. The response
+/// head (status + `Transfer-Encoding: chunked`) goes out lazily with the
+/// first frame, so a request that fails up-front can still get a proper
+/// HTTP error status.
+struct HttpFrameSink<'a> {
+    stream: &'a mut TcpStream,
+    keep_alive: bool,
+    started: bool,
+    io_failed: bool,
+}
+
+impl HttpFrameSink<'_> {
+    fn write_frame(&mut self, frame: &ApiFrame) -> std::io::Result<()> {
+        if !self.started {
+            http::write_chunked_head(self.stream, self.keep_alive)?;
+            self.started = true;
+        }
+        let mut payload = frame.to_json();
+        payload.push('\n');
+        http::write_chunk(self.stream, payload.as_bytes())
+    }
+}
+
+impl FrameSink for HttpFrameSink<'_> {
+    fn emit(&mut self, frame: &ApiFrame) -> gvdb_api::ApiResult<()> {
+        if self.write_frame(frame).is_err() {
+            // The client hung up (or stalled past the write timeout):
+            // abort the stream so the worker frees itself for the queue.
+            self.io_failed = true;
+            return Err(ApiError::internal("client disconnected mid-stream"));
+        }
+        Ok(())
+    }
+}
+
+/// Serve one streamable request over chunked transfer-encoding.
+fn serve_streamed(
+    api_request: &ApiRequest,
+    state: &AppState,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) -> StreamServe {
+    let mut sink = HttpFrameSink {
+        stream,
+        keep_alive,
+        started: false,
+        io_failed: false,
+    };
+    match state.service.call_streamed(api_request, &mut sink) {
+        Ok(()) => {
+            debug_assert!(sink.started, "a successful stream emits frames");
+            match http::finish_chunked(sink.stream) {
+                Ok(()) => StreamServe::Completed,
+                Err(_) => StreamServe::Aborted,
+            }
+        }
+        Err(e) => {
+            if sink.io_failed {
+                return StreamServe::Aborted;
+            }
+            if sink.started {
+                // The header is out — the HTTP status is spent. Report
+                // the failure in-band as a terminal Error frame, close
+                // the chunk stream properly, then drop the connection.
+                let _ = sink.write_frame(&ApiFrame::Error(e));
+                let _ = http::finish_chunked(sink.stream);
+                StreamServe::Aborted
+            } else {
+                StreamServe::Failed(e)
             }
         }
     }
@@ -485,22 +685,12 @@ fn route_v1(rest: &str, request: &Request, state: &AppState) -> Response {
         },
         ("GET", "/datasets") => ApiRequest::ListDatasets,
         ("GET", "/layers") => ApiRequest::ListLayers { dataset },
-        ("GET", "/window") => match parse_window(request) {
-            Some(window) => ApiRequest::Window {
-                dataset,
-                layer: request.parse("layer"),
-                window,
-                session: request.parse("session"),
-            },
+        ("GET", "/window") => match window_request(request, dataset) {
+            Some(req) => req,
             None => return v1_error(ApiError::bad_request("need minx,miny,maxx,maxy")),
         },
-        ("GET", "/search") => match request.param("q") {
-            // '+'-for-space decoding happens here, on the one text field.
-            Some(q) => ApiRequest::Search {
-                dataset,
-                layer: request.parse("layer").unwrap_or(0),
-                query: q.replace('+', " "),
-            },
+        ("GET", "/search") => match search_request(request, dataset) {
+            Some(req) => req,
             None => return v1_error(ApiError::bad_request("need q")),
         },
         ("GET", "/focus") => match request.parse("node") {
@@ -528,6 +718,7 @@ fn route_v1(rest: &str, request: &Request, state: &AppState) -> Response {
             Ok(req) => req,
             Err(e) => return v1_error(e),
         },
+        ("POST", "/flush") => ApiRequest::Flush { dataset },
         _ => {
             return v1_error(ApiError::not_found(format!(
                 "no v1 endpoint {} {}",
@@ -535,10 +726,58 @@ fn route_v1(rest: &str, request: &Request, state: &AppState) -> Response {
             )))
         }
     };
+    if let Err(e) = authorize(&api_request, request, state) {
+        return v1_error(e);
+    }
     match state.service.call(&api_request) {
         Ok(outcome) => v1_response(outcome, state),
         Err(e) => v1_error(e),
     }
+}
+
+/// The write gate: mutations (and `/v1/flush`) must present the
+/// configured API key, and mutations additionally bounce off read-only
+/// datasets. Reads are never gated. Covers every ingress — the dedicated
+/// `/v1/edge*` routes and mutations smuggled through the RPC form alike —
+/// because it runs on the parsed [`ApiRequest`], not the URL.
+fn authorize(
+    api_request: &ApiRequest,
+    request: &Request,
+    state: &AppState,
+) -> Result<(), ApiError> {
+    let is_mutation = api_request.is_mutation();
+    let needs_key = is_mutation || matches!(api_request, ApiRequest::Flush { .. });
+    if !needs_key {
+        return Ok(());
+    }
+    if let Some(key) = &state.api_key {
+        let expected = format!("Bearer {key}");
+        if request.authorization.as_deref() != Some(expected.as_str()) {
+            return Err(ApiError::unauthorized(
+                "this operation requires 'Authorization: Bearer <api-key>'",
+            ));
+        }
+    }
+    if is_mutation && !state.read_only.is_empty() {
+        // Resolve which dataset the mutation addresses: the explicit
+        // selector, or the service's only dataset. (An ambiguous
+        // unaddressed mutation fails dataset resolution later anyway.)
+        let name = match api_request.dataset() {
+            Some(n) => Some(n.to_string()),
+            None => {
+                let names = state.service.dataset_names();
+                (names.len() == 1).then(|| names.into_iter().next().expect("len checked"))
+            }
+        };
+        if let Some(name) = name {
+            if state.read_only.iter().any(|d| d == &name) {
+                return Err(ApiError::forbidden(format!(
+                    "dataset '{name}' is read-only"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Parse a mutation body. Insertions accept `{"dataset":…,"layer":…,
@@ -730,7 +969,7 @@ fn route_legacy(request: &Request, state: &AppState) -> Response {
                 layer: request.parse("layer").unwrap_or(0),
                 query: q.replace('+', " "),
             }) {
-                Ok(ApiOutcome::Hits(hits)) => {
+                Ok(ApiOutcome::Hits { hits, .. }) => {
                     let mut out = String::from("{\"hits\":[");
                     for (i, h) in hits.iter().enumerate() {
                         if i > 0 {

@@ -53,13 +53,22 @@ impl Client {
 
     /// Send one request on the persistent connection and read exactly one
     /// response (headers, body) back, leaving the connection open.
+    /// `Accept: application/json` pins `/v1/window` and `/v1/search` to
+    /// the buffered envelope this suite asserts on (the streamed frame
+    /// protocol has its own suite in `tests/streaming.rs`).
     fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (String, String) {
         let body = body.unwrap_or("");
         let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nAccept: application/json\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
         self.stream.write_all(request.as_bytes()).expect("request");
+        self.read_response()
+    }
+
+    /// Read exactly one buffered response (headers + Content-Length body)
+    /// off the connection.
+    fn read_response(&mut self) -> (String, String) {
         let mut headers = String::new();
         loop {
             let mut line = String::new();
@@ -357,6 +366,105 @@ fn oversized_headers_are_rejected_not_buffered() {
     // A normal request still works afterwards.
     let mut client = Client::connect(server.addr());
     let (h, _) = client.get("/v1/healthz");
+    assert!(h.contains("200 OK"), "{h}");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// The mutation gate over raw HTTP: without the configured API key,
+/// `/v1/edge*` and `/v1/flush` answer typed 401s (including mutations
+/// smuggled through the RPC form); with it, the write lands; read-only
+/// datasets turn mutations into typed 403s while flush stays allowed.
+#[test]
+fn mutation_gate_and_flush_over_http() {
+    let (qm, path) = rdf_manager("authgate");
+    let server = Server::start(
+        Arc::new(qm),
+        ServerConfig {
+            api_key: Some("s3cr3t".into()),
+            read_only: vec![],
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let edge_body = r#"{"layer":0,"edge":{"node1_id":910001,"node1_label":"gate A","node2_id":910002,"node2_label":"gate B","edge_label":"gated","x1":1.0,"y1":1.0,"x2":2.0,"y2":2.0,"directed":false}}"#;
+
+    // No Authorization header: typed 401 on the edge route, the RPC form
+    // and flush alike. Reads stay open.
+    let mut client = Client::connect(server.addr());
+    let (_, body) = client.get("/v1/layers");
+    assert!(body.contains("\"layers\""), "reads stay open: {body}");
+    let (h, body) = client.request("POST", "/v1/edge", Some(edge_body));
+    assert!(h.contains("401 Unauthorized"), "{h}");
+    let ApiResponse::Error(e) = ApiResponse::from_json(&body).unwrap() else {
+        panic!("not a typed error: {body}");
+    };
+    assert_eq!(e.kind, gvdb_api::ErrorKind::Unauthorized);
+    let mut client = Client::connect(server.addr()); // errors close
+    let rpc_edit = format!("{{\"op\":\"insert_edge\",{}", &edge_body[1..]);
+    let (h, _) = client.request("POST", "/v1", Some(&rpc_edit));
+    assert!(
+        h.contains("401 Unauthorized"),
+        "RPC mutations are gated: {h}"
+    );
+    let mut client = Client::connect(server.addr());
+    let (h, _) = client.request("POST", "/v1/flush", None);
+    assert!(h.contains("401 Unauthorized"), "flush is gated: {h}");
+
+    // The right bearer token goes through; flush reports pages written.
+    let mut client = Client::connect(server.addr());
+    let authed = format!(
+        "POST /v1/edge HTTP/1.1\r\nHost: t\r\nAuthorization: Bearer s3cr3t\r\nContent-Length: {}\r\n\r\n{edge_body}",
+        edge_body.len()
+    );
+    client.stream.write_all(authed.as_bytes()).unwrap();
+    let (h, body) = client.read_response();
+    assert!(h.contains("200 OK"), "{h} {body}");
+    assert!(body.contains("\"epoch\":1"), "{body}");
+    let flush = "POST /v1/flush HTTP/1.1\r\nHost: t\r\nAuthorization: Bearer s3cr3t\r\nContent-Length: 0\r\n\r\n";
+    client.stream.write_all(flush.as_bytes()).unwrap();
+    let (h, body) = client.read_response();
+    assert!(h.contains("200 OK"), "{h} {body}");
+    let ApiResponse::Flushed { dataset, pages } = ApiResponse::from_json(&body).unwrap() else {
+        panic!("not flushed: {body}");
+    };
+    assert_eq!(dataset, "default");
+    assert!(pages > 0, "the edit left dirty pages: {body}");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Per-dataset read-only mode: a 403 with the Forbidden kind, no key
+/// involved.
+#[test]
+fn read_only_dataset_rejects_mutations() {
+    let (qm, path) = rdf_manager("readonly");
+    let server = Server::start(
+        Arc::new(qm),
+        ServerConfig {
+            read_only: vec!["default".into()],
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+    let (h, body) = client.request(
+        "POST",
+        "/v1/edge",
+        Some(r#"{"layer":0,"edge":{"node1_id":1,"node1_label":"a","node2_id":2,"node2_label":"b","edge_label":"x","x1":0,"y1":0,"x2":1,"y2":1}}"#),
+    );
+    assert!(h.contains("403 Forbidden"), "{h}");
+    let ApiResponse::Error(e) = ApiResponse::from_json(&body).unwrap() else {
+        panic!("not a typed error: {body}");
+    };
+    assert_eq!(e.kind, gvdb_api::ErrorKind::Forbidden);
+    assert!(e.message.contains("read-only"), "{}", e.message);
+    // Flush is not a mutation: it stays allowed on read-only datasets.
+    let mut client = Client::connect(server.addr());
+    let (h, _) = client.request("POST", "/v1/flush", None);
     assert!(h.contains("200 OK"), "{h}");
 
     server.shutdown();

@@ -430,8 +430,10 @@ impl BufferPool {
         (header, pages)
     }
 
-    /// Write back all dirty pages and sync the file.
-    pub fn flush(&self) -> Result<()> {
+    /// Write back all dirty pages and sync the file. Returns the number
+    /// of pages written (what `/v1/flush` reports).
+    pub fn flush(&self) -> Result<usize> {
+        let mut flushed = 0usize;
         for shard in &self.shards {
             let mut inner = shard.inner.lock();
             let dirty: Vec<usize> = inner
@@ -446,11 +448,13 @@ impl BufferPool {
                 let page = inner.frames[i].page.clone();
                 inner.write_page(pid, &page)?;
                 inner.frames[i].dirty = false;
+                flushed += 1;
             }
         }
         // One fsync suffices: every shard handle references the same
         // inode, and the pager's sync flushes it after the header write.
-        self.pager.lock().sync()
+        self.pager.lock().sync()?;
+        Ok(flushed)
     }
 
     /// Number of pages in the underlying file.

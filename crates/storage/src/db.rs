@@ -149,7 +149,8 @@ impl GraphDb {
     /// atomically, via a WAL checkpoint: the dirty page set and header are
     /// journaled and fsynced before the database file is touched, so a
     /// crash at any point leaves either the previous or the new checkpoint.
-    pub fn flush(&mut self) -> Result<()> {
+    /// Returns the number of dirty pages written back.
+    pub fn flush(&mut self) -> Result<usize> {
         let mut catalog = Catalog::default();
         for layer in &mut self.layers {
             catalog.layers.push(layer.save(&self.pool)?);
@@ -157,8 +158,9 @@ impl GraphDb {
         self.pool.set_header_user_bytes(&catalog.encode());
         let (header, pages) = self.pool.checkpoint_images();
         wal::write_checkpoint(&self.path, &header, &pages)?;
-        self.pool.flush()?;
-        wal::remove(&self.path)
+        let flushed = self.pool.flush()?;
+        wal::remove(&self.path)?;
+        Ok(flushed)
     }
 }
 

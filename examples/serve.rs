@@ -166,8 +166,11 @@ impl Client {
 
     fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (String, String) {
         let body = body.unwrap_or("");
+        // `Accept: application/json` keeps `/v1/window` and `/v1/search`
+        // on the buffered envelope this little client parses; drop it (or
+        // use `gvdb-client`) to get the streamed frame protocol instead.
         let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nAccept: application/json\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
         self.writer.write_all(request.as_bytes()).expect("request");

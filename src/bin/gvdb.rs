@@ -10,8 +10,9 @@
 //! gvdb stats <db>
 //! gvdb serve <db> | <name>=<path>... | --workspace <dir>
 //!            [--addr HOST:PORT] [--workers N] [--backlog N]
+//!            [--api-key KEY] [--read-only DATASET]...
 //! gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--http-out FILE]
-//!                  [--nodes N] [--pans K] [--overlap F]
+//!                  [--stream-out FILE] [--nodes N] [--pans K] [--overlap F]
 //! ```
 //!
 //! `serve` binds a multi-dataset workspace behind the `/v1` API: a single
@@ -66,8 +67,9 @@ const USAGE: &str = "usage:
   gvdb stats <db>
   gvdb serve <db> | <name>=<path>... | --workspace <dir>
              [--addr HOST:PORT] [--workers N] [--backlog N]
+             [--api-key KEY] [--read-only DATASET]...
   gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--http-out FILE]
-                   [--nodes N] [--pans K] [--overlap F]";
+                   [--stream-out FILE] [--nodes N] [--pans K] [--overlap F]";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -83,6 +85,16 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Every value of a repeatable flag (`--read-only a --read-only b`).
+fn flag_all<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
 }
 
 fn cmd_preprocess(args: &[String]) -> Result<(), String> {
@@ -255,6 +267,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --backlog {backlog}"))?;
     }
+    if let Some(key) = flag(args, "--api-key") {
+        config.api_key = Some(key.to_string());
+    }
+    config.read_only = flag_all(args, "--read-only")
+        .into_iter()
+        .map(String::from)
+        .collect();
 
     let workspace = Arc::new(SharedWorkspace::new());
     if let Some(dir) = flag(args, "--workspace") {
@@ -279,7 +298,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     // Positional dataset specs: `<name>=<path>`, or a bare `<path>`
     // serving as dataset `default` (the backwards-compatible form).
-    let value_flags = ["--addr", "--workers", "--backlog", "--workspace"];
+    let value_flags = [
+        "--addr",
+        "--workers",
+        "--backlog",
+        "--workspace",
+        "--api-key",
+        "--read-only",
+    ];
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -305,12 +331,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let datasets = workspace.names().join(", ");
     let count = workspace.len();
+    let gated = config.api_key.is_some();
+    let read_only = config.read_only.join(", ");
     let server = Server::start(workspace, config).map_err(|e| format!("bind: {e}"))?;
     println!(
         "graphvizdb serving {count} dataset(s) [{datasets}] on http://{}",
         server.addr()
     );
-    println!("v1 API: /v1/datasets /v1/layers /v1/window /v1/search /v1/focus /v1/edge (POST) /v1/edge/delete (POST) /v1/session/new /v1/session/close /v1/stats /v1/healthz");
+    println!("v1 API: /v1/datasets /v1/layers /v1/window /v1/search /v1/focus /v1/edge (POST) /v1/edge/delete (POST) /v1/session/new /v1/session/close /v1/flush (POST) /v1/stats /v1/healthz");
+    println!("window/search stream typed frames over chunked encoding (stream=0 or Accept: application/json for the buffered envelope)");
+    if gated {
+        println!("mutations + flush require 'Authorization: Bearer <api-key>'");
+    }
+    if !read_only.is_empty() {
+        println!("read-only dataset(s): {read_only}");
+    }
     println!("legacy routes (/window /search /stats ...) remain as deprecated shims");
     server.wait();
     Ok(())
@@ -466,7 +501,136 @@ fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
     let http_out = flag(args, "--http-out").unwrap_or("BENCH_http.json");
     bench_http(Path::new(&path), &bounds, http_out)?;
 
+    let stream_out = flag(args, "--stream-out").unwrap_or("BENCH_stream.json");
+    bench_stream(Path::new(&path), &bounds, stream_out)?;
+
     std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+/// The streaming smoke bench: one large `/v1/window` request measured two
+/// ways through `gvdb-client` — the **buffered** envelope (the whole body
+/// must arrive before the client can paint anything) vs the **streamed**
+/// frame protocol's time-to-first-row-batch. The request is identical
+/// both ways, so the server-side query cost is too (at the default smoke
+/// size the whole-plane result exceeds the window cache's per-shard byte
+/// budget, so every query runs the full cold path on both variants); the
+/// difference is the latency the frame protocol removes — with
+/// streaming, the first paintable batch lands one chunk after the query,
+/// regardless of how large the full payload is. Writes medians to `out`.
+fn bench_stream(
+    db_path: &Path,
+    bounds: &graphvizdb::spatial::Rect,
+    out: &str,
+) -> Result<(), String> {
+    use graphvizdb::server::{Server, ServerConfig};
+    use gvdb_client::{GvdbClient, WindowParams};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const REQUESTS: usize = 40;
+
+    let qm = Arc::new(QueryManager::new(
+        GraphDb::open(db_path).map_err(|e| e.to_string())?,
+    ));
+    let server = Server::start(qm, ServerConfig::default()).map_err(|e| format!("bind: {e}"))?;
+    let client = GvdbClient::new(server.addr().to_string());
+
+    // The whole layer-0 plane: the largest window the dataset can serve,
+    // which is exactly where buffered time-to-first-row is worst.
+    let params = WindowParams {
+        window: gvdb_api::RectDto {
+            min_x: bounds.min_x,
+            min_y: bounds.min_y,
+            max_x: bounds.max_x,
+            max_y: bounds.max_y,
+        },
+        ..Default::default()
+    };
+
+    // Warm-up: one buffered request primes the buffer pool (the result
+    // itself is too large for the window cache, so the measured queries
+    // below all run the cold path — identically for both variants).
+    let (_, graph) = client.window(&params).map_err(|e| e.to_string())?;
+    let payload_bytes = graph.len();
+
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs[xs.len() / 2]
+        }
+    };
+
+    let mut buffered_ms = Vec::with_capacity(REQUESTS);
+    let mut rows = 0u64;
+    for _ in 0..REQUESTS {
+        let t = Instant::now();
+        let (meta, graph) = client.window(&params).map_err(|e| e.to_string())?;
+        buffered_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        rows = (meta.rows_reused + meta.rows_fetched) as u64;
+        std::hint::black_box(graph);
+    }
+
+    let mut first_frame_ms = Vec::with_capacity(REQUESTS);
+    let mut first_rows_ms = Vec::with_capacity(REQUESTS);
+    let mut stream_total_ms = Vec::with_capacity(REQUESTS);
+    let mut frames = 0u64;
+    let mut streamed_rows = 0u64;
+    for _ in 0..REQUESTS {
+        let t = Instant::now();
+        let mut stream = client.window_stream(&params).map_err(|e| e.to_string())?;
+        // The header is decoded by the time window_stream returns.
+        first_frame_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let first = stream
+            .next_batch()
+            .map_err(|e| e.to_string())?
+            .ok_or("empty stream")?;
+        // The client could paint `first` right here.
+        first_rows_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let mut batch_count = 1u64;
+        let mut row_count = first.len() as u64;
+        while let Some(batch) = stream.next_batch().map_err(|e| e.to_string())? {
+            batch_count += 1;
+            row_count += batch.len() as u64;
+        }
+        stream_total_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        frames = batch_count;
+        streamed_rows = row_count;
+    }
+    server.shutdown();
+    if streamed_rows != rows {
+        return Err(format!(
+            "streamed rows {streamed_rows} diverged from buffered {rows}"
+        ));
+    }
+
+    let buffered_median = median(&mut buffered_ms);
+    let first_frame_median = median(&mut first_frame_ms);
+    let first_rows_median = median(&mut first_rows_ms);
+    let stream_total_median = median(&mut stream_total_ms);
+    let ttff_speedup = if first_frame_median > 0.0 {
+        buffered_median / first_frame_median
+    } else {
+        f64::INFINITY
+    };
+    let speedup = if first_rows_median > 0.0 {
+        buffered_median / first_rows_median
+    } else {
+        f64::INFINITY
+    };
+    let json = format!(
+        "{{\n  \"requests\": {REQUESTS},\n  \"path\": \"whole layer-0 plane /v1/window (uncacheably large: every query runs cold)\",\n  \"rows\": {rows},\n  \"payload_bytes\": {payload_bytes},\n  \"row_frames\": {frames},\n  \"buffered_full_body_median_ms\": {buffered_median:.4},\n  \"stream_first_frame_median_ms\": {first_frame_median:.4},\n  \"stream_first_rows_median_ms\": {first_rows_median:.4},\n  \"stream_total_median_ms\": {stream_total_median:.4},\n  \"ttff_speedup_vs_buffered\": {ttff_speedup:.2},\n  \"ttfr_speedup_vs_buffered\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("{json}");
+    println!(
+        "wrote {out}: first row batch in {first_rows_median:.3} ms vs {buffered_median:.3} ms buffered full body ({speedup:.1}x, {rows} rows / {frames} frames)"
+    );
+    if speedup < 3.0 {
+        eprintln!("warning: time-to-first-rows speedup {speedup:.1}x is below the 3x target");
+    }
     Ok(())
 }
 
@@ -492,7 +656,7 @@ fn bench_http(db_path: &Path, bounds: &graphvizdb::spatial::Rect, out: &str) -> 
     let addr = server.addr();
     let side = (bounds.width().min(bounds.height()) * 0.25).max(1.0);
     let target = format!(
-        "/v1/window?layer=0&minx={:.1}&miny={:.1}&maxx={:.1}&maxy={:.1}",
+        "/v1/window?stream=0&layer=0&minx={:.1}&miny={:.1}&maxx={:.1}&maxy={:.1}",
         bounds.min_x,
         bounds.min_y,
         bounds.min_x + side,

@@ -24,7 +24,9 @@
 //! | [`storage`] | paged storage engine: heap files, B+-trees, tries, packed R-tree (MySQL substitute) |
 //! | [`abstraction`] | degree/PageRank/HITS filtering + cluster summarization |
 //! | [`core`] | preprocessing pipeline, query manager, sessions, client model |
+//! | [`api`] | the versioned `v1` wire protocol: typed DTOs + streamed frames |
 //! | [`server`] | HTTP serving layer: worker pool, session registry, stats |
+//! | [`client`] | typed blocking client: connection pool, buffered calls, frame streams |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,8 @@
 //! ```
 
 pub use gvdb_abstract as abstraction;
+pub use gvdb_api as api;
+pub use gvdb_client as client;
 pub use gvdb_core as core;
 pub use gvdb_graph as graph;
 pub use gvdb_layout as layout;
@@ -62,6 +66,7 @@ pub mod prelude {
     pub use gvdb_abstract::{
         build_hierarchy, AbstractionMethod, HierarchyConfig, RankingCriterion,
     };
+    pub use gvdb_client::{GvdbClient, WindowParams, WindowStream};
     pub use gvdb_core::{
         preprocess, Birdview, ClientModel, LayoutChoice, PreprocessConfig, QueryManager, SearchHit,
         Session,
