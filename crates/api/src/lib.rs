@@ -494,6 +494,14 @@ pub struct StatsDto {
     pub workers: u64,
     /// Connection-queue depth.
     pub backlog: u64,
+    /// Worker threads currently executing a request (the soak tests
+    /// assert this returns to 0 — a non-zero value at rest means a
+    /// leaked worker).
+    pub active_workers: u64,
+    /// Connections currently registered with the reactor (idle
+    /// keep-alive connections included — each costs a registered fd,
+    /// not a thread).
+    pub open_connections: u64,
     /// Per-dataset statistics.
     pub datasets: Vec<DatasetStats>,
 }
@@ -1098,6 +1106,11 @@ impl ApiResponse {
                 members.push(("rejected".into(), Json::uint(stats.rejected)));
                 members.push(("workers".into(), Json::uint(stats.workers)));
                 members.push(("backlog".into(), Json::uint(stats.backlog)));
+                members.push(("active_workers".into(), Json::uint(stats.active_workers)));
+                members.push((
+                    "open_connections".into(),
+                    Json::uint(stats.open_connections),
+                ));
                 members.push((
                     "datasets".into(),
                     Json::Arr(stats.datasets.iter().map(DatasetStats::to_value).collect()),
@@ -1188,6 +1201,12 @@ impl ApiResponse {
                 rejected: need_u64(&v, "rejected")?,
                 workers: need_u64(&v, "workers")?,
                 backlog: need_u64(&v, "backlog")?,
+                // Lenient: absent in payloads from pre-reactor servers.
+                active_workers: v.get("active_workers").and_then(Json::as_u64).unwrap_or(0),
+                open_connections: v
+                    .get("open_connections")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 datasets: need(&v, "datasets")?
                     .as_arr()
                     .ok_or_else(|| ApiError::bad_request("datasets must be an array"))?

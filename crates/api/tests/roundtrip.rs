@@ -216,6 +216,8 @@ fn every_response_variant_roundtrips() {
         rejected: 5,
         workers: 4,
         backlog: 64,
+        active_workers: 2,
+        open_connections: 37,
         datasets: vec![DatasetStats {
             name: "default".into(),
             epochs: vec![3, 0, 0],

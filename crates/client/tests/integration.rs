@@ -237,6 +237,70 @@ fn streamed_window_matches_buffered_and_reuses_connections() {
 }
 
 #[test]
+fn idle_pooled_connections_are_visible_in_server_stats() {
+    let (qm, path) = manager("gauge", 300);
+    let server = Server::start(
+        Arc::new(qm),
+        ServerConfig {
+            workers: 2,
+            max_connections: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let puller = GvdbClient::new(addr.clone());
+    let observer = GvdbClient::new(addr.clone());
+
+    // The stats gauges exclude the request reporting them (the worker
+    // building the response, the connection carrying it), so a server
+    // with no other traffic reads as quiescent.
+    let quiet = observer.stats().unwrap();
+    assert_eq!(quiet.active_workers, 0);
+    assert_eq!(quiet.open_connections, 0);
+
+    // One request from another client parks an idle keep-alive
+    // connection in its pool; the reactor still owns the fd and the
+    // gauge sees it — connections cost a registration, not a worker.
+    // (Poll briefly: the worker that answered `layers` decrements its
+    // gauge a hair after the client sees the response.)
+    puller.layers(None).unwrap();
+    assert!(puller.pool().idle_count(&addr) >= 1);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let busy = observer.stats().unwrap();
+        assert_eq!(busy.open_connections, 1, "pooled connection registered");
+        if busy.active_workers == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle connection must not hold a worker: {busy:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Dropping the client hangs up its pooled connection; the reactor
+    // reaps the EOF and the gauge returns to zero.
+    drop(puller);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let now = observer.stats().unwrap();
+        if now.open_connections == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reactor did not reap the dropped connection: {now:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn mutation_gate_returns_typed_kinds() {
     let (qm, path) = manager("auth", 300);
     let server = Server::start(

@@ -44,6 +44,7 @@ pub mod cache;
 pub mod client;
 pub mod json;
 pub mod organizer;
+pub mod outbox;
 pub mod preprocess;
 pub mod query;
 pub mod registry;
@@ -57,6 +58,7 @@ pub use cache::{CacheConfig, CacheStats, WindowCache};
 pub use client::{ClientCost, ClientModel};
 pub use json::{build_graph_json, GraphJson};
 pub use organizer::{organize_partitions, OrganizedLayout, OrganizerConfig};
+pub use outbox::{Outbox, OutboxStatus, PushError};
 pub use preprocess::{
     layer_rows, preprocess, LayoutChoice, PreprocessConfig, PreprocessReport, StageThreads,
     StepTimes,

@@ -1,0 +1,341 @@
+//! The bounded byte queue between a producing worker and a draining
+//! reactor.
+//!
+//! Streamed results used to be push-based: the worker thread executing
+//! [`GraphService::call_streamed`](crate::GraphService::call_streamed)
+//! wrote each frame straight into the client socket, so a slow reader
+//! held the worker for the whole stream. With the event-driven server
+//! core the emission is pull-based instead: the worker *pushes encoded
+//! bytes* into a per-connection [`Outbox`] and returns, and the reactor
+//! thread *drains* the queue into the socket whenever the socket is
+//! writable.
+//!
+//! The queue is the backpressure boundary, and it never blocks:
+//!
+//! * **Bounded** — [`Outbox::push`] fails with [`PushError::Overflow`]
+//!   while the *pending* (not yet drained) bytes are at the budget.
+//!   Overflow is a state, not a verdict: the producer may wait for the
+//!   consumer to drain ([`Outbox::wait_drain`]) and retry, and it is the
+//!   producer's policy how long to keep trying before aborting the
+//!   stream. Either way a slow client costs at most `budget + one
+//!   frame` of memory.
+//! * **Closable** — when the reactor tears a connection down mid-stream
+//!   (client hung up, write error, shutdown) it [`Outbox::close`]s the
+//!   queue; the producer's next push fails with [`PushError::Closed`]
+//!   and the stream aborts without ever touching a dead socket.
+//! * **Transport-agnostic** — the queue moves opaque bytes. HTTP chunk
+//!   framing, response heads and the `Connection` header are the
+//!   server's business; core only guarantees ordering and bounds.
+//!
+//! A response's lifecycle: any number of `push` calls, then exactly one
+//! [`Outbox::finish`] carrying the keep-alive decision. The reactor
+//! drains with [`Outbox::take`] and inspects [`Outbox::take_done`] /
+//! [`Outbox::status`] to learn when the response is complete and whether
+//! the connection survives it.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The consumer closed the queue: the connection is gone, stop
+    /// producing. Terminal.
+    Closed,
+    /// Pending bytes are at the budget: the client has not drained.
+    /// Retryable — wait with [`Outbox::wait_drain`] and push again, or
+    /// give up and abort the stream.
+    Overflow,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Closed => write!(f, "outbox closed by consumer"),
+            PushError::Overflow => write!(f, "outbox full: slow consumer"),
+        }
+    }
+}
+
+/// A point-in-time view of the queue (see [`Outbox::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutboxStatus {
+    /// Bytes pushed but not yet taken.
+    pub pending: usize,
+    /// `Some(keep_alive)` once the producer called [`Outbox::finish`].
+    pub done: Option<bool>,
+}
+
+struct Inner {
+    buf: Vec<u8>,
+    done: Option<bool>,
+    closed: bool,
+}
+
+/// A bounded single-producer / single-consumer byte queue (see module
+/// docs). Internally a mutex around a byte buffer — pushes and takes are
+/// short critical sections; the consumer swaps the buffer out so socket
+/// writes happen outside the lock.
+pub struct Outbox {
+    budget: usize,
+    inner: Mutex<Inner>,
+    /// Signalled whenever the consumer drains bytes or closes the queue,
+    /// so a producer in [`Outbox::wait_drain`] wakes promptly.
+    drained: Condvar,
+}
+
+impl Outbox {
+    /// A queue refusing pushes once `budget` bytes are pending. A single
+    /// push larger than the budget is accepted when the queue is empty
+    /// (a buffered response is one push, whatever its size), so peak
+    /// memory is `budget + largest single push`.
+    pub fn new(budget: usize) -> Outbox {
+        Outbox {
+            budget: budget.max(1),
+            inner: Mutex::new(Inner {
+                buf: Vec::new(),
+                done: None,
+                closed: false,
+            }),
+            drained: Condvar::new(),
+        }
+    }
+
+    /// Append `bytes` to the queue. Returns whether the queue was empty
+    /// before the push — `true` means the consumer may be asleep and
+    /// should be woken. Fails without appending anything; an
+    /// [`PushError::Overflow`] failure may be retried after a
+    /// [`Outbox::wait_drain`].
+    pub fn push(&self, bytes: &[u8]) -> Result<bool, PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if !inner.buf.is_empty() && inner.buf.len() >= self.budget {
+            return Err(PushError::Overflow);
+        }
+        let was_empty = inner.buf.is_empty();
+        inner.buf.extend_from_slice(bytes);
+        Ok(was_empty)
+    }
+
+    /// Producer side: block until the consumer drains some bytes or
+    /// closes the queue (then retry the push), or `timeout` passes
+    /// (then decide whether to keep waiting). Returns `true` when drain
+    /// progress or a close happened, `false` on a quiet timeout.
+    pub fn wait_drain(&self, timeout: Duration) -> bool {
+        let inner = self.inner.lock().unwrap();
+        if inner.closed || inner.buf.len() < self.budget {
+            return true;
+        }
+        let (_inner, result) = self.drained.wait_timeout(inner, timeout).unwrap();
+        !result.timed_out()
+    }
+
+    /// Producer side: the response is complete; after the pending bytes
+    /// drain, the connection should stay open iff `keep_alive`. Idempotent
+    /// (the first call wins) and ignored after [`Outbox::close`].
+    pub fn finish(&self, keep_alive: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.done.is_none() {
+            inner.done = Some(keep_alive);
+        }
+    }
+
+    /// Consumer side: the connection is gone; refuse every further push
+    /// and drop whatever is pending.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        inner.buf = Vec::new();
+        drop(inner);
+        self.drained.notify_all();
+    }
+
+    /// Whether the consumer closed the queue.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Take every pending byte (empty when there is nothing). The buffer
+    /// is swapped out under the lock, so the caller writes to the socket
+    /// without holding it.
+    pub fn take(&self) -> Vec<u8> {
+        let mut inner = self.inner.lock().unwrap();
+        let bytes = std::mem::take(&mut inner.buf);
+        drop(inner);
+        if !bytes.is_empty() {
+            self.drained.notify_all();
+        }
+        bytes
+    }
+
+    /// Consumer side: report (and clear) the finished flag — but only
+    /// once every pending byte has been taken, atomically with that
+    /// check, so a response is never declared complete with bytes still
+    /// queued. Clearing re-arms the queue for the connection's next
+    /// response.
+    pub fn take_done(&self) -> Option<bool> {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.buf.is_empty() {
+            return None;
+        }
+        inner.done.take()
+    }
+
+    /// Pending/done, in one consistent snapshot.
+    pub fn status(&self) -> OutboxStatus {
+        let inner = self.inner.lock().unwrap();
+        OutboxStatus {
+            pending: inner.buf.len(),
+            done: inner.done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_take_preserves_order_and_reports_wakeups() {
+        let q = Outbox::new(1024);
+        assert_eq!(q.push(b"hel"), Ok(true), "first push finds it empty");
+        assert_eq!(q.push(b"lo"), Ok(false), "second push does not");
+        assert_eq!(q.take(), b"hello");
+        assert_eq!(q.push(b"!"), Ok(true), "drained queue is empty again");
+        assert_eq!(q.take(), b"!");
+        assert!(q.take().is_empty());
+    }
+
+    #[test]
+    fn overflow_while_pending_is_at_budget_and_clears_on_drain() {
+        let q = Outbox::new(4);
+        assert!(
+            q.push(b"abcdefgh").is_ok(),
+            "empty queue takes any single push"
+        );
+        assert_eq!(q.push(b"x"), Err(PushError::Overflow));
+        // Not sticky: draining makes room again.
+        q.take();
+        assert_eq!(q.push(b"x"), Ok(true));
+    }
+
+    #[test]
+    fn below_budget_pushes_accumulate() {
+        let q = Outbox::new(8);
+        assert!(q.push(b"abc").is_ok());
+        assert!(q.push(b"def").is_ok(), "pending 3 < budget 8");
+        assert!(q.push(b"ghi").is_ok(), "pending 6 < budget 8");
+        assert_eq!(q.push(b"j"), Err(PushError::Overflow), "pending 9 >= 8");
+    }
+
+    #[test]
+    fn wait_drain_returns_immediately_when_there_is_room() {
+        let q = Outbox::new(1024);
+        q.push(b"small").unwrap();
+        assert!(
+            q.wait_drain(Duration::from_secs(5)),
+            "room available: no wait"
+        );
+    }
+
+    #[test]
+    fn wait_drain_wakes_on_take_and_on_close() {
+        for close_instead in [false, true] {
+            let q = std::sync::Arc::new(Outbox::new(4));
+            q.push(b"12345678").unwrap();
+            let waiter = {
+                let q = std::sync::Arc::clone(&q);
+                std::thread::spawn(move || q.wait_drain(Duration::from_secs(10)))
+            };
+            std::thread::sleep(Duration::from_millis(50));
+            if close_instead {
+                q.close();
+            } else {
+                q.take();
+            }
+            assert!(waiter.join().unwrap(), "waiter woken by consumer");
+        }
+    }
+
+    #[test]
+    fn wait_drain_times_out_quietly() {
+        let q = Outbox::new(4);
+        q.push(b"12345678").unwrap();
+        assert!(!q.wait_drain(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn close_refuses_pushes_and_drops_pending() {
+        let q = Outbox::new(1024);
+        q.push(b"doomed").unwrap();
+        q.close();
+        assert_eq!(q.push(b"more"), Err(PushError::Closed));
+        assert!(q.take().is_empty(), "pending bytes dropped on close");
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn finish_is_sticky_and_carries_keep_alive() {
+        let q = Outbox::new(1024);
+        assert_eq!(q.status().done, None);
+        q.finish(true);
+        q.finish(false); // first call wins
+        assert_eq!(q.status().done, Some(true));
+    }
+
+    #[test]
+    fn take_done_waits_for_the_drain_and_rearms() {
+        let q = Outbox::new(1024);
+        q.push(b"tail bytes").unwrap();
+        q.finish(true);
+        assert_eq!(q.take_done(), None, "bytes still pending");
+        q.take();
+        assert_eq!(q.take_done(), Some(true));
+        assert_eq!(q.take_done(), None, "consumed: armed for the next response");
+        q.push(b"next").unwrap();
+        q.finish(false);
+        q.take();
+        assert_eq!(q.take_done(), Some(false));
+    }
+
+    #[test]
+    fn producer_and_consumer_race_cleanly() {
+        let q = std::sync::Arc::new(Outbox::new(16));
+        let producer = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    loop {
+                        match q.push(&i.to_le_bytes()) {
+                            Ok(_) => break,
+                            Err(PushError::Overflow) => {
+                                q.wait_drain(Duration::from_millis(100));
+                            }
+                            Err(PushError::Closed) => panic!("consumer closed"),
+                        }
+                    }
+                }
+                q.finish(true);
+            })
+        };
+        let mut drained = Vec::new();
+        loop {
+            drained.extend_from_slice(&q.take());
+            let status = q.status();
+            if status.done.is_some() && status.pending == 0 {
+                drained.extend_from_slice(&q.take());
+                break;
+            }
+            std::thread::yield_now();
+        }
+        producer.join().unwrap();
+        assert_eq!(drained.len(), 4000);
+        let nums: Vec<u32> = drained
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert!(nums.windows(2).all(|w| w[0] + 1 == w[1]), "bytes in order");
+    }
+}

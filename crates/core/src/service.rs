@@ -196,6 +196,8 @@ impl ApiOutcome {
                 rejected: 0,
                 workers: 0,
                 backlog: 0,
+                active_workers: 0,
+                open_connections: 0,
                 datasets,
             }),
         }

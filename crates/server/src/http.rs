@@ -1,18 +1,21 @@
-//! Minimal HTTP/1.1 plumbing (std::net only): request parsing (method,
-//! path, query string, the headers the server cares about, POST bodies)
-//! and response writing.
+//! Minimal HTTP/1.1 plumbing (std::net only): the request/response
+//! types and the wire encoders.
 //!
-//! Connections are **persistent**: the worker keeps one buffered reader
-//! per connection and loops request → response until the client asks for
-//! `Connection: close`, an error occurs, the server shuts down, or the
-//! idle timeout strikes. Pipelined requests queue naturally in the reader
-//! buffer and are answered in order. This matters because a cache-hit
-//! window query costs microseconds server-side — per-request TCP setup
-//! used to dominate it (see `BENCH_http.json`).
+//! Parsing is incremental and lives in [`crate::parser`] — the reactor
+//! feeds socket bytes into a per-connection
+//! [`RequestParser`](crate::parser::RequestParser) and dispatches each
+//! complete [`Request`] to the worker pool. This module owns the other
+//! direction: encoding a [`Response`] (or a chunked-stream fragment)
+//! into the bytes a connection's outbox carries back to the reactor.
+//! Nothing here touches a socket; encoders return `Vec<u8>` so the
+//! reactor can write them whenever the socket is actually writable.
+//!
+//! Connections are **persistent**: pipelined requests queue in the
+//! parser buffer and are answered in order. This matters because a
+//! cache-hit window query costs microseconds server-side — per-request
+//! TCP setup used to dominate it (see `BENCH_http.json`).
 
 use gvdb_core::GraphJson;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
 use std::sync::Arc;
 
 /// Largest accepted request body (mutations are single edges; anything
@@ -20,12 +23,14 @@ use std::sync::Arc;
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
 /// Largest accepted request line + header block. Without this cap a
-/// client streaming an endless header line would grow a worker's buffer
-/// without bound.
+/// client streaming an endless header line would grow a connection's
+/// parser buffer without bound.
 pub const MAX_HEADER_BYTES: usize = 64 << 10;
 
 /// A parsed request: method, path, decoded query parameters, body.
-#[derive(Debug)]
+/// (`PartialEq` backs the parser property tests: split feeding must
+/// yield requests identical to whole-buffer feeding.)
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// HTTP method (`GET`, `POST`, …), uppercase.
     pub method: String,
@@ -44,7 +49,7 @@ pub struct Request {
     pub authorization: Option<String>,
     /// Request body (empty for body-less requests).
     pub body: String,
-    params: Vec<(String, String)>,
+    pub(crate) params: Vec<(String, String)>,
 }
 
 impl Request {
@@ -60,145 +65,6 @@ impl Request {
     pub fn parse<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
         self.param(key).and_then(|v| v.parse().ok())
     }
-}
-
-/// Why [`read_request`] returned no request.
-#[derive(Debug, PartialEq, Eq)]
-pub enum ReadError {
-    /// The client closed (or went silent past the timeout) between
-    /// requests — not an error, just the end of the connection.
-    Closed,
-    /// The bytes on the wire are not a parseable request.
-    Malformed,
-    /// The declared body exceeds [`MAX_BODY_BYTES`].
-    BodyTooLarge,
-}
-
-/// Read one `\n`-terminated line into `out` (cleared first), charging
-/// the bytes against `budget`. Returns the line length; 0 means EOF
-/// before any byte. A line that would overrun the budget is
-/// [`ReadError::Malformed`] — nothing past the budget is ever buffered.
-fn read_header_line(
-    reader: &mut BufReader<TcpStream>,
-    out: &mut Vec<u8>,
-    budget: &mut usize,
-) -> Result<usize, ReadError> {
-    out.clear();
-    loop {
-        let (taken, complete) = {
-            let buf = reader.fill_buf().map_err(|_| ReadError::Closed)?;
-            if buf.is_empty() {
-                return Ok(out.len()); // EOF (caller decides if mid-line)
-            }
-            match buf.iter().position(|&b| b == b'\n') {
-                Some(i) => {
-                    if i + 1 > *budget {
-                        return Err(ReadError::Malformed);
-                    }
-                    out.extend_from_slice(&buf[..=i]);
-                    (i + 1, true)
-                }
-                None => {
-                    if buf.len() > *budget {
-                        return Err(ReadError::Malformed);
-                    }
-                    out.extend_from_slice(buf);
-                    (buf.len(), false)
-                }
-            }
-        };
-        reader.consume(taken);
-        *budget -= taken;
-        if complete {
-            return Ok(out.len());
-        }
-    }
-}
-
-/// Read and parse one request from `reader`. The reader persists across
-/// calls on the same connection, so buffered (pipelined) requests are
-/// picked up without touching the socket.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let mut budget = MAX_HEADER_BYTES;
-    let mut line_buf = Vec::new();
-    if read_header_line(reader, &mut line_buf, &mut budget)? == 0 {
-        return Err(ReadError::Closed); // clean EOF between requests
-    }
-    let request_line = std::str::from_utf8(&line_buf).map_err(|_| ReadError::Malformed)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or(ReadError::Malformed)?.to_uppercase();
-    let target = parts.next().ok_or(ReadError::Malformed)?;
-    let version = parts.next().unwrap_or("HTTP/1.1");
-    let mut keep_alive = version != "HTTP/1.0";
-
-    let (path, query) = target.split_once('?').unwrap_or((target, ""));
-    // Values are kept verbatim: '+'-for-space decoding only applies to
-    // text fields and would corrupt numeric values ("1e+21" → "1e 21"),
-    // so the /search handler decodes its own `q`.
-    let params = query
-        .split('&')
-        .filter_map(|kv| kv.split_once('='))
-        .map(|(k, v)| (k.to_string(), v.to_string()))
-        .collect();
-    let path = path.to_string();
-
-    let mut content_length = 0usize;
-    let mut accept = None;
-    let mut authorization = None;
-    let mut line_buf = Vec::new();
-    loop {
-        if read_header_line(reader, &mut line_buf, &mut budget)? == 0 {
-            return Err(ReadError::Malformed); // EOF mid-headers
-        }
-        if line_buf == b"\r\n" || line_buf == b"\n" {
-            break;
-        }
-        // Non-UTF-8 header lines are skipped, not fatal — only the
-        // headers below matter and all are ASCII.
-        let Some((name, value)) = std::str::from_utf8(&line_buf)
-            .ok()
-            .and_then(|line| line.split_once(':'))
-        else {
-            continue;
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value.parse().map_err(|_| ReadError::Malformed)?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                keep_alive = true;
-            }
-        } else if name.eq_ignore_ascii_case("accept") {
-            accept = Some(value.to_string());
-        } else if name.eq_ignore_ascii_case("authorization") {
-            authorization = Some(value.to_string());
-        }
-    }
-
-    let body = if content_length > 0 {
-        if content_length > MAX_BODY_BYTES {
-            return Err(ReadError::BodyTooLarge);
-        }
-        let mut buf = vec![0u8; content_length];
-        reader
-            .read_exact(&mut buf)
-            .map_err(|_| ReadError::Malformed)?;
-        String::from_utf8(buf).map_err(|_| ReadError::Malformed)?
-    } else {
-        String::new()
-    };
-
-    Ok(Request {
-        method,
-        path,
-        keep_alive,
-        accept,
-        authorization,
-        body,
-        params,
-    })
 }
 
 /// Response body: built for this request, the cached window payload
@@ -260,7 +126,7 @@ impl From<&str> for Body {
     }
 }
 
-/// A response ready to be written: status line, extra headers
+/// A response ready to be encoded: status line, extra headers
 /// (`X-Gvdb-*` telemetry), body.
 pub struct Response {
     /// HTTP status line tail, e.g. `200 OK`.
@@ -300,17 +166,11 @@ impl Response {
     }
 }
 
-/// Write `response` to `stream`. `keep_alive` decides the `Connection`
-/// header; a write failure means the client hung up (the caller drops the
-/// connection).
-pub fn write_response(
-    stream: &mut TcpStream,
-    response: &Response,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    // One buffer (and usually one syscall) for the whole header block —
-    // `write!` straight to the socket would emit a packet per format
-    // fragment.
+/// Encode `response` as the bytes to put on the wire. `keep_alive`
+/// decides the `Connection` header. One allocation for head + body, so
+/// a buffered response is exactly one outbox push (and the outbox
+/// accepts any single push into an empty queue, whatever its size).
+pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let head = format!(
         "HTTP/1.1 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
@@ -318,17 +178,18 @@ pub fn write_response(
         response.extra_headers,
         if keep_alive { "keep-alive" } else { "close" },
     );
-    stream.write_all(head.as_bytes())?;
+    let mut out = Vec::with_capacity(head.len() + response.body.len());
+    out.extend_from_slice(head.as_bytes());
     match &response.body {
-        Body::Owned(s) => stream.write_all(s.as_bytes())?,
-        Body::Shared(json) => stream.write_all(json.text.as_bytes())?,
+        Body::Owned(s) => out.extend_from_slice(s.as_bytes()),
+        Body::Shared(json) => out.extend_from_slice(json.text.as_bytes()),
         Body::Enveloped { head, graph, tail } => {
-            stream.write_all(head.as_bytes())?;
-            stream.write_all(graph.text.as_bytes())?;
-            stream.write_all(tail.as_bytes())?;
+            out.extend_from_slice(head.as_bytes());
+            out.extend_from_slice(graph.text.as_bytes());
+            out.extend_from_slice(tail.as_bytes());
         }
     }
-    stream.flush()
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -340,38 +201,35 @@ pub fn write_response(
 /// a whole reads as NDJSON.
 pub const STREAM_CONTENT_TYPE: &str = "application/x-ndjson";
 
-/// Write the response head of a streamed result: `200 OK` with
+/// The response head of a streamed result: `200 OK` with
 /// `Transfer-Encoding: chunked` (no `Content-Length` — the stream's size
 /// is unknown when the first frame leaves). The per-response stats that
 /// buffered responses carry in `X-Gvdb-*` headers travel in the Trailer
 /// frame instead.
-pub fn write_chunked_head(stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: {STREAM_CONTENT_TYPE}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(head.as_bytes())
+pub fn chunked_head(keep_alive: bool) -> &'static [u8] {
+    if keep_alive {
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n"
+    } else {
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    }
 }
 
-/// Write one HTTP chunk (`<hex size>\r\n<data>\r\n`). The size prefix,
-/// payload and terminator go out in a single `write_all` so one frame is
-/// one socket write (and, with `TCP_NODELAY`, usually one packet train).
-pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+/// Encode one HTTP chunk (`<hex size>\r\n<data>\r\n`): size prefix,
+/// payload and terminator in one buffer, so one frame is one outbox
+/// push (and, with `TCP_NODELAY`, usually one packet train).
+pub fn encode_chunk(data: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(data.len() + 16);
     buf.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
     buf.extend_from_slice(data);
     buf.extend_from_slice(b"\r\n");
-    stream.write_all(&buf)?;
-    stream.flush()
+    buf
 }
 
-/// Terminate a chunked response (`0\r\n\r\n`). Until this is written the
-/// client's decoder keeps waiting, so every streamed response — including
-/// one that ends in an `Error` frame — must finish with it.
-pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
-    stream.write_all(b"0\r\n\r\n")?;
-    stream.flush()
-}
+/// The terminator of a chunked response (`0\r\n\r\n`). Until this is on
+/// the wire the client's decoder keeps waiting, so every streamed
+/// response — including one that ends in an `Error` frame — must finish
+/// with it.
+pub const CHUNKED_END: &[u8] = b"0\r\n\r\n";
 
 #[cfg(test)]
 mod tests {
@@ -396,5 +254,25 @@ mod tests {
         let r = Response::error("400 Bad Request", "quote \" here");
         assert!(r.body.text().contains("quote \\\" here"));
         assert!(!r.is_success());
+    }
+
+    #[test]
+    fn encoded_response_carries_length_and_connection() {
+        let bytes = encode_response(&Response::ok("{\"ok\":true}"), true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn chunk_encoding_is_hex_prefixed() {
+        assert_eq!(encode_chunk(b"abc"), b"3\r\nabc\r\n");
+        assert_eq!(encode_chunk(&[0u8; 16]).len(), 4 + 16 + 2);
+        assert!(std::str::from_utf8(chunked_head(true))
+            .unwrap()
+            .contains(STREAM_CONTENT_TYPE));
+        assert_eq!(CHUNKED_END, b"0\r\n\r\n");
     }
 }

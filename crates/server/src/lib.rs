@@ -8,11 +8,22 @@
 //!
 //! Architecture:
 //!
-//! * **Bounded worker pool** — an acceptor thread pushes connections into
-//!   a bounded queue drained by [`ServerConfig::workers`] worker threads.
-//!   When the queue is full the acceptor answers `503` immediately
+//! * **Event-driven connection core** — ONE reactor thread (epoll on
+//!   Linux, `poll(2)` elsewhere; see `reactor.rs`) owns every socket:
+//!   it accepts, parses incrementally, and writes responses from
+//!   per-connection bounded outboxes. Idle keep-alive connections cost
+//!   a registered fd, not a thread — [`ServerConfig::max_connections`]
+//!   of them can sit open against a 4-thread pool.
+//! * **Bounded worker pool, decoupled** — complete requests are handed
+//!   to [`ServerConfig::workers`] worker threads over a bounded queue.
+//!   When the queue is full the reactor answers `503` immediately
 //!   instead of letting latency grow without bound (and counts the
-//!   rejection in `/v1/stats`).
+//!   rejection in `/v1/stats`). Workers never touch sockets: they push
+//!   encoded bytes into the connection's bounded [`gvdb_core::Outbox`]
+//!   ([`ServerConfig::outbox_bytes`]). A slower-than-the-worker client
+//!   is ridden out by waiting for drain progress; a stalled one gets
+//!   its stream aborted and the connection closed, so no client holds
+//!   a worker past the producer's patience window.
 //! * **Typed service underneath** — every route parses into a
 //!   `gvdb_api::ApiRequest` and executes through [`GraphService::call`]:
 //!   the HTTP layer owns no query, session or mutation logic of its own,
@@ -40,9 +51,11 @@
 //!   `/v1/flush` require `Authorization: Bearer <key>` (typed `401`
 //!   otherwise); datasets in [`ServerConfig::read_only`] reject mutations
 //!   with a typed `403` regardless of credentials.
-//! * **Graceful shutdown** — [`Server::shutdown`] stops accepting, lets
-//!   workers finish their current request, closes persistent connections
-//!   at the next request boundary, and joins every thread.
+//! * **Graceful shutdown** — [`Server::shutdown`] wakes the reactor,
+//!   which closes every registered connection promptly (no request
+//!   boundary to wait for — sub-second even with hundreds of idle
+//!   connections open), lets workers finish their current request, and
+//!   joins every thread.
 //!
 //! ## `v1` endpoints (JSON; errors are typed `{"kind":"error","error":{…}}`)
 //!
@@ -72,8 +85,11 @@
 //! `X-Gvdb-Deprecated` header pointing at their `/v1` replacement.
 
 mod http;
+pub mod parser;
+mod reactor;
+pub mod sys;
 
-pub use http::{Body, Request, Response};
+pub use http::{Body, Request, Response, STREAM_CONTENT_TYPE};
 // The session registry moved into gvdb-core (each QueryManager owns one);
 // re-exported here for compatibility with pre-v1 embedders.
 pub use gvdb_core::registry::{SessionHandle, SessionId, SessionRegistry};
@@ -83,22 +99,22 @@ use gvdb_api::{
 };
 use gvdb_core::{ApiOutcome, FrameSink, GraphService, WindowOutcome};
 use parking_lot::Mutex;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+
+use reactor::{ConnHandle, Job, Reactor, ReactorShared};
 
 /// Server sizing and policy knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks a free port).
     pub addr: String,
-    /// Worker threads draining the connection queue (min 1).
+    /// Worker threads draining the request queue (min 1).
     pub workers: usize,
-    /// Connection-queue depth; connections beyond it get `503` (min 1).
+    /// Request-queue depth; requests beyond it get `503` (min 1).
     pub backlog: usize,
     /// When set, mutations (`/v1/edge*`) and `/v1/flush` require
     /// `Authorization: Bearer <api_key>`; anything else is a typed `401`.
@@ -108,6 +124,18 @@ pub struct ServerConfig {
     /// of credentials. `/v1/flush` stays allowed — it persists state
     /// without changing a row.
     pub read_only: Vec<String>,
+    /// Connections the reactor will keep registered at once; accepts
+    /// beyond it get an immediate `503` (min 1). Idle keep-alive
+    /// connections cost a registered fd each, not a thread, so this can
+    /// comfortably exceed `workers` by orders of magnitude.
+    pub max_connections: usize,
+    /// Byte budget of each connection's response outbox (min 1). A
+    /// client that lets more than this accumulate unread has its stream
+    /// aborted and its connection dropped — backpressure never reaches
+    /// the worker pool. (A single response larger than the budget is
+    /// fine: the budget gates *pending* bytes, and a buffered response
+    /// is one push into an empty outbox.)
+    pub outbox_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -118,20 +146,23 @@ impl Default for ServerConfig {
             backlog: 64,
             api_key: None,
             read_only: Vec::new(),
+            max_connections: 4096,
+            outbox_bytes: 1 << 20,
         }
     }
 }
 
-/// Shared serving state handed to every worker.
+/// Shared serving state handed to the reactor and every worker.
 struct AppState {
     service: Arc<dyn GraphService>,
     served: AtomicU64,
     rejected: AtomicU64,
-    /// Accepted connections waiting in the queue for a worker. While this
-    /// is non-zero, workers give up their idle persistent connections
-    /// (and stop keeping new ones alive) so keep-alive can never starve
-    /// queued clients behind `workers` parked sockets.
-    queued: AtomicUsize,
+    /// Workers currently executing a request (`/v1/stats`
+    /// `active_workers`; the soak tests assert it returns to 0).
+    active: AtomicU64,
+    /// Connections currently registered with the reactor (`/v1/stats`
+    /// `open_connections`).
+    connections: AtomicU64,
     workers: usize,
     backlog: usize,
     api_key: Option<String>,
@@ -145,9 +176,10 @@ struct AppState {
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     state: Arc<AppState>,
+    shared: Arc<ReactorShared>,
 }
 
 impl std::fmt::Debug for Server {
@@ -176,7 +208,8 @@ impl Server {
             service,
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
-            queued: AtomicUsize::new(0),
+            active: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
             workers,
             backlog,
             api_key: config.api_key.clone(),
@@ -184,32 +217,36 @@ impl Server {
             shutdown: Arc::clone(&shutdown),
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(backlog);
-        let rx = Arc::new(Mutex::new(rx));
+        let (jobs_tx, jobs_rx) = std::sync::mpsc::sync_channel::<Job>(backlog);
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let rx = Arc::clone(&jobs_rx);
                 let state = Arc::clone(&state);
                 std::thread::spawn(move || worker_loop(&rx, &state))
             })
             .collect();
 
-        let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            let state = Arc::clone(&state);
-            std::thread::spawn(move || {
-                // `tx` lives in this thread: when the acceptor exits, the
-                // channel disconnects and the workers drain and stop.
-                accept_loop(&listener, &tx, &shutdown, &state);
-            })
-        };
+        // The reactor owns `jobs_tx`: when it exits, the channel
+        // disconnects and the workers drain and stop.
+        let (reactor, shared) = Reactor::new(
+            listener,
+            jobs_tx,
+            Arc::clone(&state),
+            config.max_connections,
+            config.outbox_bytes,
+        )?;
+        let reactor = std::thread::Builder::new()
+            .name("gvdb-reactor".into())
+            .spawn(move || reactor.run())?;
 
         Ok(Server {
             addr,
             shutdown,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             workers: worker_handles,
             state,
+            shared,
         })
     }
 
@@ -233,7 +270,8 @@ impl Server {
         self.state.served.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, drain queued connections, join every thread.
+    /// Stop the reactor (closing every connection), drain dispatched
+    /// requests, join every thread.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -244,7 +282,7 @@ impl Server {
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
             shutdown: Arc::clone(&self.shutdown),
-            addr: self.addr,
+            shared: Arc::clone(&self.shared),
         }
     }
 
@@ -252,8 +290,8 @@ impl Server {
     /// another thread, or the process being killed. Used by `gvdb serve`
     /// to park the main thread while the pool serves.
     pub fn wait(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            acceptor.join().ok();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join().ok();
         }
         for w in self.workers.drain(..) {
             w.join().ok();
@@ -262,10 +300,12 @@ impl Server {
 
     fn stop_and_join(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Nudge the blocking `accept` so the acceptor observes the flag.
-        TcpStream::connect(self.addr).ok();
-        if let Some(acceptor) = self.acceptor.take() {
-            acceptor.join().ok();
+        // The waker pipe interrupts the poll, so the reactor observes
+        // the flag immediately — no connect-nudge, no poll tick to wait
+        // out.
+        self.shared.wake();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join().ok();
         }
         for w in self.workers.drain(..) {
             w.join().ok();
@@ -275,7 +315,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.acceptor.is_some() {
+        if self.reactor.is_some() {
             self.stop_and_join();
         }
     }
@@ -286,220 +326,63 @@ impl Drop for Server {
 #[derive(Clone)]
 pub struct ShutdownHandle {
     shutdown: Arc<AtomicBool>,
-    addr: SocketAddr,
+    shared: Arc<ReactorShared>,
 }
 
 impl ShutdownHandle {
-    /// Stop the server: the acceptor observes the flag and exits, the
-    /// workers drain the queue, close persistent connections at the next
-    /// request boundary and stop, and any thread blocked in
-    /// [`Server::wait`] returns once they have joined.
+    /// Stop the server: the woken reactor closes every registered
+    /// connection and exits, the workers drain the dispatched requests
+    /// and stop, and any thread blocked in [`Server::wait`] returns
+    /// once they have joined.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Nudge the blocking `accept` so the acceptor observes the flag.
-        TcpStream::connect(self.addr).ok();
+        self.shared.wake();
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    tx: &SyncSender<TcpStream>,
-    shutdown: &AtomicBool,
-    state: &AppState,
-) {
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        // Count the connection as queued BEFORE it becomes visible to a
-        // worker — incrementing after try_send races the worker's
-        // decrement and would underflow the gauge.
-        state.queued.fetch_add(1, Ordering::SeqCst);
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
-                state.queued.fetch_sub(1, Ordering::SeqCst);
-                // Shed load instead of queueing without bound.
-                state.rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = stream.write_all(
-                    b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 26\r\nConnection: close\r\n\r\n{\"error\":\"server is full\"}",
-                );
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                state.queued.fetch_sub(1, Ordering::SeqCst);
-                break;
-            }
-        }
-    }
-}
-
-/// How long a worker waits on one request's bytes (headers/body) before
-/// giving up on the connection. Without this, `workers` silent sockets
-/// would wedge the whole bounded pool.
-const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// How long a persistent connection may sit idle between requests before
-/// the worker reclaims itself for the queue.
-const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(10);
-
-/// Idle-poll granularity: the worker re-checks the shutdown flag this
-/// often while parked on an idle connection, bounding shutdown latency.
-const IDLE_POLL: Duration = Duration::from_millis(250);
-
-/// Requests answered on one connection before the server rotates it out
-/// (bounds how long one client can monopolize a worker).
-const MAX_REQUESTS_PER_CONNECTION: usize = 10_000;
-
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &AppState) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, state: &AppState) {
     loop {
         // Hold the receiver lock only for the dequeue, not the
-        // connection's lifetime.
-        let stream = rx.lock().recv();
-        match stream {
-            Ok(stream) => {
-                state.queued.fetch_sub(1, Ordering::SeqCst);
-                handle_connection(stream, state);
+        // request's execution.
+        let job = rx.lock().recv();
+        match job {
+            Ok(job) => {
+                state.active.fetch_add(1, Ordering::SeqCst);
+                execute_job(job, state);
+                state.active.fetch_sub(1, Ordering::SeqCst);
             }
             Err(_) => break, // channel disconnected: shutting down
         }
     }
 }
 
-/// Outcome of waiting for the next request on a persistent connection.
-enum Wait {
-    /// Bytes are buffered and ready to parse.
-    Ready,
-    /// EOF, error, idle timeout or shutdown: close the connection.
-    Close,
-}
-
-/// Park on an idle connection until request bytes arrive, with short poll
-/// timeouts so the shutdown flag and the idle budget are honored.
-/// `fill_buf` only peeks — no request byte is consumed before
-/// `read_request` runs with the full I/O timeout.
-///
-/// `yield_to_queue` is set when at least one request was already served
-/// on this connection: a parked persistent connection then gives up as
-/// soon as other connections are waiting for a worker. A fresh
-/// connection never yields — it was just dequeued and is owed its first
-/// response.
-fn wait_for_request(
-    reader: &mut BufReader<TcpStream>,
-    state: &AppState,
-    yield_to_queue: bool,
-) -> Wait {
-    if !reader.buffer().is_empty() {
-        return Wait::Ready; // pipelined request already buffered
-    }
-    if reader.get_ref().set_read_timeout(Some(IDLE_POLL)).is_err() {
-        return Wait::Close;
-    }
-    let parked = Instant::now();
-    loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            return Wait::Close;
-        }
-        // Connections are waiting for a worker: hand this idle one back
-        // instead of letting a parked client starve the queue.
-        if yield_to_queue && state.queued.load(Ordering::SeqCst) > 0 {
-            return Wait::Close;
-        }
-        match reader.fill_buf() {
-            Ok([]) => return Wait::Close, // clean EOF
-            Ok(_) => return Wait::Ready,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if parked.elapsed() >= KEEP_ALIVE_IDLE {
-                    return Wait::Close;
-                }
-            }
-            Err(_) => return Wait::Close,
-        }
-    }
-}
-
-/// Serve one connection: request → response until the client closes,
-/// asks to close, errors, idles out, or the server shuts down.
-fn handle_connection(mut stream: TcpStream, state: &AppState) {
-    // Persistent connections + Nagle = ~40 ms stalls: the response's
-    // header and body segments would sit in the kernel waiting for the
-    // client's delayed ACK. Small-packet latency IS the product here.
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
-    let Ok(read_half) = stream.try_clone() else {
+/// Execute one dispatched request and push the encoded response into
+/// the connection's outbox. The worker never touches the socket, never
+/// blocks on the client, and is freed the moment the last byte is
+/// *queued* — draining is the reactor's job.
+fn execute_job(job: Job, state: &AppState) {
+    let Job {
+        conn,
+        request,
+        allow_keep_alive,
+    } = job;
+    // Whether this connection may stay open after the response,
+    // assuming the response itself succeeds. A streamed response must
+    // commit to the Connection header before the result exists, which
+    // is why errors after the first frame close the connection instead.
+    let reusable = request.keep_alive && allow_keep_alive && !state.shutdown.load(Ordering::SeqCst);
+    if let Some(api_request) = streamable_request(&request) {
+        state.served.fetch_add(1, Ordering::Relaxed);
+        serve_streamed(&api_request, state, &conn, reusable);
         return;
-    };
-    let mut reader = BufReader::new(read_half);
-    for served_here in 0..MAX_REQUESTS_PER_CONNECTION {
-        if let Wait::Close = wait_for_request(&mut reader, state, served_here > 0) {
-            break;
-        }
-        // Request bytes are arriving: switch to the full I/O timeout for
-        // the headers + body of this one request.
-        if reader
-            .get_ref()
-            .set_read_timeout(Some(CLIENT_IO_TIMEOUT))
-            .is_err()
-        {
-            break;
-        }
-        match http::read_request(&mut reader) {
-            Ok(request) => {
-                // Whether this connection may stay open after the
-                // response, assuming the response itself succeeds. A
-                // streamed response must commit to the Connection header
-                // before the result exists, which is why errors after the
-                // first frame close the connection instead.
-                let reusable = request.keep_alive
-                    && !state.shutdown.load(Ordering::SeqCst)
-                    && state.queued.load(Ordering::SeqCst) == 0
-                    && served_here + 1 < MAX_REQUESTS_PER_CONNECTION;
-                if let Some(api_request) = streamable_request(&request) {
-                    state.served.fetch_add(1, Ordering::Relaxed);
-                    match serve_streamed(&api_request, state, &mut stream, reusable) {
-                        StreamServe::Completed => {
-                            if !reusable {
-                                break;
-                            }
-                        }
-                        StreamServe::Failed(e) => {
-                            // Nothing was written yet: a plain buffered
-                            // error response (errors close).
-                            let _ = http::write_response(&mut stream, &v1_error(e), false);
-                            break;
-                        }
-                        StreamServe::Aborted => break,
-                    }
-                    continue;
-                }
-                let response = route(&request, state);
-                let keep_alive = reusable && response.is_success();
-                let written = http::write_response(&mut stream, &response, keep_alive);
-                state.served.fetch_add(1, Ordering::Relaxed);
-                if written.is_err() || !keep_alive {
-                    break;
-                }
-            }
-            Err(http::ReadError::Closed) => break,
-            Err(http::ReadError::Malformed) => {
-                let response = Response::error("400 Bad Request", "malformed request");
-                let _ = http::write_response(&mut stream, &response, false);
-                state.served.fetch_add(1, Ordering::Relaxed);
-                break;
-            }
-            Err(http::ReadError::BodyTooLarge) => {
-                let response = Response::error("413 Payload Too Large", "request body too large");
-                let _ = http::write_response(&mut stream, &response, false);
-                state.served.fetch_add(1, Ordering::Relaxed);
-                break;
-            }
-        }
     }
+    let response = route(&request, state);
+    let keep_alive = reusable && response.is_success();
+    state.served.fetch_add(1, Ordering::Relaxed);
+    // One response, one push: an empty outbox accepts it whatever its
+    // size, and a failed push means the connection is already gone.
+    let _ = conn.push(&http::encode_response(&response, keep_alive));
+    conn.finish(keep_alive);
 }
 
 // ---------------------------------------------------------------------------
@@ -563,87 +446,84 @@ fn wants_stream(request: &Request) -> bool {
     }
 }
 
-/// How a streamed request ended, from the connection's point of view.
-enum StreamServe {
-    /// The full frame sequence (and the terminating chunk) went out.
-    Completed,
-    /// The request failed before the first frame — nothing was written,
-    /// the caller sends a buffered error response.
-    Failed(ApiError),
-    /// The stream broke mid-flight (client disconnect, or a mid-stream
-    /// error reported as an `Error` frame): close the connection.
-    Aborted,
-}
-
-/// A [`FrameSink`] writing each frame as one HTTP chunk. The response
-/// head (status + `Transfer-Encoding: chunked`) goes out lazily with the
-/// first frame, so a request that fails up-front can still get a proper
-/// HTTP error status.
-struct HttpFrameSink<'a> {
-    stream: &'a mut TcpStream,
+/// A [`FrameSink`] queueing each frame as one HTTP chunk into the
+/// connection's bounded outbox. The response head (status +
+/// `Transfer-Encoding: chunked`) is queued lazily with the first frame,
+/// so a request that fails up-front can still get a proper HTTP error
+/// status.
+struct OutboxSink<'a> {
+    conn: &'a ConnHandle,
     keep_alive: bool,
     started: bool,
-    io_failed: bool,
+    push_failed: bool,
 }
 
-impl HttpFrameSink<'_> {
-    fn write_frame(&mut self, frame: &ApiFrame) -> std::io::Result<()> {
+impl OutboxSink<'_> {
+    fn push_frame(&mut self, frame: &ApiFrame) -> Result<(), gvdb_core::PushError> {
         if !self.started {
-            http::write_chunked_head(self.stream, self.keep_alive)?;
+            self.conn
+                .push_patient(http::chunked_head(self.keep_alive))?;
             self.started = true;
         }
         let mut payload = frame.to_json();
         payload.push('\n');
-        http::write_chunk(self.stream, payload.as_bytes())
+        self.conn
+            .push_patient(&http::encode_chunk(payload.as_bytes()))
     }
 }
 
-impl FrameSink for HttpFrameSink<'_> {
+impl FrameSink for OutboxSink<'_> {
     fn emit(&mut self, frame: &ApiFrame) -> gvdb_api::ApiResult<()> {
-        if self.write_frame(frame).is_err() {
-            // The client hung up (or stalled past the write timeout):
-            // abort the stream so the worker frees itself for the queue.
-            self.io_failed = true;
+        if self.push_frame(frame).is_err() {
+            // The connection is gone, or its reader stalled past the
+            // producer's patience (see ConnHandle::push_patient): abort
+            // the stream so the worker is freed. The reactor drains
+            // whatever is queued, then closes the connection.
+            self.push_failed = true;
             return Err(ApiError::internal("client disconnected mid-stream"));
         }
         Ok(())
     }
 }
 
-/// Serve one streamable request over chunked transfer-encoding.
-fn serve_streamed(
-    api_request: &ApiRequest,
-    state: &AppState,
-    stream: &mut TcpStream,
-    keep_alive: bool,
-) -> StreamServe {
-    let mut sink = HttpFrameSink {
-        stream,
+/// Serve one streamable request: frames go into the connection's outbox
+/// as HTTP chunks; the reactor drains them as the socket allows. Every
+/// outcome ends with [`ConnHandle::finish`], which tells the reactor
+/// how the response concluded once the outbox drains.
+fn serve_streamed(api_request: &ApiRequest, state: &AppState, conn: &ConnHandle, keep_alive: bool) {
+    let mut sink = OutboxSink {
+        conn,
         keep_alive,
         started: false,
-        io_failed: false,
+        push_failed: false,
     };
     match state.service.call_streamed(api_request, &mut sink) {
         Ok(()) => {
             debug_assert!(sink.started, "a successful stream emits frames");
-            match http::finish_chunked(sink.stream) {
-                Ok(()) => StreamServe::Completed,
-                Err(_) => StreamServe::Aborted,
+            match conn.push_patient(http::CHUNKED_END) {
+                Ok(()) => conn.finish(keep_alive),
+                Err(_) => conn.finish(false),
             }
         }
         Err(e) => {
-            if sink.io_failed {
-                return StreamServe::Aborted;
-            }
-            if sink.started {
-                // The header is out — the HTTP status is spent. Report
-                // the failure in-band as a terminal Error frame, close
-                // the chunk stream properly, then drop the connection.
-                let _ = sink.write_frame(&ApiFrame::Error(e));
-                let _ = http::finish_chunked(sink.stream);
-                StreamServe::Aborted
+            if sink.push_failed {
+                // The connection is doomed (closed, or its reader
+                // stalled out the stream): drain what's queued, then
+                // close.
+                conn.finish(false);
+            } else if sink.started {
+                // The chunked head is queued — the HTTP status is
+                // spent. Report the failure in-band as a terminal Error
+                // frame, close the chunk stream properly, then drop the
+                // connection.
+                let _ = sink.push_frame(&ApiFrame::Error(e));
+                let _ = conn.push(http::CHUNKED_END);
+                conn.finish(false);
             } else {
-                StreamServe::Failed(e)
+                // Nothing was queued yet: a plain buffered error
+                // response (errors close).
+                let _ = conn.push(&http::encode_response(&v1_error(e), false));
+                conn.finish(false);
             }
         }
     }
@@ -879,6 +759,11 @@ fn server_stats(state: &AppState, datasets: Vec<DatasetStats>) -> StatsDto {
         rejected: state.rejected.load(Ordering::Relaxed),
         workers: state.workers as u64,
         backlog: state.backlog as u64,
+        // Both gauges exclude the request reporting them (the worker
+        // building this response, the connection carrying it): an idle
+        // server reports zeros, so "quiescent" is directly observable.
+        active_workers: state.active.load(Ordering::SeqCst).saturating_sub(1),
+        open_connections: state.connections.load(Ordering::SeqCst).saturating_sub(1),
         datasets,
     }
 }

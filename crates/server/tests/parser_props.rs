@@ -1,0 +1,180 @@
+//! Property-based tests for the incremental HTTP parser.
+//!
+//! The reactor feeds the parser whatever byte slices the socket
+//! happened to deliver, so the one invariant everything rests on is
+//! *split independence*: however a byte stream is cut into `feed`
+//! calls, the parser must produce exactly the requests (and exactly the
+//! error, if any) that a single whole-buffer feed produces. And no
+//! input — valid, truncated, or garbage — may ever panic.
+
+use gvdb_server::parser::{ParseError, RequestParser};
+use gvdb_server::Request;
+use proptest::prelude::*;
+
+/// Feed `input` in one piece and drain everything available.
+fn parse_whole(input: &[u8]) -> (Vec<Request>, Option<ParseError>) {
+    let mut parser = RequestParser::new();
+    parser.feed(input);
+    let mut requests = Vec::new();
+    let err = drain_into(&mut parser, &mut requests);
+    (requests, err)
+}
+
+/// Feed `input` cut at the given split points (arbitrary indices, any
+/// order, duplicates fine), draining between feeds exactly the way the
+/// reactor drains after every socket read.
+fn parse_split(input: &[u8], splits: &[usize]) -> (Vec<Request>, Option<ParseError>) {
+    let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (input.len() + 1)).collect();
+    cuts.push(0);
+    cuts.push(input.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut parser = RequestParser::new();
+    let mut requests = Vec::new();
+    for pair in cuts.windows(2) {
+        parser.feed(&input[pair[0]..pair[1]]);
+        if let Some(err) = drain_into(&mut parser, &mut requests) {
+            return (requests, Some(err));
+        }
+    }
+    (requests, None)
+}
+
+fn drain_into(parser: &mut RequestParser, out: &mut Vec<Request>) -> Option<ParseError> {
+    loop {
+        match parser.try_next() {
+            Ok(Some(request)) => out.push(request),
+            Ok(None) => return None,
+            Err(e) => return Some(e),
+        }
+    }
+}
+
+/// One syntactically valid request, rendered to wire bytes.
+fn arb_request() -> impl Strategy<Value = Vec<u8>> {
+    let method = prop::sample::select(vec!["GET", "POST", "put", "DELETE", "patch"]);
+    let path = "[a-z0-9/]{0,24}";
+    let query = prop::collection::vec(("[a-z]{1,6}", "[a-zA-Z0-9.%+-]{0,10}"), 0..4);
+    let extra_headers = prop::collection::vec(("[A-Za-z]{1,12}", "[a-zA-Z0-9 ./;=-]{0,20}"), 0..4);
+    let accept = prop::option::of(prop::sample::select(vec![
+        "application/json",
+        "application/x-ndjson",
+        "*/*",
+    ]));
+    let connection = prop::option::of(prop::sample::select(vec!["close", "keep-alive"]));
+    let body = prop::collection::vec(0x20u8..0x7f, 0..64);
+    (
+        (method, path, query),
+        (extra_headers, accept, connection, body),
+    )
+        .prop_map(
+            |((method, path, query), (extra, accept, connection, body))| {
+                let mut target = format!("/{path}");
+                if !query.is_empty() {
+                    let pairs: Vec<String> =
+                        query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    target = format!("{target}?{}", pairs.join("&"));
+                }
+                let mut wire = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+                for (name, value) in extra {
+                    // The semantically meaningful headers are generated
+                    // explicitly below, never as random extras.
+                    if ["connection", "accept", "authorization"]
+                        .contains(&name.to_ascii_lowercase().as_str())
+                    {
+                        continue;
+                    }
+                    wire.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+                }
+                if let Some(a) = accept {
+                    wire.extend_from_slice(format!("Accept: {a}\r\n").as_bytes());
+                }
+                if let Some(c) = connection {
+                    wire.extend_from_slice(format!("Connection: {c}\r\n").as_bytes());
+                }
+                if !body.is_empty() {
+                    wire.extend_from_slice(
+                        format!("Content-Length: {}\r\n", body.len()).as_bytes(),
+                    );
+                }
+                wire.extend_from_slice(b"\r\n");
+                wire.extend_from_slice(&body);
+                wire
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Valid pipelined streams: every split of the same bytes parses to
+    /// the identical request sequence, with no error and nothing left
+    /// over.
+    #[test]
+    fn split_feeding_matches_whole_buffer_for_valid_streams(
+        requests in prop::collection::vec(arb_request(), 1..6),
+        splits in prop::collection::vec(0usize..4096, 0..24),
+    ) {
+        let stream: Vec<u8> = requests.concat();
+        let (whole, whole_err) = parse_whole(&stream);
+        prop_assert_eq!(whole_err, None);
+        prop_assert_eq!(whole.len(), requests.len());
+
+        let (split, split_err) = parse_split(&stream, &splits);
+        prop_assert_eq!(split_err, None);
+        prop_assert_eq!(split, whole);
+    }
+
+    /// A truncated valid stream never errors: the parser yields the
+    /// complete prefix requests and then waits for more bytes.
+    #[test]
+    fn truncation_is_a_wait_not_an_error(
+        requests in prop::collection::vec(arb_request(), 1..4),
+        cut in 0usize..4096,
+        splits in prop::collection::vec(0usize..4096, 0..12),
+    ) {
+        let stream: Vec<u8> = requests.concat();
+        let cut = cut % stream.len();
+        let (whole, whole_err) = parse_whole(&stream[..cut]);
+        prop_assert_eq!(whole_err, None);
+        prop_assert!(whole.len() < requests.len());
+        let (split, split_err) = parse_split(&stream[..cut], &splits);
+        prop_assert_eq!(split_err, None);
+        prop_assert_eq!(split, whole);
+    }
+
+    /// Arbitrary garbage: never a panic, and split independence still
+    /// holds — the same requests (usually none) and the same verdict.
+    #[test]
+    fn garbage_never_panics_and_splits_agree(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+        splits in prop::collection::vec(0usize..2048, 0..16),
+    ) {
+        let (whole, whole_err) = parse_whole(&bytes);
+        let (split, split_err) = parse_split(&bytes, &splits);
+        prop_assert_eq!(split_err, whole_err);
+        prop_assert_eq!(split, whole);
+    }
+
+    /// Newline-rich garbage exercises the header-scanning loop much
+    /// harder than uniform random bytes (which rarely contain the
+    /// "\r\n\r\n" terminator at all).
+    #[test]
+    fn structured_garbage_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "GET ", "/ ", "HTTP/1.1", "\r\n", "\n", "\r", ": ",
+                "Content-Length: ", "-1", "99999999999999999999",
+                "Connection", "close", " ", "\0", "é", "?a=b",
+            ]),
+            0..64,
+        ),
+        splits in prop::collection::vec(0usize..1024, 0..16),
+    ) {
+        let bytes: Vec<u8> = tokens.concat().into_bytes();
+        let (whole, whole_err) = parse_whole(&bytes);
+        let (split, split_err) = parse_split(&bytes, &splits);
+        prop_assert_eq!(split_err, whole_err);
+        prop_assert_eq!(split, whole);
+    }
+}

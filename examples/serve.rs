@@ -45,7 +45,19 @@ fn main() {
     workspace.add("dblp", rdf_db).expect("register dblp");
     workspace.add("patents", cite_db).expect("register patents");
 
-    let server = Server::start(workspace, ServerConfig::default()).expect("bind");
+    // The event-driven core makes connection capacity explicit: idle
+    // keep-alive connections cost a registered fd in the reactor, not a
+    // thread, so `max_connections` can dwarf `workers`. `outbox_bytes`
+    // bounds the per-connection response queue a slow reader can pin.
+    let server = Server::start(
+        workspace,
+        ServerConfig {
+            max_connections: 1024,
+            outbox_bytes: 1 << 20,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
     let addr = server.addr();
     println!("graphvizdb serving 2 datasets on http://{addr} (v1 API + legacy shims)");
 

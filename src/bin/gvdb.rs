@@ -10,9 +10,11 @@
 //! gvdb stats <db>
 //! gvdb serve <db> | <name>=<path>... | --workspace <dir>
 //!            [--addr HOST:PORT] [--workers N] [--backlog N]
+//!            [--max-connections N] [--outbox-bytes N]
 //!            [--api-key KEY] [--read-only DATASET]...
 //! gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--http-out FILE]
-//!                  [--stream-out FILE] [--nodes N] [--pans K] [--overlap F]
+//!                  [--stream-out FILE] [--connections-out FILE]
+//!                  [--nodes N] [--pans K] [--overlap F]
 //! ```
 //!
 //! `serve` binds a multi-dataset workspace behind the `/v1` API: a single
@@ -67,9 +69,11 @@ const USAGE: &str = "usage:
   gvdb stats <db>
   gvdb serve <db> | <name>=<path>... | --workspace <dir>
              [--addr HOST:PORT] [--workers N] [--backlog N]
+             [--max-connections N] [--outbox-bytes N]
              [--api-key KEY] [--read-only DATASET]...
   gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--http-out FILE]
-                   [--stream-out FILE] [--nodes N] [--pans K] [--overlap F]";
+                   [--stream-out FILE] [--connections-out FILE]
+                   [--nodes N] [--pans K] [--overlap F]";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -267,6 +271,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --backlog {backlog}"))?;
     }
+    if let Some(max) = flag(args, "--max-connections") {
+        config.max_connections = max
+            .parse()
+            .map_err(|_| format!("bad --max-connections {max}"))?;
+    }
+    if let Some(bytes) = flag(args, "--outbox-bytes") {
+        config.outbox_bytes = bytes
+            .parse()
+            .map_err(|_| format!("bad --outbox-bytes {bytes}"))?;
+    }
     if let Some(key) = flag(args, "--api-key") {
         config.api_key = Some(key.to_string());
     }
@@ -302,6 +316,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "--addr",
         "--workers",
         "--backlog",
+        "--max-connections",
+        "--outbox-bytes",
         "--workspace",
         "--api-key",
         "--read-only",
@@ -504,7 +520,175 @@ fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
     let stream_out = flag(args, "--stream-out").unwrap_or("BENCH_stream.json");
     bench_stream(Path::new(&path), &bounds, stream_out)?;
 
+    let connections_out = flag(args, "--connections-out").unwrap_or("BENCH_connections.json");
+    bench_connections(Path::new(&path), &bounds, connections_out)?;
+
     std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+/// The connection-scaling smoke bench for the event-driven server core:
+/// an active client's cache-hit `/v1/window` latency is measured twice on
+/// a `--workers 4` server — first with 10 idle keep-alive connections
+/// open, then with 1000. Idle connections are just registered fds in the
+/// reactor (no thread, no worker), so the loaded median must stay within
+/// 1.5x of the baseline. Every idle connection is proven live with one
+/// served request when opened and one more after the measurement.
+fn bench_connections(
+    db_path: &Path,
+    bounds: &graphvizdb::spatial::Rect,
+    out: &str,
+) -> Result<(), String> {
+    use graphvizdb::api::ApiResponse;
+    use graphvizdb::server::{Server, ServerConfig};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const IDLE_BASELINE: usize = 10;
+    const IDLE_LOADED: usize = 1000;
+    const REQUESTS: usize = 200;
+    const TARGET_RATIO: f64 = 1.5;
+
+    let qm = Arc::new(QueryManager::new(
+        GraphDb::open(db_path).map_err(|e| e.to_string())?,
+    ));
+    let server = Server::start(
+        qm,
+        ServerConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    let side = (bounds.width().min(bounds.height()) * 0.25).max(1.0);
+    let target = format!(
+        "/v1/window?stream=0&layer=0&minx={:.1}&miny={:.1}&maxx={:.1}&maxy={:.1}",
+        bounds.min_x,
+        bounds.min_y,
+        bounds.min_x + side,
+        bounds.min_y + side
+    );
+    let request_bytes = format!("GET {target} HTTP/1.1\r\nHost: b\r\n\r\n").into_bytes();
+
+    fn read_response(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                return Err("connection closed mid-response".into());
+            }
+            if line == "\r\n" {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().map_err(|_| "bad content-length")?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+        String::from_utf8(body).map_err(|e| e.to_string())
+    }
+
+    struct Conn {
+        writer: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+    let open_conn = |request: &[u8]| -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        let writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut conn = Conn {
+            writer,
+            reader: BufReader::new(stream),
+        };
+        // Prove the connection live (and registered) with one request.
+        conn.writer.write_all(request).map_err(|e| e.to_string())?;
+        read_response(&mut conn.reader)?;
+        Ok(conn)
+    };
+    let measure = |request: &[u8]| -> Result<f64, String> {
+        let mut active = open_conn(request)?;
+        let mut ms = Vec::with_capacity(REQUESTS);
+        for _ in 0..REQUESTS {
+            let t = Instant::now();
+            active
+                .writer
+                .write_all(request)
+                .map_err(|e| e.to_string())?;
+            read_response(&mut active.reader)?;
+            ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(ms[ms.len() / 2])
+    };
+    let open_connections_gauge = || -> Result<u64, String> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        write!(
+            stream,
+            "GET /v1/stats HTTP/1.1\r\nHost: b\r\nAccept: application/json\r\nConnection: close\r\n\r\n"
+        )
+        .map_err(|e| e.to_string())?;
+        let body = read_response(&mut BufReader::new(stream))?;
+        match ApiResponse::from_json(&body) {
+            Ok(ApiResponse::Stats(stats)) => Ok(stats.open_connections),
+            other => Err(format!("not a stats response: {other:?}")),
+        }
+    };
+
+    // Warm the window cache so the active client measures the hit path.
+    let mut idle: Vec<Conn> = Vec::with_capacity(IDLE_LOADED);
+    idle.push(open_conn(&request_bytes)?);
+
+    // Baseline: 10 idle keep-alive connections open.
+    while idle.len() < IDLE_BASELINE {
+        idle.push(open_conn(&request_bytes)?);
+    }
+    let baseline_median = measure(&request_bytes)?;
+
+    // Loaded: 1000 idle keep-alive connections open, all simultaneously
+    // registered (the stats gauge proves it — it excludes its own probe).
+    while idle.len() < IDLE_LOADED {
+        idle.push(open_conn(&request_bytes)?);
+    }
+    let open_now = open_connections_gauge()?;
+    if (open_now as usize) < IDLE_LOADED {
+        return Err(format!(
+            "only {open_now} connections open, expected >= {IDLE_LOADED}"
+        ));
+    }
+    let loaded_median = measure(&request_bytes)?;
+
+    // Every idle connection still serves (in opening order, so none has
+    // sat idle past the keep-alive budget).
+    for (i, conn) in idle.iter_mut().enumerate() {
+        conn.writer
+            .write_all(&request_bytes)
+            .map_err(|e| format!("idle connection {i} is dead: {e}"))?;
+        read_response(&mut conn.reader).map_err(|e| format!("idle connection {i}: {e}"))?;
+    }
+    server.shutdown();
+
+    let ratio = if baseline_median > 0.0 {
+        loaded_median / baseline_median
+    } else {
+        f64::INFINITY
+    };
+    let json = format!(
+        "{{\n  \"path\": \"cache-hit /v1/window\",\n  \"workers\": 4,\n  \"requests\": {REQUESTS},\n  \"idle_connections_baseline\": {IDLE_BASELINE},\n  \"idle_connections_loaded\": {IDLE_LOADED},\n  \"open_connections_observed\": {open_now},\n  \"baseline_median_ms\": {baseline_median:.4},\n  \"loaded_median_ms\": {loaded_median:.4},\n  \"latency_ratio\": {ratio:.3},\n  \"target_ratio\": {TARGET_RATIO}\n}}\n"
+    );
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("{json}");
+    println!(
+        "wrote {out}: active median {loaded_median:.3} ms with {IDLE_LOADED} idle connections vs {baseline_median:.3} ms with {IDLE_BASELINE} ({ratio:.2}x)"
+    );
+    if ratio > TARGET_RATIO {
+        eprintln!(
+            "warning: latency ratio {ratio:.2}x exceeds the {TARGET_RATIO}x target under idle-connection load"
+        );
+    }
     Ok(())
 }
 

@@ -3,9 +3,10 @@
 //! The build environment has no crates.io access, so this crate
 //! re-implements the slice of proptest this workspace's property tests
 //! use: the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and
-//! tuple strategies, [`collection::vec`], [`bool::ANY`], [`any`],
-//! string-from-pattern strategies, [`ProptestConfig::with_cases`] and the
-//! `prop_assert*` macros.
+//! tuple strategies, [`collection::vec`], [`sample::select`],
+//! [`option::of`], [`bool::ANY`], [`any`], string-from-pattern
+//! strategies, [`ProptestConfig::with_cases`] and the `prop_assert*`
+//! macros.
 //!
 //! Differences from real proptest, by design:
 //!
@@ -343,10 +344,59 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// The strategy type behind [`select()`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Pick uniformly from `options` (which must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() from an empty list");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.usize_in(0, self.0.len())].clone()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// The strategy type behind [`of()`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` half the time, `Some` of the inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 /// The `prop::` namespace alias used by `use proptest::prelude::*` code.
 pub mod prop {
     pub use crate::bool;
     pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
 }
 
 /// Everything a property-test file needs in scope.
@@ -462,6 +512,19 @@ mod tests {
         #[test]
         fn any_u64_works(x in any::<u64>()) {
             let _ = x;
+        }
+
+        #[test]
+        fn select_picks_from_the_list(x in prop::sample::select(vec![2u32, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&x));
+        }
+
+        #[test]
+        fn option_of_covers_both_arms(x in prop::option::of(1u32..5)) {
+            match x {
+                None => {}
+                Some(v) => prop_assert!((1..5).contains(&v)),
+            }
         }
     }
 
