@@ -121,15 +121,18 @@ impl Outbox {
 
     /// Producer side: block until the consumer drains some bytes or
     /// closes the queue (then retry the push), or `timeout` passes
-    /// (then decide whether to keep waiting). Returns `true` when drain
-    /// progress or a close happened, `false` on a quiet timeout.
+    /// (then decide whether to keep waiting). Returns `true` only when
+    /// room or a close is actually observed — a spurious condvar wakeup
+    /// reads as a quiet timeout, so callers metering stall windows on
+    /// this result (see the server's `push_patient`) are not fooled
+    /// into counting phantom progress.
     pub fn wait_drain(&self, timeout: Duration) -> bool {
         let inner = self.inner.lock().unwrap();
         if inner.closed || inner.buf.len() < self.budget {
             return true;
         }
-        let (_inner, result) = self.drained.wait_timeout(inner, timeout).unwrap();
-        !result.timed_out()
+        let (inner, _result) = self.drained.wait_timeout(inner, timeout).unwrap();
+        inner.closed || inner.buf.len() < self.budget
     }
 
     /// Producer side: the response is complete; after the pending bytes

@@ -499,11 +499,14 @@ fn serve_streamed(api_request: &ApiRequest, state: &AppState, conn: &ConnHandle,
     };
     match state.service.call_streamed(api_request, &mut sink) {
         Ok(()) => {
-            debug_assert!(sink.started, "a successful stream emits frames");
-            match conn.push_patient(http::CHUNKED_END) {
-                Ok(()) => conn.finish(keep_alive),
-                Err(_) => conn.finish(false),
-            }
+            // A conforming service emits Header…Trailer frames before
+            // succeeding, but a degenerate frameless success must still
+            // produce a well-formed response: queue the chunked head
+            // before the terminator rather than emit a bare `0\r\n\r\n`.
+            let complete = (sink.started
+                || conn.push_patient(http::chunked_head(keep_alive)).is_ok())
+                && conn.push_patient(http::CHUNKED_END).is_ok();
+            conn.finish(complete && keep_alive);
         }
         Err(e) => {
             if sink.push_failed {
@@ -632,7 +635,8 @@ fn authorize(
     }
     if let Some(key) = &state.api_key {
         let expected = format!("Bearer {key}");
-        if request.authorization.as_deref() != Some(expected.as_str()) {
+        let presented = request.authorization.as_deref().unwrap_or("");
+        if !constant_time_eq(presented.as_bytes(), expected.as_bytes()) {
             return Err(ApiError::unauthorized(
                 "this operation requires 'Authorization: Bearer <api-key>'",
             ));
@@ -658,6 +662,14 @@ fn authorize(
         }
     }
     Ok(())
+}
+
+/// Credential comparison that doesn't leak how long a correct prefix
+/// the caller guessed: the XOR fold touches every byte pair regardless
+/// of where the first mismatch sits. (Length mismatch returns early —
+/// the header's length is observable from the request anyway.)
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
 }
 
 /// Parse a mutation body. Insertions accept `{"dataset":…,"layer":…,

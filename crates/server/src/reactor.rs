@@ -89,6 +89,11 @@ pub(crate) const PRODUCER_STALL_TIMEOUT: Duration = Duration::from_secs(2);
 /// trickling reader cannot hold a worker past this.
 pub(crate) const PRODUCER_PATIENCE: Duration = Duration::from_secs(20);
 
+/// Consecutive [`Poller::wait`] failures tolerated (with a sweep-length
+/// back-off between retries) before the reactor declares the poller
+/// unusable and shuts the server down.
+const MAX_WAIT_ERRORS: u32 = 40;
+
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKER: u64 = 1;
 const TOKEN_FIRST_CONN: u64 = 2;
@@ -264,9 +269,27 @@ impl Reactor {
     pub fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
         let mut last_sweep = Instant::now();
+        let mut wait_errors = 0u32;
         loop {
             events.clear();
-            let _ = self.poller.wait(&mut events, SWEEP_MS);
+            match self.poller.wait(&mut events, SWEEP_MS) {
+                Ok(()) => wait_errors = 0,
+                Err(e) => {
+                    // `wait` already swallows EINTR, so this is a real
+                    // poller failure (e.g. EBADF from fd accounting
+                    // gone wrong). Back off so a persistent failure
+                    // doesn't busy-loop at 100% CPU, and give up on the
+                    // server entirely if it never recovers.
+                    wait_errors += 1;
+                    eprintln!("gvdb-server: reactor poll failed ({wait_errors}): {e}");
+                    if wait_errors >= MAX_WAIT_ERRORS {
+                        eprintln!("gvdb-server: poller unusable; shutting down");
+                        self.state.shutdown.store(true, Ordering::SeqCst);
+                    } else {
+                        std::thread::sleep(Duration::from_millis(SWEEP_MS as u64));
+                    }
+                }
+            }
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -573,8 +596,15 @@ impl Reactor {
                 } else if conn.parser.mid_request() {
                     // A started request must complete within the total
                     // budget, however slowly it dribbles (slowloris).
+                    // `request_start` is cleared when a request parses,
+                    // so bytes left over behind a completed request have
+                    // no start yet — fall back to the idle clock there,
+                    // or a client parking trailing garbage after its
+                    // last request would hold the slot forever.
                     conn.request_start
-                        .is_some_and(|start| now.duration_since(start) > CLIENT_IO_TIMEOUT)
+                        .map_or(idle > CLIENT_IO_TIMEOUT, |start| {
+                            now.duration_since(start) > CLIENT_IO_TIMEOUT
+                        })
                 } else {
                     idle > KEEP_ALIVE_IDLE
                 }
@@ -584,5 +614,110 @@ impl Reactor {
         for token in stale {
             self.close_conn(token);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::mpsc::{sync_channel, Receiver};
+
+    /// A reactor with one accepted connection, driven by hand (no event
+    /// loop): the sweep tests manipulate connection clocks directly.
+    fn reactor_with_one_conn() -> (Reactor, TcpStream, Receiver<Job>, u64) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let (jobs, jobs_rx) = sync_channel(4);
+        let state = Arc::new(AppState {
+            service: Arc::new(gvdb_core::SharedWorkspace::new()),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            workers: 1,
+            backlog: 4,
+            api_key: None,
+            read_only: Vec::new(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        let (mut reactor, _shared) = Reactor::new(listener, jobs, state, 16, 1024).unwrap();
+        let client = TcpStream::connect(addr).expect("connect");
+        reactor.accept_ready();
+        assert_eq!(reactor.conns.len(), 1, "connection accepted");
+        let token = *reactor.conns.keys().next().unwrap();
+        (reactor, client, jobs_rx, token)
+    }
+
+    fn long_ago() -> Instant {
+        Instant::now()
+            .checked_sub(CLIENT_IO_TIMEOUT + Duration::from_secs(1))
+            .expect("host uptime exceeds the timeout")
+    }
+
+    /// Regression: a request parses, trailing partial bytes stay
+    /// buffered (`mid_request()` true) but `request_start` was cleared
+    /// by the parse. The sweep must fall back to the idle clock — before
+    /// the fix this state matched no reap branch and the connection
+    /// (and its `max_connections` slot) leaked forever.
+    #[test]
+    fn sweep_reaps_stale_leftover_bytes_without_a_request_start() {
+        let (mut reactor, _client, _jobs_rx, token) = reactor_with_one_conn();
+        let conn = reactor.conns.get_mut(&token).unwrap();
+        conn.parser.feed(b"GET /nex");
+        conn.request_start = None;
+        conn.last_activity = long_ago();
+        reactor.sweep();
+        assert!(
+            reactor.conns.is_empty(),
+            "stale mid-request connection with no start stamp must be reaped"
+        );
+    }
+
+    #[test]
+    fn sweep_reaps_a_slowloris_past_its_request_budget() {
+        let (mut reactor, _client, _jobs_rx, token) = reactor_with_one_conn();
+        let conn = reactor.conns.get_mut(&token).unwrap();
+        conn.parser.feed(b"GET /dribble");
+        conn.request_start = Some(long_ago());
+        // Recent socket activity must not save it: the slowloris budget
+        // is total time since the request started, not since last byte.
+        conn.last_activity = Instant::now();
+        reactor.sweep();
+        assert!(
+            reactor.conns.is_empty(),
+            "over-budget request must be reaped"
+        );
+    }
+
+    #[test]
+    fn sweep_keeps_fresh_and_in_flight_connections() {
+        let (mut reactor, _client, _jobs_rx, token) = reactor_with_one_conn();
+        {
+            let conn = reactor.conns.get_mut(&token).unwrap();
+            conn.parser.feed(b"GET /");
+            conn.request_start = Some(Instant::now());
+        }
+        reactor.sweep();
+        assert_eq!(reactor.conns.len(), 1, "in-budget request survives");
+
+        // A dispatched request stops the client's clocks entirely: the
+        // worker is computing, the client owes nothing.
+        {
+            let conn = reactor.conns.get_mut(&token).unwrap();
+            conn.in_flight = true;
+            conn.request_start = None;
+            conn.last_activity = long_ago();
+        }
+        reactor.sweep();
+        assert_eq!(reactor.conns.len(), 1, "in-flight connection survives");
+    }
+
+    #[test]
+    fn sweep_reaps_idle_keep_alive_past_budget() {
+        let (mut reactor, _client, _jobs_rx, token) = reactor_with_one_conn();
+        reactor.conns.get_mut(&token).unwrap().last_activity = long_ago();
+        reactor.sweep();
+        assert!(reactor.conns.is_empty(), "stale idle connection reaped");
     }
 }
