@@ -17,10 +17,14 @@
 //!   before any row is fetched into the response, so time-to-first-frame
 //!   is independent of window size.
 //! * [`ApiFrame::Rows`] — one batch of results: a self-contained graph
-//!   fragment (`{"nodes":[…],"edges":[…]}`, nodes deduplicated within the
-//!   batch — clients merge by id) or a batch of search hits. Delta pans
-//!   emit **reused** batches first, then fetched arrivals, so the client
-//!   can repaint the kept region immediately.
+//!   fragment (`{"nodes":[…],"edges":[…]}`, nodes deduplicated across the
+//!   stream — clients merge by id) or a batch of search hits. Graph
+//!   frames are **disjoint contiguous slices of the buffered payload**:
+//!   concatenating every frame's node bodies (and edge bodies) in order
+//!   reassembles the buffered envelope's graph byte-for-byte — see
+//!   [`reassemble_graph`]. On delta pans, each frame's `reused` flag says
+//!   whether its rows are pure kept region, so the client can repaint
+//!   those immediately.
 //! * [`ApiFrame::Progress`] — rows sent so far vs total, for progress UI.
 //! * [`ApiFrame::Trailer`] — the stats the buffered envelope carries in
 //!   `X-Gvdb-*` headers (source, reused/fetched counts) plus the layer
@@ -66,8 +70,10 @@ pub struct FrameHeader {
 /// One batch of streamed results.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RowBatch {
-    /// A self-contained graph fragment: nodes deduplicated within the
-    /// batch, clients merge batches by object id.
+    /// A self-contained graph fragment: nodes deduplicated across the
+    /// stream, clients merge batches by object id. The fragments of one
+    /// stream are disjoint contiguous slices of the buffered payload;
+    /// [`reassemble_graph`] glues them back byte-for-byte.
     Graph {
         /// The fragment as raw JSON (`{"nodes":[…],"edges":[…]}`),
         /// spliced verbatim into the frame.
@@ -76,8 +82,9 @@ pub enum RowBatch {
         nodes: u64,
         /// Edge objects in the fragment.
         edges: u64,
-        /// Whether the batch was reused from the delta anchor (reused
-        /// batches stream before fetched arrivals).
+        /// Whether every row in the batch was reused from the cache /
+        /// delta anchor (false as soon as one row was heap-fetched for
+        /// this response).
         reused: bool,
     },
     /// A batch of keyword-search hits.
@@ -329,6 +336,66 @@ impl ApiFrame {
     }
 }
 
+/// Split one graph fragment (`{"nodes":[…],"edges":[…]}`) into its node
+/// and edge array bodies. String-aware: a label may legally embed the
+/// `],"edges":[` separator, so the scan tracks JSON string state instead
+/// of pattern-matching blindly.
+fn split_graph_fragment(fragment: &str) -> Option<(&str, &str)> {
+    const PREFIX: &str = "{\"nodes\":[";
+    const SEP: &str = "],\"edges\":[";
+    const SUFFIX: &str = "]}";
+    let body = fragment.strip_prefix(PREFIX)?;
+    let bytes = body.as_bytes();
+    let (mut in_string, mut escaped) = (false, false);
+    for i in 0..bytes.len() {
+        if !in_string && bytes[i..].starts_with(SEP.as_bytes()) {
+            let edges = body[i + SEP.len()..].strip_suffix(SUFFIX)?;
+            return Some((&body[..i], edges));
+        }
+        let b = bytes[i];
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else if b == b'"' {
+            in_string = true;
+        }
+    }
+    None
+}
+
+/// Reassemble the buffered graph payload from the streamed fragments of
+/// one window, in emission order. Streamed v2 frames are disjoint
+/// contiguous slices of the buffered payload, so the result is
+/// **byte-identical** to the buffered envelope's `graph` member — the
+/// property the streaming tests pin down. Returns a typed error on a
+/// fragment that is not of the `{"nodes":[…],"edges":[…]}` shape.
+pub fn reassemble_graph<'a, I>(fragments: I) -> ApiResult<String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut nodes = String::new();
+    let mut edges = String::new();
+    for fragment in fragments {
+        let (n, e) = split_graph_fragment(fragment)
+            .ok_or_else(|| ApiError::bad_request("malformed graph fragment"))?;
+        for (body, out) in [(n, &mut nodes), (e, &mut edges)] {
+            if body.is_empty() {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(',');
+            }
+            out.push_str(body);
+        }
+    }
+    Ok(format!("{{\"nodes\":[{nodes}],\"edges\":[{edges}]}}"))
+}
+
 /// Encoded bytes a graph [`ApiFrame::Rows`] envelope adds around its
 /// payload (the `{"frame":"rows",…,"graph":…}` wrapper) — what the Fig. 3
 /// cost model charges per streamed chunk on top of the payload itself.
@@ -431,6 +498,29 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind, crate::ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn reassembly_glues_fragments_back_together() {
+        let full =
+            "{\"nodes\":[{\"id\":1},{\"id\":2},{\"id\":3}],\"edges\":[{\"id\":9},{\"id\":10}]}";
+        let frames = [
+            "{\"nodes\":[{\"id\":1},{\"id\":2}],\"edges\":[{\"id\":9}]}",
+            "{\"nodes\":[{\"id\":3}],\"edges\":[{\"id\":10}]}",
+        ];
+        assert_eq!(reassemble_graph(frames).unwrap(), full);
+        // Frames with an empty side contribute nothing but stay legal.
+        let sparse = [
+            "{\"nodes\":[{\"id\":1},{\"id\":2},{\"id\":3}],\"edges\":[{\"id\":9}]}",
+            "{\"nodes\":[],\"edges\":[{\"id\":10}]}",
+        ];
+        assert_eq!(reassemble_graph(sparse).unwrap(), full);
+        assert_eq!(reassemble_graph([]).unwrap(), "{\"nodes\":[],\"edges\":[]}");
+        // A label embedding the separator must not fool the splitter.
+        let hostile =
+            "{\"nodes\":[{\"id\":1,\"label\":\"],\\\"edges\\\":[\"}],\"edges\":[{\"id\":7}]}";
+        assert_eq!(reassemble_graph([hostile]).unwrap(), hostile);
+        assert!(reassemble_graph(["{\"rows\":[]}"]).is_err());
     }
 
     #[test]

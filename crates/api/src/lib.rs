@@ -35,8 +35,8 @@ pub mod frame;
 pub mod json;
 
 pub use frame::{
-    rows_envelope_bytes, ApiFrame, FrameHeader, ProgressFrame, RowBatch, TrailerFrame,
-    DEFAULT_CHUNK_ROWS,
+    reassemble_graph, rows_envelope_bytes, ApiFrame, FrameHeader, ProgressFrame, RowBatch,
+    TrailerFrame, DEFAULT_CHUNK_ROWS,
 };
 pub use json::{escape_into, Json};
 
@@ -502,6 +502,13 @@ pub struct StatsDto {
     /// keep-alive connections included — each costs a registered fd,
     /// not a thread).
     pub open_connections: u64,
+    /// CPU cores the server saw at startup — read alongside the
+    /// per-shard arrays: pool and cache stripe counts default to
+    /// `min(16, max(2, 2 × cpus))`.
+    pub cpus: u64,
+    /// The shards-vs-cores sizing policy in force, as a human-readable
+    /// note (e.g. `"min(16, max(2, 2*cpus))"`).
+    pub shards_policy: String,
     /// Per-dataset statistics.
     pub datasets: Vec<DatasetStats>,
 }
@@ -1111,6 +1118,11 @@ impl ApiResponse {
                     "open_connections".into(),
                     Json::uint(stats.open_connections),
                 ));
+                members.push(("cpus".into(), Json::uint(stats.cpus)));
+                members.push((
+                    "shards_policy".into(),
+                    Json::Str(stats.shards_policy.clone()),
+                ));
                 members.push((
                     "datasets".into(),
                     Json::Arr(stats.datasets.iter().map(DatasetStats::to_value).collect()),
@@ -1207,6 +1219,12 @@ impl ApiResponse {
                     .get("open_connections")
                     .and_then(Json::as_u64)
                     .unwrap_or(0),
+                cpus: v.get("cpus").and_then(Json::as_u64).unwrap_or(0),
+                shards_policy: v
+                    .get("shards_policy")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
                 datasets: need(&v, "datasets")?
                     .as_arr()
                     .ok_or_else(|| ApiError::bad_request("datasets must be an array"))?

@@ -218,6 +218,8 @@ fn every_response_variant_roundtrips() {
         backlog: 64,
         active_workers: 2,
         open_connections: 37,
+        cpus: 8,
+        shards_policy: "min(16, max(2, 2*cpus))".into(),
         datasets: vec![DatasetStats {
             name: "default".into(),
             epochs: vec![3, 0, 0],

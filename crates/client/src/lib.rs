@@ -43,7 +43,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the client waits for a connect, a request write, or a
 /// response read before giving up on the attempt.
@@ -464,6 +464,7 @@ impl GvdbClient {
     }
 
     fn open_stream(&self, path: &str) -> Result<WindowStream> {
+        let started = Instant::now();
         let (mut reader, status, headers) = self.send(path, "GET", "", false)?;
         if status != 200 {
             // Errors before the first frame are plain buffered responses.
@@ -499,6 +500,9 @@ impl GvdbClient {
             pool: Arc::clone(&self.pool),
             addr: self.addr.clone(),
             keep_alive,
+            started,
+            header_ms: 0.0,
+            first_rows_ms: None,
         };
         match stream.frames.next_frame()? {
             Some(ApiFrame::Header(h)) => stream.header = h,
@@ -510,6 +514,7 @@ impl GvdbClient {
             }
             None => return Err(ClientError::Protocol("empty stream".into())),
         }
+        stream.header_ms = started.elapsed().as_secs_f64() * 1e3;
         Ok(stream)
     }
 
@@ -733,6 +738,23 @@ pub struct WindowStream {
     pool: Arc<ConnectionPool>,
     addr: String,
     keep_alive: bool,
+    /// When the request was written — the zero point of every timing
+    /// this stream reports.
+    started: Instant,
+    header_ms: f64,
+    first_rows_ms: Option<f64>,
+}
+
+/// One decoded row batch plus when it landed: `recv_ms` is measured from
+/// the moment the streamed request was sent to the moment this batch
+/// finished decoding, so consumers (the bench harness in particular) read
+/// per-batch latency off the stream instead of re-deriving it from
+/// wall-clock deltas around `next_batch` calls.
+pub struct RecvBatch {
+    /// The decoded batch.
+    pub batch: RowBatch,
+    /// Milliseconds from request send to this batch decoded.
+    pub recv_ms: f64,
 }
 
 impl WindowStream {
@@ -741,9 +763,21 @@ impl WindowStream {
     /// [`WindowStream::progress`]); a terminal `Error` frame surfaces as
     /// [`ClientError::Api`].
     pub fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        Ok(self.next_batch_timed()?.map(|r| r.batch))
+    }
+
+    /// [`WindowStream::next_batch`] with the batch's arrival time
+    /// attached (see [`RecvBatch`]).
+    pub fn next_batch_timed(&mut self) -> Result<Option<RecvBatch>> {
         loop {
             match self.frames.next_frame()? {
-                Some(ApiFrame::Rows(batch)) => return Ok(Some(batch)),
+                Some(ApiFrame::Rows(batch)) => {
+                    let recv_ms = self.started.elapsed().as_secs_f64() * 1e3;
+                    if self.first_rows_ms.is_none() {
+                        self.first_rows_ms = Some(recv_ms);
+                    }
+                    return Ok(Some(RecvBatch { batch, recv_ms }));
+                }
                 Some(ApiFrame::Progress(p)) => self.progress = Some(p),
                 Some(ApiFrame::Trailer(t)) => self.trailer = Some(t),
                 Some(ApiFrame::Header(h)) => {
@@ -779,6 +813,23 @@ impl WindowStream {
     /// The latest progress frame seen.
     pub fn progress(&self) -> Option<&ProgressFrame> {
         self.progress.as_ref()
+    }
+
+    /// Milliseconds from request send to the [`FrameHeader`] decoded —
+    /// the stream's time-to-first-frame.
+    pub fn header_ms(&self) -> f64 {
+        self.header_ms
+    }
+
+    /// Milliseconds from request send to the first `Rows` batch decoded
+    /// (time-to-first-rows); `None` until a batch has been read.
+    pub fn first_rows_ms(&self) -> Option<f64> {
+        self.first_rows_ms
+    }
+
+    /// Milliseconds elapsed since the request was sent.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
     }
 
     /// The trailer, once the stream is exhausted. Its `epoch` is the

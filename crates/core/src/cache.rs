@@ -87,7 +87,9 @@ impl Default for CacheConfig {
         CacheConfig {
             capacity: 512,
             max_bytes: 64 << 20, // 64 MiB
-            shards: 8,
+            // Same shards-vs-cores policy as the buffer pool, so the two
+            // stripe counts always move together.
+            shards: gvdb_storage::default_shards(),
             quantum: 1e-3,
             min_delta_overlap: crate::query::MIN_DELTA_OVERLAP,
         }

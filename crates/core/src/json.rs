@@ -142,19 +142,6 @@ impl PayloadBuilder {
         }));
     }
 
-    /// Open a new object at the current position (the caller writes its
-    /// body straight into the returned buffer), closed by
-    /// [`PayloadBuilder::finish_object`].
-    fn open_object(&mut self) -> u32 {
-        self.sep();
-        self.text.len() as u32
-    }
-
-    fn finish_object(&mut self, id: u64, start: u32) {
-        let end = self.text.len() as u32;
-        self.spans_mut().push(Span { id, start, end });
-    }
-
     fn finish(mut self) -> GraphJson {
         debug_assert!(self.in_edges);
         self.text.push_str(SUFFIX);
@@ -168,10 +155,126 @@ impl PayloadBuilder {
     }
 }
 
+/// One streamed frame payload sliced out of a [`GraphJson`]: a
+/// self-contained `{"nodes":[…],"edges":[…]}` fragment whose node and
+/// edge bodies are **contiguous byte ranges** of the source payload.
+/// Concatenating the node bodies (and the edge bodies) of every frame of
+/// a stream, in order, reassembles the buffered payload byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphFrame {
+    /// The fragment text, ready to splice into an `ApiFrame::Rows`.
+    pub graph: String,
+    /// Node objects in the fragment.
+    pub nodes: usize,
+    /// Edge objects in the fragment.
+    pub edges: usize,
+    /// Half-open range of payload edge indexes this frame covers —
+    /// aligned with the row slice the payload was built from, so callers
+    /// can attribute frames back to rows (e.g. the reused flag).
+    pub edge_range: (usize, usize),
+}
+
+/// Iterator slicing a built payload into streamed frames — see
+/// [`GraphJson::frame_slices`].
+pub struct FrameSlices<'a> {
+    json: &'a GraphJson,
+    /// Per node span (payload order): the index of the first edge that
+    /// references the node, or `usize::MAX` if no streamed edge does.
+    first_ref: Vec<usize>,
+    chunk: usize,
+    n: usize,
+    e: usize,
+}
+
+impl Iterator for FrameSlices<'_> {
+    type Item = GraphFrame;
+
+    fn next(&mut self) -> Option<GraphFrame> {
+        let (nodes, edges) = (&self.json.node_spans, &self.json.edge_spans);
+        if self.e >= edges.len() {
+            return None;
+        }
+        let e_end = (self.e + self.chunk).min(edges.len());
+        // A frame carries the node spans first referenced by its edges.
+        // The final frame sweeps up every remaining node, so spliced
+        // payloads (whose node order is not first-seen order) still
+        // deliver all nodes even when `first_ref` is non-monotonic.
+        let mut n_end = self.n;
+        if e_end == edges.len() {
+            n_end = nodes.len();
+        } else {
+            while n_end < nodes.len() && self.first_ref[n_end] < e_end {
+                n_end += 1;
+            }
+        }
+        let mut graph = String::with_capacity(128);
+        graph.push_str(NODES_PREFIX);
+        if self.n < n_end {
+            let (first, last) = (&nodes[self.n], &nodes[n_end - 1]);
+            graph.push_str(&self.json.text[first.start as usize..last.end as usize]);
+        }
+        graph.push_str(EDGES_SEP);
+        let (first, last) = (&edges[self.e], &edges[e_end - 1]);
+        graph.push_str(&self.json.text[first.start as usize..last.end as usize]);
+        graph.push_str(SUFFIX);
+        let frame = GraphFrame {
+            graph,
+            nodes: n_end - self.n,
+            edges: e_end - self.e,
+            edge_range: (self.e, e_end),
+        };
+        self.n = n_end;
+        self.e = e_end;
+        Some(frame)
+    }
+}
+
 impl GraphJson {
     /// Payload size in bytes (what travels over the wire).
     pub fn byte_len(&self) -> usize {
         self.text.len()
+    }
+
+    /// Slice this payload into streamed frames of at most `chunk` edges
+    /// each, **without re-serializing anything**: every frame body is two
+    /// contiguous `memcpy`s out of `text` (one node run, one edge run)
+    /// wrapped in the payload skeleton. `rows` must be the row slice the
+    /// payload was built from (one row per edge span, same order) — it
+    /// supplies the edge→node endpoints the span index doesn't record,
+    /// so each frame can carry the nodes its edges introduce. For
+    /// cold-built payloads every edge's endpoints are delivered in its
+    /// own or an earlier frame; spliced payloads keep byte-identical
+    /// reassembly but may deliver some arrival nodes in a later frame
+    /// (clients merge by id, so this only defers paint of those nodes).
+    ///
+    /// An empty payload yields no frames.
+    pub fn frame_slices(&self, rows: &[(RowId, EdgeRow)], chunk: usize) -> FrameSlices<'_> {
+        debug_assert_eq!(rows.len(), self.edge_spans.len());
+        let mut span_of: Vec<(u64, usize)> = self
+            .node_spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        span_of.sort_unstable();
+        let mut first_ref = vec![usize::MAX; self.node_spans.len()];
+        for (i, (_, row)) in rows.iter().enumerate().take(self.edge_spans.len()) {
+            for id in [row.node1_id, row.node2_id] {
+                if let Ok(k) = span_of.binary_search_by_key(&id, |&(id, _)| id) {
+                    let slot = &mut first_ref[span_of[k].1];
+                    if *slot == usize::MAX {
+                        *slot = i;
+                    }
+                }
+            }
+        }
+        FrameSlices {
+            json: self,
+            first_ref,
+            chunk: chunk.max(1),
+            n: 0,
+            e: 0,
+        }
     }
 
     /// Approximate heap footprint: the text plus the span index (what the
@@ -284,71 +387,198 @@ impl GraphJson {
     }
 }
 
+/// Write one node object (`{"id","label","x","y"}`) into `buf`.
+fn write_node(buf: &mut String, id: u64, label: &str, x: f64, y: f64) {
+    buf.push_str("{\"id\":");
+    buf.push_str(&id.to_string());
+    buf.push_str(",\"label\":\"");
+    escape_into(label, buf);
+    buf.push_str("\",\"x\":");
+    push_f64(buf, x);
+    buf.push_str(",\"y\":");
+    push_f64(buf, y);
+    buf.push('}');
+}
+
+/// Write one edge object (`{"id","source","target","label","directed"}`)
+/// into `buf`.
+fn write_edge(buf: &mut String, rid64: u64, row: &EdgeRow) {
+    buf.push_str("{\"id\":");
+    buf.push_str(&rid64.to_string());
+    buf.push_str(",\"source\":");
+    buf.push_str(&row.node1_id.to_string());
+    buf.push_str(",\"target\":");
+    buf.push_str(&row.node2_id.to_string());
+    buf.push_str(",\"label\":\"");
+    escape_into(&row.edge_label, buf);
+    buf.push_str("\",\"directed\":");
+    buf.push_str(if row.geometry.directed {
+        "true"
+    } else {
+        "false"
+    });
+    buf.push('}');
+}
+
+/// Incremental payload writer for the streamed cold path: rows arrive
+/// chunk-at-a-time ([`GraphJsonBuilder::push_rows`]), each chunk's newly
+/// written bytes can be handed out immediately as a self-contained
+/// streamed frame ([`GraphJsonBuilder::take_frame`] — two `memcpy`s, no
+/// re-serialization), and [`GraphJsonBuilder::finish`] assembles the
+/// exact payload a one-shot [`build_graph_json`] over the same rows
+/// would produce. One serialization pass thus feeds the streamed
+/// frames, the window-cache entry, and the buffered envelope alike.
+///
+/// Nodes and edges write into separate buffers (the payload lists all
+/// nodes before all edges, but streamed chunks interleave them), glued
+/// together by `finish`. The node buffer opens with the payload prefix,
+/// so node span offsets are final payload offsets from the start; edge
+/// span offsets are buffer-relative until `finish` shifts them.
+pub struct GraphJsonBuilder {
+    nodes: String,
+    edges: String,
+    node_spans: Vec<Span>,
+    edge_spans: Vec<Span>,
+    seen: HashSet<u64>,
+    /// Span-index watermarks of the previous [`GraphJsonBuilder::take_frame`].
+    node_mark: usize,
+    edge_mark: usize,
+}
+
+impl GraphJsonBuilder {
+    /// An empty builder sized for `bytes` of eventual payload.
+    pub fn with_capacity(bytes: usize) -> Self {
+        let mut nodes = String::with_capacity(bytes / 2 + 32);
+        nodes.push_str(NODES_PREFIX);
+        GraphJsonBuilder {
+            nodes,
+            edges: String::with_capacity(bytes / 2 + 32),
+            node_spans: Vec::new(),
+            edge_spans: Vec::new(),
+            seen: HashSet::new(),
+            node_mark: 0,
+            edge_mark: 0,
+        }
+    }
+
+    /// Serialize one chunk of rows: nodes deduplicated against every row
+    /// pushed so far (first occurrence wins, like the one-shot build),
+    /// row ids become edge ids. Chunks must arrive in ascending
+    /// [`RowId`] order across calls — the span-index contract.
+    pub fn push_rows(&mut self, rows: &[(RowId, EdgeRow)]) {
+        for (rid, row) in rows {
+            for (id, label, x, y) in [
+                (
+                    row.node1_id,
+                    &row.node1_label,
+                    row.geometry.x1,
+                    row.geometry.y1,
+                ),
+                (
+                    row.node2_id,
+                    &row.node2_label,
+                    row.geometry.x2,
+                    row.geometry.y2,
+                ),
+            ] {
+                if self.seen.insert(id) {
+                    if !self.node_spans.is_empty() {
+                        self.nodes.push(',');
+                    }
+                    let start = self.nodes.len() as u32;
+                    write_node(&mut self.nodes, id, label, x, y);
+                    let end = self.nodes.len() as u32;
+                    self.node_spans.push(Span { id, start, end });
+                }
+            }
+            let rid64 = rid.to_u64();
+            if !self.edge_spans.is_empty() {
+                self.edges.push(',');
+            }
+            let start = self.edges.len() as u32;
+            write_edge(&mut self.edges, rid64, row);
+            let end = self.edges.len() as u32;
+            self.edge_spans.push(Span {
+                id: rid64,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// Slice everything pushed since the previous `take_frame` into one
+    /// streamed frame (contiguous node run + contiguous edge run out of
+    /// the two buffers) and advance the watermarks. `None` when nothing
+    /// new was pushed. Concatenating every taken frame's node and edge
+    /// bodies reassembles [`GraphJsonBuilder::finish`]'s payload
+    /// byte-for-byte.
+    pub fn take_frame(&mut self) -> Option<GraphFrame> {
+        let (n, e) = (self.node_spans.len(), self.edge_spans.len());
+        if n == self.node_mark && e == self.edge_mark {
+            return None;
+        }
+        let mut graph = String::with_capacity(128);
+        graph.push_str(NODES_PREFIX);
+        if self.node_mark < n {
+            let (first, last) = (&self.node_spans[self.node_mark], &self.node_spans[n - 1]);
+            graph.push_str(&self.nodes[first.start as usize..last.end as usize]);
+        }
+        graph.push_str(EDGES_SEP);
+        if self.edge_mark < e {
+            let (first, last) = (&self.edge_spans[self.edge_mark], &self.edge_spans[e - 1]);
+            graph.push_str(&self.edges[first.start as usize..last.end as usize]);
+        }
+        graph.push_str(SUFFIX);
+        let frame = GraphFrame {
+            graph,
+            nodes: n - self.node_mark,
+            edges: e - self.edge_mark,
+            edge_range: (self.edge_mark, e),
+        };
+        self.node_mark = n;
+        self.edge_mark = e;
+        Some(frame)
+    }
+
+    /// Rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.edge_spans.len()
+    }
+
+    /// Glue the two buffers into the final payload. Byte-identical to
+    /// [`build_graph_json`] over the concatenation of every pushed chunk.
+    pub fn finish(mut self) -> GraphJson {
+        let shift = (self.nodes.len() + EDGES_SEP.len()) as u32;
+        let mut text = self.nodes;
+        text.reserve(self.edges.len() + EDGES_SEP.len() + SUFFIX.len());
+        text.push_str(EDGES_SEP);
+        text.push_str(&self.edges);
+        text.push_str(SUFFIX);
+        for s in &mut self.edge_spans {
+            s.start += shift;
+            s.end += shift;
+        }
+        GraphJson {
+            text,
+            node_count: self.node_spans.len(),
+            edge_count: self.edge_spans.len(),
+            node_spans: self.node_spans,
+            edge_spans: self.edge_spans,
+        }
+    }
+}
+
 /// Serialize window-query rows into the client payload:
 /// `{"nodes":[{"id","label","x","y"}...],"edges":[{"id","source","target","label","directed"}...]}`.
 ///
 /// Nodes are deduplicated across rows (a node appears in one row per
 /// incident edge). Row ids become edge ids so the client can address edges
 /// in edit operations. The span index is recorded while writing, at no
-/// extra scan.
+/// extra scan. One-shot wrapper over [`GraphJsonBuilder`] — the streamed
+/// cold path uses the builder directly, one chunk per frame.
 pub fn build_graph_json(rows: &[(RowId, EdgeRow)]) -> GraphJson {
-    let mut seen: HashSet<u64> = HashSet::new();
-    // Nodes interleave with edges in row order, but the payload lists all
-    // nodes first: write the node array in a first pass, edges second.
-    let mut b = PayloadBuilder::with_capacity(rows.len() * 96);
-    for (_, row) in rows {
-        for (id, label, x, y) in [
-            (
-                row.node1_id,
-                &row.node1_label,
-                row.geometry.x1,
-                row.geometry.y1,
-            ),
-            (
-                row.node2_id,
-                &row.node2_label,
-                row.geometry.x2,
-                row.geometry.y2,
-            ),
-        ] {
-            if seen.insert(id) {
-                let start = b.open_object();
-                let buf = &mut b.text;
-                buf.push_str("{\"id\":");
-                buf.push_str(&id.to_string());
-                buf.push_str(",\"label\":\"");
-                escape_into(label, buf);
-                buf.push_str("\",\"x\":");
-                push_f64(buf, x);
-                buf.push_str(",\"y\":");
-                push_f64(buf, y);
-                buf.push('}');
-                b.finish_object(id, start);
-            }
-        }
-    }
-    b.begin_edges();
-    for (rid, row) in rows {
-        let rid64 = rid.to_u64();
-        let start = b.open_object();
-        let buf = &mut b.text;
-        buf.push_str("{\"id\":");
-        buf.push_str(&rid64.to_string());
-        buf.push_str(",\"source\":");
-        buf.push_str(&row.node1_id.to_string());
-        buf.push_str(",\"target\":");
-        buf.push_str(&row.node2_id.to_string());
-        buf.push_str(",\"label\":\"");
-        escape_into(&row.edge_label, buf);
-        buf.push_str("\",\"directed\":");
-        buf.push_str(if row.geometry.directed {
-            "true"
-        } else {
-            "false"
-        });
-        buf.push('}');
-        b.finish_object(rid64, start);
-    }
+    let mut b = GraphJsonBuilder::with_capacity(rows.len() * 96);
+    b.push_rows(rows);
     b.finish()
 }
 
@@ -609,6 +839,87 @@ mod tests {
     }
 
     #[test]
+    fn frame_slices_cover_a_cold_payload_exactly() {
+        // Chunk = 2 over 6 edges: every fragment boundary lands exactly
+        // on a span-run boundary (between consecutive edge spans).
+        let rows: Vec<_> = (0..6).map(|i| crow(i, i + 1, "e")).collect();
+        let json = build_graph_json(&rows);
+        let frames: Vec<_> = json.frame_slices(&rows, 2).collect();
+        assert_eq!(frames.len(), 3);
+        assert!(frames.iter().all(|f| f.edges == 2));
+        assert_eq!(
+            frames.iter().map(|f| f.nodes).sum::<usize>(),
+            json.node_count
+        );
+        let glued = gvdb_api::reassemble_graph(frames.iter().map(|f| f.graph.as_str())).unwrap();
+        assert_eq!(glued, json.text);
+    }
+
+    #[test]
+    fn frame_boundary_on_a_splice_glue_point() {
+        // Drop the two middle edges of six: the retained payload glues
+        // two runs of two edges each. Chunk = 2 puts the fragment
+        // boundary exactly on the glue point — the slicer must not care.
+        let rows: Vec<_> = (0..6).map(|i| crow(i, i + 1, "e")).collect();
+        let json = build_graph_json(&rows);
+        let mut drop_edges = vec![rows[2].0.to_u64(), rows[3].0.to_u64()];
+        drop_edges.sort_unstable();
+        let kept = json.retain(&drop_edges, &[3]);
+        let kept_rows = vec![
+            rows[0].clone(),
+            rows[1].clone(),
+            rows[4].clone(),
+            rows[5].clone(),
+        ];
+        // A splice that removes interior runs equals a cold build over
+        // the surviving rows, so the slices match that build too.
+        assert_eq!(kept.text, build_graph_json(&kept_rows).text);
+        let frames: Vec<_> = kept.frame_slices(&kept_rows, 2).collect();
+        assert_eq!(frames.len(), 2);
+        let glued = gvdb_api::reassemble_graph(frames.iter().map(|f| f.graph.as_str())).unwrap();
+        assert_eq!(glued, kept.text);
+    }
+
+    #[test]
+    fn single_frame_when_chunk_exceeds_rows() {
+        let rows = vec![row(1, 2, "a"), row(2, 3, "b")];
+        let json = build_graph_json(&rows);
+        let frames: Vec<_> = json.frame_slices(&rows, 100).collect();
+        assert_eq!(frames.len(), 1);
+        // One frame of everything is the payload itself, byte-for-byte.
+        assert_eq!(frames[0].graph, json.text);
+        assert_eq!(frames[0].nodes, json.node_count);
+        assert_eq!(frames[0].edges, json.edge_count);
+        // An empty payload yields no frames at all.
+        assert!(build_graph_json(&[]).frame_slices(&[], 4).next().is_none());
+    }
+
+    #[test]
+    fn incremental_builder_equals_the_one_shot_build() {
+        let rows: Vec<_> = (0..10)
+            .map(|i| {
+                let (mut rid, r) = row(i % 4 + 1, (i * 3) % 7 + 1, "x");
+                rid.slot = i as u16;
+                (rid, r)
+            })
+            .collect();
+        let mut b = GraphJsonBuilder::with_capacity(64);
+        assert!(b.take_frame().is_none(), "nothing pushed yet");
+        let mut frames = Vec::new();
+        for chunk in rows.chunks(3) {
+            b.push_rows(chunk);
+            frames.push(b.take_frame().expect("non-empty chunk"));
+            assert!(b.take_frame().is_none(), "watermarks advanced");
+        }
+        assert_eq!(b.rows(), rows.len());
+        let json = b.finish();
+        assert_eq!(json.text, build_graph_json(&rows).text);
+        check_spans(&json);
+        let glued = gvdb_api::reassemble_graph(frames.iter().map(|f| f.graph.as_str())).unwrap();
+        assert_eq!(glued, json.text);
+    }
+
+    #[test]
     fn splice_survives_hostile_labels() {
         // Labels full of braces, quotes, backslashes and commas must not
         // corrupt the splice — including one embedding the `],"edges":[`
@@ -623,5 +934,139 @@ mod tests {
         let merged = build_graph_json(&rows[..1]).merge(&build_graph_json(&rows[1..]));
         assert_eq!(merged.text, json.text);
         check_spans(&merged);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Rows with ascending, distinct row ids; labels range over JSON
+        /// metacharacters so escaping is exercised.
+        fn arb_rows() -> impl Strategy<Value = Vec<(RowId, EdgeRow)>> {
+            prop::collection::vec((0u64..40, 0u64..40, "[a-z\"\\\\{},:\\[\\]]{0,8}"), 1..60)
+                .prop_map(|specs| {
+                    specs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (a, b, label))| {
+                            let (mut rid, r) = row(a, b, &label);
+                            rid.slot = i as u16;
+                            (rid, r)
+                        })
+                        .collect()
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The tentpole invariant: slicing a built payload into
+            /// frames and gluing the fragments back together is the
+            /// identity — and cold-built payloads deliver every edge's
+            /// endpoints no later than the edge itself.
+            #[test]
+            fn frames_reassemble_byte_for_byte(
+                rows in arb_rows(),
+                chunk in 1usize..70,
+            ) {
+                let json = build_graph_json(&rows);
+                let frames: Vec<_> = json.frame_slices(&rows, chunk).collect();
+                prop_assert_eq!(
+                    frames.iter().map(|f| f.nodes).sum::<usize>(),
+                    json.node_count
+                );
+                prop_assert_eq!(
+                    frames.iter().map(|f| f.edges).sum::<usize>(),
+                    json.edge_count
+                );
+                let glued = gvdb_api::reassemble_graph(
+                    frames.iter().map(|f| f.graph.as_str()),
+                )
+                .unwrap();
+                prop_assert_eq!(glued, json.text.clone());
+                // Prefix closure: nodes arrive with (or before) their edges.
+                let mut delivered = HashSet::new();
+                let mut n = 0;
+                for f in &frames {
+                    for span in &json.node_spans[n..n + f.nodes] {
+                        delivered.insert(span.id);
+                    }
+                    n += f.nodes;
+                    for (_, r) in &rows[f.edge_range.0..f.edge_range.1] {
+                        prop_assert!(delivered.contains(&r.node1_id));
+                        prop_assert!(delivered.contains(&r.node2_id));
+                    }
+                }
+            }
+
+            /// The incremental (chunk-at-a-time) builder produces the
+            /// same bytes as the one-shot build, and its taken frames
+            /// reassemble to that payload.
+            #[test]
+            fn incremental_builder_is_byte_identical(
+                rows in arb_rows(),
+                cut in 1usize..20,
+            ) {
+                let mut b = GraphJsonBuilder::with_capacity(rows.len() * 96);
+                let mut frames = Vec::new();
+                for chunk in rows.chunks(cut) {
+                    b.push_rows(chunk);
+                    if let Some(f) = b.take_frame() {
+                        frames.push(f);
+                    }
+                }
+                prop_assert!(b.take_frame().is_none());
+                let json = b.finish();
+                prop_assert_eq!(&json.text, &build_graph_json(&rows).text);
+                check_spans(&json);
+                let glued = gvdb_api::reassemble_graph(
+                    frames.iter().map(|f| f.graph.as_str()),
+                )
+                .unwrap();
+                prop_assert_eq!(glued, json.text.clone());
+            }
+
+            /// Spliced (delta) payloads slice byte-identically too, even
+            /// though node order is no longer first-seen order.
+            #[test]
+            fn spliced_payloads_slice_byte_for_byte(
+                rows in arb_rows(),
+                mask in prop::collection::vec(any::<bool>(), 60..61),
+                chunk in 1usize..70,
+            ) {
+                let json = build_graph_json(&rows);
+                let dropped = |i: usize| mask[i % mask.len()];
+                let drop_edges: Vec<u64> = rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| dropped(*i))
+                    .map(|(_, (rid, _))| rid.to_u64())
+                    .collect();
+                let kept_rows: Vec<_> = rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !dropped(*i))
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                let kept_ids: HashSet<u64> = kept_rows
+                    .iter()
+                    .flat_map(|(_, r)| [r.node1_id, r.node2_id])
+                    .collect();
+                let mut drop_nodes: Vec<u64> = json
+                    .node_spans
+                    .iter()
+                    .map(|s| s.id)
+                    .filter(|id| !kept_ids.contains(id))
+                    .collect();
+                drop_nodes.sort_unstable();
+                let kept = json.retain(&drop_edges, &drop_nodes);
+                let frames: Vec<_> = kept.frame_slices(&kept_rows, chunk).collect();
+                let glued = gvdb_api::reassemble_graph(
+                    frames.iter().map(|f| f.graph.as_str()),
+                )
+                .unwrap();
+                prop_assert_eq!(glued, kept.text.clone());
+            }
+        }
     }
 }

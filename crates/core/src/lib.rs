@@ -56,7 +56,7 @@ pub mod workspace;
 pub use birdview::Birdview;
 pub use cache::{CacheConfig, CacheStats, WindowCache};
 pub use client::{ClientCost, ClientModel};
-pub use json::{build_graph_json, GraphJson};
+pub use json::{build_graph_json, GraphFrame, GraphJson, GraphJsonBuilder};
 pub use organizer::{organize_partitions, OrganizedLayout, OrganizerConfig};
 pub use outbox::{Outbox, OutboxStatus, PushError};
 pub use preprocess::{

@@ -41,7 +41,7 @@
 
 use crate::cache::{CacheConfig, CacheShardStats, CacheStats, CachedWindow, WindowCache};
 use crate::client::{ClientCost, ClientModel};
-use crate::json::{build_graph_json, GraphJson};
+use crate::json::{build_graph_json, GraphJson, GraphJsonBuilder};
 use crate::registry::SessionRegistry;
 use gvdb_spatial::{Point, Rect};
 use gvdb_storage::{EdgeRow, GraphDb, LayerTable, PoolStats, Result, RowId, StorageError};
@@ -98,9 +98,10 @@ pub struct WindowResponse {
     pub rows_fetched: usize,
     /// On the delta path, the [`RowId`]s of the rows that actually
     /// *arrived* (fetched from the heap and kept), ascending. Empty for
-    /// cold queries and cache hits. The streaming path uses this to emit
-    /// reused rows first and arrivals last, so a panning client can
-    /// repaint the kept region before the new strip finishes loading.
+    /// cold queries and cache hits. The streaming path uses this to tag
+    /// each sliced frame's `reused` flag: a frame whose edge-id range
+    /// contains no arrival is pure kept region and can repaint without
+    /// waiting for the strips.
     pub arrival_rids: Vec<RowId>,
     /// Simulated communication + rendering cost.
     pub client: ClientCost,
@@ -128,6 +129,155 @@ pub struct SearchHit {
     pub label: gvdb_storage::Label,
     /// Position on the plane (used to focus the window).
     pub position: Point,
+}
+
+/// How a streamed window query will be produced — what
+/// [`QueryManager::window_stream_plan`] hands back.
+pub enum StreamPlan<'a> {
+    /// The payload already exists (exact cache hit, or a delta splice
+    /// that just ran): slice the frames out of it by span index.
+    Built(WindowResponse),
+    /// Cold window: nothing is built yet. Drive
+    /// [`ColdWindowStream::next_chunk`] to fetch + serialize
+    /// chunk-at-a-time, then [`ColdWindowStream::finish`].
+    Cold(ColdWindowStream<'a>),
+}
+
+/// A cold window query being streamed chunk-at-a-time.
+///
+/// The planning step ran the R-tree descent and snapshotted the layer
+/// epoch; each [`ColdWindowStream::next_chunk`] call then re-acquires
+/// the database read guard just long enough to **validate the epoch**
+/// and batch-fetch one chunk of candidates (page-sorted pinning via
+/// `LayerTable::fetch_many`), and serializes the chunk *after dropping
+/// the guard* — so the caller emits every frame with no lock held and a
+/// slow client never blocks a writer.
+///
+/// A racing edit flips the stream to lame-duck mode rather than
+/// aborting: remaining chunks still stream (an insert never moves
+/// existing rows), the result is **not** cached, and the caller's
+/// trailer re-samples the epoch so the client sees
+/// `trailer.epoch > header.epoch` — the existing staleness contract. If
+/// a fetch fails *after* the epoch moved (e.g. a candidate row was
+/// deleted), the stream ends early by the same contract instead of
+/// erroring.
+pub struct ColdWindowStream<'a> {
+    qm: &'a QueryManager,
+    layer: usize,
+    window: Rect,
+    epoch: u64,
+    candidates: Vec<RowId>,
+    pos: usize,
+    builder: GraphJsonBuilder,
+    rows: Vec<(RowId, EdgeRow)>,
+    epoch_valid: bool,
+}
+
+/// What a fully drained [`ColdWindowStream`] streamed, for the trailer.
+pub struct ColdStreamSummary {
+    /// Rows streamed (candidates that survived segment refinement).
+    pub rows: usize,
+    /// Candidates fetched from the heap (the cold `rows_fetched` stat).
+    pub rows_fetched: usize,
+}
+
+impl ColdWindowStream<'_> {
+    /// The epoch snapshotted at plan time — what the stream header
+    /// advertises.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Candidate rows the stream will fetch (an upper bound on the rows
+    /// it will emit — segment refinement can only shrink it). Progress
+    /// frames use this as the total.
+    pub fn candidate_rows(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Fetch and serialize the next non-empty chunk: at most
+    /// `chunk_rows` candidates are heap-fetched under the read guard,
+    /// refined against the window, and appended to the incremental
+    /// payload; the returned frame slices exactly the appended rows.
+    /// `None` once every candidate has been consumed. Chunks whose
+    /// candidates all fail refinement are skipped, so a returned frame
+    /// always carries at least one edge.
+    pub fn next_chunk(&mut self, chunk_rows: usize) -> Result<Option<crate::json::GraphFrame>> {
+        let chunk = chunk_rows.max(1);
+        while self.pos < self.candidates.len() {
+            let end = (self.pos + chunk).min(self.candidates.len());
+            let slice = &self.candidates[self.pos..end];
+            let db = self.qm.db.read();
+            if self.qm.layer_epoch(self.layer) != self.epoch {
+                self.epoch_valid = false;
+            }
+            let table = db
+                .layer(self.layer)
+                .ok_or_else(|| StorageError::LayerNotFound(format!("index {}", self.layer)))?;
+            let fetched = match table.fetch_many(db.pool(), slice) {
+                Ok(rows) => rows,
+                Err(_) if !self.epoch_valid => {
+                    // The edit that moved the epoch invalidated these
+                    // candidates; end the stream, the trailer epoch
+                    // tells the client to re-query.
+                    self.pos = self.candidates.len();
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            };
+            drop(db);
+            self.pos = end;
+            let mut kept: Vec<(RowId, EdgeRow)> = fetched
+                .into_iter()
+                .filter(|(_, row)| row.geometry.segment().intersects_rect(&self.window))
+                .collect();
+            if kept.is_empty() {
+                continue;
+            }
+            self.builder.push_rows(&kept);
+            self.rows.append(&mut kept);
+            return Ok(Some(self.builder.take_frame().expect("non-empty chunk")));
+        }
+        Ok(None)
+    }
+
+    /// Finalize the stream: assemble the full payload from the chunks
+    /// already serialized (no second pass) and — when no edit raced the
+    /// stream — insert it into the window cache exactly like a buffered
+    /// cold query would, so the *next* request for this window is a hit
+    /// or a delta base. Returns the trailer counts.
+    pub fn finish(self) -> ColdStreamSummary {
+        let rows_fetched = self.candidates.len();
+        let rows = Arc::new(self.rows);
+        let summary = ColdStreamSummary {
+            rows: rows.len(),
+            rows_fetched,
+        };
+        if !self.epoch_valid {
+            return summary;
+        }
+        let json = Arc::new(self.builder.finish());
+        let (rids, node_refs) = if self.qm.cache.min_delta_overlap() <= 1.0 {
+            (
+                rows.iter().map(|(rid, _)| *rid).collect(),
+                CachedWindow::count_node_refs(&rows),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        self.qm.cache.insert(
+            self.layer,
+            &self.window,
+            self.epoch,
+            CachedWindow {
+                node_refs: Arc::new(node_refs),
+                rids: Arc::new(rids),
+                rows,
+                json,
+            },
+        );
+        summary
+    }
 }
 
 /// The server-side query engine over a preprocessed database.
@@ -388,6 +538,83 @@ impl QueryManager {
             }
             None => self.cold_window_query(&db, table, layer, epoch, window, cache_ms),
         }
+    }
+
+    /// Plan a **streamed** window query: probe the cache and delta paths
+    /// exactly like [`QueryManager::window_query_anchored`], but when the
+    /// window is cold, return a [`ColdWindowStream`] instead of computing
+    /// everything up front — the caller then drives
+    /// [`ColdWindowStream::next_chunk`] to fetch, serialize, and emit the
+    /// result chunk-at-a-time, with the first frame leaving before the
+    /// second chunk's pages pin. Hit and delta windows come back
+    /// [`StreamPlan::Built`]: their payload already exists (shared Arc or
+    /// one splice), and the caller slices frames out of it by span index
+    /// ([`GraphJson::frame_slices`]) without re-serializing.
+    pub fn window_stream_plan(
+        &self,
+        layer: usize,
+        window: &Rect,
+        anchor: Option<&Rect>,
+    ) -> Result<StreamPlan<'_>> {
+        let db = self.db.read();
+        let table = db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let epoch = self.layer_epoch(layer);
+
+        let t = Instant::now();
+        if let Some(CachedWindow { rows, json, .. }) = self.cache.get(layer, window, epoch) {
+            let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+            let rows_reused = rows.len();
+            let client = self.client.deliver(&json);
+            return Ok(StreamPlan::Built(WindowResponse {
+                rows,
+                json,
+                db_ms: 0.0,
+                build_json_ms: 0.0,
+                cache_ms,
+                epoch,
+                cache_hit: true,
+                delta: false,
+                rows_reused,
+                rows_fetched: 0,
+                arrival_rids: Vec::new(),
+                client,
+            }));
+        }
+        let base = self
+            .anchored_base(layer, window, epoch, anchor)
+            .or_else(|| {
+                self.cache
+                    .best_overlap(layer, window, epoch, self.cache.min_delta_overlap())
+            });
+        let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+        if let Some((old_rect, old)) = base {
+            return self
+                .delta_window_query(&db, table, layer, epoch, window, &old_rect, &old, cache_ms)
+                .map(StreamPlan::Built);
+        }
+
+        // Cold: only the R-tree descent runs under this read guard. The
+        // candidate list is sorted ascending so the chunked heap fetch
+        // visits pages in order and every chunk's page set is disjoint
+        // from every other chunk's.
+        let mut candidates = table.window_rids(db.pool(), window)?;
+        candidates.sort_unstable();
+        candidates.dedup();
+        drop(db);
+        let builder = GraphJsonBuilder::with_capacity(candidates.len() * 96);
+        Ok(StreamPlan::Cold(ColdWindowStream {
+            qm: self,
+            layer,
+            window: *window,
+            epoch,
+            candidates,
+            pos: 0,
+            builder,
+            rows: Vec::new(),
+            epoch_valid: true,
+        }))
     }
 
     /// The caller-supplied anchor as a delta base, if its entry survives

@@ -28,7 +28,7 @@
 //! session state never leak across datasets.
 
 use crate::json::build_graph_json;
-use crate::query::{QueryManager, SearchHit, WindowResponse};
+use crate::query::{QueryManager, SearchHit, StreamPlan, WindowResponse};
 use crate::registry::SessionId;
 use crate::workspace::SharedWorkspace;
 use gvdb_api::{
@@ -198,6 +198,8 @@ impl ApiOutcome {
                 backlog: 0,
                 active_workers: 0,
                 open_connections: 0,
+                cpus: 0,
+                shards_policy: String::new(),
                 datasets,
             }),
         }
@@ -626,10 +628,40 @@ fn stream_dataset(
             session,
             ..
         } => {
-            let ApiOutcome::Window(outcome) = window_op(name, qm, *layer, window, *session)? else {
-                unreachable!("window_op yields a window outcome")
-            };
-            stream_window_outcome(qm, outcome, chunk, sink)
+            let rect = to_rect(window)?;
+            match session {
+                Some(sid) => {
+                    let handle = qm
+                        .sessions()
+                        .get(*sid)
+                        .ok_or_else(|| unknown_session(*sid))?;
+                    // The per-session lock covers only navigation: the
+                    // stream itself runs with the session released, so a
+                    // slow reader never pins its session entry.
+                    let mut session = handle.lock();
+                    let layer = layer.unwrap_or_else(|| session.layer());
+                    session.set_layer(qm, layer).map_err(storage_error)?;
+                    session.navigate(rect);
+                    if session.has_filters() {
+                        // Filtered views rebuild a bespoke payload (the
+                        // cache entry is unfiltered): compute it whole,
+                        // then slice frames out of it.
+                        let response = session.view(qm).map_err(storage_error)?;
+                        drop(session);
+                        let outcome = WindowOutcome {
+                            dataset: name.to_string(),
+                            layer,
+                            response,
+                            session: Some(*sid),
+                        };
+                        return stream_window_outcome(qm, outcome, chunk, sink);
+                    }
+                    let anchor = session.anchor();
+                    drop(session);
+                    stream_window(name, qm, layer, rect, anchor, Some(*sid), chunk, sink)
+                }
+                None => stream_window(name, qm, layer.unwrap_or(0), rect, None, None, chunk, sink),
+            }
         }
         ApiRequest::Search { layer, query, .. } => {
             // Errors (missing layer) surface before any frame is out.
@@ -678,12 +710,94 @@ fn stream_dataset(
     }
 }
 
-/// Stream one computed [`WindowOutcome`] as chunked frames: reused rows
-/// first (a panning client repaints the kept region immediately), then
-/// the fetched arrivals, then a trailer that **re-samples the layer
-/// epoch** — the query's read guard was released when `window_op`
-/// returned, so an edit racing the emission is surfaced as a trailer
-/// epoch newer than the header's.
+/// Stream one window the v2 way: plan first, then either **slice** an
+/// already-built payload ([`StreamPlan::Built`] — exact hit or delta
+/// splice) or drive the **incremental cold path**
+/// ([`StreamPlan::Cold`]), where each chunk is heap-fetched under a
+/// short re-validated read guard and its frame is handed to the sink
+/// before the next chunk's pages pin. Either way no frame is ever
+/// re-serialized and no lock is held across `sink.emit`.
+#[allow(clippy::too_many_arguments)]
+fn stream_window(
+    name: &str,
+    qm: &QueryManager,
+    layer: usize,
+    window: Rect,
+    anchor: Option<Rect>,
+    session: Option<SessionId>,
+    chunk: usize,
+    sink: &mut dyn FrameSink,
+) -> ApiResult<()> {
+    match qm
+        .window_stream_plan(layer, &window, anchor.as_ref())
+        .map_err(storage_error)?
+    {
+        StreamPlan::Built(response) => {
+            let outcome = WindowOutcome {
+                dataset: name.to_string(),
+                layer,
+                response,
+                session,
+            };
+            stream_window_outcome(qm, outcome, chunk, sink)
+        }
+        StreamPlan::Cold(mut cold) => {
+            sink.emit(&ApiFrame::Header(FrameHeader {
+                op: "window".into(),
+                dataset: name.to_string(),
+                layer,
+                epoch: cold.epoch(),
+                source: Some(Source::Cold),
+                session,
+            }))?;
+            // The exact row count isn't known until the last chunk is
+            // refined; progress totals use the candidate count (an upper
+            // bound that only shrinks by refinement).
+            let total = cold.candidate_rows() as u64;
+            let many = cold.candidate_rows() > chunk;
+            let mut frames = 0u64;
+            let mut sent = 0u64;
+            while let Some(frame) = cold.next_chunk(chunk).map_err(storage_error)? {
+                sink.emit(&ApiFrame::Rows(RowBatch::Graph {
+                    graph: frame.graph,
+                    nodes: frame.nodes as u64,
+                    edges: frame.edges as u64,
+                    reused: false,
+                }))?;
+                frames += 1;
+                sent += frame.edges as u64;
+                if many {
+                    sink.emit(&ApiFrame::Progress(ProgressFrame {
+                        rows_sent: sent,
+                        rows_total: total,
+                    }))?;
+                }
+            }
+            let summary = cold.finish();
+            sink.emit(&ApiFrame::Trailer(TrailerFrame {
+                // Re-sampled: newer than the header epoch iff an edit
+                // raced the stream.
+                epoch: qm.layer_epoch(layer),
+                source: Some(Source::Cold),
+                rows: summary.rows as u64,
+                rows_reused: 0,
+                rows_fetched: summary.rows_fetched as u64,
+                frames,
+            }))
+        }
+    }
+}
+
+/// Stream one computed [`WindowOutcome`] by **slicing its payload**:
+/// every `Rows` frame is a contiguous span-index run of
+/// `response.json` (two `memcpy`s — see [`GraphJson::frame_slices`]),
+/// so nothing is re-serialized. Frames follow payload order (ascending
+/// edge id); on a delta response each frame's `reused` flag reports
+/// whether its edge range is pure kept region (no arrival in it), so a
+/// panning client still repaints kept frames without waiting. The
+/// trailer **re-samples the layer epoch** — the query's read guard was
+/// released when the plan returned, so an edit racing the emission is
+/// surfaced as a trailer epoch newer than the header's.
 fn stream_window_outcome(
     qm: &QueryManager,
     outcome: WindowOutcome,
@@ -694,64 +808,41 @@ fn stream_window_outcome(
     sink.emit(&ApiFrame::Header(window_header(&meta)))?;
 
     let resp = &outcome.response;
-    // A batch counts as "reused" when it came out of the cache: the
-    // whole result on an exact hit, the kept region on a delta. Cold
-    // rows were all fetched for this response.
-    let reused_flag = resp.cache_hit || resp.delta;
     let total = resp.rows.len() as u64;
     let many = resp.rows.len() > chunk;
     let mut frames = 0u64;
     let mut sent = 0u64;
-    let emit_batches = |rows: &[(RowId, EdgeRow)],
-                        reused: bool,
-                        sink: &mut dyn FrameSink,
-                        frames: &mut u64,
-                        sent: &mut u64|
-     -> ApiResult<()> {
-        for batch in rows.chunks(chunk) {
-            let json = build_graph_json(batch);
-            sink.emit(&ApiFrame::Rows(RowBatch::Graph {
-                graph: json.text,
-                nodes: json.node_count as u64,
-                edges: json.edge_count as u64,
-                reused,
-            }))?;
-            *frames += 1;
-            *sent += batch.len() as u64;
-            if many {
-                sink.emit(&ApiFrame::Progress(ProgressFrame {
-                    rows_sent: *sent,
-                    rows_total: total,
-                }))?;
-            }
-        }
-        Ok(())
-    };
-    if resp.arrival_rids.is_empty() {
-        // Hit, cold, or no-change delta: one homogeneous sequence,
-        // chunked straight off the shared row vector — no copies.
-        emit_batches(&resp.rows, reused_flag, sink, &mut frames, &mut sent)?;
-    } else {
-        // Delta with arrivals: split rows into the reused region and the
-        // arrivals (both stay in ascending RowId order — `arrival_rids`
-        // is ascending, so one two-pointer pass suffices; row clones are
-        // Arc-label bumps), and stream the kept region first.
-        let mut reused_rows: Vec<(RowId, EdgeRow)> =
-            Vec::with_capacity(resp.rows.len().saturating_sub(resp.arrival_rids.len()));
-        let mut arrival_rows: Vec<(RowId, EdgeRow)> = Vec::with_capacity(resp.arrival_rids.len());
-        let mut ai = 0usize;
-        for (rid, row) in resp.rows.iter() {
-            while ai < resp.arrival_rids.len() && resp.arrival_rids[ai] < *rid {
+    // Ascending arrival ids against ascending frame ranges: one
+    // monotone pointer classifies every frame.
+    let mut ai = 0usize;
+    for frame in resp.json.frame_slices(&resp.rows, chunk) {
+        let (start, end) = frame.edge_range;
+        let reused = if resp.cache_hit {
+            true
+        } else if resp.delta {
+            let lo = resp.rows[start].0;
+            let hi = resp.rows[end - 1].0;
+            while ai < resp.arrival_rids.len() && resp.arrival_rids[ai] < lo {
                 ai += 1;
             }
-            if ai < resp.arrival_rids.len() && resp.arrival_rids[ai] == *rid {
-                arrival_rows.push((*rid, row.clone()));
-            } else {
-                reused_rows.push((*rid, row.clone()));
-            }
+            !(ai < resp.arrival_rids.len() && resp.arrival_rids[ai] <= hi)
+        } else {
+            false
+        };
+        sink.emit(&ApiFrame::Rows(RowBatch::Graph {
+            graph: frame.graph,
+            nodes: frame.nodes as u64,
+            edges: frame.edges as u64,
+            reused,
+        }))?;
+        frames += 1;
+        sent += frame.edges as u64;
+        if many {
+            sink.emit(&ApiFrame::Progress(ProgressFrame {
+                rows_sent: sent,
+                rows_total: total,
+            }))?;
         }
-        emit_batches(&reused_rows, reused_flag, sink, &mut frames, &mut sent)?;
-        emit_batches(&arrival_rows, false, sink, &mut frames, &mut sent)?;
     }
     sink.emit(&ApiFrame::Trailer(TrailerFrame {
         // Re-sampled: newer than the header epoch iff an edit raced the
@@ -1155,18 +1246,105 @@ mod tests {
     }
 
     #[test]
-    fn streamed_delta_pan_emits_reused_rows_before_arrivals() {
-        let (qm, path) = manager("stream-delta");
-        qm.call(&window_req(None)).unwrap(); // anchor the cache
+    fn window_smaller_than_one_chunk_streams_a_single_frame() {
+        // A chunk wider than the whole plane: the stream degenerates to
+        // Header, one Rows frame carrying everything, Trailer — and no
+        // Progress frame, since one chunk needs no progress reporting.
+        let g = wikidata_like(RdfConfig {
+            entities: 250,
+            ..Default::default()
+        });
+        let path = tmp("stream-tiny");
+        let (db, _) = preprocess(
+            &g,
+            &path,
+            &PreprocessConfig {
+                k: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let model = crate::ClientModel {
+            chunk_rows: 1_000_000,
+            ..Default::default()
+        };
+        let qm = QueryManager::with_client(db, model);
+        let mut sink = crate::FrameBuffer::new();
+        qm.call_streamed(&window_req(None), &mut sink).unwrap();
+        assert_eq!(sink.frames.len(), 3, "header + one rows frame + trailer");
+        assert!(matches!(sink.frames[0], gvdb_api::ApiFrame::Header(_)));
+        let gvdb_api::ApiFrame::Rows(batch) = &sink.frames[1] else {
+            panic!("middle frame carries the rows")
+        };
+        let gvdb_api::ApiFrame::Trailer(trailer) = &sink.frames[2] else {
+            panic!("last frame is the trailer")
+        };
+        assert_eq!(trailer.frames, 1);
+        assert_eq!(trailer.rows, batch.len() as u64);
+        assert!(trailer.rows > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_delta_pan_reassembles_to_the_buffered_payload() {
+        // A small chunk so the pan's delta spans several frames: with the
+        // default 128 the whole result fits in one frame and the per-frame
+        // `reused` tagging has nothing to distinguish.
+        let g = wikidata_like(RdfConfig {
+            entities: 250,
+            ..Default::default()
+        });
+        let path = tmp("stream-delta");
+        let (db, _) = preprocess(
+            &g,
+            &path,
+            &PreprocessConfig {
+                k: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let model = crate::ClientModel {
+            chunk_rows: 8,
+            ..Default::default()
+        };
+        let qm = QueryManager::with_client(db, model);
+        // Anchor on the left 60% of the data extent, then pan right so the
+        // window keeps most of the anchor but picks up a fresh strip —
+        // guaranteeing the delta path sees both reused rows and arrivals
+        // regardless of how the layout spread this particular graph.
+        let everything = qm
+            .window_query(0, &Rect::new(-1e9, -1e9, 1e9, 1e9))
+            .unwrap();
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, row) in everything.rows.iter() {
+            min_x = min_x.min(row.geometry.x1).min(row.geometry.x2);
+            max_x = max_x.max(row.geometry.x1).max(row.geometry.x2);
+        }
+        let w = max_x - min_x;
+        // Drop the whole-plane probe from the cache (an edit invalidates
+        // the layer) so the pan deltas against the anchor below, not the
+        // probe.
+        let dummy = everything.rows[0].1.clone();
+        let rid = qm.insert_row(0, &dummy).unwrap();
+        qm.delete_row(0, rid).unwrap();
+        let rect = |lo: f64, hi: f64| RectDto {
+            min_x: min_x + lo * w,
+            min_y: -1e9,
+            max_x: min_x + hi * w,
+            max_y: 1e9,
+        };
+        qm.call(&ApiRequest::Window {
+            dataset: None,
+            layer: Some(0),
+            window: rect(0.0, 0.6),
+            session: None,
+        })
+        .unwrap(); // anchor the cache
         let pan = ApiRequest::Window {
             dataset: None,
             layer: Some(0),
-            window: RectDto {
-                min_x: 300.0,
-                min_y: 0.0,
-                max_x: 2300.0,
-                max_y: 2000.0,
-            },
+            window: rect(0.15, 0.75),
             session: None,
         };
         let mut sink = crate::FrameBuffer::new();
@@ -1175,24 +1353,32 @@ mod tests {
             panic!("first frame is the header")
         };
         assert_eq!(header.source, Some(Source::Delta));
-        // Once a fetched (non-reused) batch appears, no reused batch may
-        // follow: the kept region streams first so the client can paint.
-        let flags: Vec<bool> = sink
-            .frames
-            .iter()
-            .filter_map(|f| match f {
-                gvdb_api::ApiFrame::Rows(gvdb_api::RowBatch::Graph { reused, .. }) => Some(*reused),
-                _ => None,
-            })
-            .collect();
-        assert!(flags.contains(&true), "a delta pan reuses rows");
-        let first_fetched = flags.iter().position(|r| !r);
-        if let Some(i) = first_fetched {
-            assert!(
-                flags[i..].iter().all(|r| !r),
-                "reused batches must precede arrivals: {flags:?}"
-            );
+        let mut flags = Vec::new();
+        let mut fragments = Vec::new();
+        for frame in &sink.frames {
+            if let gvdb_api::ApiFrame::Rows(gvdb_api::RowBatch::Graph { reused, graph, .. }) = frame
+            {
+                flags.push(*reused);
+                fragments.push(graph.as_str());
+            }
         }
+        // A delta pan carries both kinds of frame: pure-reuse frames from
+        // the kept region and at least one frame holding arrival rows.
+        assert!(flags.contains(&true), "a delta pan reuses rows: {flags:?}");
+        assert!(
+            flags.contains(&false),
+            "a delta pan fetches rows: {flags:?}"
+        );
+        // Frames are verbatim slices of the spliced payload: gluing the
+        // fragments back together reproduces the buffered envelope
+        // byte-for-byte (the repeated query below is an exact cache hit on
+        // the payload the stream just sliced).
+        let reassembled = gvdb_api::reassemble_graph(fragments).unwrap();
+        let ApiOutcome::Window(buffered) = qm.call(&pan).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert!(buffered.response.cache_hit);
+        assert_eq!(reassembled, buffered.response.json.text);
         std::fs::remove_file(&path).ok();
     }
 

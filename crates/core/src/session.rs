@@ -96,6 +96,14 @@ impl Session {
         &mut self.filters
     }
 
+    /// Whether any display filter is active — a filtered view rebuilds
+    /// its payload from the filtered rows, so the streaming path cannot
+    /// slice the cached (unfiltered) payload directly.
+    pub fn has_filters(&self) -> bool {
+        !self.filters.hidden_edge_labels.is_empty()
+            || !self.filters.hidden_node_substrings.is_empty()
+    }
+
     /// Fetch the current viewport's sub-graph, filters applied. The
     /// previous window on this layer rides along as the delta anchor, so
     /// a view following a pan or zoom is answered incrementally (see

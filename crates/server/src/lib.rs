@@ -776,6 +776,10 @@ fn server_stats(state: &AppState, datasets: Vec<DatasetStats>) -> StatsDto {
         // server reports zeros, so "quiescent" is directly observable.
         active_workers: state.active.load(Ordering::SeqCst).saturating_sub(1),
         open_connections: state.connections.load(Ordering::SeqCst).saturating_sub(1),
+        cpus: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        shards_policy: "min(16, max(2, 2*cpus))".into(),
         datasets,
     }
 }

@@ -25,8 +25,28 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Default number of lock-striped shards (see [`BufferPool::with_shards`]).
-pub const DEFAULT_POOL_SHARDS: usize = 8;
+/// Default number of lock-striped shards (see [`BufferPool::with_shards`]):
+/// `min(16, max(2, 2 × cores))`, computed once per process. Two shards
+/// per core keeps neighboring page ids off the same stripe even when
+/// every core runs a reader, without paying per-shard descriptor and
+/// clock-hand overhead a 1–2-core box can't use; 16 caps the sweep where
+/// the shards-vs-cores curve flattens. [`default_shards`] is shared with
+/// the window cache so both report the same policy in `/v1/stats`.
+pub fn default_pool_shards() -> usize {
+    default_shards()
+}
+
+/// The shard-count default shared by the buffer pool and the window
+/// cache: `min(16, max(2, 2 × available CPU cores))`.
+pub fn default_shards() -> usize {
+    static SHARDS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cores * 2).clamp(2, 16)
+    })
+}
 
 /// Cache statistics (monotonic counters, relaxed atomics).
 #[derive(Debug, Default)]
@@ -250,9 +270,9 @@ impl std::fmt::Debug for BufferPool {
 
 impl BufferPool {
     /// Wrap `pager` with a cache of `capacity` pages (min 4) split over
-    /// [`DEFAULT_POOL_SHARDS`] lock stripes.
+    /// [`default_pool_shards`] lock stripes.
     pub fn new(pager: Pager, capacity: usize) -> Self {
-        Self::with_shards(pager, capacity, DEFAULT_POOL_SHARDS)
+        Self::with_shards(pager, capacity, default_pool_shards())
     }
 
     /// Wrap `pager` with an explicit shard count (clamped to at least 1).

@@ -34,7 +34,7 @@ pub mod table;
 pub mod trie;
 pub mod wal;
 
-pub use buffer::{BufferPool, PoolStats};
+pub use buffer::{default_pool_shards, default_shards, BufferPool, PoolStats};
 pub use db::GraphDb;
 pub use error::{Result, StorageError};
 pub use heap::RowId;
