@@ -39,6 +39,7 @@
 //! are spliced verbatim on write and re-canonicalized on read).
 
 use crate::json::Json;
+use crate::pack::PackedRows;
 use crate::{need, need_str, need_u64, need_usize, ApiError, ApiResult, SearchHitDto, Source};
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,18 @@ pub enum RowBatch {
         /// this response).
         reused: bool,
     },
+    /// A graph fragment in the negotiated compact encoding (see
+    /// [`crate::pack`]): the same nodes and edges a [`RowBatch::Graph`]
+    /// frame would carry, as a delta/dictionary-coded binary image.
+    /// Emitted only when the client asked for it
+    /// (`ApiRequest::Window { packed: true }`); decode with
+    /// [`RowBatch::into_plain`] to get the exact plain fragment back.
+    Packed {
+        /// The decoded batch content.
+        rows: PackedRows,
+        /// Same meaning as [`RowBatch::Graph::reused`].
+        reused: bool,
+    },
     /// A batch of keyword-search hits.
     Hits {
         /// The hits in this batch.
@@ -100,6 +113,7 @@ impl RowBatch {
     pub fn len(&self) -> usize {
         match self {
             RowBatch::Graph { edges, .. } => *edges as usize,
+            RowBatch::Packed { rows, .. } => rows.edges.len(),
             RowBatch::Hits { hits } => hits.len(),
         }
     }
@@ -107,6 +121,22 @@ impl RowBatch {
     /// Whether the batch carries no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Decode a [`RowBatch::Packed`] batch into the equivalent
+    /// [`RowBatch::Graph`] batch (the fragment is byte-identical to what
+    /// the server would have sent unpacked). Plain batches pass through
+    /// unchanged, so a consumer can normalize a mixed stream.
+    pub fn into_plain(self) -> RowBatch {
+        match self {
+            RowBatch::Packed { rows, reused } => RowBatch::Graph {
+                nodes: rows.nodes.len() as u64,
+                edges: rows.edges.len() as u64,
+                graph: rows.to_graph_fragment(),
+                reused,
+            },
+            other => other,
+        }
     }
 }
 
@@ -190,6 +220,20 @@ impl ApiFrame {
                 out.push('}');
                 out
             }
+            ApiFrame::Rows(RowBatch::Packed { rows, reused }) => {
+                let packed = rows.encode_b64();
+                let mut out = String::with_capacity(packed.len() + 80);
+                out.push_str("{\"frame\":\"rows\",\"nodes\":");
+                out.push_str(&rows.nodes.len().to_string());
+                out.push_str(",\"edges\":");
+                out.push_str(&rows.edges.len().to_string());
+                out.push_str(",\"reused\":");
+                out.push_str(if *reused { "true" } else { "false" });
+                out.push_str(",\"packed\":\"");
+                out.push_str(&packed); // base64: no JSON escaping needed
+                out.push_str("\"}");
+                out
+            }
             other => other.to_value().to_string(),
         }
     }
@@ -210,8 +254,8 @@ impl ApiFrame {
                     members.push(("session".into(), Json::uint(session)));
                 }
             }
-            ApiFrame::Rows(RowBatch::Graph { .. }) => {
-                unreachable!("graph batches serialize in to_json")
+            ApiFrame::Rows(RowBatch::Graph { .. }) | ApiFrame::Rows(RowBatch::Packed { .. }) => {
+                unreachable!("graph and packed batches serialize in to_json")
             }
             ApiFrame::Rows(RowBatch::Hits { hits }) => {
                 members.push((
@@ -295,6 +339,21 @@ impl ApiFrame {
                                 })
                             })
                             .collect::<ApiResult<_>>()?,
+                    })
+                } else if let Some(packed) = v.get("packed") {
+                    let text = packed
+                        .as_str()
+                        .ok_or_else(|| ApiError::bad_request("packed must be a string"))?;
+                    let rows = PackedRows::decode_b64(text).map_err(ApiError::bad_request)?;
+                    let (nodes, edges) = (need_u64(&v, "nodes")?, need_u64(&v, "edges")?);
+                    if nodes != rows.nodes.len() as u64 || edges != rows.edges.len() as u64 {
+                        return Err(ApiError::bad_request(
+                            "packed frame counts disagree with its image",
+                        ));
+                    }
+                    ApiFrame::Rows(RowBatch::Packed {
+                        rows,
+                        reused: v.get("reused").and_then(Json::as_bool).unwrap_or(false),
                     })
                 } else {
                     ApiFrame::Rows(RowBatch::Graph {
@@ -452,6 +511,24 @@ mod tests {
             nodes: 1,
             edges: 0,
             reused: true,
+        }));
+        roundtrip(&ApiFrame::Rows(RowBatch::Packed {
+            rows: PackedRows {
+                nodes: vec![crate::pack::PackedNode {
+                    id: 3,
+                    label: "n\"3".into(),
+                    xbits: 1.25f64.to_bits(),
+                    ybits: 2.5f64.to_bits(),
+                }],
+                edges: vec![crate::pack::PackedEdge {
+                    rid: 17,
+                    source: 3,
+                    target: 3,
+                    label: "loop".into(),
+                    directed: true,
+                }],
+            },
+            reused: false,
         }));
         roundtrip(&ApiFrame::Rows(RowBatch::Hits {
             hits: vec![SearchHitDto {

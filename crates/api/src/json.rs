@@ -167,7 +167,7 @@ impl fmt::Display for Json {
 
 /// Shortest-round-trip float formatting; non-finite values (which JSON
 /// cannot carry) degrade to `null`.
-fn write_f64(v: f64, out: &mut String) {
+pub(crate) fn write_f64(v: f64, out: &mut String) {
     if v.is_finite() {
         let text = format!("{v}");
         // `{}` prints integral floats without a dot; keep the float-ness

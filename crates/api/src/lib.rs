@@ -33,12 +33,14 @@
 
 pub mod frame;
 pub mod json;
+pub mod pack;
 
 pub use frame::{
     reassemble_graph, rows_envelope_bytes, ApiFrame, FrameHeader, ProgressFrame, RowBatch,
     TrailerFrame, DEFAULT_CHUNK_ROWS,
 };
 pub use json::{escape_into, Json};
+pub use pack::{PackedEdge, PackedNode, PackedRows};
 
 use serde::{Deserialize, Serialize};
 
@@ -450,8 +452,15 @@ pub struct PoolStatsDto {
     pub misses: u64,
     /// Frames evicted to make room.
     pub evictions: u64,
-    /// Per-shard `(hits, misses, evictions)`.
-    pub shards: Vec<(u64, u64, u64)>,
+    /// Logical bytes resident: what the resident pages' contents would
+    /// occupy uncompressed. With compressed pages this exceeds
+    /// `physical_bytes`; the ratio is the pool's effective compression.
+    pub logical_bytes: u64,
+    /// Physical bytes resident (`frames × page size`).
+    pub physical_bytes: u64,
+    /// Per-shard `(hits, misses, evictions, logical_bytes,
+    /// physical_bytes)`.
+    pub shards: Vec<(u64, u64, u64, u64, u64)>,
 }
 
 /// Session-registry counters of one dataset.
@@ -552,17 +561,24 @@ impl DatasetStats {
                     ("hits".into(), Json::uint(self.pool.hits)),
                     ("misses".into(), Json::uint(self.pool.misses)),
                     ("evictions".into(), Json::uint(self.pool.evictions)),
+                    ("logical_bytes".into(), Json::uint(self.pool.logical_bytes)),
+                    (
+                        "physical_bytes".into(),
+                        Json::uint(self.pool.physical_bytes),
+                    ),
                     (
                         "shards".into(),
                         Json::Arr(
                             self.pool
                                 .shards
                                 .iter()
-                                .map(|&(hits, misses, evictions)| {
+                                .map(|&(hits, misses, evictions, logical, physical)| {
                                     Json::Obj(vec![
                                         ("hits".into(), Json::uint(hits)),
                                         ("misses".into(), Json::uint(misses)),
                                         ("evictions".into(), Json::uint(evictions)),
+                                        ("logical_bytes".into(), Json::uint(logical)),
+                                        ("physical_bytes".into(), Json::uint(physical)),
                                     ])
                                 })
                                 .collect(),
@@ -611,6 +627,16 @@ impl DatasetStats {
                 hits: need_u64(pool, "hits")?,
                 misses: need_u64(pool, "misses")?,
                 evictions: need_u64(pool, "evictions")?,
+                // Lenient: absent on payloads from pre-compression
+                // servers.
+                logical_bytes: pool
+                    .get("logical_bytes")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                physical_bytes: pool
+                    .get("physical_bytes")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 shards: need(pool, "shards")?
                     .as_arr()
                     .ok_or_else(|| ApiError::bad_request("pool shards must be an array"))?
@@ -620,6 +646,8 @@ impl DatasetStats {
                             need_u64(s, "hits")?,
                             need_u64(s, "misses")?,
                             need_u64(s, "evictions")?,
+                            s.get("logical_bytes").and_then(Json::as_u64).unwrap_or(0),
+                            s.get("physical_bytes").and_then(Json::as_u64).unwrap_or(0),
                         ))
                     })
                     .collect::<ApiResult<_>>()?,
@@ -667,6 +695,13 @@ pub enum ApiRequest {
         window: RectDto,
         /// Session to anchor on.
         session: Option<u64>,
+        /// Whether the client accepts the compact `Rows` frame encoding
+        /// (`"packed"` frames, see [`pack`]). Negotiated per request:
+        /// `false` (the default, and the wire form's absent member)
+        /// keeps every frame plain JSON, so old clients never see bytes
+        /// they can't parse. Only streamed responses honor it; the
+        /// buffered envelope is always plain.
+        packed: bool,
     },
     /// Keyword search over node labels.
     Search {
@@ -793,6 +828,7 @@ impl ApiRequest {
                 layer,
                 window,
                 session,
+                packed,
             } => {
                 dataset_member(dataset, &mut members);
                 if let Some(layer) = layer {
@@ -801,6 +837,9 @@ impl ApiRequest {
                 members.push(("window".into(), window.to_value()));
                 if let Some(sid) = session {
                     members.push(("session".into(), Json::uint(*sid)));
+                }
+                if *packed {
+                    members.push(("encoding".into(), Json::Str("packed".into())));
                 }
             }
             ApiRequest::Search {
@@ -869,6 +908,7 @@ impl ApiRequest {
                 layer: v.get("layer").and_then(Json::as_usize),
                 window: RectDto::from_value(need(&v, "window")?)?,
                 session: v.get("session").and_then(Json::as_u64),
+                packed: v.get("encoding").and_then(Json::as_str) == Some("packed"),
             },
             "search" => ApiRequest::Search {
                 dataset,

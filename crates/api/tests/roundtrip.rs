@@ -60,12 +60,14 @@ fn every_request_variant_roundtrips() {
         layer: Some(2),
         window: rect(),
         session: Some(41),
+        packed: false,
     });
     roundtrip_request(ApiRequest::Window {
         dataset: None,
         layer: None,
         window: rect(),
         session: None,
+        packed: true,
     });
     roundtrip_request(ApiRequest::Search {
         dataset: None,
@@ -235,7 +237,12 @@ fn every_response_variant_roundtrips() {
                 hits: 9_000,
                 misses: 120,
                 evictions: 7,
-                shards: vec![(4_500, 60, 3), (4_500, 60, 4)],
+                logical_bytes: 3 << 20,
+                physical_bytes: 1 << 20,
+                shards: vec![
+                    (4_500, 60, 3, 3 << 19, 1 << 19),
+                    (4_500, 60, 4, 3 << 19, 1 << 19),
+                ],
             },
             sessions: SessionStatsDto {
                 live: 2,

@@ -155,6 +155,15 @@ pub struct WindowParams {
     pub window: RectDto,
     /// Session to anchor delta pans on.
     pub session: Option<u64>,
+    /// Advertise the compact frame encoding (`encoding=packed`) on
+    /// streamed queries. On by default: [`WindowStream`] decodes packed
+    /// frames transparently back into plain [`RowBatch::Graph`] batches
+    /// whose fragments are **byte-identical** to what an unpacked stream
+    /// carries, so consumers never observe the difference — only the
+    /// wire gets smaller ([`WindowStream::rows_wire_bytes`] measures
+    /// it). Set `false` to force plain frames (e.g. to compare, or when
+    /// fronting a proxy that inspects frames).
+    pub packed: bool,
 }
 
 impl Default for WindowParams {
@@ -169,6 +178,7 @@ impl Default for WindowParams {
                 max_y: 1000.0,
             },
             session: None,
+            packed: true,
         }
     }
 }
@@ -180,6 +190,7 @@ impl WindowParams {
             layer: self.layer,
             window: self.window,
             session: self.session,
+            packed: self.packed,
         }
     }
 
@@ -196,6 +207,9 @@ impl WindowParams {
         }
         if let Some(s) = self.session {
             q.push_str(&format!("&session={s}"));
+        }
+        if self.packed {
+            q.push_str("&encoding=packed");
         }
         Ok(q)
     }
@@ -486,6 +500,7 @@ impl GvdbClient {
                 reader,
                 finished: false,
                 broken: false,
+                last_frame_bytes: 0,
             },
             header: FrameHeader {
                 op: String::new(),
@@ -503,6 +518,7 @@ impl GvdbClient {
             started,
             header_ms: 0.0,
             first_rows_ms: None,
+            rows_wire_bytes: 0,
         };
         match stream.frames.next_frame()? {
             Some(ApiFrame::Header(h)) => stream.header = h,
@@ -672,6 +688,10 @@ struct FrameReader {
     reader: BufReader<TcpStream>,
     finished: bool,
     broken: bool,
+    /// Encoded bytes of the most recently read frame (the chunk payload,
+    /// before JSON decode) — what [`WindowStream::rows_wire_bytes`]
+    /// accumulates.
+    last_frame_bytes: u64,
 }
 
 impl FrameReader {
@@ -686,6 +706,7 @@ impl FrameReader {
                 Ok(None)
             }
             Ok(Some(payload)) => {
+                self.last_frame_bytes = payload.len() as u64;
                 let text = std::str::from_utf8(&payload)
                     .map_err(|_| ClientError::Protocol("non-UTF-8 frame".into()))?;
                 let frame = ApiFrame::from_json(text.trim_end()).map_err(|e| {
@@ -743,6 +764,7 @@ pub struct WindowStream {
     started: Instant,
     header_ms: f64,
     first_rows_ms: Option<f64>,
+    rows_wire_bytes: u64,
 }
 
 /// One decoded row batch plus when it landed: `recv_ms` is measured from
@@ -776,7 +798,16 @@ impl WindowStream {
                     if self.first_rows_ms.is_none() {
                         self.first_rows_ms = Some(recv_ms);
                     }
-                    return Ok(Some(RecvBatch { batch, recv_ms }));
+                    self.rows_wire_bytes += self.frames.last_frame_bytes;
+                    // Packed frames decode here, transparently: the
+                    // reconstructed Graph fragment is byte-identical to
+                    // what an unpacked stream would have carried, so
+                    // consumers (and `reassemble_graph`) never see the
+                    // wire encoding.
+                    return Ok(Some(RecvBatch {
+                        batch: batch.into_plain(),
+                        recv_ms,
+                    }));
                 }
                 Some(ApiFrame::Progress(p)) => self.progress = Some(p),
                 Some(ApiFrame::Trailer(t)) => self.trailer = Some(t),
@@ -830,6 +861,15 @@ impl WindowStream {
     /// Milliseconds elapsed since the request was sent.
     pub fn elapsed_ms(&self) -> f64 {
         self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Encoded bytes of every `Rows` frame consumed so far — the actual
+    /// row payload that crossed the wire (envelope included, packed
+    /// frames counted at their compact size). The bench harness compares
+    /// this against the buffered payload to measure the negotiated
+    /// encoding's effect.
+    pub fn rows_wire_bytes(&self) -> u64 {
+        self.rows_wire_bytes
     }
 
     /// The trailer, once the stream is exhausted. Its `epoch` is the

@@ -165,7 +165,9 @@ fn streamed_window_matches_buffered_and_reuses_connections() {
         .iter()
         .map(|b| match b {
             RowBatch::Graph { edges, .. } => *edges,
-            RowBatch::Hits { .. } => panic!("window streams graph batches"),
+            RowBatch::Hits { .. } | RowBatch::Packed { .. } => {
+                panic!("window streams decode to plain graph batches")
+            }
         })
         .sum();
     let trailer = stream.trailer().expect("trailer after drain").clone();
@@ -232,6 +234,86 @@ fn streamed_window_matches_buffered_and_reuses_connections() {
         Ok(_) => panic!("uncarryable query must be rejected"),
     }
 
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// The negotiated compact encoding is invisible above the wire: a
+/// packed-by-default client and a `packed: false` client reassemble the
+/// exact same bytes as the buffered envelope, the packed wire is
+/// measurably smaller, and a `--plain-frames` server quietly demotes the
+/// negotiation without changing a single payload byte.
+#[test]
+fn packed_negotiation_is_transparent_and_plain_frames_demotes_it() {
+    let (qm, path) = manager("packed", 500);
+    let qm: Arc<dyn gvdb_core::GraphService> = Arc::new(qm);
+    let server = Server::start(Arc::clone(&qm), ServerConfig::default()).unwrap();
+    let client = GvdbClient::new(server.addr().to_string());
+    let whole_plane = RectDto {
+        min_x: -1e9,
+        min_y: -1e9,
+        max_x: 1e9,
+        max_y: 1e9,
+    };
+    let packed_params = WindowParams {
+        window: whole_plane,
+        ..Default::default()
+    };
+    assert!(packed_params.packed, "compact encoding is on by default");
+    let plain_params = WindowParams {
+        window: whole_plane,
+        packed: false,
+        ..Default::default()
+    };
+
+    let reassemble = |client: &GvdbClient, params: &WindowParams| -> (String, u64) {
+        let mut stream = client.window_stream(params).unwrap();
+        let batches = stream.collect_batches().unwrap();
+        let fragments: Vec<String> = batches
+            .iter()
+            .map(|b| match b {
+                RowBatch::Graph { graph, .. } => graph.clone(),
+                _ => panic!("streams decode to plain graph batches"),
+            })
+            .collect();
+        let text = gvdb_api::reassemble_graph(fragments.iter().map(String::as_str)).unwrap();
+        (text, stream.rows_wire_bytes())
+    };
+
+    // Packed stream (cold), then the buffered envelope: identical bytes.
+    let (packed_text, packed_wire) = reassemble(&client, &packed_params);
+    let (_, buffered) = client.window(&plain_params).unwrap();
+    assert_eq!(
+        packed_text, buffered,
+        "packed stream diverged from buffered"
+    );
+
+    // A plain client sees the same bytes — and a fatter wire.
+    let (plain_text, plain_wire) = reassemble(&client, &plain_params);
+    assert_eq!(plain_text, buffered);
+    assert!(
+        packed_wire * 2 < plain_wire,
+        "packed wire {packed_wire} B should be well under half of plain {plain_wire} B"
+    );
+    server.shutdown();
+
+    // The operational escape hatch: a --plain-frames server ignores the
+    // client's `encoding=packed` and streams plain — same bytes anyway.
+    let server = Server::start(
+        qm,
+        ServerConfig {
+            plain_frames: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let client = GvdbClient::new(server.addr().to_string());
+    let (demoted_text, demoted_wire) = reassemble(&client, &packed_params);
+    assert_eq!(demoted_text, buffered);
+    assert!(
+        demoted_wire > packed_wire * 2,
+        "demoted stream carries plain frames"
+    );
     server.shutdown();
     std::fs::remove_file(&path).ok();
 }

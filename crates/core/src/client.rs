@@ -99,6 +99,7 @@ mod tests {
             edge_count: edges,
             node_spans: Vec::new(),
             edge_spans: Vec::new(),
+            canonical: false,
         }
     }
 

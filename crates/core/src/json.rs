@@ -57,6 +57,14 @@ pub struct GraphJson {
     /// every query path emits rows in ascending [`RowId`] order, which is
     /// what lets [`GraphJson::merge`] two-way merge without sorting.
     pub(crate) edge_spans: Vec<Span>,
+    /// Whether node emission order is the canonical first-seen-in-row
+    /// order of a fresh build ([`build_graph_json`] /
+    /// [`GraphJsonBuilder`]). Spliced payloads ([`GraphJson::retain`],
+    /// [`GraphJson::merge`]) keep surviving nodes in their *original*
+    /// positions, so their order is not reproducible from the rows alone
+    /// — the packed frame encoder (which rebuilds node order from rows
+    /// on the client) only engages when this is `true`.
+    pub canonical: bool,
 }
 
 /// Single-pass payload writer: prefix, node objects, separator, edge
@@ -151,6 +159,7 @@ impl PayloadBuilder {
             edge_count: self.edge_spans.len(),
             node_spans: self.node_spans,
             edge_spans: self.edge_spans,
+            canonical: false,
         }
     }
 }
@@ -387,37 +396,24 @@ impl GraphJson {
     }
 }
 
-/// Write one node object (`{"id","label","x","y"}`) into `buf`.
+/// Write one node object (`{"id","label","x","y"}`) into `buf` — the
+/// canonical writer lives in `gvdb_api::pack`, shared with the packed
+/// frame decoder so a client-side decode reprints byte-identically.
 fn write_node(buf: &mut String, id: u64, label: &str, x: f64, y: f64) {
-    buf.push_str("{\"id\":");
-    buf.push_str(&id.to_string());
-    buf.push_str(",\"label\":\"");
-    escape_into(label, buf);
-    buf.push_str("\",\"x\":");
-    push_f64(buf, x);
-    buf.push_str(",\"y\":");
-    push_f64(buf, y);
-    buf.push('}');
+    gvdb_api::pack::write_node_json(buf, id, label, x, y);
 }
 
 /// Write one edge object (`{"id","source","target","label","directed"}`)
-/// into `buf`.
+/// into `buf` — canonical writer shared via `gvdb_api::pack`.
 fn write_edge(buf: &mut String, rid64: u64, row: &EdgeRow) {
-    buf.push_str("{\"id\":");
-    buf.push_str(&rid64.to_string());
-    buf.push_str(",\"source\":");
-    buf.push_str(&row.node1_id.to_string());
-    buf.push_str(",\"target\":");
-    buf.push_str(&row.node2_id.to_string());
-    buf.push_str(",\"label\":\"");
-    escape_into(&row.edge_label, buf);
-    buf.push_str("\",\"directed\":");
-    buf.push_str(if row.geometry.directed {
-        "true"
-    } else {
-        "false"
-    });
-    buf.push('}');
+    gvdb_api::pack::write_edge_json(
+        buf,
+        rid64,
+        row.node1_id,
+        row.node2_id,
+        &row.edge_label,
+        row.geometry.directed,
+    );
 }
 
 /// Incremental payload writer for the streamed cold path: rows arrive
@@ -564,6 +560,7 @@ impl GraphJsonBuilder {
             edge_count: self.edge_spans.len(),
             node_spans: self.node_spans,
             edge_spans: self.edge_spans,
+            canonical: true,
         }
     }
 }
@@ -582,26 +579,11 @@ pub fn build_graph_json(rows: &[(RowId, EdgeRow)]) -> GraphJson {
     b.finish()
 }
 
-/// JSON string escaping per RFC 8259.
+/// JSON string escaping per RFC 8259 (delegates to the shared
+/// `gvdb_api` implementation; kept as a `pub` re-entry point for
+/// embedders that imported it from here).
 pub fn escape_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
-
-fn push_f64(out: &mut String, v: f64) {
-    // Fixed short form: pixel coordinates don't need full precision.
-    out.push_str(&format!("{v:.2}"));
+    gvdb_api::escape_into(s, out);
 }
 
 #[cfg(test)]

@@ -195,6 +195,14 @@ impl ColdWindowStream<'_> {
         self.candidates.len()
     }
 
+    /// Every row emitted so far, in emission order. A frame returned by
+    /// [`ColdWindowStream::next_chunk`] covers `edge_range` indexes of
+    /// this slice — what the packed-frame encoder reads to re-derive the
+    /// frame's content from rows instead of re-parsing its JSON.
+    pub fn rows_so_far(&self) -> &[(RowId, EdgeRow)] {
+        &self.rows
+    }
+
     /// Fetch and serialize the next non-empty chunk: at most
     /// `chunk_rows` candidates are heap-fetched under the read guard,
     /// refined against the window, and appended to the incremental

@@ -33,8 +33,8 @@ use crate::registry::SessionId;
 use crate::workspace::SharedWorkspace;
 use gvdb_api::{
     ApiError, ApiFrame, ApiRequest, ApiResponse, ApiResult, DatasetInfo, DatasetStats, EdgeDto,
-    FrameHeader, LayerInfo, ProgressFrame, RectDto, RowBatch, SearchHitDto, SessionStatsDto,
-    Source, StatsDto, TrailerFrame, WindowMeta,
+    FrameHeader, LayerInfo, PackedEdge, PackedNode, PackedRows, ProgressFrame, RectDto, RowBatch,
+    SearchHitDto, SessionStatsDto, Source, StatsDto, TrailerFrame, WindowMeta,
 };
 use gvdb_spatial::Rect;
 use gvdb_storage::{EdgeGeometry, EdgeRow, RowId, StorageError};
@@ -626,8 +626,10 @@ fn stream_dataset(
             layer,
             window,
             session,
+            packed,
             ..
         } => {
+            let packed = *packed;
             let rect = to_rect(window)?;
             match session {
                 Some(sid) => {
@@ -654,13 +656,33 @@ fn stream_dataset(
                             response,
                             session: Some(*sid),
                         };
-                        return stream_window_outcome(qm, outcome, chunk, sink);
+                        return stream_window_outcome(qm, outcome, chunk, packed, sink);
                     }
                     let anchor = session.anchor();
                     drop(session);
-                    stream_window(name, qm, layer, rect, anchor, Some(*sid), chunk, sink)
+                    stream_window(
+                        name,
+                        qm,
+                        layer,
+                        rect,
+                        anchor,
+                        Some(*sid),
+                        chunk,
+                        packed,
+                        sink,
+                    )
                 }
-                None => stream_window(name, qm, layer.unwrap_or(0), rect, None, None, chunk, sink),
+                None => stream_window(
+                    name,
+                    qm,
+                    layer.unwrap_or(0),
+                    rect,
+                    None,
+                    None,
+                    chunk,
+                    packed,
+                    sink,
+                ),
             }
         }
         ApiRequest::Search { layer, query, .. } => {
@@ -726,6 +748,7 @@ fn stream_window(
     anchor: Option<Rect>,
     session: Option<SessionId>,
     chunk: usize,
+    packed: bool,
     sink: &mut dyn FrameSink,
 ) -> ApiResult<()> {
     match qm
@@ -739,7 +762,7 @@ fn stream_window(
                 response,
                 session,
             };
-            stream_window_outcome(qm, outcome, chunk, sink)
+            stream_window_outcome(qm, outcome, chunk, packed, sink)
         }
         StreamPlan::Cold(mut cold) => {
             sink.emit(&ApiFrame::Header(FrameHeader {
@@ -757,13 +780,37 @@ fn stream_window(
             let many = cold.candidate_rows() > chunk;
             let mut frames = 0u64;
             let mut sent = 0u64;
+            // Cold payloads are canonical by construction (incremental
+            // builder), so the negotiated packed encoding applies to
+            // every frame.
+            let mut enc = PackedEncoder::new();
+            let mut pack_ok = packed;
             while let Some(frame) = cold.next_chunk(chunk).map_err(storage_error)? {
-                sink.emit(&ApiFrame::Rows(RowBatch::Graph {
-                    graph: frame.graph,
-                    nodes: frame.nodes as u64,
-                    edges: frame.edges as u64,
-                    reused: false,
-                }))?;
+                let compact = if pack_ok {
+                    let (start, end) = frame.edge_range;
+                    let rows = enc.frame(&cold.rows_so_far()[start..end]);
+                    if rows.nodes.len() == frame.nodes {
+                        Some(rows)
+                    } else {
+                        debug_assert!(false, "packed derivation diverged from the payload");
+                        pack_ok = false;
+                        None
+                    }
+                } else {
+                    None
+                };
+                match compact {
+                    Some(rows) => sink.emit(&ApiFrame::Rows(RowBatch::Packed {
+                        rows,
+                        reused: false,
+                    }))?,
+                    None => sink.emit(&ApiFrame::Rows(RowBatch::Graph {
+                        graph: frame.graph,
+                        nodes: frame.nodes as u64,
+                        edges: frame.edges as u64,
+                        reused: false,
+                    }))?,
+                }
                 frames += 1;
                 sent += frame.edges as u64;
                 if many {
@@ -788,6 +835,63 @@ fn stream_window(
     }
 }
 
+/// Stream-level packed-frame encoder. Given each frame's row slice (in
+/// emission order), it re-derives the frame's content — nodes
+/// deduplicated across the whole stream, first occurrence wins — which
+/// for a canonical payload is exactly the node emission order of
+/// [`build_graph_json`] / the incremental builder. The caller verifies
+/// the derived node count against the sliced frame's and falls back to
+/// plain frames on any divergence, so a packed stream can never ship
+/// different content than its plain twin.
+struct PackedEncoder {
+    seen: std::collections::HashSet<u64>,
+}
+
+impl PackedEncoder {
+    fn new() -> Self {
+        PackedEncoder {
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    fn frame(&mut self, rows: &[(RowId, EdgeRow)]) -> PackedRows {
+        let mut out = PackedRows::default();
+        for (rid, row) in rows {
+            for (id, label, x, y) in [
+                (
+                    row.node1_id,
+                    &row.node1_label,
+                    row.geometry.x1,
+                    row.geometry.y1,
+                ),
+                (
+                    row.node2_id,
+                    &row.node2_label,
+                    row.geometry.x2,
+                    row.geometry.y2,
+                ),
+            ] {
+                if self.seen.insert(id) {
+                    out.nodes.push(PackedNode {
+                        id,
+                        label: label.to_string(),
+                        xbits: x.to_bits(),
+                        ybits: y.to_bits(),
+                    });
+                }
+            }
+            out.edges.push(PackedEdge {
+                rid: rid.to_u64(),
+                source: row.node1_id,
+                target: row.node2_id,
+                label: row.edge_label.to_string(),
+                directed: row.geometry.directed,
+            });
+        }
+        out
+    }
+}
+
 /// Stream one computed [`WindowOutcome`] by **slicing its payload**:
 /// every `Rows` frame is a contiguous span-index run of
 /// `response.json` (two `memcpy`s — see [`GraphJson::frame_slices`]),
@@ -802,6 +906,7 @@ fn stream_window_outcome(
     qm: &QueryManager,
     outcome: WindowOutcome,
     chunk: usize,
+    packed: bool,
     sink: &mut dyn FrameSink,
 ) -> ApiResult<()> {
     let meta = outcome.meta();
@@ -812,6 +917,12 @@ fn stream_window_outcome(
     let many = resp.rows.len() > chunk;
     let mut frames = 0u64;
     let mut sent = 0u64;
+    // Packed frames only for canonical payloads: a spliced delta keeps
+    // surviving nodes in their original positions, an order the
+    // row-driven encoder cannot reproduce — those streams fall back to
+    // plain frames wholesale (the negotiation is "may pack", not "must").
+    let mut enc = PackedEncoder::new();
+    let mut pack_ok = packed && resp.json.canonical;
     // Ascending arrival ids against ascending frame ranges: one
     // monotone pointer classifies every frame.
     let mut ai = 0usize;
@@ -829,12 +940,27 @@ fn stream_window_outcome(
         } else {
             false
         };
-        sink.emit(&ApiFrame::Rows(RowBatch::Graph {
-            graph: frame.graph,
-            nodes: frame.nodes as u64,
-            edges: frame.edges as u64,
-            reused,
-        }))?;
+        let compact = if pack_ok {
+            let rows = enc.frame(&resp.rows[start..end]);
+            if rows.nodes.len() == frame.nodes {
+                Some(rows)
+            } else {
+                debug_assert!(false, "packed derivation diverged from the payload");
+                pack_ok = false;
+                None
+            }
+        } else {
+            None
+        };
+        match compact {
+            Some(rows) => sink.emit(&ApiFrame::Rows(RowBatch::Packed { rows, reused }))?,
+            None => sink.emit(&ApiFrame::Rows(RowBatch::Graph {
+                graph: frame.graph,
+                nodes: frame.nodes as u64,
+                edges: frame.edges as u64,
+                reused,
+            }))?,
+        }
         frames += 1;
         sent += frame.edges as u64;
         if many {
@@ -892,10 +1018,20 @@ pub fn dataset_stats(name: &str, qm: &QueryManager) -> DatasetStats {
             hits: pool.hits,
             misses: pool.misses,
             evictions: pool.evictions,
+            logical_bytes: pool.logical_bytes,
+            physical_bytes: pool.physical_bytes,
             shards: qm
                 .pool_shard_stats()
                 .iter()
-                .map(|s| (s.hits, s.misses, s.evictions))
+                .map(|s| {
+                    (
+                        s.hits,
+                        s.misses,
+                        s.evictions,
+                        s.logical_bytes,
+                        s.physical_bytes,
+                    )
+                })
                 .collect(),
         },
         sessions: SessionStatsDto {
@@ -996,6 +1132,7 @@ mod tests {
                 max_y: 2000.0,
             },
             session,
+            packed: false,
         }
     }
 
@@ -1079,6 +1216,7 @@ mod tests {
                 max_y: 2000.0,
             },
             session: Some(id),
+            packed: false,
         };
         let ApiOutcome::Window(second) = svc.call(&pan).unwrap() else {
             panic!("wrong outcome")
@@ -1183,6 +1321,7 @@ mod tests {
                     max_y: 1.0,
                 },
                 session: None,
+                packed: false,
             })
             .unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadRequest);
@@ -1212,6 +1351,7 @@ mod tests {
                 max_y: 1e9,
             },
             session: None,
+            packed: false,
         };
         let mut sink = crate::FrameBuffer::new();
         qm.call_streamed(&everything, &mut sink).unwrap();
@@ -1339,6 +1479,7 @@ mod tests {
             layer: Some(0),
             window: rect(0.0, 0.6),
             session: None,
+            packed: false,
         })
         .unwrap(); // anchor the cache
         let pan = ApiRequest::Window {
@@ -1346,6 +1487,7 @@ mod tests {
             layer: Some(0),
             window: rect(0.15, 0.75),
             session: None,
+            packed: false,
         };
         let mut sink = crate::FrameBuffer::new();
         qm.call_streamed(&pan, &mut sink).unwrap();
@@ -1379,6 +1521,189 @@ mod tests {
         };
         assert!(buffered.response.cache_hit);
         assert_eq!(reassembled, buffered.response.json.text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Decode every Rows frame in `sink` to a plain graph fragment,
+    /// counting how many arrived packed on the way.
+    fn decode_rows_frames(sink: &crate::FrameBuffer) -> (Vec<String>, usize) {
+        let mut fragments = Vec::new();
+        let mut packed_frames = 0usize;
+        for frame in &sink.frames {
+            let gvdb_api::ApiFrame::Rows(batch) = frame else {
+                continue;
+            };
+            if matches!(batch, gvdb_api::RowBatch::Packed { .. }) {
+                packed_frames += 1;
+            }
+            let gvdb_api::RowBatch::Graph { graph, .. } = batch.clone().into_plain() else {
+                panic!("rows frames decode to graph batches")
+            };
+            fragments.push(graph);
+        }
+        (fragments, packed_frames)
+    }
+
+    #[test]
+    fn packed_cold_and_hit_streams_decode_byte_identical_to_buffered() {
+        let g = wikidata_like(RdfConfig {
+            entities: 250,
+            ..Default::default()
+        });
+        let path = tmp("stream-packed");
+        let (db, _) = preprocess(
+            &g,
+            &path,
+            &PreprocessConfig {
+                k: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // A small chunk so the whole-plane stream spans many frames.
+        let model = crate::ClientModel {
+            chunk_rows: 8,
+            ..Default::default()
+        };
+        let qm = QueryManager::with_client(db, model);
+        let packed_req = ApiRequest::Window {
+            dataset: None,
+            layer: Some(0),
+            window: RectDto {
+                min_x: -1e9,
+                min_y: -1e9,
+                max_x: 1e9,
+                max_y: 1e9,
+            },
+            session: None,
+            packed: true,
+        };
+
+        // Cold path: the stream packs every frame straight from the rows.
+        let mut sink = crate::FrameBuffer::new();
+        qm.call_streamed(&packed_req, &mut sink).unwrap();
+        let gvdb_api::ApiFrame::Header(header) = &sink.frames[0] else {
+            panic!("first frame is the header")
+        };
+        assert_eq!(header.source, Some(Source::Cold));
+        let (fragments, packed_frames) = decode_rows_frames(&sink);
+        assert!(packed_frames > 1, "cold stream negotiated packed frames");
+        assert_eq!(packed_frames, fragments.len(), "every cold frame packs");
+        let reassembled = gvdb_api::reassemble_graph(fragments.iter().map(String::as_str)).unwrap();
+
+        // The buffered envelope for the identical window is an exact
+        // cache hit on the payload the stream just built — the decoded
+        // fragments must reproduce it byte for byte.
+        let plain_req = ApiRequest::Window {
+            dataset: None,
+            layer: Some(0),
+            window: RectDto {
+                min_x: -1e9,
+                min_y: -1e9,
+                max_x: 1e9,
+                max_y: 1e9,
+            },
+            session: None,
+            packed: false,
+        };
+        let ApiOutcome::Window(buffered) = qm.call(&plain_req).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert!(buffered.response.cache_hit);
+        assert_eq!(reassembled, buffered.response.json.text);
+
+        // Hit path: the cached canonical payload streams packed too, and
+        // decodes to the same bytes.
+        let mut sink = crate::FrameBuffer::new();
+        qm.call_streamed(&packed_req, &mut sink).unwrap();
+        let gvdb_api::ApiFrame::Header(header) = &sink.frames[0] else {
+            panic!("first frame is the header")
+        };
+        assert_eq!(header.source, Some(Source::Hit));
+        let (fragments, packed_frames) = decode_rows_frames(&sink);
+        assert!(packed_frames > 1, "hit stream negotiated packed frames");
+        let reassembled = gvdb_api::reassemble_graph(fragments.iter().map(String::as_str)).unwrap();
+        assert_eq!(reassembled, buffered.response.json.text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Random pans over one dataset: whatever mix of cold, exact-hit and
+    /// spliced-delta payloads each window lands on, a packed stream must
+    /// decode to the exact bytes of the buffered envelope. Non-canonical
+    /// (spliced) payloads are the fallback case — those frames simply
+    /// arrive plain, and the equality still holds.
+    #[test]
+    fn packed_streams_stay_byte_identical_across_random_pans() {
+        let g = wikidata_like(RdfConfig {
+            entities: 200,
+            ..Default::default()
+        });
+        let path = tmp("stream-packed-prop");
+        let (db, _) = preprocess(
+            &g,
+            &path,
+            &PreprocessConfig {
+                k: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let model = crate::ClientModel {
+            chunk_rows: 16,
+            ..Default::default()
+        };
+        let qm = QueryManager::with_client(db, model);
+        let extent = qm
+            .window_query(0, &Rect::new(-1e9, -1e9, 1e9, 1e9))
+            .unwrap();
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, row) in extent.rows.iter() {
+            min_x = min_x.min(row.geometry.x1).min(row.geometry.x2);
+            max_x = max_x.max(row.geometry.x1).max(row.geometry.x2);
+            min_y = min_y.min(row.geometry.y1).min(row.geometry.y2);
+            max_y = max_y.max(row.geometry.y1).max(row.geometry.y2);
+        }
+        let (w, h) = (max_x - min_x, max_y - min_y);
+
+        for case in 0..24u32 {
+            let mut rng = proptest::TestRng::for_case("packed_pans", case);
+            let (fx, fy) = (rng.unit_f64() * 0.7, rng.unit_f64() * 0.7);
+            let (fw, fh) = (0.2 + rng.unit_f64() * 0.4, 0.2 + rng.unit_f64() * 0.4);
+            let window = RectDto {
+                min_x: min_x + fx * w,
+                min_y: min_y + fy * h,
+                max_x: min_x + (fx + fw) * w,
+                max_y: min_y + (fy + fh) * h,
+            };
+            let packed_req = ApiRequest::Window {
+                dataset: None,
+                layer: Some(0),
+                window,
+                session: None,
+                packed: true,
+            };
+            let mut sink = crate::FrameBuffer::new();
+            qm.call_streamed(&packed_req, &mut sink).unwrap();
+            let (fragments, _) = decode_rows_frames(&sink);
+            let reassembled =
+                gvdb_api::reassemble_graph(fragments.iter().map(String::as_str)).unwrap();
+            let plain_req = ApiRequest::Window {
+                dataset: None,
+                layer: Some(0),
+                window,
+                session: None,
+                packed: false,
+            };
+            let ApiOutcome::Window(buffered) = qm.call(&plain_req).unwrap() else {
+                panic!("wrong outcome")
+            };
+            assert!(buffered.response.cache_hit, "stream primed the cache");
+            assert_eq!(
+                reassembled, buffered.response.json.text,
+                "window {window:?} diverged"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 
@@ -1484,6 +1809,7 @@ mod tests {
                 max_y: 1e9,
             },
             session: None,
+            packed: false,
         };
         svc.call(&win("dblp")).unwrap();
         svc.call(&win("patents")).unwrap();

@@ -63,7 +63,7 @@
 //! |---|---|---|
 //! | `/v1/datasets` | GET | `ListDatasets` |
 //! | `/v1/layers?dataset=` | GET | `ListLayers` |
-//! | `/v1/window?dataset=&layer=&minx=&miny=&maxx=&maxy=[&session=][&stream=0]` | GET | `Window` (cold / hit / anchored delta; **streamed** unless `stream=0`) |
+//! | `/v1/window?dataset=&layer=&minx=&miny=&maxx=&maxy=[&session=][&stream=0][&encoding=packed]` | GET | `Window` (cold / hit / anchored delta; **streamed** unless `stream=0`; `encoding=packed` negotiates the compact `Rows` encoding — see `gvdb_api::pack` — unless the server runs `--plain-frames`) |
 //! | `/v1/search?dataset=&layer=&q=[&stream=0]` | GET | `Search` (**streamed** unless `stream=0`) |
 //! | `/v1/focus?dataset=&layer=&node=` | GET | `Focus` |
 //! | `/v1/edge` | POST | `InsertEdge` (body: `{"dataset":…,"layer":…,"edge":{…}}` or a bare edge object) |
@@ -136,6 +136,12 @@ pub struct ServerConfig {
     /// fine: the budget gates *pending* bytes, and a buffered response
     /// is one push into an empty outbox.)
     pub outbox_bytes: usize,
+    /// When set, streamed window responses ignore a client's
+    /// `encoding=packed` negotiation and always emit plain `Graph`
+    /// frames — an operational escape hatch (`serve --plain-frames`)
+    /// for debugging the wire with curl or fronting clients that log
+    /// raw frames.
+    pub plain_frames: bool,
 }
 
 impl Default for ServerConfig {
@@ -148,6 +154,7 @@ impl Default for ServerConfig {
             read_only: Vec::new(),
             max_connections: 4096,
             outbox_bytes: 1 << 20,
+            plain_frames: false,
         }
     }
 }
@@ -167,6 +174,7 @@ struct AppState {
     backlog: usize,
     api_key: Option<String>,
     read_only: Vec<String>,
+    plain_frames: bool,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -214,6 +222,7 @@ impl Server {
             backlog,
             api_key: config.api_key.clone(),
             read_only: config.read_only.clone(),
+            plain_frames: config.plain_frames,
             shutdown: Arc::clone(&shutdown),
         });
 
@@ -371,7 +380,13 @@ fn execute_job(job: Job, state: &AppState) {
     // commit to the Connection header before the result exists, which
     // is why errors after the first frame close the connection instead.
     let reusable = request.keep_alive && allow_keep_alive && !state.shutdown.load(Ordering::SeqCst);
-    if let Some(api_request) = streamable_request(&request) {
+    if let Some(mut api_request) = streamable_request(&request) {
+        if state.plain_frames {
+            // Operator opt-out: pretend the client never asked.
+            if let ApiRequest::Window { packed, .. } = &mut api_request {
+                *packed = false;
+            }
+        }
         state.served.fetch_add(1, Ordering::Relaxed);
         serve_streamed(&api_request, state, &conn, reusable);
         return;
@@ -416,6 +431,7 @@ fn window_request(request: &Request, dataset: Option<String>) -> Option<ApiReque
         layer: request.parse("layer"),
         window,
         session: request.parse("session"),
+        packed: request.param("encoding") == Some("packed"),
     })
 }
 
@@ -849,6 +865,7 @@ fn route_legacy(request: &Request, state: &AppState) -> Response {
                 layer: request.parse("layer"),
                 window,
                 session: request.parse("session"),
+                packed: false,
             };
             match service.call(&api_request) {
                 Ok(ApiOutcome::Window(outcome)) => {
@@ -996,7 +1013,8 @@ fn legacy_stats_json(state: &AppState, ds: &DatasetStats) -> String {
         ds.pool.evictions,
         ds.pool.hits as f64 / (pool_total.max(1)) as f64
     ));
-    for (i, (hits, misses, evictions)) in ds.pool.shards.iter().enumerate() {
+    // Legacy wire shape: counters only (the byte gauges are v1-only).
+    for (i, (hits, misses, evictions, _, _)) in ds.pool.shards.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }

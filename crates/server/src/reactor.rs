@@ -639,6 +639,7 @@ mod tests {
             backlog: 4,
             api_key: None,
             read_only: Vec::new(),
+            plain_frames: false,
             shutdown: Arc::new(AtomicBool::new(false)),
         });
         let (mut reactor, _shared) = Reactor::new(listener, jobs, state, 16, 1024).unwrap();

@@ -315,6 +315,7 @@ fn racing_edit_mid_stream_surfaces_in_the_trailer_epoch() {
             max_y: 1e9,
         },
         session: None,
+        packed: false,
     };
     let mut sink = EditOnFirstBatch {
         qm: &qm,

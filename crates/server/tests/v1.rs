@@ -223,6 +223,7 @@ fn rpc_endpoint_speaks_serialized_requests() {
             max_y: 1200.0,
         },
         session: None,
+        packed: false,
     };
     let (h, body) = client.request("POST", "/v1", Some(&req.to_json()));
     assert!(h.contains("200 OK"), "{h}");

@@ -15,8 +15,9 @@
 //! the read hot path. Counters ([`BufferStats`]) are relaxed atomics,
 //! kept both per shard and in aggregate.
 
+use crate::compress;
 use crate::error::Result;
-use crate::page::{Page, PageId};
+use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::pager::Pager;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -48,12 +49,17 @@ pub fn default_shards() -> usize {
     })
 }
 
-/// Cache statistics (monotonic counters, relaxed atomics).
+/// Cache statistics: monotonic counters (hits/misses/evictions) plus two
+/// residency **gauges** — `physical_bytes` (resident frames × page size)
+/// and `logical_bytes` (the plain-format bytes those frames represent;
+/// see [`crate::compress::logical_page_bytes`]). All relaxed atomics.
 #[derive(Debug, Default)]
 pub struct BufferStats {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    logical_bytes: AtomicU64,
+    physical_bytes: AtomicU64,
 }
 
 impl BufferStats {
@@ -72,6 +78,39 @@ impl BufferStats {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Plain-equivalent bytes of the currently resident pages (gauge).
+    /// With compressed pages this exceeds [`Self::physical_bytes`]; the
+    /// ratio is the pool-wide compression factor.
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Raw bytes of the currently resident frames (gauge):
+    /// frames × page size.
+    pub fn physical_bytes(&self) -> u64 {
+        self.physical_bytes.load(Ordering::Relaxed)
+    }
+
+    fn add_resident(&self, logical: u64) {
+        self.logical_bytes.fetch_add(logical, Ordering::Relaxed);
+        self.physical_bytes
+            .fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+    }
+
+    fn sub_resident(&self, logical: u64) {
+        self.logical_bytes.fetch_sub(logical, Ordering::Relaxed);
+        self.physical_bytes
+            .fetch_sub(PAGE_SIZE as u64, Ordering::Relaxed);
+    }
+
+    fn move_logical(&self, old: u64, new: u64) {
+        if new > old {
+            self.logical_bytes.fetch_add(new - old, Ordering::Relaxed);
+        } else {
+            self.logical_bytes.fetch_sub(old - new, Ordering::Relaxed);
+        }
+    }
+
     /// Point-in-time copy of all counters — what the query layer reports
     /// so a bench can difference two snapshots around a query and see how
     /// many page pins it cost.
@@ -80,6 +119,8 @@ impl BufferStats {
             hits: self.hits(),
             misses: self.misses(),
             evictions: self.evictions(),
+            logical_bytes: self.logical_bytes(),
+            physical_bytes: self.physical_bytes(),
         }
     }
 }
@@ -94,6 +135,10 @@ pub struct PoolStats {
     pub misses: u64,
     /// Frames evicted to make room.
     pub evictions: u64,
+    /// Plain-equivalent bytes of resident pages (gauge, not monotonic).
+    pub logical_bytes: u64,
+    /// Raw bytes of resident frames (gauge): frames × page size.
+    pub physical_bytes: u64,
 }
 
 impl PoolStats {
@@ -107,13 +152,27 @@ impl PoolStats {
         }
     }
 
+    /// Compression factor of the resident set: logical / physical bytes
+    /// (1.0 when nothing is resident — an empty pool compresses nothing).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+
     /// Counter-wise difference against an earlier snapshot (for
-    /// per-query accounting).
+    /// per-query accounting). The byte gauges are not differenced — they
+    /// describe current residency, so the later snapshot's values carry
+    /// over unchanged.
     pub fn since(&self, earlier: &PoolStats) -> PoolStats {
         PoolStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            logical_bytes: self.logical_bytes,
+            physical_bytes: self.physical_bytes,
         }
     }
 }
@@ -123,6 +182,10 @@ struct Frame {
     page: Page,
     dirty: bool,
     referenced: bool,
+    /// Plain-equivalent bytes this page represents (== `PAGE_SIZE` unless
+    /// the page is in a compressed format). Re-probed after every
+    /// mutation so the residency gauges stay current.
+    logical: u64,
 }
 
 /// One lock stripe: the frames for `pid % shards == index`, plus a
@@ -202,12 +265,16 @@ impl ShardInner {
         } else {
             self.read_page(pid, page_count)?
         };
+        let logical = compress::logical_page_bytes(&page) as u64;
         let idx = if self.frames.len() < self.capacity {
+            stats.add_resident(logical);
+            global.add_resident(logical);
             self.frames.push(Frame {
                 pid,
                 page,
                 dirty: false,
                 referenced: true,
+                logical,
             });
             self.frames.len() - 1
         } else {
@@ -228,6 +295,10 @@ impl ShardInner {
                 let (old_pid, old_page) = (old.pid, old.page.clone());
                 self.write_page(old_pid, &old_page)?;
             }
+            // One frame replaces another: physical stays, logical moves.
+            let old_logical = self.frames[victim].logical;
+            stats.move_logical(old_logical, logical);
+            global.move_logical(old_logical, logical);
             let old_pid = self.frames[victim].pid;
             self.map.remove(&old_pid);
             self.frames[victim] = Frame {
@@ -235,6 +306,7 @@ impl ShardInner {
                 page,
                 dirty: false,
                 referenced: true,
+                logical,
             };
             victim
         };
@@ -359,7 +431,17 @@ impl BufferPool {
         let idx = inner.frame_for(&shard.stats, &self.stats, pid, count, false)?;
         inner.frames[idx].referenced = true;
         inner.frames[idx].dirty = true;
-        Ok(f(&mut inner.frames[idx].page))
+        let r = f(&mut inner.frames[idx].page);
+        // The mutation may have changed the page's format (e.g. a bulk
+        // build writing a compressed image): re-probe its logical size.
+        let logical = compress::logical_page_bytes(&inner.frames[idx].page) as u64;
+        let old = inner.frames[idx].logical;
+        if logical != old {
+            inner.frames[idx].logical = logical;
+            shard.stats.move_logical(old, logical);
+            self.stats.move_logical(old, logical);
+        }
+        Ok(r)
     }
 
     /// Batched page access: run `f` once per id in `pids`, grouping the
@@ -405,6 +487,9 @@ impl BufferPool {
             let shard = self.shard_of(pid);
             let mut inner = shard.inner.lock();
             if let Some(idx) = inner.map.remove(&pid) {
+                let logical = inner.frames[idx].logical;
+                shard.stats.sub_resident(logical);
+                self.stats.sub_resident(logical);
                 // Swap-remove and fix up the displaced frame's map entry.
                 inner.frames.swap_remove(idx);
                 if idx < inner.frames.len() {
@@ -599,6 +684,8 @@ mod tests {
                 hits: acc.hits + s.hits,
                 misses: acc.misses + s.misses,
                 evictions: acc.evictions + s.evictions,
+                logical_bytes: acc.logical_bytes + s.logical_bytes,
+                physical_bytes: acc.physical_bytes + s.physical_bytes,
             });
         assert_eq!(sum, total, "shard counters must sum to the aggregate");
         // 24 sequential pids over 8 shards: traffic must stripe widely.
@@ -606,6 +693,35 @@ mod tests {
             per_shard.iter().filter(|s| s.hits + s.misses > 0).count() > 1,
             "sequential page ids must spread across shards"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn byte_gauges_track_residency_and_compression() {
+        let (pool, path) = pool("gauges", 8);
+        let pid = pool.allocate().unwrap();
+        let snap = pool.stats().snapshot();
+        assert_eq!(snap.physical_bytes, PAGE_SIZE as u64);
+        assert_eq!(snap.logical_bytes, PAGE_SIZE as u64, "plain page is 1:1");
+        // Overwrite with a compressed R-tree leaf: the re-probe after the
+        // mutation must lift the logical gauge to the plain-equivalent
+        // size (4-byte header + 40 bytes per entry).
+        let mut b = compress::RtreeLeafBuilder::new();
+        for i in 0..300u64 {
+            assert!(b.push([100.0, 100.0, 101.0, 101.0], i));
+        }
+        let image = b.seal();
+        pool.with_page_mut(pid, |p| p.put_slice(0, image.bytes()))
+            .unwrap();
+        let snap = pool.stats().snapshot();
+        assert_eq!(snap.physical_bytes, PAGE_SIZE as u64);
+        assert_eq!(snap.logical_bytes, 4 + 300 * 40);
+        assert!(snap.compression_ratio() > 1.0);
+        // Freeing the page empties both gauges.
+        pool.free(pid).unwrap();
+        let snap = pool.stats().snapshot();
+        assert_eq!(snap.physical_bytes, 0);
+        assert_eq!(snap.logical_bytes, 0);
         std::fs::remove_file(&path).ok();
     }
 

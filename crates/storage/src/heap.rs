@@ -15,6 +15,7 @@
 //! `len == 0` marks a dead slot (deleted record).
 
 use crate::buffer::BufferPool;
+use crate::compress::{self, HeapPageBuilder, HeapPageView};
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, PAGE_SIZE};
 
@@ -105,7 +106,13 @@ impl HeapFile {
         // are write-mostly during preprocessing, and edit-mode deletions are
         // rare; reclaiming dead slots is the compactor's job, not insert's.)
         let fits = pool.with_page(self.last, |p| {
-            let slots = p.get_u16(OFF_SLOT_COUNT) as usize;
+            let word = p.get_u16(OFF_SLOT_COUNT);
+            if compress::is_compressed_heap(word) {
+                // Compressed pages are sealed at bulk-build time and never
+                // grow; edits chain a fresh plain page instead.
+                return false;
+            }
+            let slots = word as usize;
             let free_end = p.get_u16(OFF_FREE_END) as usize;
             free_end - (HEADER + slots * SLOT_SIZE) >= need
         })?;
@@ -135,10 +142,70 @@ impl HeapFile {
         Ok(RowId { page, slot })
     }
 
+    /// Bulk insert for build time: packs `records` into compressed pages
+    /// (delta/dictionary-encoded, see [`crate::compress`]) appended to the
+    /// chain, returning one [`RowId`] per record in input order. Records
+    /// too large even for an empty compressed page fall back to the plain
+    /// [`HeapFile::insert`] path; compressed pages are sealed — later
+    /// single-row inserts chain fresh plain pages after them.
+    pub fn insert_batch(&mut self, pool: &BufferPool, records: &[Vec<u8>]) -> Result<Vec<RowId>> {
+        let mut rids = Vec::with_capacity(records.len());
+        let mut builder = HeapPageBuilder::new();
+        let mut it = records.iter();
+        let mut next_record = it.next();
+        while let Some(record) = next_record {
+            if record.len() > MAX_RECORD {
+                return Err(StorageError::RecordTooLarge(record.len()));
+            }
+            if builder.push(record) {
+                next_record = it.next();
+                continue;
+            }
+            if builder.is_empty() {
+                // Doesn't fit even in an empty compressed page: plain path.
+                rids.push(self.insert(pool, record)?);
+                next_record = it.next();
+                continue;
+            }
+            self.seal_batch_page(pool, &builder, &mut rids)?;
+            builder = HeapPageBuilder::new();
+        }
+        if !builder.is_empty() {
+            self.seal_batch_page(pool, &builder, &mut rids)?;
+        }
+        Ok(rids)
+    }
+
+    /// Append one sealed compressed page and emit its RowIds.
+    fn seal_batch_page(
+        &mut self,
+        pool: &BufferPool,
+        builder: &HeapPageBuilder,
+        rids: &mut Vec<RowId>,
+    ) -> Result<()> {
+        let image = builder.seal();
+        let page = pool.allocate()?;
+        pool.with_page_mut(page, |p| p.put_slice(0, image.bytes()))?;
+        pool.with_page_mut(self.last, |p| p.put_u64(OFF_NEXT, page.0))?;
+        self.last = page;
+        for slot in 0..builder.slot_count() {
+            rids.push(RowId { page, slot });
+        }
+        Ok(())
+    }
+
     /// Fetch a record by address.
     pub fn get(&self, pool: &BufferPool, rid: RowId) -> Result<Vec<u8>> {
         pool.with_page(rid.page, |p| {
-            let slots = p.get_u16(OFF_SLOT_COUNT);
+            let word = p.get_u16(OFF_SLOT_COUNT);
+            if compress::is_compressed_heap(word) {
+                let view = HeapPageView::parse(p)?;
+                if rid.slot >= view.slot_count() {
+                    return Err(StorageError::RowNotFound);
+                }
+                return view.record(rid.slot)?.ok_or(StorageError::RowNotFound);
+            }
+            let slots = word;
             if rid.slot >= slots {
                 return Err(StorageError::RowNotFound);
             }
@@ -184,8 +251,21 @@ impl HeapFile {
         let per_page = pool.with_pages(&pages, |gi, p| {
             let (lo, hi) = groups[gi];
             let group = &sorted[lo..hi];
-            let slots = p.get_u16(OFF_SLOT_COUNT);
+            let word = p.get_u16(OFF_SLOT_COUNT);
             let mut records = Vec::with_capacity(group.len());
+            if compress::is_compressed_heap(word) {
+                // Parse the page context once, decode each requested slot.
+                let view = HeapPageView::parse(p)?;
+                for rid in group {
+                    if rid.slot >= view.slot_count() {
+                        return Err(StorageError::RowNotFound);
+                    }
+                    let bytes = view.record(rid.slot)?.ok_or(StorageError::RowNotFound)?;
+                    records.push((*rid, bytes));
+                }
+                return Ok(records);
+            }
+            let slots = word;
             for rid in group {
                 if rid.slot >= slots {
                     return Err(StorageError::RowNotFound);
@@ -211,7 +291,19 @@ impl HeapFile {
     /// [`HeapFile::compact_into`]).
     pub fn delete(&self, pool: &BufferPool, rid: RowId) -> Result<()> {
         pool.with_page_mut(rid.page, |p| {
-            let slots = p.get_u16(OFF_SLOT_COUNT);
+            let word = p.get_u16(OFF_SLOT_COUNT);
+            if compress::is_compressed_heap(word) {
+                if rid.slot >= word & !compress::FLAG_COMPRESSED {
+                    return Err(StorageError::RowNotFound);
+                }
+                let dir = compress::SLOT_DIR + 2 * rid.slot as usize;
+                if p.get_u16(dir) == compress::DEAD_SLOT {
+                    return Err(StorageError::RowNotFound);
+                }
+                p.put_u16(dir, compress::DEAD_SLOT);
+                return Ok(());
+            }
+            let slots = word;
             if rid.slot >= slots {
                 return Err(StorageError::RowNotFound);
             }
@@ -229,10 +321,20 @@ impl HeapFile {
         let mut out = Vec::new();
         let mut pid = self.first;
         loop {
-            let (next, records) = pool.with_page(pid, |p| {
-                let slots = p.get_u16(OFF_SLOT_COUNT);
+            type PageScan = (u64, Vec<(RowId, Vec<u8>)>);
+            let (next, records) = pool.with_page(pid, |p| -> Result<PageScan> {
+                let word = p.get_u16(OFF_SLOT_COUNT);
                 let mut records = Vec::new();
-                for slot in 0..slots {
+                if compress::is_compressed_heap(word) {
+                    let view = HeapPageView::parse(p)?;
+                    for slot in 0..view.slot_count() {
+                        if let Some(bytes) = view.record(slot)? {
+                            records.push((RowId { page: pid, slot }, bytes));
+                        }
+                    }
+                    return Ok((p.get_u64(OFF_NEXT), records));
+                }
+                for slot in 0..word {
                     let dir = HEADER + slot as usize * SLOT_SIZE;
                     let offset = p.get_u16(dir) as usize;
                     let len = p.get_u16(dir + 2) as usize;
@@ -241,8 +343,8 @@ impl HeapFile {
                             .push((RowId { page: pid, slot }, p.get_slice(offset, len).to_vec()));
                     }
                 }
-                (p.get_u64(OFF_NEXT), records)
-            })?;
+                Ok((p.get_u64(OFF_NEXT), records))
+            })??;
             out.extend(records);
             if next == 0 {
                 break;
@@ -434,6 +536,129 @@ mod tests {
             let bytes = new_heap.get(&pool, *new).unwrap();
             assert_eq!(bytes, format!("rec{}", old.slot).as_bytes());
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn sample_records(n: u64) -> Vec<Vec<u8>> {
+        use crate::record::{EdgeGeometry, EdgeRow};
+        (0..n)
+            .map(|i| {
+                EdgeRow {
+                    node1_id: i,
+                    node1_label: format!("patent US{:07}", 3_000_000 + i).into(),
+                    // A bulk-built page holds one Morton-local chunk, so
+                    // coordinates cluster tightly (as they do here).
+                    geometry: EdgeGeometry {
+                        x1: 1000.0 + (i % 64) as f64 * 1.25,
+                        y1: 2000.0 - (i % 64) as f64 * 0.5,
+                        x2: 1000.0 + ((i + 1) % 64) as f64 * 1.25,
+                        y2: 2000.0 + 42.0,
+                        directed: i % 3 == 0,
+                    },
+                    edge_label: "cites".into(),
+                    node2_id: i + 1,
+                    node2_label: format!("patent US{:07}", 3_000_001 + i).into(),
+                }
+                .encode()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_batch_roundtrips_through_all_read_paths() {
+        let (pool, path) = pool("batch");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let records = sample_records(600);
+        let rids = heap.insert_batch(&pool, &records).unwrap();
+        assert_eq!(rids.len(), records.len());
+        // Several compressed pages, far fewer than the plain ~85 rows/page.
+        let pages: std::collections::HashSet<_> = rids.iter().map(|r| r.page).collect();
+        assert!(
+            pages.len() * 2 < records.len().div_ceil(85) * 2 + 4,
+            "expected compressed packing, got {} pages",
+            pages.len()
+        );
+        for (rid, rec) in rids.iter().zip(&records) {
+            assert_eq!(heap.get(&pool, *rid).unwrap(), *rec);
+        }
+        let got = heap.get_many(&pool, &rids).unwrap();
+        assert_eq!(got.len(), records.len());
+        for (rid, rec) in &got {
+            let idx = rids.iter().position(|r| r == rid).unwrap();
+            assert_eq!(*rec, records[idx]);
+        }
+        let scanned = heap.scan(&pool).unwrap();
+        assert_eq!(scanned.len(), records.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_pages_hold_more_rows_than_plain() {
+        let (pool, path) = pool("batchdensity");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let records = sample_records(600);
+        let rids = heap.insert_batch(&pool, &records).unwrap();
+        let compressed_pages: std::collections::HashSet<_> = rids.iter().map(|r| r.page).collect();
+
+        let mut plain = HeapFile::create(&pool).unwrap();
+        let plain_rids: Vec<RowId> = records
+            .iter()
+            .map(|r| plain.insert(&pool, r).unwrap())
+            .collect();
+        let plain_pages: std::collections::HashSet<_> = plain_rids.iter().map(|r| r.page).collect();
+        assert!(
+            compressed_pages.len() * 2 <= plain_pages.len(),
+            "compressed {} pages vs plain {}",
+            compressed_pages.len(),
+            plain_pages.len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delete_and_insert_work_after_batch() {
+        let (pool, path) = pool("batchedit");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let records = sample_records(100);
+        let rids = heap.insert_batch(&pool, &records).unwrap();
+        // Delete a compressed-page row.
+        heap.delete(&pool, rids[10]).unwrap();
+        assert!(matches!(
+            heap.get(&pool, rids[10]),
+            Err(StorageError::RowNotFound)
+        ));
+        assert!(heap.delete(&pool, rids[10]).is_err(), "double delete");
+        assert_eq!(heap.scan(&pool).unwrap().len(), 99);
+        // A later single-row insert must not touch the sealed page.
+        let rid = heap.insert(&pool, b"plain tail record").unwrap();
+        assert!(!rids.iter().any(|r| r.page == rid.page));
+        assert_eq!(heap.get(&pool, rid).unwrap(), b"plain tail record");
+        assert_eq!(heap.scan(&pool).unwrap().len(), 100);
+        // get_many surfaces the dead compressed slot as an error.
+        assert!(matches!(
+            heap.get_many(&pool, &rids[..20]),
+            Err(StorageError::RowNotFound)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn insert_batch_falls_back_for_oversize_and_odd_records() {
+        let (pool, path) = pool("batchraw");
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let records = vec![
+            b"tiny non-row".to_vec(),
+            vec![9u8; 7000], // raw, fits compressed page alone
+            sample_records(1).pop().unwrap(),
+        ];
+        let rids = heap.insert_batch(&pool, &records).unwrap();
+        for (rid, rec) in rids.iter().zip(&records) {
+            assert_eq!(heap.get(&pool, *rid).unwrap(), *rec);
+        }
+        assert!(matches!(
+            heap.insert_batch(&pool, &[vec![0u8; PAGE_SIZE]]),
+            Err(StorageError::RecordTooLarge(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

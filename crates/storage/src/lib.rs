@@ -23,6 +23,7 @@
 pub mod btree;
 pub mod buffer;
 pub mod catalog;
+pub mod compress;
 pub mod db;
 pub mod error;
 pub mod heap;

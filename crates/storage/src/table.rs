@@ -100,17 +100,20 @@ impl LayerTable {
         let mut geoms: Vec<(Rect, u64)> = Vec::new();
         let mut n1: Vec<(u64, u64)> = Vec::new();
         let mut n2: Vec<(u64, u64)> = Vec::new();
-        let mut count = 0u64;
-        for row in rows {
-            let bytes = row.encode();
-            let rid = heap.insert(pool, &bytes)?.to_u64();
+        // Batched load writes compressed pages (see `HeapFile::insert_batch`):
+        // Morton order puts spatially close rows on the same page, which is
+        // exactly the locality the per-page dictionaries exploit.
+        let encoded: Vec<Vec<u8>> = rows.iter().map(|r| r.encode()).collect();
+        let rids = heap.insert_batch(pool, &encoded)?;
+        let count = rows.len() as u64;
+        for (row, rid) in rows.iter().zip(&rids) {
+            let rid = rid.to_u64();
             n1.push((row.node1_id, rid));
             n2.push((row.node2_id, rid));
             node_trie.insert(&row.node1_label, row.node1_id);
             node_trie.insert(&row.node2_label, row.node2_id);
             edge_trie.insert(&row.edge_label, rid);
             geoms.push((row.geometry.bbox(), rid));
-            count += 1;
         }
         // Sorted insertion keeps B+-tree construction append-mostly.
         n1.sort_unstable();

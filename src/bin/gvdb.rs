@@ -11,7 +11,7 @@
 //! gvdb serve <db> | <name>=<path>... | --workspace <dir>
 //!            [--addr HOST:PORT] [--workers N] [--backlog N]
 //!            [--max-connections N] [--outbox-bytes N]
-//!            [--api-key KEY] [--read-only DATASET]...
+//!            [--api-key KEY] [--read-only DATASET]... [--plain-frames]
 //! gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--http-out FILE]
 //!                  [--stream-out FILE] [--connections-out FILE]
 //!                  [--nodes N] [--pans K] [--overlap F]
@@ -70,7 +70,7 @@ const USAGE: &str = "usage:
   gvdb serve <db> | <name>=<path>... | --workspace <dir>
              [--addr HOST:PORT] [--workers N] [--backlog N]
              [--max-connections N] [--outbox-bytes N]
-             [--api-key KEY] [--read-only DATASET]...
+             [--api-key KEY] [--read-only DATASET]... [--plain-frames]
   gvdb bench-smoke [--out FILE] [--concurrency-out FILE] [--http-out FILE]
                    [--stream-out FILE] [--connections-out FILE]
                    [--nodes N] [--pans K] [--overlap F]";
@@ -288,6 +288,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .into_iter()
         .map(String::from)
         .collect();
+    // Operational escape hatch: refuse `encoding=packed` negotiation and
+    // serve every stream as plain JSON frames (e.g. when debugging a
+    // client with a packet capture).
+    config.plain_frames = args.iter().any(|a| a == "--plain-frames");
 
     let workspace = Arc::new(SharedWorkspace::new());
     if let Some(dir) = flag(args, "--workspace") {
@@ -327,6 +331,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let arg = args[i].as_str();
         if value_flags.contains(&arg) {
             i += 2;
+            continue;
+        }
+        if arg == "--plain-frames" {
+            i += 1;
             continue;
         }
         if arg.starts_with("--") {
@@ -484,8 +492,27 @@ fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
         f64::INFINITY
     };
 
+    // Residency gauges from the delta manager's pool after the full
+    // trajectory. With delta/RLE leaf pages a resident frame carries
+    // `compression_ratio`× the plain-format bytes — and therefore that
+    // many times the rows — so the pool's effective row capacity per
+    // physical byte is the plain-page figure scaled by the ratio.
+    // `rows_per_pool_byte` prices the resident logical bytes at the
+    // dataset's average plain row cost (heap record + index entry ≈
+    // logical bytes / rows when fully resident); recorded so CI can
+    // watch the pool's effective capacity across PRs.
+    let rows_per_pool_byte = if delta_pool.physical_bytes > 0 {
+        let plain_bytes_per_row = if delta_pool.logical_bytes > 0 {
+            delta_pool.logical_bytes as f64 / graph.edge_count().max(1) as f64
+        } else {
+            1.0
+        };
+        delta_pool.compression_ratio() / plain_bytes_per_row.max(f64::MIN_POSITIVE)
+    } else {
+        0.0
+    };
     let json = format!(
-        "{{\n  \"dataset\": \"patent_like\",\n  \"nodes\": {},\n  \"edges\": {},\n  \"pans\": {},\n  \"overlap\": {:.2},\n  \"window_side\": {:.1},\n  \"cold\": {{ \"median_ms\": {:.4}, \"db_ms\": {:.4}, \"json_ms\": {:.4}, \"rows_fetched\": {} }},\n  \"delta\": {{ \"median_ms\": {:.4}, \"db_ms\": {:.4}, \"json_ms\": {:.4}, \"rows_fetched\": {}, \"rows_reused\": {} }},\n  \"speedup\": {:.2},\n  \"pool_hit_rate\": {{ \"cold\": {:.4}, \"delta\": {:.4} }}\n}}\n",
+        "{{\n  \"dataset\": \"patent_like\",\n  \"nodes\": {},\n  \"edges\": {},\n  \"pans\": {},\n  \"overlap\": {:.2},\n  \"window_side\": {:.1},\n  \"cold\": {{ \"median_ms\": {:.4}, \"db_ms\": {:.4}, \"json_ms\": {:.4}, \"rows_fetched\": {} }},\n  \"delta\": {{ \"median_ms\": {:.4}, \"db_ms\": {:.4}, \"json_ms\": {:.4}, \"rows_fetched\": {}, \"rows_reused\": {} }},\n  \"speedup\": {:.2},\n  \"pool_hit_rate\": {{ \"cold\": {:.4}, \"delta\": {:.4} }},\n  \"pool_residency\": {{ \"logical_bytes\": {}, \"physical_bytes\": {}, \"compression_ratio\": {:.2}, \"rows_per_pool_byte\": {:.5} }}\n}}\n",
         graph.node_count(),
         graph.edge_count(),
         pans,
@@ -502,7 +529,11 @@ fn cmd_bench_smoke(args: &[String]) -> Result<(), String> {
         delta_reused,
         speedup,
         cold_pool.hit_rate(),
-        delta_pool.hit_rate()
+        delta_pool.hit_rate(),
+        delta_pool.logical_bytes,
+        delta_pool.physical_bytes,
+        delta_pool.compression_ratio(),
+        rows_per_pool_byte
     );
     std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("{json}");
@@ -762,6 +793,7 @@ fn bench_stream(
     let mut stream_total_ms = Vec::with_capacity(REQUESTS);
     let mut frames = 0u64;
     let mut streamed_rows = 0u64;
+    let mut packed_payload = 0u64;
     for _ in 0..REQUESTS {
         let mut stream = client.window_stream(&params).map_err(|e| e.to_string())?;
         // The stream reports its own decode timing, measured from request
@@ -782,6 +814,11 @@ fn bench_stream(
         stream_total_ms.push(stream.elapsed_ms());
         frames = batch_count;
         streamed_rows = row_count;
+        // Streams negotiate `encoding=packed` by default, so this is the
+        // compact row payload as it actually crossed the wire (frame
+        // envelopes and base64 included) — comparable against the
+        // buffered plain-JSON `payload_bytes` above.
+        packed_payload = stream.rows_wire_bytes();
     }
     server.shutdown();
     if streamed_rows != rows {
@@ -810,8 +847,13 @@ fn bench_stream(
         f64::INFINITY
     };
     let chunk_rows = gvdb_api::DEFAULT_CHUNK_ROWS;
+    let compression_ratio = if packed_payload > 0 {
+        payload_bytes as f64 / packed_payload as f64
+    } else {
+        f64::INFINITY
+    };
     let json = format!(
-        "{{\n  \"requests\": {REQUESTS},\n  \"path\": \"whole layer-0 plane /v1/window (uncacheably large: every query runs cold)\",\n  \"rows\": {rows},\n  \"payload_bytes\": {payload_bytes},\n  \"row_frames\": {frames},\n  \"chunk_rows\": {chunk_rows},\n  \"buffered_full_body_median_ms\": {buffered_median:.4},\n  \"stream_first_frame_median_ms\": {first_frame_median:.4},\n  \"stream_first_rows_median_ms\": {first_rows_median:.4},\n  \"stream_total_median_ms\": {stream_total_median:.4},\n  \"total_vs_buffered_ratio\": {total_ratio:.3},\n  \"ttff_speedup_vs_buffered\": {ttff_speedup:.2},\n  \"ttfr_speedup_vs_buffered\": {speedup:.2}\n}}\n"
+        "{{\n  \"requests\": {REQUESTS},\n  \"path\": \"whole layer-0 plane /v1/window (uncacheably large: every query runs cold)\",\n  \"rows\": {rows},\n  \"payload_bytes\": {payload_bytes},\n  \"payload_bytes_compressed\": {packed_payload},\n  \"payload_compression_ratio\": {compression_ratio:.2},\n  \"row_frames\": {frames},\n  \"chunk_rows\": {chunk_rows},\n  \"buffered_full_body_median_ms\": {buffered_median:.4},\n  \"stream_first_frame_median_ms\": {first_frame_median:.4},\n  \"stream_first_rows_median_ms\": {first_rows_median:.4},\n  \"stream_total_median_ms\": {stream_total_median:.4},\n  \"total_vs_buffered_ratio\": {total_ratio:.3},\n  \"ttff_speedup_vs_buffered\": {ttff_speedup:.2},\n  \"ttfr_speedup_vs_buffered\": {speedup:.2}\n}}\n"
     );
     std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("{json}");

@@ -165,6 +165,8 @@ fn concurrent_sessions_hammer_one_cached_query_manager() {
             hits: acc.hits + s.hits,
             misses: acc.misses + s.misses,
             evictions: acc.evictions + s.evictions,
+            logical_bytes: acc.logical_bytes + s.logical_bytes,
+            physical_bytes: acc.physical_bytes + s.physical_bytes,
         });
     assert_eq!(
         pool_sum, pool_total,
@@ -414,6 +416,8 @@ fn insert_delete_churn_keeps_epochs_and_stats_coherent() {
             hits: acc.hits + s.hits,
             misses: acc.misses + s.misses,
             evictions: acc.evictions + s.evictions,
+            logical_bytes: acc.logical_bytes + s.logical_bytes,
+            physical_bytes: acc.physical_bytes + s.physical_bytes,
         });
     assert_eq!(sum, total, "shard counters must reconcile after the churn");
     assert!(total.hits + total.misses > 0);
