@@ -1,0 +1,30 @@
+use gvdb_api::PackedRows;
+
+#[test]
+fn hostile_suffix_len_does_not_panic() {
+    // 1 node, 0 edges, 1 dict entry with shared=0, suffix_len=u64::MAX
+    let mut img = vec![1u8, 0u8, 1u8, 0u8];
+    // varint for u64::MAX: ten bytes
+    for _ in 0..9 { img.push(0xFF); }
+    img.push(0x01);
+    let r = std::panic::catch_unwind(|| PackedRows::decode(&img));
+    match r {
+        Ok(inner) => println!("returned: {:?}", inner.map(|_| ()).err()),
+        Err(_) => println!("PANICKED"),
+    }
+}
+
+#[test]
+fn hostile_counts_overflow_guard() {
+    // node_count = u64::MAX, edge_count = 2, dict_len = 0
+    let mut img = Vec::new();
+    for _ in 0..9 { img.push(0xFF); }
+    img.push(0x01);
+    img.push(2);
+    img.push(0);
+    let r = std::panic::catch_unwind(|| PackedRows::decode(&img));
+    match r {
+        Ok(inner) => println!("returned: {:?}", inner.map(|_| ()).err()),
+        Err(_) => println!("PANICKED"),
+    }
+}
