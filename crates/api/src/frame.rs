@@ -40,6 +40,7 @@
 
 use crate::json::Json;
 use crate::pack::PackedRows;
+use crate::predicate::AggregateDto;
 use crate::{need, need_str, need_u64, need_usize, ApiError, ApiResult, SearchHitDto, Source};
 use serde::{Deserialize, Serialize};
 
@@ -179,6 +180,9 @@ pub enum ApiFrame {
     Rows(RowBatch),
     /// Delivery progress.
     Progress(ProgressFrame),
+    /// The aggregation summary of a streamed `aggregate` result — one
+    /// per stream, between the progress frames and the trailer.
+    Summary(AggregateDto),
     /// Stream closing: response stats + end-of-stream epoch.
     Trailer(TrailerFrame),
     /// Terminal mid-stream failure.
@@ -192,6 +196,7 @@ impl ApiFrame {
             ApiFrame::Header(_) => "header",
             ApiFrame::Rows(_) => "rows",
             ApiFrame::Progress(_) => "progress",
+            ApiFrame::Summary(_) => "summary",
             ApiFrame::Trailer(_) => "trailer",
             ApiFrame::Error(_) => "error",
         }
@@ -277,6 +282,9 @@ impl ApiFrame {
             ApiFrame::Progress(p) => {
                 members.push(("rows_sent".into(), Json::uint(p.rows_sent)));
                 members.push(("rows_total".into(), Json::uint(p.rows_total)));
+            }
+            ApiFrame::Summary(s) => {
+                members.push(("result".into(), s.to_value()));
             }
             ApiFrame::Trailer(t) => {
                 members.push(("epoch".into(), Json::uint(t.epoch)));
@@ -368,6 +376,7 @@ impl ApiFrame {
                 rows_sent: need_u64(&v, "rows_sent")?,
                 rows_total: need_u64(&v, "rows_total")?,
             }),
+            "summary" => ApiFrame::Summary(AggregateDto::from_value(need(&v, "result")?)?),
             "trailer" => ApiFrame::Trailer(TrailerFrame {
                 epoch: need_u64(&v, "epoch")?,
                 source: match v.get("source").and_then(Json::as_str) {
@@ -541,6 +550,27 @@ mod tests {
         roundtrip(&ApiFrame::Progress(ProgressFrame {
             rows_sent: 256,
             rows_total: 1024,
+        }));
+        roundtrip(&ApiFrame::Summary(AggregateDto {
+            agg: crate::AggOp::Histogram {
+                field: crate::Field::Degree,
+                buckets: 4,
+            },
+            rows: 40,
+            nodes: 17,
+            value: None,
+            histogram: Some(crate::HistogramDto {
+                lo: 1.0,
+                hi: 9.5,
+                counts: vec![10, 0, 4, 3],
+            }),
+        }));
+        roundtrip(&ApiFrame::Summary(AggregateDto {
+            agg: crate::AggOp::Count,
+            rows: 0,
+            nodes: 0,
+            value: None,
+            histogram: None,
         }));
         roundtrip(&ApiFrame::Trailer(TrailerFrame {
             epoch: 8,

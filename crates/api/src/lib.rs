@@ -34,6 +34,7 @@
 pub mod frame;
 pub mod json;
 pub mod pack;
+pub mod predicate;
 
 pub use frame::{
     reassemble_graph, rows_envelope_bytes, ApiFrame, FrameHeader, ProgressFrame, RowBatch,
@@ -41,6 +42,7 @@ pub use frame::{
 };
 pub use json::{escape_into, Json};
 pub use pack::{PackedEdge, PackedNode, PackedRows};
+pub use predicate::{AggOp, AggregateDto, Field, HistogramDto, Predicate};
 
 use serde::{Deserialize, Serialize};
 
@@ -204,7 +206,7 @@ impl std::error::Error for ApiError {}
 // ---------------------------------------------------------------------------
 
 /// A viewport rectangle in plane coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct RectDto {
     /// Left edge.
     pub min_x: f64,
@@ -476,6 +478,28 @@ pub struct SessionStatsDto {
     pub expired: u64,
 }
 
+/// Access-path statistics of one abstraction layer — the cardinality
+/// inputs the attribute-query chooser reads.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerStatsDto {
+    /// Layer index (0 = most detailed).
+    pub index: u64,
+    /// Row (edge) count — the scan-path cardinality.
+    pub rows: u64,
+    /// Nodes with a degree/rank sidecar entry (0 = no sidecar, so
+    /// degree/rank predicates fall back to the scan path).
+    pub sidecar_nodes: u64,
+}
+
+/// Attribute-query chooser decision counters of one dataset.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChooserStatsDto {
+    /// Filtered queries answered via index-probe-then-Rect-intersect.
+    pub index: u64,
+    /// Filtered queries answered via R-tree-then-residual-filter.
+    pub scan: u64,
+}
+
 /// Full serving statistics of one dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatasetStats {
@@ -489,6 +513,10 @@ pub struct DatasetStats {
     pub pool: PoolStatsDto,
     /// Session-registry counters.
     pub sessions: SessionStatsDto,
+    /// Per-layer cardinality / index statistics.
+    pub layers: Vec<LayerStatsDto>,
+    /// Attribute-query chooser decisions.
+    pub chooser: ChooserStatsDto,
 }
 
 /// The `/v1/stats` payload: server-level counters plus one
@@ -595,6 +623,28 @@ impl DatasetStats {
                     ("expired".into(), Json::uint(self.sessions.expired)),
                 ]),
             ),
+            (
+                "layers".into(),
+                Json::Arr(
+                    self.layers
+                        .iter()
+                        .map(|l| {
+                            Json::Obj(vec![
+                                ("index".into(), Json::uint(l.index)),
+                                ("rows".into(), Json::uint(l.rows)),
+                                ("sidecar_nodes".into(), Json::uint(l.sidecar_nodes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "chooser".into(),
+                Json::Obj(vec![
+                    ("index".into(), Json::uint(self.chooser.index)),
+                    ("scan".into(), Json::uint(self.chooser.scan)),
+                ]),
+            ),
         ])
     }
 
@@ -658,6 +708,31 @@ impl DatasetStats {
                 evictions: need_u64(sessions, "evictions")?,
                 expired: need_u64(sessions, "expired")?,
             },
+            // Lenient: absent on payloads from pre-attribute-query
+            // servers.
+            layers: match v.get("layers").and_then(Json::as_arr) {
+                Some(layers) => layers
+                    .iter()
+                    .map(|l| {
+                        Ok(LayerStatsDto {
+                            index: need_u64(l, "index")?,
+                            rows: need_u64(l, "rows")?,
+                            sidecar_nodes: l
+                                .get("sidecar_nodes")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0),
+                        })
+                    })
+                    .collect::<ApiResult<_>>()?,
+                None => Vec::new(),
+            },
+            chooser: match v.get("chooser") {
+                Some(c) => ChooserStatsDto {
+                    index: c.get("index").and_then(Json::as_u64).unwrap_or(0),
+                    scan: c.get("scan").and_then(Json::as_u64).unwrap_or(0),
+                },
+                None => ChooserStatsDto::default(),
+            },
         })
     }
 }
@@ -702,6 +777,9 @@ pub enum ApiRequest {
         /// they can't parse. Only streamed responses honor it; the
         /// buffered envelope is always plain.
         packed: bool,
+        /// Attribute filter pushed down into the heap fetch; absent
+        /// keeps the unfiltered wire form byte-stable.
+        predicate: Option<Predicate>,
     },
     /// Keyword search over node labels.
     Search {
@@ -711,6 +789,9 @@ pub enum ApiRequest {
         layer: usize,
         /// The keyword(s).
         query: String,
+        /// Attribute filter applied to the hits (node attributes only —
+        /// edge-label predicates are a [`ErrorKind::BadRequest`]).
+        predicate: Option<Predicate>,
     },
     /// Focus on a node: the node and its direct neighbours.
     Focus {
@@ -761,6 +842,22 @@ pub enum ApiRequest {
         /// Target dataset.
         dataset: Option<String>,
     },
+    /// Window aggregation: reduce the filtered window to a summary
+    /// ([`AggOp`]) instead of a payload. Streamable — the streamed form
+    /// is `Header · Progress* · Summary · Trailer`, the trailer
+    /// re-sampling the epoch like every other stream.
+    Aggregate {
+        /// Target dataset.
+        dataset: Option<String>,
+        /// Layer to aggregate; defaults to 0.
+        layer: Option<usize>,
+        /// The viewport.
+        window: RectDto,
+        /// Attribute filter; absent aggregates the whole window.
+        predicate: Option<Predicate>,
+        /// The reduction to compute.
+        agg: AggOp,
+    },
     /// Full serving statistics.
     Stats,
 }
@@ -778,6 +875,7 @@ impl ApiRequest {
             | ApiRequest::DeleteEdge { dataset, .. }
             | ApiRequest::SessionNew { dataset, .. }
             | ApiRequest::SessionClose { dataset, .. }
+            | ApiRequest::Aggregate { dataset, .. }
             | ApiRequest::Flush { dataset } => dataset.as_deref(),
         }
     }
@@ -806,6 +904,7 @@ impl ApiRequest {
             ApiRequest::SessionNew { .. } => "session_new",
             ApiRequest::SessionClose { .. } => "session_close",
             ApiRequest::Flush { .. } => "flush",
+            ApiRequest::Aggregate { .. } => "aggregate",
             ApiRequest::Stats => "stats",
         }
     }
@@ -829,6 +928,7 @@ impl ApiRequest {
                 window,
                 session,
                 packed,
+                predicate,
             } => {
                 dataset_member(dataset, &mut members);
                 if let Some(layer) = layer {
@@ -841,15 +941,22 @@ impl ApiRequest {
                 if *packed {
                     members.push(("encoding".into(), Json::Str("packed".into())));
                 }
+                if let Some(p) = predicate {
+                    members.push(("filter".into(), p.to_value()));
+                }
             }
             ApiRequest::Search {
                 dataset,
                 layer,
                 query,
+                predicate,
             } => {
                 dataset_member(dataset, &mut members);
                 members.push(("layer".into(), Json::uint(*layer as u64)));
                 members.push(("q".into(), Json::Str(query.clone())));
+                if let Some(p) = predicate {
+                    members.push(("filter".into(), p.to_value()));
+                }
             }
             ApiRequest::Focus {
                 dataset,
@@ -888,6 +995,23 @@ impl ApiRequest {
                 dataset_member(dataset, &mut members);
                 members.push(("session".into(), Json::uint(*session)));
             }
+            ApiRequest::Aggregate {
+                dataset,
+                layer,
+                window,
+                predicate,
+                agg,
+            } => {
+                dataset_member(dataset, &mut members);
+                if let Some(layer) = layer {
+                    members.push(("layer".into(), Json::uint(*layer as u64)));
+                }
+                members.push(("window".into(), window.to_value()));
+                if let Some(p) = predicate {
+                    members.push(("filter".into(), p.to_value()));
+                }
+                members.push(("agg".into(), agg.to_value()));
+            }
         }
         Json::Obj(members).to_string()
     }
@@ -909,11 +1033,13 @@ impl ApiRequest {
                 window: RectDto::from_value(need(&v, "window")?)?,
                 session: v.get("session").and_then(Json::as_u64),
                 packed: v.get("encoding").and_then(Json::as_str) == Some("packed"),
+                predicate: parse_filter(&v)?,
             },
             "search" => ApiRequest::Search {
                 dataset,
                 layer: need_usize(&v, "layer")?,
                 query: need_str(&v, "q")?.to_string(),
+                predicate: parse_filter(&v)?,
             },
             "focus" => ApiRequest::Focus {
                 dataset,
@@ -941,10 +1067,25 @@ impl ApiRequest {
                 dataset,
                 session: need_u64(&v, "session")?,
             },
+            "aggregate" => ApiRequest::Aggregate {
+                dataset,
+                layer: v.get("layer").and_then(Json::as_usize),
+                window: RectDto::from_value(need(&v, "window")?)?,
+                predicate: parse_filter(&v)?,
+                agg: AggOp::from_value(need(&v, "agg")?)?,
+            },
             other => {
                 return Err(ApiError::bad_request(format!("unknown op '{other}'")));
             }
         })
+    }
+}
+
+/// The optional `filter` member of window/search/aggregate requests.
+fn parse_filter(v: &Json) -> ApiResult<Option<Predicate>> {
+    match v.get("filter") {
+        Some(f) => Ok(Some(Predicate::from_value(f)?)),
+        None => Ok(None),
     }
 }
 
@@ -1018,6 +1159,17 @@ pub enum ApiResponse {
         /// Dirty pages written back by the flush.
         pages: u64,
     },
+    /// Answer to [`ApiRequest::Aggregate`].
+    Aggregate {
+        /// The dataset that answered.
+        dataset: String,
+        /// The layer aggregated.
+        layer: usize,
+        /// The edit epoch the summary is consistent with.
+        epoch: u64,
+        /// The computed summary.
+        result: AggregateDto,
+    },
     /// Answer to [`ApiRequest::Stats`].
     Stats(StatsDto),
     /// Any operation's failure.
@@ -1037,6 +1189,7 @@ impl ApiResponse {
             ApiResponse::Session { .. } => "session",
             ApiResponse::Closed => "closed",
             ApiResponse::Flushed { .. } => "flushed",
+            ApiResponse::Aggregate { .. } => "aggregate",
             ApiResponse::Stats(_) => "stats",
             ApiResponse::Error(_) => "error",
         }
@@ -1148,6 +1301,17 @@ impl ApiResponse {
                 members.push(("dataset".into(), Json::Str(dataset.clone())));
                 members.push(("pages".into(), Json::uint(*pages)));
             }
+            ApiResponse::Aggregate {
+                dataset,
+                layer,
+                epoch,
+                result,
+            } => {
+                members.push(("dataset".into(), Json::Str(dataset.clone())));
+                members.push(("layer".into(), Json::uint(*layer as u64)));
+                members.push(("epoch".into(), Json::uint(*epoch)));
+                members.push(("result".into(), result.to_value()));
+            }
             ApiResponse::Stats(stats) => {
                 members.push(("served".into(), Json::uint(stats.served)));
                 members.push(("rejected".into(), Json::uint(stats.rejected)));
@@ -1247,6 +1411,12 @@ impl ApiResponse {
             "flushed" => ApiResponse::Flushed {
                 dataset: need_str(&v, "dataset")?.to_string(),
                 pages: need_u64(&v, "pages")?,
+            },
+            "aggregate" => ApiResponse::Aggregate {
+                dataset: need_str(&v, "dataset")?.to_string(),
+                layer: need_usize(&v, "layer")?,
+                epoch: need_u64(&v, "epoch")?,
+                result: AggregateDto::from_value(need(&v, "result")?)?,
             },
             "stats" => ApiResponse::Stats(StatsDto {
                 served: need_u64(&v, "served")?,

@@ -236,9 +236,14 @@ impl PackedRows {
         let edge_count = cur.varint()? as usize;
         let dict_len = cur.varint()? as usize;
         // A frame never carries more entries than bytes; reject early so
-        // a hostile length can't trigger a huge allocation.
-        if node_count + edge_count + dict_len > bytes.len().saturating_add(3) {
-            return Err("packed frame: counts exceed image size".into());
+        // a hostile length can't trigger a huge allocation (checked: the
+        // sum itself must not overflow on hostile near-u64::MAX counts).
+        let total = node_count
+            .checked_add(edge_count)
+            .and_then(|t| t.checked_add(dict_len));
+        match total {
+            Some(t) if t <= bytes.len().saturating_add(3) => {}
+            _ => return Err("packed frame: counts exceed image size".into()),
         }
         let mut dict: Vec<String> = Vec::with_capacity(dict_len);
         let mut prev: Vec<u8> = Vec::new();
@@ -361,7 +366,8 @@ struct Cursor<'a> {
 
 impl Cursor<'_> {
     fn take(&mut self, n: usize) -> Result<&[u8], String> {
-        if self.pos + n > self.bytes.len() {
+        // Overflow-safe: `pos + n` would wrap on a hostile length field.
+        if n > self.bytes.len() - self.pos {
             return Err("packed frame: truncated image".into());
         }
         let slice = &self.bytes[self.pos..self.pos + n];

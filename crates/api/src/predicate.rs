@@ -1,0 +1,389 @@
+//! The **attribute predicate AST** and window-aggregation DTOs — the typed
+//! filter language of the protocol.
+//!
+//! A [`Predicate`] rides on [`crate::ApiRequest::Window`] /
+//! [`crate::ApiRequest::Search`] (the optional `filter` member) and on
+//! [`crate::ApiRequest::Aggregate`]. The engine (`gvdb-core`) pushes it
+//! down into the batched heap fetch so non-matching rows are dropped
+//! before payload assembly; this crate only defines the wire form.
+//!
+//! Wire form: tagged objects, e.g.
+//!
+//! ```json
+//! {"kind":"and","preds":[
+//!   {"kind":"range","field":"degree","min":2,"max":10},
+//!   {"kind":"node_label_prefix","value":"Q1"}
+//! ]}
+//! ```
+//!
+//! Serialization is canonical — members in a fixed order, absent bounds
+//! omitted — so `parse(text).to_value().to_string() == text` for
+//! canonically-formatted input, matching the round-trip contract of every
+//! other DTO in this crate.
+
+use crate::{need, need_f64, need_str, need_u64, ApiError, ApiResult, Json};
+use serde::{Deserialize, Serialize};
+
+/// A filterable / aggregatable row attribute.
+///
+/// `X`/`Y` read a node's plane position; `Degree`/`Rank` read the
+/// per-layer sidecar built at preprocess time (degree centrality and
+/// PageRank from `gvdb-abstraction`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Field {
+    /// Node plane position, x axis.
+    X,
+    /// Node plane position, y axis.
+    Y,
+    /// Degree centrality (sidecar).
+    Degree,
+    /// PageRank score (sidecar).
+    Rank,
+}
+
+impl Field {
+    /// The wire tag of this field.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Field::X => "x",
+            Field::Y => "y",
+            Field::Degree => "degree",
+            Field::Rank => "rank",
+        }
+    }
+
+    /// Parse a wire tag.
+    pub fn parse(tag: &str) -> Option<Field> {
+        Some(match tag {
+            "x" => Field::X,
+            "y" => Field::Y,
+            "degree" => Field::Degree,
+            "rank" => Field::Rank,
+            _ => return None,
+        })
+    }
+}
+
+/// One node of the predicate AST.
+///
+/// Node-level predicates (`Range`, `NodeLabelEq`, `NodeLabelPrefix`) match
+/// a **row** (an edge) when **either endpoint** satisfies them — a row is
+/// visible if it touches a matching node, mirroring how the canvas
+/// highlights. Edge-level predicates test the edge's own label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `min <= field <= max` on a numeric attribute; either bound may be
+    /// absent (half-open range), not both.
+    Range {
+        /// The attribute tested.
+        field: Field,
+        /// Inclusive lower bound.
+        min: Option<f64>,
+        /// Inclusive upper bound.
+        max: Option<f64>,
+    },
+    /// Node label equals the value exactly.
+    NodeLabelEq(String),
+    /// Node label starts with the value.
+    NodeLabelPrefix(String),
+    /// Edge label equals the value exactly.
+    EdgeLabelEq(String),
+    /// Edge label starts with the value.
+    EdgeLabelPrefix(String),
+    /// Every sub-predicate must match.
+    And(Vec<Predicate>),
+    /// At least one sub-predicate must match.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// The wire tag of this operator.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Predicate::Range { .. } => "range",
+            Predicate::NodeLabelEq(_) => "node_label_eq",
+            Predicate::NodeLabelPrefix(_) => "node_label_prefix",
+            Predicate::EdgeLabelEq(_) => "edge_label_eq",
+            Predicate::EdgeLabelPrefix(_) => "edge_label_prefix",
+            Predicate::And(_) => "and",
+            Predicate::Or(_) => "or",
+        }
+    }
+
+    /// Whether any operator in the tree tests the edge label (what
+    /// `search` rejects: keyword hits are nodes, not rows).
+    pub fn references_edge_labels(&self) -> bool {
+        match self {
+            Predicate::EdgeLabelEq(_) | Predicate::EdgeLabelPrefix(_) => true,
+            Predicate::And(preds) | Predicate::Or(preds) => {
+                preds.iter().any(Predicate::references_edge_labels)
+            }
+            _ => false,
+        }
+    }
+
+    /// Serialize to the canonical tagged-object form.
+    pub fn to_value(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![("kind".into(), Json::Str(self.kind().into()))];
+        match self {
+            Predicate::Range { field, min, max } => {
+                members.push(("field".into(), Json::Str(field.as_str().into())));
+                if let Some(min) = min {
+                    members.push(("min".into(), Json::Float(*min)));
+                }
+                if let Some(max) = max {
+                    members.push(("max".into(), Json::Float(*max)));
+                }
+            }
+            Predicate::NodeLabelEq(v)
+            | Predicate::NodeLabelPrefix(v)
+            | Predicate::EdgeLabelEq(v)
+            | Predicate::EdgeLabelPrefix(v) => {
+                members.push(("value".into(), Json::Str(v.clone())));
+            }
+            Predicate::And(preds) | Predicate::Or(preds) => {
+                members.push((
+                    "preds".into(),
+                    Json::Arr(preds.iter().map(Predicate::to_value).collect()),
+                ));
+            }
+        }
+        Json::Obj(members)
+    }
+
+    /// Parse the tagged-object form. Depth is bounded (the AST is a
+    /// user-supplied tree; an unbounded recursive parse would let a
+    /// hostile body overflow the stack).
+    pub fn from_value(v: &Json) -> ApiResult<Predicate> {
+        Self::from_value_depth(v, 0)
+    }
+
+    fn from_value_depth(v: &Json, depth: usize) -> ApiResult<Predicate> {
+        const MAX_DEPTH: usize = 32;
+        if depth > MAX_DEPTH {
+            return Err(ApiError::bad_request("predicate nesting too deep"));
+        }
+        let kind = need_str(v, "kind")?;
+        Ok(match kind {
+            "range" => {
+                let field = Field::parse(need_str(v, "field")?)
+                    .ok_or_else(|| ApiError::bad_request("unknown range field"))?;
+                let min = v.get("min").and_then(Json::as_f64);
+                let max = v.get("max").and_then(Json::as_f64);
+                if min.is_none() && max.is_none() {
+                    return Err(ApiError::bad_request(
+                        "range predicate needs at least one of min/max",
+                    ));
+                }
+                Predicate::Range { field, min, max }
+            }
+            "node_label_eq" => Predicate::NodeLabelEq(need_str(v, "value")?.to_string()),
+            "node_label_prefix" => Predicate::NodeLabelPrefix(need_str(v, "value")?.to_string()),
+            "edge_label_eq" => Predicate::EdgeLabelEq(need_str(v, "value")?.to_string()),
+            "edge_label_prefix" => Predicate::EdgeLabelPrefix(need_str(v, "value")?.to_string()),
+            "and" | "or" => {
+                let preds = need(v, "preds")?
+                    .as_arr()
+                    .ok_or_else(|| ApiError::bad_request("preds must be an array"))?
+                    .iter()
+                    .map(|p| Self::from_value_depth(p, depth + 1))
+                    .collect::<ApiResult<Vec<_>>>()?;
+                if preds.is_empty() {
+                    return Err(ApiError::bad_request("and/or needs at least one predicate"));
+                }
+                if kind == "and" {
+                    Predicate::And(preds)
+                } else {
+                    Predicate::Or(preds)
+                }
+            }
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown predicate kind '{other}'"
+                )));
+            }
+        })
+    }
+
+    /// Parse a predicate from raw JSON text (the `filter=` query
+    /// parameter of `/v1/window` and `/v1/aggregate`).
+    pub fn from_json(text: &str) -> ApiResult<Predicate> {
+        let v = Json::parse(text)
+            .map_err(|e| ApiError::bad_request(format!("malformed filter: {e}")))?;
+        Predicate::from_value(&v)
+    }
+
+    /// Serialize to raw JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// The aggregate computed over the filtered window.
+///
+/// `Count` counts filtered rows (edges); `Min`/`Max`/`Histogram` reduce a
+/// [`Field`] over the **distinct nodes** of the filtered rows (each node
+/// contributes once however many rows touch it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggOp {
+    /// Number of filtered rows in the window.
+    Count,
+    /// Minimum of the field over the filtered window's nodes.
+    Min(Field),
+    /// Maximum of the field over the filtered window's nodes.
+    Max(Field),
+    /// Equi-width histogram of the field over the filtered window's
+    /// nodes, `buckets` bins between the observed min and max.
+    Histogram {
+        /// The attribute bucketed.
+        field: Field,
+        /// Number of bins (1..=4096).
+        buckets: usize,
+    },
+}
+
+impl AggOp {
+    /// The wire tag of this operation.
+    pub fn op(&self) -> &'static str {
+        match self {
+            AggOp::Count => "count",
+            AggOp::Min(_) => "min",
+            AggOp::Max(_) => "max",
+            AggOp::Histogram { .. } => "histogram",
+        }
+    }
+
+    /// Serialize to the canonical tagged-object form, e.g.
+    /// `{"op":"histogram","field":"degree","buckets":16}`.
+    pub fn to_value(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![("op".into(), Json::Str(self.op().into()))];
+        match self {
+            AggOp::Count => {}
+            AggOp::Min(field) | AggOp::Max(field) => {
+                members.push(("field".into(), Json::Str(field.as_str().into())));
+            }
+            AggOp::Histogram { field, buckets } => {
+                members.push(("field".into(), Json::Str(field.as_str().into())));
+                members.push(("buckets".into(), Json::uint(*buckets as u64)));
+            }
+        }
+        Json::Obj(members)
+    }
+
+    /// Parse the tagged-object form.
+    pub fn from_value(v: &Json) -> ApiResult<AggOp> {
+        let op = need_str(v, "op")?;
+        let field = |v: &Json| -> ApiResult<Field> {
+            Field::parse(need_str(v, "field")?)
+                .ok_or_else(|| ApiError::bad_request("unknown aggregate field"))
+        };
+        Ok(match op {
+            "count" => AggOp::Count,
+            "min" => AggOp::Min(field(v)?),
+            "max" => AggOp::Max(field(v)?),
+            "histogram" => {
+                let buckets = need_u64(v, "buckets")? as usize;
+                if buckets == 0 || buckets > 4096 {
+                    return Err(ApiError::bad_request("buckets must be in 1..=4096"));
+                }
+                AggOp::Histogram {
+                    field: field(v)?,
+                    buckets,
+                }
+            }
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown aggregate op '{other}'"
+                )));
+            }
+        })
+    }
+}
+
+/// An equi-width histogram over the observed `[lo, hi]` value range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramDto {
+    /// Lower edge of the first bucket (the observed minimum).
+    pub lo: f64,
+    /// Upper edge of the last bucket (the observed maximum).
+    pub hi: f64,
+    /// Per-bucket counts, left to right.
+    pub counts: Vec<u64>,
+}
+
+/// The result of one [`crate::ApiRequest::Aggregate`] — also the payload
+/// of the streamed [`crate::ApiFrame::Summary`] frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateDto {
+    /// The operation that was computed (echoed back).
+    pub agg: AggOp,
+    /// Filtered rows (edges) in the window.
+    pub rows: u64,
+    /// Distinct nodes among the filtered rows.
+    pub nodes: u64,
+    /// The scalar result of `min`/`max`; absent for `count`/`histogram`
+    /// and when no rows matched.
+    pub value: Option<f64>,
+    /// The histogram result; absent unless `agg` is `histogram` and at
+    /// least one row matched.
+    pub histogram: Option<HistogramDto>,
+}
+
+impl AggregateDto {
+    /// Serialize to the canonical object form.
+    pub fn to_value(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![
+            ("agg".into(), self.agg.to_value()),
+            ("rows".into(), Json::uint(self.rows)),
+            ("nodes".into(), Json::uint(self.nodes)),
+        ];
+        if let Some(v) = self.value {
+            members.push(("value".into(), Json::Float(v)));
+        }
+        if let Some(h) = &self.histogram {
+            members.push((
+                "histogram".into(),
+                Json::Obj(vec![
+                    ("lo".into(), Json::Float(h.lo)),
+                    ("hi".into(), Json::Float(h.hi)),
+                    (
+                        "counts".into(),
+                        Json::Arr(h.counts.iter().map(|&c| Json::uint(c)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(members)
+    }
+
+    /// Parse the object form.
+    pub fn from_value(v: &Json) -> ApiResult<AggregateDto> {
+        let histogram = match v.get("histogram") {
+            Some(h) => Some(HistogramDto {
+                lo: need_f64(h, "lo")?,
+                hi: need_f64(h, "hi")?,
+                counts: need(h, "counts")?
+                    .as_arr()
+                    .ok_or_else(|| ApiError::bad_request("counts must be an array"))?
+                    .iter()
+                    .map(|c| {
+                        c.as_u64()
+                            .ok_or_else(|| ApiError::bad_request("bad bucket count"))
+                    })
+                    .collect::<ApiResult<_>>()?,
+            }),
+            None => None,
+        };
+        Ok(AggregateDto {
+            agg: AggOp::from_value(need(v, "agg")?)?,
+            rows: need_u64(v, "rows")?,
+            nodes: need_u64(v, "nodes")?,
+            value: v.get("value").and_then(Json::as_f64),
+            histogram,
+        })
+    }
+}

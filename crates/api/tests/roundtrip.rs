@@ -2,9 +2,9 @@
 //! [`ApiResponse`] variant must survive `to_json` → `from_json` exactly.
 
 use gvdb_api::{
-    ApiError, ApiRequest, ApiResponse, CacheStatsDto, DatasetInfo, DatasetStats, EdgeDto,
-    ErrorKind, LayerInfo, PoolStatsDto, RectDto, SearchHitDto, SessionStatsDto, Source, StatsDto,
-    WindowMeta,
+    AggOp, AggregateDto, ApiError, ApiRequest, ApiResponse, CacheStatsDto, DatasetInfo,
+    DatasetStats, EdgeDto, ErrorKind, Field, HistogramDto, LayerInfo, PackedRows, PoolStatsDto,
+    Predicate, RectDto, SearchHitDto, SessionStatsDto, Source, StatsDto, WindowMeta,
 };
 
 fn rect() -> RectDto {
@@ -61,6 +61,7 @@ fn every_request_variant_roundtrips() {
         window: rect(),
         session: Some(41),
         packed: false,
+        predicate: None,
     });
     roundtrip_request(ApiRequest::Window {
         dataset: None,
@@ -68,11 +69,55 @@ fn every_request_variant_roundtrips() {
         window: rect(),
         session: None,
         packed: true,
+        predicate: None,
+    });
+    roundtrip_request(ApiRequest::Window {
+        dataset: None,
+        layer: Some(0),
+        window: rect(),
+        session: None,
+        packed: false,
+        predicate: Some(Predicate::And(vec![
+            Predicate::Range {
+                field: Field::Degree,
+                min: Some(2.0),
+                max: Some(10.0),
+            },
+            Predicate::NodeLabelPrefix("Q1".into()),
+        ])),
     });
     roundtrip_request(ApiRequest::Search {
         dataset: None,
         layer: 0,
         query: "Faloutsos \"graph mining\"".into(),
+        predicate: None,
+    });
+    roundtrip_request(ApiRequest::Search {
+        dataset: Some("dblp".into()),
+        layer: 1,
+        query: "graph".into(),
+        predicate: Some(Predicate::Range {
+            field: Field::Rank,
+            min: Some(0.01),
+            max: None,
+        }),
+    });
+    roundtrip_request(ApiRequest::Aggregate {
+        dataset: Some("dblp".into()),
+        layer: Some(1),
+        window: rect(),
+        predicate: Some(Predicate::NodeLabelEq("Q17".into())),
+        agg: AggOp::Histogram {
+            field: Field::Degree,
+            buckets: 16,
+        },
+    });
+    roundtrip_request(ApiRequest::Aggregate {
+        dataset: None,
+        layer: None,
+        window: rect(),
+        predicate: None,
+        agg: AggOp::Count,
     });
     roundtrip_request(ApiRequest::Focus {
         dataset: Some("acm".into()),
@@ -129,6 +174,7 @@ fn mutation_classification_feeds_the_write_gate() {
         dataset: None,
         layer: 0,
         query: "q".into(),
+        predicate: None,
     }
     .is_mutation());
 }
@@ -250,11 +296,67 @@ fn every_response_variant_roundtrips() {
                 evictions: 3,
                 expired: 5,
             },
+            layers: vec![
+                gvdb_api::LayerStatsDto {
+                    index: 0,
+                    rows: 150_000,
+                    sidecar_nodes: 40_000,
+                },
+                gvdb_api::LayerStatsDto {
+                    index: 1,
+                    rows: 45_000,
+                    sidecar_nodes: 0,
+                },
+            ],
+            chooser: gvdb_api::ChooserStatsDto { index: 7, scan: 2 },
         }],
     }));
     roundtrip_response(ApiResponse::Flushed {
         dataset: "patents".into(),
         pages: 512,
+    });
+    roundtrip_response(ApiResponse::Aggregate {
+        dataset: "default".into(),
+        layer: 0,
+        epoch: 4,
+        result: AggregateDto {
+            agg: AggOp::Count,
+            rows: 812,
+            nodes: 340,
+            value: None,
+            histogram: None,
+        },
+    });
+    roundtrip_response(ApiResponse::Aggregate {
+        dataset: "dblp".into(),
+        layer: 2,
+        epoch: 0,
+        result: AggregateDto {
+            agg: AggOp::Histogram {
+                field: Field::Rank,
+                buckets: 3,
+            },
+            rows: 40,
+            nodes: 11,
+            value: None,
+            histogram: Some(HistogramDto {
+                lo: 0.01,
+                hi: 0.5,
+                counts: vec![9, 0, 2],
+            }),
+        },
+    });
+    roundtrip_response(ApiResponse::Aggregate {
+        dataset: "default".into(),
+        layer: 0,
+        epoch: 1,
+        result: AggregateDto {
+            agg: AggOp::Max(Field::Y),
+            rows: 3,
+            nodes: 4,
+            value: Some(912.25),
+            histogram: None,
+        },
     });
     roundtrip_response(ApiResponse::Error(ApiError::new(
         ErrorKind::NotFound,
@@ -307,4 +409,137 @@ fn malformed_requests_are_typed_errors() {
 fn window_graph_payload_is_validated_json() {
     let text = r#"{"kind":"window","window":{"dataset":"d","layer":0,"epoch":0,"source":"cold","rows_reused":0,"rows_fetched":0},"graph":{"nodes":[],"edges":"#;
     assert!(ApiResponse::from_json(text).is_err());
+}
+
+#[track_caller]
+fn roundtrip_predicate(pred: Predicate) {
+    let text = pred.to_json();
+    let parsed = Predicate::from_json(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+    assert_eq!(parsed, pred, "wire form: {text}");
+    assert_eq!(parsed.to_json(), text);
+}
+
+#[test]
+fn every_predicate_operator_roundtrips() {
+    roundtrip_predicate(Predicate::Range {
+        field: Field::X,
+        min: Some(-10.5),
+        max: Some(99.25),
+    });
+    roundtrip_predicate(Predicate::Range {
+        field: Field::Y,
+        min: None,
+        max: Some(0.0),
+    });
+    roundtrip_predicate(Predicate::Range {
+        field: Field::Degree,
+        min: Some(3.0),
+        max: None,
+    });
+    roundtrip_predicate(Predicate::Range {
+        field: Field::Rank,
+        min: Some(0.001),
+        max: Some(0.9),
+    });
+    roundtrip_predicate(Predicate::NodeLabelEq("C. Faloutsos".into()));
+    roundtrip_predicate(Predicate::NodeLabelPrefix("\"quoted\" prefix".into()));
+    roundtrip_predicate(Predicate::EdgeLabelEq("cites".into()));
+    roundtrip_predicate(Predicate::EdgeLabelPrefix("co".into()));
+    roundtrip_predicate(Predicate::And(vec![
+        Predicate::NodeLabelPrefix("Q".into()),
+        Predicate::Or(vec![
+            Predicate::Range {
+                field: Field::Degree,
+                min: Some(5.0),
+                max: None,
+            },
+            Predicate::EdgeLabelEq("knows".into()),
+        ]),
+    ]));
+    roundtrip_predicate(Predicate::Or(vec![Predicate::NodeLabelEq("lone".into())]));
+}
+
+#[test]
+fn malformed_predicates_are_typed_errors() {
+    for bad in [
+        r#"{"kind":"range","field":"x"}"#,              // no bound at all
+        r#"{"kind":"range","field":"volume","min":1}"#, // unknown field
+        r#"{"kind":"node_label_eq"}"#,                  // missing value
+        r#"{"kind":"and","preds":[]}"#,                 // empty conjunction
+        r#"{"kind":"between","field":"x","min":0}"#,    // unknown operator
+        r#"{"field":"x","min":0}"#,                     // untagged
+    ] {
+        let err = Predicate::from_json(bad).expect_err(bad);
+        assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+    }
+    // Nesting is depth-bounded: a 64-deep AND tower must be rejected, not
+    // overflow the parser's stack.
+    let deep = format!(
+        "{}{}{}",
+        r#"{"kind":"and","preds":["#.repeat(64),
+        r#"{"kind":"node_label_eq","value":"x"}"#,
+        "]}".repeat(64)
+    );
+    assert_eq!(
+        Predicate::from_json(&deep).unwrap_err().kind,
+        ErrorKind::BadRequest
+    );
+}
+
+#[test]
+fn edge_label_detection_sees_through_composition() {
+    let node_only = Predicate::And(vec![
+        Predicate::NodeLabelEq("a".into()),
+        Predicate::Range {
+            field: Field::Degree,
+            min: Some(1.0),
+            max: None,
+        },
+    ]);
+    assert!(!node_only.references_edge_labels());
+    let nested_edge = Predicate::Or(vec![
+        Predicate::NodeLabelEq("a".into()),
+        Predicate::And(vec![Predicate::EdgeLabelPrefix("ci".into())]),
+    ]);
+    assert!(nested_edge.references_edge_labels());
+}
+
+#[test]
+fn stats_without_access_path_fields_still_parse() {
+    // Payloads from pre-attribute-query servers carry no layers/chooser
+    // members; the parser must default them instead of failing.
+    let text = r#"{"kind":"stats","served":1,"rejected":0,"workers":2,"backlog":4,"active_workers":0,"open_connections":0,"cpus":2,"shards_policy":"p","datasets":[{"name":"d","epochs":[0],"cache":{"hits":0,"partial_hits":0,"misses":0,"entries":0,"bytes":0,"shards":[]},"pool":{"hits":0,"misses":0,"evictions":0,"shards":[]},"sessions":{"live":0,"created":0,"evictions":0,"expired":0}}]}"#;
+    match ApiResponse::from_json(text).expect("lenient stats parse") {
+        ApiResponse::Stats(stats) => {
+            assert!(stats.datasets[0].layers.is_empty());
+            assert_eq!(
+                stats.datasets[0].chooser,
+                gvdb_api::ChooserStatsDto::default()
+            );
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+// Folded in from the PR 8 scratch test file (tmp_overflow_check.rs):
+// hostile packed images with length fields near u64::MAX must come back
+// as decode errors, never panics or huge allocations.
+#[test]
+fn hostile_packed_suffix_len_is_a_decode_error() {
+    // 1 node, 0 edges, 1 dict entry with shared=0, suffix_len=u64::MAX.
+    let mut img = vec![1u8, 0u8, 1u8, 0u8];
+    img.extend(std::iter::repeat_n(0xFF, 9)); // varint u64::MAX
+    img.push(0x01);
+    assert!(PackedRows::decode(&img).is_err());
+}
+
+#[test]
+fn hostile_packed_node_count_is_a_decode_error() {
+    // node_count = u64::MAX, edge_count = 2, dict_len = 0.
+    let mut img = Vec::new();
+    img.extend(std::iter::repeat_n(0xFF, 9));
+    img.push(0x01);
+    img.push(2);
+    img.push(0);
+    assert!(PackedRows::decode(&img).is_err());
 }

@@ -35,8 +35,9 @@
 //! ```
 
 use gvdb_api::{
-    ApiError, ApiFrame, ApiRequest, ApiResponse, DatasetInfo, EdgeDto, FrameHeader, LayerInfo,
-    ProgressFrame, RectDto, RowBatch, SearchHitDto, StatsDto, TrailerFrame, WindowMeta,
+    AggOp, AggregateDto, ApiError, ApiFrame, ApiRequest, ApiResponse, DatasetInfo, EdgeDto,
+    FrameHeader, LayerInfo, Predicate, ProgressFrame, RectDto, RowBatch, SearchHitDto, StatsDto,
+    TrailerFrame, WindowMeta,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -164,6 +165,12 @@ pub struct WindowParams {
     /// it). Set `false` to force plain frames (e.g. to compare, or when
     /// fronting a proxy that inspects frames).
     pub packed: bool,
+    /// Attribute predicate pushed into the window fetch (`None` = every
+    /// row in the window). Streamed queries carry it as the `filter=`
+    /// query parameter (canonical predicate JSON), so predicates whose
+    /// label text needs URL-reserved characters or spaces must go
+    /// through the buffered call, which rides `POST /v1`.
+    pub predicate: Option<Predicate>,
 }
 
 impl Default for WindowParams {
@@ -179,6 +186,7 @@ impl Default for WindowParams {
             },
             session: None,
             packed: true,
+            predicate: None,
         }
     }
 }
@@ -191,6 +199,7 @@ impl WindowParams {
             window: self.window,
             session: self.session,
             packed: self.packed,
+            predicate: self.predicate.clone(),
         }
     }
 
@@ -211,8 +220,94 @@ impl WindowParams {
         if self.packed {
             q.push_str("&encoding=packed");
         }
+        if let Some(p) = &self.predicate {
+            q.push_str(&format!("&filter={}", encode_filter(p)?));
+        }
         Ok(q)
     }
+}
+
+/// Parameters of a window aggregation (buffered or streamed).
+#[derive(Debug, Clone)]
+pub struct AggregateParams {
+    /// Target dataset (`None` = the server's only dataset).
+    pub dataset: Option<String>,
+    /// Layer to aggregate (`None` = 0).
+    pub layer: Option<usize>,
+    /// The window aggregated over.
+    pub window: RectDto,
+    /// Attribute predicate applied before aggregation.
+    pub predicate: Option<Predicate>,
+    /// The aggregation computed.
+    pub agg: AggOp,
+}
+
+impl Default for AggregateParams {
+    fn default() -> Self {
+        AggregateParams {
+            dataset: None,
+            layer: None,
+            window: RectDto::default(),
+            predicate: None,
+            agg: AggOp::Count,
+        }
+    }
+}
+
+impl AggregateParams {
+    fn request(&self) -> ApiRequest {
+        ApiRequest::Aggregate {
+            dataset: self.dataset.clone(),
+            layer: self.layer,
+            window: self.window,
+            predicate: self.predicate.clone(),
+            agg: self.agg.clone(),
+        }
+    }
+
+    fn query_string(&self) -> Result<String> {
+        let mut q = format!(
+            "minx={}&miny={}&maxx={}&maxy={}",
+            self.window.min_x, self.window.min_y, self.window.max_x, self.window.max_y
+        );
+        if let Some(d) = &self.dataset {
+            q.push_str(&format!("&dataset={}", encode_query_value(d)?));
+        }
+        if let Some(l) = self.layer {
+            q.push_str(&format!("&layer={l}"));
+        }
+        match &self.agg {
+            AggOp::Count => q.push_str("&agg=count"),
+            AggOp::Min(f) => q.push_str(&format!("&agg=min&field={}", f.as_str())),
+            AggOp::Max(f) => q.push_str(&format!("&agg=max&field={}", f.as_str())),
+            AggOp::Histogram { field, buckets } => q.push_str(&format!(
+                "&agg=histogram&field={}&buckets={buckets}",
+                field.as_str()
+            )),
+        }
+        if let Some(p) = &self.predicate {
+            q.push_str(&format!("&filter={}", encode_filter(p)?));
+        }
+        Ok(q)
+    }
+}
+
+/// Encode a predicate for the `filter=` query parameter: the canonical
+/// JSON travels verbatim (the server does no percent-decoding), so a
+/// predicate whose label text needs URL metacharacters or whitespace is
+/// rejected here — those ride the buffered `POST /v1` form.
+fn encode_filter(p: &Predicate) -> Result<String> {
+    let text = p.to_json();
+    if text.chars().any(|c| {
+        c.is_control() || c.is_whitespace() || matches!(c, '&' | '#' | '?' | '+' | '=' | '%')
+    }) {
+        return Err(ClientError::Protocol(
+            "the predicate's text cannot travel in a query string; \
+             use a buffered call (POST /v1) instead"
+                .into(),
+        ));
+    }
+    Ok(text)
 }
 
 /// Encode a text value for the `v1` query-string dialect: spaces travel
@@ -316,15 +411,47 @@ impl GvdbClient {
         layer: usize,
         query: &str,
     ) -> Result<Vec<SearchHitDto>> {
+        self.search_filtered(dataset, layer, query, None)
+    }
+
+    /// A **buffered** keyword search with an attribute predicate applied
+    /// per hit (edge-label predicates are a server-side `bad_request`).
+    pub fn search_filtered(
+        &self,
+        dataset: Option<&str>,
+        layer: usize,
+        query: &str,
+        predicate: Option<Predicate>,
+    ) -> Result<Vec<SearchHitDto>> {
         let request = ApiRequest::Search {
             dataset: dataset.map(String::from),
             layer,
             query: query.to_string(),
+            predicate,
         };
         match self.rpc(&request)? {
             ApiResponse::Hits { hits } => Ok(hits),
             other => Err(unexpected("hits", &other)),
         }
+    }
+
+    /// A **buffered** window aggregation: the summary plus the edit
+    /// epoch it is consistent with.
+    pub fn aggregate(&self, params: &AggregateParams) -> Result<(u64, AggregateDto)> {
+        match self.rpc(&params.request())? {
+            ApiResponse::Aggregate { epoch, result, .. } => Ok((epoch, result)),
+            other => Err(unexpected("aggregate", &other)),
+        }
+    }
+
+    /// A **streamed** window aggregation: `Header · Progress · Summary ·
+    /// Trailer` over chunked transfer-encoding. Drain the stream (there
+    /// are no row batches), then read [`WindowStream::summary`] and the
+    /// trailer — whose epoch is newer than the header's iff an edit
+    /// raced the aggregation.
+    pub fn aggregate_stream(&self, params: &AggregateParams) -> Result<WindowStream> {
+        let path = format!("/v1/aggregate?{}&stream=1", params.query_string()?);
+        self.open_stream(&path)
     }
 
     /// Focus on a node: its neighbourhood payload and row count.
@@ -511,6 +638,7 @@ impl GvdbClient {
                 session: None,
             },
             progress: None,
+            summary: None,
             trailer: None,
             pool: Arc::clone(&self.pool),
             addr: self.addr.clone(),
@@ -755,6 +883,7 @@ pub struct WindowStream {
     /// The stream's opening frame — dataset, layer, epoch, source.
     pub header: FrameHeader,
     progress: Option<ProgressFrame>,
+    summary: Option<AggregateDto>,
     trailer: Option<TrailerFrame>,
     pool: Arc<ConnectionPool>,
     addr: String,
@@ -810,6 +939,7 @@ impl WindowStream {
                     }));
                 }
                 Some(ApiFrame::Progress(p)) => self.progress = Some(p),
+                Some(ApiFrame::Summary(s)) => self.summary = Some(s),
                 Some(ApiFrame::Trailer(t)) => self.trailer = Some(t),
                 Some(ApiFrame::Header(h)) => {
                     return Err(ClientError::Protocol(format!(
@@ -844,6 +974,12 @@ impl WindowStream {
     /// The latest progress frame seen.
     pub fn progress(&self) -> Option<&ProgressFrame> {
         self.progress.as_ref()
+    }
+
+    /// The aggregation summary, once an `aggregate` stream has been
+    /// drained (`None` on window/search streams).
+    pub fn summary(&self) -> Option<&AggregateDto> {
+        self.summary.as_ref()
     }
 
     /// Milliseconds from request send to the [`FrameHeader`] decoded —

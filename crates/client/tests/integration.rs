@@ -456,3 +456,111 @@ fn read_only_datasets_reject_mutations_with_403() {
     server.shutdown();
     std::fs::remove_file(&path).ok();
 }
+
+/// The attribute query engine over real TCP: filtered windows (buffered,
+/// streamed via the `filter=` query parameter, and via RPC), filtered
+/// search, aggregation both ways, and the new stats counters.
+#[test]
+fn filtered_windows_and_aggregates_round_trip() {
+    use gvdb_api::{AggOp, Field, Predicate};
+    use gvdb_client::AggregateParams;
+
+    let (qm, path) = manager("filtered", 400);
+    let server = Server::start(Arc::new(qm), ServerConfig::default()).unwrap();
+    let client = GvdbClient::new(server.addr().to_string());
+
+    let pred = Predicate::Range {
+        field: Field::Degree,
+        min: Some(2.0),
+        max: None,
+    };
+    let plain = WindowParams {
+        window: RectDto {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 2000.0,
+            max_y: 2000.0,
+        },
+        ..Default::default()
+    };
+    let filtered = WindowParams {
+        predicate: Some(pred.clone()),
+        ..plain.clone()
+    };
+
+    // The streamed filtered window (predicate rides `filter=`) decodes
+    // byte-identical to the buffered filtered envelope (RPC form).
+    let mut stream = client.window_stream(&filtered).unwrap();
+    let mut fragments = Vec::new();
+    while let Some(batch) = stream.next_batch().unwrap() {
+        let RowBatch::Graph { graph, .. } = batch else {
+            panic!("graph batches only")
+        };
+        fragments.push(graph);
+    }
+    let streamed = gvdb_api::reassemble_graph(fragments.iter().map(String::as_str)).unwrap();
+    let (_, buffered) = client.window(&filtered).unwrap();
+    assert_eq!(streamed, buffered);
+
+    // The predicate drops rows relative to the unfiltered window.
+    let (_, unfiltered) = client.window(&plain).unwrap();
+    assert!(buffered.len() < unfiltered.len());
+
+    // Filtered search stays a subset; edge-label predicates are a typed
+    // BadRequest.
+    let all = client.search(None, 0, "Q1").unwrap();
+    let some = client
+        .search_filtered(
+            None,
+            0,
+            "Q1",
+            Some(Predicate::Range {
+                field: Field::X,
+                min: None,
+                max: Some(1000.0),
+            }),
+        )
+        .unwrap();
+    assert!(some.len() <= all.len());
+    let ClientError::Api(e) = client
+        .search_filtered(None, 0, "Q1", Some(Predicate::EdgeLabelEq("x".into())))
+        .unwrap_err()
+    else {
+        panic!("expected a typed error")
+    };
+    assert_eq!(e.kind, ErrorKind::BadRequest);
+
+    // Aggregation: buffered == streamed summary, trailer carries rows.
+    let agg = AggregateParams {
+        dataset: None,
+        layer: Some(0),
+        window: plain.window,
+        predicate: Some(pred),
+        agg: AggOp::Histogram {
+            field: Field::Degree,
+            buckets: 6,
+        },
+    };
+    let (epoch, result) = client.aggregate(&agg).unwrap();
+    assert!(result.rows > 0);
+    let h = result.histogram.as_ref().expect("histogram result");
+    assert_eq!(h.counts.len(), 6);
+    let mut stream = client.aggregate_stream(&agg).unwrap();
+    assert_eq!(stream.header.op, "aggregate");
+    assert_eq!(stream.header.epoch, epoch);
+    assert!(stream.next_batch().unwrap().is_none(), "no row batches");
+    assert_eq!(stream.summary(), Some(&result));
+    let trailer = stream.trailer().expect("trailer after drain");
+    assert_eq!(trailer.rows, result.rows);
+
+    // Stats expose the per-layer sidecar cardinality and the chooser's
+    // decisions.
+    let stats = client.stats().unwrap();
+    let ds = &stats.datasets[0];
+    assert!(!ds.layers.is_empty());
+    assert!(ds.layers.iter().all(|l| l.sidecar_nodes > 0));
+    assert!(ds.chooser.index + ds.chooser.scan > 0);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,470 @@
+//! The attribute query engine's evaluation core: compile a wire
+//! [`Predicate`] into a row filter, pick an access path for a cold
+//! filtered window, and reduce a filtered row set into an aggregate.
+//!
+//! ## Semantics
+//!
+//! A predicate describes **nodes** except for the `edge_label_*`
+//! operators, which describe the row itself. A node-level predicate
+//! matches a row when **either endpoint** satisfies it — the window
+//! query returns edges, and an edge is interesting if it touches an
+//! interesting node. `and`/`or` compose at row level.
+//!
+//! `degree`/`rank` scores come from the layer's preprocess-time
+//! [`RankSidecar`]; nodes the preprocess run never saw (rows inserted
+//! through the edit path) default both scores to `0.0`.
+//!
+//! ## The access-path chooser
+//!
+//! A cold filtered window can be served two ways:
+//!
+//! * **scan** — R-tree descent over the window, heap-fetch every
+//!   candidate, apply the predicate as a residual filter while rows are
+//!   kept or dropped (pushdown: non-matching rows never reach the
+//!   serializer);
+//! * **index** — turn the predicate into a candidate row set through a
+//!   secondary index (label tries, node B+-tree, sidecar scan), fetch
+//!   only those rows, and intersect with the window rectangle.
+//!
+//! [`choose_access`] compares the index candidate count against the
+//! layer's row cardinality and takes the index path when the predicate
+//! is selective ([`INDEX_SELECTIVITY_DEN`]); the caller counts the
+//! decision so `/v1/stats` can report the split.
+
+use gvdb_api::{AggOp, AggregateDto, Field, HistogramDto, Predicate};
+use gvdb_storage::{BufferPool, EdgeRow, LayerTable, RankSidecar, Result, RowId};
+
+/// How a filtered query picks its access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterMode {
+    /// Cost-based: index when the candidate set is selective, scan
+    /// otherwise (the serving default).
+    #[default]
+    Auto,
+    /// Always scan-and-filter (the benchmark baseline).
+    ForceScan,
+    /// Always the index path when the predicate is indexable at all
+    /// (falls back to scan when it is not).
+    ForceIndex,
+}
+
+/// The chooser's verdict for one cold filtered window.
+#[derive(Debug)]
+pub enum AccessPath {
+    /// Fetch exactly these candidate rows (ascending, deduplicated) and
+    /// intersect with the window.
+    Index(Vec<RowId>),
+    /// R-tree descent over the window with a residual filter.
+    Scan,
+}
+
+/// The chooser takes the index path when `candidates * DEN <= rows`,
+/// i.e. at most 1/4 of the layer — below that, probing the candidate
+/// rows beats descending the R-tree and fetching the whole window.
+pub const INDEX_SELECTIVITY_DEN: u64 = 4;
+
+/// A wire predicate bound to one layer's sidecar, ready to evaluate
+/// against rows and nodes. Cloning is cheap (the sidecar is
+/// `Arc`-backed), so a compiled filter can outlive the database read
+/// guard it was built under.
+#[derive(Debug, Clone)]
+pub struct CompiledFilter {
+    pred: Predicate,
+    sidecar: RankSidecar,
+}
+
+impl CompiledFilter {
+    /// Bind `pred` to a layer's sidecar (`None` for layers preprocessed
+    /// before sidecars existed — every score reads as `0.0`).
+    pub fn new(pred: Predicate, sidecar: Option<RankSidecar>) -> Self {
+        CompiledFilter {
+            pred,
+            sidecar: sidecar.unwrap_or_default(),
+        }
+    }
+
+    /// The predicate this filter evaluates.
+    pub fn predicate(&self) -> &Predicate {
+        &self.pred
+    }
+
+    /// Whether `row` survives the filter (see the module docs for the
+    /// either-endpoint rule).
+    pub fn matches_row(&self, row: &EdgeRow) -> bool {
+        self.eval_row(&self.pred, row)
+    }
+
+    /// Whether one node (a search hit) satisfies the predicate.
+    /// `edge_label_*` operators never match in node context — callers
+    /// reject them up front.
+    pub fn matches_node(&self, node_id: u64, label: &str, x: f64, y: f64) -> bool {
+        self.eval_node(&self.pred, node_id, label, x, y)
+    }
+
+    fn score(&self, node_id: u64, field: Field) -> f64 {
+        let (degree, rank) = self.sidecar.get(node_id).unwrap_or((0.0, 0.0));
+        match field {
+            Field::Degree => degree,
+            Field::Rank => rank,
+            Field::X | Field::Y => unreachable!("coordinates come from the row"),
+        }
+    }
+
+    fn eval_row(&self, p: &Predicate, row: &EdgeRow) -> bool {
+        match p {
+            Predicate::Range { field, min, max } => {
+                let (a, b) = match field {
+                    Field::X => (row.geometry.x1, row.geometry.x2),
+                    Field::Y => (row.geometry.y1, row.geometry.y2),
+                    Field::Degree | Field::Rank => (
+                        self.score(row.node1_id, *field),
+                        self.score(row.node2_id, *field),
+                    ),
+                };
+                in_range(a, min, max) || in_range(b, min, max)
+            }
+            Predicate::NodeLabelEq(v) => &*row.node1_label == v || &*row.node2_label == v,
+            Predicate::NodeLabelPrefix(v) => {
+                row.node1_label.starts_with(v.as_str()) || row.node2_label.starts_with(v.as_str())
+            }
+            Predicate::EdgeLabelEq(v) => &*row.edge_label == v,
+            Predicate::EdgeLabelPrefix(v) => row.edge_label.starts_with(v.as_str()),
+            Predicate::And(ps) => ps.iter().all(|p| self.eval_row(p, row)),
+            Predicate::Or(ps) => ps.iter().any(|p| self.eval_row(p, row)),
+        }
+    }
+
+    fn eval_node(&self, p: &Predicate, node_id: u64, label: &str, x: f64, y: f64) -> bool {
+        match p {
+            Predicate::Range { field, min, max } => {
+                let v = match field {
+                    Field::X => x,
+                    Field::Y => y,
+                    Field::Degree | Field::Rank => self.score(node_id, *field),
+                };
+                in_range(v, min, max)
+            }
+            Predicate::NodeLabelEq(v) => label == v,
+            Predicate::NodeLabelPrefix(v) => label.starts_with(v.as_str()),
+            Predicate::EdgeLabelEq(_) | Predicate::EdgeLabelPrefix(_) => false,
+            Predicate::And(ps) => ps.iter().all(|p| self.eval_node(p, node_id, label, x, y)),
+            Predicate::Or(ps) => ps.iter().any(|p| self.eval_node(p, node_id, label, x, y)),
+        }
+    }
+}
+
+fn in_range(v: f64, min: &Option<f64>, max: &Option<f64>) -> bool {
+    min.is_none_or(|m| v >= m) && max.is_none_or(|m| v <= m)
+}
+
+/// Pick the access path for a cold filtered window (see module docs).
+/// `Auto` computes the index candidate set — in-memory trie and sidecar
+/// probes plus one B+-tree lookup per matched node — and scans when the
+/// predicate is not indexable or not selective.
+pub fn choose_access(
+    table: &LayerTable,
+    pool: &BufferPool,
+    filter: &CompiledFilter,
+    mode: FilterMode,
+) -> Result<AccessPath> {
+    if mode == FilterMode::ForceScan {
+        return Ok(AccessPath::Scan);
+    }
+    let Some(mut rids) = index_candidates(table, pool, &filter.pred, &filter.sidecar)? else {
+        return Ok(AccessPath::Scan);
+    };
+    rids.sort_unstable();
+    rids.dedup();
+    let selective = (rids.len() as u64).saturating_mul(INDEX_SELECTIVITY_DEN) <= table.row_count();
+    if mode == FilterMode::ForceIndex || selective {
+        Ok(AccessPath::Index(rids))
+    } else {
+        Ok(AccessPath::Scan)
+    }
+}
+
+/// The candidate row set of an indexable predicate — a **superset** of
+/// the rows the predicate matches, so the residual filter stays exact:
+///
+/// * `node_label_*` — trie probe (substring index) + one B+-tree lookup
+///   per matched node;
+/// * `edge_label_*` — edge-trie probe, row ids directly;
+/// * `degree`/`rank` range — one sidecar scan to the matching node set,
+///   then B+-tree lookups. Only indexable when the range **excludes**
+///   `0.0`: nodes the sidecar never saw (edit-path inserts) score `0.0`,
+///   and the candidate set must not miss them;
+/// * `and` — the first indexable conjunct (the rest is residual);
+/// * `or` — the union of all branches, indexable only if every branch
+///   is;
+/// * `x`/`y` ranges — not indexable (the R-tree already is the spatial
+///   access path).
+fn index_candidates(
+    table: &LayerTable,
+    pool: &BufferPool,
+    pred: &Predicate,
+    sidecar: &RankSidecar,
+) -> Result<Option<Vec<RowId>>> {
+    match pred {
+        Predicate::Range { field, min, max } => match field {
+            Field::X | Field::Y => Ok(None),
+            Field::Degree | Field::Rank => {
+                // A range admitting 0.0 also admits unscored nodes,
+                // which no sidecar scan can enumerate.
+                if !min.is_some_and(|m| m > 0.0) {
+                    return Ok(None);
+                }
+                let mut rids = Vec::new();
+                for &(id, degree, rank) in sidecar.entries() {
+                    let v = if *field == Field::Degree {
+                        degree
+                    } else {
+                        rank
+                    };
+                    if in_range(v, min, max) {
+                        rids.extend(table.rows_of_node(pool, id)?);
+                    }
+                }
+                Ok(Some(rids))
+            }
+        },
+        Predicate::NodeLabelEq(v) | Predicate::NodeLabelPrefix(v) => {
+            let mut rids = Vec::new();
+            for id in table.search_nodes(v) {
+                rids.extend(table.rows_of_node(pool, id)?);
+            }
+            Ok(Some(rids))
+        }
+        Predicate::EdgeLabelEq(v) | Predicate::EdgeLabelPrefix(v) => {
+            Ok(Some(table.search_edges(v)))
+        }
+        Predicate::And(ps) => {
+            for p in ps {
+                if let Some(rids) = index_candidates(table, pool, p, sidecar)? {
+                    return Ok(Some(rids));
+                }
+            }
+            Ok(None)
+        }
+        Predicate::Or(ps) => {
+            let mut rids = Vec::new();
+            for p in ps {
+                match index_candidates(table, pool, p, sidecar)? {
+                    Some(mut r) => rids.append(&mut r),
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(rids))
+        }
+    }
+}
+
+/// Reduce a filtered window's rows into the requested aggregate.
+/// `count` counts rows (edges); `min`/`max`/`histogram` reduce over the
+/// **distinct nodes** of the filtered rows. An empty node set yields no
+/// value and no histogram.
+pub fn aggregate_rows(
+    rows: &[(RowId, EdgeRow)],
+    sidecar: &RankSidecar,
+    agg: &AggOp,
+) -> AggregateDto {
+    let mut nodes: Vec<(u64, f64, f64)> = Vec::with_capacity(rows.len() * 2);
+    for (_, r) in rows {
+        nodes.push((r.node1_id, r.geometry.x1, r.geometry.y1));
+        nodes.push((r.node2_id, r.geometry.x2, r.geometry.y2));
+    }
+    nodes.sort_by_key(|&(id, _, _)| id);
+    nodes.dedup_by_key(|&mut (id, _, _)| id);
+
+    let mut out = AggregateDto {
+        agg: agg.clone(),
+        rows: rows.len() as u64,
+        nodes: nodes.len() as u64,
+        value: None,
+        histogram: None,
+    };
+    let values = |field: Field| -> Vec<f64> {
+        nodes
+            .iter()
+            .map(|&(id, x, y)| match field {
+                Field::X => x,
+                Field::Y => y,
+                Field::Degree | Field::Rank => {
+                    let (degree, rank) = sidecar.get(id).unwrap_or((0.0, 0.0));
+                    if field == Field::Degree {
+                        degree
+                    } else {
+                        rank
+                    }
+                }
+            })
+            .collect()
+    };
+    match agg {
+        AggOp::Count => {}
+        AggOp::Min(field) => {
+            out.value = values(*field).into_iter().reduce(f64::min);
+        }
+        AggOp::Max(field) => {
+            out.value = values(*field).into_iter().reduce(f64::max);
+        }
+        AggOp::Histogram { field, buckets } => {
+            let vals = values(*field);
+            if !vals.is_empty() {
+                let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let n = (*buckets).max(1);
+                let width = (hi - lo) / n as f64;
+                let mut counts = vec![0u64; n];
+                for v in vals {
+                    let idx = if width > 0.0 {
+                        (((v - lo) / width) as usize).min(n - 1)
+                    } else {
+                        0
+                    };
+                    counts[idx] += 1;
+                }
+                out.histogram = Some(HistogramDto { lo, hi, counts });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvdb_storage::EdgeGeometry;
+
+    fn row(n1: u64, l1: &str, n2: u64, l2: &str, el: &str, x1: f64, y1: f64) -> EdgeRow {
+        EdgeRow {
+            node1_id: n1,
+            node1_label: l1.into(),
+            geometry: EdgeGeometry {
+                x1,
+                y1,
+                x2: x1 + 10.0,
+                y2: y1 + 10.0,
+                directed: false,
+            },
+            edge_label: el.into(),
+            node2_id: n2,
+            node2_label: l2.into(),
+        }
+    }
+
+    fn sidecar() -> RankSidecar {
+        RankSidecar::new(vec![(1, 3.0, 0.5), (2, 1.0, 0.1), (3, 8.0, 0.9)])
+    }
+
+    #[test]
+    fn either_endpoint_matches_node_predicates() {
+        let f = CompiledFilter::new(Predicate::NodeLabelPrefix("alpha".into()), None);
+        assert!(f.matches_row(&row(1, "alpha-1", 2, "beta-2", "e", 0.0, 0.0)));
+        assert!(f.matches_row(&row(1, "beta-1", 2, "alpha-2", "e", 0.0, 0.0)));
+        assert!(!f.matches_row(&row(1, "beta-1", 2, "gamma-2", "e", 0.0, 0.0)));
+    }
+
+    #[test]
+    fn degree_ranges_read_the_sidecar_and_default_to_zero() {
+        let f = CompiledFilter::new(
+            Predicate::Range {
+                field: Field::Degree,
+                min: Some(2.0),
+                max: None,
+            },
+            Some(sidecar()),
+        );
+        // Node 1 scores 3.0: matches through either endpoint slot.
+        assert!(f.matches_row(&row(1, "a", 2, "b", "e", 0.0, 0.0)));
+        // Nodes 2 (1.0) and 99 (unscored, 0.0) both miss.
+        assert!(!f.matches_row(&row(2, "a", 99, "b", "e", 0.0, 0.0)));
+    }
+
+    #[test]
+    fn composition_is_row_level() {
+        let f = CompiledFilter::new(
+            Predicate::And(vec![
+                Predicate::EdgeLabelEq("cites".into()),
+                Predicate::Or(vec![
+                    Predicate::NodeLabelEq("x".into()),
+                    Predicate::Range {
+                        field: Field::X,
+                        min: Some(100.0),
+                        max: None,
+                    },
+                ]),
+            ]),
+            None,
+        );
+        assert!(f.matches_row(&row(1, "x", 2, "y", "cites", 0.0, 0.0)));
+        assert!(f.matches_row(&row(1, "a", 2, "y", "cites", 150.0, 0.0)));
+        assert!(!f.matches_row(&row(1, "a", 2, "y", "cites", 0.0, 0.0)));
+        assert!(!f.matches_row(&row(1, "x", 2, "y", "refs", 0.0, 0.0)));
+    }
+
+    #[test]
+    fn node_context_evaluates_per_node() {
+        let f = CompiledFilter::new(
+            Predicate::Range {
+                field: Field::Rank,
+                min: Some(0.4),
+                max: None,
+            },
+            Some(sidecar()),
+        );
+        assert!(f.matches_node(1, "a", 0.0, 0.0));
+        assert!(!f.matches_node(2, "a", 0.0, 0.0));
+        // Edge operators never match a bare node.
+        let f = CompiledFilter::new(Predicate::EdgeLabelEq("e".into()), None);
+        assert!(!f.matches_node(1, "e", 0.0, 0.0));
+    }
+
+    #[test]
+    fn aggregates_reduce_distinct_nodes() {
+        let rows = vec![
+            (RowId::from_u64(1), row(1, "a", 2, "b", "e", 0.0, 5.0)),
+            (RowId::from_u64(2), row(2, "b", 3, "c", "e", 10.0, 7.0)),
+        ];
+        let sc = sidecar();
+        let count = aggregate_rows(&rows, &sc, &AggOp::Count);
+        assert_eq!((count.rows, count.nodes), (2, 3));
+        assert_eq!(count.value, None);
+
+        let max = aggregate_rows(&rows, &sc, &AggOp::Max(Field::Degree));
+        assert_eq!(max.value, Some(8.0));
+        let min = aggregate_rows(&rows, &sc, &AggOp::Min(Field::Rank));
+        assert_eq!(min.value, Some(0.1));
+
+        let hist = aggregate_rows(
+            &rows,
+            &sc,
+            &AggOp::Histogram {
+                field: Field::Degree,
+                buckets: 2,
+            },
+        );
+        let h = hist.histogram.expect("non-empty node set");
+        assert_eq!((h.lo, h.hi), (1.0, 8.0));
+        assert_eq!(h.counts, vec![2, 1]);
+
+        let empty = aggregate_rows(&[], &sc, &AggOp::Min(Field::X));
+        assert_eq!(empty.value, None);
+        assert_eq!(empty.nodes, 0);
+    }
+
+    #[test]
+    fn histogram_with_one_value_lands_in_bucket_zero() {
+        let rows = vec![(RowId::from_u64(1), row(7, "a", 7, "a", "", 3.0, 3.0))];
+        let out = aggregate_rows(
+            &rows,
+            &RankSidecar::default(),
+            &AggOp::Histogram {
+                field: Field::X,
+                buckets: 4,
+            },
+        );
+        let h = out.histogram.unwrap();
+        assert_eq!(h.lo, h.hi);
+        assert_eq!(h.counts, vec![1, 0, 0, 0]);
+    }
+}

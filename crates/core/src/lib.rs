@@ -42,6 +42,7 @@
 pub mod birdview;
 pub mod cache;
 pub mod client;
+pub mod filter;
 pub mod json;
 pub mod organizer;
 pub mod outbox;
@@ -56,6 +57,7 @@ pub mod workspace;
 pub use birdview::Birdview;
 pub use cache::{CacheConfig, CacheStats, WindowCache};
 pub use client::{ClientCost, ClientModel};
+pub use filter::{aggregate_rows, AccessPath, CompiledFilter, FilterMode};
 pub use json::{build_graph_json, GraphFrame, GraphJson, GraphJsonBuilder};
 pub use organizer::{organize_partitions, OrganizedLayout, OrganizerConfig};
 pub use outbox::{Outbox, OutboxStatus, PushError};

@@ -23,14 +23,14 @@
 //! so speedups are measurable (see `stats::format_preprocess_report`).
 
 use crate::organizer::{organize_partitions, OrganizerConfig};
-use gvdb_abstract::{build_hierarchy, Hierarchy, HierarchyConfig};
+use gvdb_abstract::{build_hierarchy, degree_centrality, pagerank, Hierarchy, HierarchyConfig};
 use gvdb_graph::Graph;
 use gvdb_layout::{
     parallel_map, planned_workers, Circular, ForceDirected, GridLayout, Hierarchical, Layout,
     LayoutAlgorithm, Star,
 };
 use gvdb_partition::{partition, suggest_k, PartitionConfig};
-use gvdb_storage::{EdgeGeometry, EdgeRow, GraphDb, Result};
+use gvdb_storage::{EdgeGeometry, EdgeRow, GraphDb, RankSidecar, Result};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -219,15 +219,25 @@ pub fn preprocess(
     if row_threads <= 1 {
         for (i, layer) in hierarchy.layers.iter().enumerate() {
             let rows = layer_rows(&layer.graph, &layer.positions, cfg.index_isolated_nodes);
+            let sidecar = layer_sidecar(&layer.graph);
             db.create_layer(format!("layer{i}"), rows)?;
+            db.layer_mut(i)
+                .expect("layer just created")
+                .set_sidecar(sidecar);
             layer_sizes.push((layer.graph.node_count(), layer.graph.edge_count()));
         }
     } else {
-        let per_layer_rows = parallel_map(&hierarchy.layers, cfg.parallelism, |layer| {
-            layer_rows(&layer.graph, &layer.positions, cfg.index_isolated_nodes)
+        let per_layer = parallel_map(&hierarchy.layers, cfg.parallelism, |layer| {
+            (
+                layer_rows(&layer.graph, &layer.positions, cfg.index_isolated_nodes),
+                layer_sidecar(&layer.graph),
+            )
         });
-        for (i, (layer, rows)) in hierarchy.layers.iter().zip(per_layer_rows).enumerate() {
+        for (i, (layer, (rows, sidecar))) in hierarchy.layers.iter().zip(per_layer).enumerate() {
             db.create_layer(format!("layer{i}"), rows)?;
+            db.layer_mut(i)
+                .expect("layer just created")
+                .set_sidecar(sidecar);
             layer_sizes.push((layer.graph.node_count(), layer.graph.edge_count()));
         }
     }
@@ -254,6 +264,22 @@ pub fn preprocess(
             hierarchy,
         },
     ))
+}
+
+/// Build one layer's degree/rank sidecar: degree centrality plus PageRank
+/// (0.85 damping, 30 iterations) for every node, keyed by the same node id
+/// the storage rows carry. Both centrality passes are deterministic, so
+/// the sidecar — and with it the database file — stays byte-identical
+/// across thread counts.
+pub fn layer_sidecar(graph: &Graph) -> RankSidecar {
+    let degrees = degree_centrality(graph);
+    let ranks = pagerank(graph, 0.85, 30);
+    RankSidecar::new(
+        graph
+            .node_ids()
+            .map(|v| (v.0 as u64, degrees[v.index()], ranks[v.index()]))
+            .collect(),
+    )
 }
 
 /// Convert a laid-out graph into storage rows (one per edge, plus optional

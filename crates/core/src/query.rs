@@ -41,11 +41,14 @@
 
 use crate::cache::{CacheConfig, CacheShardStats, CacheStats, CachedWindow, WindowCache};
 use crate::client::{ClientCost, ClientModel};
+use crate::filter::{aggregate_rows, choose_access, AccessPath, CompiledFilter, FilterMode};
 use crate::json::{build_graph_json, GraphJson, GraphJsonBuilder};
 use crate::registry::SessionRegistry;
+use gvdb_api::{AggOp, AggregateDto, Predicate};
 use gvdb_spatial::{Point, Rect};
 use gvdb_storage::{EdgeRow, GraphDb, LayerTable, PoolStats, Result, RowId, StorageError};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -139,8 +142,10 @@ pub enum StreamPlan<'a> {
     Built(WindowResponse),
     /// Cold window: nothing is built yet. Drive
     /// [`ColdWindowStream::next_chunk`] to fetch + serialize
-    /// chunk-at-a-time, then [`ColdWindowStream::finish`].
-    Cold(ColdWindowStream<'a>),
+    /// chunk-at-a-time, then [`ColdWindowStream::finish`]. Boxed: the
+    /// stream state (chunk cursor + compiled filter) dwarfs the `Built`
+    /// variant, and the cold path is about to do I/O anyway.
+    Cold(Box<ColdWindowStream<'a>>),
 }
 
 /// A cold window query being streamed chunk-at-a-time.
@@ -171,6 +176,10 @@ pub struct ColdWindowStream<'a> {
     builder: GraphJsonBuilder,
     rows: Vec<(RowId, EdgeRow)>,
     epoch_valid: bool,
+    /// Pushdown predicate: applied while chunks are kept or dropped, so
+    /// filtered-out rows never reach the serializer. Filtered results
+    /// are never cached ([`ColdWindowStream::finish`]).
+    filter: Option<CompiledFilter>,
 }
 
 /// What a fully drained [`ColdWindowStream`] streamed, for the trailer.
@@ -237,7 +246,10 @@ impl ColdWindowStream<'_> {
             self.pos = end;
             let mut kept: Vec<(RowId, EdgeRow)> = fetched
                 .into_iter()
-                .filter(|(_, row)| row.geometry.segment().intersects_rect(&self.window))
+                .filter(|(_, row)| {
+                    row.geometry.segment().intersects_rect(&self.window)
+                        && self.filter.as_ref().is_none_or(|f| f.matches_row(row))
+                })
                 .collect();
             if kept.is_empty() {
                 continue;
@@ -253,7 +265,9 @@ impl ColdWindowStream<'_> {
     /// already serialized (no second pass) and — when no edit raced the
     /// stream — insert it into the window cache exactly like a buffered
     /// cold query would, so the *next* request for this window is a hit
-    /// or a delta base. Returns the trailer counts.
+    /// or a delta base. Filtered streams are never cached: the cache
+    /// holds only unfiltered windows, which every predicate then filters
+    /// on top of. Returns the trailer counts.
     pub fn finish(self) -> ColdStreamSummary {
         let rows_fetched = self.candidates.len();
         let rows = Arc::new(self.rows);
@@ -261,7 +275,7 @@ impl ColdWindowStream<'_> {
             rows: rows.len(),
             rows_fetched,
         };
-        if !self.epoch_valid {
+        if !self.epoch_valid || self.filter.is_some() {
             return summary;
         }
         let json = Arc::new(self.builder.finish());
@@ -307,6 +321,11 @@ pub struct QueryManager {
     /// protocols). Owned per manager, so a multi-dataset workspace gets
     /// per-dataset session registries for free.
     sessions: SessionRegistry,
+    /// Access-path chooser decisions: cold filtered windows served
+    /// through a secondary index…
+    chooser_index: AtomicU64,
+    /// …and through scan-and-filter (`/v1/stats` reports the split).
+    chooser_scan: AtomicU64,
 }
 
 impl QueryManager {
@@ -335,6 +354,8 @@ impl QueryManager {
             client,
             cache,
             sessions: SessionRegistry::new(),
+            chooser_index: AtomicU64::new(0),
+            chooser_scan: AtomicU64::new(0),
         }
     }
 
@@ -612,7 +633,7 @@ impl QueryManager {
         candidates.dedup();
         drop(db);
         let builder = GraphJsonBuilder::with_capacity(candidates.len() * 96);
-        Ok(StreamPlan::Cold(ColdWindowStream {
+        Ok(StreamPlan::Cold(Box::new(ColdWindowStream {
             qm: self,
             layer,
             window: *window,
@@ -622,7 +643,296 @@ impl QueryManager {
             builder,
             rows: Vec::new(),
             epoch_valid: true,
-        }))
+            filter: None,
+        })))
+    }
+
+    /// [`QueryManager::window_query_anchored`] with a pushdown
+    /// predicate. The cache stays **unfiltered**: an exact hit or a
+    /// delta splice produces the unfiltered window first (sharing or
+    /// seeding cache entries exactly like the plain path), then the
+    /// predicate drops rows before the payload is built; a cold window
+    /// goes through the access-path chooser ([`crate::filter`]) and is
+    /// not cached at all. The response's `rows`/`json` hold only the
+    /// surviving rows.
+    pub fn window_query_filtered(
+        &self,
+        layer: usize,
+        window: &Rect,
+        anchor: Option<&Rect>,
+        pred: &Predicate,
+        mode: FilterMode,
+    ) -> Result<WindowResponse> {
+        let db = self.db.read();
+        let table = db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let epoch = self.layer_epoch(layer);
+        let filter = CompiledFilter::new(pred.clone(), table.sidecar().cloned());
+
+        let t = Instant::now();
+        if let Some(CachedWindow { rows, .. }) = self.cache.get(layer, window, epoch) {
+            let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+            return Ok(self.filter_built(&filter, &rows, epoch, cache_ms, true, false, 0, &[]));
+        }
+        let base = self
+            .anchored_base(layer, window, epoch, anchor)
+            .or_else(|| {
+                self.cache
+                    .best_overlap(layer, window, epoch, self.cache.min_delta_overlap())
+            });
+        let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+        if let Some((old_rect, old)) = base {
+            // The unfiltered delta runs (and re-caches) first; the
+            // filter then applies on top of its row set.
+            let resp = self
+                .delta_window_query(&db, table, layer, epoch, window, &old_rect, &old, cache_ms)?;
+            return Ok(self.filter_built(
+                &filter,
+                &resp.rows,
+                epoch,
+                resp.cache_ms,
+                false,
+                true,
+                resp.rows_fetched,
+                &resp.arrival_rids,
+            ));
+        }
+
+        // Cold: the chooser picks index-probe vs scan-and-filter.
+        let t = Instant::now();
+        let candidates = self.filtered_candidates(&db, table, window, &filter, mode)?;
+        let rows_fetched = candidates.len();
+        let mut rows = table.fetch_many(db.pool(), &candidates)?;
+        rows.retain(|(_, row)| {
+            row.geometry.segment().intersects_rect(window) && filter.matches_row(row)
+        });
+        let rows = Arc::new(rows);
+        let db_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let json = Arc::new(build_graph_json(&rows));
+        let build_json_ms = t.elapsed().as_secs_f64() * 1e3;
+        let client = self.client.deliver(&json);
+        Ok(WindowResponse {
+            rows,
+            json,
+            db_ms,
+            build_json_ms,
+            cache_ms,
+            epoch,
+            cache_hit: false,
+            delta: false,
+            rows_reused: 0,
+            rows_fetched,
+            arrival_rids: Vec::new(),
+            client,
+        })
+    }
+
+    /// Streamed twin of [`QueryManager::window_query_filtered`]: hit and
+    /// delta windows come back [`StreamPlan::Built`] holding only the
+    /// surviving rows; a cold window returns a [`ColdWindowStream`] with
+    /// the predicate pushed into its chunk loop (and caching disabled).
+    pub fn window_stream_plan_filtered(
+        &self,
+        layer: usize,
+        window: &Rect,
+        anchor: Option<&Rect>,
+        pred: &Predicate,
+        mode: FilterMode,
+    ) -> Result<StreamPlan<'_>> {
+        let db = self.db.read();
+        let table = db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let epoch = self.layer_epoch(layer);
+        let filter = CompiledFilter::new(pred.clone(), table.sidecar().cloned());
+
+        let t = Instant::now();
+        if let Some(CachedWindow { rows, .. }) = self.cache.get(layer, window, epoch) {
+            let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+            return Ok(StreamPlan::Built(self.filter_built(
+                &filter,
+                &rows,
+                epoch,
+                cache_ms,
+                true,
+                false,
+                0,
+                &[],
+            )));
+        }
+        let base = self
+            .anchored_base(layer, window, epoch, anchor)
+            .or_else(|| {
+                self.cache
+                    .best_overlap(layer, window, epoch, self.cache.min_delta_overlap())
+            });
+        let cache_ms = t.elapsed().as_secs_f64() * 1e3;
+        if let Some((old_rect, old)) = base {
+            let resp = self
+                .delta_window_query(&db, table, layer, epoch, window, &old_rect, &old, cache_ms)?;
+            return Ok(StreamPlan::Built(self.filter_built(
+                &filter,
+                &resp.rows,
+                epoch,
+                resp.cache_ms,
+                false,
+                true,
+                resp.rows_fetched,
+                &resp.arrival_rids,
+            )));
+        }
+
+        let candidates = self.filtered_candidates(&db, table, window, &filter, mode)?;
+        drop(db);
+        let builder = GraphJsonBuilder::with_capacity(candidates.len() * 96);
+        Ok(StreamPlan::Cold(Box::new(ColdWindowStream {
+            qm: self,
+            layer,
+            window: *window,
+            epoch,
+            candidates,
+            pos: 0,
+            builder,
+            rows: Vec::new(),
+            epoch_valid: true,
+            filter: Some(filter),
+        })))
+    }
+
+    /// Window aggregation: reduce the (optionally filtered) window to
+    /// one [`AggregateDto`]. Serves rows from an exact unfiltered cache
+    /// hit when one exists, otherwise runs the cold path (with the
+    /// chooser when a predicate is present); nothing is cached. Returns
+    /// the layer epoch the rows were read at.
+    pub fn aggregate_window(
+        &self,
+        layer: usize,
+        window: &Rect,
+        pred: Option<&Predicate>,
+        agg: &AggOp,
+        mode: FilterMode,
+    ) -> Result<(AggregateDto, u64)> {
+        let db = self.db.read();
+        let table = db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let epoch = self.layer_epoch(layer);
+        let sidecar = table.sidecar().cloned().unwrap_or_default();
+        let filter = pred.map(|p| CompiledFilter::new(p.clone(), Some(sidecar.clone())));
+
+        let mut rows: Vec<(RowId, EdgeRow)> = match self.cache.get(layer, window, epoch) {
+            Some(CachedWindow { rows, .. }) => rows.to_vec(),
+            None => {
+                let candidates = match &filter {
+                    Some(f) => self.filtered_candidates(&db, table, window, f, mode)?,
+                    None => {
+                        let mut rids = table.window_rids(db.pool(), window)?;
+                        rids.sort_unstable();
+                        rids.dedup();
+                        rids
+                    }
+                };
+                table.fetch_many(db.pool(), &candidates)?
+            }
+        };
+        rows.retain(|(_, row)| {
+            row.geometry.segment().intersects_rect(window)
+                && filter.as_ref().is_none_or(|f| f.matches_row(row))
+        });
+        Ok((aggregate_rows(&rows, &sidecar, agg), epoch))
+    }
+
+    /// Cold filtered candidates: run the chooser, count its decision,
+    /// and return an ascending deduplicated rid list (index probe or
+    /// R-tree window descent).
+    fn filtered_candidates(
+        &self,
+        db: &GraphDb,
+        table: &LayerTable,
+        window: &Rect,
+        filter: &CompiledFilter,
+        mode: FilterMode,
+    ) -> Result<Vec<RowId>> {
+        match choose_access(table, db.pool(), filter, mode)? {
+            AccessPath::Index(rids) => {
+                self.chooser_index.fetch_add(1, Ordering::Relaxed);
+                Ok(rids)
+            }
+            AccessPath::Scan => {
+                self.chooser_scan.fetch_add(1, Ordering::Relaxed);
+                let mut rids = table.window_rids(db.pool(), window)?;
+                rids.sort_unstable();
+                rids.dedup();
+                Ok(rids)
+            }
+        }
+    }
+
+    /// Filter an already-built (cached or delta-spliced) row set and
+    /// rebuild the payload over the survivors. The filtered payload is
+    /// canonical (freshly built), so packed streaming still applies.
+    /// `arrivals` carries the unfiltered delta's arrival rids; only the
+    /// ones that survive the filter tag the response.
+    #[allow(clippy::too_many_arguments)]
+    fn filter_built(
+        &self,
+        filter: &CompiledFilter,
+        rows: &[(RowId, EdgeRow)],
+        epoch: u64,
+        cache_ms: f64,
+        cache_hit: bool,
+        delta: bool,
+        rows_fetched: usize,
+        arrivals: &[RowId],
+    ) -> WindowResponse {
+        let t = Instant::now();
+        let kept: Vec<(RowId, EdgeRow)> = rows
+            .iter()
+            .filter(|(_, row)| filter.matches_row(row))
+            .cloned()
+            .collect();
+        // Spliced row sets are not rid-sorted, so membership goes
+        // through a sorted copy of the surviving rids.
+        let mut kept_rids: Vec<RowId> = kept.iter().map(|(rid, _)| *rid).collect();
+        kept_rids.sort_unstable();
+        let arrival_rids: Vec<RowId> = arrivals
+            .iter()
+            .copied()
+            .filter(|r| kept_rids.binary_search(r).is_ok())
+            .collect();
+        let rows_reused = kept.len() - arrival_rids.len();
+        let kept = Arc::new(kept);
+        let db_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let json = Arc::new(build_graph_json(&kept));
+        let build_json_ms = t.elapsed().as_secs_f64() * 1e3;
+        let client = self.client.deliver(&json);
+        WindowResponse {
+            rows: kept,
+            json,
+            db_ms,
+            build_json_ms,
+            cache_ms,
+            epoch,
+            cache_hit,
+            delta,
+            rows_reused,
+            rows_fetched,
+            arrival_rids,
+            client,
+        }
+    }
+
+    /// Chooser decision counters since startup: `(index-path, scan-path)`
+    /// cold filtered windows.
+    pub fn chooser_counts(&self) -> (u64, u64) {
+        (
+            self.chooser_index.load(Ordering::Relaxed),
+            self.chooser_scan.load(Ordering::Relaxed),
+        )
     }
 
     /// The caller-supplied anchor as a delta base, if its entry survives
@@ -933,18 +1243,38 @@ impl QueryManager {
     /// Keyword search over node labels of `layer` (trie lookup), with
     /// positions resolved for focusing.
     pub fn keyword_search(&self, layer: usize, keyword: &str) -> Result<Vec<SearchHit>> {
+        self.keyword_search_filtered(layer, keyword, None)
+    }
+
+    /// [`QueryManager::keyword_search`] with an optional node-level
+    /// predicate: hits are dropped unless the node satisfies it
+    /// (coordinates from the node's position, degree/rank from the
+    /// sidecar). Edge-label operators never match in node context —
+    /// callers reject those predicates up front.
+    pub fn keyword_search_filtered(
+        &self,
+        layer: usize,
+        keyword: &str,
+        pred: Option<&Predicate>,
+    ) -> Result<Vec<SearchHit>> {
         let db = self.db.read();
         let table = db
             .layer(layer)
             .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let filter = pred.map(|p| CompiledFilter::new(p.clone(), table.sidecar().cloned()));
         let mut hits = Vec::new();
         for node_id in table.search_nodes(keyword) {
             if let Some((position, label)) = table.node_position(db.pool(), node_id)? {
-                hits.push(SearchHit {
-                    node_id,
-                    label,
-                    position,
-                });
+                if filter
+                    .as_ref()
+                    .is_none_or(|f| f.matches_node(node_id, &label, position.x, position.y))
+                {
+                    hits.push(SearchHit {
+                        node_id,
+                        label,
+                        position,
+                    });
+                }
             }
         }
         Ok(hits)

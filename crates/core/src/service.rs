@@ -27,14 +27,16 @@
 //! registry, the workspace through each dataset's — so mutation and
 //! session state never leak across datasets.
 
+use crate::filter::FilterMode;
 use crate::json::build_graph_json;
 use crate::query::{QueryManager, SearchHit, StreamPlan, WindowResponse};
 use crate::registry::SessionId;
 use crate::workspace::SharedWorkspace;
 use gvdb_api::{
-    ApiError, ApiFrame, ApiRequest, ApiResponse, ApiResult, DatasetInfo, DatasetStats, EdgeDto,
-    FrameHeader, LayerInfo, PackedEdge, PackedNode, PackedRows, ProgressFrame, RectDto, RowBatch,
-    SearchHitDto, SessionStatsDto, Source, StatsDto, TrailerFrame, WindowMeta,
+    AggregateDto, ApiError, ApiFrame, ApiRequest, ApiResponse, ApiResult, ChooserStatsDto,
+    DatasetInfo, DatasetStats, EdgeDto, FrameHeader, LayerInfo, LayerStatsDto, PackedEdge,
+    PackedNode, PackedRows, Predicate, ProgressFrame, RectDto, RowBatch, SearchHitDto,
+    SessionStatsDto, Source, StatsDto, TrailerFrame, WindowMeta,
 };
 use gvdb_spatial::Rect;
 use gvdb_storage::{EdgeGeometry, EdgeRow, RowId, StorageError};
@@ -153,6 +155,18 @@ pub enum ApiOutcome {
     /// Answer to [`ApiRequest::Stats`] (per-dataset; the serving layer
     /// adds its own counters on top).
     Stats(Vec<DatasetStats>),
+    /// Answer to [`ApiRequest::Aggregate`]: one reduced summary of the
+    /// (optionally filtered) window.
+    Aggregate {
+        /// The dataset that answered.
+        dataset: String,
+        /// The layer aggregated.
+        layer: usize,
+        /// The layer's edit epoch the rows were read at.
+        epoch: u64,
+        /// The aggregation result.
+        result: AggregateDto,
+    },
 }
 
 impl ApiOutcome {
@@ -191,6 +205,17 @@ impl ApiOutcome {
             ApiOutcome::Session { id } => ApiResponse::Session { id },
             ApiOutcome::Closed => ApiResponse::Closed,
             ApiOutcome::Flushed { dataset, pages } => ApiResponse::Flushed { dataset, pages },
+            ApiOutcome::Aggregate {
+                dataset,
+                layer,
+                epoch,
+                result,
+            } => ApiResponse::Aggregate {
+                dataset,
+                layer,
+                epoch,
+                result,
+            },
             ApiOutcome::Stats(datasets) => ApiResponse::Stats(StatsDto {
                 served: 0,
                 rejected: 0,
@@ -298,7 +323,9 @@ impl GraphService for QueryManager {
 
     fn call_streamed(&self, request: &ApiRequest, sink: &mut dyn FrameSink) -> ApiResult<()> {
         match request {
-            ApiRequest::Window { .. } | ApiRequest::Search { .. } => {
+            ApiRequest::Window { .. }
+            | ApiRequest::Search { .. }
+            | ApiRequest::Aggregate { .. } => {
                 self.check_default_dataset(request)?;
                 stream_dataset(DEFAULT_DATASET, self, request, sink)
             }
@@ -353,7 +380,9 @@ impl GraphService for SharedWorkspace {
 
     fn call_streamed(&self, request: &ApiRequest, sink: &mut dyn FrameSink) -> ApiResult<()> {
         match request {
-            ApiRequest::Window { .. } | ApiRequest::Search { .. } => {
+            ApiRequest::Window { .. }
+            | ApiRequest::Search { .. }
+            | ApiRequest::Aggregate { .. } => {
                 let (name, qm) = self.resolve(request.dataset())?;
                 stream_dataset(&name, &qm, request, sink)
             }
@@ -377,14 +406,44 @@ fn call_dataset(name: &str, qm: &QueryManager, request: &ApiRequest) -> ApiResul
             layer,
             window,
             session,
+            predicate,
             ..
-        } => window_op(name, qm, *layer, window, *session),
-        ApiRequest::Search { layer, query, .. } => Ok(ApiOutcome::Hits {
+        } => window_op(name, qm, *layer, window, *session, predicate.as_ref()),
+        ApiRequest::Search {
+            layer,
+            query,
+            predicate,
+            ..
+        } => Ok(ApiOutcome::Hits {
             dataset: name.to_string(),
             layer: *layer,
             epoch: qm.layer_epoch(*layer),
-            hits: qm.keyword_search(*layer, query).map_err(storage_error)?,
+            hits: search_op(qm, *layer, query, predicate.as_ref())?,
         }),
+        ApiRequest::Aggregate {
+            layer,
+            window,
+            predicate,
+            agg,
+            ..
+        } => {
+            let layer = layer.unwrap_or(0);
+            let (result, epoch) = qm
+                .aggregate_window(
+                    layer,
+                    &to_rect(window)?,
+                    predicate.as_ref(),
+                    agg,
+                    FilterMode::Auto,
+                )
+                .map_err(storage_error)?;
+            Ok(ApiOutcome::Aggregate {
+                dataset: name.to_string(),
+                layer,
+                epoch,
+                result,
+            })
+        }
         ApiRequest::Focus { layer, node, .. } => {
             let rows = qm.focus_on_node(*layer, *node).map_err(storage_error)?;
             Ok(ApiOutcome::Focus {
@@ -445,6 +504,7 @@ fn window_op(
     layer: Option<usize>,
     window: &RectDto,
     session: Option<SessionId>,
+    predicate: Option<&Predicate>,
 ) -> ApiResult<ApiOutcome> {
     let rect = to_rect(window)?;
     match session {
@@ -458,7 +518,18 @@ fn window_op(
             let layer = layer.unwrap_or_else(|| session.layer());
             session.set_layer(qm, layer).map_err(storage_error)?;
             session.navigate(rect);
-            let response = session.view(qm).map_err(storage_error)?;
+            let response = match predicate {
+                // A predicate window bypasses the session's display
+                // filters (the request states its own filter) but still
+                // anchors the delta path on the session's last window.
+                Some(p) => {
+                    let anchor = session.anchor();
+                    drop(session);
+                    qm.window_query_filtered(layer, &rect, anchor.as_ref(), p, FilterMode::Auto)
+                        .map_err(storage_error)?
+                }
+                None => session.view(qm).map_err(storage_error)?,
+            };
             Ok(ApiOutcome::Window(WindowOutcome {
                 dataset: name.to_string(),
                 layer,
@@ -468,7 +539,12 @@ fn window_op(
         }
         None => {
             let layer = layer.unwrap_or(0);
-            let response = qm.window_query(layer, &rect).map_err(storage_error)?;
+            let response = match predicate {
+                Some(p) => qm
+                    .window_query_filtered(layer, &rect, None, p, FilterMode::Auto)
+                    .map_err(storage_error)?,
+                None => qm.window_query(layer, &rect).map_err(storage_error)?,
+            };
             Ok(ApiOutcome::Window(WindowOutcome {
                 dataset: name.to_string(),
                 layer,
@@ -477,6 +553,26 @@ fn window_op(
             }))
         }
     }
+}
+
+/// The search operation with predicate validation: edge-label operators
+/// have no meaning against a node hit and are rejected, everything else
+/// filters the hit list per node.
+fn search_op(
+    qm: &QueryManager,
+    layer: usize,
+    query: &str,
+    predicate: Option<&Predicate>,
+) -> ApiResult<Vec<SearchHit>> {
+    if let Some(p) = predicate {
+        if p.references_edge_labels() {
+            return Err(ApiError::bad_request(
+                "edge_label predicates do not apply to node search",
+            ));
+        }
+    }
+    qm.keyword_search_filtered(layer, query, predicate)
+        .map_err(storage_error)
 }
 
 // ---------------------------------------------------------------------------
@@ -591,6 +687,31 @@ pub fn stream_single(
                 frames,
             }))
         }
+        ApiOutcome::Aggregate {
+            dataset,
+            layer,
+            epoch,
+            result,
+        } => {
+            sink.emit(&ApiFrame::Header(FrameHeader {
+                op: "aggregate".into(),
+                dataset,
+                layer,
+                epoch,
+                source: None,
+                session: None,
+            }))?;
+            let rows = result.rows;
+            sink.emit(&ApiFrame::Summary(result))?;
+            sink.emit(&ApiFrame::Trailer(TrailerFrame {
+                epoch,
+                source: None,
+                rows,
+                rows_reused: 0,
+                rows_fetched: rows,
+                frames: 1,
+            }))
+        }
         _ => Err(ApiError::bad_request(format!(
             "op '{}' is not streamable; use the buffered call",
             request.op()
@@ -610,8 +731,8 @@ fn window_header(meta: &WindowMeta) -> FrameHeader {
     }
 }
 
-/// The incremental streaming path of one resolved dataset: `window` and
-/// `search` requests only (every other op goes through
+/// The incremental streaming path of one resolved dataset: `window`,
+/// `search` and `aggregate` requests only (every other op goes through
 /// [`stream_single`]). Row batches are sized by the manager's
 /// [`crate::ClientModel::chunk_rows`].
 fn stream_dataset(
@@ -627,9 +748,11 @@ fn stream_dataset(
             window,
             session,
             packed,
+            predicate,
             ..
         } => {
             let packed = *packed;
+            let predicate = predicate.as_ref();
             let rect = to_rect(window)?;
             match session {
                 Some(sid) => {
@@ -644,10 +767,12 @@ fn stream_dataset(
                     let layer = layer.unwrap_or_else(|| session.layer());
                     session.set_layer(qm, layer).map_err(storage_error)?;
                     session.navigate(rect);
-                    if session.has_filters() {
+                    if predicate.is_none() && session.has_filters() {
                         // Filtered views rebuild a bespoke payload (the
                         // cache entry is unfiltered): compute it whole,
-                        // then slice frames out of it.
+                        // then slice frames out of it. A request-level
+                        // predicate instead takes the plan path below,
+                        // which pushes it into the fetch.
                         let response = session.view(qm).map_err(storage_error)?;
                         drop(session);
                         let outcome = WindowOutcome {
@@ -667,6 +792,7 @@ fn stream_dataset(
                         rect,
                         anchor,
                         Some(*sid),
+                        predicate,
                         chunk,
                         packed,
                         sink,
@@ -679,15 +805,66 @@ fn stream_dataset(
                     rect,
                     None,
                     None,
+                    predicate,
                     chunk,
                     packed,
                     sink,
                 ),
             }
         }
-        ApiRequest::Search { layer, query, .. } => {
-            // Errors (missing layer) surface before any frame is out.
-            let hits = qm.keyword_search(*layer, query).map_err(storage_error)?;
+        ApiRequest::Aggregate {
+            layer,
+            window,
+            predicate,
+            agg,
+            ..
+        } => {
+            let layer = layer.unwrap_or(0);
+            // Compute before the header so errors surface as a plain
+            // error response, not a truncated stream.
+            let (result, epoch) = qm
+                .aggregate_window(
+                    layer,
+                    &to_rect(window)?,
+                    predicate.as_ref(),
+                    agg,
+                    FilterMode::Auto,
+                )
+                .map_err(storage_error)?;
+            sink.emit(&ApiFrame::Header(FrameHeader {
+                op: "aggregate".into(),
+                dataset: name.to_string(),
+                layer,
+                epoch,
+                source: None,
+                session: None,
+            }))?;
+            sink.emit(&ApiFrame::Progress(ProgressFrame {
+                rows_sent: result.rows,
+                rows_total: result.rows,
+            }))?;
+            let rows = result.rows;
+            sink.emit(&ApiFrame::Summary(result))?;
+            sink.emit(&ApiFrame::Trailer(TrailerFrame {
+                // Re-sampled: newer than the header epoch iff an edit
+                // raced the aggregation.
+                epoch: qm.layer_epoch(layer),
+                source: None,
+                rows,
+                rows_reused: 0,
+                rows_fetched: rows,
+                frames: 1,
+            }))
+        }
+        ApiRequest::Search {
+            layer,
+            query,
+            predicate,
+            ..
+        } => {
+            // Errors (missing layer, edge-label predicate) surface
+            // before any frame is out.
+            let hits = search_op(qm, *layer, query, predicate.as_ref())?;
             let epoch = qm.layer_epoch(*layer);
             sink.emit(&ApiFrame::Header(FrameHeader {
                 op: "search".into(),
@@ -725,7 +902,7 @@ fn stream_dataset(
         }
         other => {
             unreachable!(
-                "stream_dataset only handles window/search, got '{}'",
+                "stream_dataset only handles window/search/aggregate, got '{}'",
                 other.op()
             )
         }
@@ -747,14 +924,18 @@ fn stream_window(
     window: Rect,
     anchor: Option<Rect>,
     session: Option<SessionId>,
+    predicate: Option<&Predicate>,
     chunk: usize,
     packed: bool,
     sink: &mut dyn FrameSink,
 ) -> ApiResult<()> {
-    match qm
-        .window_stream_plan(layer, &window, anchor.as_ref())
-        .map_err(storage_error)?
-    {
+    let plan = match predicate {
+        Some(p) => {
+            qm.window_stream_plan_filtered(layer, &window, anchor.as_ref(), p, FilterMode::Auto)
+        }
+        None => qm.window_stream_plan(layer, &window, anchor.as_ref()),
+    };
+    match plan.map_err(storage_error)? {
         StreamPlan::Built(response) => {
             let outcome = WindowOutcome {
                 dataset: name.to_string(),
@@ -1040,6 +1221,24 @@ pub fn dataset_stats(name: &str, qm: &QueryManager) -> DatasetStats {
             evictions: sessions.evictions,
             expired: sessions.expired,
         },
+        layers: {
+            let db = qm.db();
+            (0..db.layer_count())
+                .map(|i| LayerStatsDto {
+                    index: i as u64,
+                    rows: db.layer(i).map(|l| l.row_count()).unwrap_or(0),
+                    sidecar_nodes: db
+                        .layer(i)
+                        .and_then(|l| l.sidecar())
+                        .map(|s| s.len() as u64)
+                        .unwrap_or(0),
+                })
+                .collect()
+        },
+        chooser: {
+            let (index, scan) = qm.chooser_counts();
+            ChooserStatsDto { index, scan }
+        },
     }
 }
 
@@ -1123,6 +1322,7 @@ mod tests {
 
     fn window_req(session: Option<u64>) -> ApiRequest {
         ApiRequest::Window {
+            predicate: None,
             dataset: None,
             layer: Some(0),
             window: RectDto {
@@ -1207,6 +1407,7 @@ mod tests {
         assert_eq!(first.source(), Source::Cold);
         // 85%-overlap pan: must be incremental.
         let pan = ApiRequest::Window {
+            predicate: None,
             dataset: None,
             layer: None,
             window: RectDto {
@@ -1312,6 +1513,7 @@ mod tests {
         let (qm, path) = manager("svcbadrect");
         let err = qm
             .call(&ApiRequest::Window {
+                predicate: None,
                 dataset: None,
                 layer: Some(0),
                 window: RectDto {
@@ -1328,6 +1530,7 @@ mod tests {
         // A missing layer is NotFound.
         let err = qm
             .call(&ApiRequest::Search {
+                predicate: None,
                 dataset: None,
                 layer: 99,
                 query: "x".into(),
@@ -1342,6 +1545,7 @@ mod tests {
         let (qm, path) = manager("stream-chunks");
         let chunk = qm.client_model().chunk_rows;
         let everything = ApiRequest::Window {
+            predicate: None,
             dataset: None,
             layer: Some(0),
             window: RectDto {
@@ -1475,6 +1679,7 @@ mod tests {
             max_y: 1e9,
         };
         qm.call(&ApiRequest::Window {
+            predicate: None,
             dataset: None,
             layer: Some(0),
             window: rect(0.0, 0.6),
@@ -1483,6 +1688,7 @@ mod tests {
         })
         .unwrap(); // anchor the cache
         let pan = ApiRequest::Window {
+            predicate: None,
             dataset: None,
             layer: Some(0),
             window: rect(0.15, 0.75),
@@ -1567,6 +1773,7 @@ mod tests {
         };
         let qm = QueryManager::with_client(db, model);
         let packed_req = ApiRequest::Window {
+            predicate: None,
             dataset: None,
             layer: Some(0),
             window: RectDto {
@@ -1595,6 +1802,7 @@ mod tests {
         // cache hit on the payload the stream just built — the decoded
         // fragments must reproduce it byte for byte.
         let plain_req = ApiRequest::Window {
+            predicate: None,
             dataset: None,
             layer: Some(0),
             window: RectDto {
@@ -1677,6 +1885,7 @@ mod tests {
                 max_y: min_y + (fy + fh) * h,
             };
             let packed_req = ApiRequest::Window {
+                predicate: None,
                 dataset: None,
                 layer: Some(0),
                 window,
@@ -1689,6 +1898,7 @@ mod tests {
             let reassembled =
                 gvdb_api::reassemble_graph(fragments.iter().map(String::as_str)).unwrap();
             let plain_req = ApiRequest::Window {
+                predicate: None,
                 dataset: None,
                 layer: Some(0),
                 window,
@@ -1741,6 +1951,7 @@ mod tests {
         let err = qm
             .call_streamed(
                 &ApiRequest::Search {
+                    predicate: None,
                     dataset: None,
                     layer: 99,
                     query: "x".into(),
@@ -1800,6 +2011,7 @@ mod tests {
 
         // Warm both caches, then mutate only patents.
         let win = |dataset: &str| ApiRequest::Window {
+            predicate: None,
             dataset: Some(dataset.into()),
             layer: Some(0),
             window: RectDto {
@@ -1859,5 +2071,418 @@ mod tests {
 
         std::fs::remove_file(&rdf_path).ok();
         std::fs::remove_file(&cite_path).ok();
+    }
+
+    // -- the attribute query engine ------------------------------------------
+
+    use crate::filter::{CompiledFilter, FilterMode};
+    use gvdb_api::{AggOp, Field, Predicate};
+
+    fn case_predicate(case: u32) -> Predicate {
+        match case % 4 {
+            0 => Predicate::Range {
+                field: Field::Degree,
+                min: Some(2.0),
+                max: None,
+            },
+            1 => Predicate::NodeLabelPrefix("Q1".into()),
+            2 => Predicate::Or(vec![
+                Predicate::NodeLabelEq("Q5".into()),
+                Predicate::Range {
+                    field: Field::Rank,
+                    min: Some(0.005),
+                    max: None,
+                },
+            ]),
+            _ => Predicate::And(vec![
+                Predicate::NodeLabelPrefix("Q".into()),
+                Predicate::Range {
+                    field: Field::X,
+                    min: None,
+                    max: Some(1200.0),
+                },
+            ]),
+        }
+    }
+
+    fn sorted_rids(resp: &WindowResponse) -> Vec<gvdb_storage::RowId> {
+        let mut rids: Vec<gvdb_storage::RowId> = resp.rows.iter().map(|(rid, _)| *rid).collect();
+        rids.sort_unstable();
+        rids
+    }
+
+    /// The satellite invariant: a filtered window equals "fetch the
+    /// window cold, then filter", row for row, whatever path serves it —
+    /// cold (chooser), exact cache hit, delta splice, or the streamed
+    /// twin of each.
+    #[test]
+    fn filtered_windows_match_fetch_then_filter_across_paths() {
+        let (qm, path) = manager("filter-prop");
+        let compiled = |pred: &Predicate| {
+            let db = qm.db();
+            let sidecar = db.layer(0).unwrap().sidecar().cloned();
+            CompiledFilter::new(pred.clone(), sidecar)
+        };
+
+        // Cold streamed filtered path first, while the cache is empty:
+        // byte-identical to the buffered filtered payload, and it must
+        // NOT seed the cache (the entry would be missing rows).
+        let cold_pred = case_predicate(0);
+        let window = RectDto {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 2000.0,
+            max_y: 2000.0,
+        };
+        let filtered_req = |packed: bool| ApiRequest::Window {
+            predicate: Some(cold_pred.clone()),
+            dataset: None,
+            layer: Some(0),
+            window,
+            session: None,
+            packed,
+        };
+        let mut sink = crate::FrameBuffer::new();
+        qm.call_streamed(&filtered_req(true), &mut sink).unwrap();
+        let (fragments, _) = decode_rows_frames(&sink);
+        let reassembled = gvdb_api::reassemble_graph(fragments.iter().map(String::as_str)).unwrap();
+        let ApiOutcome::Window(buffered) = qm.call(&filtered_req(false)).unwrap() else {
+            panic!("wrong outcome")
+        };
+        assert!(
+            !buffered.response.cache_hit,
+            "a filtered stream must not seed the cache"
+        );
+        assert_eq!(
+            reassembled, buffered.response.json.text,
+            "filtered streams keep byte-identity with the buffered envelope"
+        );
+
+        // Random windows × operator mix, across every serving path.
+        let extent = qm
+            .window_query(0, &Rect::new(-1e9, -1e9, 1e9, 1e9))
+            .unwrap();
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, row) in extent.rows.iter() {
+            min_x = min_x.min(row.geometry.x1).min(row.geometry.x2);
+            max_x = max_x.max(row.geometry.x1).max(row.geometry.x2);
+            min_y = min_y.min(row.geometry.y1).min(row.geometry.y2);
+            max_y = max_y.max(row.geometry.y1).max(row.geometry.y2);
+        }
+        let (w, h) = (max_x - min_x, max_y - min_y);
+        let mut saw_delta = false;
+        let mut saw_nonempty = false;
+        for case in 0..16u32 {
+            let mut rng = proptest::TestRng::for_case("filtered_windows", case);
+            let pred = case_predicate(case);
+            let filter = compiled(&pred);
+            let (fx, fy) = (rng.unit_f64() * 0.5, rng.unit_f64() * 0.5);
+            let (fw, fh) = (0.3 + rng.unit_f64() * 0.4, 0.3 + rng.unit_f64() * 0.4);
+            let rect = Rect::new(
+                min_x + fx * w,
+                min_y + fy * h,
+                min_x + (fx + fw) * w,
+                min_y + (fy + fh) * h,
+            );
+
+            // Cold (or overlap-delta) filtered vs fetch-then-filter.
+            let filtered = qm
+                .window_query_filtered(0, &rect, None, &pred, FilterMode::Auto)
+                .unwrap();
+            let unfiltered = qm.window_query(0, &rect).unwrap();
+            let mut expected: Vec<gvdb_storage::RowId> = unfiltered
+                .rows
+                .iter()
+                .filter(|(_, row)| filter.matches_row(row))
+                .map(|(rid, _)| *rid)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(sorted_rids(&filtered), expected, "cold path, case {case}");
+            saw_nonempty |= !expected.is_empty();
+
+            // Exact-hit filtered (the unfiltered query above cached the
+            // window).
+            let hit = qm
+                .window_query_filtered(0, &rect, None, &pred, FilterMode::Auto)
+                .unwrap();
+            assert!(hit.cache_hit, "case {case} should hit the cache now");
+            assert_eq!(sorted_rids(&hit), expected, "hit path, case {case}");
+
+            // Anchored pan: filtered delta vs fetch-then-filter.
+            let pan = Rect::new(
+                rect.min_x + 0.1 * (rect.max_x - rect.min_x),
+                rect.min_y,
+                rect.max_x + 0.1 * (rect.max_x - rect.min_x),
+                rect.max_y,
+            );
+            let delta = qm
+                .window_query_filtered(0, &pan, Some(&rect), &pred, FilterMode::Auto)
+                .unwrap();
+            saw_delta |= delta.delta;
+            let pan_unfiltered = qm.window_query(0, &pan).unwrap();
+            let mut pan_expected: Vec<gvdb_storage::RowId> = pan_unfiltered
+                .rows
+                .iter()
+                .filter(|(_, row)| filter.matches_row(row))
+                .map(|(rid, _)| *rid)
+                .collect();
+            pan_expected.sort_unstable();
+            pan_expected.dedup();
+            assert_eq!(sorted_rids(&delta), pan_expected, "delta path, case {case}");
+
+            // Streamed filtered (Built plan now) stays byte-identical to
+            // its buffered twin.
+            let dto = RectDto {
+                min_x: pan.min_x,
+                min_y: pan.min_y,
+                max_x: pan.max_x,
+                max_y: pan.max_y,
+            };
+            let req = |packed: bool| ApiRequest::Window {
+                predicate: Some(pred.clone()),
+                dataset: None,
+                layer: Some(0),
+                window: dto,
+                session: None,
+                packed,
+            };
+            let mut sink = crate::FrameBuffer::new();
+            qm.call_streamed(&req(true), &mut sink).unwrap();
+            let (fragments, _) = decode_rows_frames(&sink);
+            let reassembled =
+                gvdb_api::reassemble_graph(fragments.iter().map(String::as_str)).unwrap();
+            let ApiOutcome::Window(buffered) = qm.call(&req(false)).unwrap() else {
+                panic!("wrong outcome")
+            };
+            assert_eq!(
+                reassembled, buffered.response.json.text,
+                "stream, case {case}"
+            );
+        }
+        assert!(saw_delta, "at least one pan should ride the delta path");
+        assert!(saw_nonempty, "the predicates should match something");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn aggregates_reduce_the_filtered_window() {
+        let (qm, path) = manager("agg");
+        let plane = Rect::new(-1e9, -1e9, 1e9, 1e9);
+        let pred = Predicate::Range {
+            field: Field::Degree,
+            min: Some(2.0),
+            max: None,
+        };
+
+        let filtered = qm
+            .window_query_filtered(0, &plane, None, &pred, FilterMode::Auto)
+            .unwrap();
+        let (count, _) = qm
+            .aggregate_window(0, &plane, Some(&pred), &AggOp::Count, FilterMode::Auto)
+            .unwrap();
+        assert_eq!(count.rows, filtered.rows.len() as u64);
+        let mut node_ids: Vec<u64> = filtered
+            .rows
+            .iter()
+            .flat_map(|(_, r)| [r.node1_id, r.node2_id])
+            .collect();
+        node_ids.sort_unstable();
+        node_ids.dedup();
+        assert_eq!(count.nodes, node_ids.len() as u64);
+        assert!(count.value.is_none() && count.histogram.is_none());
+
+        // min/max reduce over distinct nodes.
+        let (min_x, _) = qm
+            .aggregate_window(
+                0,
+                &plane,
+                Some(&pred),
+                &AggOp::Min(Field::X),
+                FilterMode::Auto,
+            )
+            .unwrap();
+        let expected_min = filtered
+            .rows
+            .iter()
+            .flat_map(|(_, r)| [r.geometry.x1, r.geometry.x2])
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min_x.value, Some(expected_min));
+
+        // An unfiltered aggregate counts the whole window.
+        let whole = qm.window_query(0, &plane).unwrap();
+        let (all, _) = qm
+            .aggregate_window(0, &plane, None, &AggOp::Count, FilterMode::Auto)
+            .unwrap();
+        assert_eq!(all.rows, whole.rows.len() as u64);
+
+        // Histogram mass equals the distinct node count.
+        let (hist, _) = qm
+            .aggregate_window(
+                0,
+                &plane,
+                None,
+                &AggOp::Histogram {
+                    field: Field::Degree,
+                    buckets: 8,
+                },
+                FilterMode::Auto,
+            )
+            .unwrap();
+        let h = hist.histogram.expect("non-empty window yields a histogram");
+        assert_eq!(h.counts.len(), 8);
+        assert_eq!(h.counts.iter().sum::<u64>(), hist.nodes);
+        assert!(h.lo <= h.hi);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn aggregate_streams_progress_then_summary() {
+        let (qm, path) = manager("agg-stream");
+        let req = ApiRequest::Aggregate {
+            dataset: None,
+            layer: Some(0),
+            window: RectDto {
+                min_x: 0.0,
+                min_y: 0.0,
+                max_x: 2000.0,
+                max_y: 2000.0,
+            },
+            predicate: Some(Predicate::NodeLabelPrefix("Q".into())),
+            agg: AggOp::Count,
+        };
+        // Buffered and streamed answers agree.
+        let ApiOutcome::Aggregate { result, epoch, .. } = qm.call(&req).unwrap() else {
+            panic!("wrong outcome")
+        };
+        let mut sink = crate::FrameBuffer::new();
+        qm.call_streamed(&req, &mut sink).unwrap();
+        let kinds: Vec<&str> = sink.frames.iter().map(|f| f.kind()).collect();
+        assert_eq!(kinds, ["header", "progress", "summary", "trailer"]);
+        let Some(gvdb_api::ApiFrame::Header(h)) = sink.frames.first() else {
+            panic!("no header")
+        };
+        assert_eq!(h.op, "aggregate");
+        assert_eq!(h.epoch, epoch);
+        let Some(gvdb_api::ApiFrame::Summary(s)) = sink.frames.get(2) else {
+            panic!("no summary")
+        };
+        assert_eq!(s, &result);
+        let Some(gvdb_api::ApiFrame::Trailer(t)) = sink.frames.last() else {
+            panic!("no trailer")
+        };
+        assert_eq!(t.rows, result.rows);
+        assert_eq!(t.epoch, epoch, "no racing edit: trailer epoch unchanged");
+        assert_eq!(t.frames, 1);
+
+        // Errors (bad layer) surface before any frame.
+        let mut sink = crate::FrameBuffer::new();
+        let err = qm
+            .call_streamed(
+                &ApiRequest::Aggregate {
+                    dataset: None,
+                    layer: Some(99),
+                    window: RectDto {
+                        min_x: 0.0,
+                        min_y: 0.0,
+                        max_x: 1.0,
+                        max_y: 1.0,
+                    },
+                    predicate: None,
+                    agg: AggOp::Count,
+                },
+                &mut sink,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NotFound);
+        assert!(sink.frames.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn search_applies_node_predicates_and_rejects_edge_ones() {
+        let (qm, path) = manager("search-filter");
+        let all = qm.keyword_search(0, "Q1").unwrap();
+        assert!(!all.is_empty());
+        let half = Predicate::Range {
+            field: Field::X,
+            min: None,
+            max: Some(1000.0),
+        };
+        let filtered = qm.keyword_search_filtered(0, "Q1", Some(&half)).unwrap();
+        let expected: Vec<u64> = all
+            .iter()
+            .filter(|hit| hit.position.x <= 1000.0)
+            .map(|hit| hit.node_id)
+            .collect();
+        assert_eq!(
+            filtered.iter().map(|h| h.node_id).collect::<Vec<_>>(),
+            expected
+        );
+
+        let err = qm
+            .call(&ApiRequest::Search {
+                predicate: Some(Predicate::EdgeLabelEq("wdt:P31".into())),
+                dataset: None,
+                layer: 0,
+                query: "Q1".into(),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_expose_layer_cardinality_and_chooser_decisions() {
+        let (qm, path) = manager("filter-stats");
+        // A selective label probe should take the index path; an x-range
+        // has no access path and scans.
+        let selective = Predicate::NodeLabelEq("Q123".into());
+        let scan_only = Predicate::Range {
+            field: Field::X,
+            min: Some(0.0),
+            max: None,
+        };
+        let plane = Rect::new(-1e9, -1e9, 1e9, 1e9);
+        let auto = qm
+            .window_query_filtered(0, &plane, None, &selective, FilterMode::Auto)
+            .unwrap();
+        let (index_n, scan_n) = qm.chooser_counts();
+        assert_eq!(
+            (index_n, scan_n),
+            (1, 0),
+            "a selective label predicate probes the index"
+        );
+        // Forced scan over a distinct (still uncached) window returns the
+        // same surviving rows.
+        let wide = Rect::new(-2e9, -2e9, 2e9, 2e9);
+        let scanned = qm
+            .window_query_filtered(0, &wide, None, &selective, FilterMode::ForceScan)
+            .unwrap();
+        assert_eq!(sorted_rids(&auto), sorted_rids(&scanned));
+        let _ = qm
+            .window_query_filtered(0, &plane, None, &scan_only, FilterMode::Auto)
+            .unwrap();
+        let (index_n, scan_n) = qm.chooser_counts();
+        assert_eq!(index_n, 1);
+        assert_eq!(scan_n, 2, "forced + unindexable scans both counted");
+
+        let ApiOutcome::Stats(stats) = qm.call(&ApiRequest::Stats).unwrap() else {
+            panic!("wrong outcome")
+        };
+        let ds = &stats[0];
+        assert_eq!(ds.layers.len(), qm.layer_count());
+        for (i, layer) in ds.layers.iter().enumerate() {
+            assert_eq!(layer.index, i as u64);
+            assert!(layer.rows > 0, "layer {i} has rows");
+            assert!(
+                layer.sidecar_nodes > 0,
+                "layer {i} carries a degree/rank sidecar"
+            );
+        }
+        assert_eq!(ds.chooser.index, 1);
+        assert_eq!(ds.chooser.scan, 2);
+        std::fs::remove_file(&path).ok();
     }
 }

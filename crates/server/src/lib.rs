@@ -95,7 +95,8 @@ pub use http::{Body, Request, Response, STREAM_CONTENT_TYPE};
 pub use gvdb_core::registry::{SessionHandle, SessionId, SessionRegistry};
 
 use gvdb_api::{
-    ApiError, ApiFrame, ApiRequest, ApiResponse, DatasetStats, EdgeDto, Json, RectDto, StatsDto,
+    AggOp, ApiError, ApiFrame, ApiRequest, ApiResponse, DatasetStats, EdgeDto, Field, Json,
+    Predicate, RectDto, StatsDto,
 };
 use gvdb_core::{ApiOutcome, FrameSink, GraphService, WindowOutcome};
 use parking_lot::Mutex;
@@ -405,7 +406,8 @@ fn execute_job(job: Job, state: &AppState) {
 // ---------------------------------------------------------------------------
 
 /// Whether this request goes down the streamed frame path, and as which
-/// typed request. Only `GET /v1/window` and `GET /v1/search` stream;
+/// typed request. Only `GET /v1/window`, `GET /v1/search` and
+/// `GET /v1/aggregate` stream;
 /// `stream=0` or an `Accept: application/json` header keeps the buffered
 /// envelope for legacy clients, and a malformed request falls through to
 /// the buffered route (which produces the proper `400`).
@@ -418,31 +420,81 @@ fn streamable_request(request: &Request) -> Option<ApiRequest> {
     match rest {
         "/window" => window_request(request, dataset),
         "/search" => search_request(request, dataset),
+        "/aggregate" => aggregate_request(request, dataset),
         _ => None,
     }
 }
 
 /// `GET /v1/window` query parameters as the typed request (`None` when
-/// the window coordinates are missing) — one parser for the streamed and
-/// buffered paths, so both interpret identical URLs identically.
+/// the window coordinates are missing or the `filter` is malformed) —
+/// one parser for the streamed and buffered paths, so both interpret
+/// identical URLs identically.
 fn window_request(request: &Request, dataset: Option<String>) -> Option<ApiRequest> {
-    parse_window(request).map(|window| ApiRequest::Window {
+    let window = parse_window(request)?;
+    let predicate = parse_filter(request)?;
+    Some(ApiRequest::Window {
         dataset,
         layer: request.parse("layer"),
         window,
         session: request.parse("session"),
         packed: request.param("encoding") == Some("packed"),
+        predicate,
     })
 }
 
 /// `GET /v1/search` query parameters as the typed request (`None` when
-/// `q` is missing). '+'-for-space decoding happens here, on the one text
-/// field — shared by the streamed and buffered paths.
+/// `q` is missing or the `filter` is malformed). '+'-for-space decoding
+/// happens here, on the one text field — shared by the streamed and
+/// buffered paths.
 fn search_request(request: &Request, dataset: Option<String>) -> Option<ApiRequest> {
-    request.param("q").map(|q| ApiRequest::Search {
+    let q = request.param("q")?;
+    let predicate = parse_filter(request)?;
+    Some(ApiRequest::Search {
         dataset,
         layer: request.parse("layer").unwrap_or(0),
         query: q.replace('+', " "),
+        predicate,
+    })
+}
+
+/// The `filter=` query parameter as a typed [`Predicate`]: the canonical
+/// predicate JSON, verbatim. Returns `Some(None)` when absent,
+/// `Some(Some(p))` when well-formed, and `None` (request-level parse
+/// failure → 400) when malformed. Predicates whose label text needs
+/// URL-reserved characters ride the `POST /v1` RPC form instead.
+#[allow(clippy::option_option)]
+fn parse_filter(request: &Request) -> Option<Option<Predicate>> {
+    match request.param("filter") {
+        None => Some(None),
+        Some(text) => Predicate::from_json(text).ok().map(Some),
+    }
+}
+
+/// `GET /v1/aggregate` query parameters as the typed request: the window
+/// coordinates plus `agg=count|min|max|histogram`, an optional
+/// `field=x|y|degree|rank` (required for everything but `count`), an
+/// optional `buckets=` (histogram only) and the shared `filter=`.
+fn aggregate_request(request: &Request, dataset: Option<String>) -> Option<ApiRequest> {
+    let window = parse_window(request)?;
+    let predicate = parse_filter(request)?;
+    let field = || Field::parse(request.param("field").unwrap_or(""));
+    let agg = match request.param("agg")? {
+        "count" => AggOp::Count,
+        "min" => AggOp::Min(field()?),
+        "max" => AggOp::Max(field()?),
+        "histogram" => AggOp::Histogram {
+            field: field()?,
+            // Same bounds the wire parser enforces on the RPC form.
+            buckets: request.parse("buckets").unwrap_or(10).clamp(1, 4096),
+        },
+        _ => return None,
+    };
+    Some(ApiRequest::Aggregate {
+        dataset,
+        layer: request.parse("layer"),
+        window,
+        predicate,
+        agg,
     })
 }
 
@@ -586,11 +638,24 @@ fn route_v1(rest: &str, request: &Request, state: &AppState) -> Response {
         ("GET", "/layers") => ApiRequest::ListLayers { dataset },
         ("GET", "/window") => match window_request(request, dataset) {
             Some(req) => req,
-            None => return v1_error(ApiError::bad_request("need minx,miny,maxx,maxy")),
+            None => {
+                return v1_error(ApiError::bad_request(
+                    "need minx,miny,maxx,maxy (and a well-formed filter)",
+                ))
+            }
         },
         ("GET", "/search") => match search_request(request, dataset) {
             Some(req) => req,
-            None => return v1_error(ApiError::bad_request("need q")),
+            None => return v1_error(ApiError::bad_request("need q (and a well-formed filter)")),
+        },
+        ("GET", "/aggregate") => match aggregate_request(request, dataset) {
+            Some(req) => req,
+            None => {
+                return v1_error(ApiError::bad_request(
+                    "need minx,miny,maxx,maxy and agg=count|min|max|histogram \
+                     (min/max/histogram also need field=x|y|degree|rank)",
+                ))
+            }
         },
         ("GET", "/focus") => match request.parse("node") {
             Some(node) => ApiRequest::Focus {
@@ -866,6 +931,7 @@ fn route_legacy(request: &Request, state: &AppState) -> Response {
                 window,
                 session: request.parse("session"),
                 packed: false,
+                predicate: None,
             };
             match service.call(&api_request) {
                 Ok(ApiOutcome::Window(outcome)) => {
@@ -886,6 +952,7 @@ fn route_legacy(request: &Request, state: &AppState) -> Response {
                 dataset,
                 layer: request.parse("layer").unwrap_or(0),
                 query: q.replace('+', " "),
+                predicate: None,
             }) {
                 Ok(ApiOutcome::Hits { hits, .. }) => {
                     let mut out = String::from("{\"hits\":[");

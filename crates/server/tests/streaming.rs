@@ -306,6 +306,7 @@ impl FrameSink for EditOnFirstBatch<'_> {
 fn racing_edit_mid_stream_surfaces_in_the_trailer_epoch() {
     let (qm, path) = rdf_manager("race", 400);
     let request = gvdb_api::ApiRequest::Window {
+        predicate: None,
         dataset: None,
         layer: Some(0),
         window: gvdb_api::RectDto {

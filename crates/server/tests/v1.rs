@@ -214,6 +214,7 @@ fn rpc_endpoint_speaks_serialized_requests() {
 
     // A serialized ApiRequest round-trips the full protocol over POST /v1.
     let req = ApiRequest::Window {
+        predicate: None,
         dataset: Some("default".into()),
         layer: Some(0),
         window: gvdb_api::RectDto {

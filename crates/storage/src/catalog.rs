@@ -4,7 +4,11 @@
 use crate::error::{Result, StorageError};
 use crate::table::LayerMeta;
 
-const CATALOG_MAGIC: u32 = 0x6361_7431; // "cat1"
+/// v1 layout: 8 u64 words per layer (no sidecar head). Still decoded so
+/// databases preprocessed before the attribute query engine open cleanly.
+const CATALOG_MAGIC_V1: u32 = 0x6361_7431; // "cat1"
+/// v2 layout: 9 u64 words per layer (degree/rank sidecar head appended).
+const CATALOG_MAGIC_V2: u32 = 0x6361_7432; // "cat2"
 
 /// The set of layers in a database.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -17,7 +21,7 @@ impl Catalog {
     /// Serialize to bytes for the header user region.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(&CATALOG_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CATALOG_MAGIC_V2.to_le_bytes());
         out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
         for l in &self.layers {
             let name = l.name.as_bytes();
@@ -32,6 +36,7 @@ impl Catalog {
                 l.rtree_root,
                 l.rtree_len,
                 l.rows,
+                l.sidecar,
             ] {
                 out.extend_from_slice(&v.to_le_bytes());
             }
@@ -46,9 +51,11 @@ impl Catalog {
             return Ok(Catalog::default());
         }
         let magic = u32::from_le_bytes(bytes[..4].try_into().unwrap());
-        if magic != CATALOG_MAGIC {
-            return Err(StorageError::Corrupt("bad catalog magic".into()));
-        }
+        let words = match magic {
+            CATALOG_MAGIC_V1 => 8,
+            CATALOG_MAGIC_V2 => 9,
+            _ => return Err(StorageError::Corrupt("bad catalog magic".into())),
+        };
         let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
         let mut pos = 8usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
@@ -64,8 +71,8 @@ impl Catalog {
             let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
             let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
                 .map_err(|_| StorageError::Corrupt("layer name not UTF-8".into()))?;
-            let mut vals = [0u64; 8];
-            for v in &mut vals {
+            let mut vals = [0u64; 9];
+            for v in &mut vals[..words] {
                 *v = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
             }
             layers.push(LayerMeta {
@@ -78,6 +85,8 @@ impl Catalog {
                 rtree_root: vals[5],
                 rtree_len: vals[6],
                 rows: vals[7],
+                // v1 catalogs carry no sidecar word; 0 = absent.
+                sidecar: vals[8],
             });
         }
         Ok(Catalog { layers })
@@ -99,6 +108,7 @@ mod tests {
             rtree_root: 6,
             rtree_len: 1000,
             rows: 1234,
+            sidecar: 7,
         }
     }
 
@@ -119,6 +129,36 @@ mod tests {
     #[test]
     fn corrupt_magic_rejected() {
         assert!(Catalog::decode(&[1, 2, 3, 4, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn v1_catalogs_decode_without_a_sidecar() {
+        // A v1 image: old magic, 8 words per layer.
+        let expect = Catalog {
+            layers: vec![LayerMeta {
+                sidecar: 0,
+                ..meta("layer0")
+            }],
+        };
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CATALOG_MAGIC_V1.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        let l = &expect.layers[0];
+        bytes.extend_from_slice(&(l.name.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(l.name.as_bytes());
+        for v in [
+            l.heap_first,
+            l.bt_node1,
+            l.bt_node2,
+            l.node_trie,
+            l.edge_trie,
+            l.rtree_root,
+            l.rtree_len,
+            l.rows,
+        ] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(Catalog::decode(&bytes).unwrap(), expect);
     }
 
     #[test]

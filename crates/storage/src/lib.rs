@@ -30,6 +30,7 @@ pub mod heap;
 pub mod page;
 pub mod pager;
 pub mod record;
+pub mod sidecar;
 pub mod spatial_index;
 pub mod table;
 pub mod trie;
@@ -42,4 +43,5 @@ pub use heap::RowId;
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::Pager;
 pub use record::{EdgeGeometry, EdgeRow, Label};
+pub use sidecar::RankSidecar;
 pub use table::LayerTable;

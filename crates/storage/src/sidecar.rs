@@ -1,0 +1,176 @@
+//! The per-layer **degree/rank sidecar**: one `(node id, degree, rank)`
+//! triple per node, sorted by node id, built once at preprocess time from
+//! the abstraction crate's centrality passes and persisted as a blob
+//! page-chain next to the layer's tries.
+//!
+//! The attribute query engine reads it on two paths:
+//!
+//! * **Pushdown evaluation** — a `degree`/`rank` range predicate probes
+//!   the sorted entries per endpoint (binary search) while filtered rows
+//!   are being kept or dropped inside the batched heap fetch.
+//! * **Index access path** — the chooser can turn a selective
+//!   `degree`/`rank` range into a candidate node set by scanning the
+//!   entries once, instead of fetching every window row and filtering.
+//!
+//! The sidecar is a **preprocess-time snapshot**: canvas edits do not
+//! recompute centrality (a single inserted edge would invalidate every
+//! PageRank score), so scores describe the preprocessed graph. Entries
+//! are shared via `Arc`, so cloning one out of a short-lived lock is two
+//! pointer copies.
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::PageId;
+use crate::trie::blob;
+use std::sync::Arc;
+
+const SIDECAR_MAGIC: u32 = 0x7364_6331; // "sdc1"
+
+/// One layer's degree/rank attribute table (see module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankSidecar {
+    /// `(node id, degree centrality, pagerank)`, sorted by node id.
+    entries: Arc<Vec<(u64, f64, f64)>>,
+}
+
+impl RankSidecar {
+    /// Build from per-node scores; entries are sorted (and deduplicated
+    /// by node id, first occurrence winning) so lookups can binary
+    /// search.
+    pub fn new(mut entries: Vec<(u64, f64, f64)>) -> Self {
+        entries.sort_by_key(|&(id, _, _)| id);
+        entries.dedup_by_key(|&mut (id, _, _)| id);
+        RankSidecar {
+            entries: Arc::new(entries),
+        }
+    }
+
+    /// Number of nodes with scores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sidecar holds no scores.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(degree, rank)` of a node; `None` for nodes the preprocess run
+    /// never saw (callers default both to 0.0).
+    pub fn get(&self, node_id: u64) -> Option<(f64, f64)> {
+        self.entries
+            .binary_search_by_key(&node_id, |&(id, _, _)| id)
+            .ok()
+            .map(|i| {
+                let (_, degree, rank) = self.entries[i];
+                (degree, rank)
+            })
+    }
+
+    /// The sorted entry slice, for whole-table scans (the chooser's
+    /// range-to-candidate-set conversion).
+    pub fn entries(&self) -> &[(u64, f64, f64)] {
+        &self.entries
+    }
+
+    /// Serialize to the blob image: magic, count, then little-endian
+    /// `(id, degree bits, rank bits)` triples.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.entries.len() * 24);
+        out.extend_from_slice(&SIDECAR_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for &(id, degree, rank) in self.entries.iter() {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&degree.to_bits().to_le_bytes());
+            out.extend_from_slice(&rank.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse an image produced by [`RankSidecar::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 12 {
+            return Err(StorageError::Corrupt("sidecar image truncated".into()));
+        }
+        let magic = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        if magic != SIDECAR_MAGIC {
+            return Err(StorageError::Corrupt("bad sidecar magic".into()));
+        }
+        let count = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+        let body = &bytes[12..];
+        if body.len() != count * 24 {
+            return Err(StorageError::Corrupt("sidecar count disagrees".into()));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for triple in body.chunks_exact(24) {
+            entries.push((
+                u64::from_le_bytes(triple[..8].try_into().unwrap()),
+                f64::from_bits(u64::from_le_bytes(triple[8..16].try_into().unwrap())),
+                f64::from_bits(u64::from_le_bytes(triple[16..24].try_into().unwrap())),
+            ));
+        }
+        Ok(RankSidecar {
+            entries: Arc::new(entries),
+        })
+    }
+
+    /// Persist as a blob page-chain; returns the head page for the
+    /// catalog.
+    pub fn save(&self, pool: &BufferPool) -> Result<PageId> {
+        blob::write(pool, &self.encode())
+    }
+
+    /// Reload from the blob head a previous [`RankSidecar::save`]
+    /// returned.
+    pub fn load(pool: &BufferPool, head: PageId) -> Result<Self> {
+        Self::decode(&blob::read(pool, head)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+
+    #[test]
+    fn lookup_after_unsorted_build() {
+        let sc = RankSidecar::new(vec![(9, 2.0, 0.3), (1, 4.0, 0.1), (5, 0.0, 0.6)]);
+        assert_eq!(sc.len(), 3);
+        assert_eq!(sc.get(1), Some((4.0, 0.1)));
+        assert_eq!(sc.get(5), Some((0.0, 0.6)));
+        assert_eq!(sc.get(9), Some((2.0, 0.3)));
+        assert_eq!(sc.get(2), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let sc = RankSidecar::new(vec![(7, 1.5, 0.25), (u64::MAX, -0.0, f64::MIN_POSITIVE)]);
+        assert_eq!(RankSidecar::decode(&sc.encode()).unwrap(), sc);
+        let empty = RankSidecar::default();
+        assert_eq!(RankSidecar::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn corrupt_images_are_errors() {
+        assert!(RankSidecar::decode(&[]).is_err());
+        assert!(RankSidecar::decode(&[1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        let mut img = RankSidecar::new(vec![(1, 1.0, 1.0)]).encode();
+        img.pop();
+        assert!(RankSidecar::decode(&img).is_err());
+    }
+
+    #[test]
+    fn blob_persistence_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gvdb-sidecar-{}", std::process::id()));
+        let pool = BufferPool::new(Pager::create(&path).unwrap(), 64);
+        let sc = RankSidecar::new(
+            (0..500)
+                .map(|i| (i, i as f64, 1.0 / (i + 1) as f64))
+                .collect(),
+        );
+        let head = sc.save(&pool).unwrap();
+        assert_eq!(RankSidecar::load(&pool, head).unwrap(), sc);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -44,6 +44,9 @@ pub struct LayerMeta {
     pub rtree_len: u64,
     /// Live row count.
     pub rows: u64,
+    /// Head page of the degree/rank sidecar blob (0 = no sidecar; v1
+    /// catalogs decode as 0).
+    pub sidecar: u64,
 }
 
 /// One abstraction layer's table + indexes.
@@ -61,6 +64,10 @@ pub struct LayerTable {
     node_trie_head: Option<PageId>,
     edge_trie_head: Option<PageId>,
     tries_dirty: bool,
+    /// Degree/rank attribute sidecar (preprocess-time snapshot).
+    sidecar: Option<crate::sidecar::RankSidecar>,
+    sidecar_head: Option<PageId>,
+    sidecar_dirty: bool,
 }
 
 impl LayerTable {
@@ -137,11 +144,23 @@ impl LayerTable {
             node_trie_head: None,
             edge_trie_head: None,
             tries_dirty: true,
+            sidecar: None,
+            sidecar_head: None,
+            sidecar_dirty: false,
         })
     }
 
     /// Reopen a layer from its catalog metadata.
     pub fn open(pool: &BufferPool, meta: &LayerMeta) -> Result<Self> {
+        let (sidecar, sidecar_head) = if meta.sidecar != 0 {
+            let head = PageId(meta.sidecar);
+            (
+                Some(crate::sidecar::RankSidecar::load(pool, head)?),
+                Some(head),
+            )
+        } else {
+            (None, None)
+        };
         Ok(LayerTable {
             name: meta.name.clone(),
             heap: HeapFile::open(pool, PageId(meta.heap_first))?,
@@ -157,7 +176,22 @@ impl LayerTable {
             node_trie_head: Some(PageId(meta.node_trie)),
             edge_trie_head: Some(PageId(meta.edge_trie)),
             tries_dirty: false,
+            sidecar,
+            sidecar_head,
+            sidecar_dirty: false,
         })
+    }
+
+    /// Install the preprocess-time degree/rank sidecar (persisted on the
+    /// next [`LayerTable::save`]).
+    pub fn set_sidecar(&mut self, sidecar: crate::sidecar::RankSidecar) {
+        self.sidecar = Some(sidecar);
+        self.sidecar_dirty = true;
+    }
+
+    /// The degree/rank sidecar, when the layer was preprocessed with one.
+    pub fn sidecar(&self) -> Option<&crate::sidecar::RankSidecar> {
+        self.sidecar.as_ref()
     }
 
     /// Layer name.
@@ -354,6 +388,15 @@ impl LayerTable {
             self.edge_trie_head = Some(self.edge_trie.save(pool)?);
             self.tries_dirty = false;
         }
+        if self.sidecar_dirty {
+            if let Some(head) = self.sidecar_head.take() {
+                blob::free(pool, head)?;
+            }
+            if let Some(sidecar) = &self.sidecar {
+                self.sidecar_head = Some(sidecar.save(pool)?);
+            }
+            self.sidecar_dirty = false;
+        }
         let packed = self.rtree.packed_root();
         Ok(LayerMeta {
             name: self.name.clone(),
@@ -365,6 +408,7 @@ impl LayerTable {
             rtree_root: packed.root,
             rtree_len: packed.len,
             rows: self.rows,
+            sidecar: self.sidecar_head.map_or(0, |h| h.0),
         })
     }
 }

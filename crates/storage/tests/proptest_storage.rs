@@ -108,6 +108,7 @@ proptest! {
                     rtree_root: b ^ c,
                     rtree_len: c ^ d,
                     rows: a.wrapping_add(d),
+                    sidecar: b.wrapping_add(c),
                 })
                 .collect(),
         };
