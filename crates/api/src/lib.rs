@@ -35,6 +35,7 @@ pub mod frame;
 pub mod json;
 pub mod pack;
 pub mod predicate;
+pub mod repl;
 
 pub use frame::{
     reassemble_graph, rows_envelope_bytes, ApiFrame, FrameHeader, ProgressFrame, RowBatch,
@@ -409,6 +410,11 @@ pub struct LayerInfo {
     pub rows: u64,
     /// Current edit epoch.
     pub epoch: u64,
+    /// Highest `RowId` present (as `RowId::to_u64`; 0 for an empty
+    /// layer). A router splits `[0, rid_max]` into per-shard rid ranges —
+    /// bulk-loaded layers fill heap pages densely in Morton order, so a
+    /// uniform split of rid space is balanced and spatially coherent.
+    pub rid_max: u64,
 }
 
 /// One keyword-search hit.
@@ -546,6 +552,10 @@ pub struct StatsDto {
     /// The shards-vs-cores sizing policy in force, as a human-readable
     /// note (e.g. `"min(16, max(2, 2*cpus))"`).
     pub shards_policy: String,
+    /// Replication gauges — `None` on a plain single-node server (the
+    /// wire member is absent, so pre-replication clients are
+    /// unaffected).
+    pub replication: Option<repl::ReplStatsDto>,
     /// Per-dataset statistics.
     pub datasets: Vec<DatasetStats>,
 }
@@ -780,6 +790,16 @@ pub enum ApiRequest {
         /// Attribute filter pushed down into the heap fetch; absent
         /// keeps the unfiltered wire form byte-stable.
         predicate: Option<Predicate>,
+        /// Restrict the answer to rows whose `RowId` falls in this
+        /// inclusive range (wire members `rid_lo`/`rid_hi`, both absent
+        /// by default so the unsharded wire form is unchanged). The
+        /// fan-out/merge router gives each shard a disjoint slice of rid
+        /// space; concatenating the slices in range order reproduces the
+        /// single-node row stream exactly, because windows always emit
+        /// rows in ascending `RowId` order. Range-restricted requests
+        /// bypass the window cache and sessions — they are an internal
+        /// fan-out primitive, not an interactive path.
+        rid_range: Option<(u64, u64)>,
     },
     /// Keyword search over node labels.
     Search {
@@ -929,6 +949,7 @@ impl ApiRequest {
                 session,
                 packed,
                 predicate,
+                rid_range,
             } => {
                 dataset_member(dataset, &mut members);
                 if let Some(layer) = layer {
@@ -943,6 +964,10 @@ impl ApiRequest {
                 }
                 if let Some(p) = predicate {
                     members.push(("filter".into(), p.to_value()));
+                }
+                if let Some((lo, hi)) = rid_range {
+                    members.push(("rid_lo".into(), Json::uint(*lo)));
+                    members.push(("rid_hi".into(), Json::uint(*hi)));
                 }
             }
             ApiRequest::Search {
@@ -1034,6 +1059,7 @@ impl ApiRequest {
                 session: v.get("session").and_then(Json::as_u64),
                 packed: v.get("encoding").and_then(Json::as_str) == Some("packed"),
                 predicate: parse_filter(&v)?,
+                rid_range: parse_rid_range(&v),
             },
             "search" => ApiRequest::Search {
                 dataset,
@@ -1087,6 +1113,17 @@ fn parse_filter(v: &Json) -> ApiResult<Option<Predicate>> {
         Some(f) => Ok(Some(Predicate::from_value(f)?)),
         None => Ok(None),
     }
+}
+
+/// The optional `rid_lo`/`rid_hi` members of window requests. Lenient:
+/// either bound alone implies the other end of rid space.
+fn parse_rid_range(v: &Json) -> Option<(u64, u64)> {
+    let lo = v.get("rid_lo").and_then(Json::as_u64);
+    let hi = v.get("rid_hi").and_then(Json::as_u64);
+    if lo.is_none() && hi.is_none() {
+        return None;
+    }
+    Some((lo.unwrap_or(0), hi.unwrap_or(u64::MAX)))
 }
 
 // ---------------------------------------------------------------------------
@@ -1252,6 +1289,7 @@ impl ApiResponse {
                                     ("index".into(), Json::uint(l.index as u64)),
                                     ("rows".into(), Json::uint(l.rows)),
                                     ("epoch".into(), Json::uint(l.epoch)),
+                                    ("rid_max".into(), Json::uint(l.rid_max)),
                                 ])
                             })
                             .collect(),
@@ -1327,6 +1365,9 @@ impl ApiResponse {
                     "shards_policy".into(),
                     Json::Str(stats.shards_policy.clone()),
                 ));
+                if let Some(r) = &stats.replication {
+                    members.push(("replication".into(), r.to_value()));
+                }
                 members.push((
                     "datasets".into(),
                     Json::Arr(stats.datasets.iter().map(DatasetStats::to_value).collect()),
@@ -1371,6 +1412,8 @@ impl ApiResponse {
                             index: need_usize(l, "index")?,
                             rows: need_u64(l, "rows")?,
                             epoch: need_u64(l, "epoch")?,
+                            // Lenient: absent on pre-sharding servers.
+                            rid_max: l.get("rid_max").and_then(Json::as_u64).unwrap_or(0),
                         })
                     })
                     .collect::<ApiResult<_>>()?,
@@ -1435,6 +1478,7 @@ impl ApiResponse {
                     .and_then(Json::as_str)
                     .unwrap_or_default()
                     .to_string(),
+                replication: v.get("replication").map(repl::ReplStatsDto::from_value),
                 datasets: need(&v, "datasets")?
                     .as_arr()
                     .ok_or_else(|| ApiError::bad_request("datasets must be an array"))?

@@ -62,6 +62,7 @@ fn every_request_variant_roundtrips() {
         session: Some(41),
         packed: false,
         predicate: None,
+        rid_range: None,
     });
     roundtrip_request(ApiRequest::Window {
         dataset: None,
@@ -70,6 +71,7 @@ fn every_request_variant_roundtrips() {
         session: None,
         packed: true,
         predicate: None,
+        rid_range: Some((1024, 2047)),
     });
     roundtrip_request(ApiRequest::Window {
         dataset: None,
@@ -85,6 +87,7 @@ fn every_request_variant_roundtrips() {
             },
             Predicate::NodeLabelPrefix("Q1".into()),
         ])),
+        rid_range: None,
     });
     roundtrip_request(ApiRequest::Search {
         dataset: None,
@@ -200,11 +203,13 @@ fn every_response_variant_roundtrips() {
                 index: 0,
                 rows: 150_000,
                 epoch: 2,
+                rid_max: (8191u64 << 16) | 9,
             },
             LayerInfo {
                 index: 1,
                 rows: 45_000,
                 epoch: 0,
+                rid_max: 0,
             },
         ],
     });
@@ -268,6 +273,15 @@ fn every_response_variant_roundtrips() {
         open_connections: 37,
         cpus: 8,
         shards_policy: "min(16, max(2, 2*cpus))".into(),
+        replication: Some(gvdb_api::repl::ReplStatsDto {
+            role: gvdb_api::repl::ReplRole::Follower,
+            last_shipped_seq: 0,
+            last_applied_seq: 12,
+            lag: vec![1, 0, 0],
+            shipped: 0,
+            applied: 12,
+            resyncs: 1,
+        }),
         datasets: vec![DatasetStats {
             name: "default".into(),
             epochs: vec![3, 0, 0],

@@ -171,6 +171,12 @@ pub struct WindowParams {
     /// label text needs URL-reserved characters or spaces must go
     /// through the buffered call, which rides `POST /v1`.
     pub predicate: Option<Predicate>,
+    /// Restrict the window to rows whose id falls in this inclusive
+    /// range (`rid_lo`/`rid_hi` on the wire). The routed-query
+    /// primitive: a [`ClusterClient`] fans one window out as one
+    /// disjoint rid slice per shard and concatenates the answers.
+    /// Combines with neither `session` nor `predicate`.
+    pub rid_range: Option<(u64, u64)>,
 }
 
 impl Default for WindowParams {
@@ -187,6 +193,7 @@ impl Default for WindowParams {
             session: None,
             packed: true,
             predicate: None,
+            rid_range: None,
         }
     }
 }
@@ -200,6 +207,7 @@ impl WindowParams {
             session: self.session,
             packed: self.packed,
             predicate: self.predicate.clone(),
+            rid_range: self.rid_range,
         }
     }
 
@@ -222,6 +230,9 @@ impl WindowParams {
         }
         if let Some(p) = &self.predicate {
             q.push_str(&format!("&filter={}", encode_filter(p)?));
+        }
+        if let Some((lo, hi)) = self.rid_range {
+            q.push_str(&format!("&rid_lo={lo}&rid_hi={hi}"));
         }
         Ok(q)
     }
@@ -574,6 +585,23 @@ impl GvdbClient {
         }
     }
 
+    /// A raw buffered `GET` of `path` (absolute, query string included),
+    /// returning `(status, body)`. The escape hatch for endpoints with
+    /// no typed wrapper — the replication plane (`/v1/repl/*`,
+    /// `/v1/shardmap`) reaches its peers through this, sharing the
+    /// client's pool, timeouts and keep-alive handling.
+    pub fn get_text(&self, path: &str) -> Result<(u16, String)> {
+        let (status, _, body) = self.exchange("GET", path, "", true)?;
+        Ok((status, body))
+    }
+
+    /// A raw buffered `POST` of `body` to `path`, returning
+    /// `(status, body)`. See [`GvdbClient::get_text`].
+    pub fn post_text(&self, path: &str, body: &str) -> Result<(u16, String)> {
+        let (status, _, response) = self.exchange("POST", path, body, true)?;
+        Ok((status, response))
+    }
+
     // -- streamed results ---------------------------------------------------
 
     /// A **streamed** window query: the frame protocol over chunked
@@ -594,12 +622,29 @@ impl GvdbClient {
         layer: usize,
         query: &str,
     ) -> Result<WindowStream> {
+        self.search_stream_filtered(dataset, layer, query, None)
+    }
+
+    /// [`GvdbClient::search_stream`] with an attribute predicate (the
+    /// `filter=` query parameter). Predicates the query-string dialect
+    /// cannot carry are a [`ClientError::Protocol`] — use
+    /// [`GvdbClient::search_filtered`] (buffered) for those.
+    pub fn search_stream_filtered(
+        &self,
+        dataset: Option<&str>,
+        layer: usize,
+        query: &str,
+        predicate: Option<&Predicate>,
+    ) -> Result<WindowStream> {
         let mut path = format!(
             "/v1/search?layer={layer}&q={}&stream=1",
             encode_query_value(query)?
         );
         if let Some(d) = dataset {
             path.push_str(&format!("&dataset={}", encode_query_value(d)?));
+        }
+        if let Some(p) = predicate {
+            path.push_str(&format!("&filter={}", encode_filter(p)?));
         }
         self.open_stream(&path)
     }
@@ -920,6 +965,27 @@ impl WindowStream {
     /// [`WindowStream::next_batch`] with the batch's arrival time
     /// attached (see [`RecvBatch`]).
     pub fn next_batch_timed(&mut self) -> Result<Option<RecvBatch>> {
+        // Packed frames decode here, transparently: the reconstructed
+        // Graph fragment is byte-identical to what an unpacked stream
+        // would have carried, so consumers (and `reassemble_graph`)
+        // never see the wire encoding.
+        Ok(self.next_batch_inner()?.map(|r| RecvBatch {
+            batch: r.batch.into_plain(),
+            recv_ms: r.recv_ms,
+        }))
+    }
+
+    /// The next row batch **as it crossed the wire**: packed frames stay
+    /// [`RowBatch::Packed`] instead of decoding to Graph fragments. The
+    /// fan-out router consumes shard streams through this so it can
+    /// re-apply its *global* node dedup before re-emitting — a node
+    /// first seen on an earlier shard must not be re-introduced by a
+    /// later one.
+    pub fn next_batch_raw(&mut self) -> Result<Option<RowBatch>> {
+        Ok(self.next_batch_inner()?.map(|r| r.batch))
+    }
+
+    fn next_batch_inner(&mut self) -> Result<Option<RecvBatch>> {
         loop {
             match self.frames.next_frame()? {
                 Some(ApiFrame::Rows(batch)) => {
@@ -928,15 +994,7 @@ impl WindowStream {
                         self.first_rows_ms = Some(recv_ms);
                     }
                     self.rows_wire_bytes += self.frames.last_frame_bytes;
-                    // Packed frames decode here, transparently: the
-                    // reconstructed Graph fragment is byte-identical to
-                    // what an unpacked stream would have carried, so
-                    // consumers (and `reassemble_graph`) never see the
-                    // wire encoding.
-                    return Ok(Some(RecvBatch {
-                        batch: batch.into_plain(),
-                        recv_ms,
-                    }));
+                    return Ok(Some(RecvBatch { batch, recv_ms }));
                 }
                 Some(ApiFrame::Progress(p)) => self.progress = Some(p),
                 Some(ApiFrame::Summary(s)) => self.summary = Some(s),
@@ -1021,5 +1079,241 @@ impl Iterator for WindowStream {
 
     fn next(&mut self) -> Option<Self::Item> {
         self.next_batch().transpose()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster fan-out
+// ---------------------------------------------------------------------------
+
+/// A client over a **sharded cluster**: one [`GvdbClient`] per shard,
+/// each owning a disjoint ascending rid range, fanning every window out
+/// as per-shard rid slices and merging the answers back into one
+/// result. The server-side router (`gvdb serve --router`) is built on
+/// the same merge; this type is the client-side variant for consumers
+/// that want to skip the extra hop.
+///
+/// The merge contract (why plain concatenation is correct):
+///
+/// * shard ranges are disjoint, ascending, and cover `[0, u64::MAX]`
+///   ([`gvdb_api::repl::ShardMapDto::is_complete`]);
+/// * every shard emits its window rows ascending by rid, so visiting
+///   shards in range order yields the **global** ascending rid order —
+///   exactly the row order of an unsharded node;
+/// * nodes are deduplicated *globally*, first occurrence wins, which
+///   reproduces the canonical payload's node emission order.
+///
+/// The reassembled graph is therefore byte-identical to the same query
+/// answered by one unsharded node.
+pub struct ClusterClient {
+    shards: Vec<(u64, u64, GvdbClient)>,
+}
+
+impl ClusterClient {
+    /// A cluster client over an explicit shard map (ranges inclusive).
+    /// Fails if the ranges are not disjoint-ascending-complete.
+    pub fn new(shards: Vec<(u64, u64, String)>) -> Result<Self> {
+        let map = gvdb_api::repl::ShardMapDto {
+            shards: shards
+                .iter()
+                .map(|(lo, hi, addr)| gvdb_api::repl::ShardDto {
+                    addr: addr.clone(),
+                    rid_lo: *lo,
+                    rid_hi: *hi,
+                })
+                .collect(),
+        };
+        if !map.is_complete() {
+            return Err(ClientError::Protocol(
+                "shard map is not disjoint-ascending-complete".into(),
+            ));
+        }
+        Ok(ClusterClient {
+            shards: shards
+                .into_iter()
+                .map(|(lo, hi, addr)| (lo, hi, GvdbClient::new(addr)))
+                .collect(),
+        })
+    }
+
+    /// Bootstrap from a node that serves `/v1/shardmap` (a router).
+    pub fn from_router(addr: &str) -> Result<Self> {
+        let (status, body) = GvdbClient::new(addr).get_text("/v1/shardmap")?;
+        if status != 200 {
+            return Err(ClientError::Protocol(format!(
+                "GET /v1/shardmap answered {status}: {body}"
+            )));
+        }
+        let map = gvdb_api::repl::ShardMapDto::from_json(&body)
+            .map_err(|e| ClientError::Protocol(format!("shard map malformed: {e}")))?;
+        Self::new(
+            map.shards
+                .into_iter()
+                .map(|s| (s.rid_lo, s.rid_hi, s.addr))
+                .collect(),
+        )
+    }
+
+    /// The shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fan `params` out to every shard as rid-sliced **packed** streams
+    /// and return the merged stream. `params.session`, `.predicate` and
+    /// `.rid_range` must be unset (the slices are ours to assign).
+    pub fn window_merged(&self, params: &WindowParams) -> Result<MergedWindowStream> {
+        if params.session.is_some() || params.predicate.is_some() || params.rid_range.is_some() {
+            return Err(ClientError::Protocol(
+                "window_merged owns session/predicate/rid_range".into(),
+            ));
+        }
+        // Open every stream before reading any: the shards compute
+        // their slices concurrently while we drain in rid order.
+        let mut streams = Vec::with_capacity(self.shards.len());
+        for (lo, hi, client) in &self.shards {
+            let mut p = params.clone();
+            p.packed = true; // dedup needs structured rows
+            p.rid_range = Some((*lo, *hi));
+            streams.push(client.window_stream(&p)?);
+        }
+        let header = FrameHeader {
+            // The weakest (oldest) shard epoch: the staleness bound of
+            // the merged answer as a whole.
+            epoch: streams.iter().map(|s| s.header.epoch).min().unwrap_or(0),
+            ..streams
+                .first()
+                .map(|s| s.header.clone())
+                .unwrap_or(FrameHeader {
+                    op: "window".into(),
+                    dataset: String::new(),
+                    layer: 0,
+                    epoch: 0,
+                    source: None,
+                    session: None,
+                })
+        };
+        Ok(MergedWindowStream {
+            streams,
+            current: 0,
+            seen: std::collections::HashSet::new(),
+            header,
+            trailer: None,
+            rows: 0,
+            rows_fetched: 0,
+        })
+    }
+
+    /// Convenience: run the merged stream to completion and reassemble
+    /// one whole graph payload (`{"nodes":[…],"edges":[…]}`) — the
+    /// byte-identity surface the cluster tests assert on.
+    pub fn window_graph(
+        &self,
+        params: &WindowParams,
+    ) -> Result<(FrameHeader, String, TrailerFrame)> {
+        let mut merged = self.window_merged(params)?;
+        let header = merged.header().clone();
+        let mut fragments = Vec::new();
+        while let Some(batch) = merged.next_plain()? {
+            if let RowBatch::Graph { graph, .. } = batch {
+                fragments.push(graph);
+            }
+        }
+        let trailer = merged
+            .trailer()
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("merged stream ended without trailer".into()))?;
+        let graph = gvdb_api::reassemble_graph(fragments.iter().map(String::as_str))
+            .map_err(ClientError::Api)?;
+        Ok((header, graph, trailer))
+    }
+}
+
+/// The merged view of per-shard rid-sliced window streams (see
+/// [`ClusterClient::window_merged`]): batches surface in global rid
+/// order with nodes deduplicated across the whole cluster.
+pub struct MergedWindowStream {
+    streams: Vec<WindowStream>,
+    current: usize,
+    seen: std::collections::HashSet<u64>,
+    header: FrameHeader,
+    trailer: Option<TrailerFrame>,
+    rows: u64,
+    rows_fetched: u64,
+}
+
+impl MergedWindowStream {
+    /// The merged header: first shard's identity, weakest shard epoch.
+    pub fn header(&self) -> &FrameHeader {
+        &self.header
+    }
+
+    /// The next packed batch, nodes already deduplicated globally.
+    /// `Ok(None)` once every shard is drained — after which
+    /// [`MergedWindowStream::trailer`] reports the merged totals.
+    pub fn next_packed(&mut self) -> Result<Option<gvdb_api::PackedRows>> {
+        while self.current < self.streams.len() {
+            let stream = &mut self.streams[self.current];
+            match stream.next_batch_raw()? {
+                Some(RowBatch::Packed { mut rows, .. }) => {
+                    rows.nodes.retain(|n| self.seen.insert(n.id));
+                    return Ok(Some(rows));
+                }
+                Some(RowBatch::Graph { .. }) => {
+                    // We negotiated packed; a plain frame means the
+                    // shard fell back (payload divergence) and global
+                    // dedup is impossible.
+                    return Err(ClientError::Protocol(
+                        "shard answered with plain frames; cannot merge".into(),
+                    ));
+                }
+                Some(RowBatch::Hits { .. }) => {
+                    return Err(ClientError::Protocol(
+                        "shard answered a window with search hits".into(),
+                    ));
+                }
+                None => {
+                    if let Some(t) = self.streams[self.current].trailer() {
+                        self.rows += t.rows;
+                        self.rows_fetched += t.rows_fetched;
+                        let epoch = t.epoch;
+                        let merged = self.trailer.get_or_insert(TrailerFrame {
+                            epoch,
+                            source: t.source,
+                            rows: 0,
+                            rows_reused: 0,
+                            rows_fetched: 0,
+                            frames: 0,
+                        });
+                        merged.epoch = merged.epoch.min(epoch);
+                    }
+                    self.current += 1;
+                }
+            }
+        }
+        if let Some(t) = self.trailer.as_mut() {
+            t.rows = self.rows;
+            t.rows_fetched = self.rows_fetched;
+        }
+        Ok(None)
+    }
+
+    /// [`MergedWindowStream::next_packed`] decoded to a plain
+    /// [`RowBatch::Graph`] fragment — byte-identical to the fragment an
+    /// unsharded stream would emit for the same rows.
+    pub fn next_plain(&mut self) -> Result<Option<RowBatch>> {
+        Ok(self.next_packed()?.map(|rows| {
+            RowBatch::Packed {
+                rows,
+                reused: false,
+            }
+            .into_plain()
+        }))
+    }
+
+    /// The merged trailer — weakest shard epoch, summed row counts —
+    /// once every shard is drained.
+    pub fn trailer(&self) -> Option<&TrailerFrame> {
+        self.trailer.as_ref()
     }
 }

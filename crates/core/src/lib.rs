@@ -49,6 +49,7 @@ pub mod outbox;
 pub mod preprocess;
 pub mod query;
 pub mod registry;
+pub mod repl;
 pub mod service;
 pub mod session;
 pub mod stats;
@@ -67,6 +68,7 @@ pub use preprocess::{
 };
 pub use query::{QueryManager, SearchHit, WindowResponse};
 pub use registry::{SessionHandle, SessionId, SessionRegistry, SessionStats};
+pub use repl::ReplProvider;
 pub use service::{
     stream_single, ApiOutcome, FrameBuffer, FrameSink, GraphService, WindowOutcome, DEFAULT_DATASET,
 };

@@ -180,6 +180,10 @@ pub struct ColdWindowStream<'a> {
     /// filtered-out rows never reach the serializer. Filtered results
     /// are never cached ([`ColdWindowStream::finish`]).
     filter: Option<CompiledFilter>,
+    /// Whether [`ColdWindowStream::finish`] may seed the window cache.
+    /// Rid-range-restricted streams (the router fan-out primitive) carry
+    /// partial windows that must never masquerade as the whole answer.
+    cacheable: bool,
 }
 
 /// What a fully drained [`ColdWindowStream`] streamed, for the trailer.
@@ -275,7 +279,7 @@ impl ColdWindowStream<'_> {
             rows: rows.len(),
             rows_fetched,
         };
-        if !self.epoch_valid || self.filter.is_some() {
+        if !self.epoch_valid || self.filter.is_some() || !self.cacheable {
             return summary;
         }
         let json = Arc::new(self.builder.finish());
@@ -326,6 +330,12 @@ pub struct QueryManager {
     chooser_index: AtomicU64,
     /// …and through scan-and-filter (`/v1/stats` reports the split).
     chooser_scan: AtomicU64,
+    /// Per-layer epochs sampled inside the last flush (under the `db`
+    /// write lock, so exactly consistent with the checkpoint written).
+    /// These ride in the checkpoint's metadata blob and are what a
+    /// leader advertises as the replication position of that
+    /// checkpoint. Empty until the first flush of this process.
+    last_flush_epochs: RwLock<Vec<u64>>,
 }
 
 impl QueryManager {
@@ -356,6 +366,7 @@ impl QueryManager {
             sessions: SessionRegistry::new(),
             chooser_index: AtomicU64::new(0),
             chooser_scan: AtomicU64::new(0),
+            last_flush_epochs: RwLock::new(Vec::new()),
         }
     }
 
@@ -457,8 +468,130 @@ impl QueryManager {
     /// drain first and queue behind — but bumps **no** epoch and clears
     /// **no** cache: a flush persists already-applied edits without
     /// changing any visible row, so every cached window stays exact.
+    ///
+    /// The per-layer epochs are sampled under the same write lock and
+    /// written into the checkpoint's metadata blob, so the checkpoint
+    /// carries its exact replication position: a follower that applies
+    /// it sets its epochs to these values and its answers become
+    /// bounded-staleness — every row consistent with exactly
+    /// `1..=epoch` of the leader's edits per layer.
     pub fn flush(&self) -> Result<usize> {
-        self.db.write().flush()
+        let mut db = self.db.write();
+        let mut epochs = self.epochs.read().clone();
+        if epochs.len() < db.layer_count() {
+            epochs.resize(db.layer_count(), 0);
+        }
+        let flushed = db.flush_with_meta(&encode_epoch_meta(&epochs))?;
+        *self.last_flush_epochs.write() = epochs;
+        Ok(flushed)
+    }
+
+    /// Consistent full-database snapshot for replication resync:
+    /// checkpoint and read back the database file under **one** hold of
+    /// the write lock, so the returned bytes are exactly the committed
+    /// state of the returned `(seq, epochs)` — concurrent edits (whose
+    /// evicted dirty pages would otherwise tear a plain file read) are
+    /// fenced out for the duration. Returns `(seq, epochs, bytes)`.
+    pub fn snapshot_bytes(&self) -> Result<(u64, Vec<u64>, Vec<u8>)> {
+        let mut db = self.db.write();
+        let mut epochs = self.epochs.read().clone();
+        if epochs.len() < db.layer_count() {
+            epochs.resize(db.layer_count(), 0);
+        }
+        db.flush_with_meta(&encode_epoch_meta(&epochs))?;
+        *self.last_flush_epochs.write() = epochs.clone();
+        let bytes = std::fs::read(db.path())?;
+        Ok((db.checkpoint_seq(), epochs, bytes))
+    }
+
+    /// Sequence number of the last committed checkpoint (the leader's
+    /// shipping position; 0 = never flushed).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.db.read().checkpoint_seq()
+    }
+
+    /// Path of the backing database file (what the replication layer
+    /// reads checkpoint archives and snapshots from).
+    pub fn db_path(&self) -> std::path::PathBuf {
+        self.db.read().path().to_path_buf()
+    }
+
+    /// The per-layer epochs recorded by the last [`QueryManager::flush`]
+    /// of this process (empty before the first). These — not the live
+    /// epochs — are the replication position of the durable state.
+    pub fn last_flush_epochs(&self) -> Vec<u64> {
+        self.last_flush_epochs.read().clone()
+    }
+
+    /// Overwrite every layer's epoch with `values` and drop the whole
+    /// window cache. The follower apply path: shipped checkpoints carry
+    /// the leader's flush-time epochs, and a replica *sets* (never
+    /// bumps) its epochs so they are positions in the leader's edit
+    /// history — the trailer-epoch contract then reports exactly how
+    /// stale a replica's answer is.
+    pub fn set_epochs(&self, values: &[u64]) {
+        {
+            let mut epochs = self.epochs.write();
+            epochs.clear();
+            epochs.extend_from_slice(values);
+        }
+        self.cache.invalidate_all();
+    }
+
+    /// Apply a shipped checkpoint image atomically: CRC-verify and
+    /// decode it, write it as the local **active WAL**, and reopen the
+    /// database in place — the ordinary crash-recovery path replays the
+    /// committed checkpoint, and a crash anywhere in between leaves a
+    /// torn WAL that the next open discards (the previous complete
+    /// checkpoint keeps being served). On success the layer epochs are
+    /// set to the leader's flush-time values from the checkpoint
+    /// metadata and the window cache is dropped. Returns the applied
+    /// `(seq, epochs)`.
+    pub fn apply_checkpoint(&self, bytes: &[u8]) -> Result<(u64, Vec<u64>)> {
+        let cp = gvdb_storage::wal::decode_checkpoint(bytes)
+            .ok_or_else(|| StorageError::Corrupt("shipped checkpoint torn or corrupt".into()))?;
+        let epochs = decode_epoch_meta(&cp.meta);
+        let mut db = self.db.write();
+        let path = db.path().to_path_buf();
+        let cache_pages = db.pool().capacity();
+        gvdb_storage::wal::write_shipped(&path, bytes)?;
+        *db = GraphDb::open_with_cache(&path, cache_pages)?;
+        let seq = db.checkpoint_seq();
+        {
+            // Lock order db-then-epochs, same as every writer.
+            let mut e = self.epochs.write();
+            e.clear();
+            e.extend_from_slice(&epochs);
+            let want = e.len().max(db.layer_count());
+            e.resize(want, 0);
+        }
+        self.cache.invalidate_all();
+        drop(db);
+        Ok((seq, epochs))
+    }
+
+    /// Full resync: replace the backing database file with a shipped
+    /// snapshot and reopen, setting the epochs to the leader's
+    /// flush-time values. The write lock fences out every reader for
+    /// the duration. Returns the snapshot's checkpoint seq.
+    pub fn replace_db_file(&self, bytes: &[u8], epochs: &[u64]) -> Result<u64> {
+        let mut db = self.db.write();
+        let path = db.path().to_path_buf();
+        let cache_pages = db.pool().capacity();
+        std::fs::write(&path, bytes)?;
+        gvdb_storage::wal::remove(&path)?;
+        *db = GraphDb::open_with_cache(&path, cache_pages)?;
+        let seq = db.checkpoint_seq();
+        {
+            let mut e = self.epochs.write();
+            e.clear();
+            e.extend_from_slice(epochs);
+            let want = e.len().max(db.layer_count());
+            e.resize(want, 0);
+        }
+        self.cache.invalidate_all();
+        drop(db);
+        Ok(seq)
     }
 
     /// Window-cache hit/miss/occupancy counters.
@@ -493,6 +626,17 @@ impl QueryManager {
     /// Number of abstraction layers.
     pub fn layer_count(&self) -> usize {
         self.db.read().layer_count()
+    }
+
+    /// Every layer's current edit epoch (length = layer count; layers
+    /// never edited report 0). On a replica these are the applied
+    /// replication position — see [`QueryManager::set_epochs`].
+    pub fn epochs(&self) -> Vec<u64> {
+        let count = self.db.read().layer_count();
+        let epochs = self.epochs.read();
+        (0..count.max(epochs.len()))
+            .map(|i| epochs.get(i).copied().unwrap_or(0))
+            .collect()
     }
 
     /// Interactive navigation: evaluate a window query on `layer` and
@@ -644,6 +788,7 @@ impl QueryManager {
             rows: Vec::new(),
             epoch_valid: true,
             filter: None,
+            cacheable: true,
         })))
     }
 
@@ -799,7 +944,96 @@ impl QueryManager {
             rows: Vec::new(),
             epoch_valid: true,
             filter: Some(filter),
+            cacheable: true,
         })))
+    }
+
+    /// Streamed rid-range window: the shard-side half of the router's
+    /// fan-out/merge. Plans a **cold** stream over only the candidates
+    /// whose [`RowId`] falls in `lo..=hi` — cache and delta paths are
+    /// bypassed entirely (the range restriction is an internal fan-out
+    /// primitive, not an interactive query) and the result is never
+    /// cached. Candidates are sorted ascending, so the emitted row
+    /// stream is ascending by rid; concatenating the streams of
+    /// disjoint adjacent ranges reproduces the unrestricted stream's
+    /// row order exactly.
+    pub fn window_stream_plan_range(
+        &self,
+        layer: usize,
+        window: &Rect,
+        lo: u64,
+        hi: u64,
+    ) -> Result<StreamPlan<'_>> {
+        let db = self.db.read();
+        let table = db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let epoch = self.layer_epoch(layer);
+        let mut candidates = table.window_rids(db.pool(), window)?;
+        drop(db);
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|rid| {
+            let v = rid.to_u64();
+            lo <= v && v <= hi
+        });
+        let builder = GraphJsonBuilder::with_capacity(candidates.len() * 96);
+        Ok(StreamPlan::Cold(Box::new(ColdWindowStream {
+            qm: self,
+            layer,
+            window: *window,
+            epoch,
+            candidates,
+            pos: 0,
+            builder,
+            rows: Vec::new(),
+            epoch_valid: true,
+            filter: None,
+            cacheable: false,
+        })))
+    }
+
+    /// Buffered rid-range window: the rows of `window` whose [`RowId`]
+    /// falls in `lo..=hi`, ascending by rid, with the epoch they were
+    /// read at. Same refinement pipeline as the cold window path (R-tree
+    /// candidates, page-sorted heap fetch, exact segment-vs-rect test);
+    /// bypasses the cache in both directions.
+    pub fn window_rows_range(
+        &self,
+        layer: usize,
+        window: &Rect,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(u64, Vec<(RowId, EdgeRow)>)> {
+        let db = self.db.read();
+        let table = db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let epoch = self.layer_epoch(layer);
+        let mut candidates = table.window_rids(db.pool(), window)?;
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|rid| {
+            let v = rid.to_u64();
+            lo <= v && v <= hi
+        });
+        let mut rows = table.fetch_many(db.pool(), &candidates)?;
+        rows.retain(|(_, row)| row.geometry.segment().intersects_rect(window));
+        Ok((epoch, rows))
+    }
+
+    /// Highest [`RowId`] present in `layer` (as `to_u64`; 0 when empty).
+    /// A router splits `[0, rid_max]` into per-shard ranges — O(rows)
+    /// via a whole-plane R-tree descent, acceptable for the rare
+    /// `list_layers` call that feeds shard-map construction.
+    pub fn layer_rid_max(&self, layer: usize) -> Result<u64> {
+        let db = self.db.read();
+        let table = db
+            .layer(layer)
+            .ok_or_else(|| StorageError::LayerNotFound(format!("index {layer}")))?;
+        let everything = Rect::new(f64::MIN, f64::MIN, f64::MAX, f64::MAX);
+        let rids = table.window_rids(db.pool(), &everything)?;
+        Ok(rids.iter().map(|r| r.to_u64()).max().unwrap_or(0))
     }
 
     /// Window aggregation: reduce the (optionally filtered) window to
@@ -1361,6 +1595,39 @@ fn apply_ref_changes(
         }
     }
     (out, dropped, added)
+}
+
+/// Encode per-layer edit epochs into checkpoint metadata: a `u32` layer
+/// count followed by one little-endian `u64` per layer. The storage layer
+/// treats this as opaque bytes; only the core encodes and decodes it, so
+/// epochs ride inside shipped checkpoints without the WAL format knowing
+/// what a layer is.
+pub fn encode_epoch_meta(epochs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + epochs.len() * 8);
+    out.extend_from_slice(&(epochs.len() as u32).to_le_bytes());
+    for e in epochs {
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+    out
+}
+
+/// Decode checkpoint metadata written by [`encode_epoch_meta`]. Lenient:
+/// anything short, truncated, or from a pre-replication checkpoint (empty
+/// meta) decodes to an empty vector, which callers treat as "all zero".
+pub fn decode_epoch_meta(bytes: &[u8]) -> Vec<u64> {
+    if bytes.len() < 4 {
+        return Vec::new();
+    }
+    let count = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    if bytes.len() < 4 + count * 8 {
+        return Vec::new();
+    }
+    (0..count)
+        .map(|i| {
+            let at = 4 + i * 8;
+            u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -167,6 +167,9 @@ pub enum ApiOutcome {
         /// The aggregation result.
         result: AggregateDto,
     },
+    /// A response produced outside the engine — a replication endpoint's
+    /// answer or a router's forwarded reply — already in wire form.
+    Raw(ApiResponse),
 }
 
 impl ApiOutcome {
@@ -226,7 +229,9 @@ impl ApiOutcome {
                 cpus: 0,
                 shards_policy: String::new(),
                 datasets,
+                replication: None,
             }),
+            ApiOutcome::Raw(response) => response,
         }
     }
 }
@@ -407,8 +412,15 @@ fn call_dataset(name: &str, qm: &QueryManager, request: &ApiRequest) -> ApiResul
             window,
             session,
             predicate,
+            rid_range,
             ..
-        } => window_op(name, qm, *layer, window, *session, predicate.as_ref()),
+        } => match rid_range {
+            Some((lo, hi)) => {
+                check_range_combines(*session, predicate.as_ref())?;
+                window_range_op(name, qm, *layer, window, *lo, *hi)
+            }
+            None => window_op(name, qm, *layer, window, *session, predicate.as_ref()),
+        },
         ApiRequest::Search {
             layer,
             query,
@@ -553,6 +565,72 @@ fn window_op(
             }))
         }
     }
+}
+
+/// A rid-range restriction composes with neither sessions (delta
+/// anchors assume whole-window results) nor predicates (the router owns
+/// no filter state) — shards answer plain range-restricted windows and
+/// the router does the rest. Reject the combinations loudly instead of
+/// silently dropping a clause.
+fn check_range_combines(
+    session: Option<SessionId>,
+    predicate: Option<&Predicate>,
+) -> ApiResult<()> {
+    if session.is_some() {
+        return Err(ApiError::bad_request(
+            "rid_lo/rid_hi do not combine with a session",
+        ));
+    }
+    if predicate.is_some() {
+        return Err(ApiError::bad_request(
+            "rid_lo/rid_hi do not combine with a predicate",
+        ));
+    }
+    Ok(())
+}
+
+/// The buffered rid-range window: the shard-side half of a routed
+/// window query. Bypasses the window cache (range slices would poison
+/// whole-window entries) and builds a canonical payload over exactly
+/// the rows whose id falls in `[lo, hi]`.
+fn window_range_op(
+    name: &str,
+    qm: &QueryManager,
+    layer: Option<usize>,
+    window: &RectDto,
+    lo: u64,
+    hi: u64,
+) -> ApiResult<ApiOutcome> {
+    let rect = to_rect(window)?;
+    let layer = layer.unwrap_or(0);
+    let t0 = std::time::Instant::now();
+    let (epoch, rows) = qm
+        .window_rows_range(layer, &rect, lo, hi)
+        .map_err(storage_error)?;
+    let db_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let json = build_graph_json(&rows);
+    let rows_fetched = rows.len();
+    let client = qm.client_model().deliver(&json);
+    Ok(ApiOutcome::Window(WindowOutcome {
+        dataset: name.to_string(),
+        layer,
+        response: WindowResponse {
+            rows: std::sync::Arc::new(rows),
+            json: std::sync::Arc::new(json),
+            db_ms,
+            build_json_ms: t1.elapsed().as_secs_f64() * 1e3,
+            cache_ms: 0.0,
+            epoch,
+            cache_hit: false,
+            delta: false,
+            rows_reused: 0,
+            rows_fetched,
+            arrival_rids: Vec::new(),
+            client,
+        },
+        session: None,
+    }))
 }
 
 /// The search operation with predicate validation: edge-label operators
@@ -749,11 +827,25 @@ fn stream_dataset(
             session,
             packed,
             predicate,
+            rid_range,
             ..
         } => {
             let packed = *packed;
             let predicate = predicate.as_ref();
             let rect = to_rect(window)?;
+            if let Some((lo, hi)) = rid_range {
+                check_range_combines(*session, predicate)?;
+                return stream_window_range(
+                    name,
+                    qm,
+                    layer.unwrap_or(0),
+                    rect,
+                    (*lo, *hi),
+                    chunk,
+                    packed,
+                    sink,
+                );
+            }
             match session {
                 Some(sid) => {
                     let handle = qm
@@ -945,74 +1037,124 @@ fn stream_window(
             };
             stream_window_outcome(qm, outcome, chunk, packed, sink)
         }
-        StreamPlan::Cold(mut cold) => {
-            sink.emit(&ApiFrame::Header(FrameHeader {
-                op: "window".into(),
+        StreamPlan::Cold(cold) => stream_cold(name, qm, layer, session, cold, chunk, packed, sink),
+    }
+}
+
+/// Stream a rid-range restricted window: the shard-side half of a
+/// routed window stream. Always the cold incremental path (range
+/// slices never touch the window cache), and always canonical row
+/// order — ascending [`RowId`] — which is what lets a router merge
+/// shard streams by plain concatenation.
+#[allow(clippy::too_many_arguments)]
+fn stream_window_range(
+    name: &str,
+    qm: &QueryManager,
+    layer: usize,
+    window: Rect,
+    range: (u64, u64),
+    chunk: usize,
+    packed: bool,
+    sink: &mut dyn FrameSink,
+) -> ApiResult<()> {
+    let plan = qm
+        .window_stream_plan_range(layer, &window, range.0, range.1)
+        .map_err(storage_error)?;
+    match plan {
+        StreamPlan::Built(response) => {
+            let outcome = WindowOutcome {
                 dataset: name.to_string(),
                 layer,
-                epoch: cold.epoch(),
-                source: Some(Source::Cold),
-                session,
-            }))?;
-            // The exact row count isn't known until the last chunk is
-            // refined; progress totals use the candidate count (an upper
-            // bound that only shrinks by refinement).
-            let total = cold.candidate_rows() as u64;
-            let many = cold.candidate_rows() > chunk;
-            let mut frames = 0u64;
-            let mut sent = 0u64;
-            // Cold payloads are canonical by construction (incremental
-            // builder), so the negotiated packed encoding applies to
-            // every frame.
-            let mut enc = PackedEncoder::new();
-            let mut pack_ok = packed;
-            while let Some(frame) = cold.next_chunk(chunk).map_err(storage_error)? {
-                let compact = if pack_ok {
-                    let (start, end) = frame.edge_range;
-                    let rows = enc.frame(&cold.rows_so_far()[start..end]);
-                    if rows.nodes.len() == frame.nodes {
-                        Some(rows)
-                    } else {
-                        debug_assert!(false, "packed derivation diverged from the payload");
-                        pack_ok = false;
-                        None
-                    }
-                } else {
-                    None
-                };
-                match compact {
-                    Some(rows) => sink.emit(&ApiFrame::Rows(RowBatch::Packed {
-                        rows,
-                        reused: false,
-                    }))?,
-                    None => sink.emit(&ApiFrame::Rows(RowBatch::Graph {
-                        graph: frame.graph,
-                        nodes: frame.nodes as u64,
-                        edges: frame.edges as u64,
-                        reused: false,
-                    }))?,
-                }
-                frames += 1;
-                sent += frame.edges as u64;
-                if many {
-                    sink.emit(&ApiFrame::Progress(ProgressFrame {
-                        rows_sent: sent,
-                        rows_total: total,
-                    }))?;
-                }
-            }
-            let summary = cold.finish();
-            sink.emit(&ApiFrame::Trailer(TrailerFrame {
-                // Re-sampled: newer than the header epoch iff an edit
-                // raced the stream.
-                epoch: qm.layer_epoch(layer),
-                source: Some(Source::Cold),
-                rows: summary.rows as u64,
-                rows_reused: 0,
-                rows_fetched: summary.rows_fetched as u64,
-                frames,
-            }))
+                response,
+                session: None,
+            };
+            stream_window_outcome(qm, outcome, chunk, packed, sink)
         }
+        StreamPlan::Cold(cold) => stream_cold(name, qm, layer, None, cold, chunk, packed, sink),
+    }
+}
+
+/// Drive one [`StreamPlan::Cold`] to completion: chunked heap fetches
+/// under short re-validated read guards, each frame emitted before the
+/// next chunk's pages pin.
+#[allow(clippy::too_many_arguments)]
+fn stream_cold(
+    name: &str,
+    qm: &QueryManager,
+    layer: usize,
+    session: Option<SessionId>,
+    mut cold: Box<crate::query::ColdWindowStream<'_>>,
+    chunk: usize,
+    packed: bool,
+    sink: &mut dyn FrameSink,
+) -> ApiResult<()> {
+    sink.emit(&ApiFrame::Header(FrameHeader {
+        op: "window".into(),
+        dataset: name.to_string(),
+        layer,
+        epoch: cold.epoch(),
+        source: Some(Source::Cold),
+        session,
+    }))?;
+    {
+        // The exact row count isn't known until the last chunk is
+        // refined; progress totals use the candidate count (an upper
+        // bound that only shrinks by refinement).
+        let total = cold.candidate_rows() as u64;
+        let many = cold.candidate_rows() > chunk;
+        let mut frames = 0u64;
+        let mut sent = 0u64;
+        // Cold payloads are canonical by construction (incremental
+        // builder), so the negotiated packed encoding applies to
+        // every frame.
+        let mut enc = PackedEncoder::new();
+        let mut pack_ok = packed;
+        while let Some(frame) = cold.next_chunk(chunk).map_err(storage_error)? {
+            let compact = if pack_ok {
+                let (start, end) = frame.edge_range;
+                let rows = enc.frame(&cold.rows_so_far()[start..end]);
+                if rows.nodes.len() == frame.nodes {
+                    Some(rows)
+                } else {
+                    debug_assert!(false, "packed derivation diverged from the payload");
+                    pack_ok = false;
+                    None
+                }
+            } else {
+                None
+            };
+            match compact {
+                Some(rows) => sink.emit(&ApiFrame::Rows(RowBatch::Packed {
+                    rows,
+                    reused: false,
+                }))?,
+                None => sink.emit(&ApiFrame::Rows(RowBatch::Graph {
+                    graph: frame.graph,
+                    nodes: frame.nodes as u64,
+                    edges: frame.edges as u64,
+                    reused: false,
+                }))?,
+            }
+            frames += 1;
+            sent += frame.edges as u64;
+            if many {
+                sink.emit(&ApiFrame::Progress(ProgressFrame {
+                    rows_sent: sent,
+                    rows_total: total,
+                }))?;
+            }
+        }
+        let summary = cold.finish();
+        sink.emit(&ApiFrame::Trailer(TrailerFrame {
+            // Re-sampled: newer than the header epoch iff an edit
+            // raced the stream.
+            epoch: qm.layer_epoch(layer),
+            source: Some(Source::Cold),
+            rows: summary.rows as u64,
+            rows_reused: 0,
+            rows_fetched: summary.rows_fetched as u64,
+            frames,
+        }))
     }
 }
 
@@ -1163,14 +1305,22 @@ fn stream_window_outcome(
     }))
 }
 
-/// Per-layer inventory of one manager.
+/// Per-layer inventory of one manager. `rid_max` is computed under the
+/// same read guard as the row count (a whole-plane R-tree descent), so a
+/// shard-map builder sees a consistent inventory.
 fn layer_infos(qm: &QueryManager) -> Vec<LayerInfo> {
     let db = qm.db();
+    let everything = Rect::new(f64::MIN, f64::MIN, f64::MAX, f64::MAX);
     (0..db.layer_count())
         .map(|i| LayerInfo {
             index: i,
             rows: db.layer(i).map(|l| l.row_count()).unwrap_or(0),
             epoch: qm.layer_epoch(i),
+            rid_max: db
+                .layer(i)
+                .and_then(|l| l.window_rids(db.pool(), &everything).ok())
+                .and_then(|rids| rids.iter().map(|r| r.to_u64()).max())
+                .unwrap_or(0),
         })
         .collect()
 }
@@ -1333,6 +1483,7 @@ mod tests {
             },
             session,
             packed: false,
+            rid_range: None,
         }
     }
 
@@ -1418,6 +1569,7 @@ mod tests {
             },
             session: Some(id),
             packed: false,
+            rid_range: None,
         };
         let ApiOutcome::Window(second) = svc.call(&pan).unwrap() else {
             panic!("wrong outcome")
@@ -1524,6 +1676,7 @@ mod tests {
                 },
                 session: None,
                 packed: false,
+                rid_range: None,
             })
             .unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadRequest);
@@ -1556,6 +1709,7 @@ mod tests {
             },
             session: None,
             packed: false,
+            rid_range: None,
         };
         let mut sink = crate::FrameBuffer::new();
         qm.call_streamed(&everything, &mut sink).unwrap();
@@ -1685,6 +1839,7 @@ mod tests {
             window: rect(0.0, 0.6),
             session: None,
             packed: false,
+            rid_range: None,
         })
         .unwrap(); // anchor the cache
         let pan = ApiRequest::Window {
@@ -1694,6 +1849,7 @@ mod tests {
             window: rect(0.15, 0.75),
             session: None,
             packed: false,
+            rid_range: None,
         };
         let mut sink = crate::FrameBuffer::new();
         qm.call_streamed(&pan, &mut sink).unwrap();
@@ -1784,6 +1940,7 @@ mod tests {
             },
             session: None,
             packed: true,
+            rid_range: None,
         };
 
         // Cold path: the stream packs every frame straight from the rows.
@@ -1813,6 +1970,7 @@ mod tests {
             },
             session: None,
             packed: false,
+            rid_range: None,
         };
         let ApiOutcome::Window(buffered) = qm.call(&plain_req).unwrap() else {
             panic!("wrong outcome")
@@ -1891,6 +2049,7 @@ mod tests {
                 window,
                 session: None,
                 packed: true,
+                rid_range: None,
             };
             let mut sink = crate::FrameBuffer::new();
             qm.call_streamed(&packed_req, &mut sink).unwrap();
@@ -1904,6 +2063,7 @@ mod tests {
                 window,
                 session: None,
                 packed: false,
+                rid_range: None,
             };
             let ApiOutcome::Window(buffered) = qm.call(&plain_req).unwrap() else {
                 panic!("wrong outcome")
@@ -2022,6 +2182,7 @@ mod tests {
             },
             session: None,
             packed: false,
+            rid_range: None,
         };
         svc.call(&win("dblp")).unwrap();
         svc.call(&win("patents")).unwrap();
@@ -2141,6 +2302,7 @@ mod tests {
             window,
             session: None,
             packed,
+            rid_range: None,
         };
         let mut sink = crate::FrameBuffer::new();
         qm.call_streamed(&filtered_req(true), &mut sink).unwrap();
@@ -2247,6 +2409,7 @@ mod tests {
                 window: dto,
                 session: None,
                 packed,
+                rid_range: None,
             };
             let mut sink = crate::FrameBuffer::new();
             qm.call_streamed(&req(true), &mut sink).unwrap();

@@ -109,7 +109,7 @@ use std::thread::JoinHandle;
 use reactor::{ConnHandle, Job, Reactor, ReactorShared};
 
 /// Server sizing and policy knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks a free port).
     pub addr: String,
@@ -143,6 +143,29 @@ pub struct ServerConfig {
     /// for debugging the wire with curl or fronting clients that log
     /// raw frames.
     pub plain_frames: bool,
+    /// This node's replication personality, when it has one. Installs
+    /// the `/v1/repl/*` and `/v1/shardmap` endpoints and the
+    /// `replication` gauges in `/v1/stats`; `None` (the default)
+    /// serves exactly the pre-replication surface. The server stays
+    /// ignorant of roles — `gvdb-replication` implements the trait and
+    /// the binary wires it in.
+    pub repl: Option<Arc<dyn gvdb_core::ReplProvider>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("backlog", &self.backlog)
+            .field("api_key", &self.api_key.as_ref().map(|_| "<set>"))
+            .field("read_only", &self.read_only)
+            .field("max_connections", &self.max_connections)
+            .field("outbox_bytes", &self.outbox_bytes)
+            .field("plain_frames", &self.plain_frames)
+            .field("repl", &self.repl.as_ref().map(|p| p.stats().role))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -156,6 +179,7 @@ impl Default for ServerConfig {
             max_connections: 4096,
             outbox_bytes: 1 << 20,
             plain_frames: false,
+            repl: None,
         }
     }
 }
@@ -176,6 +200,7 @@ struct AppState {
     api_key: Option<String>,
     read_only: Vec<String>,
     plain_frames: bool,
+    repl: Option<Arc<dyn gvdb_core::ReplProvider>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -224,6 +249,7 @@ impl Server {
             api_key: config.api_key.clone(),
             read_only: config.read_only.clone(),
             plain_frames: config.plain_frames,
+            repl: config.repl.clone(),
             shutdown: Arc::clone(&shutdown),
         });
 
@@ -432,6 +458,15 @@ fn streamable_request(request: &Request) -> Option<ApiRequest> {
 fn window_request(request: &Request, dataset: Option<String>) -> Option<ApiRequest> {
     let window = parse_window(request)?;
     let predicate = parse_filter(request)?;
+    // A routed shard query restricts the window to a rid slice; either
+    // bound may be omitted (a half-open slice).
+    let rid_lo: Option<u64> = request.parse("rid_lo");
+    let rid_hi: Option<u64> = request.parse("rid_hi");
+    let rid_range = if rid_lo.is_none() && rid_hi.is_none() {
+        None
+    } else {
+        Some((rid_lo.unwrap_or(0), rid_hi.unwrap_or(u64::MAX)))
+    };
     Some(ApiRequest::Window {
         dataset,
         layer: request.parse("layer"),
@@ -439,6 +474,7 @@ fn window_request(request: &Request, dataset: Option<String>) -> Option<ApiReque
         session: request.parse("session"),
         packed: request.param("encoding") == Some("packed"),
         predicate,
+        rid_range,
     })
 }
 
@@ -626,6 +662,9 @@ fn parse_window(request: &Request) -> Option<RectDto> {
 }
 
 fn route_v1(rest: &str, request: &Request, state: &AppState) -> Response {
+    if let Some(response) = route_repl(rest, request, state) {
+        return response;
+    }
     let dataset = request.param("dataset").map(str::to_string);
     let api_request = match (request.method.as_str(), rest) {
         ("GET", "/healthz") => return Response::ok("{\"ok\":true}"),
@@ -697,6 +736,46 @@ fn route_v1(rest: &str, request: &Request, state: &AppState) -> Response {
         Ok(outcome) => v1_response(outcome, state),
         Err(e) => v1_error(e),
     }
+}
+
+/// The replication surface: `/v1/repl/*` and `/v1/shardmap`, delegated
+/// verbatim to the installed [`gvdb_core::ReplProvider`]. `None` means
+/// "not a replication path — keep routing"; a replication path on a
+/// node without a provider falls through to the ordinary v1 *not
+/// found*, indistinguishable from a pre-replication build. A pushed
+/// checkpoint (`POST /v1/repl/checkpoint`) rewrites the follower's
+/// database, so it sits behind the same API key as mutations.
+fn route_repl(rest: &str, request: &Request, state: &AppState) -> Option<Response> {
+    if rest != "/shardmap" && !rest.starts_with("/repl/") {
+        return None;
+    }
+    let provider = state.repl.as_ref()?;
+    let result = match (request.method.as_str(), rest) {
+        ("GET", "/repl/status") => provider.status_json(),
+        ("GET", "/repl/checkpoint") => match request.parse("seq") {
+            Some(seq) => provider.checkpoint_json(seq),
+            None => Err(ApiError::bad_request("need seq")),
+        },
+        ("GET", "/repl/snapshot") => provider.snapshot_json(),
+        ("POST", "/repl/checkpoint") => {
+            if let Some(key) = &state.api_key {
+                let expected = format!("Bearer {key}");
+                let presented = request.authorization.as_deref().unwrap_or("");
+                if !constant_time_eq(presented.as_bytes(), expected.as_bytes()) {
+                    return Some(v1_error(ApiError::unauthorized(
+                        "checkpoint push requires 'Authorization: Bearer <api-key>'",
+                    )));
+                }
+            }
+            provider.apply_checkpoint_json(&request.body)
+        }
+        ("GET", "/shardmap") => provider.shard_map_json(),
+        _ => return None,
+    };
+    Some(match result {
+        Ok(json) => Response::ok(json),
+        Err(e) => v1_error(e),
+    })
 }
 
 /// The write gate: mutations (and `/v1/flush`) must present the
@@ -862,6 +941,7 @@ fn server_stats(state: &AppState, datasets: Vec<DatasetStats>) -> StatsDto {
             .unwrap_or(1),
         shards_policy: "min(16, max(2, 2*cpus))".into(),
         datasets,
+        replication: state.repl.as_ref().map(|p| p.stats()),
     }
 }
 
@@ -932,6 +1012,7 @@ fn route_legacy(request: &Request, state: &AppState) -> Response {
                 session: request.parse("session"),
                 packed: false,
                 predicate: None,
+                rid_range: None,
             };
             match service.call(&api_request) {
                 Ok(ApiOutcome::Window(outcome)) => {

@@ -640,6 +640,7 @@ mod tests {
             api_key: None,
             read_only: Vec::new(),
             plain_frames: false,
+            repl: None,
             shutdown: Arc::new(AtomicBool::new(false)),
         });
         let (mut reactor, _shared) = Reactor::new(listener, jobs, state, 16, 1024).unwrap();

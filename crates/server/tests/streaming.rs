@@ -317,6 +317,7 @@ fn racing_edit_mid_stream_surfaces_in_the_trailer_epoch() {
         },
         session: None,
         packed: false,
+        rid_range: None,
     };
     let mut sink = EditOnFirstBatch {
         qm: &qm,

@@ -225,6 +225,7 @@ fn rpc_endpoint_speaks_serialized_requests() {
         },
         session: None,
         packed: false,
+        rid_range: None,
     };
     let (h, body) = client.request("POST", "/v1", Some(&req.to_json()));
     assert!(h.contains("200 OK"), "{h}");

@@ -381,6 +381,15 @@ impl BufferPool {
         self.shards.len()
     }
 
+    /// Total page capacity across shards (what a reopen should pass to
+    /// [`BufferPool::new`] to reproduce this pool's sizing).
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().capacity)
+            .sum::<usize>()
+    }
+
     /// Aggregate cache statistics across all shards.
     pub fn stats(&self) -> &BufferStats {
         &self.stats

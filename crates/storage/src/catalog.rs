@@ -9,10 +9,17 @@ use crate::table::LayerMeta;
 const CATALOG_MAGIC_V1: u32 = 0x6361_7431; // "cat1"
 /// v2 layout: 9 u64 words per layer (degree/rank sidecar head appended).
 const CATALOG_MAGIC_V2: u32 = 0x6361_7432; // "cat2"
+/// v3 layout: v2 plus a db-level checkpoint sequence number before the
+/// layer count. The seq rides in the header page image, so a shipped
+/// checkpoint carries its replication position durably.
+const CATALOG_MAGIC_V3: u32 = 0x6361_7433; // "cat3"
 
 /// The set of layers in a database.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Catalog {
+    /// Sequence number of the last committed checkpoint (0 = never
+    /// flushed, or a pre-v3 database).
+    pub checkpoint_seq: u64,
     /// Layer metadata in creation order (layer 0 first).
     pub layers: Vec<LayerMeta>,
 }
@@ -21,7 +28,8 @@ impl Catalog {
     /// Serialize to bytes for the header user region.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(&CATALOG_MAGIC_V2.to_le_bytes());
+        out.extend_from_slice(&CATALOG_MAGIC_V3.to_le_bytes());
+        out.extend_from_slice(&self.checkpoint_seq.to_le_bytes());
         out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
         for l in &self.layers {
             let name = l.name.as_bytes();
@@ -53,11 +61,10 @@ impl Catalog {
         let magic = u32::from_le_bytes(bytes[..4].try_into().unwrap());
         let words = match magic {
             CATALOG_MAGIC_V1 => 8,
-            CATALOG_MAGIC_V2 => 9,
+            CATALOG_MAGIC_V2 | CATALOG_MAGIC_V3 => 9,
             _ => return Err(StorageError::Corrupt("bad catalog magic".into())),
         };
-        let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
-        let mut pos = 8usize;
+        let mut pos = 4usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
             if *pos + n > bytes.len() {
                 return Err(StorageError::Corrupt("catalog truncated".into()));
@@ -66,6 +73,12 @@ impl Catalog {
             *pos += n;
             Ok(s)
         };
+        let checkpoint_seq = if magic == CATALOG_MAGIC_V3 {
+            u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())
+        } else {
+            0
+        };
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         let mut layers = Vec::with_capacity(count);
         for _ in 0..count {
             let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
@@ -89,7 +102,10 @@ impl Catalog {
                 sidecar: vals[8],
             });
         }
-        Ok(Catalog { layers })
+        Ok(Catalog {
+            checkpoint_seq,
+            layers,
+        })
     }
 }
 
@@ -115,9 +131,39 @@ mod tests {
     #[test]
     fn roundtrip() {
         let c = Catalog {
+            checkpoint_seq: 17,
             layers: vec![meta("layer0"), meta("layer1"), meta("layer2")],
         };
         assert_eq!(Catalog::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn v2_catalogs_decode_with_zero_seq() {
+        // A v2 image: old magic, no checkpoint_seq word.
+        let expect = Catalog {
+            checkpoint_seq: 0,
+            layers: vec![meta("layer0")],
+        };
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CATALOG_MAGIC_V2.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        let l = &expect.layers[0];
+        bytes.extend_from_slice(&(l.name.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(l.name.as_bytes());
+        for v in [
+            l.heap_first,
+            l.bt_node1,
+            l.bt_node2,
+            l.node_trie,
+            l.edge_trie,
+            l.rtree_root,
+            l.rtree_len,
+            l.rows,
+            l.sidecar,
+        ] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(Catalog::decode(&bytes).unwrap(), expect);
     }
 
     #[test]
@@ -135,6 +181,7 @@ mod tests {
     fn v1_catalogs_decode_without_a_sidecar() {
         // A v1 image: old magic, 8 words per layer.
         let expect = Catalog {
+            checkpoint_seq: 0,
             layers: vec![LayerMeta {
                 sidecar: 0,
                 ..meta("layer0")
@@ -164,6 +211,7 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         let c = Catalog {
+            checkpoint_seq: 0,
             layers: vec![meta("layer0")],
         };
         let bytes = c.encode();

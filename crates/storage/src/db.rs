@@ -15,12 +15,20 @@ use std::path::{Path, PathBuf};
 /// [`GraphDb::create_with_cache`].
 pub const DEFAULT_CACHE_PAGES: usize = 1024;
 
+/// How many archived checkpoint WALs [`GraphDb::flush`] keeps on disk for
+/// followers to fetch. Older archives are deleted; a follower further
+/// behind than the oldest survivor must full-resync.
+pub const WAL_KEEP_ARCHIVES: usize = 8;
+
 /// A graphvizdb storage database: layer tables in a single paged file.
 #[derive(Debug)]
 pub struct GraphDb {
     pool: BufferPool,
     layers: Vec<LayerTable>,
     path: PathBuf,
+    /// Sequence number of the last committed checkpoint (see
+    /// [`Catalog::checkpoint_seq`]); the next flush writes `seq + 1`.
+    checkpoint_seq: u64,
 }
 
 impl GraphDb {
@@ -38,6 +46,7 @@ impl GraphDb {
             pool,
             layers: Vec::new(),
             path: path.to_path_buf(),
+            checkpoint_seq: 0,
         })
     }
 
@@ -60,6 +69,7 @@ impl GraphDb {
             pool,
             layers,
             path: path.to_path_buf(),
+            checkpoint_seq: catalog.checkpoint_seq,
         })
     }
 
@@ -81,12 +91,31 @@ impl GraphDb {
         }
         file.sync_all()?;
         drop(file);
-        wal::remove(path)
+        if cp.seq > 0 {
+            // Keep replayed v2 checkpoints as replication history (the
+            // follower apply path recovers shipped WALs), same as flush.
+            wal::archive(path, cp.seq)?;
+            wal::retain_archives(path, WAL_KEEP_ARCHIVES)?;
+            Ok(())
+        } else {
+            wal::remove(path)
+        }
     }
 
     /// The shared buffer pool (layer-table methods take it explicitly).
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// Path of the backing database file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number of the last committed checkpoint (0 = never
+    /// flushed). Replication uses this as the shipping position.
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
     }
 
     /// Number of layers (abstraction levels).
@@ -151,15 +180,33 @@ impl GraphDb {
     /// crash at any point leaves either the previous or the new checkpoint.
     /// Returns the number of dirty pages written back.
     pub fn flush(&mut self) -> Result<usize> {
-        let mut catalog = Catalog::default();
+        self.flush_with_meta(&[])
+    }
+
+    /// [`GraphDb::flush`] carrying an opaque metadata blob in the
+    /// checkpoint (the core layer records flush-time per-layer epochs so a
+    /// shipped checkpoint doubles as a replication position). Each flush
+    /// advances the checkpoint sequence number, archives the applied WAL
+    /// as `<db>.wal.<seq>` for followers to fetch, and prunes archives
+    /// beyond [`WAL_KEEP_ARCHIVES`].
+    pub fn flush_with_meta(&mut self, meta: &[u8]) -> Result<usize> {
+        let seq = self.checkpoint_seq + 1;
+        let mut catalog = Catalog {
+            checkpoint_seq: seq,
+            layers: Vec::with_capacity(self.layers.len()),
+        };
         for layer in &mut self.layers {
             catalog.layers.push(layer.save(&self.pool)?);
         }
         self.pool.set_header_user_bytes(&catalog.encode());
         let (header, pages) = self.pool.checkpoint_images();
-        wal::write_checkpoint(&self.path, &header, &pages)?;
+        wal::write_checkpoint_seq(&self.path, seq, meta, &header, &pages)?;
         let flushed = self.pool.flush()?;
-        wal::remove(&self.path)?;
+        // The checkpoint is applied; keep it as replication history
+        // instead of deleting it. The active WAL is gone either way.
+        wal::archive(&self.path, seq)?;
+        wal::retain_archives(&self.path, WAL_KEEP_ARCHIVES)?;
+        self.checkpoint_seq = seq;
         Ok(flushed)
     }
 }
@@ -250,6 +297,31 @@ mod tests {
         {
             let db = GraphDb::open(&path).unwrap();
             assert_eq!(db.layer(0).unwrap().row_count(), 51);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_advances_seq_and_archives_checkpoints() {
+        let path = tmp("seq");
+        {
+            let mut db = GraphDb::create(&path).unwrap();
+            db.create_layer("layer0", rows(10, 0.0)).unwrap();
+            assert_eq!(db.checkpoint_seq(), 0);
+            db.flush().unwrap();
+            assert_eq!(db.checkpoint_seq(), 1);
+            db.flush().unwrap();
+            assert_eq!(db.checkpoint_seq(), 2);
+        }
+        {
+            // The seq is durable (catalog v3) and the applied WALs are
+            // archived for followers.
+            let db = GraphDb::open(&path).unwrap();
+            assert_eq!(db.checkpoint_seq(), 2);
+            assert_eq!(wal::list_archives(&path).unwrap(), vec![1, 2]);
+        }
+        for seq in [1, 2] {
+            std::fs::remove_file(wal::archive_path(&path, seq)).ok();
         }
         std::fs::remove_file(&path).ok();
     }

@@ -124,6 +124,65 @@ fn successive_checkpoints_leave_no_wal() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Follower killed mid-apply: a shipped checkpoint whose local WAL write
+/// was torn (the "crash while receiving/applying a replicated checkpoint"
+/// case) must be discarded on reopen, leaving the previous complete
+/// checkpoint served — never a half-applied one.
+#[test]
+fn follower_killed_mid_apply_recovers_to_complete_checkpoint() {
+    let leader = tmp("ship-leader");
+    let follower = tmp("ship-follower");
+
+    // Leader: checkpoint 1 (the follower's last complete state) and
+    // checkpoint 2 (the in-flight shipment).
+    {
+        let mut db = GraphDb::create(&leader).unwrap();
+        db.create_layer("layer0", (0..30).map(row)).unwrap();
+        db.flush().unwrap();
+    }
+    std::fs::copy(&leader, &follower).unwrap();
+    {
+        let mut db = GraphDb::open(&leader).unwrap();
+        db.insert_row(0, &row(2000)).unwrap();
+        db.flush_with_meta(b"epochs:v1").unwrap();
+    }
+    let shipped = wal::read_archive_bytes(&leader, 2)
+        .unwrap()
+        .expect("leader archived checkpoint 2");
+    assert_eq!(wal::decode_checkpoint(&shipped).unwrap().seq, 2);
+
+    // Crash mid-apply: only a prefix of the shipped image reached the
+    // follower's disk before the kill.
+    wal::write_shipped(&follower, &shipped[..shipped.len() / 2]).unwrap();
+    {
+        let db = GraphDb::open(&follower).unwrap();
+        assert_eq!(db.layer(0).unwrap().row_count(), 30, "old state served");
+        assert_eq!(db.checkpoint_seq(), 1);
+        assert!(!wal::wal_path(&follower).exists(), "torn shipment dropped");
+    }
+
+    // Retry with the complete image: the normal crash-recovery path
+    // replays it and the follower lands exactly on checkpoint 2.
+    wal::write_shipped(&follower, &shipped).unwrap();
+    {
+        let db = GraphDb::open(&follower).unwrap();
+        assert_eq!(db.layer(0).unwrap().row_count(), 31);
+        assert_eq!(db.checkpoint_seq(), 2);
+        assert!(db
+            .layer(0)
+            .unwrap()
+            .search_nodes("node 2000")
+            .contains(&2000));
+    }
+
+    for p in [&leader, &follower] {
+        for seq in wal::list_archives(p).unwrap() {
+            std::fs::remove_file(wal::archive_path(p, seq)).ok();
+        }
+        std::fs::remove_file(p).ok();
+    }
+}
+
 /// Create over an existing database with a stale WAL must not replay it.
 #[test]
 fn create_clears_stale_wal() {

@@ -96,6 +96,7 @@ proptest! {
     ) {
         use gvdb_storage::catalog::Catalog;
         let catalog = Catalog {
+            checkpoint_seq: 0,
             layers: layers
                 .into_iter()
                 .map(|(name, a, b, c, d)| LayerMeta {

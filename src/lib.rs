@@ -57,6 +57,7 @@ pub use gvdb_core as core;
 pub use gvdb_graph as graph;
 pub use gvdb_layout as layout;
 pub use gvdb_partition as partition;
+pub use gvdb_replication as replication;
 pub use gvdb_server as server;
 pub use gvdb_spatial as spatial;
 pub use gvdb_storage as storage;
